@@ -1,0 +1,466 @@
+//! Dynamic Micro-Kernels (DMK): warp re-formation through spawn memory.
+//!
+//! When a warp's rays diverge in traversal state, the warp *respawns*: it
+//! dumps each lane's live ray registers into on-chip spawn memory (explicit
+//! store instructions, tagged SI), the spawn unit re-forms the warp from
+//! pooled rays sharing one state, and the lanes load their new rays back
+//! (explicit SI loads). Regrouping is unconstrained (any ray to any lane),
+//! so post-spawn warps are state-uniform like DRS rows — but the SI
+//! instructions and spawn-memory bank conflicts are pure overhead that DRS
+//! avoids by moving data with its autonomous swap engine.
+
+use drs_kernels::{
+    costs::{alu_chain, load},
+    WhileIfKernel, CTRL_EXIT, CTRL_FETCH, CTRL_TRAV_INNER, CTRL_TRAV_LEAF, EFFECT_NEW_ROUND,
+    TOKEN_RDCTRL,
+};
+use drs_sim::{
+    Block, KernelBehavior, MachineState, MemSpace, MicroOp, OpTag, Program, RayState, SimStats,
+    SpecialOutcome, SpecialUnit, Terminator,
+};
+
+/// Control value directing the warp into the spawn (dump/reload) block.
+pub const CTRL_SPAWN: u32 = 4;
+
+/// Minimum minority-lane count before a respawn pays for itself.
+const SPAWN_THRESHOLD: u32 = 8;
+
+// DMK-specific address tokens (the while-if kernel owns 0..=3).
+const A_SPAWN_BASE: u16 = 16;
+/// Store/load groups per ray dump: the spawn scratch is word-banked, so
+/// each of the 17 live ray registers is one explicit store and one load.
+const SPAWN_GROUPS: u16 = 17;
+
+/// Configuration of the DMK spawn unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmkConfig {
+    /// Resident warps.
+    pub warps: usize,
+    /// Lanes per warp.
+    pub lanes: usize,
+    /// Ray capacity of the spawn-memory pool (slots beyond the resident
+    /// thread slots). The paper sizes spawn memory for 54 warps of rays.
+    pub pool_slots: usize,
+}
+
+impl DmkConfig {
+    /// A pool matching the paper's spawn-memory sizing: one pooled ray per
+    /// resident thread.
+    pub fn paper_default(warps: usize) -> DmkConfig {
+        DmkConfig { warps, lanes: 32, pool_slots: warps * 32 }
+    }
+
+    /// Total ray slots (thread slots + pool).
+    pub fn slot_count(&self) -> usize {
+        self.warps * self.lanes + self.pool_slots
+    }
+}
+
+/// The while-if kernel augmented with the DMK spawn block.
+#[derive(Debug, Clone)]
+pub struct DmkKernel {
+    inner: WhileIfKernel,
+    cfg: DmkConfig,
+}
+
+impl DmkKernel {
+    /// Build the DMK kernel for a configuration.
+    pub fn new(cfg: DmkConfig) -> DmkKernel {
+        DmkKernel { inner: WhileIfKernel::new(), cfg }
+    }
+
+    /// The program: the while-if skeleton with a spawn block between the
+    /// control read and the work bodies.
+    ///
+    /// Block map: 0 = read ctrl, 1 = spawn check, 2 = spawn body (SI),
+    /// 3.. = the while-if fetch/inner/leaf structure, rebuilt here so block
+    /// ids stay self-contained.
+    pub fn program(&self) -> Program {
+        // Rebuild the while-if program with two extra blocks at the front
+        // of the loop for the spawn path. We reuse the inner kernel's
+        // condition/effect/address tokens by delegating at eval time; the
+        // spawn path uses DMK-local tokens.
+        let base = self.inner.program();
+        let mut blocks: Vec<Block> = Vec::new();
+        // 0: read ctrl (same special token; the DMK unit answers it).
+        blocks.push(Block::new(
+            "read_ctrl",
+            vec![MicroOp::special(0, TOKEN_RDCTRL), MicroOp::effect(EFFECT_NEW_ROUND)],
+            Terminator::Branch { cond: C_NOT_EXIT, on_true: 1, on_false: EXIT_BLK, reconverge: EXIT_BLK },
+        ));
+        // 1: spawn check.
+        blocks.push(Block::new(
+            "spawn_if",
+            vec![],
+            Terminator::Branch { cond: C_IS_SPAWN, on_true: 2, on_false: 3, reconverge: 3 },
+        ));
+        // 2: spawn body — dump 17 words, reload 17 words, all SI-tagged.
+        let si = OpTag::SpawnOverhead;
+        let mut spawn_ops = Vec::new();
+        for g in 0..SPAWN_GROUPS {
+            spawn_ops.push(
+                MicroOp::store(MemSpace::Spawn, A_SPAWN_BASE + g, &[10, 11]).with_tag(si),
+            );
+        }
+        // Micro-kernel bookkeeping: spawn-table lookup and thread metadata.
+        alu_chain(&mut spawn_ops, 6, &[10, 11], si);
+        spawn_ops.push(MicroOp::effect(E_REGROUP));
+        for g in 0..SPAWN_GROUPS {
+            load(&mut spawn_ops, 10 + (g % 3) as u8, MemSpace::Spawn, A_SPAWN_BASE + g, si);
+        }
+        alu_chain(&mut spawn_ops, 4, &[10, 11], si);
+        // Loop back to re-read control (now uniform).
+        blocks.push(Block::new("spawn_body", spawn_ops, Terminator::Jump(0)));
+        // 3..: splice the while-if body blocks. The mapping is computed
+        // from the base program itself so kernel restructurings cannot
+        // silently break the splice: old block 0 (read_ctrl) becomes our
+        // block 0, the old exit block becomes the final exit block, and
+        // every other block shifts up by the two inserted spawn blocks.
+        let old_exit = base
+            .blocks()
+            .iter()
+            .position(|b| matches!(b.terminator, Terminator::Exit))
+            .expect("while-if program has an exit block") as u32;
+        let mut new_id = vec![0u32; base.blocks().len()];
+        let mut next = 3u32; // after read_ctrl, spawn_if, spawn_body
+        for (i, id) in new_id.iter_mut().enumerate() {
+            if i == 0 {
+                *id = 0;
+            } else if i as u32 == old_exit {
+                *id = EXIT_BLK;
+            } else {
+                *id = next;
+                next += 1;
+            }
+        }
+        assert_eq!(next, EXIT_BLK, "EXIT_BLK must be the final block id");
+        let remap = |old: u32| -> u32 { new_id[old as usize] };
+        for (i, b) in base.blocks().iter().enumerate() {
+            if i == 0 || i as u32 == old_exit {
+                continue; // replaced by our blocks 0 and EXIT_BLK
+            }
+            let terminator = match b.terminator {
+                Terminator::Jump(t) => Terminator::Jump(remap(t)),
+                Terminator::Branch { cond, on_true, on_false, reconverge } => Terminator::Branch {
+                    cond,
+                    on_true: remap(on_true),
+                    on_false: remap(on_false),
+                    reconverge: remap(reconverge),
+                },
+                Terminator::Exit => Terminator::Exit,
+            };
+            blocks.push(Block::new(b.label, b.ops.clone(), terminator));
+        }
+        // EXIT_BLK (last): exit.
+        blocks.push(Block::new("exit", vec![], Terminator::Exit));
+        Program::new(blocks)
+    }
+}
+
+// DMK-local condition/effect tokens live above the while-if kernel's range.
+const C_NOT_EXIT: u16 = 32;
+const C_IS_SPAWN: u16 = 33;
+const E_REGROUP: u16 = 32;
+/// Exit block id in the spliced program: 3 DMK blocks + the while-if
+/// blocks minus its read-ctrl and exit; the exit goes last.
+const EXIT_BLK: u32 = 16;
+
+impl KernelBehavior for DmkKernel {
+    fn eval_cond(&self, token: u16, warp: usize, lane: usize, m: &MachineState<'_>) -> bool {
+        match token {
+            C_NOT_EXIT => m.warp_ctrl[warp] != CTRL_EXIT,
+            C_IS_SPAWN => m.warp_ctrl[warp] == CTRL_SPAWN,
+            t => self.inner.eval_cond(t, warp, lane, m),
+        }
+    }
+
+    fn eval_addr(&self, token: u16, warp: usize, lane: usize, m: &MachineState<'_>) -> u64 {
+        if (A_SPAWN_BASE..A_SPAWN_BASE + SPAWN_GROUPS).contains(&token) {
+            // Spawn-memory address of this lane's ray record: keyed by the
+            // ray's identity, so scattered regrouped rays hit scattered
+            // banks (the conflict behaviour the paper measures).
+            let word = (token - A_SPAWN_BASE) as u64;
+            let ray_id = m
+                .slot_of(warp, lane)
+                .and_then(|s| m.slots[s].ray)
+                .map_or((warp * 32 + lane) as u64, |r| r.script as u64);
+            return ray_id * 68 + word * 4;
+        }
+        self.inner.eval_addr(token, warp, lane, m)
+    }
+
+    fn apply_effect(&self, token: u16, warp: usize, lane: usize, m: &mut MachineState<'_>) {
+        if token == E_REGROUP {
+            // Data movement is modelled in the unit at the rdctrl that
+            // requested the spawn; the effect marks the architectural point.
+            return;
+        }
+        self.inner.apply_effect(token, warp, lane, m);
+    }
+
+    fn slot_count(&self, _warps: usize, lanes: usize) -> usize {
+        self.cfg.warps * lanes + self.cfg.pool_slots
+    }
+
+    fn initialize(&self, m: &mut MachineState<'_>) {
+        self.inner.initialize(m);
+    }
+}
+
+/// The DMK spawn unit: answers `rdctrl`, deciding between direct execution
+/// (uniform warp) and a respawn through the pool.
+#[derive(Debug)]
+pub struct DmkUnit {
+    cfg: DmkConfig,
+    /// Warps that were told to spawn and will regroup at their next rdctrl.
+    pending_spawn: Vec<bool>,
+}
+
+impl DmkUnit {
+    /// Build the unit.
+    pub fn new(cfg: DmkConfig) -> DmkUnit {
+        DmkUnit { cfg, pending_spawn: vec![false; cfg.warps] }
+    }
+
+    /// Mixed-state check over a warp's mapped slots.
+    fn warp_states(&self, warp: usize, m: &MachineState<'_>) -> (u32, u32, u32) {
+        let (mut fetch, mut inner, mut leaf) = (0, 0, 0);
+        for lane in 0..self.cfg.lanes {
+            if let Some(s) = m.slot_of(warp, lane) {
+                match m.state_cache[s] {
+                    RayState::Inner => inner += 1,
+                    RayState::Leaf => leaf += 1,
+                    _ => fetch += 1,
+                }
+            }
+        }
+        (fetch, inner, leaf)
+    }
+
+    /// Regroup `warp` against the spawn-memory pool: choose the most
+    /// numerous traversal state across the warp and the pool, then for each
+    /// lane not already in that state either *exchange* its ray for a
+    /// matching pooled ray or *dump* it into a free pool slot. The pass is
+    /// retried with the opposite state if the warp is still mixed (pool
+    /// pressure can make the first choice unsatisfiable), so a respawned
+    /// warp is never state-mixed.
+    fn regroup(&mut self, warp: usize, m: &mut MachineState<'_>) {
+        let pool_base = self.cfg.warps * self.cfg.lanes;
+        let pool_end = self.cfg.slot_count();
+        let tally = |m: &MachineState<'_>| {
+            let (mut inner, mut leaf) = (0u32, 0u32);
+            for p in pool_base..pool_end {
+                match m.state_cache[p] {
+                    RayState::Inner => inner += 1,
+                    RayState::Leaf => leaf += 1,
+                    _ => {}
+                }
+            }
+            (inner, leaf)
+        };
+        let (mut inner, mut leaf) = tally(m);
+        for lane in 0..self.cfg.lanes {
+            if let Some(s) = m.slot_of(warp, lane) {
+                match m.state_cache[s] {
+                    RayState::Inner => inner += 1,
+                    RayState::Leaf => leaf += 1,
+                    _ => {}
+                }
+            }
+        }
+        if inner == 0 && leaf == 0 {
+            return;
+        }
+        let first = if inner >= leaf { RayState::Inner } else { RayState::Leaf };
+        let second = if first == RayState::Inner { RayState::Leaf } else { RayState::Inner };
+        for want in [first, second] {
+            self.regroup_pass(warp, want, m);
+            // Mixed only if the pool could neither absorb nor supply; the
+            // second pass with the opposite state then must succeed.
+            let (_, i, l) = self.warp_states(warp, m);
+            if i == 0 || l == 0 {
+                return;
+            }
+        }
+    }
+
+    /// One regroup pass: make every lane of `warp` hold a `want`-state ray
+    /// (exchange with the pool), or at least not a counter-state ray (dump
+    /// into a pool hole).
+    fn regroup_pass(&mut self, warp: usize, want: RayState, m: &mut MachineState<'_>) {
+        let pool_base = self.cfg.warps * self.cfg.lanes;
+        let pool_end = self.cfg.slot_count();
+        let mut want_cursor = pool_base;
+        let mut hole_cursor = pool_base;
+        for lane in 0..self.cfg.lanes {
+            let Some(s) = m.slot_of(warp, lane) else { continue };
+            if m.state_cache[s] == want {
+                continue;
+            }
+            // Prefer exchanging for a pooled want-state ray (fills the lane).
+            while want_cursor < pool_end && m.state_cache[want_cursor] != want {
+                want_cursor += 1;
+            }
+            if want_cursor < pool_end {
+                m.slots.swap(s, want_cursor);
+                m.state_cache.swap(s, want_cursor);
+                continue;
+            }
+            // Otherwise dump a counter-state ray into a pool hole.
+            if m.slots[s].ray.is_some() {
+                while hole_cursor < pool_end && m.slots[hole_cursor].ray.is_some() {
+                    hole_cursor += 1;
+                }
+                if hole_cursor < pool_end {
+                    m.slots.swap(s, hole_cursor);
+                    m.state_cache.swap(s, hole_cursor);
+                }
+            }
+        }
+    }
+}
+
+impl SpecialUnit for DmkUnit {
+    fn issue(
+        &mut self,
+        warp: usize,
+        token: u16,
+        m: &mut MachineState<'_>,
+        _stats: &mut SimStats,
+    ) -> SpecialOutcome {
+        debug_assert_eq!(token, TOKEN_RDCTRL);
+        if self.pending_spawn[warp] {
+            // The warp just executed its dump/reload SI block; regroup now.
+            self.pending_spawn[warp] = false;
+            self.regroup(warp, m);
+        }
+        let (fetch, inner, leaf) = self.warp_states(warp, m);
+        // Tally what the pool could contribute.
+        let pool_base = self.cfg.warps * self.cfg.lanes;
+        let (mut pool_inner, mut pool_leaf) = (0u32, 0u32);
+        for p in pool_base..self.cfg.slot_count() {
+            match m.state_cache[p] {
+                RayState::Inner if m.slots[p].ray.is_some() => pool_inner += 1,
+                RayState::Leaf => pool_leaf += 1,
+                _ => {}
+            }
+        }
+        // Spawn only when regrouping pays for its dump/reload cost: the
+        // warp's minority state occupies at least SPAWN_THRESHOLD lanes
+        // (small divergence executes under masks, as in the DMK paper), or
+        // the pool can refill a substantially hollow warp. This also
+        // self-limits — right after a regroup the pool holds no
+        // majority-state rays, so the warp proceeds.
+        let minority = inner.min(leaf);
+        let state_mixed = minority >= SPAWN_THRESHOLD;
+        let majority_pool = if inner >= leaf { pool_inner } else { pool_leaf };
+        let refill_possible =
+            fetch >= SPAWN_THRESHOLD && (inner + leaf) > 0 && majority_pool >= SPAWN_THRESHOLD;
+        if state_mixed || refill_possible {
+            self.pending_spawn[warp] = true;
+            return SpecialOutcome::Proceed { ctrl: CTRL_SPAWN };
+        }
+        // Holes left by retired rays refill from the global queue before the
+        // warp continues half-empty (fresh rays start in the inner state, so
+        // a leaf-bound warp will respawn next round — that churn is DMK's).
+        if fetch > 0 && !m.queue.is_empty() {
+            return SpecialOutcome::Proceed { ctrl: CTRL_FETCH };
+        }
+        if inner >= leaf && inner > 0 {
+            return SpecialOutcome::Proceed { ctrl: CTRL_TRAV_INNER };
+        }
+        if leaf > 0 {
+            return SpecialOutcome::Proceed { ctrl: CTRL_TRAV_LEAF };
+        }
+        // Queue drained and this warp has no rays: gather pool leftovers,
+        // exit once the pool is empty too.
+        if pool_inner + pool_leaf > 0 {
+            self.pending_spawn[warp] = true;
+            return SpecialOutcome::Proceed { ctrl: CTRL_SPAWN };
+        }
+        SpecialOutcome::Proceed { ctrl: CTRL_EXIT }
+    }
+
+    fn tick(&mut self, _cycle: u64, _idle: &[bool], _m: &mut MachineState<'_>, _stats: &mut SimStats) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drs_sim::{GpuConfig, Simulation};
+    use drs_trace::{RayScript, Step, Termination};
+
+    fn scripts(n: usize) -> Vec<RayScript> {
+        (0..n)
+            .map(|i| {
+                let mut steps = Vec::new();
+                for k in 0..2 + (i * 5 % 11) {
+                    steps.push(Step::Inner {
+                        node_addr: 0x1000_0000 + ((i * 29 + k * 3) % 2048) as u64 * 64,
+                        both_children_hit: (i + k) % 3 == 0,
+                    });
+                    if (i + k) % 3 == 0 {
+                        steps.push(Step::Leaf {
+                            node_addr: 0x1100_0000 + ((i + k) % 512) as u64 * 64,
+                            prim_base_addr: 0x4000_0000 + ((i * 7 + k) % 512) as u64 * 48,
+                            prim_count: 1 + ((i + k) % 3) as u16,
+                        });
+                    }
+                }
+                RayScript::new(steps, Termination::Hit)
+            })
+            .collect()
+    }
+
+    fn run_dmk(n: usize, warps: usize) -> drs_sim::SimOutcome {
+        let s = scripts(n);
+        let cfg = DmkConfig { warps, lanes: 32, pool_slots: warps * 32 };
+        let kernel = DmkKernel::new(cfg);
+        let gpu = GpuConfig { max_warps: warps, max_cycles: 120_000_000, ..GpuConfig::gtx780() };
+        Simulation::new(gpu, kernel.program(), Box::new(kernel.clone()), Box::new(DmkUnit::new(cfg)), &s)
+            .run()
+    }
+
+    #[test]
+    fn program_splices_correctly() {
+        let k = DmkKernel::new(DmkConfig::paper_default(4));
+        let p = k.program();
+        assert_eq!(p.blocks().len(), 17);
+        assert_eq!(p.blocks().last().unwrap().label, "exit");
+        assert!(p.blocks().iter().any(|b| b.label == "spawn_body"));
+    }
+
+    #[test]
+    fn dmk_completes_all_rays() {
+        let out = run_dmk(600, 6);
+        assert!(out.completed, "DMK hit the cycle cap");
+        assert_eq!(out.stats.rays_completed, 600);
+    }
+
+    #[test]
+    fn dmk_pays_si_instructions() {
+        let out = run_dmk(600, 6);
+        assert!(out.stats.issued_si.total > 0, "spawns must execute SI work");
+        // SI should be a visible but minority share, as in the paper.
+        let si_frac =
+            out.stats.issued_si.total as f64 / (out.stats.issued.total + out.stats.issued_si.total) as f64;
+        assert!(si_frac > 0.005 && si_frac < 0.5, "SI fraction {si_frac}");
+    }
+
+    #[test]
+    fn dmk_incurs_spawn_bank_conflicts() {
+        let out = run_dmk(800, 6);
+        assert!(
+            out.stats.spawn_bank_conflict_cycles > 0,
+            "scattered regrouped rays must conflict in spawn memory"
+        );
+    }
+
+    #[test]
+    fn dmk_normal_work_efficiency_is_high() {
+        // Excluding SI, regrouped warps should run near-uniform.
+        let out = run_dmk(800, 4);
+        let eff = out.stats.issued.simd_efficiency();
+        assert!(eff > 0.5, "post-spawn warps should be fairly uniform: {eff}");
+    }
+}

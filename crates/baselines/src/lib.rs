@@ -1,0 +1,26 @@
+//! Baseline divergence-mitigation hardware the paper compares against.
+//!
+//! Two prior thread-recombining proposals, modelled as special units over
+//! the same simulator core and (for DMK) a spawn-augmented while-if kernel:
+//!
+//! - [`dmk`] — **Dynamic Micro-Kernels**: on divergence, a warp dumps its
+//!   rays into on-chip *spawn memory* and is re-formed from rays in one
+//!   state. Regrouping is complete (no lane alignment), so SIMD efficiency
+//!   approaches DRS — but every regroup pays explicit dump/load
+//!   instructions ("SI" work) through a banked scratchpad whose conflicts
+//!   erase most of the win (the paper measures ≈1.06× speedup despite
+//!   large efficiency gains).
+//! - [`tbc`] — **Thread Block Compaction**: warps of a thread block share a
+//!   block-wide reconvergence stack and synchronize at divergence points,
+//!   compacting active threads into fewer warps. Threads may move only
+//!   within their SIMD lane, and the block must sync before compacting, so
+//!   the efficiency gain is modest (paper: ≈46 % overall SIMD efficiency,
+//!   ≈1.18× speedup) — but there is no data movement at all.
+
+#![warn(missing_docs)]
+
+pub mod dmk;
+pub mod tbc;
+
+pub use dmk::{DmkConfig, DmkKernel, DmkUnit, CTRL_SPAWN};
+pub use tbc::{TbcConfig, TbcUnit};

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for the BVH substrate: construction and
+//! functional traversal throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drs_bvh::{BuildMethod, BuildParams, Bvh};
+use drs_scene::SceneKind;
+
+fn bvh_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bvh_build");
+    group.sample_size(10);
+    for kind in [SceneKind::Conference, SceneKind::Plants] {
+        let scene = kind.build_with_tris(20_000);
+        group.throughput(Throughput::Elements(scene.mesh().len() as u64));
+        for (name, method) in [
+            ("binned_sah", BuildMethod::BinnedSah { bins: 16 }),
+            ("median", BuildMethod::Median),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, kind.name().replace(' ', "_")),
+                scene.mesh(),
+                |b, mesh| {
+                    b.iter(|| Bvh::build(mesh, &BuildParams { method, max_leaf_size: 4 }));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bvh_traverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bvh_traverse");
+    group.sample_size(20);
+    for kind in SceneKind::ALL {
+        let scene = kind.build_with_tris(20_000);
+        let bvh = Bvh::build(scene.mesh(), &BuildParams::default());
+        let rays: Vec<_> = (0..4096)
+            .map(|i| {
+                let s = (i % 64) as f32 / 64.0 + 0.005;
+                let t = (i / 64) as f32 / 64.0 + 0.005;
+                scene.camera().primary_ray(s, t)
+            })
+            .collect();
+        group.throughput(Throughput::Elements(rays.len() as u64));
+        group.bench_function(BenchmarkId::new("closest_hit", kind.name().replace(' ', "_")), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for ray in &rays {
+                    if bvh.intersect(scene.mesh(), ray).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bvh_build, bvh_traverse);
+criterion_main!(benches);

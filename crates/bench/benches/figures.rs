@@ -1,0 +1,40 @@
+//! Criterion benches mirroring the paper's figure pipelines at miniature
+//! scale — one bench per experiment family, so regressions in any stage
+//! (scene build, trace capture, per-method simulation) surface here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drs_bench::{run_method, Method};
+use drs_scene::SceneKind;
+use drs_trace::BounceStreams;
+
+fn capture_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_pipeline");
+    group.sample_size(10);
+
+    // Workload capture (scene + BVH + path walk), as used by every figure.
+    group.bench_function("capture_conference", |b| {
+        b.iter(|| {
+            let scene = SceneKind::Conference.build_with_tris(6_000);
+            BounceStreams::capture(&scene, 1_000, 2, 11).depth()
+        });
+    });
+
+    // One figure cell per method (Figure 10/11 inner loop).
+    let scene = SceneKind::Conference.build_with_tris(6_000);
+    let streams = BounceStreams::capture(&scene, 1_200, 2, 13);
+    let scripts = streams.bounce(2).scripts.clone();
+    std::env::set_var("DRS_WARPS_SCALE", "0.15");
+    for method in [Method::Aila, Method::Dmk, Method::Tbc, Method::drs_default()] {
+        group.bench_with_input(
+            BenchmarkId::new("fig11_cell", method.label()),
+            &scripts,
+            |b, scripts| {
+                b.iter(|| run_method(method, scripts).stats.cycles);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, capture_pipeline);
+criterion_main!(benches);

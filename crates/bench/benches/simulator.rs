@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for the cycle-level simulator itself: wall
+//! time to simulate a fixed workload for the baseline kernel and for DRS
+//! (including its swap engine).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drs_core::system::RowedWhileIf;
+use drs_core::{DrsConfig, DrsUnit};
+use drs_kernels::{WhileIfKernel, WhileWhileConfig, WhileWhileKernel};
+use drs_scene::SceneKind;
+use drs_sim::{GpuConfig, NullSpecial, Simulation};
+use drs_trace::BounceStreams;
+
+fn simulator(c: &mut Criterion) {
+    let scene = SceneKind::Conference.build_with_tris(8_000);
+    let streams = BounceStreams::capture(&scene, 2_000, 2, 3);
+    let scripts = streams.bounce(2).scripts.clone();
+    let gpu = GpuConfig { max_warps: 8, ..GpuConfig::gtx780() };
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(scripts.len() as u64));
+
+    group.bench_function("while_while_aila", |b| {
+        b.iter(|| {
+            let k = WhileWhileKernel::new(WhileWhileConfig::default());
+            Simulation::new(
+                gpu.clone(),
+                k.program(),
+                Box::new(k.clone()),
+                Box::new(NullSpecial),
+                &scripts,
+            )
+            .run()
+            .stats
+            .cycles
+        });
+    });
+
+    group.bench_function("while_if_drs", |b| {
+        b.iter(|| {
+            let cfg =
+                DrsConfig { warps: 8, backup_rows: 1, swap_buffers: 6, ideal: false, lanes: 32 };
+            let k = WhileIfKernel::new();
+            Simulation::new(
+                gpu.clone(),
+                k.program(),
+                Box::new(RowedWhileIf::new(cfg.rows())),
+                Box::new(DrsUnit::new(cfg)),
+                &scripts,
+            )
+            .run()
+            .stats
+            .cycles
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, simulator);
+criterion_main!(benches);

@@ -1,0 +1,456 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! Usage: `experiments <mode>` where mode is one of
+//! `table1 | fig2 | fig8 | fig9 | table2 | fig10 | fig11 | overhead | all`.
+//!
+//! Scaling knobs: `DRS_RAYS`, `DRS_TRIS_SCALE`, `DRS_WARPS_SCALE` (see the
+//! `drs-bench` crate docs). Absolute Mrays/s values depend on the scaled
+//! workloads; the comparisons (who wins, by what factor) are the result.
+
+use drs_bench::{capture_workloads, run_all_bounces, run_method, Method};
+use drs_core::overhead::{dmk_spawn_memory_bytes, paper, tbc_warp_buffer_bytes, DrsOverhead};
+use drs_core::DrsConfig;
+use drs_scene::SceneKind;
+use drs_sim::{ActiveHistogram, GpuConfig};
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match mode.as_str() {
+        "table1" => table1(),
+        "fig2" => fig2(),
+        "fig8" => fig8(),
+        "fig9" => fig9(),
+        "table2" => table2(),
+        "fig10" => fig10(),
+        "fig11" => fig11(),
+        "overhead" => overhead(),
+        "ablation" => ablation(),
+        "energy" => energy(),
+        "all" => {
+            table1();
+            fig2();
+            fig8();
+            fig9();
+            table2();
+            fig10();
+            fig11();
+            overhead();
+            ablation();
+            energy();
+        }
+        other => {
+            eprintln!(
+                "unknown mode {other}; expected table1|fig2|fig8|fig9|table2|fig10|fig11|overhead|ablation|energy|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Table 1: the simulated GPU configuration.
+fn table1() {
+    banner("Table 1: GPU microarchitectural parameters");
+    let c = GpuConfig::gtx780();
+    println!("SMX Clock Frequency       {} MHz", c.clock_mhz);
+    println!("SIMD lanes                {}", c.simd_lanes);
+    println!("SMXs/GPU                  {}", c.smx_count);
+    println!("Warp Scheduler            Greedy-Then-Oldest");
+    println!("Warp Schedulers/SMX       {}", c.warp_schedulers);
+    println!("Inst. Dispatch Units/SMX  {}", c.dispatch_units);
+    println!("Registers/SMX             {}", c.registers_per_smx);
+    println!("L1 Data Cache             {} KB", c.l1d_bytes / 1024);
+    println!("L1 Texture Cache          {} KB", c.l1t_bytes / 1024);
+    println!("L2 Cache                  {} KB (whole GPU)", c.l2_bytes * c.smx_count / 1024);
+}
+
+fn histogram_row(h: &ActiveHistogram) -> String {
+    let f = |i| h.bucket_fraction(i) * 100.0;
+    format!(
+        "eff {:5.1}%  W1:8 {:4.1}%  W9:16 {:4.1}%  W17:24 {:4.1}%  W25:32 {:4.1}%",
+        h.simd_efficiency() * 100.0,
+        f(0),
+        f(1),
+        f(2),
+        f(3)
+    )
+}
+
+/// Figure 2: SIMD efficiency breakdown of Aila's kernel per bounce on the
+/// conference room.
+fn fig2() {
+    banner("Figure 2: Aila kernel SIMD efficiency per bounce (conference room)");
+    let wl = capture_workloads(&[SceneKind::Conference], 8);
+    for b in 1..=wl[0].streams.depth() {
+        let stream = wl[0].streams.bounce(b);
+        if stream.scripts.is_empty() {
+            println!("B{b}: (no surviving rays)");
+            continue;
+        }
+        let out = run_method(Method::Aila, &stream.scripts);
+        println!("B{b}: {}", histogram_row(&out.stats.issued));
+    }
+}
+
+/// Figure 8: Mrays/s for bounces 1-4 under different backup-row configs.
+fn fig8() {
+    banner("Figure 8: ray tracing performance (Mrays/s) vs backup ray rows");
+    let gpu = GpuConfig::gtx780();
+    let methods: Vec<(String, Method)> = vec![
+        ("Aila".into(), Method::Aila),
+        (
+            "DRS M=1 (no xbank, 58w)".into(),
+            Method::Drs { backup_rows: 1, swap_buffers: 9, extra_bank: false },
+        ),
+        ("DRS M=1".into(), Method::Drs { backup_rows: 1, swap_buffers: 9, extra_bank: true }),
+        ("DRS M=2".into(), Method::Drs { backup_rows: 2, swap_buffers: 9, extra_bank: true }),
+        ("DRS M=4".into(), Method::Drs { backup_rows: 4, swap_buffers: 9, extra_bank: true }),
+        ("DRS M=8".into(), Method::Drs { backup_rows: 8, swap_buffers: 9, extra_bank: true }),
+        ("DRS ideal".into(), Method::IdealDrs),
+    ];
+    let workloads = capture_workloads(&SceneKind::ALL, 4);
+    for wl in &workloads {
+        println!("\n{}:", wl.kind);
+        print!("{:26}", "");
+        for b in 1..=4 {
+            print!("      B{b}");
+        }
+        println!();
+        for (label, method) in &methods {
+            print!("{label:26}");
+            for b in 1..=wl.streams.depth() {
+                let stream = wl.streams.bounce(b);
+                if stream.scripts.is_empty() {
+                    print!("      --");
+                    continue;
+                }
+                let out = run_method(*method, &stream.scripts);
+                print!("  {:6.1}", out.stats.mrays_per_sec(gpu.clock_mhz, gpu.smx_count));
+            }
+            println!();
+        }
+    }
+}
+
+/// Figure 9: rdctrl warp-issue stall rate vs backup rows.
+fn fig9() {
+    banner("Figure 9: rdctrl warp issue stall rate vs backup ray rows");
+    let workloads = capture_workloads(&[SceneKind::Conference, SceneKind::FairyForest], 4);
+    for wl in &workloads {
+        println!("\n{}:", wl.kind);
+        for m in [1usize, 2, 4, 8] {
+            let method = Method::Drs { backup_rows: m, swap_buffers: 9, extra_bank: true };
+            let (outs, _) = run_all_bounces(method, &wl.streams);
+            let stalls: u64 = outs.iter().map(|o| o.stats.rdctrl_stalls).sum();
+            let issued: u64 = outs.iter().map(|o| o.stats.rdctrl_issued).sum();
+            let rate = stalls as f64 / (stalls + issued).max(1) as f64;
+            println!(
+                "  M={m}: stall rate {:6.2}%  ({} stalls / {} issues)",
+                rate * 100.0,
+                stalls,
+                issued
+            );
+        }
+    }
+}
+
+/// Table 2: Mrays/s vs swap-buffer count, plus average swap latency.
+fn table2() {
+    banner("Table 2: ray tracing performance vs swap buffers (1 backup row)");
+    let gpu = GpuConfig::gtx780();
+    let buffer_counts = [6usize, 9, 12, 18];
+    let workloads = capture_workloads(&SceneKind::ALL, 4);
+    println!("{:16} {:>4} {:>9} {:>9} {:>9} {:>9}", "scene", "", "#6", "#9", "#12", "#18");
+    let mut swap_cycles = vec![(0u64, 0u64); buffer_counts.len()];
+    for wl in &workloads {
+        for b in 1..=wl.streams.depth() {
+            let stream = wl.streams.bounce(b);
+            if stream.scripts.is_empty() {
+                continue;
+            }
+            print!("{:16} B{b:<3}", wl.kind.to_string());
+            for (i, &buffers) in buffer_counts.iter().enumerate() {
+                let method =
+                    Method::Drs { backup_rows: 1, swap_buffers: buffers, extra_bank: false };
+                let out = run_method(method, &stream.scripts);
+                swap_cycles[i].0 += out.stats.swap_cycle_sum;
+                swap_cycles[i].1 += out.stats.swaps_completed;
+                print!(" {:9.2}", out.stats.mrays_per_sec(gpu.clock_mhz, gpu.smx_count));
+            }
+            println!();
+        }
+    }
+    print!("avg swap cycles     ");
+    for (sum, n) in &swap_cycles {
+        print!(" {:9.1}", *sum as f64 / (*n).max(1) as f64);
+    }
+    println!();
+}
+
+/// Figure 10: SIMD efficiency and utilization breakdown for all methods.
+fn fig10() {
+    banner("Figure 10: SIMD efficiency and utilization breakdown");
+    let methods = [Method::Aila, Method::Dmk, Method::Tbc, Method::drs_default()];
+    let workloads = capture_workloads(&SceneKind::ALL, 8);
+    for wl in &workloads {
+        println!("\n{}:", wl.kind);
+        for method in methods {
+            println!("  {}:", method.label());
+            let mut agg_all = ActiveHistogram::default();
+            let mut agg_si = ActiveHistogram::default();
+            for b in 1..=wl.streams.depth() {
+                let stream = wl.streams.bounce(b);
+                if stream.scripts.is_empty() {
+                    continue;
+                }
+                let out = run_method(method, &stream.scripts);
+                agg_all.merge(&out.stats.issued);
+                agg_si.merge(&out.stats.issued_si);
+                if b <= 3 {
+                    let si = if out.stats.issued_si.total > 0 {
+                        format!(
+                            "  SI {:4.1}%",
+                            out.stats.issued_si.total as f64
+                                / (out.stats.issued.total + out.stats.issued_si.total) as f64
+                                * 100.0
+                        )
+                    } else {
+                        String::new()
+                    };
+                    println!("    B{b}: {}{si}", histogram_row(&out.stats.issued));
+                }
+            }
+            let mut combined = agg_all;
+            combined.merge(&agg_si);
+            let si_share = if combined.total > 0 {
+                agg_si.total as f64 / combined.total as f64 * 100.0
+            } else {
+                0.0
+            };
+            println!("    overall: {}  (SI share {:.1}%)", histogram_row(&combined), si_share);
+        }
+    }
+}
+
+/// Figure 11: simulated performance and speedups normalized to Aila.
+fn fig11() {
+    banner("Figure 11: performance (Mrays/s) and speedup vs Aila");
+    let gpu = GpuConfig::gtx780();
+    let methods = [Method::Aila, Method::Dmk, Method::Tbc, Method::drs_default()];
+    let workloads = capture_workloads(&SceneKind::ALL, 8);
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
+    for wl in &workloads {
+        println!("\n{}:", wl.kind);
+        let mut overall = Vec::new();
+        for method in methods.iter() {
+            let (outs, agg) = run_all_bounces(*method, &wl.streams);
+            let mrays = agg.mrays(&gpu);
+            let per_bounce: Vec<String> = outs
+                .iter()
+                .take(3)
+                .map(|o| format!("{:6.1}", o.stats.mrays_per_sec(gpu.clock_mhz, gpu.smx_count)))
+                .collect();
+            println!(
+                "  {:12} B1-B3 [{}]  overall {:7.1} Mrays/s",
+                method.label(),
+                per_bounce.join(" "),
+                mrays
+            );
+            overall.push(mrays);
+        }
+        let aila = overall[0].max(1e-9);
+        print!("  speedup vs Aila:");
+        for (mi, v) in overall.iter().enumerate() {
+            print!("  {} {:.2}x", methods[mi].label(), v / aila);
+            speedups[mi].push(v / aila);
+        }
+        println!();
+    }
+    println!("\naverage speedups over the four scenes:");
+    for (mi, method) in methods.iter().enumerate() {
+        let avg = speedups[mi].iter().sum::<f64>() / speedups[mi].len().max(1) as f64;
+        println!("  {:12} {:.2}x", method.label(), avg);
+    }
+}
+
+/// Section 4.5: hardware overhead accounting.
+fn overhead() {
+    banner("Section 4.5: hardware overhead");
+    let cfg = DrsConfig::paper_default();
+    let o = DrsOverhead::for_config(&cfg);
+    println!("DRS (58 warps, 1 backup row, 6 swap buffers):");
+    println!(
+        "  swap buffers      {:5} B  (paper: {} B)",
+        o.swap_buffer_bits / 8,
+        paper::SWAP_BUFFER_BYTES
+    );
+    println!(
+        "  ray state table   {:5} B  (paper: {} B)",
+        o.ray_state_table_bits / 8,
+        paper::RAY_STATE_TABLE_BYTES
+    );
+    println!("  renaming table    {:5} B", o.renaming_table_bits.div_ceil(8));
+    println!("  control state     {:5} B", o.control_state_bits.div_ceil(8));
+    println!(
+        "  total             {:5} B  (paper: ~{} B)",
+        o.total_bytes(),
+        paper::TOTAL_PER_SMX_BYTES
+    );
+    println!(
+        "  fraction of 256 KB register file: {:.2}%  (paper: {:.2}%)",
+        o.fraction_of_register_file(paper::REGFILE_BYTES) * 100.0,
+        paper::REGFILE_FRACTION * 100.0
+    );
+    println!(
+        "  synthesized area: {} mm²/core × {} SMX / {} mm² die = {:.2}% (paper: {:.2}%)",
+        paper::AREA_PER_CORE_MM2,
+        paper::SMX_COUNT,
+        paper::GPU_DIE_MM2,
+        paper::AREA_PER_CORE_MM2 * paper::SMX_COUNT as f64 / paper::GPU_DIE_MM2 * 100.0,
+        paper::GPU_AREA_FRACTION * 100.0
+    );
+    println!("\nbaseline storage for comparison:");
+    println!(
+        "  DMK spawn memory (54 warps): {:.2} KB",
+        dmk_spawn_memory_bytes(54, 32) as f64 / 1024.0
+    );
+    println!(
+        "  TBC warp buffer (10 blocks): {:.2} KB + per-lane-addressable register file",
+        tbc_warp_buffer_bytes(10, 32, 64) as f64 / 1024.0
+    );
+}
+
+/// Ablations of the design choices DESIGN.md calls out: Aila's software
+/// optimizations (speculative traversal / terminated-ray replacement) and
+/// the BVH build quality feeding every experiment.
+fn ablation() {
+    use drs_bvh::{BuildMethod, BuildParams, Bvh};
+    use drs_kernels::{WhileWhileConfig, WhileWhileKernel};
+    use drs_sim::{NullSpecial, Simulation};
+    use drs_trace::BounceStreams;
+
+    banner("Ablations");
+    let gpu = GpuConfig::gtx780();
+    let wl = capture_workloads(&[SceneKind::Conference], 2);
+    let scripts = &wl[0].streams.bounce(2).scripts;
+
+    println!("Aila software-optimization ablation (conference, bounce 2):");
+    for (label, spec, replace) in [
+        ("while-while (plain)        ", false, false),
+        ("+ terminated-ray replace   ", false, true),
+        ("+ speculative traversal    ", true, false),
+        ("+ both (paper baseline)    ", true, true),
+    ] {
+        let k = WhileWhileKernel::new(WhileWhileConfig {
+            speculative_traversal: spec,
+            replace_terminated: replace,
+        });
+        let out = Simulation::new(
+            GpuConfig { max_warps: 48, ..gpu.clone() },
+            k.program(),
+            Box::new(k.clone()),
+            Box::new(NullSpecial),
+            scripts,
+        )
+        .run();
+        assert!(out.completed);
+        println!(
+            "  {label} eff {:5.1}%  {:7.1} Mrays/s",
+            out.stats.issued.simd_efficiency() * 100.0,
+            out.stats.mrays_per_sec(gpu.clock_mhz, gpu.smx_count)
+        );
+    }
+
+    println!("\nAcceleration-structure ablation (conference, functional traversal):");
+    {
+        use drs_bvh::{KdBuildParams, KdTree};
+        let tris = (SceneKind::Conference.paper_triangle_count() as f64
+            * drs_bench::tris_scale()) as usize;
+        let scene = SceneKind::Conference.build_with_tris(tris.max(2_000));
+        let bvh = Bvh::build(scene.mesh(), &BuildParams::default());
+        let kd = KdTree::build(scene.mesh(), &KdBuildParams::default());
+        let mut bvh_nodes = 0usize;
+        let mut kd_nodes = 0usize;
+        let mut rays = 0usize;
+        for i in 0..64 {
+            for j in 0..48 {
+                let ray = scene
+                    .camera()
+                    .primary_ray((i as f32 + 0.5) / 64.0, (j as f32 + 0.5) / 48.0);
+                let mut events = 0usize;
+                let _ = bvh.intersect_instrumented(scene.mesh(), &ray, &mut |_| events += 1);
+                bvh_nodes += events;
+                let (_, v) = kd.intersect_counted(scene.mesh(), &ray);
+                kd_nodes += v;
+                rays += 1;
+            }
+        }
+        println!("  BVH (binned SAH)   nodes/ray {:5.1}", bvh_nodes as f64 / rays as f64);
+        println!(
+            "  kd-tree (median)   nodes/ray {:5.1}  (space partitioning, duplicated prims)",
+            kd_nodes as f64 / rays as f64
+        );
+    }
+
+    println!("\nBVH build-quality ablation (conference, primary rays):");
+    let tris = (SceneKind::Conference.paper_triangle_count() as f64
+        * drs_bench::tris_scale()) as usize;
+    let scene = SceneKind::Conference.build_with_tris(tris.max(2_000));
+    for (label, method) in [
+        ("binned SAH (16 bins)", BuildMethod::BinnedSah { bins: 16 }),
+        ("median split        ", BuildMethod::Median),
+    ] {
+        let bvh = Bvh::build(scene.mesh(), &BuildParams { method, max_leaf_size: 4 });
+        let streams = BounceStreams::capture_with_bvh(
+            &scene,
+            &bvh,
+            drs_bench::rays_per_bounce(),
+            1,
+            7,
+        );
+        let stats = streams.bounce(1).stats();
+        let out = run_method(Method::Aila, &streams.bounce(1).scripts);
+        println!(
+            "  {label}  nodes/ray {:5.1}  prims/ray {:4.1}  Aila {:7.1} Mrays/s",
+            stats.avg_inner(),
+            stats.total_prim_tests as f64 / stats.rays.max(1) as f64,
+            out.stats.mrays_per_sec(gpu.clock_mhz, gpu.smx_count)
+        );
+    }
+}
+
+/// Dynamic-energy comparison (the paper's §4.4 register-file argument):
+/// ray shuffling adds RF traffic, but the drop in redundant issues makes
+/// DRS a net win. Also reports the swap share of RF accesses against the
+/// paper's measured 7.36 % (primary) / 18.79 % (secondary).
+fn energy() {
+    use drs_sim::EnergyModel;
+
+    banner("Energy: per-ray dynamic energy and RF traffic");
+    let model = EnergyModel::default();
+    let wl = capture_workloads(&[SceneKind::Conference], 2);
+    for b in 1..=2 {
+        let stream = wl[0].streams.bounce(b);
+        if stream.scripts.is_empty() {
+            continue;
+        }
+        println!("\nconference bounce {b} ({} rays):", stream.scripts.len());
+        for method in [Method::Aila, Method::Dmk, Method::Tbc, Method::drs_default()] {
+            let out = run_method(method, &stream.scripts);
+            let e = model.estimate(&out.stats);
+            let swap_share = out.stats.swap_regfile_fraction() * 100.0;
+            println!(
+                "  {:12} {:8.1} nJ/ray   RF accesses {:>10}   swap share {:4.1}%",
+                method.label(),
+                e.nj_per_ray(out.stats.rays_completed),
+                out.stats.regfile_reads + out.stats.regfile_writes + out.stats.swap_accesses,
+                swap_share
+            );
+        }
+    }
+    println!("\n(paper: swap traffic is 7.36% of RF accesses for primary rays,");
+    println!(" 18.79% for secondary — and total RF accesses still fall vs. Aila)");
+}

@@ -1,0 +1,403 @@
+//! A kd-tree accelerator — the paper's other canonical acceleration
+//! structure ("tree data structures are widely used, such as a kd-tree or
+//! Bounding Volume Hierarchies").
+//!
+//! Space-partitioning semantics differ from the BVH's object partitioning:
+//! triangles straddling a split plane are referenced from *both* children,
+//! and traversal walks the ray's parametric interval front to back, which
+//! lets it terminate as soon as a hit inside the current cell is found.
+//! The functional interface mirrors [`crate::Bvh`] so the two structures
+//! can be compared on identical ray sets.
+
+use crate::traverse::Hit;
+use drs_geom::Mesh;
+use drs_math::{Aabb, Axis, Ray, RAY_EPSILON};
+
+/// Simulated device base address of kd-tree nodes (distinct from the BVH's
+/// so cache studies can tell the structures apart).
+pub const KD_NODE_BASE_ADDR: u64 = 0x2000_0000;
+/// Bytes per kd-node record (8-byte packed node, padded to 16).
+pub const KD_NODE_SIZE_BYTES: u64 = 16;
+
+/// One kd-tree node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KdNode {
+    /// Interior node: splits space at `split` along `axis`; the left
+    /// (below-plane) child is the next node in depth-first order, the right
+    /// child sits at `right_child`.
+    Inner {
+        /// Split axis.
+        axis: Axis,
+        /// Split plane coordinate.
+        split: f32,
+        /// Index of the above-plane child.
+        right_child: u32,
+    },
+    /// Leaf node referencing `count` primitive slots starting at `first`.
+    Leaf {
+        /// Offset into the primitive-index array.
+        first: u32,
+        /// Number of primitives.
+        count: u32,
+    },
+}
+
+/// Construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KdBuildParams {
+    /// Stop splitting below this primitive count.
+    pub max_leaf_size: usize,
+    /// Hard depth limit (0 = use the `8 + 1.3·log2(n)` heuristic).
+    pub max_depth: usize,
+}
+
+impl Default for KdBuildParams {
+    fn default() -> Self {
+        KdBuildParams { max_leaf_size: 8, max_depth: 0 }
+    }
+}
+
+/// A kd-tree over a mesh.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    nodes: Vec<KdNode>,
+    prim_indices: Vec<u32>,
+    bounds: Aabb,
+}
+
+impl KdTree {
+    /// Build a kd-tree by median splitting along the longest axis, with
+    /// straddling triangles duplicated into both children.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh is empty.
+    pub fn build(mesh: &Mesh, params: &KdBuildParams) -> KdTree {
+        assert!(!mesh.is_empty(), "cannot build a kd-tree over an empty mesh");
+        let bounds = mesh.bounds();
+        let max_depth = if params.max_depth > 0 {
+            params.max_depth
+        } else {
+            (8.0 + 1.3 * (mesh.len() as f32).log2()).round() as usize
+        };
+        let prims: Vec<u32> = (0..mesh.len() as u32).collect();
+        let mut tree = KdTree { nodes: Vec::new(), prim_indices: Vec::new(), bounds };
+        tree.build_node(mesh, prims, bounds, max_depth, params.max_leaf_size);
+        tree
+    }
+
+    fn build_node(
+        &mut self,
+        mesh: &Mesh,
+        prims: Vec<u32>,
+        bounds: Aabb,
+        depth: usize,
+        max_leaf: usize,
+    ) -> usize {
+        let my_index = self.nodes.len();
+        if prims.len() <= max_leaf || depth == 0 {
+            let first = self.prim_indices.len() as u32;
+            let count = prims.len() as u32;
+            self.prim_indices.extend(prims);
+            self.nodes.push(KdNode::Leaf { first, count });
+            return my_index;
+        }
+        let axis = bounds.longest_axis();
+        let split = bounds.centroid().axis(axis);
+        let (mut left, mut right) = (Vec::new(), Vec::new());
+        for &p in &prims {
+            let bb = mesh.triangles()[p as usize].bounds();
+            if bb.min.axis(axis) <= split {
+                left.push(p);
+            }
+            if bb.max.axis(axis) >= split {
+                right.push(p);
+            }
+        }
+        // Degenerate split (everything straddles): make a leaf.
+        if left.len() == prims.len() && right.len() == prims.len() {
+            let first = self.prim_indices.len() as u32;
+            let count = prims.len() as u32;
+            self.prim_indices.extend(prims);
+            self.nodes.push(KdNode::Leaf { first, count });
+            return my_index;
+        }
+        self.nodes.push(KdNode::Inner { axis, split, right_child: 0 });
+        let mut lb = bounds;
+        lb.max[axis.index()] = split;
+        let mut rb = bounds;
+        rb.min[axis.index()] = split;
+        self.build_node(mesh, left, lb, depth - 1, max_leaf);
+        let right_index = self.build_node(mesh, right, rb, depth - 1, max_leaf);
+        if let KdNode::Inner { right_child, .. } = &mut self.nodes[my_index] {
+            *right_child = right_index as u32;
+        }
+        my_index
+    }
+
+    /// The node array (root at index 0).
+    pub fn nodes(&self) -> &[KdNode] {
+        &self.nodes
+    }
+
+    /// World bounds of the tree.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Device address of node `index`.
+    pub fn node_addr(&self, index: usize) -> u64 {
+        KD_NODE_BASE_ADDR + index as u64 * KD_NODE_SIZE_BYTES
+    }
+
+    /// Closest-hit traversal with early termination inside cells; also
+    /// reports the number of nodes visited (inner + leaf) so the tree can
+    /// be compared against the BVH on identical rays.
+    pub fn intersect_counted(&self, mesh: &Mesh, ray: &Ray) -> (Option<Hit>, usize) {
+        let Some(t_enter) = self.bounds.intersect(ray, RAY_EPSILON, f32::INFINITY) else {
+            return (None, 0);
+        };
+        // Conservative exit: reuse the slab test's interval end by clipping
+        // against a huge t and walking the stack with per-node intervals.
+        let mut t_max_world = f32::INFINITY;
+        let mut best: Option<Hit> = None;
+        let mut visited = 0usize;
+        // Stack of (node, t_min, t_max).
+        let mut stack: Vec<(u32, f32, f32)> = Vec::with_capacity(64);
+        stack.push((0, t_enter, f32::INFINITY));
+        while let Some((idx, t0, mut t1)) = stack.pop() {
+            t1 = t1.min(t_max_world);
+            if t0 > t1 {
+                continue;
+            }
+            let mut node = idx;
+            loop {
+                visited += 1;
+                match self.nodes[node as usize] {
+                    KdNode::Leaf { first, count } => {
+                        for k in 0..count {
+                            let p = self.prim_indices[(first + k) as usize];
+                            if let Some(h) =
+                                mesh.triangles()[p as usize].intersect(ray, RAY_EPSILON, t_max_world)
+                            {
+                                t_max_world = h.t;
+                                best = Some(Hit { t: h.t, tri_index: p, uv: (h.u, h.v) });
+                            }
+                        }
+                        // Front-to-back: a hit within this cell terminates.
+                        if let Some(h) = &best {
+                            if h.t <= t1 + 1e-4 {
+                                return (best, visited);
+                            }
+                        }
+                        break;
+                    }
+                    KdNode::Inner { axis, split, right_child } => {
+                        let o = ray.origin.axis(axis);
+                        let inv_d = ray.inv_direction.axis(axis);
+                        let below_first = o < split || (o == split && inv_d <= 0.0);
+                        let (near, far) = if below_first {
+                            (node + 1, right_child)
+                        } else {
+                            (right_child, node + 1)
+                        };
+                        let t_plane = (split - o) * inv_d;
+                        // Standard three-way case split: a non-positive or
+                        // non-finite crossing means the ray points away
+                        // from (or parallel to) the plane — near child
+                        // only; a crossing beyond the interval also stays
+                        // near; a crossing before the interval means the
+                        // interval lies entirely on the far side; otherwise
+                        // both children, near first.
+                        if !t_plane.is_finite() || t_plane <= 0.0 || t_plane >= t1 {
+                            node = near;
+                        } else if t_plane < t0 {
+                            node = far;
+                        } else {
+                            stack.push((far, t_plane, t1));
+                            node = near;
+                            t1 = t_plane;
+                        }
+                    }
+                }
+            }
+        }
+        (best, visited)
+    }
+
+    /// Closest-hit traversal.
+    pub fn intersect(&self, mesh: &Mesh, ray: &Ray) -> Option<Hit> {
+        self.intersect_counted(mesh, ray).0
+    }
+
+    /// Structural validation: every triangle reachable, leaf ranges in
+    /// bounds, inner children in range.
+    pub fn validate(&self, mesh: &Mesh) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("empty kd-tree".into());
+        }
+        let mut covered = vec![false; mesh.len()];
+        let mut stack = vec![0u32];
+        let mut seen = vec![false; self.nodes.len()];
+        while let Some(idx) = stack.pop() {
+            let i = idx as usize;
+            if i >= self.nodes.len() {
+                return Err(format!("node {i} out of range"));
+            }
+            if seen[i] {
+                return Err(format!("node {i} reachable twice"));
+            }
+            seen[i] = true;
+            match self.nodes[i] {
+                KdNode::Leaf { first, count } => {
+                    let (first, count) = (first as usize, count as usize);
+                    if first + count > self.prim_indices.len() {
+                        return Err(format!("leaf {i} range out of bounds"));
+                    }
+                    for &p in &self.prim_indices[first..first + count] {
+                        if p as usize >= mesh.len() {
+                            return Err(format!("prim index {p} out of range"));
+                        }
+                        covered[p as usize] = true;
+                    }
+                }
+                KdNode::Inner { right_child, .. } => {
+                    stack.push(idx + 1);
+                    stack.push(right_child);
+                }
+            }
+        }
+        if let Some(missing) = covered.iter().position(|&c| !c) {
+            return Err(format!("triangle {missing} unreachable"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bvh;
+    use drs_geom::MeshBuilder;
+    use drs_math::{Vec3, XorShift64};
+
+    fn soup(n: usize, seed: u64) -> Mesh {
+        let mut rng = XorShift64::new(seed);
+        let mut b = MeshBuilder::new();
+        b.scatter(Vec3::splat(-6.0), Vec3::splat(6.0), n, 0.6, &mut rng);
+        b.build()
+    }
+
+    fn random_rays(count: usize, seed: u64) -> Vec<Ray> {
+        let mut rng = XorShift64::new(seed);
+        (0..count)
+            .map(|_| {
+                let o = Vec3::new(
+                    (rng.next_f32() - 0.5) * 20.0,
+                    (rng.next_f32() - 0.5) * 20.0,
+                    (rng.next_f32() - 0.5) * 20.0,
+                );
+                let mut d = Vec3::new(
+                    rng.next_f32() - 0.5,
+                    rng.next_f32() - 0.5,
+                    rng.next_f32() - 0.5,
+                );
+                if d.length_squared() < 1e-6 {
+                    d = Vec3::new(1.0, 0.0, 0.0);
+                }
+                Ray::new(o, d.normalized())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn builds_and_validates() {
+        let mesh = soup(400, 3);
+        let kd = KdTree::build(&mesh, &KdBuildParams::default());
+        kd.validate(&mesh).unwrap();
+        assert!(kd.nodes().len() > 1);
+    }
+
+    #[test]
+    fn traversal_matches_brute_force() {
+        let mesh = soup(300, 11);
+        let kd = KdTree::build(&mesh, &KdBuildParams::default());
+        for ray in random_rays(600, 5) {
+            let fast = kd.intersect(&mesh, &ray);
+            let slow = Bvh::intersect_brute_force(&mesh, &ray);
+            match (fast, slow) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert!((a.t - b.t).abs() < 1e-2, "t mismatch {} vs {}", a.t, b.t)
+                }
+                (a, b) => panic!("disagreement: kd {a:?} vs brute {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn traversal_matches_bvh() {
+        let mesh = soup(350, 17);
+        let kd = KdTree::build(&mesh, &KdBuildParams::default());
+        let bvh = Bvh::build(&mesh, &crate::BuildParams::default());
+        for ray in random_rays(400, 23) {
+            let a = kd.intersect(&mesh, &ray);
+            let b = bvh.intersect(&mesh, &ray);
+            assert_eq!(a.is_some(), b.is_some());
+            if let (Some(x), Some(y)) = (a, b) {
+                assert!((x.t - y.t).abs() < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn early_termination_limits_node_visits() {
+        // A ray that hits geometry immediately should visit far fewer nodes
+        // than one that misses everything and walks the whole corridor.
+        let mesh = soup(500, 31);
+        let kd = KdTree::build(&mesh, &KdBuildParams::default());
+        let mut hit_visits = Vec::new();
+        let mut miss_visits = Vec::new();
+        for ray in random_rays(800, 41) {
+            let (hit, v) = kd.intersect_counted(&mesh, &ray);
+            if hit.is_some() {
+                hit_visits.push(v);
+            } else {
+                miss_visits.push(v);
+            }
+        }
+        assert!(!hit_visits.is_empty() && !miss_visits.is_empty());
+        let avg = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len() as f64;
+        // Hits terminate early on average (not a strict theorem per ray,
+        // but a strong aggregate property of front-to-back traversal).
+        assert!(
+            avg(&hit_visits) < avg(&miss_visits) * 3.0,
+            "hit {} vs miss {}",
+            avg(&hit_visits),
+            avg(&miss_visits)
+        );
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let mesh = soup(300, 7);
+        let kd = KdTree::build(&mesh, &KdBuildParams { max_leaf_size: 4, max_depth: 3 });
+        kd.validate(&mesh).unwrap();
+        // Depth 3 => at most 2^4 - 1 nodes.
+        assert!(kd.nodes().len() <= 15, "{} nodes", kd.nodes().len());
+    }
+
+    #[test]
+    fn addresses_are_distinct_from_bvh() {
+        let mesh = soup(50, 9);
+        let kd = KdTree::build(&mesh, &KdBuildParams::default());
+        assert_eq!(kd.node_addr(0), KD_NODE_BASE_ADDR);
+        assert!(kd.node_addr(0) != crate::NODE_BASE_ADDR);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_mesh_panics() {
+        KdTree::build(&Mesh::new(), &KdBuildParams::default());
+    }
+}

@@ -1,0 +1,326 @@
+//! Acceleration structures: BVH construction and traversal, plus a
+//! kd-tree comparator.
+//!
+//! The BVH is the acceleration structure both ray-tracing kernels in the
+//! paper traverse (the paper names kd-trees as the other standard choice —
+//! [`KdTree`] provides one for comparison). This crate provides:
+//!
+//! - a **binned-SAH builder** (the production algorithm) and a **median-split
+//!   builder** (a simpler baseline, useful for ablations),
+//! - a **flattened node layout** in which every node owns a simulated device
+//!   address — the cycle-level simulator's L1-texture-cache model consumes
+//!   exactly these addresses, matching the paper's "BVH … accessed through
+//!   the L1 texture cache",
+//! - **functional traversal** (closest hit / any hit) and an **instrumented
+//!   traversal** that records the per-ray event stream (inner-node steps and
+//!   leaf steps) from which [`drs-trace`](../drs_trace/index.html) builds the
+//!   ray scripts that drive the simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use drs_bvh::{BuildParams, Bvh};
+//! use drs_scene::SceneKind;
+//! use drs_math::{Ray, Vec3};
+//!
+//! let scene = SceneKind::Conference.build_with_tris(500);
+//! let bvh = Bvh::build(scene.mesh(), &BuildParams::default());
+//! let ray = scene.camera().primary_ray(0.5, 0.5);
+//! let hit = bvh.intersect(scene.mesh(), &ray);
+//! assert!(hit.is_some(), "camera looks into the room");
+//! ```
+
+#![warn(missing_docs)]
+
+mod build;
+mod kdtree;
+mod metrics;
+mod traverse;
+
+pub use build::{BuildMethod, BuildParams};
+pub use kdtree::{KdBuildParams, KdNode, KdTree, KD_NODE_BASE_ADDR, KD_NODE_SIZE_BYTES};
+pub use metrics::{sah_cost, SahCost, SahParams};
+pub use traverse::{Hit, TraversalEvent, TraversalStats};
+
+use drs_geom::Mesh;
+use drs_math::Aabb;
+
+/// Simulated base address of the flattened node array in device memory.
+pub const NODE_BASE_ADDR: u64 = 0x1000_0000;
+/// Size in bytes of one flattened node as laid out on the device (two AABBs
+/// + child/leaf metadata, matching Aila-style 64-byte nodes).
+pub const NODE_SIZE_BYTES: u64 = 64;
+/// Simulated base address of the triangle (Woop-transformed) data array.
+pub const TRI_BASE_ADDR: u64 = 0x4000_0000;
+/// Size in bytes of one triangle record on the device.
+pub const TRI_SIZE_BYTES: u64 = 48;
+
+/// A node of the flattened BVH.
+///
+/// Internal nodes store the index of their right child (the left child is
+/// always the next node in depth-first order). Leaves store a range into the
+/// permuted primitive-index array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlatNode {
+    /// World bounds of everything below this node.
+    pub bounds: Aabb,
+    /// For internal nodes, the index of the right child; for leaves, the
+    /// offset of the first primitive in [`Bvh::prim_indices`].
+    pub right_or_first: u32,
+    /// Number of primitives (0 for internal nodes).
+    pub prim_count: u16,
+    /// Split axis (internal nodes; 0 for leaves). Drives near-child-first
+    /// traversal ordering.
+    pub axis: u8,
+}
+
+impl FlatNode {
+    /// True if this node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.prim_count > 0
+    }
+}
+
+/// A flattened bounding volume hierarchy over a [`Mesh`].
+#[derive(Debug, Clone)]
+pub struct Bvh {
+    nodes: Vec<FlatNode>,
+    prim_indices: Vec<u32>,
+}
+
+impl Bvh {
+    /// Build a BVH over `mesh` with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh is empty.
+    pub fn build(mesh: &Mesh, params: &BuildParams) -> Bvh {
+        build::build(mesh, params)
+    }
+
+    /// The flattened nodes; index 0 is the root.
+    pub fn nodes(&self) -> &[FlatNode] {
+        &self.nodes
+    }
+
+    /// The permuted primitive indices leaves point into.
+    pub fn prim_indices(&self) -> &[u32] {
+        &self.prim_indices
+    }
+
+    /// Primitive indices referenced by a leaf node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a leaf.
+    pub fn leaf_prims(&self, node: &FlatNode) -> &[u32] {
+        assert!(node.is_leaf(), "leaf_prims called on internal node");
+        let first = node.right_or_first as usize;
+        &self.prim_indices[first..first + node.prim_count as usize]
+    }
+
+    /// Simulated device address of node `index`.
+    ///
+    /// Consecutive nodes occupy consecutive 64-byte slots, so siblings that
+    /// are close in depth-first order share 128-byte cache lines — the
+    /// locality the L1 texture cache exploits.
+    #[inline]
+    pub fn node_addr(&self, index: usize) -> u64 {
+        NODE_BASE_ADDR + index as u64 * NODE_SIZE_BYTES
+    }
+
+    /// Simulated device address of the `pos`-th slot of the permuted
+    /// primitive array.
+    #[inline]
+    pub fn prim_addr(&self, pos: usize) -> u64 {
+        TRI_BASE_ADDR + pos as u64 * TRI_SIZE_BYTES
+    }
+
+    /// Closest-hit traversal. See [`traverse`].
+    pub fn intersect(&self, mesh: &Mesh, ray: &drs_math::Ray) -> Option<Hit> {
+        traverse::intersect(self, mesh, ray, &mut |_| {})
+    }
+
+    /// Closest-hit traversal that also streams [`TraversalEvent`]s to `sink`.
+    pub fn intersect_instrumented(
+        &self,
+        mesh: &Mesh,
+        ray: &drs_math::Ray,
+        sink: &mut dyn FnMut(TraversalEvent),
+    ) -> Option<Hit> {
+        traverse::intersect(self, mesh, ray, sink)
+    }
+
+    /// Any-hit occlusion query: is anything within `(epsilon, t_max)` along
+    /// the ray? Cheaper than closest-hit because traversal stops at the
+    /// first intersection (the shadow-ray primitive).
+    pub fn intersect_any(&self, mesh: &Mesh, ray: &drs_math::Ray, t_max: f32) -> bool {
+        traverse::intersect_any(self, mesh, ray, t_max)
+    }
+
+    /// Brute-force closest hit over all triangles; ground truth for tests.
+    pub fn intersect_brute_force(mesh: &Mesh, ray: &drs_math::Ray) -> Option<Hit> {
+        traverse::brute_force(mesh, ray)
+    }
+
+    /// Aggregate structural statistics (used in EXPERIMENTS.md context rows).
+    pub fn stats(&self) -> BvhStats {
+        let mut s = BvhStats::default();
+        s.node_count = self.nodes.len();
+        let mut stack = vec![(0usize, 0usize)];
+        while let Some((idx, depth)) = stack.pop() {
+            let n = &self.nodes[idx];
+            s.max_depth = s.max_depth.max(depth);
+            if n.is_leaf() {
+                s.leaf_count += 1;
+                s.total_leaf_prims += n.prim_count as usize;
+                s.max_leaf_prims = s.max_leaf_prims.max(n.prim_count as usize);
+            } else {
+                stack.push((idx + 1, depth + 1));
+                stack.push((n.right_or_first as usize, depth + 1));
+            }
+        }
+        s
+    }
+
+    /// Verify structural invariants; returns a description of the first
+    /// violation, if any. Exercised heavily by property tests.
+    pub fn validate(&self, mesh: &Mesh) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("empty node array".into());
+        }
+        // Every primitive appears exactly once in the permutation.
+        if self.prim_indices.len() != mesh.len() {
+            return Err(format!(
+                "prim index count {} != mesh triangles {}",
+                self.prim_indices.len(),
+                mesh.len()
+            ));
+        }
+        let mut seen = vec![false; mesh.len()];
+        for &p in &self.prim_indices {
+            let p = p as usize;
+            if p >= mesh.len() {
+                return Err(format!("prim index {p} out of range"));
+            }
+            if seen[p] {
+                return Err(format!("prim index {p} duplicated"));
+            }
+            seen[p] = true;
+        }
+        // Tree structure: each node visited exactly once; leaf ranges tile
+        // the permutation; child bounds nest inside parents.
+        let mut visited = vec![false; self.nodes.len()];
+        let mut leaf_cover = vec![false; self.prim_indices.len()];
+        let mut stack = vec![0usize];
+        while let Some(idx) = stack.pop() {
+            if idx >= self.nodes.len() {
+                return Err(format!("node index {idx} out of range"));
+            }
+            if visited[idx] {
+                return Err(format!("node {idx} reachable twice"));
+            }
+            visited[idx] = true;
+            let n = &self.nodes[idx];
+            if n.is_leaf() {
+                let first = n.right_or_first as usize;
+                let count = n.prim_count as usize;
+                if first + count > self.prim_indices.len() {
+                    return Err(format!("leaf {idx} range out of bounds"));
+                }
+                for slot in leaf_cover.iter_mut().skip(first).take(count) {
+                    if *slot {
+                        return Err(format!("leaf {idx} overlaps another leaf"));
+                    }
+                    *slot = true;
+                }
+                for &p in self.leaf_prims(n) {
+                    let tri_bb = mesh.triangles()[p as usize].bounds();
+                    if !n.bounds.expanded(1e-4).contains_box(&tri_bb) {
+                        return Err(format!("leaf {idx} bounds do not contain prim {p}"));
+                    }
+                }
+            } else {
+                let (l, r) = (idx + 1, n.right_or_first as usize);
+                if r >= self.nodes.len() {
+                    return Err(format!("internal {idx} right child {r} out of range"));
+                }
+                for c in [l, r] {
+                    if !n.bounds.expanded(1e-4).contains_box(&self.nodes[c].bounds) {
+                        return Err(format!("node {idx} does not contain child {c}"));
+                    }
+                }
+                stack.push(l);
+                stack.push(r);
+            }
+        }
+        if let Some(missing) = leaf_cover.iter().position(|&v| !v) {
+            return Err(format!("prim slot {missing} not covered by any leaf"));
+        }
+        if let Some(unreachable) = visited.iter().position(|&v| !v) {
+            return Err(format!("node {unreachable} unreachable from root"));
+        }
+        Ok(())
+    }
+}
+
+/// Structural statistics of a built BVH.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BvhStats {
+    /// Total nodes (internal + leaf).
+    pub node_count: usize,
+    /// Number of leaves.
+    pub leaf_count: usize,
+    /// Sum of primitives over all leaves.
+    pub total_leaf_prims: usize,
+    /// Largest leaf.
+    pub max_leaf_prims: usize,
+    /// Deepest leaf depth (root = 0).
+    pub max_depth: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drs_scene::SceneKind;
+
+    #[test]
+    fn build_and_validate_all_scenes() {
+        for kind in SceneKind::ALL {
+            let scene = kind.build_with_tris(1_500);
+            let bvh = Bvh::build(scene.mesh(), &BuildParams::default());
+            bvh.validate(scene.mesh()).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let scene = SceneKind::Conference.build_with_tris(1_000);
+        let bvh = Bvh::build(scene.mesh(), &BuildParams::default());
+        let s = bvh.stats();
+        assert_eq!(s.total_leaf_prims, scene.mesh().len());
+        assert_eq!(s.node_count, bvh.nodes().len());
+        assert!(s.max_leaf_prims <= BuildParams::default().max_leaf_size);
+        assert!(s.max_depth > 3);
+    }
+
+    #[test]
+    fn node_addresses_are_64_byte_slots() {
+        let scene = SceneKind::Plants.build_with_tris(800);
+        let bvh = Bvh::build(scene.mesh(), &BuildParams::default());
+        assert_eq!(bvh.node_addr(0), NODE_BASE_ADDR);
+        assert_eq!(bvh.node_addr(3) - bvh.node_addr(2), NODE_SIZE_BYTES);
+        assert_eq!(bvh.prim_addr(1) - bvh.prim_addr(0), TRI_SIZE_BYTES);
+    }
+
+    #[test]
+    #[should_panic]
+    fn leaf_prims_on_internal_node_panics() {
+        let scene = SceneKind::Conference.build_with_tris(1_000);
+        let bvh = Bvh::build(scene.mesh(), &BuildParams::default());
+        let root = bvh.nodes()[0];
+        assert!(!root.is_leaf());
+        let _ = bvh.leaf_prims(&root);
+    }
+}

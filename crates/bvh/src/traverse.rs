@@ -1,0 +1,374 @@
+//! Functional and instrumented BVH traversal.
+
+use crate::Bvh;
+use drs_geom::Mesh;
+use drs_math::{Ray, RAY_EPSILON};
+
+/// A closest-hit result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Ray parameter at the intersection.
+    pub t: f32,
+    /// Index of the intersected triangle in the mesh.
+    pub tri_index: u32,
+    /// Barycentric coordinates of the hit.
+    pub uv: (f32, f32),
+}
+
+/// One step of a ray's walk through the BVH, as observed by the
+/// instrumented traversal. The trace crate converts streams of these into
+/// the per-thread scripts the cycle-level simulator replays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraversalEvent {
+    /// The ray tested an internal node's two children.
+    Inner {
+        /// Index of the visited internal node.
+        node_index: u32,
+        /// Whether both children were hit (the farther one is pushed to the
+        /// traversal stack — slightly more work in the kernel's inner body).
+        both_children_hit: bool,
+    },
+    /// The ray entered a leaf and intersected its primitives.
+    Leaf {
+        /// Index of the leaf node.
+        node_index: u32,
+        /// Number of primitives tested.
+        prim_count: u16,
+        /// Offset of the leaf's first primitive slot (device address base).
+        first_prim: u32,
+    },
+}
+
+/// Aggregate per-ray traversal counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Internal nodes visited.
+    pub inner_visits: usize,
+    /// Leaves visited.
+    pub leaf_visits: usize,
+    /// Primitives intersected.
+    pub prim_tests: usize,
+}
+
+/// Closest-hit traversal with near-child-first ordering, streaming an event
+/// per visited node into `sink`.
+pub(crate) fn intersect(
+    bvh: &Bvh,
+    mesh: &Mesh,
+    ray: &Ray,
+    sink: &mut dyn FnMut(TraversalEvent),
+) -> Option<Hit> {
+    let nodes = bvh.nodes();
+    let mut t_max = f32::INFINITY;
+    let mut best: Option<Hit> = None;
+    // Manual stack of node indices still to visit.
+    let mut stack: Vec<u32> = Vec::with_capacity(64);
+    let mut current = 0u32;
+    // Check the root bounds once; an early miss produces zero events, which
+    // the trace layer records as an immediately-terminated ray.
+    if nodes[0].bounds.intersect(ray, RAY_EPSILON, t_max).is_none() {
+        return None;
+    }
+    loop {
+        let node = &nodes[current as usize];
+        if node.is_leaf() {
+            sink(TraversalEvent::Leaf {
+                node_index: current,
+                prim_count: node.prim_count,
+                first_prim: node.right_or_first,
+            });
+            for (slot, &p) in bvh.leaf_prims(node).iter().enumerate() {
+                let _ = slot;
+                let tri = &mesh.triangles()[p as usize];
+                if let Some(h) = tri.intersect(ray, RAY_EPSILON, t_max) {
+                    t_max = h.t;
+                    best = Some(Hit { t: h.t, tri_index: p, uv: (h.u, h.v) });
+                }
+            }
+        } else {
+            let left = current + 1;
+            let right = node.right_or_first;
+            let t_left = nodes[left as usize].bounds.intersect(ray, RAY_EPSILON, t_max);
+            let t_right = nodes[right as usize].bounds.intersect(ray, RAY_EPSILON, t_max);
+            sink(TraversalEvent::Inner {
+                node_index: current,
+                both_children_hit: t_left.is_some() && t_right.is_some(),
+            });
+            match (t_left, t_right) {
+                (Some(tl), Some(tr)) => {
+                    // Visit the nearer child first; push the farther one.
+                    let (near, far) = if tl <= tr { (left, right) } else { (right, left) };
+                    stack.push(far);
+                    current = near;
+                    continue;
+                }
+                (Some(_), None) => {
+                    current = left;
+                    continue;
+                }
+                (None, Some(_)) => {
+                    current = right;
+                    continue;
+                }
+                (None, None) => {}
+            }
+        }
+        // Pop, re-testing against the shrunken interval.
+        loop {
+            match stack.pop() {
+                Some(idx) => {
+                    if nodes[idx as usize]
+                        .bounds
+                        .intersect(ray, RAY_EPSILON, t_max)
+                        .is_some()
+                    {
+                        current = idx;
+                        break;
+                    }
+                    // Culled by a closer hit found since the push: the GPU
+                    // kernel performs this same re-test when popping, so the
+                    // culled node costs no Inner event.
+                }
+                None => return best,
+            }
+        }
+    }
+}
+
+/// Any-hit (occlusion) traversal: returns true as soon as any triangle
+/// intersects the ray within `(t_min, t_max)`. Unlike closest-hit, children
+/// are visited in arbitrary order and traversal stops at the first hit —
+/// the shadow-ray primitive of every renderer.
+pub(crate) fn intersect_any(bvh: &Bvh, mesh: &Mesh, ray: &Ray, t_max: f32) -> bool {
+    let nodes = bvh.nodes();
+    if nodes[0].bounds.intersect(ray, RAY_EPSILON, t_max).is_none() {
+        return false;
+    }
+    let mut stack: Vec<u32> = Vec::with_capacity(64);
+    stack.push(0);
+    while let Some(idx) = stack.pop() {
+        let node = &nodes[idx as usize];
+        if node.bounds.intersect(ray, RAY_EPSILON, t_max).is_none() {
+            continue;
+        }
+        if node.is_leaf() {
+            for &p in bvh.leaf_prims(node) {
+                if mesh.triangles()[p as usize]
+                    .intersect(ray, RAY_EPSILON, t_max)
+                    .is_some()
+                {
+                    return true;
+                }
+            }
+        } else {
+            stack.push(idx + 1);
+            stack.push(node.right_or_first);
+        }
+    }
+    false
+}
+
+/// Ground-truth brute force intersection over every triangle.
+pub(crate) fn brute_force(mesh: &Mesh, ray: &Ray) -> Option<Hit> {
+    let mut t_max = f32::INFINITY;
+    let mut best = None;
+    for (i, tri) in mesh.triangles().iter().enumerate() {
+        if let Some(h) = tri.intersect(ray, RAY_EPSILON, t_max) {
+            t_max = h.t;
+            best = Some(Hit { t: h.t, tri_index: i as u32, uv: (h.u, h.v) });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BuildParams;
+    use drs_geom::MeshBuilder;
+    use drs_math::{Vec3, XorShift64};
+    use drs_scene::SceneKind;
+
+    fn random_rays(count: usize, seed: u64, span: f32) -> Vec<Ray> {
+        let mut rng = XorShift64::new(seed);
+        (0..count)
+            .map(|_| {
+                let o = Vec3::new(
+                    (rng.next_f32() - 0.5) * span,
+                    (rng.next_f32() - 0.5) * span,
+                    (rng.next_f32() - 0.5) * span,
+                );
+                let d = Vec3::new(
+                    rng.next_f32() - 0.5,
+                    rng.next_f32() - 0.5,
+                    rng.next_f32() - 0.5,
+                )
+                .normalized();
+                Ray::new(o, if d.length() > 0.0 { d } else { Vec3::new(1.0, 0.0, 0.0) })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn traversal_matches_brute_force_on_random_soup() {
+        let mut rng = XorShift64::new(99);
+        let mut b = MeshBuilder::new();
+        b.scatter(Vec3::splat(-5.0), Vec3::splat(5.0), 300, 0.8, &mut rng);
+        let mesh = b.build();
+        let bvh = Bvh::build(&mesh, &BuildParams::default());
+        for ray in random_rays(500, 5, 16.0) {
+            let a = bvh.intersect(&mesh, &ray);
+            let b2 = Bvh::intersect_brute_force(&mesh, &ray);
+            match (a, b2) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert!(
+                        (x.t - y.t).abs() < 1e-3,
+                        "t mismatch: bvh {} vs brute {}",
+                        x.t,
+                        y.t
+                    );
+                }
+                (x, y) => panic!("hit disagreement: bvh {x:?} vs brute {y:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn traversal_matches_brute_force_on_scenes() {
+        for kind in [SceneKind::Conference, SceneKind::CrytekSponza] {
+            let scene = kind.build_with_tris(800);
+            let bvh = Bvh::build(scene.mesh(), &BuildParams::default());
+            for i in 0..100 {
+                let s = (i % 10) as f32 / 10.0 + 0.05;
+                let t = (i / 10) as f32 / 10.0 + 0.05;
+                let ray = scene.camera().primary_ray(s, t);
+                let a = bvh.intersect(scene.mesh(), &ray);
+                let b = Bvh::intersect_brute_force(scene.mesh(), &ray);
+                assert_eq!(a.is_some(), b.is_some(), "{kind} ray {i}");
+                if let (Some(x), Some(y)) = (a, b) {
+                    assert!((x.t - y.t).abs() < 1e-2, "{kind} ray {i}: {} vs {}", x.t, y.t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn instrumented_events_are_consistent() {
+        let scene = SceneKind::Conference.build_with_tris(1_000);
+        let bvh = Bvh::build(scene.mesh(), &BuildParams::default());
+        let ray = scene.camera().primary_ray(0.5, 0.5);
+        let mut events = Vec::new();
+        let hit = bvh.intersect_instrumented(scene.mesh(), &ray, &mut |e| events.push(e));
+        assert!(hit.is_some());
+        assert!(!events.is_empty());
+        let mut stats = TraversalStats::default();
+        for e in &events {
+            match e {
+                TraversalEvent::Inner { node_index, .. } => {
+                    assert!(!bvh.nodes()[*node_index as usize].is_leaf());
+                    stats.inner_visits += 1;
+                }
+                TraversalEvent::Leaf { node_index, prim_count, .. } => {
+                    let n = &bvh.nodes()[*node_index as usize];
+                    assert!(n.is_leaf());
+                    assert_eq!(n.prim_count, *prim_count);
+                    stats.leaf_visits += 1;
+                    stats.prim_tests += *prim_count as usize;
+                }
+            }
+        }
+        assert!(stats.inner_visits >= stats.leaf_visits.saturating_sub(1));
+    }
+
+    #[test]
+    fn miss_everything_produces_no_events() {
+        let scene = SceneKind::Conference.build_with_tris(500);
+        let bvh = Bvh::build(scene.mesh(), &BuildParams::default());
+        let ray = Ray::new(Vec3::new(1000.0, 1000.0, 1000.0), Vec3::new(0.0, 1.0, 0.0));
+        let mut events = Vec::new();
+        let hit = bvh.intersect_instrumented(scene.mesh(), &ray, &mut |e| events.push(e));
+        assert!(hit.is_none());
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn closest_hit_is_truly_closest() {
+        // Two parallel quads; ray must report the nearer.
+        let mut b = MeshBuilder::new();
+        b.quad(
+            Vec3::new(-1.0, -1.0, 2.0),
+            Vec3::new(1.0, -1.0, 2.0),
+            Vec3::new(1.0, 1.0, 2.0),
+            Vec3::new(-1.0, 1.0, 2.0),
+        );
+        b.quad(
+            Vec3::new(-1.0, -1.0, 5.0),
+            Vec3::new(1.0, -1.0, 5.0),
+            Vec3::new(1.0, 1.0, 5.0),
+            Vec3::new(-1.0, 1.0, 5.0),
+        );
+        let mesh = b.build();
+        let bvh = Bvh::build(&mesh, &BuildParams::default());
+        let ray = Ray::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+        let hit = bvh.intersect(&mesh, &ray).unwrap();
+        assert!((hit.t - 2.0).abs() < 1e-5);
+    }
+}
+
+#[cfg(test)]
+mod any_hit_tests {
+    use crate::{BuildParams, Bvh};
+    use drs_geom::MeshBuilder;
+    use drs_math::{Ray, Vec3, XorShift64};
+
+    fn soup() -> drs_geom::Mesh {
+        let mut rng = XorShift64::new(5);
+        let mut b = MeshBuilder::new();
+        b.scatter(Vec3::splat(-5.0), Vec3::splat(5.0), 250, 0.7, &mut rng);
+        b.build()
+    }
+
+    #[test]
+    fn any_hit_agrees_with_closest_hit_presence() {
+        let mesh = soup();
+        let bvh = Bvh::build(&mesh, &BuildParams::default());
+        let mut rng = XorShift64::new(9);
+        for _ in 0..400 {
+            let o = Vec3::new(
+                (rng.next_f32() - 0.5) * 16.0,
+                (rng.next_f32() - 0.5) * 16.0,
+                (rng.next_f32() - 0.5) * 16.0,
+            );
+            let d = Vec3::new(
+                rng.next_f32() - 0.5,
+                rng.next_f32() - 0.5,
+                rng.next_f32() - 0.5,
+            )
+            .normalized();
+            if d.length() == 0.0 {
+                continue;
+            }
+            let ray = Ray::new(o, d);
+            let closest = bvh.intersect(&mesh, &ray);
+            assert_eq!(
+                bvh.intersect_any(&mesh, &ray, f32::INFINITY),
+                closest.is_some(),
+                "presence disagreement"
+            );
+            // A t_max short of the closest hit must report unoccluded.
+            if let Some(h) = closest {
+                assert!(!bvh.intersect_any(&mesh, &ray, h.t * 0.5));
+                assert!(bvh.intersect_any(&mesh, &ray, h.t + 1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_interval_reports_unoccluded() {
+        let mesh = soup();
+        let bvh = Bvh::build(&mesh, &BuildParams::default());
+        let ray = Ray::new(Vec3::splat(-10.0), Vec3::new(1.0, 1.0, 1.0).normalized());
+        assert!(!bvh.intersect_any(&mesh, &ray, 1e-5));
+    }
+}

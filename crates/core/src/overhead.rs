@@ -1,0 +1,166 @@
+//! Hardware storage/area overhead accounting (the paper's §4.5).
+//!
+//! The DRS area cost is dominated by a handful of SRAM structures whose
+//! sizes follow directly from the configuration; this module reproduces the
+//! arithmetic the paper reports and, for comparison, the storage demands of
+//! the DMK and TBC baselines.
+
+use crate::drs::{DrsConfig, RAY_REGISTERS};
+
+/// Storage overhead breakdown of a DRS instance, in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrsOverhead {
+    /// Swap-buffer storage: `buffers × (warp_size − 1) × 32` bits.
+    pub swap_buffer_bits: u64,
+    /// Ray-state table: `rows × warp_size × state_bits` bits.
+    pub ray_state_table_bits: u64,
+    /// Warp renaming table: `warps × 2 × row_index_bits`.
+    pub renaming_table_bits: u64,
+    /// Swap request tracking and miscellaneous control state (the paper
+    /// folds this into its "approximately 1.4 KB" total).
+    pub control_state_bits: u64,
+}
+
+impl DrsOverhead {
+    /// Compute the overhead for a DRS configuration.
+    pub fn for_config(cfg: &DrsConfig) -> DrsOverhead {
+        let warp_size = cfg.lanes as u64;
+        let rows = cfg.rows() as u64;
+        // Per-entry state in the ray state table: four states (fetching /
+        // inner / leaf / empty) fit in 2 bits, which reproduces the paper's
+        // 488 B for 61 rows of 32 entries.
+        let state_bits = 2;
+        let row_bits = 64 - (rows - 1).leading_zeros() as u64;
+        DrsOverhead {
+            swap_buffer_bits: cfg.swap_buffers as u64 * (warp_size - 1) * 32,
+            ray_state_table_bits: rows * warp_size * state_bits,
+            renaming_table_bits: cfg.warps as u64 * 2 * row_bits,
+            // Swap request table: one entry per swap buffer set (3 tasks ×
+            // src/dst slot ids and progress counters) + misc control.
+            control_state_bits: 3 * (2 * 16 + 2 * 8) + 512,
+        }
+    }
+
+    /// Total bits.
+    pub fn total_bits(&self) -> u64 {
+        self.swap_buffer_bits
+            + self.ray_state_table_bits
+            + self.renaming_table_bits
+            + self.control_state_bits
+    }
+
+    /// Total bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bits().div_ceil(8)
+    }
+
+    /// Overhead as a fraction of the register file (256 KB/SMX on GTX 780).
+    pub fn fraction_of_register_file(&self, regfile_bytes: u64) -> f64 {
+        self.total_bytes() as f64 / regfile_bytes as f64
+    }
+}
+
+/// The paper's §4.5 reference numbers for the GTX 780 configuration.
+pub mod paper {
+    /// Swap-buffer storage the paper reports: `6 × 31 × 32 bit = 744 B`.
+    pub const SWAP_BUFFER_BYTES: u64 = 744;
+    /// Ray-state-table storage: 488 B for 61 rows × 32 entries (58 warps +
+    /// one backup row + two empty rows, 2 bits of state per entry).
+    pub const RAY_STATE_TABLE_BYTES: u64 = 488;
+    /// Total per-SMX storage the paper quotes (~1.4 KB).
+    pub const TOTAL_PER_SMX_BYTES: u64 = 1400;
+    /// Register file size per SMX (256 KB).
+    pub const REGFILE_BYTES: u64 = 256 * 1024;
+    /// Fraction of the register file (~0.55 %).
+    pub const REGFILE_FRACTION: f64 = 0.0055;
+    /// Synthesized DRS area per GPU core (mm², TSMC 28 nm).
+    pub const AREA_PER_CORE_MM2: f64 = 0.042;
+    /// Kepler-class die area the paper scales against (mm²).
+    pub const GPU_DIE_MM2: f64 = 550.0;
+    /// Whole-GPU area overhead (~0.11 %).
+    pub const GPU_AREA_FRACTION: f64 = 0.0011;
+    /// SMX count used in the area scaling.
+    pub const SMX_COUNT: u64 = 15;
+}
+
+/// DMK's minimum on-chip spawn-memory requirement in bytes:
+/// `warps × warp_size × ray_registers × 32 bit` (the paper: 114.75 KB for
+/// 54 warps), metadata excluded.
+pub fn dmk_spawn_memory_bytes(warps: u64, warp_size: u64) -> u64 {
+    warps * warp_size * RAY_REGISTERS as u64 * 32 / 8
+}
+
+/// TBC's warp-buffer thread-ID storage in bytes:
+/// `blocks_per_smx × warp_size × id_bits` (the paper: 2.5 KB for 10 blocks
+/// of 1024 threads with 64 max warps — 64-bit ID rows per block).
+pub fn tbc_warp_buffer_bytes(blocks: u64, warp_size: u64, id_bits: u64) -> u64 {
+    blocks * warp_size * id_bits / 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_buffer_bytes_match_paper() {
+        let cfg = DrsConfig::paper_default();
+        let o = DrsOverhead::for_config(&cfg);
+        assert_eq!(o.swap_buffer_bits / 8, paper::SWAP_BUFFER_BYTES);
+    }
+
+    #[test]
+    fn ray_state_table_matches_paper() {
+        // 58 warps + 1 backup + 2 empty = 61 rows of 32 entries × 20 bits.
+        let cfg = DrsConfig::paper_default();
+        let o = DrsOverhead::for_config(&cfg);
+        assert_eq!(o.ray_state_table_bits, 61 * 32 * 2);
+        assert_eq!(o.ray_state_table_bits / 8, paper::RAY_STATE_TABLE_BYTES);
+    }
+
+    #[test]
+    fn total_is_about_1_4_kb() {
+        let cfg = DrsConfig::paper_default();
+        let o = DrsOverhead::for_config(&cfg);
+        let total = o.total_bytes();
+        assert!(
+            (1250..=1500).contains(&total),
+            "total {total} B should be ≈1.4 KB"
+        );
+    }
+
+    #[test]
+    fn regfile_fraction_close_to_paper() {
+        let cfg = DrsConfig::paper_default();
+        let o = DrsOverhead::for_config(&cfg);
+        let frac = o.fraction_of_register_file(paper::REGFILE_BYTES);
+        assert!((frac - paper::REGFILE_FRACTION).abs() < 0.001, "got {frac}");
+    }
+
+    #[test]
+    fn area_fraction_matches_paper() {
+        let gpu_area = paper::AREA_PER_CORE_MM2 * paper::SMX_COUNT as f64;
+        let frac = gpu_area / paper::GPU_DIE_MM2;
+        assert!((frac - paper::GPU_AREA_FRACTION).abs() < 0.0002, "got {frac}");
+    }
+
+    #[test]
+    fn dmk_spawn_memory_matches_paper() {
+        // 54 warps × 32 × 17 × 32 bit = 114.75 KB.
+        let bytes = dmk_spawn_memory_bytes(54, 32);
+        assert_eq!(bytes, (114.75 * 1024.0) as u64);
+    }
+
+    #[test]
+    fn tbc_warp_buffer_matches_paper() {
+        // 10 × 32 × 64 bit = 2.5 KB.
+        assert_eq!(tbc_warp_buffer_bytes(10, 32, 64), (2.5 * 1024.0) as u64);
+    }
+
+    #[test]
+    fn drs_is_orders_of_magnitude_cheaper_than_dmk() {
+        let cfg = DrsConfig::paper_default();
+        let drs = DrsOverhead::for_config(&cfg).total_bytes();
+        let dmk = dmk_spawn_memory_bytes(54, 32);
+        assert!(dmk > drs * 50, "DMK {dmk} B vs DRS {drs} B");
+    }
+}

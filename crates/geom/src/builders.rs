@@ -1,0 +1,207 @@
+//! Mesh construction helpers used by the procedural benchmark scenes.
+
+use crate::{Mesh, Triangle};
+use drs_math::{Vec3, XorShift64};
+
+/// Incremental mesh builder with primitive-shape helpers.
+///
+/// All helpers tag generated triangles with the builder's current material,
+/// set via [`MeshBuilder::material`].
+#[derive(Debug, Default)]
+pub struct MeshBuilder {
+    mesh: Mesh,
+    material: u32,
+}
+
+impl MeshBuilder {
+    /// A fresh builder with material 0.
+    pub fn new() -> MeshBuilder {
+        MeshBuilder::default()
+    }
+
+    /// Set the material tag for subsequently added triangles.
+    pub fn material(&mut self, material: u32) -> &mut Self {
+        self.material = material;
+        self
+    }
+
+    /// Finish building and return the mesh.
+    pub fn build(self) -> Mesh {
+        self.mesh
+    }
+
+    /// Number of triangles added so far.
+    pub fn len(&self) -> usize {
+        self.mesh.len()
+    }
+
+    /// True if nothing has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.mesh.is_empty()
+    }
+
+    /// Add a single triangle with the current material.
+    pub fn triangle(&mut self, a: Vec3, b: Vec3, c: Vec3) -> &mut Self {
+        self.mesh.push(Triangle::new(a, b, c, self.material));
+        self
+    }
+
+    /// Add a quad (two triangles) with vertices in winding order.
+    pub fn quad(&mut self, a: Vec3, b: Vec3, c: Vec3, d: Vec3) -> &mut Self {
+        self.triangle(a, b, c);
+        self.triangle(a, c, d);
+        self
+    }
+
+    /// Add an axis-aligned box from opposite corners (12 triangles).
+    pub fn aa_box(&mut self, min: Vec3, max: Vec3) -> &mut Self {
+        let p = |x: f32, y: f32, z: f32| Vec3::new(x, y, z);
+        let (x0, y0, z0) = (min.x, min.y, min.z);
+        let (x1, y1, z1) = (max.x, max.y, max.z);
+        // bottom (y0), top (y1)
+        self.quad(p(x0, y0, z0), p(x1, y0, z0), p(x1, y0, z1), p(x0, y0, z1));
+        self.quad(p(x0, y1, z0), p(x0, y1, z1), p(x1, y1, z1), p(x1, y1, z0));
+        // front (z0), back (z1)
+        self.quad(p(x0, y0, z0), p(x0, y1, z0), p(x1, y1, z0), p(x1, y0, z0));
+        self.quad(p(x0, y0, z1), p(x1, y0, z1), p(x1, y1, z1), p(x0, y1, z1));
+        // left (x0), right (x1)
+        self.quad(p(x0, y0, z0), p(x0, y0, z1), p(x0, y1, z1), p(x0, y1, z0));
+        self.quad(p(x1, y0, z0), p(x1, y1, z0), p(x1, y1, z1), p(x1, y0, z1));
+        self
+    }
+
+    /// Add a rectangular grid in the XZ plane at height `y`, tessellated into
+    /// `nx * nz * 2` triangles. Useful for floors and terrain bases.
+    pub fn grid_xz(&mut self, min: Vec3, max: Vec3, y: f32, nx: usize, nz: usize) -> &mut Self {
+        assert!(nx > 0 && nz > 0, "grid resolution must be positive");
+        let dx = (max.x - min.x) / nx as f32;
+        let dz = (max.z - min.z) / nz as f32;
+        for i in 0..nx {
+            for j in 0..nz {
+                let x0 = min.x + i as f32 * dx;
+                let z0 = min.z + j as f32 * dz;
+                let (x1, z1) = (x0 + dx, z0 + dz);
+                self.quad(
+                    Vec3::new(x0, y, z0),
+                    Vec3::new(x0, y, z1),
+                    Vec3::new(x1, y, z1),
+                    Vec3::new(x1, y, z0),
+                );
+            }
+        }
+        self
+    }
+
+    /// Add a vertical column approximated by an `n`-sided prism from `base` to
+    /// height `h` with radius `r` (2n side triangles + 2n caps).
+    pub fn column(&mut self, base: Vec3, h: f32, r: f32, n: usize) -> &mut Self {
+        assert!(n >= 3, "prism needs at least 3 sides");
+        let top = base + Vec3::new(0.0, h, 0.0);
+        let ring = |center: Vec3, k: usize| {
+            let ang = 2.0 * std::f32::consts::PI * k as f32 / n as f32;
+            center + Vec3::new(r * ang.cos(), 0.0, r * ang.sin())
+        };
+        for k in 0..n {
+            let k2 = (k + 1) % n;
+            let (b0, b1) = (ring(base, k), ring(base, k2));
+            let (t0, t1) = (ring(top, k), ring(top, k2));
+            self.quad(b0, b1, t1, t0);
+            self.triangle(base, b1, b0);
+            self.triangle(top, t0, t1);
+        }
+        self
+    }
+
+    /// Scatter `count` small random triangles ("foliage") inside a box.
+    ///
+    /// Each triangle has edge lengths on the order of `size` and a random
+    /// orientation; this is the workhorse of the `plants` benchmark scene.
+    pub fn scatter(&mut self, min: Vec3, max: Vec3, count: usize, size: f32, rng: &mut XorShift64) -> &mut Self {
+        let extent = max - min;
+        for _ in 0..count {
+            let p = min
+                + Vec3::new(
+                    rng.next_f32() * extent.x,
+                    rng.next_f32() * extent.y,
+                    rng.next_f32() * extent.z,
+                );
+            let rand_dir = |rng: &mut XorShift64| {
+                Vec3::new(
+                    rng.next_f32() - 0.5,
+                    rng.next_f32() - 0.5,
+                    rng.next_f32() - 0.5,
+                )
+                .normalized()
+            };
+            let e1 = rand_dir(rng) * size;
+            let e2 = rand_dir(rng) * size;
+            self.triangle(p, p + e1, p + e2);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drs_math::Aabb;
+
+    #[test]
+    fn box_has_12_triangles_and_exact_bounds() {
+        let mut b = MeshBuilder::new();
+        b.aa_box(Vec3::ZERO, Vec3::ONE);
+        let m = b.build();
+        assert_eq!(m.len(), 12);
+        assert_eq!(m.bounds(), Aabb::new(Vec3::ZERO, Vec3::ONE));
+    }
+
+    #[test]
+    fn grid_counts_and_plane() {
+        let mut b = MeshBuilder::new();
+        b.grid_xz(Vec3::new(0.0, 0.0, 0.0), Vec3::new(4.0, 0.0, 2.0), 1.5, 4, 2);
+        let m = b.build();
+        assert_eq!(m.len(), 4 * 2 * 2);
+        for t in m.triangles() {
+            assert_eq!(t.a.y, 1.5);
+            assert_eq!(t.b.y, 1.5);
+            assert_eq!(t.c.y, 1.5);
+        }
+    }
+
+    #[test]
+    fn column_triangle_count() {
+        let mut b = MeshBuilder::new();
+        b.column(Vec3::ZERO, 3.0, 0.5, 8);
+        // 2 per side quad + 2 caps per side
+        assert_eq!(b.build().len(), 8 * 4);
+    }
+
+    #[test]
+    fn scatter_stays_in_box_roughly() {
+        let mut rng = XorShift64::new(1);
+        let mut b = MeshBuilder::new();
+        let (min, max) = (Vec3::ZERO, Vec3::splat(10.0));
+        b.scatter(min, max, 200, 0.1, &mut rng);
+        let m = b.build();
+        assert_eq!(m.len(), 200);
+        // Anchor points are inside; edges may poke out by at most `size`.
+        let slack = Aabb::new(min, max).expanded(0.2);
+        assert!(slack.contains_box(&m.bounds()));
+    }
+
+    #[test]
+    fn material_tagging() {
+        let mut b = MeshBuilder::new();
+        b.material(2).triangle(Vec3::ZERO, Vec3::ONE, Vec3::new(1.0, 0.0, 0.0));
+        b.material(5).triangle(Vec3::ZERO, Vec3::ONE, Vec3::new(0.0, 1.0, 0.0));
+        let m = b.build();
+        assert_eq!(m.triangles()[0].material, 2);
+        assert_eq!(m.triangles()[1].material, 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn grid_zero_resolution_panics() {
+        MeshBuilder::new().grid_xz(Vec3::ZERO, Vec3::ONE, 0.0, 0, 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Triangle geometry and ray–primitive intersection.
+//!
+//! Provides the triangle/mesh representation shared by the procedural scene
+//! generators, the BVH builder and the path tracer, along with the
+//! Möller–Trumbore ray–triangle test and a small library of mesh construction
+//! helpers (boxes, grids, tessellated discs, extrusions) used to assemble
+//! benchmark scenes.
+//!
+//! # Example
+//!
+//! ```
+//! use drs_math::{Ray, Vec3};
+//! use drs_geom::Triangle;
+//!
+//! let tri = Triangle::new(
+//!     Vec3::new(-1.0, -1.0, 0.0),
+//!     Vec3::new(1.0, -1.0, 0.0),
+//!     Vec3::new(0.0, 1.0, 0.0),
+//!     0,
+//! );
+//! let ray = Ray::new(Vec3::new(0.0, 0.0, -2.0), Vec3::new(0.0, 0.0, 1.0));
+//! let hit = tri.intersect(&ray, 0.0, f32::INFINITY).expect("must hit");
+//! assert!((hit.t - 2.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+mod builders;
+mod triangle;
+
+pub use builders::MeshBuilder;
+pub use triangle::{Triangle, TriangleHit};
+
+use drs_math::Aabb;
+
+/// A soup of triangles plus its bounding box.
+///
+/// Triangle order is meaningful: the BVH builder indexes into this list and
+/// the simulator's leaf addresses are derived from triangle indices.
+#[derive(Debug, Clone, Default)]
+pub struct Mesh {
+    triangles: Vec<Triangle>,
+}
+
+impl Mesh {
+    /// An empty mesh.
+    pub fn new() -> Mesh {
+        Mesh::default()
+    }
+
+    /// Construct from an existing triangle list.
+    pub fn from_triangles(triangles: Vec<Triangle>) -> Mesh {
+        Mesh { triangles }
+    }
+
+    /// Append a triangle.
+    pub fn push(&mut self, tri: Triangle) {
+        self.triangles.push(tri);
+    }
+
+    /// Append all triangles of `other`.
+    pub fn append(&mut self, other: &Mesh) {
+        self.triangles.extend_from_slice(&other.triangles);
+    }
+
+    /// Number of triangles.
+    pub fn len(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// True if the mesh has no triangles.
+    pub fn is_empty(&self) -> bool {
+        self.triangles.is_empty()
+    }
+
+    /// Borrow the triangle list.
+    pub fn triangles(&self) -> &[Triangle] {
+        &self.triangles
+    }
+
+    /// Bounding box over all triangles (empty box for an empty mesh).
+    pub fn bounds(&self) -> Aabb {
+        self.triangles
+            .iter()
+            .fold(Aabb::EMPTY, |bb, t| bb.union(&t.bounds()))
+    }
+
+    /// Retag every triangle with `material` (used when merging sub-meshes).
+    pub fn set_material(&mut self, material: u32) {
+        for t in &mut self.triangles {
+            t.material = material;
+        }
+    }
+}
+
+impl FromIterator<Triangle> for Mesh {
+    fn from_iter<I: IntoIterator<Item = Triangle>>(iter: I) -> Mesh {
+        Mesh {
+            triangles: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Triangle> for Mesh {
+    fn extend<I: IntoIterator<Item = Triangle>>(&mut self, iter: I) {
+        self.triangles.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drs_math::Vec3;
+
+    fn tri(z: f32) -> Triangle {
+        Triangle::new(
+            Vec3::new(0.0, 0.0, z),
+            Vec3::new(1.0, 0.0, z),
+            Vec3::new(0.0, 1.0, z),
+            0,
+        )
+    }
+
+    #[test]
+    fn mesh_accumulates_bounds() {
+        let mut m = Mesh::new();
+        assert!(m.bounds().is_empty());
+        m.push(tri(0.0));
+        m.push(tri(5.0));
+        let bb = m.bounds();
+        assert_eq!(bb.min.z, 0.0);
+        assert_eq!(bb.max.z, 5.0);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn append_and_collect() {
+        let a: Mesh = (0..3).map(|i| tri(i as f32)).collect();
+        let mut b = Mesh::new();
+        b.append(&a);
+        b.extend((3..5).map(|i| tri(i as f32)));
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn set_material_retags_all() {
+        let mut m: Mesh = (0..4).map(|i| tri(i as f32)).collect();
+        m.set_material(7);
+        assert!(m.triangles().iter().all(|t| t.material == 7));
+    }
+}

@@ -1,0 +1,184 @@
+//! Triangles and the Möller–Trumbore intersection test.
+
+use drs_math::{cross, dot, Aabb, Ray, Vec3};
+
+/// Result of a successful ray–triangle intersection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriangleHit {
+    /// Ray parameter at the hit point.
+    pub t: f32,
+    /// First barycentric coordinate.
+    pub u: f32,
+    /// Second barycentric coordinate.
+    pub v: f32,
+}
+
+/// A triangle with a material tag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// First vertex.
+    pub a: Vec3,
+    /// Second vertex.
+    pub b: Vec3,
+    /// Third vertex.
+    pub c: Vec3,
+    /// Index into the owning scene's material table.
+    pub material: u32,
+}
+
+impl Triangle {
+    /// Construct a triangle from three vertices and a material index.
+    #[inline]
+    pub fn new(a: Vec3, b: Vec3, c: Vec3, material: u32) -> Triangle {
+        Triangle { a, b, c, material }
+    }
+
+    /// Bounding box of the triangle.
+    #[inline]
+    pub fn bounds(&self) -> Aabb {
+        Aabb::from_point(self.a)
+            .union_point(self.b)
+            .union_point(self.c)
+    }
+
+    /// Centroid of the triangle (BVH split key).
+    #[inline]
+    pub fn centroid(&self) -> Vec3 {
+        (self.a + self.b + self.c) / 3.0
+    }
+
+    /// Geometric (unnormalized) normal via the cross product of two edges.
+    #[inline]
+    pub fn geometric_normal(&self) -> Vec3 {
+        cross(self.b - self.a, self.c - self.a)
+    }
+
+    /// Unit normal; degenerate triangles return the zero vector.
+    #[inline]
+    pub fn unit_normal(&self) -> Vec3 {
+        self.geometric_normal().normalized()
+    }
+
+    /// Surface area of the triangle.
+    #[inline]
+    pub fn area(&self) -> f32 {
+        self.geometric_normal().length() * 0.5
+    }
+
+    /// Möller–Trumbore ray–triangle intersection over `(t_min, t_max)`.
+    ///
+    /// Returns `None` for parallel rays, back/front hits outside the interval,
+    /// and barycentric misses. Both triangle faces are intersectable (the
+    /// benchmark scenes are not watertight solids).
+    pub fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<TriangleHit> {
+        let e1 = self.b - self.a;
+        let e2 = self.c - self.a;
+        let pvec = cross(ray.direction, e2);
+        let det = dot(e1, pvec);
+        // Parallel or degenerate.
+        if det.abs() < 1e-12 {
+            return None;
+        }
+        let inv_det = 1.0 / det;
+        let tvec = ray.origin - self.a;
+        let u = dot(tvec, pvec) * inv_det;
+        if !(0.0..=1.0).contains(&u) {
+            return None;
+        }
+        let qvec = cross(tvec, e1);
+        let v = dot(ray.direction, qvec) * inv_det;
+        if v < 0.0 || u + v > 1.0 {
+            return None;
+        }
+        let t = dot(e2, qvec) * inv_det;
+        if t <= t_min || t >= t_max {
+            return None;
+        }
+        Some(TriangleHit { t, u, v })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xy_triangle() -> Triangle {
+        Triangle::new(
+            Vec3::new(-1.0, -1.0, 0.0),
+            Vec3::new(1.0, -1.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            3,
+        )
+    }
+
+    #[test]
+    fn hit_through_center() {
+        let tri = xy_triangle();
+        let ray = Ray::new(Vec3::new(0.0, -0.2, -3.0), Vec3::new(0.0, 0.0, 1.0));
+        let hit = tri.intersect(&ray, 0.0, f32::INFINITY).unwrap();
+        assert!((hit.t - 3.0).abs() < 1e-6);
+        assert!(hit.u >= 0.0 && hit.v >= 0.0 && hit.u + hit.v <= 1.0);
+    }
+
+    #[test]
+    fn back_face_hits_too() {
+        let tri = xy_triangle();
+        let ray = Ray::new(Vec3::new(0.0, -0.2, 3.0), Vec3::new(0.0, 0.0, -1.0));
+        assert!(tri.intersect(&ray, 0.0, f32::INFINITY).is_some());
+    }
+
+    #[test]
+    fn miss_outside_edges() {
+        let tri = xy_triangle();
+        let ray = Ray::new(Vec3::new(2.0, 2.0, -3.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(tri.intersect(&ray, 0.0, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn parallel_ray_misses() {
+        let tri = xy_triangle();
+        let ray = Ray::new(Vec3::new(0.0, 0.0, 1.0), Vec3::new(1.0, 0.0, 0.0));
+        assert!(tri.intersect(&ray, 0.0, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn interval_excludes_hit() {
+        let tri = xy_triangle();
+        let ray = Ray::new(Vec3::new(0.0, -0.2, -3.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(tri.intersect(&ray, 0.0, 2.5).is_none());
+        assert!(tri.intersect(&ray, 3.5, 10.0).is_none());
+    }
+
+    #[test]
+    fn bounds_contain_vertices() {
+        let tri = xy_triangle();
+        let bb = tri.bounds();
+        assert!(bb.contains(tri.a) && bb.contains(tri.b) && bb.contains(tri.c));
+    }
+
+    #[test]
+    fn area_and_normal() {
+        let tri = Triangle::new(
+            Vec3::ZERO,
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(0.0, 2.0, 0.0),
+            0,
+        );
+        assert!((tri.area() - 2.0).abs() < 1e-6);
+        assert_eq!(tri.unit_normal(), Vec3::new(0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn centroid_is_vertex_average() {
+        let tri = xy_triangle();
+        let c = tri.centroid();
+        assert!((c - (tri.a + tri.b + tri.c) / 3.0).length() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_triangle_never_hits() {
+        let tri = Triangle::new(Vec3::ZERO, Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0), 0);
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -1.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(tri.intersect(&ray, 0.0, f32::INFINITY).is_none());
+    }
+}

@@ -1,0 +1,28 @@
+//! Ray-tracing kernels as micro-op programs for the cycle-level simulator.
+//!
+//! Two kernels, matching the paper's evaluation:
+//!
+//! - [`while_while`]: Aila-style software kernel — persistent threads, a
+//!   layered while-while loop, optional speculative traversal and
+//!   terminated-ray replacement. This is the software baseline every
+//!   hardware scheme is compared against.
+//! - [`while_if`]: the paper's Kernel 1 — a while-if restructuring whose
+//!   control flow is steered by the `rdctrl` special instruction and the
+//!   `reg_ray_state` effect, designed for the DRS hardware (and reused by
+//!   the DMK/TBC baseline units with their own special tokens).
+//!
+//! Both kernels share the per-body instruction-cost model in [`costs`], so
+//! performance differences between them come from scheduling, divergence
+//! and memory behaviour — not from arbitrary cost constants.
+
+#![warn(missing_docs)]
+
+pub mod costs;
+mod while_if;
+mod while_while;
+
+pub use while_if::{
+    WhileIfKernel, CTRL_EXIT, CTRL_FETCH, CTRL_TRAV_BOTH, CTRL_TRAV_INNER, CTRL_TRAV_LEAF,
+    EFFECT_NEW_ROUND, INNER_UNROLL, TOKEN_RDCTRL,
+};
+pub use while_while::{WhileWhileConfig, WhileWhileKernel};

@@ -1,0 +1,255 @@
+//! Axis-aligned bounding boxes and the slab intersection test.
+
+use crate::ray::Ray;
+use crate::vec3::{Axis, Vec3};
+
+/// An axis-aligned bounding box defined by its minimum and maximum corners.
+///
+/// The degenerate "empty" box has `min = +inf`, `max = -inf` and absorbs
+/// nothing when unioned; it is the identity of [`Aabb::union`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Default for Aabb {
+    fn default() -> Self {
+        Aabb::EMPTY
+    }
+}
+
+impl Aabb {
+    /// The empty box (identity for [`Aabb::union`]).
+    pub const EMPTY: Aabb = Aabb {
+        min: Vec3::splat(f32::INFINITY),
+        max: Vec3::splat(f32::NEG_INFINITY),
+    };
+
+    /// Box from explicit corners.
+    #[inline]
+    pub fn new(min: Vec3, max: Vec3) -> Aabb {
+        Aabb { min, max }
+    }
+
+    /// Smallest box containing a single point.
+    #[inline]
+    pub fn from_point(p: Vec3) -> Aabb {
+        Aabb { min: p, max: p }
+    }
+
+    /// Smallest box containing all points of an iterator.
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Aabb {
+        points
+            .into_iter()
+            .fold(Aabb::EMPTY, |bb, p| bb.union_point(p))
+    }
+
+    /// True if the box contains no points (`min > max` on some axis).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// Smallest box containing `self` and `other`.
+    #[inline]
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Smallest box containing `self` and the point `p`.
+    #[inline]
+    pub fn union_point(&self, p: Vec3) -> Aabb {
+        Aabb {
+            min: self.min.min(p),
+            max: self.max.max(p),
+        }
+    }
+
+    /// Extent along each axis (zero vector for an empty box).
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        if self.is_empty() {
+            Vec3::ZERO
+        } else {
+            self.max - self.min
+        }
+    }
+
+    /// Center point of the box.
+    #[inline]
+    pub fn centroid(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Surface area; zero for an empty box. Used by the SAH cost metric.
+    #[inline]
+    pub fn surface_area(&self) -> f32 {
+        let e = self.extent();
+        2.0 * (e.x * e.y + e.y * e.z + e.z * e.x)
+    }
+
+    /// Axis along which the box is largest.
+    #[inline]
+    pub fn longest_axis(&self) -> Axis {
+        self.extent().max_axis()
+    }
+
+    /// True if `p` lies inside or on the boundary of the box.
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// True if `other` lies fully inside `self`.
+    #[inline]
+    pub fn contains_box(&self, other: &Aabb) -> bool {
+        other.is_empty() || (self.contains(other.min) && self.contains(other.max))
+    }
+
+    /// Grow the box by `delta` on every side.
+    #[inline]
+    pub fn expanded(&self, delta: f32) -> Aabb {
+        Aabb {
+            min: self.min - Vec3::splat(delta),
+            max: self.max + Vec3::splat(delta),
+        }
+    }
+
+    /// Ray–box slab test over the interval `[t_min, t_max]`.
+    ///
+    /// Returns the entry parameter (clamped to `t_min`) when the ray's
+    /// interval overlaps the box, or `None` otherwise. Handles rays parallel
+    /// to slabs via IEEE infinity semantics of the precomputed reciprocal.
+    #[inline]
+    pub fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<f32> {
+        let t0 = (self.min - ray.origin).hadamard(ray.inv_direction);
+        let t1 = (self.max - ray.origin).hadamard(ray.inv_direction);
+        let t_near = t0.min(t1);
+        let t_far = t0.max(t1);
+        let enter = t_near.max_component().max(t_min);
+        let exit = t_far.min_component().min(t_max);
+        if enter <= exit {
+            Some(enter)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_box() -> Aabb {
+        Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0))
+    }
+
+    #[test]
+    fn empty_is_identity_for_union() {
+        let bb = unit_box();
+        assert_eq!(Aabb::EMPTY.union(&bb), bb);
+        assert_eq!(bb.union(&Aabb::EMPTY), bb);
+        assert!(Aabb::EMPTY.is_empty());
+        assert!(!bb.is_empty());
+    }
+
+    #[test]
+    fn surface_area_of_unit_cube() {
+        let bb = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        assert_eq!(bb.surface_area(), 6.0);
+        assert_eq!(Aabb::EMPTY.surface_area(), 0.0);
+    }
+
+    #[test]
+    fn ray_hits_box_head_on() {
+        let bb = unit_box();
+        let r = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        let t = bb.intersect(&r, 0.0, f32::INFINITY).unwrap();
+        assert!((t - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ray_misses_box() {
+        let bb = unit_box();
+        let r = Ray::new(Vec3::new(0.0, 5.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(bb.intersect(&r, 0.0, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn ray_starting_inside_reports_entry_at_tmin() {
+        let bb = unit_box();
+        let r = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
+        let t = bb.intersect(&r, 0.0, f32::INFINITY).unwrap();
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn interval_clipping_excludes_far_boxes() {
+        let bb = unit_box();
+        let r = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        // Box entry is at t=4, but the allowed interval ends at t=3.
+        assert!(bb.intersect(&r, 0.0, 3.0).is_none());
+    }
+
+    #[test]
+    fn parallel_ray_inside_slab_hits() {
+        let bb = unit_box();
+        let r = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        // direction has exact zeros in x/y; the reciprocal is infinite.
+        assert!(bb.intersect(&r, 0.0, f32::INFINITY).is_some());
+        let miss = Ray::new(Vec3::new(2.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(bb.intersect(&miss, 0.0, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn containment() {
+        let bb = unit_box();
+        assert!(bb.contains(Vec3::ZERO));
+        assert!(bb.contains(Vec3::ONE));
+        assert!(!bb.contains(Vec3::splat(1.1)));
+        assert!(bb.contains_box(&Aabb::new(Vec3::splat(-0.5), Vec3::splat(0.5))));
+        assert!(bb.contains_box(&Aabb::EMPTY));
+        assert!(!bb.contains_box(&Aabb::new(Vec3::splat(0.5), Vec3::splat(1.5))));
+    }
+
+    #[test]
+    fn centroid_and_extent() {
+        let bb = Aabb::new(Vec3::new(0.0, 2.0, 4.0), Vec3::new(2.0, 6.0, 10.0));
+        assert_eq!(bb.centroid(), Vec3::new(1.0, 4.0, 7.0));
+        assert_eq!(bb.extent(), Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(bb.longest_axis(), Axis::Z);
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = [
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(-1.0, 2.0, 0.5),
+            Vec3::new(3.0, -4.0, 1.0),
+        ];
+        let bb = Aabb::from_points(pts);
+        for p in pts {
+            assert!(bb.contains(p));
+        }
+        assert_eq!(bb.min, Vec3::new(-1.0, -4.0, 0.0));
+        assert_eq!(bb.max, Vec3::new(3.0, 2.0, 1.0));
+    }
+
+    #[test]
+    fn expanded_grows_every_side() {
+        let bb = unit_box().expanded(0.5);
+        assert_eq!(bb.min, Vec3::splat(-1.5));
+        assert_eq!(bb.max, Vec3::splat(1.5));
+    }
+}

@@ -1,0 +1,77 @@
+//! Vector math, rays, bounding boxes and sampling utilities.
+//!
+//! This crate is the numerical foundation of the Dynamic Ray Shuffling (DRS)
+//! reproduction. It deliberately implements everything from scratch — a small
+//! `Vec3`, ray and axis-aligned-bounding-box toolkit, a deterministic xorshift
+//! RNG, and low-discrepancy (Halton / scrambled radical inverse) sampling used
+//! by the path tracer — so the workspace has no external numerical
+//! dependencies and simulation results are bit-reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use drs_math::{Vec3, Ray, Aabb};
+//!
+//! let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+//! let bb = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+//! let hit = bb.intersect(&ray, 0.0, f32::INFINITY);
+//! assert!(hit.is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+mod aabb;
+mod onb;
+mod ray;
+mod rng;
+mod sampling;
+mod sobol;
+mod vec3;
+
+pub use aabb::Aabb;
+pub use onb::Onb;
+pub use ray::Ray;
+pub use rng::XorShift64;
+pub use sampling::{
+    cosine_hemisphere, halton, radical_inverse, scrambled_radical_inverse, uniform_sphere,
+    LowDiscrepancy,
+};
+pub use sobol::{sample_02, sobol_dim0, sobol_dim1, Sobol02};
+pub use vec3::{cross, dot, Axis, Vec3};
+
+/// Machine epsilon scaled for conservative ray-interval offsets.
+pub const RAY_EPSILON: f32 = 1.0e-4;
+
+/// Clamp a float to `[lo, hi]`.
+///
+/// Exists because the crate targets older-style call-sites where a free
+/// function reads better than method chains inside hot loops.
+#[inline]
+pub fn clamp(x: f32, lo: f32, hi: f32) -> f32 {
+    x.max(lo).min(hi)
+}
+
+/// Linear interpolation between `a` and `b` by `t`.
+#[inline]
+pub fn lerp(a: f32, b: f32, t: f32) -> f32 {
+    a + (b - a) * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_behaviour() {
+        assert_eq!(clamp(0.5, 0.0, 1.0), 0.5);
+        assert_eq!(clamp(-1.0, 0.0, 1.0), 0.0);
+        assert_eq!(clamp(2.0, 0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        assert_eq!(lerp(1.0, 3.0, 0.0), 1.0);
+        assert_eq!(lerp(1.0, 3.0, 1.0), 3.0);
+        assert_eq!(lerp(1.0, 3.0, 0.5), 2.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Orthonormal bases for hemisphere sampling around a surface normal.
+
+use crate::vec3::Vec3;
+
+/// An orthonormal basis `(u, v, w)` with `w` aligned to a given normal.
+///
+/// Used by the path tracer to transform cosine-weighted hemisphere samples
+/// from canonical space onto a surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Onb {
+    /// First tangent.
+    pub u: Vec3,
+    /// Second tangent.
+    pub v: Vec3,
+    /// The normal direction.
+    pub w: Vec3,
+}
+
+impl Onb {
+    /// Build a basis whose `w` axis is `normal` (which must be non-zero).
+    ///
+    /// Uses the branchless Duff et al. construction, numerically stable for
+    /// all normals including those near the poles.
+    pub fn from_normal(normal: Vec3) -> Onb {
+        let w = normal.normalized();
+        let sign = if w.z >= 0.0 { 1.0 } else { -1.0 };
+        let a = -1.0 / (sign + w.z);
+        let b = w.x * w.y * a;
+        let u = Vec3::new(1.0 + sign * w.x * w.x * a, sign * b, -sign * w.x);
+        let v = Vec3::new(b, sign + w.y * w.y * a, -w.y);
+        Onb { u, v, w }
+    }
+
+    /// Transform a vector from basis-local coordinates to world coordinates.
+    #[inline]
+    pub fn to_world(&self, local: Vec3) -> Vec3 {
+        self.u * local.x + self.v * local.y + self.w * local.z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::{cross, dot};
+
+    fn assert_orthonormal(onb: &Onb) {
+        assert!((onb.u.length() - 1.0).abs() < 1e-5, "u not unit");
+        assert!((onb.v.length() - 1.0).abs() < 1e-5, "v not unit");
+        assert!((onb.w.length() - 1.0).abs() < 1e-5, "w not unit");
+        assert!(dot(onb.u, onb.v).abs() < 1e-5);
+        assert!(dot(onb.u, onb.w).abs() < 1e-5);
+        assert!(dot(onb.v, onb.w).abs() < 1e-5);
+        // Right-handed: u x v == w
+        let c = cross(onb.u, onb.v);
+        assert!((c - onb.w).length() < 1e-4);
+    }
+
+    #[test]
+    fn basis_is_orthonormal_for_varied_normals() {
+        for n in [
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(0.0, 0.0, -1.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(1.0, 1.0, 1.0),
+            Vec3::new(-0.3, 0.8, -0.2),
+            Vec3::new(1e-4, 1e-4, 1.0),
+        ] {
+            let onb = Onb::from_normal(n);
+            assert_orthonormal(&onb);
+            assert!((onb.w - n.normalized()).length() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn to_world_maps_z_to_normal() {
+        let onb = Onb::from_normal(Vec3::new(0.3, -0.9, 0.1));
+        let mapped = onb.to_world(Vec3::new(0.0, 0.0, 1.0));
+        assert!((mapped - onb.w).length() < 1e-6);
+    }
+}

@@ -1,0 +1,61 @@
+//! Rays with precomputed reciprocal directions.
+
+use crate::vec3::Vec3;
+
+/// A half-line `origin + t * direction` for `t >= 0`.
+///
+/// The reciprocal direction is precomputed at construction because the
+/// ray–AABB slab test (executed hundreds of times per ray during BVH
+/// traversal) consumes it directly — mirroring what GPU ray-tracing kernels
+/// keep in registers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Ray origin.
+    pub origin: Vec3,
+    /// Ray direction (not required to be normalized).
+    pub direction: Vec3,
+    /// Component-wise reciprocal of `direction`.
+    pub inv_direction: Vec3,
+}
+
+impl Ray {
+    /// Create a ray; precomputes the reciprocal direction.
+    #[inline]
+    pub fn new(origin: Vec3, direction: Vec3) -> Ray {
+        Ray {
+            origin,
+            direction,
+            inv_direction: direction.recip(),
+        }
+    }
+
+    /// Point along the ray at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.direction * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_at_parameter() {
+        let r = Ray::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0));
+        assert_eq!(r.at(0.0), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(r.at(1.5), Vec3::new(1.0, 3.0, 0.0));
+    }
+
+    #[test]
+    fn inv_direction_precomputed() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(2.0, -4.0, 0.5));
+        assert_eq!(r.inv_direction, Vec3::new(0.5, -0.25, 2.0));
+    }
+
+    #[test]
+    fn zero_component_gives_infinity() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0));
+        assert!(r.inv_direction.x.is_infinite());
+    }
+}

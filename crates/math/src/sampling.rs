@@ -1,0 +1,218 @@
+//! Low-discrepancy sequences and hemisphere sampling.
+//!
+//! The paper renders its benchmark scenes with PBRT's low-discrepancy sampler
+//! (64 samples per pixel). This module provides the same family of samplers:
+//! radical-inverse / Halton sequences, optional Cranley–Patterson style
+//! scrambling, and mappings from `[0,1)^2` to hemisphere directions.
+
+use crate::onb::Onb;
+use crate::vec3::Vec3;
+
+/// The first handful of primes, used as Halton bases per dimension.
+const PRIMES: [u32; 16] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53];
+
+/// Radical inverse of `index` in the given prime `base`.
+///
+/// Digit-reverses `index` in base `base` and places it after the radix point,
+/// producing a low-discrepancy point in `[0, 1)`.
+pub fn radical_inverse(mut index: u64, base: u32) -> f32 {
+    let inv_base = 1.0 / base as f64;
+    let mut inv = inv_base;
+    let mut value = 0.0f64;
+    while index > 0 {
+        let digit = (index % base as u64) as f64;
+        value += digit * inv;
+        inv *= inv_base;
+        index /= base as u64;
+    }
+    (value as f32).min(1.0 - f32::EPSILON)
+}
+
+/// Radical inverse with a digit-permutation derived from `scramble`.
+///
+/// The permutation is a simple add-rotate keyed by the scramble word; distinct
+/// scrambles decorrelate pixels while preserving stratification.
+pub fn scrambled_radical_inverse(mut index: u64, base: u32, scramble: u64) -> f32 {
+    let inv_base = 1.0 / base as f64;
+    let mut inv = inv_base;
+    let mut value = 0.0f64;
+    let mut key = scramble;
+    while index > 0 {
+        let digit = (index + key) % base as u64;
+        value += digit as f64 * inv;
+        inv *= inv_base;
+        index /= base as u64;
+        key = key.rotate_left(7) ^ 0x9E37_79B9;
+    }
+    (value as f32).min(1.0 - f32::EPSILON)
+}
+
+/// `dimension`-th coordinate of the `index`-th Halton point.
+///
+/// # Panics
+///
+/// Panics if `dimension >= 16` (enough dimensions for an 8-bounce path).
+pub fn halton(index: u64, dimension: usize) -> f32 {
+    radical_inverse(index, PRIMES[dimension])
+}
+
+/// A per-pixel low-discrepancy sample stream.
+///
+/// Each pixel gets an independently scrambled Halton sequence; consecutive
+/// calls to [`LowDiscrepancy::next_1d`] / [`LowDiscrepancy::next_2d`] consume
+/// consecutive dimensions, and [`LowDiscrepancy::start_sample`] advances to
+/// the next sample index.
+#[derive(Debug, Clone)]
+pub struct LowDiscrepancy {
+    scramble: u64,
+    index: u64,
+    dimension: usize,
+}
+
+impl LowDiscrepancy {
+    /// Sampler for a pixel identified by `pixel_seed`.
+    pub fn new(pixel_seed: u64) -> LowDiscrepancy {
+        LowDiscrepancy {
+            scramble: pixel_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            index: 0,
+            dimension: 0,
+        }
+    }
+
+    /// Begin the `index`-th sample of this pixel; resets the dimension counter.
+    pub fn start_sample(&mut self, index: u64) {
+        self.index = index;
+        self.dimension = 0;
+    }
+
+    /// Next 1D sample value.
+    pub fn next_1d(&mut self) -> f32 {
+        let dim = self.dimension.min(PRIMES.len() - 1);
+        self.dimension += 1;
+        scrambled_radical_inverse(self.index + 1, PRIMES[dim], self.scramble ^ dim as u64)
+    }
+
+    /// Next 2D sample value.
+    pub fn next_2d(&mut self) -> (f32, f32) {
+        (self.next_1d(), self.next_1d())
+    }
+}
+
+/// Map a 2D sample to a cosine-weighted direction on the hemisphere around `normal`.
+pub fn cosine_hemisphere(normal: Vec3, u: (f32, f32)) -> Vec3 {
+    let r = u.0.sqrt();
+    let phi = 2.0 * std::f32::consts::PI * u.1;
+    let x = r * phi.cos();
+    let y = r * phi.sin();
+    let z = (1.0 - u.0).max(0.0).sqrt();
+    Onb::from_normal(normal).to_world(Vec3::new(x, y, z))
+}
+
+/// Map a 2D sample to a uniform direction on the full sphere.
+pub fn uniform_sphere(u: (f32, f32)) -> Vec3 {
+    let z = 1.0 - 2.0 * u.0;
+    let r = (1.0 - z * z).max(0.0).sqrt();
+    let phi = 2.0 * std::f32::consts::PI * u.1;
+    Vec3::new(r * phi.cos(), r * phi.sin(), z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::dot;
+
+    #[test]
+    fn radical_inverse_base2_matches_bit_reversal() {
+        // index 1 -> 0.1b = 0.5; index 2 -> 0.01b = 0.25; index 3 -> 0.11b = 0.75
+        assert_eq!(radical_inverse(1, 2), 0.5);
+        assert_eq!(radical_inverse(2, 2), 0.25);
+        assert_eq!(radical_inverse(3, 2), 0.75);
+        assert_eq!(radical_inverse(0, 2), 0.0);
+    }
+
+    #[test]
+    fn radical_inverse_base3() {
+        assert!((radical_inverse(1, 3) - 1.0 / 3.0).abs() < 1e-6);
+        assert!((radical_inverse(2, 3) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((radical_inverse(3, 3) - 1.0 / 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn halton_values_in_unit_interval() {
+        for i in 0..1000u64 {
+            for d in 0..8 {
+                let v = halton(i, d);
+                assert!((0.0..1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn halton_low_discrepancy_beats_worst_case() {
+        // The first 64 base-2 points must be perfectly stratified into 64 bins.
+        let mut bins = [0u32; 64];
+        for i in 0..64u64 {
+            let v = halton(i, 0);
+            bins[(v * 64.0) as usize] += 1;
+        }
+        assert!(bins.iter().all(|&c| c == 1), "bins: {bins:?}");
+    }
+
+    #[test]
+    fn scrambling_changes_values_but_not_range() {
+        let mut any_different = false;
+        for i in 1..64u64 {
+            let a = scrambled_radical_inverse(i, 2, 1);
+            let b = scrambled_radical_inverse(i, 2, 2);
+            assert!((0.0..1.0).contains(&a));
+            assert!((0.0..1.0).contains(&b));
+            any_different |= a != b;
+        }
+        assert!(any_different, "scrambling never changed any value");
+    }
+
+    #[test]
+    fn sampler_resets_dimension_per_sample() {
+        let mut s = LowDiscrepancy::new(17);
+        s.start_sample(0);
+        let a0 = s.next_1d();
+        s.start_sample(0);
+        let a1 = s.next_1d();
+        assert_eq!(a0, a1);
+        s.start_sample(1);
+        let b = s.next_1d();
+        assert_ne!(a0, b);
+    }
+
+    #[test]
+    fn cosine_hemisphere_in_upper_hemisphere() {
+        let n = Vec3::new(0.2, 0.9, -0.3).normalized();
+        for i in 0..500u64 {
+            let u = (halton(i, 0), halton(i, 1));
+            let d = cosine_hemisphere(n, u);
+            assert!((d.length() - 1.0).abs() < 1e-4);
+            assert!(dot(d, n) >= -1e-5, "direction below surface");
+        }
+    }
+
+    #[test]
+    fn uniform_sphere_is_unit_length() {
+        for i in 0..500u64 {
+            let u = (halton(i, 2), halton(i, 3));
+            let d = uniform_sphere(u);
+            assert!((d.length() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cosine_hemisphere_mean_matches_cosine_distribution() {
+        // E[cos(theta)] for a cosine-weighted distribution is 2/3.
+        let n = Vec3::new(0.0, 0.0, 1.0);
+        let count = 4096u64;
+        let mean: f32 = (0..count)
+            .map(|i| dot(cosine_hemisphere(n, (halton(i, 0), halton(i, 1))), n))
+            .sum::<f32>()
+            / count as f32;
+        assert!((mean - 2.0 / 3.0).abs() < 0.01, "mean cos = {mean}");
+    }
+}

@@ -1,0 +1,117 @@
+//! BSDF sampling for the path tracer's random walk.
+
+use drs_math::{cosine_hemisphere, dot, Vec3};
+use drs_scene::{Material, MaterialKind};
+
+/// A sampled continuation direction and its throughput factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BsdfSample {
+    /// World-space outgoing direction of the scattered ray.
+    pub direction: Vec3,
+    /// Multiplicative throughput (BSDF * cos / pdf), already folded.
+    pub throughput: Vec3,
+}
+
+/// Sample the BSDF of `material` at a surface point.
+///
+/// `incoming` is the direction the path arrived along (pointing *into* the
+/// surface); `normal` is the geometric normal oriented against `incoming`
+/// (callers flip it so `dot(incoming, normal) < 0`). `u` is a 2D
+/// low-discrepancy sample and `lobe_select` a 1D sample used by glossy
+/// materials to pick a lobe.
+///
+/// Returns `None` when the path should terminate at this surface (black
+/// absorber), which none of the standard materials trigger today but keeps
+/// the interface total.
+pub fn sample_bsdf(
+    material: &Material,
+    incoming: Vec3,
+    normal: Vec3,
+    u: (f32, f32),
+    lobe_select: f32,
+) -> Option<BsdfSample> {
+    debug_assert!(dot(incoming, normal) <= 1e-4, "normal must face the ray");
+    match material.kind {
+        MaterialKind::Diffuse => Some(BsdfSample {
+            direction: cosine_hemisphere(normal, u),
+            // Cosine-weighted sampling of a Lambertian: f*cos/pdf = albedo.
+            throughput: material.albedo,
+        }),
+        MaterialKind::Mirror => Some(BsdfSample {
+            direction: incoming.reflect(normal).normalized(),
+            throughput: material.albedo,
+        }),
+        MaterialKind::Glossy => {
+            if lobe_select < material.gloss {
+                // Specular lobe.
+                Some(BsdfSample {
+                    direction: incoming.reflect(normal).normalized(),
+                    throughput: material.albedo,
+                })
+            } else {
+                Some(BsdfSample {
+                    direction: cosine_hemisphere(normal, u),
+                    throughput: material.albedo,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drs_math::halton;
+
+    fn down_ray_and_up_normal() -> (Vec3, Vec3) {
+        (Vec3::new(0.3, -0.9, 0.1).normalized(), Vec3::new(0.0, 1.0, 0.0))
+    }
+
+    #[test]
+    fn diffuse_scatters_into_upper_hemisphere() {
+        let (wi, n) = down_ray_and_up_normal();
+        let m = Material::diffuse(Vec3::splat(0.5));
+        for i in 0..200u64 {
+            let s = sample_bsdf(&m, wi, n, (halton(i, 0), halton(i, 1)), 0.0).unwrap();
+            assert!(dot(s.direction, n) >= -1e-5);
+            assert_eq!(s.throughput, Vec3::splat(0.5));
+        }
+    }
+
+    #[test]
+    fn mirror_reflects_exactly() {
+        let (wi, n) = down_ray_and_up_normal();
+        let m = Material::mirror(Vec3::ONE);
+        let s = sample_bsdf(&m, wi, n, (0.5, 0.5), 0.0).unwrap();
+        let expected = wi.reflect(n).normalized();
+        assert!((s.direction - expected).length() < 1e-6);
+        // Incident angle equals exitant angle.
+        assert!((dot(-wi, n) - dot(s.direction, n)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn glossy_mixes_lobes_by_gloss() {
+        let (wi, n) = down_ray_and_up_normal();
+        let m = Material::glossy(Vec3::ONE, 0.4);
+        let mirror_dir = wi.reflect(n).normalized();
+        let spec = sample_bsdf(&m, wi, n, (0.2, 0.7), 0.1).unwrap();
+        assert!((spec.direction - mirror_dir).length() < 1e-6, "lobe_select < gloss is specular");
+        let diff = sample_bsdf(&m, wi, n, (0.2, 0.7), 0.9).unwrap();
+        assert!((diff.direction - mirror_dir).length() > 1e-3, "lobe_select >= gloss is diffuse");
+    }
+
+    #[test]
+    fn throughput_never_exceeds_albedo() {
+        let (wi, n) = down_ray_and_up_normal();
+        for m in [
+            Material::diffuse(Vec3::new(0.2, 0.4, 0.6)),
+            Material::mirror(Vec3::new(0.9, 0.9, 0.9)),
+            Material::glossy(Vec3::new(0.5, 0.5, 0.5), 0.5),
+        ] {
+            let s = sample_bsdf(&m, wi, n, (0.3, 0.3), 0.3).unwrap();
+            assert!(s.throughput.x <= m.albedo.x + 1e-6);
+            assert!(s.throughput.y <= m.albedo.y + 1e-6);
+            assert!(s.throughput.z <= m.albedo.z + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! A simple HDR image buffer with PPM export.
+
+use drs_math::Vec3;
+use std::io::{self, Write};
+
+/// A row-major buffer of linear-radiance pixels.
+#[derive(Debug, Clone)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<Vec3>,
+}
+
+impl Image {
+    /// An all-black image of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Image {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        Image {
+            width,
+            height,
+            pixels: vec![Vec3::ZERO; width * height],
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Read a pixel (x right, y down).
+    pub fn pixel(&self, x: usize, y: usize) -> Vec3 {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Accumulate radiance into a pixel.
+    pub fn add(&mut self, x: usize, y: usize, value: Vec3) {
+        self.pixels[y * self.width + x] += value;
+    }
+
+    /// Scale every pixel (e.g. by `1/spp` after accumulation).
+    pub fn scale(&mut self, factor: f32) {
+        for p in &mut self.pixels {
+            *p *= factor;
+        }
+    }
+
+    /// Mean luminance over the image (Rec. 709 weights).
+    pub fn mean_luminance(&self) -> f32 {
+        let sum: f32 = self
+            .pixels
+            .iter()
+            .map(|p| 0.2126 * p.x + 0.7152 * p.y + 0.0722 * p.z)
+            .sum();
+        sum / self.pixels.len() as f32
+    }
+
+    /// Write the image as a binary PPM (P6) with gamma-2.2 tonemapping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the writer.
+    pub fn write_ppm<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "P6\n{} {}\n255", self.width, self.height)?;
+        let mut row = Vec::with_capacity(self.width * 3);
+        for y in 0..self.height {
+            row.clear();
+            for x in 0..self.width {
+                let p = self.pixel(x, y);
+                for c in [p.x, p.y, p.z] {
+                    let v = c.max(0.0).powf(1.0 / 2.2).min(1.0);
+                    row.push((v * 255.0 + 0.5) as u8);
+                }
+            }
+            w.write_all(&row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_and_scale() {
+        let mut img = Image::new(4, 2);
+        img.add(1, 1, Vec3::splat(2.0));
+        img.add(1, 1, Vec3::splat(2.0));
+        img.scale(0.25);
+        assert_eq!(img.pixel(1, 1), Vec3::splat(1.0));
+        assert_eq!(img.pixel(0, 0), Vec3::ZERO);
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let mut img = Image::new(3, 2);
+        img.add(0, 0, Vec3::ONE);
+        let mut buf = Vec::new();
+        img.write_ppm(&mut buf).unwrap();
+        let header = b"P6\n3 2\n255\n";
+        assert_eq!(&buf[..header.len()], header);
+        assert_eq!(buf.len(), header.len() + 3 * 2 * 3);
+        // White pixel maps to 255.
+        assert_eq!(buf[header.len()], 255);
+    }
+
+    #[test]
+    fn mean_luminance_of_gray() {
+        let mut img = Image::new(2, 2);
+        for y in 0..2 {
+            for x in 0..2 {
+                img.add(x, y, Vec3::splat(0.5));
+            }
+        }
+        assert!((img.mean_luminance() - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_size_panics() {
+        Image::new(0, 4);
+    }
+}

@@ -1,0 +1,37 @@
+//! A from-scratch path tracer over the BVH substrate.
+//!
+//! The paper renders its benchmarks with PBRT's path-tracing integrator at
+//! 640×480 / 64 spp and a maximum ray-bounce depth of eight, treating shading
+//! and ray generation as a black box and streaming the resulting rays into
+//! the ray-tracing kernels. This crate plays PBRT's role:
+//!
+//! - [`PathTracer`] renders images functionally (used by the examples to
+//!   produce PPM output and by tests to sanity-check light transport), and
+//! - [`PathTracer::walk_paths`] exposes the *bounce-by-bounce ray streams*
+//!   that `drs-trace` captures into simulator workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use drs_render::{PathTracer, RenderConfig};
+//! use drs_scene::SceneKind;
+//!
+//! let scene = SceneKind::Conference.build_with_tris(500);
+//! let tracer = PathTracer::new(&scene);
+//! let cfg = RenderConfig { width: 16, height: 12, samples_per_pixel: 1, ..Default::default() };
+//! let img = tracer.render(&cfg);
+//! assert_eq!(img.width(), 16);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bsdf;
+mod image;
+mod integrator;
+
+pub use bsdf::{sample_bsdf, BsdfSample};
+pub use image::Image;
+pub use integrator::{BouncePath, BounceVisitor, PathTracer, RenderConfig};
+
+/// Maximum path depth used throughout the paper's evaluation.
+pub const PAPER_MAX_DEPTH: usize = 8;

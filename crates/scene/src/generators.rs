@@ -1,0 +1,340 @@
+//! The four procedural benchmark-scene generators.
+//!
+//! Each generator takes a target triangle count and assembles geometry whose
+//! *spatial statistics* mimic the corresponding paper asset (see the crate
+//! docs for the mapping). Counts quantize to structural elements, so the
+//! result is close to — but rarely exactly — the target.
+
+use crate::{Camera, Material, Scene, SceneKind};
+use drs_geom::MeshBuilder;
+use drs_math::{Vec3, XorShift64};
+
+/// Material indices shared by the generators for readability.
+mod mat {
+    pub const FLOOR: u32 = 0;
+    pub const WALL: u32 = 1;
+    pub const FURNITURE: u32 = 2;
+    pub const LIGHT: u32 = 3;
+    #[allow(dead_code)]
+    pub const MIRROR: u32 = 4;
+    pub const FOLIAGE: u32 = 5;
+}
+
+fn standard_materials() -> Vec<Material> {
+    vec![
+        Material::diffuse(Vec3::new(0.55, 0.5, 0.45)),  // FLOOR
+        Material::diffuse(Vec3::new(0.7, 0.68, 0.6)),   // WALL
+        Material::glossy(Vec3::new(0.45, 0.3, 0.2), 0.3), // FURNITURE
+        Material::light(12.0),                           // LIGHT
+        Material::mirror(Vec3::new(0.9, 0.9, 0.95)),     // MIRROR
+        Material::diffuse(Vec3::new(0.2, 0.5, 0.15)),    // FOLIAGE
+    ]
+}
+
+/// Indoor conference room: closed box, ceiling light panels, clustered
+/// furniture unevenly distributed across the floor.
+pub fn conference(target_tris: usize) -> Scene {
+    let mut rng = XorShift64::new(0xC0FFEE);
+    let mut b = MeshBuilder::new();
+    // Room shell: 16 x 5 x 10 meters. Tessellated floor/ceiling so primary
+    // rays spread over many leaves.
+    let (w, h, d) = (16.0, 5.0, 10.0);
+    let res = ((target_tris / 20).max(8) as f32).sqrt() as usize;
+    b.material(mat::FLOOR)
+        .grid_xz(Vec3::new(0.0, 0.0, 0.0), Vec3::new(w, 0.0, d), 0.0, res, res);
+    b.material(mat::WALL)
+        .grid_xz(Vec3::new(0.0, 0.0, 0.0), Vec3::new(w, 0.0, d), h, res / 2 + 1, res / 2 + 1);
+    // Four walls.
+    b.material(mat::WALL);
+    b.quad(
+        Vec3::new(0.0, 0.0, 0.0),
+        Vec3::new(w, 0.0, 0.0),
+        Vec3::new(w, h, 0.0),
+        Vec3::new(0.0, h, 0.0),
+    );
+    b.quad(
+        Vec3::new(0.0, 0.0, d),
+        Vec3::new(0.0, h, d),
+        Vec3::new(w, h, d),
+        Vec3::new(w, 0.0, d),
+    );
+    b.quad(
+        Vec3::new(0.0, 0.0, 0.0),
+        Vec3::new(0.0, h, 0.0),
+        Vec3::new(0.0, h, d),
+        Vec3::new(0.0, 0.0, d),
+    );
+    b.quad(
+        Vec3::new(w, 0.0, 0.0),
+        Vec3::new(w, 0.0, d),
+        Vec3::new(w, h, d),
+        Vec3::new(w, h, 0.0),
+    );
+    // Ceiling light panels: a 4x2 array of emissive quads slightly below the
+    // ceiling. These terminate upward-bounced rays quickly.
+    b.material(mat::LIGHT);
+    for i in 0..4 {
+        for j in 0..2 {
+            let cx = w * (0.2 + 0.2 * i as f32);
+            let cz = d * (0.33 + 0.34 * j as f32);
+            let (lw, ld) = (1.6, 1.0);
+            b.quad(
+                Vec3::new(cx - lw / 2.0, h - 0.05, cz - ld / 2.0),
+                Vec3::new(cx + lw / 2.0, h - 0.05, cz - ld / 2.0),
+                Vec3::new(cx + lw / 2.0, h - 0.05, cz + ld / 2.0),
+                Vec3::new(cx - lw / 2.0, h - 0.05, cz + ld / 2.0),
+            );
+        }
+    }
+    // Central conference table.
+    b.material(mat::FURNITURE)
+        .aa_box(Vec3::new(4.0, 0.7, 3.0), Vec3::new(12.0, 0.85, 7.0));
+    for leg in 0..4 {
+        let lx = if leg % 2 == 0 { 4.4 } else { 11.6 };
+        let lz = if leg / 2 == 0 { 3.4 } else { 6.6 };
+        b.aa_box(Vec3::new(lx - 0.1, 0.0, lz - 0.1), Vec3::new(lx + 0.1, 0.7, lz + 0.1));
+    }
+    // Chairs: clusters of small boxes filling the remaining budget, packed
+    // unevenly (denser near the table, sparse at the room edges).
+    let used = b.len();
+    let budget = target_tris.saturating_sub(used);
+    let per_chair = 12 * 3; // seat + back + legs-block
+    let n_chairs = (budget / per_chair).max(4);
+    for _ in 0..n_chairs {
+        // Bias positions toward the table with a squared-uniform pull.
+        let ux = rng.next_f32();
+        let uz = rng.next_f32();
+        let cx = 8.0 + (ux - 0.5) * (ux - 0.5).abs() * 4.0 * w * 0.45 + (ux - 0.5) * 2.0;
+        let cz = 5.0 + (uz - 0.5) * (uz - 0.5).abs() * 4.0 * d * 0.45 + (uz - 0.5) * 1.5;
+        let cx = cx.clamp(0.5, w - 0.5);
+        let cz = cz.clamp(0.5, d - 0.5);
+        let s = 0.22 + rng.next_f32() * 0.06;
+        b.aa_box(
+            Vec3::new(cx - s, 0.35, cz - s),
+            Vec3::new(cx + s, 0.45, cz + s),
+        ); // seat
+        b.aa_box(
+            Vec3::new(cx - s, 0.45, cz + s - 0.05),
+            Vec3::new(cx + s, 0.95, cz + s),
+        ); // back
+        b.aa_box(
+            Vec3::new(cx - s + 0.05, 0.0, cz - s + 0.05),
+            Vec3::new(cx + s - 0.05, 0.35, cz + s - 0.05),
+        ); // legs block
+    }
+    let camera = Camera::look_at(
+        Vec3::new(2.0, 1.7, 1.5),
+        Vec3::new(9.0, 1.0, 6.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        62.0,
+        640.0 / 480.0,
+    );
+    Scene::new(SceneKind::Conference, b.build(), standard_materials(), camera, 0.0)
+}
+
+/// Outdoor "teapot in a stadium": one small very dense cluster in a huge,
+/// almost empty environment.
+pub fn fairy_forest(target_tris: usize) -> Scene {
+    let mut rng = XorShift64::new(0xFA17);
+    let mut b = MeshBuilder::new();
+    // Vast ground plane, coarsely tessellated: cheap to hit, huge extent.
+    let half = 200.0;
+    let ground_res = 16;
+    b.material(mat::FLOOR).grid_xz(
+        Vec3::new(-half, 0.0, -half),
+        Vec3::new(half, 0.0, half),
+        0.0,
+        ground_res,
+        ground_res,
+    );
+    // A ring of sparse "trees" (columns) around the center.
+    b.material(mat::FOLIAGE);
+    for k in 0..12 {
+        let ang = k as f32 / 12.0 * std::f32::consts::TAU;
+        let r = 25.0 + (k % 3) as f32 * 10.0;
+        b.column(Vec3::new(r * ang.cos(), 0.0, r * ang.sin()), 8.0, 0.6, 6);
+    }
+    // The "fairy": a tiny, extremely dense cluster of triangles at the
+    // center. This gets ~90 % of the triangle budget inside a 2 m box —
+    // the classic teapot-in-a-stadium BVH pathology.
+    let used = b.len();
+    let cluster = target_tris.saturating_sub(used).max(100);
+    b.material(mat::FURNITURE).scatter(
+        Vec3::new(-1.0, 0.2, -1.0),
+        Vec3::new(1.0, 2.6, 1.0),
+        cluster,
+        0.08,
+        &mut rng,
+    );
+    let camera = Camera::look_at(
+        Vec3::new(5.5, 2.2, 5.5),
+        Vec3::new(0.0, 1.2, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        55.0,
+        640.0 / 480.0,
+    );
+    Scene::new(SceneKind::FairyForest, b.build(), standard_materials(), camera, 1.0)
+}
+
+/// Architecturally complex atrium: two storeys of colonnades around a
+/// courtyard with only a narrow sky opening — rays are hard to terminate.
+pub fn crytek_sponza(target_tris: usize) -> Scene {
+    let mut b = MeshBuilder::new();
+    let (w, h, d) = (30.0, 12.0, 14.0);
+    let res = ((target_tris / 12).max(8) as f32).sqrt() as usize;
+    // Floor and interior wall faces, finely tessellated (wall detail is what
+    // makes sponza's traversal long).
+    b.material(mat::FLOOR)
+        .grid_xz(Vec3::new(0.0, 0.0, 0.0), Vec3::new(w, 0.0, d), 0.0, res, res);
+    b.material(mat::WALL);
+    // Long walls get tessellated panels via thin boxes stacked along them.
+    let panels = (res / 2).max(4);
+    for i in 0..panels {
+        let x0 = w * i as f32 / panels as f32;
+        let x1 = w * (i + 1) as f32 / panels as f32;
+        b.aa_box(Vec3::new(x0, 0.0, -0.2), Vec3::new(x1, h, 0.0));
+        b.aa_box(Vec3::new(x0, 0.0, d), Vec3::new(x1, h, d + 0.2));
+    }
+    b.aa_box(Vec3::new(-0.2, 0.0, 0.0), Vec3::new(0.0, h, d));
+    b.aa_box(Vec3::new(w, 0.0, 0.0), Vec3::new(w + 0.2, h, d));
+    // Ceiling ring: mostly closed, with a narrow open slot over the
+    // courtyard (the only way out for a bounced ray).
+    let slot0 = w * 0.42;
+    let slot1 = w * 0.58;
+    b.quad(
+        Vec3::new(0.0, h, 0.0),
+        Vec3::new(0.0, h, d),
+        Vec3::new(slot0, h, d),
+        Vec3::new(slot0, h, 0.0),
+    );
+    b.quad(
+        Vec3::new(slot1, h, 0.0),
+        Vec3::new(slot1, h, d),
+        Vec3::new(w, h, d),
+        Vec3::new(w, h, 0.0),
+    );
+    // Two storeys of colonnades with walkway slabs.
+    let remaining = target_tris.saturating_sub(b.len());
+    let per_column = 10 * 4; // 10-sided prism
+    let n_cols = (remaining / (2 * per_column)).clamp(6, 4000);
+    let cols_per_row = (n_cols / 2).max(3);
+    for storey in 0..2 {
+        let y = storey as f32 * 5.0;
+        for i in 0..cols_per_row {
+            let x = 2.0 + (w - 4.0) * i as f32 / cols_per_row as f32;
+            b.material(mat::WALL).column(Vec3::new(x, y, 3.0), 4.2, 0.45, 10);
+            b.column(Vec3::new(x, y, d - 3.0), 4.2, 0.45, 10);
+        }
+        // Walkway slabs over the colonnades.
+        b.aa_box(Vec3::new(1.0, y + 4.2, 2.0), Vec3::new(w - 1.0, y + 4.6, 4.0));
+        b.aa_box(Vec3::new(1.0, y + 4.2, d - 4.0), Vec3::new(w - 1.0, y + 4.6, d - 2.0));
+    }
+    let camera = Camera::look_at(
+        Vec3::new(3.0, 2.0, d / 2.0),
+        Vec3::new(w - 4.0, 3.5, d / 2.0 + 0.5),
+        Vec3::new(0.0, 1.0, 0.0),
+        65.0,
+        640.0 / 480.0,
+    );
+    Scene::new(SceneKind::CrytekSponza, b.build(), standard_materials(), camera, 0.8)
+}
+
+/// Dense outdoor foliage: a huge number of small triangles distributed
+/// uniformly over terrain, so bounced rays are almost always re-occluded.
+pub fn plants(target_tris: usize) -> Scene {
+    let mut rng = XorShift64::new(0x9157);
+    let mut b = MeshBuilder::new();
+    let half = 40.0;
+    let terrain_res = 20;
+    b.material(mat::FLOOR).grid_xz(
+        Vec3::new(-half, 0.0, -half),
+        Vec3::new(half, 0.0, half),
+        0.0,
+        terrain_res,
+        terrain_res,
+    );
+    // Fill essentially the whole budget with foliage triangles in a thick
+    // layer above the ground. Density is uniform — the paper calls out that
+    // the plants scene's objects are "densely distributed".
+    let used = b.len();
+    let foliage = target_tris.saturating_sub(used).max(100);
+    b.material(mat::FOLIAGE).scatter(
+        Vec3::new(-half, 0.0, -half),
+        Vec3::new(half, 6.0, half),
+        foliage,
+        0.35,
+        &mut rng,
+    );
+    let camera = Camera::look_at(
+        Vec3::new(-half * 0.8, 3.0, -half * 0.8),
+        Vec3::new(0.0, 1.5, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        60.0,
+        640.0 / 480.0,
+    );
+    Scene::new(SceneKind::Plants, b.build(), standard_materials(), camera, 0.9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fairy_forest_concentrates_triangles_centrally() {
+        let scene = fairy_forest(5_000);
+        let center_box = drs_math::Aabb::new(Vec3::new(-1.5, 0.0, -1.5), Vec3::new(1.5, 3.0, 1.5));
+        let inside = scene
+            .mesh()
+            .triangles()
+            .iter()
+            .filter(|t| center_box.contains(t.centroid()))
+            .count();
+        let frac = inside as f32 / scene.mesh().len() as f32;
+        assert!(frac > 0.7, "only {frac} of triangles in the dense cluster");
+    }
+
+    #[test]
+    fn conference_is_closed_above() {
+        // Every upward ray from the room interior must hit geometry
+        // (ceiling) — crude check via bounding box height vs light panels.
+        let scene = conference(2_000);
+        let bb = scene.bounds();
+        assert!(bb.max.y >= 5.0 - 1e-3);
+        let lights = scene
+            .mesh()
+            .triangles()
+            .iter()
+            .filter(|t| scene.materials()[t.material as usize].is_emissive())
+            .count();
+        assert!(lights >= 8, "need several ceiling panels, got {lights}");
+    }
+
+    #[test]
+    fn sponza_has_two_storeys_of_columns() {
+        let scene = crytek_sponza(8_000);
+        let tall = scene
+            .mesh()
+            .triangles()
+            .iter()
+            .filter(|t| t.centroid().y > 5.0 && t.centroid().y < 9.5)
+            .count();
+        assert!(tall > 100, "expected upper-storey geometry, got {tall}");
+    }
+
+    #[test]
+    fn plants_is_spatially_uniform() {
+        let scene = plants(8_000);
+        // Split the world into 4 quadrants; each should hold 15-35 % of tris.
+        let mut quads = [0usize; 4];
+        for t in scene.mesh().triangles() {
+            let c = t.centroid();
+            let q = (c.x > 0.0) as usize * 2 + (c.z > 0.0) as usize;
+            quads[q] += 1;
+        }
+        let total: usize = quads.iter().sum();
+        for q in quads {
+            let frac = q as f32 / total as f32;
+            assert!((0.15..0.35).contains(&frac), "quadrant fraction {frac}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Surface materials for the path tracer.
+
+use drs_math::Vec3;
+
+/// The reflection model of a surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaterialKind {
+    /// Lambertian diffuse reflection.
+    Diffuse,
+    /// Perfect mirror reflection.
+    Mirror,
+    /// Glossy: mirror direction perturbed within a cone (modelled as a mix
+    /// of specular and diffuse lobes selected per-sample).
+    Glossy,
+}
+
+/// A surface material: a BSDF kind, an albedo and an optional emission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Material {
+    /// Which BSDF lobe the surface uses.
+    pub kind: MaterialKind,
+    /// Reflectance colour in `[0,1]³`.
+    pub albedo: Vec3,
+    /// Scalar emitted radiance; positive for area lights.
+    pub emission: f32,
+    /// Probability a path sample takes the specular lobe (glossy only; zero
+    /// for other kinds).
+    pub gloss: f32,
+}
+
+impl Material {
+    /// A Lambertian surface with the given reflectance.
+    pub fn diffuse(albedo: Vec3) -> Material {
+        Material {
+            kind: MaterialKind::Diffuse,
+            albedo,
+            emission: 0.0,
+            gloss: 0.0,
+        }
+    }
+
+    /// A perfect mirror with the given tint.
+    pub fn mirror(albedo: Vec3) -> Material {
+        Material {
+            kind: MaterialKind::Mirror,
+            albedo,
+            emission: 0.0,
+            gloss: 0.0,
+        }
+    }
+
+    /// A glossy surface: `gloss ∈ [0,1]` is the probability a path sample
+    /// takes the specular lobe rather than the diffuse lobe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gloss` lies outside `[0, 1]`.
+    pub fn glossy(albedo: Vec3, gloss: f32) -> Material {
+        assert!((0.0..=1.0).contains(&gloss), "gloss out of range: {gloss}");
+        Material {
+            kind: MaterialKind::Glossy,
+            albedo,
+            emission: 0.0,
+            gloss,
+        }
+    }
+
+    /// An emissive (area light) surface with the given radiance.
+    pub fn light(emission: f32) -> Material {
+        assert!(emission > 0.0, "light emission must be positive");
+        Material {
+            kind: MaterialKind::Diffuse,
+            albedo: Vec3::splat(0.8),
+            emission,
+            gloss: 0.0,
+        }
+    }
+
+    /// True if this material emits light.
+    pub fn is_emissive(&self) -> bool {
+        self.emission > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(Material::diffuse(Vec3::ONE).kind, MaterialKind::Diffuse);
+        assert_eq!(Material::mirror(Vec3::ONE).kind, MaterialKind::Mirror);
+        assert_eq!(Material::glossy(Vec3::ONE, 0.5).kind, MaterialKind::Glossy);
+    }
+
+    #[test]
+    fn lights_are_emissive() {
+        assert!(Material::light(5.0).is_emissive());
+        assert!(!Material::diffuse(Vec3::ONE).is_emissive());
+        assert!(!Material::glossy(Vec3::ONE, 0.3).is_emissive());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_emission_light_panics() {
+        Material::light(0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gloss_out_of_range_panics() {
+        Material::glossy(Vec3::ONE, 1.5);
+    }
+}

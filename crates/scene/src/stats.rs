@@ -1,0 +1,113 @@
+//! Geometric statistics of a scene, used to verify that procedural
+//! stand-ins preserve each benchmark's spatial character.
+
+use crate::Scene;
+use drs_math::Vec3;
+
+/// Summary statistics over a scene's triangles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SceneStats {
+    /// Triangle count.
+    pub triangles: usize,
+    /// Mean triangle surface area.
+    pub mean_area: f32,
+    /// World-bounds volume.
+    pub bounds_volume: f32,
+    /// Fraction of triangles inside the densest cell of a 5x5 plan-view
+    /// (XZ) grid over the world bounds — near 1.0 for "teapot in a
+    /// stadium" layouts, small for uniformly distributed geometry.
+    pub densest_cell_fraction: f32,
+    /// Fraction of triangles that are emissive.
+    pub emissive_fraction: f32,
+}
+
+impl SceneStats {
+    /// Compute statistics for a scene.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty scene.
+    pub fn of(scene: &Scene) -> SceneStats {
+        let tris = scene.mesh().triangles();
+        assert!(!tris.is_empty(), "scene has no geometry");
+        let bounds = scene.bounds();
+        const GRID: usize = 5; // odd, so a central cluster stays in one cell
+        let mut cells = vec![0usize; GRID * GRID];
+        let mut total_area = 0.0f64;
+        let mut emissive = 0usize;
+        for t in tris {
+            total_area += t.area() as f64;
+            let i = cell_of(t.centroid(), &bounds, GRID);
+            cells[i] += 1;
+            if scene.materials()[t.material as usize].is_emissive() {
+                emissive += 1;
+            }
+        }
+        let densest = *cells.iter().max().expect("grid nonempty");
+        let e = bounds.extent();
+        SceneStats {
+            triangles: tris.len(),
+            mean_area: (total_area / tris.len() as f64) as f32,
+            bounds_volume: e.x * e.y * e.z,
+            densest_cell_fraction: densest as f32 / tris.len() as f32,
+            emissive_fraction: emissive as f32 / tris.len() as f32,
+        }
+    }
+}
+
+/// Plan-view (XZ) cell index of a point.
+fn cell_of(p: Vec3, bounds: &drs_math::Aabb, grid: usize) -> usize {
+    let e = bounds.extent();
+    let axis = |v: f32, lo: f32, ext: f32| -> usize {
+        if ext <= 0.0 {
+            0
+        } else {
+            (((v - lo) / ext * grid as f32) as usize).min(grid - 1)
+        }
+    };
+    let x = axis(p.x, bounds.min.x, e.x);
+    let z = axis(p.z, bounds.min.z, e.z);
+    z * grid + x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SceneKind;
+
+    #[test]
+    fn fairy_forest_is_a_teapot_in_a_stadium() {
+        let fairy = SceneStats::of(&SceneKind::FairyForest.build_with_tris(4_000));
+        let plants = SceneStats::of(&SceneKind::Plants.build_with_tris(4_000));
+        assert!(
+            fairy.densest_cell_fraction > 0.5,
+            "fairy concentration {}",
+            fairy.densest_cell_fraction
+        );
+        assert!(
+            plants.densest_cell_fraction < 0.2,
+            "plants should be uniform, got {}",
+            plants.densest_cell_fraction
+        );
+    }
+
+    #[test]
+    fn conference_has_emissive_geometry_others_do_not() {
+        let conf = SceneStats::of(&SceneKind::Conference.build_with_tris(2_000));
+        assert!(conf.emissive_fraction > 0.0);
+        let sponza = SceneStats::of(&SceneKind::CrytekSponza.build_with_tris(2_000));
+        assert_eq!(sponza.emissive_fraction, 0.0);
+    }
+
+    #[test]
+    fn stats_fields_are_finite_and_positive() {
+        for kind in SceneKind::ALL {
+            let s = SceneStats::of(&kind.build_with_tris(1_500));
+            assert!(s.triangles > 0);
+            assert!(s.mean_area.is_finite() && s.mean_area > 0.0);
+            assert!(s.bounds_volume.is_finite() && s.bounds_volume > 0.0);
+            assert!((0.0..=1.0).contains(&s.densest_cell_fraction));
+            assert!((0.0..=1.0).contains(&s.emissive_fraction));
+        }
+    }
+}

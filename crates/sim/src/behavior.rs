@@ -1,0 +1,96 @@
+//! The kernel-behavior and special-unit extension traits.
+
+use crate::state::MachineState;
+use crate::stats::SimStats;
+
+/// Interprets a program's condition / address / effect tokens against the
+/// machine's ray slots. Implemented by each ray-tracing kernel.
+pub trait KernelBehavior {
+    /// Evaluate branch condition `token` for `lane` of `warp`.
+    fn eval_cond(&self, token: u16, warp: usize, lane: usize, m: &MachineState<'_>) -> bool;
+
+    /// Produce the byte address for address token `token` on `lane`.
+    fn eval_addr(&self, token: u16, warp: usize, lane: usize, m: &MachineState<'_>) -> u64;
+
+    /// Apply effect `token` for `lane` of `warp` (consume a step, fetch a
+    /// ray, retire, update state registers, …).
+    fn apply_effect(&self, token: u16, warp: usize, lane: usize, m: &mut MachineState<'_>);
+
+    /// Number of ray slots the kernel wants (defaults to one per lane).
+    fn slot_count(&self, warps: usize, lanes: usize) -> usize {
+        warps * lanes
+    }
+
+    /// Prepare machine state before cycle 0 (pre-fetch rays, mark padding
+    /// slots unusable, …). Default: nothing.
+    fn initialize(&self, m: &mut MachineState<'_>) {
+        let _ = m;
+    }
+}
+
+/// Result of presenting a `Special` micro-op to the attached unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecialOutcome {
+    /// The warp cannot issue this cycle; the scheduler will retry.
+    Stall,
+    /// The op issues; `ctrl` is latched into the warp's control register.
+    Proceed {
+        /// Warp-wide value returned by the unit (e.g. `rdctrl`'s
+        /// `trav_ctrl_val`).
+        ctrl: u32,
+    },
+}
+
+/// A hardware unit attached to the core (DRS control, DMK spawn unit, TBC
+/// compactor). Sees every `Special` issue attempt and ticks every cycle.
+pub trait SpecialUnit {
+    /// A warp attempts to issue `Special { token }`. May inspect and mutate
+    /// machine state (remap lanes, move rays) and must decide whether the
+    /// warp stalls or proceeds.
+    fn issue(
+        &mut self,
+        warp: usize,
+        token: u16,
+        m: &mut MachineState<'_>,
+        stats: &mut SimStats,
+    ) -> SpecialOutcome;
+
+    /// Per-cycle tick, after instruction issue. `idle_banks[b]` is true when
+    /// register-file bank `b` had a free port this cycle (the DRS swap
+    /// engine moves ray registers through exactly these free ports).
+    fn tick(&mut self, cycle: u64, idle_banks: &[bool], m: &mut MachineState<'_>, stats: &mut SimStats);
+}
+
+/// A no-op special unit for kernels without hardware assistance.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSpecial;
+
+impl SpecialUnit for NullSpecial {
+    fn issue(
+        &mut self,
+        _warp: usize,
+        _token: u16,
+        _m: &mut MachineState<'_>,
+        _stats: &mut SimStats,
+    ) -> SpecialOutcome {
+        SpecialOutcome::Proceed { ctrl: 0 }
+    }
+
+    fn tick(&mut self, _cycle: u64, _idle: &[bool], _m: &mut MachineState<'_>, _stats: &mut SimStats) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drs_trace::{RayScript, Termination};
+
+    #[test]
+    fn null_special_never_stalls() {
+        let scripts = [RayScript::new(vec![], Termination::Escaped)];
+        let mut m = MachineState::new(&scripts, 1, 1, 1);
+        let mut stats = SimStats::default();
+        let mut u = NullSpecial;
+        assert_eq!(u.issue(0, 0, &mut m, &mut stats), SpecialOutcome::Proceed { ctrl: 0 });
+        u.tick(0, &[true; 4], &mut m, &mut stats);
+    }
+}

@@ -1,0 +1,169 @@
+//! GPU microarchitectural configuration (the paper's Table 1).
+
+/// Warp scheduling policy of each scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulerPolicy {
+    /// Greedy-then-oldest (the paper's Table 1 configuration): keep issuing
+    /// from the current warp until it stalls, then fall back to the oldest
+    /// (lowest-id) ready warp.
+    #[default]
+    GreedyThenOldest,
+    /// Loose round-robin: rotate the preferred warp every cycle. Kept as an
+    /// ablation — GTO's latency-hiding bias is worth measuring against.
+    LooseRoundRobin,
+}
+
+/// Configuration of the simulated GPU core and memory system.
+///
+/// Defaults come from the paper's Table 1 (an NVIDIA GeForce GTX 780,
+/// Kepler). Only one SMX is simulated; `smx_count` scales reported
+/// whole-GPU throughput.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// SMX core clock in MHz (Table 1: 980 MHz).
+    pub clock_mhz: u32,
+    /// SIMD lanes per warp (Table 1: 32).
+    pub simd_lanes: usize,
+    /// Number of SMXs on the GPU (Table 1: 15).
+    pub smx_count: usize,
+    /// Warp schedulers per SMX (Table 1: 4).
+    pub warp_schedulers: usize,
+    /// Scheduling policy (Table 1: greedy-then-oldest).
+    pub scheduler_policy: SchedulerPolicy,
+    /// Instruction dispatch units per SMX (Table 1: 8) — i.e. each
+    /// scheduler may dual-issue.
+    pub dispatch_units: usize,
+    /// 32-bit registers per SMX (Table 1: 65536).
+    pub registers_per_smx: usize,
+    /// Register file banks per SMX.
+    pub register_banks: usize,
+    /// Maximum resident warps the kernel launches on this SMX.
+    pub max_warps: usize,
+    /// L1 data cache size in bytes (Table 1: 48 KB).
+    pub l1d_bytes: usize,
+    /// L1 texture cache size in bytes (Table 1: 48 KB) — BVH nodes and
+    /// triangle data are read through this cache.
+    pub l1t_bytes: usize,
+    /// L2 cache size in bytes (Table 1: 1536 KB). One SMX sees its share.
+    pub l2_bytes: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Cache associativity (all levels).
+    pub cache_ways: usize,
+    /// ALU result latency in cycles.
+    pub alu_latency: u32,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u32,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u32,
+    /// DRAM access latency in cycles.
+    pub dram_latency: u32,
+    /// Taken-branch redirect penalty in cycles.
+    pub branch_penalty: u32,
+    /// Safety cap on simulated cycles (guards against livelock bugs).
+    pub max_cycles: u64,
+}
+
+impl GpuConfig {
+    /// The paper's baseline: a GTX 780 (Kepler) as configured in Table 1.
+    pub fn gtx780() -> GpuConfig {
+        GpuConfig {
+            clock_mhz: 980,
+            simd_lanes: 32,
+            smx_count: 15,
+            warp_schedulers: 4,
+            scheduler_policy: SchedulerPolicy::GreedyThenOldest,
+            dispatch_units: 8,
+            registers_per_smx: 65_536,
+            register_banks: 32,
+            max_warps: 48,
+            l1d_bytes: 48 * 1024,
+            l1t_bytes: 48 * 1024,
+            l2_bytes: 1536 * 1024 / 15, // one SMX's slice of the shared L2
+            line_bytes: 128,
+            cache_ways: 8,
+            alu_latency: 9,
+            l1_latency: 30,
+            l2_latency: 190,
+            dram_latency: 440,
+            branch_penalty: 2,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// Peak instructions issued per cycle (dispatch units).
+    pub fn peak_ipc(&self) -> usize {
+        self.dispatch_units
+    }
+
+    /// How many instructions one scheduler may issue per cycle.
+    pub fn issues_per_scheduler(&self) -> usize {
+        (self.dispatch_units / self.warp_schedulers).max(1)
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical configurations (zero lanes, schedulers that
+    /// outnumber dispatch units, non-power-of-two line size).
+    pub fn validate(&self) {
+        assert!(self.simd_lanes > 0 && self.simd_lanes <= 32, "lanes in 1..=32");
+        assert!(self.warp_schedulers > 0, "need at least one scheduler");
+        assert!(self.dispatch_units >= self.warp_schedulers, "dispatch < schedulers");
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.max_warps > 0, "need at least one warp");
+        assert!(self.register_banks > 0, "need at least one register bank");
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig::gtx780()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let c = GpuConfig::gtx780();
+        assert_eq!(c.clock_mhz, 980);
+        assert_eq!(c.simd_lanes, 32);
+        assert_eq!(c.smx_count, 15);
+        assert_eq!(c.warp_schedulers, 4);
+        assert_eq!(c.dispatch_units, 8);
+        assert_eq!(c.registers_per_smx, 65_536);
+        assert_eq!(c.l1d_bytes, 48 * 1024);
+        assert_eq!(c.l1t_bytes, 48 * 1024);
+        c.validate();
+    }
+
+    #[test]
+    fn dual_issue_per_scheduler() {
+        let c = GpuConfig::gtx780();
+        assert_eq!(c.issues_per_scheduler(), 2);
+        assert_eq!(c.peak_ipc(), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_config_panics() {
+        let mut c = GpuConfig::gtx780();
+        c.line_bytes = 100;
+        c.validate();
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_gto() {
+        assert_eq!(GpuConfig::gtx780().scheduler_policy, SchedulerPolicy::GreedyThenOldest);
+        assert_eq!(SchedulerPolicy::default(), SchedulerPolicy::GreedyThenOldest);
+    }
+}

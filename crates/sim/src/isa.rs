@@ -1,0 +1,200 @@
+//! The micro-op "ISA" kernels are expressed in.
+//!
+//! Micro-ops carry abstract register operands (for scoreboard dependences
+//! and register-bank traffic) plus *tokens* — small integers the kernel's
+//! [`crate::KernelBehavior`] interprets per lane to produce branch outcomes,
+//! memory addresses and architectural side effects. This keeps the timing
+//! model exact (issue slots, latencies, bank ports, cache lines) while the
+//! data-dependent behaviour comes from captured ray traces.
+
+/// An architectural register identifier (per warp, per lane).
+pub type Reg = u8;
+
+/// Which memory space a load/store accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Global memory through the L1 data cache (ray buffers).
+    Global,
+    /// Read-only data through the L1 texture cache (BVH nodes, triangles).
+    Texture,
+    /// On-chip spawn memory (DMK's micro-kernel scratch); banked, not cached.
+    Spawn,
+}
+
+/// How an issued micro-op is attributed in statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpTag {
+    /// Ordinary kernel work.
+    Normal,
+    /// Micro-kernel spawn overhead (DMK's data dumping/loading — the "SI"
+    /// category in the paper's Figure 10).
+    SpawnOverhead,
+}
+
+/// The operation class of a micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Arithmetic with a fixed result latency.
+    Alu {
+        /// Cycles until the destination is ready.
+        latency: u32,
+    },
+    /// A per-lane load; addresses come from the behavior's address oracle.
+    Load {
+        /// Target memory space.
+        space: MemSpace,
+        /// Address token interpreted by the kernel behavior.
+        addr: u16,
+    },
+    /// A per-lane store (no destination register).
+    Store {
+        /// Target memory space.
+        space: MemSpace,
+        /// Address token interpreted by the kernel behavior.
+        addr: u16,
+    },
+    /// An instruction handled by the attached [`crate::SpecialUnit`]
+    /// (e.g. the DRS `rdctrl`); may stall the warp at issue.
+    Special {
+        /// Token identifying which special operation this is.
+        token: u16,
+    },
+    /// A zero-latency architectural side effect applied at issue (consume a
+    /// trace step, fetch a ray, update `reg_ray_state`, …).
+    Effect {
+        /// Token interpreted by the kernel behavior.
+        token: u16,
+    },
+}
+
+/// One micro-op: an operation plus register operands and a stats tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroOp {
+    /// Operation class.
+    pub kind: OpKind,
+    /// Destination register, if the op writes one.
+    pub dst: Option<Reg>,
+    /// Source registers (unused slots are `None`).
+    pub srcs: [Option<Reg>; 3],
+    /// Statistics attribution.
+    pub tag: OpTag,
+}
+
+impl MicroOp {
+    /// An ALU op `dst = f(srcs)` with the given latency.
+    pub fn alu(dst: Reg, srcs: &[Reg], latency: u32) -> MicroOp {
+        MicroOp {
+            kind: OpKind::Alu { latency },
+            dst: Some(dst),
+            srcs: pack_srcs(srcs),
+            tag: OpTag::Normal,
+        }
+    }
+
+    /// A load into `dst` from `space` using address token `addr`.
+    pub fn load(dst: Reg, space: MemSpace, addr: u16, srcs: &[Reg]) -> MicroOp {
+        MicroOp {
+            kind: OpKind::Load { space, addr },
+            dst: Some(dst),
+            srcs: pack_srcs(srcs),
+            tag: OpTag::Normal,
+        }
+    }
+
+    /// A store of `srcs` to `space` using address token `addr`.
+    pub fn store(space: MemSpace, addr: u16, srcs: &[Reg]) -> MicroOp {
+        MicroOp {
+            kind: OpKind::Store { space, addr },
+            dst: None,
+            srcs: pack_srcs(srcs),
+            tag: OpTag::Normal,
+        }
+    }
+
+    /// A special op writing its warp-wide result into `dst`.
+    pub fn special(dst: Reg, token: u16) -> MicroOp {
+        MicroOp {
+            kind: OpKind::Special { token },
+            dst: Some(dst),
+            srcs: [None; 3],
+            tag: OpTag::Normal,
+        }
+    }
+
+    /// A zero-latency effect op.
+    pub fn effect(token: u16) -> MicroOp {
+        MicroOp {
+            kind: OpKind::Effect { token },
+            dst: None,
+            srcs: [None; 3],
+            tag: OpTag::Normal,
+        }
+    }
+
+    /// Retag this op for statistics (builder style).
+    pub fn with_tag(mut self, tag: OpTag) -> MicroOp {
+        self.tag = tag;
+        self
+    }
+
+    /// Iterate over the populated source registers.
+    pub fn sources(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+
+    /// True if this op reads or writes memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(self.kind, OpKind::Load { .. } | OpKind::Store { .. })
+    }
+}
+
+fn pack_srcs(srcs: &[Reg]) -> [Option<Reg>; 3] {
+    assert!(srcs.len() <= 3, "micro-ops take at most 3 sources");
+    let mut out = [None; 3];
+    for (slot, &s) in out.iter_mut().zip(srcs.iter()) {
+        *slot = Some(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_fill_fields() {
+        let a = MicroOp::alu(5, &[1, 2], 9);
+        assert_eq!(a.dst, Some(5));
+        assert_eq!(a.sources().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(!a.is_memory());
+
+        let l = MicroOp::load(7, MemSpace::Texture, 3, &[1]);
+        assert!(l.is_memory());
+        assert_eq!(l.dst, Some(7));
+
+        let s = MicroOp::store(MemSpace::Spawn, 4, &[1, 2, 3]);
+        assert!(s.is_memory());
+        assert_eq!(s.dst, None);
+        assert_eq!(s.sources().count(), 3);
+
+        let sp = MicroOp::special(0, 1);
+        assert_eq!(sp.kind, OpKind::Special { token: 1 });
+
+        let e = MicroOp::effect(9);
+        assert_eq!(e.dst, None);
+        assert_eq!(e.sources().count(), 0);
+    }
+
+    #[test]
+    fn tags() {
+        let op = MicroOp::alu(1, &[], 1).with_tag(OpTag::SpawnOverhead);
+        assert_eq!(op.tag, OpTag::SpawnOverhead);
+        assert_eq!(MicroOp::alu(1, &[], 1).tag, OpTag::Normal);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_sources_panics() {
+        MicroOp::alu(0, &[1, 2, 3, 4], 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! A cycle-level SIMT GPU core simulator.
+//!
+//! This crate models one streaming multiprocessor (SMX) of a Kepler-class
+//! GPU at cycle granularity — the simulation substrate standing in for the
+//! execution-driven simulator used by the paper. It models:
+//!
+//! - **warps** executing micro-op programs under an IPDOM SIMT
+//!   reconvergence stack,
+//! - **four greedy-then-oldest (GTO) warp schedulers** with dual-issue
+//!   dispatch (eight instructions per cycle peak),
+//! - an in-order **register scoreboard** per warp,
+//! - a **banked register file** whose per-cycle port usage is visible to
+//!   attached hardware units (the DRS swap engine steals idle ports),
+//! - **L1 data / L1 texture / L2 caches** with MSHR merging and a flat DRAM
+//!   latency, fed by a per-warp memory coalescer,
+//! - **statistics** matching the paper's reporting: the W*m*:*n* active-lane
+//!   issue histogram, SIMD efficiency, stall and cache counters.
+//!
+//! Kernels are expressed as [`Program`]s of basic blocks of [`MicroOp`]s.
+//! Per-lane branch outcomes and memory addresses are *oracle-driven*: each
+//! lane holds a cursor into a captured ray traversal script
+//! (see `drs-trace`), and the kernel's [`KernelBehavior`] implementation
+//! interprets condition/address/effect tokens against that cursor. This is
+//! the trace-driven methodology the paper itself uses ("we streamed traces
+//! of rays captured from PBRT and fed these traces to ray tracing kernels").
+//!
+//! Hardware proposals (DRS, DMK, TBC) plug in as [`SpecialUnit`]s: they see
+//! every `Special` micro-op issue attempt (e.g. `rdctrl`), can stall the
+//! warp, remap lanes to ray slots, and get a per-cycle `tick` with access to
+//! idle register-file bank ports.
+
+#![warn(missing_docs)]
+
+mod banks;
+mod behavior;
+mod cache;
+mod config;
+mod energy;
+mod engine;
+mod isa;
+mod program;
+mod state;
+mod stats;
+
+pub use banks::RegisterBanks;
+pub use behavior::{KernelBehavior, NullSpecial, SpecialOutcome, SpecialUnit};
+pub use cache::{Cache, CacheConfig, CacheStats, MemoryHierarchy};
+pub use config::{GpuConfig, SchedulerPolicy};
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use engine::{SimOutcome, Simulation};
+pub use isa::{MemSpace, MicroOp, OpKind, OpTag, Reg};
+pub use program::{Block, BlockId, Program, Terminator};
+pub use state::{MachineState, RayQueue, RayRef, RaySlot, RayState, NO_POSTPONED, NO_SLOT};
+pub use stats::{ActiveHistogram, SimStats};

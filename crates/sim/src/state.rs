@@ -1,0 +1,401 @@
+//! Architectural data state: ray slots, the ray queue and lane mappings.
+
+use drs_trace::{RayScript, Step};
+
+/// The traversal state of a ray slot, as the DRS ray-state table tracks it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RayState {
+    /// No ray is resident; the slot (or its thread) must fetch one.
+    Fetching,
+    /// The resident ray's next step traverses inner nodes.
+    Inner,
+    /// The resident ray's next step tests a leaf's primitives.
+    Leaf,
+    /// No ray and the global queue is exhausted — nothing left to do.
+    Done,
+    /// The slot holds no ray and is not expected to (an empty DRS row slot).
+    Empty,
+}
+
+/// A resident ray: an index into the captured script array plus a cursor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RayRef {
+    /// Index into [`MachineState::scripts`].
+    pub script: u32,
+    /// Next unconsumed step.
+    pub pos: u32,
+}
+
+/// One ray slot: the register-file row-entry a lane operates on.
+///
+/// For software kernels a slot is simply "the registers of thread *i*"; for
+/// DRS the slot lives in a logical ray row and warps are renamed onto rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaySlot {
+    /// The resident ray, if any.
+    pub ray: Option<RayRef>,
+    /// Primitives still untested in the ray's current leaf step (used by
+    /// kernels that loop per primitive inside the leaf body).
+    pub leaf_prims_left: u16,
+    /// Primitive count of the leaf currently being tested.
+    pub leaf_total: u16,
+    /// Device base address of the current leaf's primitive records.
+    pub leaf_base_addr: u64,
+    /// Step index of a speculatively postponed leaf (Aila's speculative
+    /// traversal), or [`NO_POSTPONED`] when none.
+    pub postponed_pos: u32,
+    /// Work units consumed in the current kernel round (kernels with
+    /// bounded-unroll bodies reset this each `rdctrl`).
+    pub round_work: u16,
+    /// Whether this slot may ever hold rays (false for pure padding slots).
+    pub usable: bool,
+}
+
+/// Sentinel for [`RaySlot::postponed_pos`]: no postponed leaf.
+pub const NO_POSTPONED: u32 = u32::MAX;
+
+impl RaySlot {
+    /// An empty, usable slot.
+    pub fn empty() -> RaySlot {
+        RaySlot {
+            ray: None,
+            leaf_prims_left: 0,
+            leaf_total: 0,
+            leaf_base_addr: 0,
+            postponed_pos: NO_POSTPONED,
+            round_work: 0,
+            usable: true,
+        }
+    }
+
+    /// A slot that never holds rays (structural padding).
+    pub fn unusable() -> RaySlot {
+        RaySlot { usable: false, ..RaySlot::empty() }
+    }
+
+    /// Reset per-leaf progress (on ray replacement).
+    pub fn clear_leaf_progress(&mut self) {
+        self.leaf_prims_left = 0;
+        self.leaf_total = 0;
+        self.leaf_base_addr = 0;
+        self.postponed_pos = NO_POSTPONED;
+    }
+}
+
+/// The global queue of rays awaiting dispatch (persistent-threads style).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RayQueue {
+    next: u32,
+    total: u32,
+}
+
+impl RayQueue {
+    /// A queue over `total` rays (script indices `0..total`).
+    pub fn new(total: usize) -> RayQueue {
+        RayQueue { next: 0, total: total as u32 }
+    }
+
+    /// Pop the next ray index, if any remain.
+    #[inline]
+    pub fn fetch(&mut self) -> Option<u32> {
+        if self.next < self.total {
+            let i = self.next;
+            self.next += 1;
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    /// True when every ray has been handed out.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.next >= self.total
+    }
+
+    /// Rays not yet handed out.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        (self.total - self.next) as usize
+    }
+
+    /// Total rays this queue started with.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.total as usize
+    }
+}
+
+/// The architectural (non-timing) machine state shared between the engine,
+/// the kernel behavior and any attached special unit.
+#[derive(Debug)]
+pub struct MachineState<'w> {
+    /// The captured ray scripts this simulation replays.
+    pub scripts: &'w [RayScript],
+    /// The dispatch queue of script indices.
+    pub queue: RayQueue,
+    /// All ray slots. Layout is kernel-defined (rows × 32 for DRS, warps ×
+    /// 32 for software kernels).
+    pub slots: Vec<RaySlot>,
+    /// `lane_slot[warp * lanes + lane]` = index into `slots` (or `u32::MAX`
+    /// for an unmapped lane).
+    pub lane_slot: Vec<u32>,
+    /// Lanes per warp.
+    pub lanes: usize,
+    /// Per-warp latched control value (what `rdctrl` last returned).
+    pub warp_ctrl: Vec<u32>,
+    /// Rays fully traced to completion (for Mrays/s).
+    pub rays_completed: u64,
+    /// Cached per-slot state, kept current by the mutating helpers.
+    /// `Fetching` doubles as "no ray" (the queue decides Fetching vs Done).
+    pub state_cache: Vec<RayState>,
+    /// When true, slots whose cached state changed are appended to `dirty`
+    /// (the DRS control drains this to maintain its row-state counts).
+    pub track_dirty: bool,
+    /// Slots whose state changed since the last drain.
+    pub dirty: Vec<u32>,
+}
+
+/// Sentinel for an unmapped lane.
+pub const NO_SLOT: u32 = u32::MAX;
+
+impl<'w> MachineState<'w> {
+    /// Create machine state with `slot_count` empty slots and an identity
+    /// lane map for `warps` warps of `lanes` lanes.
+    pub fn new(scripts: &'w [RayScript], warps: usize, lanes: usize, slot_count: usize) -> MachineState<'w> {
+        assert!(slot_count >= warps * lanes, "need at least one slot per lane");
+        MachineState {
+            scripts,
+            queue: RayQueue::new(scripts.len()),
+            slots: vec![RaySlot::empty(); slot_count],
+            lane_slot: (0..warps * lanes).map(|i| i as u32).collect(),
+            lanes,
+            warp_ctrl: vec![0; warps],
+            rays_completed: 0,
+            state_cache: vec![RayState::Fetching; slot_count],
+            track_dirty: false,
+            dirty: Vec::new(),
+        }
+    }
+
+    /// Recompute a slot's raw state from its fields (no queue dependence:
+    /// "no ray" is reported as `Fetching`, `!usable` as `Empty`).
+    pub fn compute_state(&self, slot_index: usize) -> RayState {
+        let slot = &self.slots[slot_index];
+        if !slot.usable {
+            return RayState::Empty;
+        }
+        if slot.leaf_prims_left > 0 {
+            return RayState::Leaf;
+        }
+        match slot.ray {
+            None => RayState::Fetching,
+            Some(r) => match self.scripts[r.script as usize].steps().get(r.pos as usize) {
+                None => RayState::Fetching, // exhausted, pending retire
+                Some(Step::Inner { .. }) => RayState::Inner,
+                Some(Step::Leaf { .. }) => RayState::Leaf,
+            },
+        }
+    }
+
+    /// Refresh the cached state of a slot after mutating it, recording it
+    /// in the dirty list when tracking is on. Behaviors that poke slot
+    /// fields directly must call this.
+    pub fn refresh_state(&mut self, slot_index: usize) {
+        let s = self.compute_state(slot_index);
+        if self.state_cache[slot_index] != s {
+            self.state_cache[slot_index] = s;
+            if self.track_dirty {
+                self.dirty.push(slot_index as u32);
+            }
+        }
+    }
+
+    /// Slot index a lane currently operates on.
+    #[inline]
+    pub fn slot_of(&self, warp: usize, lane: usize) -> Option<usize> {
+        let s = self.lane_slot[warp * self.lanes + lane];
+        (s != NO_SLOT).then_some(s as usize)
+    }
+
+    /// Remap a lane to a slot (used by shuffling/compaction hardware).
+    #[inline]
+    pub fn map_lane(&mut self, warp: usize, lane: usize, slot: Option<usize>) {
+        self.lane_slot[warp * self.lanes + lane] = slot.map_or(NO_SLOT, |s| s as u32);
+    }
+
+    /// Derive a slot's [`RayState`] from its cursor and the queue
+    /// (`Fetching` becomes `Done` once the queue is drained).
+    pub fn slot_state(&self, slot_index: usize) -> RayState {
+        match self.compute_state(slot_index) {
+            RayState::Fetching if self.queue.is_empty() => RayState::Done,
+            s => s,
+        }
+    }
+
+    /// The next unconsumed step of the ray in `slot_index`, if any.
+    #[inline]
+    pub fn peek_step(&self, slot_index: usize) -> Option<&'w Step> {
+        let r = self.slots[slot_index].ray?;
+        self.scripts[r.script as usize].steps().get(r.pos as usize)
+    }
+
+    /// Consume the current step of the ray in `slot_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot has no ray or its script is exhausted.
+    pub fn consume_step(&mut self, slot_index: usize) -> &'w Step {
+        let r = self.slots[slot_index].ray.expect("consume on empty slot");
+        let step = self.scripts[r.script as usize]
+            .steps()
+            .get(r.pos as usize)
+            .expect("consume past end of script");
+        self.slots[slot_index].ray = Some(RayRef { script: r.script, pos: r.pos + 1 });
+        self.refresh_state(slot_index);
+        step
+    }
+
+    /// Retire the ray in `slot_index` (its script is exhausted) and count it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot has no ray or the script still has steps.
+    pub fn retire_ray(&mut self, slot_index: usize) {
+        let r = self.slots[slot_index].ray.expect("retire on empty slot");
+        assert!(
+            self.scripts[r.script as usize].steps().len() as u32 == r.pos,
+            "retiring a ray with unconsumed steps"
+        );
+        self.slots[slot_index].ray = None;
+        self.slots[slot_index].clear_leaf_progress();
+        self.rays_completed += 1;
+        self.refresh_state(slot_index);
+    }
+
+    /// Fetch the next queued ray into `slot_index`. Returns false when the
+    /// queue is empty. Rays whose scripts are empty (immediate miss of the
+    /// scene bounds) are retired on the spot, and fetching continues.
+    pub fn fetch_into(&mut self, slot_index: usize) -> bool {
+        loop {
+            match self.queue.fetch() {
+                None => return false,
+                Some(idx) => {
+                    if self.scripts[idx as usize].steps().is_empty() {
+                        self.rays_completed += 1;
+                        continue;
+                    }
+                    self.slots[slot_index].ray = Some(RayRef { script: idx, pos: 0 });
+                    self.slots[slot_index].clear_leaf_progress();
+                    self.refresh_state(slot_index);
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// True when no ray remains anywhere: queue empty and every slot clear.
+    pub fn all_work_drained(&self) -> bool {
+        self.queue.is_empty() && self.slots.iter().all(|s| s.ray.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drs_trace::Termination;
+
+    fn scripts() -> Vec<RayScript> {
+        vec![
+            RayScript::new(
+                vec![
+                    Step::Inner { node_addr: 0x100, both_children_hit: false },
+                    Step::Leaf { node_addr: 0x140, prim_base_addr: 0x4000, prim_count: 2 },
+                ],
+                Termination::Hit,
+            ),
+            RayScript::new(vec![], Termination::Escaped),
+            RayScript::new(
+                vec![Step::Inner { node_addr: 0x180, both_children_hit: true }],
+                Termination::Escaped,
+            ),
+        ]
+    }
+
+    #[test]
+    fn queue_pops_in_order() {
+        let mut q = RayQueue::new(2);
+        assert_eq!(q.remaining(), 2);
+        assert_eq!(q.fetch(), Some(0));
+        assert_eq!(q.fetch(), Some(1));
+        assert_eq!(q.fetch(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fetch_skips_empty_scripts_and_counts_them() {
+        let s = scripts();
+        let mut m = MachineState::new(&s, 1, 2, 2);
+        assert!(m.fetch_into(0));
+        assert_eq!(m.slots[0].ray.unwrap().script, 0);
+        // Script 1 is empty: fetch skips it, retires it, lands on script 2.
+        assert!(m.fetch_into(1));
+        assert_eq!(m.slots[1].ray.unwrap().script, 2);
+        assert_eq!(m.rays_completed, 1);
+        assert!(!m.fetch_into(0) || m.slots[0].ray.is_some());
+    }
+
+    #[test]
+    fn states_derive_from_cursor() {
+        let s = scripts();
+        let mut m = MachineState::new(&s, 1, 2, 2);
+        assert_eq!(m.slot_state(0), RayState::Fetching);
+        m.fetch_into(0);
+        assert_eq!(m.slot_state(0), RayState::Inner);
+        m.consume_step(0);
+        assert_eq!(m.slot_state(0), RayState::Leaf);
+        m.consume_step(0);
+        // Exhausted, queue still has rays -> Fetching.
+        assert_eq!(m.slot_state(0), RayState::Fetching);
+        m.retire_ray(0);
+        assert_eq!(m.rays_completed, 1);
+    }
+
+    #[test]
+    fn done_when_queue_empty() {
+        let s = scripts();
+        let mut m = MachineState::new(&s, 1, 2, 2);
+        m.fetch_into(0);
+        m.fetch_into(1);
+        assert!(m.queue.is_empty());
+        // Slot 0 holds a ray; draining not complete.
+        assert!(!m.all_work_drained());
+        m.consume_step(0);
+        m.consume_step(0);
+        m.retire_ray(0);
+        assert_eq!(m.slot_state(0), RayState::Done);
+        m.consume_step(1);
+        m.retire_ray(1);
+        assert!(m.all_work_drained());
+    }
+
+    #[test]
+    fn lane_mapping_roundtrip() {
+        let s = scripts();
+        let mut m = MachineState::new(&s, 2, 2, 8);
+        assert_eq!(m.slot_of(1, 1), Some(3));
+        m.map_lane(1, 1, Some(7));
+        assert_eq!(m.slot_of(1, 1), Some(7));
+        m.map_lane(1, 1, None);
+        assert_eq!(m.slot_of(1, 1), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn retire_with_steps_left_panics() {
+        let s = scripts();
+        let mut m = MachineState::new(&s, 1, 1, 1);
+        m.fetch_into(0);
+        m.retire_ray(0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Simulation statistics matching the paper's reporting.
+
+/// Histogram of issued warp instructions by active-lane count, using the
+/// paper's W*m*:*n* buckets (W1:8, W9:16, W17:24, W25:32) plus an exact sum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActiveHistogram {
+    /// Issue counts per bucket: `[W1:8, W9:16, W17:24, W25:32]`.
+    pub buckets: [u64; 4],
+    /// Total issued instructions recorded.
+    pub total: u64,
+    /// Sum of active-lane counts over all issues.
+    pub active_sum: u64,
+}
+
+impl ActiveHistogram {
+    /// Record one issued instruction with `active` active lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` is zero or exceeds 32 (an issue with no active
+    /// lanes is a simulator bug).
+    pub fn record(&mut self, active: usize) {
+        assert!((1..=32).contains(&active), "active lanes out of range: {active}");
+        self.buckets[(active - 1) / 8] += 1;
+        self.total += 1;
+        self.active_sum += active as u64;
+    }
+
+    /// SIMD efficiency: mean active lanes / 32.
+    pub fn simd_efficiency(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.active_sum as f64 / (self.total as f64 * 32.0)
+    }
+
+    /// Fraction of issues landing in bucket `i` (0 → W1:8 … 3 → W25:32).
+    pub fn bucket_fraction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.buckets[i] as f64 / self.total as f64
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &ActiveHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.active_sum += other.active_sum;
+    }
+
+    /// The paper's bucket labels.
+    pub const BUCKET_LABELS: [&'static str; 4] = ["W1:8", "W9:16", "W17:24", "W25:32"];
+}
+
+/// All counters produced by one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Issue histogram for ordinary kernel instructions.
+    pub issued: ActiveHistogram,
+    /// Issue histogram for spawn-overhead (SI) instructions — DMK only.
+    pub issued_si: ActiveHistogram,
+    /// Loads issued (warp instructions).
+    pub loads: u64,
+    /// Stores issued (warp instructions).
+    pub stores: u64,
+    /// Memory transactions after coalescing (cache-line requests).
+    pub mem_transactions: u64,
+    /// `rdctrl` issue attempts that stalled.
+    pub rdctrl_stalls: u64,
+    /// `rdctrl` instructions successfully issued.
+    pub rdctrl_issued: u64,
+    /// Register-file reads from instruction operands.
+    pub regfile_reads: u64,
+    /// Register-file writes from instruction results.
+    pub regfile_writes: u64,
+    /// Operand-collector bank conflicts.
+    pub bank_conflicts: u64,
+    /// Register-file accesses performed by the DRS swap engine.
+    pub swap_accesses: u64,
+    /// Rays moved by the DRS swap engine.
+    pub swaps_completed: u64,
+    /// Total cycles spent on completed ray swaps (start→finish, summed).
+    pub swap_cycle_sum: u64,
+    /// Spawn-memory bank-conflict cycles — DMK only.
+    pub spawn_bank_conflict_cycles: u64,
+    /// Cycles any TBC block spent synchronizing at a compaction point.
+    pub sync_wait_cycles: u64,
+    /// L1 texture cache hit/miss (filled from the hierarchy at run end).
+    pub l1t: crate::cache::CacheStats,
+    /// L1 data cache hit/miss.
+    pub l1d: crate::cache::CacheStats,
+    /// L2 hit/miss.
+    pub l2: crate::cache::CacheStats,
+    /// Rays fully traced.
+    pub rays_completed: u64,
+    /// Per-block issue profile: `(label, issues, active_lane_sum)` —
+    /// which kernel blocks issue and at what occupancy.
+    pub block_profile: Vec<(&'static str, u64, u64)>,
+}
+
+impl SimStats {
+    /// Combined (normal + SI) issue histogram.
+    pub fn issued_all(&self) -> ActiveHistogram {
+        let mut h = self.issued;
+        h.merge(&self.issued_si);
+        h
+    }
+
+    /// Overall SIMD efficiency including spawn-overhead instructions.
+    pub fn simd_efficiency(&self) -> f64 {
+        self.issued_all().simd_efficiency()
+    }
+
+    /// Throughput in millions of rays per second for a whole GPU of
+    /// `smx_count` cores at `clock_mhz`, given this single-SMX run.
+    pub fn mrays_per_sec(&self, clock_mhz: u32, smx_count: usize) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let rays_per_cycle = self.rays_completed as f64 / self.cycles as f64;
+        rays_per_cycle * clock_mhz as f64 * smx_count as f64
+    }
+
+    /// Fraction of `rdctrl` issue attempts that stalled.
+    pub fn rdctrl_stall_rate(&self) -> f64 {
+        let attempts = self.rdctrl_stalls + self.rdctrl_issued;
+        if attempts == 0 {
+            return 0.0;
+        }
+        self.rdctrl_stalls as f64 / attempts as f64
+    }
+
+    /// Mean cycles per completed ray swap.
+    pub fn avg_swap_cycles(&self) -> f64 {
+        if self.swaps_completed == 0 {
+            return 0.0;
+        }
+        self.swap_cycle_sum as f64 / self.swaps_completed as f64
+    }
+
+    /// Fraction of register-file traffic caused by ray shuffling.
+    pub fn swap_regfile_fraction(&self) -> f64 {
+        let total = self.regfile_reads + self.regfile_writes + self.swap_accesses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.swap_accesses as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = ActiveHistogram::default();
+        h.record(1);
+        h.record(8);
+        h.record(9);
+        h.record(24);
+        h.record(25);
+        h.record(32);
+        assert_eq!(h.buckets, [2, 1, 1, 2]);
+        assert_eq!(h.total, 6);
+        assert_eq!(h.active_sum, 1 + 8 + 9 + 24 + 25 + 32);
+    }
+
+    #[test]
+    fn simd_efficiency_full_warps() {
+        let mut h = ActiveHistogram::default();
+        for _ in 0..10 {
+            h.record(32);
+        }
+        assert!((h.simd_efficiency() - 1.0).abs() < 1e-12);
+        let mut h2 = ActiveHistogram::default();
+        h2.record(16);
+        assert!((h2.simd_efficiency() - 0.5).abs() < 1e-12);
+        assert_eq!(ActiveHistogram::default().simd_efficiency(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_active_is_a_bug() {
+        ActiveHistogram::default().record(0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ActiveHistogram::default();
+        a.record(32);
+        let mut b = ActiveHistogram::default();
+        b.record(4);
+        a.merge(&b);
+        assert_eq!(a.total, 2);
+        assert_eq!(a.buckets[0], 1);
+        assert_eq!(a.buckets[3], 1);
+    }
+
+    #[test]
+    fn mrays_scaling() {
+        let stats = SimStats { cycles: 980, rays_completed: 980, ..Default::default() };
+        // 1 ray/cycle at 980 MHz on 15 SMXs = 980 * 15 Mrays/s.
+        let m = stats.mrays_per_sec(980, 15);
+        assert!((m - 980.0 * 15.0).abs() < 1e-9);
+        assert_eq!(SimStats::default().mrays_per_sec(980, 15), 0.0);
+    }
+
+    #[test]
+    fn stall_rate() {
+        let s = SimStats { rdctrl_stalls: 90, rdctrl_issued: 10, ..Default::default() };
+        assert!((s.rdctrl_stall_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(SimStats::default().rdctrl_stall_rate(), 0.0);
+    }
+
+    #[test]
+    fn swap_metrics() {
+        let s = SimStats {
+            swaps_completed: 4,
+            swap_cycle_sum: 100,
+            swap_accesses: 34,
+            regfile_reads: 33,
+            regfile_writes: 33,
+            ..Default::default()
+        };
+        assert!((s.avg_swap_cycles() - 25.0).abs() < 1e-12);
+        assert!((s.swap_regfile_fraction() - 0.34).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,217 @@
+//! Compact binary serialization of captured bounce streams.
+//!
+//! Workload capture (path tracing with instrumented traversal) is the
+//! slowest non-simulation stage of the harness; this codec lets harness
+//! runs cache captured workloads on disk and reload them instantly. The
+//! format is a simple little-endian stream with a magic/version header —
+//! no external serialization dependency.
+
+use crate::capture::{BounceStream, BounceStreams};
+use crate::script::{RayScript, Step, Termination};
+use std::io::{self, Read, Write};
+
+const MAGIC: u32 = 0x5244_5331; // "RDS1"
+const VERSION: u16 = 1;
+
+fn write_u16<W: Write>(w: &mut W, v: u16) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u16<R: Read>(r: &mut R) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn corrupt(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn write_script<W: Write>(w: &mut W, s: &RayScript) -> io::Result<()> {
+    write_u32(w, s.steps().len() as u32)?;
+    w.write_all(&[match s.termination() {
+        Termination::Hit => 0u8,
+        Termination::Escaped => 1,
+        Termination::HitLight => 2,
+    }])?;
+    for step in s.steps() {
+        match *step {
+            Step::Inner { node_addr, both_children_hit } => {
+                w.write_all(&[if both_children_hit { 1 } else { 0 }])?;
+                write_u64(w, node_addr)?;
+            }
+            Step::Leaf { node_addr, prim_base_addr, prim_count } => {
+                w.write_all(&[2])?;
+                write_u64(w, node_addr)?;
+                write_u64(w, prim_base_addr)?;
+                write_u16(w, prim_count)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_script<R: Read>(r: &mut R) -> io::Result<RayScript> {
+    let n = read_u32(r)? as usize;
+    if n > 1 << 24 {
+        return Err(corrupt("script unreasonably long"));
+    }
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let termination = match tag[0] {
+        0 => Termination::Hit,
+        1 => Termination::Escaped,
+        2 => Termination::HitLight,
+        _ => return Err(corrupt("bad termination tag")),
+    };
+    let mut steps = Vec::with_capacity(n);
+    for _ in 0..n {
+        r.read_exact(&mut tag)?;
+        steps.push(match tag[0] {
+            0 | 1 => Step::Inner { both_children_hit: tag[0] == 1, node_addr: read_u64(r)? },
+            2 => Step::Leaf {
+                node_addr: read_u64(r)?,
+                prim_base_addr: read_u64(r)?,
+                prim_count: read_u16(r)?,
+            },
+            _ => return Err(corrupt("bad step tag")),
+        });
+    }
+    Ok(RayScript::new(steps, termination))
+}
+
+impl BounceStreams {
+    /// Serialize all bounce streams to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
+        write_u32(&mut w, MAGIC)?;
+        write_u16(&mut w, VERSION)?;
+        write_u16(&mut w, self.depth() as u16)?;
+        for stream in self.iter() {
+            write_u16(&mut w, stream.bounce as u16)?;
+            write_u32(&mut w, stream.scripts.len() as u32)?;
+            for s in &stream.scripts {
+                write_script(&mut w, s)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserialize bounce streams from a reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for wrong magic/version or malformed content,
+    /// and propagates reader I/O errors.
+    pub fn load<R: Read>(mut r: R) -> io::Result<BounceStreams> {
+        if read_u32(&mut r)? != MAGIC {
+            return Err(corrupt("not a DRS trace file"));
+        }
+        if read_u16(&mut r)? != VERSION {
+            return Err(corrupt("unsupported trace version"));
+        }
+        let depth = read_u16(&mut r)? as usize;
+        if depth == 0 || depth > 64 {
+            return Err(corrupt("implausible bounce depth"));
+        }
+        let mut streams = Vec::with_capacity(depth);
+        for expected in 1..=depth {
+            let bounce = read_u16(&mut r)? as usize;
+            if bounce != expected {
+                return Err(corrupt("bounce indices out of order"));
+            }
+            let count = read_u32(&mut r)? as usize;
+            if count > 1 << 28 {
+                return Err(corrupt("implausible ray count"));
+            }
+            let mut scripts = Vec::with_capacity(count);
+            for _ in 0..count {
+                scripts.push(read_script(&mut r)?);
+            }
+            streams.push(BounceStream { bounce, scripts });
+        }
+        Ok(BounceStreams::from_streams(streams))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drs_scene::SceneKind;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let scene = SceneKind::Conference.build_with_tris(800);
+        let streams = BounceStreams::capture(&scene, 150, 3, 77);
+        let mut buf = Vec::new();
+        streams.save(&mut buf).unwrap();
+        let loaded = BounceStreams::load(&buf[..]).unwrap();
+        assert_eq!(loaded.depth(), streams.depth());
+        for b in 1..=streams.depth() {
+            assert_eq!(loaded.bounce(b).scripts, streams.bounce(b).scripts);
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let err = BounceStreams::load(&b"NOPEnope"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let scene = SceneKind::FairyForest.build_with_tris(600);
+        let streams = BounceStreams::capture(&scene, 60, 2, 5);
+        let mut buf = Vec::new();
+        streams.save(&mut buf).unwrap();
+        let cut = &buf[..buf.len() / 2];
+        assert!(BounceStreams::load(cut).is_err());
+    }
+
+    #[test]
+    fn corrupted_tag_is_rejected() {
+        let scene = SceneKind::Conference.build_with_tris(600);
+        let streams = BounceStreams::capture(&scene, 40, 1, 5);
+        let mut buf = Vec::new();
+        streams.save(&mut buf).unwrap();
+        // Stomp a step tag deep in the payload with an invalid value.
+        let idx = buf.len() - 19;
+        buf[idx] = 0xFF;
+        assert!(BounceStreams::load(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn format_is_compact() {
+        // One inner step = 9 bytes + per-script header of 5.
+        let scene = SceneKind::Conference.build_with_tris(600);
+        let streams = BounceStreams::capture(&scene, 100, 1, 5);
+        let mut buf = Vec::new();
+        streams.save(&mut buf).unwrap();
+        let steps: usize = streams.bounce(1).scripts.iter().map(|s| s.steps().len()).sum();
+        // Generous bound: header + scripts*(5) + steps*(18 max) + stream header.
+        assert!(buf.len() <= 16 + 100 * 5 + steps * 18 + 8, "{} bytes", buf.len());
+    }
+}

@@ -1,0 +1,42 @@
+//! Per-ray traversal scripts: the workload format the simulator replays.
+//!
+//! The paper's methodology streams traces of rays captured from PBRT into
+//! the ray-tracing kernels under test. This crate is that pipeline stage: it
+//! walks complete light paths through a scene (sharing the BSDF sampling of
+//! `drs-render`), records each ray's walk through the BVH as a [`RayScript`]
+//! — the exact sequence of inner-node visits (with device addresses) and
+//! leaf visits (with primitive counts) — and groups scripts into per-bounce
+//! [`BounceStream`]s.
+//!
+//! During cycle-level simulation each GPU thread holds a cursor into its
+//! ray's script: branch micro-ops consult the cursor ("is my next step an
+//! inner node?") and load micro-ops draw the recorded addresses, which flow
+//! through the simulated L1-texture/L2 cache hierarchy.
+//!
+//! Primary rays are captured in scanline order (spatially coherent, like a
+//! real GPU dispatch); secondary rays inherit that order but their
+//! directions are randomized by BSDF sampling — reproducing the coherence
+//! collapse between bounce 1 and bounce 2 that drives the whole paper.
+//!
+//! # Example
+//!
+//! ```
+//! use drs_scene::SceneKind;
+//! use drs_trace::BounceStreams;
+//!
+//! let scene = SceneKind::Conference.build_with_tris(600);
+//! let streams = BounceStreams::capture(&scene, 256, 4, 0xBEEF);
+//! let b1 = streams.bounce(1);
+//! assert_eq!(b1.scripts.len(), 256);
+//! let b2 = streams.bounce(2);
+//! assert!(!b2.scripts.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod capture;
+mod io;
+mod script;
+
+pub use capture::{BounceStream, BounceStreams, StreamStats};
+pub use script::{RayScript, ScriptCursor, Step, Termination};

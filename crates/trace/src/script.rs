@@ -1,0 +1,195 @@
+//! Ray scripts: the recorded walk of one ray through the BVH.
+
+/// One recorded traversal step of a ray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Visit an internal node: one iteration of the kernel's inner-node
+    /// body (load node, two child slab tests, choose/push).
+    Inner {
+        /// Simulated device address of the node record.
+        node_addr: u64,
+        /// Whether both children were hit (the far child is pushed — the
+        /// slightly longer path through the inner body).
+        both_children_hit: bool,
+    },
+    /// Visit a leaf: `prim_count` ray-triangle intersection tests.
+    Leaf {
+        /// Simulated device address of the leaf node record.
+        node_addr: u64,
+        /// Address of the first triangle record tested.
+        prim_base_addr: u64,
+        /// Number of triangles tested in this leaf.
+        prim_count: u16,
+    },
+}
+
+impl Step {
+    /// True for [`Step::Inner`].
+    #[inline]
+    pub fn is_inner(&self) -> bool {
+        matches!(self, Step::Inner { .. })
+    }
+
+    /// True for [`Step::Leaf`].
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Step::Leaf { .. })
+    }
+}
+
+/// Why a ray's traversal ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Termination {
+    /// The ray intersected geometry (the path continues at the next bounce).
+    Hit,
+    /// The ray left the scene without hitting anything.
+    Escaped,
+    /// The ray hit an emissive surface (path terminates with light).
+    HitLight,
+}
+
+/// The complete recorded traversal of one ray.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RayScript {
+    steps: Vec<Step>,
+    termination: Termination,
+}
+
+impl RayScript {
+    /// Build a script from recorded steps.
+    pub fn new(steps: Vec<Step>, termination: Termination) -> RayScript {
+        RayScript { steps, termination }
+    }
+
+    /// The recorded steps in traversal order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Why the traversal ended.
+    pub fn termination(&self) -> Termination {
+        self.termination
+    }
+
+    /// Number of inner-node visits.
+    pub fn inner_count(&self) -> usize {
+        self.steps.iter().filter(|s| s.is_inner()).count()
+    }
+
+    /// Number of leaf visits.
+    pub fn leaf_count(&self) -> usize {
+        self.steps.iter().filter(|s| s.is_leaf()).count()
+    }
+
+    /// Total primitive intersection tests.
+    pub fn prim_tests(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Leaf { prim_count, .. } => *prim_count as usize,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// A cursor positioned at the first step.
+    pub fn cursor(&self) -> ScriptCursor<'_> {
+        ScriptCursor { script: self, pos: 0 }
+    }
+}
+
+/// A read cursor over a [`RayScript`], held by a simulated GPU thread.
+///
+/// The kernels' branch oracles ask the cursor what the thread's ray needs
+/// next; consuming a step models completing one loop iteration of the
+/// traversal kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct ScriptCursor<'a> {
+    script: &'a RayScript,
+    pos: usize,
+}
+
+impl<'a> ScriptCursor<'a> {
+    /// The next pending step, if any.
+    #[inline]
+    pub fn peek(&self) -> Option<&'a Step> {
+        self.script.steps().get(self.pos)
+    }
+
+    /// Consume and return the next step.
+    #[inline]
+    pub fn next_step(&mut self) -> Option<&'a Step> {
+        let s = self.script.steps().get(self.pos)?;
+        self.pos += 1;
+        Some(s)
+    }
+
+    /// True when every step has been consumed.
+    #[inline]
+    pub fn exhausted(&self) -> bool {
+        self.pos >= self.script.steps().len()
+    }
+
+    /// Steps remaining.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.script.steps().len() - self.pos
+    }
+
+    /// The script this cursor walks.
+    #[inline]
+    pub fn script(&self) -> &'a RayScript {
+        self.script
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_script() -> RayScript {
+        RayScript::new(
+            vec![
+                Step::Inner { node_addr: 0x100, both_children_hit: true },
+                Step::Inner { node_addr: 0x140, both_children_hit: false },
+                Step::Leaf { node_addr: 0x180, prim_base_addr: 0x4000, prim_count: 3 },
+                Step::Inner { node_addr: 0x1c0, both_children_hit: false },
+                Step::Leaf { node_addr: 0x200, prim_base_addr: 0x4090, prim_count: 2 },
+            ],
+            Termination::Hit,
+        )
+    }
+
+    #[test]
+    fn counters() {
+        let s = sample_script();
+        assert_eq!(s.inner_count(), 3);
+        assert_eq!(s.leaf_count(), 2);
+        assert_eq!(s.prim_tests(), 5);
+        assert_eq!(s.termination(), Termination::Hit);
+    }
+
+    #[test]
+    fn cursor_walks_in_order() {
+        let s = sample_script();
+        let mut c = s.cursor();
+        assert_eq!(c.remaining(), 5);
+        assert!(c.peek().unwrap().is_inner());
+        let first = *c.next_step().unwrap();
+        assert_eq!(first, s.steps()[0]);
+        assert_eq!(c.remaining(), 4);
+        while c.next_step().is_some() {}
+        assert!(c.exhausted());
+        assert_eq!(c.remaining(), 0);
+        assert!(c.next_step().is_none());
+    }
+
+    #[test]
+    fn empty_script_is_immediately_exhausted() {
+        let s = RayScript::new(vec![], Termination::Escaped);
+        let mut c = s.cursor();
+        assert!(c.exhausted());
+        assert!(c.peek().is_none());
+        assert!(c.next_step().is_none());
+    }
+}

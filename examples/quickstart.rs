@@ -1,0 +1,64 @@
+//! Quickstart: build a scene, capture a ray workload, and compare the
+//! software while-while baseline against Dynamic Ray Shuffling.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use drs::core::system::RowedWhileIf;
+use drs::core::{DrsConfig, DrsUnit};
+use drs::kernels::{WhileIfKernel, WhileWhileConfig, WhileWhileKernel};
+use drs::scene::SceneKind;
+use drs::sim::{GpuConfig, NullSpecial, Simulation};
+use drs::trace::BounceStreams;
+
+fn main() {
+    // 1. A procedural stand-in for the paper's conference-room benchmark.
+    let scene = SceneKind::Conference.build_with_tris(20_000);
+    println!("scene: {} ({} triangles)", scene.kind(), scene.mesh().len());
+
+    // 2. Capture per-bounce ray streams by path tracing (the simulator's
+    //    workload format). Bounce 2 rays are incoherent — the hard case.
+    let streams = BounceStreams::capture(&scene, 4_000, 2, 0x5EED);
+    let secondary = &streams.bounce(2).scripts;
+    println!("captured {} secondary rays", secondary.len());
+
+    // 3. Simulate Aila's software kernel on a 12-warp SMX.
+    let gpu = GpuConfig { max_warps: 12, ..GpuConfig::gtx780() };
+    let aila = WhileWhileKernel::new(WhileWhileConfig::default());
+    let base = Simulation::new(
+        gpu.clone(),
+        aila.program(),
+        Box::new(aila.clone()),
+        Box::new(NullSpecial),
+        secondary,
+    )
+    .run();
+
+    // 4. Simulate the same rays with DRS hardware attached.
+    let drs_cfg = DrsConfig { warps: 12, backup_rows: 1, swap_buffers: 6, ideal: false, lanes: 32 };
+    let kernel = WhileIfKernel::new();
+    let drs = Simulation::new(
+        gpu.clone(),
+        kernel.program(),
+        Box::new(RowedWhileIf::new(drs_cfg.rows())),
+        Box::new(DrsUnit::new(drs_cfg)),
+        secondary,
+    )
+    .run();
+
+    // 5. Report.
+    let speedup = base.stats.cycles as f64 / drs.stats.cycles as f64;
+    println!("\n                 {:>12} {:>12}", "while-while", "DRS");
+    println!(
+        "SIMD efficiency  {:>11.1}% {:>11.1}%",
+        base.stats.issued.simd_efficiency() * 100.0,
+        drs.stats.issued.simd_efficiency() * 100.0
+    );
+    println!("cycles           {:>12} {:>12}", base.stats.cycles, drs.stats.cycles);
+    println!(
+        "Mrays/s (GPU)    {:>12.1} {:>12.1}",
+        base.stats.mrays_per_sec(gpu.clock_mhz, gpu.smx_count),
+        drs.stats.mrays_per_sec(gpu.clock_mhz, gpu.smx_count)
+    );
+    println!("\nDRS speedup on incoherent rays: {speedup:.2}x");
+    println!("rays shuffled by the swap engine: {}", drs.stats.swaps_completed);
+}

@@ -1,0 +1,53 @@
+//! Render a benchmark scene to a PPM image with the path tracer.
+//!
+//! Run with: `cargo run --release --example render_scene [scene] [spp] [nee]`
+//! where `scene` is one of `conference|fairy|sponza|plants` (default
+//! `conference`), `spp` the samples per pixel (default 8), and an optional
+//! literal `nee` enables next-event estimation (direct light sampling).
+//! Writes `render_<scene>.ppm` into the working directory.
+
+use drs::render::{PathTracer, RenderConfig};
+use drs::scene::SceneKind;
+use std::fs::File;
+use std::io::BufWriter;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let scene_name = args.next().unwrap_or_else(|| "conference".into());
+    let spp: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(8);
+    let nee = args.next().as_deref() == Some("nee");
+    let kind = match scene_name.as_str() {
+        "conference" => SceneKind::Conference,
+        "fairy" => SceneKind::FairyForest,
+        "sponza" => SceneKind::CrytekSponza,
+        "plants" => SceneKind::Plants,
+        other => {
+            eprintln!("unknown scene {other}; use conference|fairy|sponza|plants");
+            std::process::exit(2);
+        }
+    };
+
+    let scene = kind.build_with_tris(30_000);
+    println!("rendering {} ({} triangles) at {spp} spp...", scene.kind(), scene.mesh().len());
+    let tracer = PathTracer::new(&scene);
+    let cfg = RenderConfig {
+        width: 320,
+        height: 240,
+        samples_per_pixel: spp,
+        next_event_estimation: nee,
+        ..Default::default()
+    };
+    let started = std::time::Instant::now();
+    let img = tracer.render(&cfg);
+    println!(
+        "rendered in {:.1}s, mean luminance {:.3}",
+        started.elapsed().as_secs_f32(),
+        img.mean_luminance()
+    );
+
+    let path = format!("render_{scene_name}.ppm");
+    let file = File::create(&path)?;
+    img.write_ppm(BufWriter::new(file))?;
+    println!("wrote {path}");
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! Per-bounce SIMD efficiency report (a miniature of the paper's Figure 2)
+//! for any benchmark scene and ray-tracing method.
+//!
+//! Run with:
+//! `cargo run --release --example simd_efficiency [scene] [method]`
+//! where `scene` ∈ `conference|fairy|sponza|plants` and
+//! `method` ∈ `aila|drs|dmk|tbc`.
+
+use drs::baselines::{DmkConfig, DmkKernel, DmkUnit, TbcConfig, TbcUnit};
+use drs::core::system::RowedWhileIf;
+use drs::core::{DrsConfig, DrsUnit};
+use drs::kernels::{WhileIfKernel, WhileWhileConfig, WhileWhileKernel};
+use drs::scene::SceneKind;
+use drs::sim::{GpuConfig, NullSpecial, SimOutcome, Simulation};
+use drs::trace::{BounceStreams, RayScript};
+
+fn run(method: &str, gpu: &GpuConfig, scripts: &[RayScript]) -> SimOutcome {
+    match method {
+        "aila" => {
+            let k = WhileWhileKernel::new(WhileWhileConfig::default());
+            Simulation::new(gpu.clone(), k.program(), Box::new(k.clone()), Box::new(NullSpecial), scripts).run()
+        }
+        "drs" => {
+            let cfg = DrsConfig {
+                warps: gpu.max_warps,
+                backup_rows: 1,
+                swap_buffers: 6,
+                ideal: false,
+                lanes: 32,
+            };
+            let k = WhileIfKernel::new();
+            Simulation::new(
+                gpu.clone(),
+                k.program(),
+                Box::new(RowedWhileIf::new(cfg.rows())),
+                Box::new(DrsUnit::new(cfg)),
+                scripts,
+            )
+            .run()
+        }
+        "dmk" => {
+            let cfg = DmkConfig { warps: gpu.max_warps, lanes: 32, pool_slots: gpu.max_warps * 32 };
+            let k = DmkKernel::new(cfg);
+            Simulation::new(gpu.clone(), k.program(), Box::new(k.clone()), Box::new(DmkUnit::new(cfg)), scripts).run()
+        }
+        "tbc" => {
+            let k = WhileIfKernel::new();
+            let cfg = TbcConfig { warps: gpu.max_warps, lanes: 32, warps_per_block: 6.min(gpu.max_warps) };
+            Simulation::new(gpu.clone(), k.program(), Box::new(k.clone()), Box::new(TbcUnit::new(cfg)), scripts).run()
+        }
+        other => {
+            eprintln!("unknown method {other}; use aila|drs|dmk|tbc");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scene_name = args.next().unwrap_or_else(|| "conference".into());
+    let method = args.next().unwrap_or_else(|| "aila".into());
+    let kind = match scene_name.as_str() {
+        "conference" => SceneKind::Conference,
+        "fairy" => SceneKind::FairyForest,
+        "sponza" => SceneKind::CrytekSponza,
+        "plants" => SceneKind::Plants,
+        other => {
+            eprintln!("unknown scene {other}");
+            std::process::exit(2);
+        }
+    };
+
+    let scene = kind.build_with_tris(20_000);
+    let streams = BounceStreams::capture(&scene, 4_000, 8, 7);
+    let gpu = GpuConfig { max_warps: 12, ..GpuConfig::gtx780() };
+    println!("{} / {method}: SIMD efficiency per bounce", scene.kind());
+    println!("{:>3} {:>7} {:>9} {:>8} {:>8} {:>8} {:>8}", "B", "rays", "eff", "W1:8", "W9:16", "W17:24", "W25:32");
+    for b in 1..=streams.depth() {
+        let stream = streams.bounce(b);
+        if stream.scripts.is_empty() {
+            println!("{b:>3}  (no surviving rays)");
+            continue;
+        }
+        let out = run(&method, &gpu, &stream.scripts);
+        let h = out.stats.issued;
+        println!(
+            "{b:>3} {:>7} {:>8.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+            stream.scripts.len(),
+            h.simd_efficiency() * 100.0,
+            h.bucket_fraction(0) * 100.0,
+            h.bucket_fraction(1) * 100.0,
+            h.bucket_fraction(2) * 100.0,
+            h.bucket_fraction(3) * 100.0,
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! The paper's Figure 6 walkthrough: watch the DRS control shuffle rays
+//! between register-file rows on a miniature machine (two 8-lane warps).
+//!
+//! Run with: `cargo run --release --example walkthrough`
+//!
+//! The printout shows, per `rdctrl` round, each logical ray row's
+//! occupancy by state (`I` = inner, `L` = leaf, `.` = empty slot) plus the
+//! warp→row renaming table — the mechanism of Figures 4 and 6.
+
+use drs::core::{DrsConfig, DrsUnit};
+use drs::sim::{MachineState, RayState, SimStats, SpecialOutcome, SpecialUnit};
+use drs::trace::{RayScript, Step, Termination};
+
+const LANES: usize = 8;
+
+/// Render one row as a string of per-slot state letters.
+fn row_picture(m: &MachineState<'_>, row: usize) -> String {
+    (0..LANES)
+        .map(|lane| match m.state_cache[row * LANES + lane] {
+            RayState::Inner => 'I',
+            RayState::Leaf => 'L',
+            RayState::Fetching | RayState::Done => '.',
+            RayState::Empty => 'x',
+        })
+        .collect()
+}
+
+fn dump(m: &MachineState<'_>, unit: &DrsUnit, rows: usize, round: usize) {
+    println!("round {round}:");
+    for r in 0..rows {
+        let summary = unit.row_summary(r);
+        println!(
+            "  row {r}: [{}]  (inner {}, leaf {}, empty {})",
+            row_picture(m, r),
+            summary.inner,
+            summary.leaf,
+            summary.no_ray
+        );
+    }
+    println!("  renaming: warp0 -> row {}, warp1 -> row {}", unit.row_of(0), unit.row_of(1));
+}
+
+fn main() {
+    // Scripts shaped like Figure 6: all rays start in the inner state; some
+    // switch to the leaf state after one node, others after three.
+    let scripts: Vec<RayScript> = (0..16)
+        .map(|i| {
+            let inner_run = if i % 3 == 0 { 1 } else { 3 };
+            let mut steps: Vec<Step> = (0..inner_run)
+                .map(|k| Step::Inner {
+                    node_addr: 0x1000_0000 + (i * 8 + k) as u64 * 64,
+                    both_children_hit: false,
+                })
+                .collect();
+            steps.push(Step::Leaf {
+                node_addr: 0x1100_0000 + i as u64 * 64,
+                prim_base_addr: 0x4000_0000 + i as u64 * 48,
+                prim_count: 2,
+            });
+            RayScript::new(steps, Termination::Hit)
+        })
+        .collect();
+
+    // Two warps, one backup row, two empty rows -> five logical rows.
+    let cfg = DrsConfig { warps: 2, backup_rows: 1, swap_buffers: 6, ideal: false, lanes: LANES };
+    let mut unit = DrsUnit::new(cfg);
+    let rows = cfg.rows();
+    let mut m = MachineState::new(&scripts, cfg.warps, LANES, rows * LANES);
+    m.track_dirty = true;
+    let mut stats = SimStats::default();
+
+    println!("Figure 6 walkthrough: {} rays, 2 warps x {LANES} lanes, {rows} rows\n", scripts.len());
+    for round in 0..14 {
+        // Each warp reads trav_ctrl_val; the DRS control renames/stalls.
+        for warp in 0..cfg.warps {
+            match unit.issue(warp, 0, &mut m, &mut stats) {
+                SpecialOutcome::Stall => {
+                    println!("  warp{warp}: rdctrl STALLS (shuffling in progress)");
+                }
+                SpecialOutcome::Proceed { ctrl } => {
+                    let action = match ctrl {
+                        1 => "FETCH",
+                        2 => "TRAV_INNER",
+                        3 => "TRAV_LEAF",
+                        _ => "EXIT",
+                    };
+                    println!("  warp{warp}: rdctrl -> {action} on row {}", unit.row_of(warp));
+                    // Execute the body on every occupied lane of the row.
+                    let row = unit.row_of(warp);
+                    for lane in 0..LANES {
+                        let slot = row * LANES + lane;
+                        match ctrl {
+                            1 => {
+                                if m.slots[slot].ray.is_none() {
+                                    m.fetch_into(slot);
+                                }
+                            }
+                            2 => {
+                                if matches!(m.peek_step(slot), Some(Step::Inner { .. })) {
+                                    m.consume_step(slot);
+                                }
+                            }
+                            3 => {
+                                if matches!(m.peek_step(slot), Some(Step::Leaf { .. })) {
+                                    m.consume_step(slot);
+                                }
+                                if m.slots[slot].ray.is_some() && m.peek_step(slot).is_none() {
+                                    m.retire_ray(slot);
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        // Give the swap engine a burst of cycles with all bank ports idle.
+        let idle = vec![true; 32];
+        for c in 0..40u64 {
+            unit.tick(round as u64 * 40 + c, &idle, &mut m, &mut stats);
+        }
+        dump(&m, &unit, rows, round);
+        if m.all_work_drained() {
+            println!("\nall {} rays traced; {} ray swaps performed", m.rays_completed, stats.swaps_completed);
+            break;
+        }
+        println!();
+    }
+}

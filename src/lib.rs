@@ -1,0 +1,38 @@
+//! Facade crate for the Dynamic Ray Shuffling (DRS) reproduction.
+//!
+//! Re-exports every subsystem crate under one roof so examples, integration
+//! tests and downstream users can depend on a single crate:
+//!
+//! - [`math`] — vectors, rays, AABBs, RNG, low-discrepancy sampling
+//! - [`geom`] — triangle meshes and intersection routines
+//! - [`scene`] — the four procedural benchmark scenes
+//! - [`bvh`] — SAH BVH and kd-tree construction, instrumented traversal
+//! - [`render`] — the path tracer and per-bounce ray-stream capture
+//! - [`trace`] — per-ray traversal scripts consumed by the simulator
+//! - [`sim`] — the cycle-level SIMT GPU core simulator
+//! - [`kernels`] — the while-while (Aila) and while-if (DRS) kernels
+//! - [`core`] — the Dynamic Ray Shuffling hardware model (the paper's contribution)
+//! - [`baselines`] — DMK and TBC comparison hardware
+//!
+//! # Quickstart
+//!
+//! ```
+//! use drs::scene::SceneKind;
+//! use drs::trace::BounceStreams;
+//!
+//! // A tiny conference-room stand-in: build scene + BVH, trace one bounce.
+//! let scene = SceneKind::Conference.build_with_tris(500);
+//! let streams = BounceStreams::capture(&scene, 64, 2, 0x1234);
+//! assert!(!streams.bounce(1).scripts.is_empty());
+//! ```
+
+pub use drs_baselines as baselines;
+pub use drs_bvh as bvh;
+pub use drs_core as core;
+pub use drs_geom as geom;
+pub use drs_kernels as kernels;
+pub use drs_math as math;
+pub use drs_render as render;
+pub use drs_scene as scene;
+pub use drs_sim as sim;
+pub use drs_trace as trace;

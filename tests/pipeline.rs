@@ -1,0 +1,149 @@
+//! End-to-end integration tests: scene → BVH → trace capture → simulation,
+//! across every method, exercising the whole stack exactly as the
+//! experiment harness does.
+
+use drs::baselines::{DmkConfig, DmkKernel, DmkUnit, TbcConfig, TbcUnit};
+use drs::core::system::{DrsSystem, RowedWhileIf};
+use drs::core::{DrsConfig, DrsUnit};
+use drs::kernels::{WhileIfKernel, WhileWhileConfig, WhileWhileKernel};
+use drs::scene::SceneKind;
+use drs::sim::{GpuConfig, NullSpecial, SimOutcome, Simulation};
+use drs::trace::{BounceStreams, RayScript};
+
+fn gpu(warps: usize) -> GpuConfig {
+    GpuConfig { max_warps: warps, max_cycles: 200_000_000, ..GpuConfig::gtx780() }
+}
+
+fn capture(kind: SceneKind, rays: usize, bounces: usize) -> BounceStreams {
+    let scene = kind.build_with_tris(4_000);
+    BounceStreams::capture(&scene, rays, bounces, 0xFEED)
+}
+
+fn run_aila(scripts: &[RayScript], warps: usize) -> SimOutcome {
+    let k = WhileWhileKernel::new(WhileWhileConfig::default());
+    Simulation::new(gpu(warps), k.program(), Box::new(k.clone()), Box::new(NullSpecial), scripts)
+        .run()
+}
+
+fn run_drs(scripts: &[RayScript], warps: usize) -> SimOutcome {
+    let cfg = DrsConfig { warps, backup_rows: 1, swap_buffers: 6, ideal: false, lanes: 32 };
+    let k = WhileIfKernel::new();
+    Simulation::new(
+        gpu(warps),
+        k.program(),
+        Box::new(RowedWhileIf::new(cfg.rows())),
+        Box::new(DrsUnit::new(cfg)),
+        scripts,
+    )
+    .run()
+}
+
+#[test]
+fn full_pipeline_all_methods_trace_every_ray() {
+    let streams = capture(SceneKind::Conference, 700, 2);
+    let scripts = &streams.bounce(2).scripts;
+    let expected = scripts.len() as u64;
+
+    let aila = run_aila(scripts, 4);
+    assert!(aila.completed);
+    assert_eq!(aila.stats.rays_completed, expected);
+
+    let drs = run_drs(scripts, 4);
+    assert!(drs.completed);
+    assert_eq!(drs.stats.rays_completed, expected);
+
+    let dmk_cfg = DmkConfig { warps: 4, lanes: 32, pool_slots: 4 * 32 };
+    let dmk_kernel = DmkKernel::new(dmk_cfg);
+    let dmk = Simulation::new(
+        gpu(4),
+        dmk_kernel.program(),
+        Box::new(dmk_kernel.clone()),
+        Box::new(DmkUnit::new(dmk_cfg)),
+        scripts,
+    )
+    .run();
+    assert!(dmk.completed);
+    assert_eq!(dmk.stats.rays_completed, expected);
+
+    let tbc_kernel = WhileIfKernel::new();
+    let tbc_cfg = TbcConfig { warps: 4, lanes: 32, warps_per_block: 4 };
+    let tbc = Simulation::new(
+        gpu(4),
+        tbc_kernel.program(),
+        Box::new(tbc_kernel.clone()),
+        Box::new(TbcUnit::new(tbc_cfg)),
+        scripts,
+    )
+    .run();
+    assert!(tbc.completed);
+    assert_eq!(tbc.stats.rays_completed, expected);
+}
+
+#[test]
+fn headline_result_drs_beats_aila_on_secondary_rays() {
+    // The paper's core claim at miniature scale: on incoherent secondary
+    // rays, DRS clearly improves both SIMD efficiency and throughput.
+    let streams = capture(SceneKind::Conference, 1_200, 2);
+    let scripts = &streams.bounce(2).scripts;
+    let aila = run_aila(scripts, 6);
+    let drs = run_drs(scripts, 6);
+    let e_aila = aila.stats.issued.simd_efficiency();
+    let e_drs = drs.stats.issued.simd_efficiency();
+    assert!(
+        e_drs > e_aila * 1.3,
+        "DRS SIMD efficiency {e_drs:.3} should dominate Aila {e_aila:.3}"
+    );
+    assert!(
+        drs.stats.cycles < aila.stats.cycles,
+        "DRS cycles {} should undercut Aila {}",
+        drs.stats.cycles,
+        aila.stats.cycles
+    );
+}
+
+#[test]
+fn primary_rays_are_coherent_secondary_are_not() {
+    // Figure 2's premise, end to end.
+    let streams = capture(SceneKind::CrytekSponza, 1_000, 2);
+    let b1 = run_aila(&streams.bounce(1).scripts, 4);
+    let b2 = run_aila(&streams.bounce(2).scripts, 4);
+    let e1 = b1.stats.issued.simd_efficiency();
+    let e2 = b2.stats.issued.simd_efficiency();
+    assert!(e1 > e2 + 0.05, "B1 {e1:.3} must exceed B2 {e2:.3}");
+}
+
+#[test]
+fn drs_system_wrapper_end_to_end() {
+    let streams = capture(SceneKind::FairyForest, 600, 2);
+    let sys = DrsSystem::new(
+        gpu(4),
+        DrsConfig { warps: 4, backup_rows: 2, swap_buffers: 9, ideal: false, lanes: 32 },
+    );
+    let out = sys.simulate(&streams.bounce(1).scripts);
+    assert!(out.completed);
+    assert_eq!(out.stats.rays_completed, streams.bounce(1).scripts.len() as u64);
+}
+
+#[test]
+fn simulations_are_deterministic_end_to_end() {
+    let streams = capture(SceneKind::Plants, 500, 2);
+    let scripts = &streams.bounce(1).scripts;
+    let a = run_drs(scripts, 4);
+    let b = run_drs(scripts, 4);
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.stats.issued.total, b.stats.issued.total);
+    assert_eq!(a.stats.swaps_completed, b.stats.swaps_completed);
+}
+
+#[test]
+fn bvh_addresses_flow_into_texture_cache() {
+    let streams = capture(SceneKind::Conference, 500, 1);
+    let out = run_aila(&streams.bounce(1).scripts, 4);
+    let l1t_total = out.stats.l1t.hits + out.stats.l1t.misses;
+    assert!(l1t_total > 0, "BVH traffic must hit the texture cache");
+    assert!(
+        out.stats.l1t.hit_rate() > 0.3,
+        "coherent primary rays should reuse cached nodes, rate {}",
+        out.stats.l1t.hit_rate()
+    );
+}
