@@ -76,6 +76,13 @@ impl DmkKernel {
     /// 3.. = the while-if fetch/inner/leaf structure, rebuilt here so block
     /// ids stay self-contained.
     pub fn program(&self) -> Program {
+        let program = self.build_program();
+        #[cfg(debug_assertions)]
+        drs_verify::assert_program_valid("dmk", &program);
+        program
+    }
+
+    fn build_program(&self) -> Program {
         // Rebuild the while-if program with two extra blocks at the front
         // of the loop for the spawn path. We reuse the inner kernel's
         // condition/effect/address tokens by delegating at eval time; the
@@ -86,21 +93,27 @@ impl DmkKernel {
         blocks.push(Block::new(
             "read_ctrl",
             vec![MicroOp::special(0, TOKEN_RDCTRL), MicroOp::effect(EFFECT_NEW_ROUND)],
-            Terminator::Branch { cond: C_NOT_EXIT, on_true: 1, on_false: EXIT_BLK, reconverge: EXIT_BLK },
+            Terminator::Branch {
+                cond: C_NOT_EXIT,
+                on_true: 1,
+                on_false: EXIT_BLK,
+                reconverge: EXIT_BLK,
+            },
         ));
-        // 1: spawn check.
+        // 1: spawn check. The spawn body jumps straight back to the control
+        // read, so the two paths first rejoin at block 0 — that, not the
+        // fall-through block, is the immediate post-dominator.
         blocks.push(Block::new(
             "spawn_if",
             vec![],
-            Terminator::Branch { cond: C_IS_SPAWN, on_true: 2, on_false: 3, reconverge: 3 },
+            Terminator::Branch { cond: C_IS_SPAWN, on_true: 2, on_false: 3, reconverge: 0 },
         ));
         // 2: spawn body — dump 17 words, reload 17 words, all SI-tagged.
         let si = OpTag::SpawnOverhead;
         let mut spawn_ops = Vec::new();
         for g in 0..SPAWN_GROUPS {
-            spawn_ops.push(
-                MicroOp::store(MemSpace::Spawn, A_SPAWN_BASE + g, &[10, 11]).with_tag(si),
-            );
+            spawn_ops
+                .push(MicroOp::store(MemSpace::Spawn, A_SPAWN_BASE + g, &[10, 11]).with_tag(si));
         }
         // Micro-kernel bookkeeping: spawn-table lookup and thread metadata.
         alu_chain(&mut spawn_ops, 6, &[10, 11], si);
@@ -163,7 +176,7 @@ const C_IS_SPAWN: u16 = 33;
 const E_REGROUP: u16 = 32;
 /// Exit block id in the spliced program: 3 DMK blocks + the while-if
 /// blocks minus its read-ctrl and exit; the exit goes last.
-const EXIT_BLK: u32 = 16;
+const EXIT_BLK: u32 = 14;
 
 impl KernelBehavior for DmkKernel {
     fn eval_cond(&self, token: u16, warp: usize, lane: usize, m: &MachineState<'_>) -> bool {
@@ -381,7 +394,14 @@ impl SpecialUnit for DmkUnit {
         SpecialOutcome::Proceed { ctrl: CTRL_EXIT }
     }
 
-    fn tick(&mut self, _cycle: u64, _idle: &[bool], _m: &mut MachineState<'_>, _stats: &mut SimStats) {}
+    fn tick(
+        &mut self,
+        _cycle: u64,
+        _idle: &[bool],
+        _m: &mut MachineState<'_>,
+        _stats: &mut SimStats,
+    ) {
+    }
 }
 
 #[cfg(test)]
@@ -417,15 +437,21 @@ mod tests {
         let cfg = DmkConfig { warps, lanes: 32, pool_slots: warps * 32 };
         let kernel = DmkKernel::new(cfg);
         let gpu = GpuConfig { max_warps: warps, max_cycles: 120_000_000, ..GpuConfig::gtx780() };
-        Simulation::new(gpu, kernel.program(), Box::new(kernel.clone()), Box::new(DmkUnit::new(cfg)), &s)
-            .run()
+        Simulation::new(
+            gpu,
+            kernel.program(),
+            Box::new(kernel.clone()),
+            Box::new(DmkUnit::new(cfg)),
+            &s,
+        )
+        .run()
     }
 
     #[test]
     fn program_splices_correctly() {
         let k = DmkKernel::new(DmkConfig::paper_default(4));
         let p = k.program();
-        assert_eq!(p.blocks().len(), 17);
+        assert_eq!(p.blocks().len(), 15);
         assert_eq!(p.blocks().last().unwrap().label, "exit");
         assert!(p.blocks().iter().any(|b| b.label == "spawn_body"));
     }
@@ -442,8 +468,8 @@ mod tests {
         let out = run_dmk(600, 6);
         assert!(out.stats.issued_si.total > 0, "spawns must execute SI work");
         // SI should be a visible but minority share, as in the paper.
-        let si_frac =
-            out.stats.issued_si.total as f64 / (out.stats.issued.total + out.stats.issued_si.total) as f64;
+        let si_frac = out.stats.issued_si.total as f64
+            / (out.stats.issued.total + out.stats.issued_si.total) as f64;
         assert!(si_frac > 0.005 && si_frac < 0.5, "SI fraction {si_frac}");
     }
 

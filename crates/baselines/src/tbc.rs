@@ -104,8 +104,7 @@ impl TbcUnit {
         // Reorder slot assignments lane by lane (thread movement only — no
         // ray data moves, which is TBC's key cost advantage over DMK).
         for lane in 0..self.cfg.lanes {
-            let mut slots: Vec<usize> =
-                warps.iter().filter_map(|&w| m.slot_of(w, lane)).collect();
+            let mut slots: Vec<usize> = warps.iter().filter_map(|&w| m.slot_of(w, lane)).collect();
             slots.sort_by_key(|&s| state_rank(m.state_cache[s]));
             for (w, s) in warps.iter().zip(slots) {
                 m.map_lane(*w, lane, Some(s));
@@ -152,7 +151,7 @@ impl SpecialUnit for TbcUnit {
             return SpecialOutcome::Stall;
         }
         // Once per round, the block compacts (lane-aligned thread remap).
-        if min_round >= self.blocks[b].last_compact + 1 || self.blocks[b].last_compact == 0 {
+        if min_round > self.blocks[b].last_compact || self.blocks[b].last_compact == 0 {
             self.blocks[b].last_compact = min_round + 1;
             self.compact(b, m);
         }
@@ -160,8 +159,7 @@ impl SpecialUnit for TbcUnit {
         // A warp only exits when its whole block has drained, so its lanes
         // stay available for compaction until the end.
         let block_live = self.cfg.block_warps(b).any(|w| {
-            (0..self.cfg.lanes)
-                .any(|l| m.slot_of(w, l).is_some_and(|s| m.slots[s].ray.is_some()))
+            (0..self.cfg.lanes).any(|l| m.slot_of(w, l).is_some_and(|s| m.slots[s].ray.is_some()))
         }) || !m.queue.is_empty();
         let ctrl = if ctrl == CTRL_EXIT && block_live { CTRL_TRAV_BOTH } else { ctrl };
         if ctrl == CTRL_EXIT {
@@ -171,7 +169,13 @@ impl SpecialUnit for TbcUnit {
         SpecialOutcome::Proceed { ctrl }
     }
 
-    fn tick(&mut self, _cycle: u64, _idle: &[bool], m: &mut MachineState<'_>, stats: &mut SimStats) {
+    fn tick(
+        &mut self,
+        _cycle: u64,
+        _idle: &[bool],
+        m: &mut MachineState<'_>,
+        stats: &mut SimStats,
+    ) {
         let _ = m;
         // Synchronization accounting: a warp-cycle of waiting for every
         // warp currently held back by the round window.
@@ -228,8 +232,14 @@ mod tests {
         let kernel = WhileIfKernel::new();
         let cfg = TbcConfig { warps, lanes: 32, warps_per_block: 6.min(warps) };
         let gpu = GpuConfig { max_warps: warps, max_cycles: 150_000_000, ..GpuConfig::gtx780() };
-        Simulation::new(gpu, kernel.program(), Box::new(kernel.clone()), Box::new(TbcUnit::new(cfg)), &s)
-            .run()
+        Simulation::new(
+            gpu,
+            kernel.program(),
+            Box::new(kernel.clone()),
+            Box::new(TbcUnit::new(cfg)),
+            &s,
+        )
+        .run()
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Criterion micro-benchmarks for the BVH substrate: construction and
-//! functional traversal throughput.
+//! Micro-benchmarks for the BVH substrate: construction and functional
+//! traversal throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drs_bench::microbench::{BenchmarkId, Criterion, Throughput};
+use drs_bench::{criterion_group, criterion_main};
 use drs_bvh::{BuildMethod, BuildParams, Bvh};
 use drs_scene::SceneKind;
 
@@ -11,10 +12,9 @@ fn bvh_build(c: &mut Criterion) {
     for kind in [SceneKind::Conference, SceneKind::Plants] {
         let scene = kind.build_with_tris(20_000);
         group.throughput(Throughput::Elements(scene.mesh().len() as u64));
-        for (name, method) in [
-            ("binned_sah", BuildMethod::BinnedSah { bins: 16 }),
-            ("median", BuildMethod::Median),
-        ] {
+        for (name, method) in
+            [("binned_sah", BuildMethod::BinnedSah { bins: 16 }), ("median", BuildMethod::Median)]
+        {
             group.bench_with_input(
                 BenchmarkId::new(name, kind.name().replace(' ', "_")),
                 scene.mesh(),

@@ -1,9 +1,9 @@
-//! Criterion benches mirroring the paper's figure pipelines at miniature
-//! scale — one bench per experiment family, so regressions in any stage
-//! (scene build, trace capture, per-method simulation) surface here.
+//! Benches mirroring the paper's figure pipelines at miniature scale — one
+//! bench per experiment family, so regressions in any stage (scene build,
+//! trace capture, per-method simulation) surface here.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use drs_bench::{run_method, Method};
+use drs_bench::microbench::{BenchmarkId, Criterion};
+use drs_bench::{criterion_group, criterion_main, run_method, Method};
 use drs_scene::SceneKind;
 use drs_trace::BounceStreams;
 

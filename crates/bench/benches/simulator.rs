@@ -1,8 +1,9 @@
-//! Criterion micro-benchmarks for the cycle-level simulator itself: wall
-//! time to simulate a fixed workload for the baseline kernel and for DRS
-//! (including its swap engine).
+//! Micro-benchmarks for the cycle-level simulator itself: wall time to
+//! simulate a fixed workload for the baseline kernel and for DRS (including
+//! its swap engine).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drs_bench::microbench::{Criterion, Throughput};
+use drs_bench::{criterion_group, criterion_main};
 use drs_core::system::RowedWhileIf;
 use drs_core::{DrsConfig, DrsUnit};
 use drs_kernels::{WhileIfKernel, WhileWhileConfig, WhileWhileKernel};

@@ -367,8 +367,8 @@ fn ablation() {
     println!("\nAcceleration-structure ablation (conference, functional traversal):");
     {
         use drs_bvh::{KdBuildParams, KdTree};
-        let tris = (SceneKind::Conference.paper_triangle_count() as f64
-            * drs_bench::tris_scale()) as usize;
+        let tris = (SceneKind::Conference.paper_triangle_count() as f64 * drs_bench::tris_scale())
+            as usize;
         let scene = SceneKind::Conference.build_with_tris(tris.max(2_000));
         let bvh = Bvh::build(scene.mesh(), &BuildParams::default());
         let kd = KdTree::build(scene.mesh(), &KdBuildParams::default());
@@ -377,9 +377,8 @@ fn ablation() {
         let mut rays = 0usize;
         for i in 0..64 {
             for j in 0..48 {
-                let ray = scene
-                    .camera()
-                    .primary_ray((i as f32 + 0.5) / 64.0, (j as f32 + 0.5) / 48.0);
+                let ray =
+                    scene.camera().primary_ray((i as f32 + 0.5) / 64.0, (j as f32 + 0.5) / 48.0);
                 let mut events = 0usize;
                 let _ = bvh.intersect_instrumented(scene.mesh(), &ray, &mut |_| events += 1);
                 bvh_nodes += events;
@@ -396,21 +395,16 @@ fn ablation() {
     }
 
     println!("\nBVH build-quality ablation (conference, primary rays):");
-    let tris = (SceneKind::Conference.paper_triangle_count() as f64
-        * drs_bench::tris_scale()) as usize;
+    let tris =
+        (SceneKind::Conference.paper_triangle_count() as f64 * drs_bench::tris_scale()) as usize;
     let scene = SceneKind::Conference.build_with_tris(tris.max(2_000));
     for (label, method) in [
         ("binned SAH (16 bins)", BuildMethod::BinnedSah { bins: 16 }),
         ("median split        ", BuildMethod::Median),
     ] {
         let bvh = Bvh::build(scene.mesh(), &BuildParams { method, max_leaf_size: 4 });
-        let streams = BounceStreams::capture_with_bvh(
-            &scene,
-            &bvh,
-            drs_bench::rays_per_bounce(),
-            1,
-            7,
-        );
+        let streams =
+            BounceStreams::capture_with_bvh(&scene, &bvh, drs_bench::rays_per_bounce(), 1, 7);
         let stats = streams.bounce(1).stats();
         let out = run_method(Method::Aila, &streams.bounce(1).scripts);
         println!(

@@ -1,6 +1,6 @@
 //! Experiment harness: workload generation and method runners shared by the
-//! `experiments` binary (one mode per paper table/figure) and the Criterion
-//! benches.
+//! `experiments` binary (one mode per paper table/figure) and the
+//! dependency-free [`microbench`] benches under `benches/`.
 //!
 //! Scaling knobs (environment variables):
 //!
@@ -13,6 +13,8 @@
 
 #![warn(missing_docs)]
 
+pub mod microbench;
+
 use drs_baselines::{DmkConfig, DmkKernel, DmkUnit, TbcConfig, TbcUnit};
 use drs_core::system::RowedWhileIf;
 use drs_core::{DrsConfig, DrsUnit};
@@ -23,10 +25,7 @@ use drs_trace::{BounceStreams, RayScript};
 
 /// Read a scaling knob from the environment.
 fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Rays captured per bounce.
@@ -118,28 +117,52 @@ pub fn run_method(method: Method, scripts: &[RayScript]) -> SimOutcome {
         Method::Dmk => {
             let cfg = DmkConfig { warps, lanes: 32, pool_slots: warps * 32 };
             let k = DmkKernel::new(cfg);
-            Simulation::new(gpu, k.program(), Box::new(k.clone()), Box::new(DmkUnit::new(cfg)), scripts)
-                .run()
+            Simulation::new(
+                gpu,
+                k.program(),
+                Box::new(k.clone()),
+                Box::new(DmkUnit::new(cfg)),
+                scripts,
+            )
+            .run()
         }
         Method::Tbc => {
             let k = WhileIfKernel::new();
             let cfg = TbcConfig { warps, lanes: 32, warps_per_block: 6.min(warps) };
-            Simulation::new(gpu, k.program(), Box::new(k.clone()), Box::new(TbcUnit::new(cfg)), scripts)
-                .run()
+            Simulation::new(
+                gpu,
+                k.program(),
+                Box::new(k.clone()),
+                Box::new(TbcUnit::new(cfg)),
+                scripts,
+            )
+            .run()
         }
         Method::Drs { backup_rows, swap_buffers, .. } => {
             let cfg = DrsConfig { warps, backup_rows, swap_buffers, ideal: false, lanes: 32 };
             let k = WhileIfKernel::new();
             let behavior = RowedWhileIf::new(cfg.rows());
-            Simulation::new(gpu, k.program(), Box::new(behavior), Box::new(DrsUnit::new(cfg)), scripts)
-                .run()
+            Simulation::new(
+                gpu,
+                k.program(),
+                Box::new(behavior),
+                Box::new(DrsUnit::new(cfg)),
+                scripts,
+            )
+            .run()
         }
         Method::IdealDrs => {
             let cfg = DrsConfig { warps, backup_rows: 1, swap_buffers: 6, ideal: true, lanes: 32 };
             let k = WhileIfKernel::new();
             let behavior = RowedWhileIf::new(cfg.rows());
-            Simulation::new(gpu, k.program(), Box::new(behavior), Box::new(DrsUnit::new(cfg)), scripts)
-                .run()
+            Simulation::new(
+                gpu,
+                k.program(),
+                Box::new(behavior),
+                Box::new(DrsUnit::new(cfg)),
+                scripts,
+            )
+            .run()
         }
     };
     assert!(out.completed, "{} hit the simulation cycle cap", method.label());
@@ -240,19 +263,11 @@ mod tests {
         tiny_env();
         let wl = capture_workloads(&[SceneKind::Conference], 2);
         let scripts = &wl[0].streams.bounce(2).scripts;
-        for method in [
-            Method::Aila,
-            Method::Dmk,
-            Method::Tbc,
-            Method::drs_default(),
-            Method::IdealDrs,
-        ] {
+        for method in
+            [Method::Aila, Method::Dmk, Method::Tbc, Method::drs_default(), Method::IdealDrs]
+        {
             let out = run_method(method, scripts);
-            assert!(
-                out.stats.rays_completed > 0,
-                "{} traced no rays",
-                method.label()
-            );
+            assert!(out.stats.rays_completed > 0, "{} traced no rays", method.label());
         }
     }
 
@@ -270,16 +285,11 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels: Vec<String> = [
-            Method::Aila,
-            Method::Dmk,
-            Method::Tbc,
-            Method::drs_default(),
-            Method::IdealDrs,
-        ]
-        .iter()
-        .map(|m| m.label())
-        .collect();
+        let labels: Vec<String> =
+            [Method::Aila, Method::Dmk, Method::Tbc, Method::drs_default(), Method::IdealDrs]
+                .iter()
+                .map(|m| m.label())
+                .collect();
         let mut dedup = labels.clone();
         dedup.dedup();
         assert_eq!(labels.len(), dedup.len());

@@ -30,10 +30,7 @@ pub struct BuildParams {
 
 impl Default for BuildParams {
     fn default() -> Self {
-        BuildParams {
-            method: BuildMethod::BinnedSah { bins: 16 },
-            max_leaf_size: 4,
-        }
+        BuildParams { method: BuildMethod::BinnedSah { bins: 16 }, max_leaf_size: 4 }
     }
 }
 
@@ -52,11 +49,7 @@ pub(crate) fn build(mesh: &Mesh, params: &BuildParams) -> Bvh {
         .triangles()
         .iter()
         .enumerate()
-        .map(|(i, t)| PrimRef {
-            index: i as u32,
-            bounds: t.bounds(),
-            centroid: t.centroid(),
-        })
+        .map(|(i, t)| PrimRef { index: i as u32, bounds: t.bounds(), centroid: t.centroid() })
         .collect();
     let mut nodes = Vec::with_capacity(mesh.len() * 2);
     let mut prim_indices = Vec::with_capacity(mesh.len());
@@ -75,18 +68,14 @@ fn build_recursive(
     nodes: &mut Vec<FlatNode>,
     prim_indices: &mut Vec<u32>,
 ) -> usize {
-    let bounds = refs[lo..hi]
-        .iter()
-        .fold(Aabb::EMPTY, |bb, r| bb.union(&r.bounds));
+    let bounds = refs[lo..hi].iter().fold(Aabb::EMPTY, |bb, r| bb.union(&r.bounds));
     let count = hi - lo;
     let my_index = nodes.len();
     if count <= params.max_leaf_size {
         push_leaf(refs, lo, hi, bounds, nodes, prim_indices);
         return my_index;
     }
-    let centroid_bounds = refs[lo..hi]
-        .iter()
-        .fold(Aabb::EMPTY, |bb, r| bb.union_point(r.centroid));
+    let centroid_bounds = refs[lo..hi].iter().fold(Aabb::EMPTY, |bb, r| bb.union_point(r.centroid));
     // Degenerate: all centroids coincide — no split can separate them.
     if centroid_bounds.extent().max_component() <= 0.0 {
         if count <= u16::MAX as usize {
@@ -172,18 +161,17 @@ fn push_leaf(
 ) {
     let first = prim_indices.len() as u32;
     prim_indices.extend(refs[lo..hi].iter().map(|r| r.index));
-    nodes.push(FlatNode {
-        bounds,
-        right_or_first: first,
-        prim_count: (hi - lo) as u16,
-        axis: 0,
-    });
+    nodes.push(FlatNode { bounds, right_or_first: first, prim_count: (hi - lo) as u16, axis: 0 });
 }
 
 /// Find the best binned-SAH split of `refs`; partitions `refs` in place and
 /// returns `(split_offset, axis)`, or `None` when leaving the range whole is
 /// cheaper than every candidate split.
-fn binned_sah_split(refs: &mut [PrimRef], centroid_bounds: &Aabb, bins: usize) -> Option<(usize, Axis)> {
+fn binned_sah_split(
+    refs: &mut [PrimRef],
+    centroid_bounds: &Aabb,
+    bins: usize,
+) -> Option<(usize, Axis)> {
     const TRAVERSAL_COST: f32 = 1.0;
     const INTERSECT_COST: f32 = 1.0;
     let bins = bins.max(2);
@@ -197,9 +185,8 @@ fn binned_sah_split(refs: &mut [PrimRef], centroid_bounds: &Aabb, bins: usize) -
         if cext <= 0.0 {
             continue;
         }
-        let bin_of = |c: f32| -> usize {
-            (((c - cmin) / cext * bins as f32) as usize).min(bins - 1)
-        };
+        let bin_of =
+            |c: f32| -> usize { (((c - cmin) / cext * bins as f32) as usize).min(bins - 1) };
         let mut bin_bounds = vec![Aabb::EMPTY; bins];
         let mut bin_counts = vec![0usize; bins];
         for r in refs.iter() {
@@ -315,10 +302,7 @@ mod tests {
         b.scatter(Vec3::new(50.0, 0.0, 0.0), Vec3::new(52.0, 2.0, 2.0), 100, 0.05, &mut rng);
         let mesh = b.build();
         let sah = Bvh::build(&mesh, &BuildParams::default());
-        let med = Bvh::build(
-            &mesh,
-            &BuildParams { method: BuildMethod::Median, max_leaf_size: 4 },
-        );
+        let med = Bvh::build(&mesh, &BuildParams { method: BuildMethod::Median, max_leaf_size: 4 });
         assert!(sah.stats().node_count <= med.stats().node_count * 2);
         sah.validate(&mesh).unwrap();
         med.validate(&mesh).unwrap();

@@ -177,9 +177,11 @@ impl KdTree {
                     KdNode::Leaf { first, count } => {
                         for k in 0..count {
                             let p = self.prim_indices[(first + k) as usize];
-                            if let Some(h) =
-                                mesh.triangles()[p as usize].intersect(ray, RAY_EPSILON, t_max_world)
-                            {
+                            if let Some(h) = mesh.triangles()[p as usize].intersect(
+                                ray,
+                                RAY_EPSILON,
+                                t_max_world,
+                            ) {
                                 t_max_world = h.t;
                                 best = Some(Hit { t: h.t, tri_index: p, uv: (h.u, h.v) });
                             }
@@ -297,11 +299,8 @@ mod tests {
                     (rng.next_f32() - 0.5) * 20.0,
                     (rng.next_f32() - 0.5) * 20.0,
                 );
-                let mut d = Vec3::new(
-                    rng.next_f32() - 0.5,
-                    rng.next_f32() - 0.5,
-                    rng.next_f32() - 0.5,
-                );
+                let mut d =
+                    Vec3::new(rng.next_f32() - 0.5, rng.next_f32() - 0.5, rng.next_f32() - 0.5);
                 if d.length_squared() < 1e-6 {
                     d = Vec3::new(1.0, 0.0, 0.0);
                 }

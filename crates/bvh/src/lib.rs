@@ -166,8 +166,7 @@ impl Bvh {
 
     /// Aggregate structural statistics (used in EXPERIMENTS.md context rows).
     pub fn stats(&self) -> BvhStats {
-        let mut s = BvhStats::default();
-        s.node_count = self.nodes.len();
+        let mut s = BvhStats { node_count: self.nodes.len(), ..BvhStats::default() };
         let mut stack = vec![(0usize, 0usize)];
         while let Some((idx, depth)) = stack.pop() {
             let n = &self.nodes[idx];

@@ -53,8 +53,8 @@ pub fn sah_cost(bvh: &Bvh, params: &SahParams) -> SahCost {
             node_visits += p;
         }
     }
-    let total = node_visits * params.traversal_cost as f64
-        + prim_tests * params.intersect_cost as f64;
+    let total =
+        node_visits * params.traversal_cost as f64 + prim_tests * params.intersect_cost as f64;
     SahCost {
         expected_node_visits: node_visits as f32,
         expected_prim_tests: prim_tests as f32,
@@ -86,10 +86,8 @@ mod tests {
             &mesh,
             &BuildParams { method: BuildMethod::BinnedSah { bins: 16 }, max_leaf_size: 4 },
         );
-        let med_tree = Bvh::build(
-            &mesh,
-            &BuildParams { method: BuildMethod::Median, max_leaf_size: 4 },
-        );
+        let med_tree =
+            Bvh::build(&mesh, &BuildParams { method: BuildMethod::Median, max_leaf_size: 4 });
         let p = SahParams::default();
         let c_sah = sah_cost(&sah_tree, &p);
         let c_med = sah_cost(&med_tree, &p);

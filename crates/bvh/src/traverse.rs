@@ -66,9 +66,7 @@ pub(crate) fn intersect(
     let mut current = 0u32;
     // Check the root bounds once; an early miss produces zero events, which
     // the trace layer records as an immediately-terminated ray.
-    if nodes[0].bounds.intersect(ray, RAY_EPSILON, t_max).is_none() {
-        return None;
-    }
+    nodes[0].bounds.intersect(ray, RAY_EPSILON, t_max)?;
     loop {
         let node = &nodes[current as usize];
         if node.is_leaf() {
@@ -117,11 +115,7 @@ pub(crate) fn intersect(
         loop {
             match stack.pop() {
                 Some(idx) => {
-                    if nodes[idx as usize]
-                        .bounds
-                        .intersect(ray, RAY_EPSILON, t_max)
-                        .is_some()
-                    {
+                    if nodes[idx as usize].bounds.intersect(ray, RAY_EPSILON, t_max).is_some() {
                         current = idx;
                         break;
                     }
@@ -153,10 +147,7 @@ pub(crate) fn intersect_any(bvh: &Bvh, mesh: &Mesh, ray: &Ray, t_max: f32) -> bo
         }
         if node.is_leaf() {
             for &p in bvh.leaf_prims(node) {
-                if mesh.triangles()[p as usize]
-                    .intersect(ray, RAY_EPSILON, t_max)
-                    .is_some()
-                {
+                if mesh.triangles()[p as usize].intersect(ray, RAY_EPSILON, t_max).is_some() {
                     return true;
                 }
             }
@@ -198,12 +189,8 @@ mod tests {
                     (rng.next_f32() - 0.5) * span,
                     (rng.next_f32() - 0.5) * span,
                 );
-                let d = Vec3::new(
-                    rng.next_f32() - 0.5,
-                    rng.next_f32() - 0.5,
-                    rng.next_f32() - 0.5,
-                )
-                .normalized();
+                let d = Vec3::new(rng.next_f32() - 0.5, rng.next_f32() - 0.5, rng.next_f32() - 0.5)
+                    .normalized();
                 Ray::new(o, if d.length() > 0.0 { d } else { Vec3::new(1.0, 0.0, 0.0) })
             })
             .collect()
@@ -222,12 +209,7 @@ mod tests {
             match (a, b2) {
                 (None, None) => {}
                 (Some(x), Some(y)) => {
-                    assert!(
-                        (x.t - y.t).abs() < 1e-3,
-                        "t mismatch: bvh {} vs brute {}",
-                        x.t,
-                        y.t
-                    );
+                    assert!((x.t - y.t).abs() < 1e-3, "t mismatch: bvh {} vs brute {}", x.t, y.t);
                 }
                 (x, y) => panic!("hit disagreement: bvh {x:?} vs brute {y:?}"),
             }
@@ -340,12 +322,8 @@ mod any_hit_tests {
                 (rng.next_f32() - 0.5) * 16.0,
                 (rng.next_f32() - 0.5) * 16.0,
             );
-            let d = Vec3::new(
-                rng.next_f32() - 0.5,
-                rng.next_f32() - 0.5,
-                rng.next_f32() - 0.5,
-            )
-            .normalized();
+            let d = Vec3::new(rng.next_f32() - 0.5, rng.next_f32() - 0.5, rng.next_f32() - 0.5)
+                .normalized();
             if d.length() == 0.0 {
                 continue;
             }

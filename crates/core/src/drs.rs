@@ -1,7 +1,7 @@
 //! The DRS control unit: ray-state table, warp renaming and ray swapping.
 
-use drs_sim::{MachineState, RayState, SimStats, SpecialOutcome, SpecialUnit};
 use drs_kernels::{CTRL_EXIT, CTRL_FETCH, CTRL_TRAV_INNER, CTRL_TRAV_LEAF, TOKEN_RDCTRL};
+use drs_sim::{MachineState, RayState, SimStats, SpecialOutcome, SpecialUnit};
 
 /// Live registers per ray moved by one swap (17 × 32-bit, per the paper).
 pub const RAY_REGISTERS: usize = 17;
@@ -96,10 +96,7 @@ impl RowSummary {
     /// holes that a fetch could not fill (strict uniformity; preferred when
     /// choosing rename targets).
     pub fn is_full_uniform(&self) -> bool {
-        matches!(
-            (self.no_ray, self.inner, self.leaf),
-            (0, _, 0) | (0, 0, _)
-        ) && self.rays() > 0
+        matches!((self.no_ray, self.inner, self.leaf), (0, _, 0) | (0, 0, _)) && self.rays() > 0
     }
 }
 
@@ -284,7 +281,7 @@ impl DrsUnit {
             if score == 0 {
                 continue;
             }
-            if best.map_or(true, |(_, b)| score > b) {
+            if best.is_none_or(|(_, b)| score > b) {
                 best = Some((row, score));
             }
         }
@@ -388,7 +385,13 @@ impl DrsUnit {
     }
 
     /// Finish a completed transfer: move the ray data.
-    fn finalize_transfer(&mut self, t: Transfer, now: u64, m: &mut MachineState<'_>, stats: &mut SimStats) {
+    fn finalize_transfer(
+        &mut self,
+        t: Transfer,
+        now: u64,
+        m: &mut MachineState<'_>,
+        stats: &mut SimStats,
+    ) {
         let (src, dst) = (t.src_slot as usize, t.dst_slot as usize);
         m.slots.swap(src, dst);
         m.state_cache.swap(src, dst);
@@ -433,7 +436,7 @@ impl DrsUnit {
             if c.leaf == 0 || (c.inner == 0 && c.no_ray == 0) {
                 continue;
             }
-            if best.map_or(true, |(_, b)| c.leaf > b) {
+            if best.is_none_or(|(_, b)| c.leaf > b) {
                 best = Some((r, c.leaf));
             }
         }
@@ -583,7 +586,12 @@ impl DrsUnit {
     }
 
     /// First non-busy slot of `row` satisfying `pred`.
-    fn find_slot(&self, row: usize, m: &MachineState<'_>, pred: impl Fn(usize) -> bool) -> Option<usize> {
+    fn find_slot(
+        &self,
+        row: usize,
+        m: &MachineState<'_>,
+        pred: impl Fn(usize) -> bool,
+    ) -> Option<usize> {
         let _ = m;
         (0..self.cfg.lanes)
             .map(|l| self.slot_index(row, l))
@@ -647,7 +655,7 @@ impl SpecialUnit for DrsUnit {
         // uniform row rather than stalling forever.
         let cur_score = if cur_busy || !m.queue.is_empty() { 0 } else { self.row_score(row, m) };
         let best = if m.queue.is_empty() { self.best_free_row(m) } else { None };
-        if cur_score > 0 && best.map_or(true, |(_, s)| s <= cur_score) {
+        if cur_score > 0 && best.is_none_or(|(_, s)| s <= cur_score) {
             if let Some(ctrl) = self.ctrl_for(row, m) {
                 self.parked[warp] = false;
                 self.map_warp_to_row(warp, row, m);
@@ -686,7 +694,13 @@ impl SpecialUnit for DrsUnit {
         SpecialOutcome::Stall
     }
 
-    fn tick(&mut self, cycle: u64, idle_banks: &[bool], m: &mut MachineState<'_>, stats: &mut SimStats) {
+    fn tick(
+        &mut self,
+        cycle: u64,
+        idle_banks: &[bool],
+        m: &mut MachineState<'_>,
+        stats: &mut SimStats,
+    ) {
         if self.cfg.ideal {
             return;
         }
@@ -695,14 +709,22 @@ impl SpecialUnit for DrsUnit {
             self.initialized = true;
         }
         self.drain_dirty(m);
-        if std::env::var("DRS_DEBUG").is_ok() && cycle % 500_000 == 0 && cycle > 0 {
+        if std::env::var("DRS_DEBUG").is_ok() && cycle.is_multiple_of(500_000) && cycle > 0 {
             eprintln!("cycle {cycle}: transfers={:?}", self.transfers);
             for r in 0..self.cfg.rows() {
-                eprintln!("  row {r}: {:?} bound={:?} busy={} parked={:?}",
-                    self.counts[r], self.warp_of_row[r], self.row_has_busy_slot(r),
-                    self.warp_of_row[r].map(|w| self.parked[w]));
+                eprintln!(
+                    "  row {r}: {:?} bound={:?} busy={} parked={:?}",
+                    self.counts[r],
+                    self.warp_of_row[r],
+                    self.row_has_busy_slot(r),
+                    self.warp_of_row[r].map(|w| self.parked[w])
+                );
             }
-            eprintln!("  queue remaining={} rays_completed={}", m.queue.remaining(), m.rays_completed);
+            eprintln!(
+                "  queue remaining={} rays_completed={}",
+                m.queue.remaining(),
+                m.rays_completed
+            );
         }
         // Progress active transfers through idle bank ports.
         let mut idle: Vec<bool> = idle_banks.to_vec();
@@ -825,7 +847,11 @@ mod tests {
 
     #[test]
     fn drs_completes_all_rays_small() {
-        let out = run_drs(600, 6, DrsConfig { warps: 6, backup_rows: 1, swap_buffers: 6, ideal: false, lanes: 32 });
+        let out = run_drs(
+            600,
+            6,
+            DrsConfig { warps: 6, backup_rows: 1, swap_buffers: 6, ideal: false, lanes: 32 },
+        );
         assert!(out.completed, "DRS run hit the cycle cap");
         assert_eq!(out.stats.rays_completed, 600);
         assert!(out.stats.rdctrl_issued > 0);
@@ -838,8 +864,19 @@ mod tests {
         let s = scripts(800);
         let cfg = GpuConfig { max_warps: 6, max_cycles: 80_000_000, ..GpuConfig::gtx780() };
         let ww = WhileWhileKernel::new(WhileWhileConfig::default());
-        let base = Simulation::new(cfg.clone(), ww.program(), Box::new(ww.clone()), Box::new(NullSpecial), &s).run();
-        let drs = run_drs(800, 6, DrsConfig { warps: 6, backup_rows: 1, swap_buffers: 6, ideal: false, lanes: 32 });
+        let base = Simulation::new(
+            cfg.clone(),
+            ww.program(),
+            Box::new(ww.clone()),
+            Box::new(NullSpecial),
+            &s,
+        )
+        .run();
+        let drs = run_drs(
+            800,
+            6,
+            DrsConfig { warps: 6, backup_rows: 1, swap_buffers: 6, ideal: false, lanes: 32 },
+        );
         let e_base = base.stats.issued.simd_efficiency();
         let e_drs = drs.stats.issued.simd_efficiency();
         assert!(
@@ -850,7 +887,11 @@ mod tests {
 
     #[test]
     fn ideal_drs_completes_and_never_swaps() {
-        let out = run_drs(400, 4, DrsConfig { warps: 4, backup_rows: 1, swap_buffers: 6, ideal: true, lanes: 32 });
+        let out = run_drs(
+            400,
+            4,
+            DrsConfig { warps: 4, backup_rows: 1, swap_buffers: 6, ideal: true, lanes: 32 },
+        );
         assert!(out.completed);
         assert_eq!(out.stats.rays_completed, 400);
         assert_eq!(out.stats.swaps_completed, 0, "ideal shuffling is free");
@@ -859,17 +900,32 @@ mod tests {
 
     #[test]
     fn real_drs_performs_swaps() {
-        let out = run_drs(800, 6, DrsConfig { warps: 6, backup_rows: 2, swap_buffers: 6, ideal: false, lanes: 32 });
+        let out = run_drs(
+            800,
+            6,
+            DrsConfig { warps: 6, backup_rows: 2, swap_buffers: 6, ideal: false, lanes: 32 },
+        );
         assert!(out.completed);
         assert!(out.stats.swaps_completed > 0, "shuffling should move rays");
         assert!(out.stats.swap_accesses >= out.stats.swaps_completed * RAY_REGISTERS as u64 * 2);
-        assert!(out.stats.avg_swap_cycles() >= (RAY_REGISTERS / DrsConfig::paper_default().buffers_per_task()) as f64);
+        assert!(
+            out.stats.avg_swap_cycles()
+                >= (RAY_REGISTERS / DrsConfig::paper_default().buffers_per_task()) as f64
+        );
     }
 
     #[test]
     fn more_backup_rows_reduce_stall_rate() {
-        let few = run_drs(1000, 6, DrsConfig { warps: 6, backup_rows: 1, swap_buffers: 6, ideal: false, lanes: 32 });
-        let many = run_drs(1000, 6, DrsConfig { warps: 6, backup_rows: 8, swap_buffers: 6, ideal: false, lanes: 32 });
+        let few = run_drs(
+            1000,
+            6,
+            DrsConfig { warps: 6, backup_rows: 1, swap_buffers: 6, ideal: false, lanes: 32 },
+        );
+        let many = run_drs(
+            1000,
+            6,
+            DrsConfig { warps: 6, backup_rows: 8, swap_buffers: 6, ideal: false, lanes: 32 },
+        );
         assert!(few.completed && many.completed);
         assert!(
             many.stats.rdctrl_stall_rate() <= few.stats.rdctrl_stall_rate() + 0.02,
@@ -881,8 +937,16 @@ mod tests {
 
     #[test]
     fn more_swap_buffers_reduce_swap_latency() {
-        let slow = run_drs(800, 6, DrsConfig { warps: 6, backup_rows: 2, swap_buffers: 6, ideal: false, lanes: 32 });
-        let fast = run_drs(800, 6, DrsConfig { warps: 6, backup_rows: 2, swap_buffers: 18, ideal: false, lanes: 32 });
+        let slow = run_drs(
+            800,
+            6,
+            DrsConfig { warps: 6, backup_rows: 2, swap_buffers: 6, ideal: false, lanes: 32 },
+        );
+        let fast = run_drs(
+            800,
+            6,
+            DrsConfig { warps: 6, backup_rows: 2, swap_buffers: 18, ideal: false, lanes: 32 },
+        );
         assert!(slow.stats.swaps_completed > 0 && fast.stats.swaps_completed > 0);
         assert!(
             fast.stats.avg_swap_cycles() <= slow.stats.avg_swap_cycles(),
@@ -922,13 +986,8 @@ mod policy_tests {
         warps: usize,
         backup: usize,
     ) -> (DrsUnit, MachineState<'a>) {
-        let cfg = DrsConfig {
-            warps,
-            backup_rows: backup,
-            swap_buffers: 6,
-            ideal: false,
-            lanes: LANES,
-        };
+        let cfg =
+            DrsConfig { warps, backup_rows: backup, swap_buffers: 6, ideal: false, lanes: LANES };
         let unit = DrsUnit::new(cfg);
         let mut m = MachineState::new(scripts, warps, LANES, cfg.rows() * LANES);
         m.track_dirty = true;

@@ -122,10 +122,7 @@ mod tests {
         let cfg = DrsConfig::paper_default();
         let o = DrsOverhead::for_config(&cfg);
         let total = o.total_bytes();
-        assert!(
-            (1250..=1500).contains(&total),
-            "total {total} B should be ≈1.4 KB"
-        );
+        assert!((1250..=1500).contains(&total), "total {total} B should be ≈1.4 KB");
     }
 
     #[test]

@@ -116,7 +116,14 @@ impl MeshBuilder {
     ///
     /// Each triangle has edge lengths on the order of `size` and a random
     /// orientation; this is the workhorse of the `plants` benchmark scene.
-    pub fn scatter(&mut self, min: Vec3, max: Vec3, count: usize, size: f32, rng: &mut XorShift64) -> &mut Self {
+    pub fn scatter(
+        &mut self,
+        min: Vec3,
+        max: Vec3,
+        count: usize,
+        size: f32,
+        rng: &mut XorShift64,
+    ) -> &mut Self {
         let extent = max - min;
         for _ in 0..count {
             let p = min
@@ -126,12 +133,8 @@ impl MeshBuilder {
                     rng.next_f32() * extent.z,
                 );
             let rand_dir = |rng: &mut XorShift64| {
-                Vec3::new(
-                    rng.next_f32() - 0.5,
-                    rng.next_f32() - 0.5,
-                    rng.next_f32() - 0.5,
-                )
-                .normalized()
+                Vec3::new(rng.next_f32() - 0.5, rng.next_f32() - 0.5, rng.next_f32() - 0.5)
+                    .normalized()
             };
             let e1 = rand_dir(rng) * size;
             let e2 = rand_dir(rng) * size;

@@ -80,9 +80,7 @@ impl Mesh {
 
     /// Bounding box over all triangles (empty box for an empty mesh).
     pub fn bounds(&self) -> Aabb {
-        self.triangles
-            .iter()
-            .fold(Aabb::EMPTY, |bb, t| bb.union(&t.bounds()))
+        self.triangles.iter().fold(Aabb::EMPTY, |bb, t| bb.union(&t.bounds()))
     }
 
     /// Retag every triangle with `material` (used when merging sub-meshes).
@@ -95,9 +93,7 @@ impl Mesh {
 
 impl FromIterator<Triangle> for Mesh {
     fn from_iter<I: IntoIterator<Item = Triangle>>(iter: I) -> Mesh {
-        Mesh {
-            triangles: iter.into_iter().collect(),
-        }
+        Mesh { triangles: iter.into_iter().collect() }
     }
 }
 
@@ -113,12 +109,7 @@ mod tests {
     use drs_math::Vec3;
 
     fn tri(z: f32) -> Triangle {
-        Triangle::new(
-            Vec3::new(0.0, 0.0, z),
-            Vec3::new(1.0, 0.0, z),
-            Vec3::new(0.0, 1.0, z),
-            0,
-        )
+        Triangle::new(Vec3::new(0.0, 0.0, z), Vec3::new(1.0, 0.0, z), Vec3::new(0.0, 1.0, z), 0)
     }
 
     #[test]

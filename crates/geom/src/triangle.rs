@@ -36,9 +36,7 @@ impl Triangle {
     /// Bounding box of the triangle.
     #[inline]
     pub fn bounds(&self) -> Aabb {
-        Aabb::from_point(self.a)
-            .union_point(self.b)
-            .union_point(self.c)
+        Aabb::from_point(self.a).union_point(self.b).union_point(self.c)
     }
 
     /// Centroid of the triangle (BVH split key).
@@ -158,12 +156,7 @@ mod tests {
 
     #[test]
     fn area_and_normal() {
-        let tri = Triangle::new(
-            Vec3::ZERO,
-            Vec3::new(2.0, 0.0, 0.0),
-            Vec3::new(0.0, 2.0, 0.0),
-            0,
-        );
+        let tri = Triangle::new(Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0), 0);
         assert!((tri.area() - 2.0).abs() < 1e-6);
         assert_eq!(tri.unit_normal(), Vec3::new(0.0, 0.0, 1.0));
     }

@@ -80,6 +80,6 @@ mod tests {
     fn cost_constants_sane() {
         // The paper counts 17 live ray registers.
         assert_eq!(RAY_LIVE_REGISTERS, 17);
-        assert!(INNER_ALU_OPS >= 20, "node step must dominate loop overhead");
+        const { assert!(INNER_ALU_OPS >= 20, "node step must dominate loop overhead") };
     }
 }

@@ -13,9 +13,7 @@ use crate::costs::{
     alu_chain, load, FETCH_ALU_OPS, FETCH_LOADS, INNER_ALU_OPS, PRIM_ALU_OPS, PRIM_LOADS,
     PUSH_FAR_ALU_OPS,
 };
-use drs_sim::{
-    Block, KernelBehavior, MachineState, MemSpace, MicroOp, OpTag, Program, Terminator,
-};
+use drs_sim::{Block, KernelBehavior, MachineState, MemSpace, MicroOp, OpTag, Program, Terminator};
 use drs_trace::Step;
 
 /// `trav_ctrl_val` returned when the warp should terminate.
@@ -110,6 +108,13 @@ impl WhileIfKernel {
 
     /// Build the micro-op program.
     pub fn program(&self) -> Program {
+        let program = self.build_program();
+        #[cfg(debug_assertions)]
+        drs_verify::assert_program_valid("while-if", &program);
+        program
+    }
+
+    fn build_program(&self) -> Program {
         let t = OpTag::Normal;
         let mut fetch_ops = Vec::new();
         for dst in 10u8..10 + FETCH_LOADS as u8 {
@@ -137,12 +142,17 @@ impl WhileIfKernel {
 
         Program::new(vec![
             // 0: read trav_ctrl_val, loop while != EXIT. All paths
-            // reconverge at the tail block (14) before looping back, so a
+            // reconverge at the tail block (12) before looping back, so a
             // warp always re-reads control with its full mask.
             Block::new(
                 "read_ctrl",
                 vec![MicroOp::special(0, TOKEN_RDCTRL), MicroOp::effect(E_NEW_ROUND)],
-                Terminator::Branch { cond: C_CTRL_NOT_EXIT, on_true: 1, on_false: 11, reconverge: 11 },
+                Terminator::Branch {
+                    cond: C_CTRL_NOT_EXIT,
+                    on_true: 1,
+                    on_false: 10,
+                    reconverge: 10,
+                },
             ),
             // 1: if (ctrl == FETCH) — warp-uniform.
             Block::new(
@@ -154,7 +164,12 @@ impl WhileIfKernel {
             Block::new(
                 "fetch_guard",
                 vec![],
-                Terminator::Branch { cond: C_LANE_CAN_FETCH, on_true: 3, on_false: 4, reconverge: 4 },
+                Terminator::Branch {
+                    cond: C_LANE_CAN_FETCH,
+                    on_true: 3,
+                    on_false: 4,
+                    reconverge: 4,
+                },
             ),
             // 3: fetch body.
             Block::new("fetch_body", fetch_ops, Terminator::Jump(4)),
@@ -162,7 +177,7 @@ impl WhileIfKernel {
             Block::new(
                 "inner_if",
                 vec![],
-                Terminator::Branch { cond: C_CTRL_INNER, on_true: 5, on_false: 8, reconverge: 8 },
+                Terminator::Branch { cond: C_CTRL_INNER, on_true: 5, on_false: 7, reconverge: 7 },
             ),
             // 5: the inner while loop's head ("while node is not a leaf"):
             // each lane traverses its whole inner-node run inside the if
@@ -172,40 +187,51 @@ impl WhileIfKernel {
             Block::new(
                 "inner_head",
                 vec![],
-                Terminator::Branch { cond: C_LANE_HAS_INNER, on_true: 6, on_false: 8, reconverge: 8 },
+                Terminator::Branch {
+                    cond: C_LANE_HAS_INNER,
+                    on_true: 6,
+                    on_false: 7,
+                    reconverge: 7,
+                },
             ),
             // 6: inner body (node fetch, slab tests, predicated push,
             // state publish) — loops for the next node of the run.
             Block::new("inner_body", inner_ops, Terminator::Jump(5)),
-            // 7: (retired placeholder, keeps ids stable).
-            Block::new("unused", vec![], Terminator::Jump(8)),
-            // 8: if (ctrl == TRAV_LEAF).
+            // 7: if (ctrl == TRAV_LEAF).
             Block::new(
                 "leaf_if",
                 vec![],
-                Terminator::Branch { cond: C_CTRL_LEAF, on_true: 13, on_false: 14, reconverge: 14 },
+                Terminator::Branch { cond: C_CTRL_LEAF, on_true: 11, on_false: 12, reconverge: 12 },
             ),
-            // 9: per-primitive loop head — only the current leaf's
+            // 8: per-primitive loop head — only the current leaf's
             // primitives; the next leaf waits for the next rdctrl round so
             // the DRS can re-sort rows between leaves.
             Block::new(
                 "leaf_head",
                 vec![],
-                Terminator::Branch { cond: C_LANE_HAS_PRIMS, on_true: 10, on_false: 14, reconverge: 14 },
+                Terminator::Branch {
+                    cond: C_LANE_HAS_PRIMS,
+                    on_true: 9,
+                    on_false: 12,
+                    reconverge: 12,
+                },
             ),
-            // 10: per-primitive body.
-            Block::new("leaf_body", prim_ops, Terminator::Jump(9)),
-            // 11: exit.
+            // 9: per-primitive body.
+            Block::new("leaf_body", prim_ops, Terminator::Jump(8)),
+            // 10: exit.
             Block::new("exit", vec![], Terminator::Exit),
-            // 12: (retired placeholder, keeps ids stable).
-            Block::new("inner_post", vec![], Terminator::Jump(8)),
-            // 13: begin the lane's pending leaf (one leaf per iteration).
+            // 11: begin the lane's pending leaf (one leaf per iteration).
             Block::new(
                 "leaf_begin",
                 vec![MicroOp::effect(E_BEGIN_LEAF), MicroOp::effect(E_SET_STATE)],
-                Terminator::Branch { cond: C_LANE_LEAF_READY, on_true: 9, on_false: 14, reconverge: 14 },
+                Terminator::Branch {
+                    cond: C_LANE_LEAF_READY,
+                    on_true: 8,
+                    on_false: 12,
+                    reconverge: 12,
+                },
             ),
-            // 14: loop tail — the single back edge.
+            // 12: loop tail — the single back edge.
             Block::new("loop_tail", vec![], Terminator::Jump(0)),
         ])
     }
@@ -342,10 +368,7 @@ impl KernelBehavior for WhileIfKernel {
 
 impl WhileIfKernel {
     fn retire_if_done(&self, m: &mut MachineState<'_>, s: usize) {
-        if m.slots[s].ray.is_some()
-            && m.slots[s].leaf_prims_left == 0
-            && m.peek_step(s).is_none()
-        {
+        if m.slots[s].ray.is_some() && m.slots[s].leaf_prims_left == 0 && m.peek_step(s).is_none() {
             m.retire_ray(s);
         }
     }
@@ -429,13 +452,8 @@ mod tests {
     fn completes_under_majority_control() {
         let s = scripts(400);
         let k = WhileIfKernel::new();
-        let sim = Simulation::new(
-            cfg(4),
-            k.program(),
-            Box::new(k.clone()),
-            Box::new(MajorityCtrl),
-            &s,
-        );
+        let sim =
+            Simulation::new(cfg(4), k.program(), Box::new(k.clone()), Box::new(MajorityCtrl), &s);
         let out = sim.run();
         assert!(out.completed, "hit cycle cap");
         assert_eq!(out.stats.rays_completed, 400);
@@ -449,7 +467,8 @@ mod tests {
         // steps (the guard masks them off). End state is still completion.
         let s = scripts(96);
         let k = WhileIfKernel::new();
-        let sim = Simulation::new(cfg(2), k.program(), Box::new(k.clone()), Box::new(MajorityCtrl), &s);
+        let sim =
+            Simulation::new(cfg(2), k.program(), Box::new(k.clone()), Box::new(MajorityCtrl), &s);
         let out = sim.run();
         assert!(out.completed);
         assert_eq!(out.stats.rays_completed, 96);
@@ -459,7 +478,8 @@ mod tests {
     fn dirty_tracking_is_enabled() {
         let s = scripts(32);
         let k = WhileIfKernel::new();
-        let sim = Simulation::new(cfg(1), k.program(), Box::new(k.clone()), Box::new(MajorityCtrl), &s);
+        let sim =
+            Simulation::new(cfg(1), k.program(), Box::new(k.clone()), Box::new(MajorityCtrl), &s);
         // The machine was initialized by the kernel behavior.
         assert!(sim.machine.track_dirty);
     }

@@ -75,12 +75,19 @@ impl WhileWhileKernel {
 
     /// Build the micro-op program (block ids documented inline).
     pub fn program(&self) -> Program {
+        let program = self.build_program();
+        #[cfg(debug_assertions)]
+        drs_verify::assert_program_valid("while-while", &program);
+        program
+    }
+
+    fn build_program(&self) -> Program {
         let t = OpTag::Normal;
         // Register conventions: r1-r8 traversal scratch, r10-r12 ray data,
         // r14-r16 leaf scratch.
         let mut fetch_ops = Vec::new();
-        for (i, dst) in (10u8..10 + FETCH_LOADS as u8).enumerate() {
-            load(&mut fetch_ops, dst, MemSpace::Global, A_RAY + i as u16 * 0, t);
+        for dst in 10u8..10 + FETCH_LOADS as u8 {
+            load(&mut fetch_ops, dst, MemSpace::Global, A_RAY, t);
         }
         alu_chain(&mut fetch_ops, FETCH_ALU_OPS, &[10, 11, 12], t);
         fetch_ops.push(MicroOp::effect(E_FETCH));
@@ -106,7 +113,7 @@ impl WhileWhileKernel {
             Block::new(
                 "outer_head",
                 vec![MicroOp::effect(E_RETIRE)],
-                Terminator::Branch { cond: C_CONTINUE, on_true: 1, on_false: 10, reconverge: 10 },
+                Terminator::Branch { cond: C_CONTINUE, on_true: 1, on_false: 9, reconverge: 9 },
             ),
             // 1: fetch check.
             Block::new(
@@ -120,33 +127,28 @@ impl WhileWhileKernel {
             Block::new(
                 "mid_head",
                 vec![],
-                Terminator::Branch { cond: C_RAY_ACTIVE, on_true: 4, on_false: 9, reconverge: 9 },
+                Terminator::Branch { cond: C_RAY_ACTIVE, on_true: 4, on_false: 8, reconverge: 8 },
             ),
             // 4: inner while head.
             Block::new(
                 "inner_head",
                 vec![],
-                Terminator::Branch { cond: C_WANTS_INNER, on_true: 5, on_false: 7, reconverge: 7 },
+                Terminator::Branch { cond: C_WANTS_INNER, on_true: 5, on_false: 6, reconverge: 6 },
             ),
             // 5: inner body (node fetch + slab tests + predicated push).
             Block::new("inner_body", inner_ops, Terminator::Jump(4)),
-            // 6: (retired) kept as an empty placeholder so block ids and
-            // the walkthrough docs stay stable.
-            Block::new("unused", vec![], Terminator::Jump(4)),
-            // 7: leaf while head.
+            // 6: leaf while head.
             Block::new(
                 "leaf_head",
                 vec![],
-                Terminator::Branch { cond: C_WANTS_LEAF, on_true: 8, on_false: 3, reconverge: 3 },
+                Terminator::Branch { cond: C_WANTS_LEAF, on_true: 7, on_false: 3, reconverge: 3 },
             ),
-            // 8: per-primitive leaf body.
-            Block::new("leaf_body", prim_ops, Terminator::Jump(7)),
-            // 9: middle loop exit — back to persistent outer loop.
+            // 7: per-primitive leaf body.
+            Block::new("leaf_body", prim_ops, Terminator::Jump(6)),
+            // 8: middle loop exit — back to persistent outer loop.
             Block::new("mid_exit", vec![], Terminator::Jump(0)),
-            // 10: kernel exit.
+            // 9: kernel exit.
             Block::new("exit", vec![], Terminator::Exit),
-            // 11: inner post (consume step, loop back).
-            Block::new("inner_post", vec![], Terminator::Jump(4)),
         ])
     }
 
@@ -225,10 +227,8 @@ impl KernelBehavior for WhileWhileKernel {
                 } else {
                     // Classic persistent threads: the warp refills only
                     // once every lane has drained.
-                    (0..m.lanes).all(|l| {
-                        m.slot_of(warp, l)
-                            .is_none_or(|sl| m.slots[sl].ray.is_none())
-                    })
+                    (0..m.lanes)
+                        .all(|l| m.slot_of(warp, l).is_none_or(|sl| m.slots[sl].ray.is_none()))
                 }
             }
             C_RAY_ACTIVE => {
@@ -265,10 +265,9 @@ impl KernelBehavior for WhileWhileKernel {
                 true
             }
             C_WANTS_INNER => self.wants_inner(&slot, m, s),
-            C_BOTH_HIT => matches!(
-                m.peek_step(s),
-                Some(Step::Inner { both_children_hit: true, .. })
-            ),
+            C_BOTH_HIT => {
+                matches!(m.peek_step(s), Some(Step::Inner { both_children_hit: true, .. }))
+            }
             C_WANTS_LEAF => self.wants_leaf(&slot, m, s),
             _ => panic!("unknown condition token {token}"),
         }
@@ -372,9 +371,7 @@ mod tests {
     }
 
     fn make_scripts(n: usize, pattern: impl Fn(usize) -> Vec<Step>) -> Vec<RayScript> {
-        (0..n)
-            .map(|i| RayScript::new(pattern(i), Termination::Hit))
-            .collect()
+        (0..n).map(|i| RayScript::new(pattern(i), Termination::Hit)).collect()
     }
 
     fn uniform_steps(i: usize, inners: usize, leaves: usize) -> Vec<Step> {
@@ -486,8 +483,14 @@ mod tests {
                 speculative_traversal: spec,
                 replace_terminated: true,
             });
-            Simulation::new(cfg(4), k.program(), Box::new(k.clone()), Box::new(NullSpecial), &scripts)
-                .run()
+            Simulation::new(
+                cfg(4),
+                k.program(),
+                Box::new(k.clone()),
+                Box::new(NullSpecial),
+                &scripts,
+            )
+            .run()
         };
         let with = run(true);
         let without = run(false);
@@ -504,7 +507,13 @@ mod tests {
         // Rays that never touch an inner node (degenerate but legal).
         let scripts = make_scripts(64, |i| uniform_steps(i, 0, 3));
         let k = WhileWhileKernel::new(WhileWhileConfig::default());
-        let sim = Simulation::new(cfg(2), k.program(), Box::new(k.clone()), Box::new(NullSpecial), &scripts);
+        let sim = Simulation::new(
+            cfg(2),
+            k.program(),
+            Box::new(k.clone()),
+            Box::new(NullSpecial),
+            &scripts,
+        );
         let out = sim.run();
         assert!(out.completed);
         assert_eq!(out.stats.rays_completed, 64);
@@ -516,7 +525,13 @@ mod tests {
         // loop fetching.
         let scripts = make_scripts(500, |i| uniform_steps(i, 3 + i % 5, 1));
         let k = WhileWhileKernel::new(WhileWhileConfig::default());
-        let sim = Simulation::new(cfg(2), k.program(), Box::new(k.clone()), Box::new(NullSpecial), &scripts);
+        let sim = Simulation::new(
+            cfg(2),
+            k.program(),
+            Box::new(k.clone()),
+            Box::new(NullSpecial),
+            &scripts,
+        );
         let out = sim.run();
         assert!(out.completed);
         assert_eq!(out.stats.rays_completed, 500);

@@ -23,10 +23,8 @@ impl Default for Aabb {
 
 impl Aabb {
     /// The empty box (identity for [`Aabb::union`]).
-    pub const EMPTY: Aabb = Aabb {
-        min: Vec3::splat(f32::INFINITY),
-        max: Vec3::splat(f32::NEG_INFINITY),
-    };
+    pub const EMPTY: Aabb =
+        Aabb { min: Vec3::splat(f32::INFINITY), max: Vec3::splat(f32::NEG_INFINITY) };
 
     /// Box from explicit corners.
     #[inline]
@@ -42,9 +40,7 @@ impl Aabb {
 
     /// Smallest box containing all points of an iterator.
     pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Aabb {
-        points
-            .into_iter()
-            .fold(Aabb::EMPTY, |bb, p| bb.union_point(p))
+        points.into_iter().fold(Aabb::EMPTY, |bb, p| bb.union_point(p))
     }
 
     /// True if the box contains no points (`min > max` on some axis).
@@ -56,19 +52,13 @@ impl Aabb {
     /// Smallest box containing `self` and `other`.
     #[inline]
     pub fn union(&self, other: &Aabb) -> Aabb {
-        Aabb {
-            min: self.min.min(other.min),
-            max: self.max.max(other.max),
-        }
+        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
     }
 
     /// Smallest box containing `self` and the point `p`.
     #[inline]
     pub fn union_point(&self, p: Vec3) -> Aabb {
-        Aabb {
-            min: self.min.min(p),
-            max: self.max.max(p),
-        }
+        Aabb { min: self.min.min(p), max: self.max.max(p) }
     }
 
     /// Extent along each axis (zero vector for an empty box).
@@ -120,10 +110,7 @@ impl Aabb {
     /// Grow the box by `delta` on every side.
     #[inline]
     pub fn expanded(&self, delta: f32) -> Aabb {
-        Aabb {
-            min: self.min - Vec3::splat(delta),
-            max: self.max + Vec3::splat(delta),
-        }
+        Aabb { min: self.min - Vec3::splat(delta), max: self.max + Vec3::splat(delta) }
     }
 
     /// Ray–box slab test over the interval `[t_min, t_max]`.
@@ -233,11 +220,7 @@ mod tests {
 
     #[test]
     fn from_points_covers_all() {
-        let pts = [
-            Vec3::new(0.0, 0.0, 0.0),
-            Vec3::new(-1.0, 2.0, 0.5),
-            Vec3::new(3.0, -4.0, 1.0),
-        ];
+        let pts = [Vec3::new(0.0, 0.0, 0.0), Vec3::new(-1.0, 2.0, 0.5), Vec3::new(3.0, -4.0, 1.0)];
         let bb = Aabb::from_points(pts);
         for p in pts {
             assert!(bb.contains(p));

@@ -22,11 +22,7 @@ impl Ray {
     /// Create a ray; precomputes the reciprocal direction.
     #[inline]
     pub fn new(origin: Vec3, direction: Vec3) -> Ray {
-        Ray {
-            origin,
-            direction,
-            inv_direction: direction.recip(),
-        }
+        Ray { origin, direction, inv_direction: direction.recip() }
     }
 
     /// Point along the ray at parameter `t`.

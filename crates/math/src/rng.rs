@@ -14,9 +14,7 @@ impl XorShift64 {
     /// Create a generator from a seed; a zero seed is remapped to a fixed
     /// non-zero constant because xorshift has an all-zero fixed point.
     pub fn new(seed: u64) -> XorShift64 {
-        XorShift64 {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
-        }
+        XorShift64 { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
     }
 
     /// Next raw 64-bit value.

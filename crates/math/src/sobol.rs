@@ -70,7 +70,6 @@ impl Sobol02 {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

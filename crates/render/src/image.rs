@@ -19,11 +19,7 @@ impl Image {
     /// Panics if either dimension is zero.
     pub fn new(width: usize, height: usize) -> Image {
         assert!(width > 0 && height > 0, "image dimensions must be positive");
-        Image {
-            width,
-            height,
-            pixels: vec![Vec3::ZERO; width * height],
-        }
+        Image { width, height, pixels: vec![Vec3::ZERO; width * height] }
     }
 
     /// Image width in pixels.
@@ -55,11 +51,7 @@ impl Image {
 
     /// Mean luminance over the image (Rec. 709 weights).
     pub fn mean_luminance(&self) -> f32 {
-        let sum: f32 = self
-            .pixels
-            .iter()
-            .map(|p| 0.2126 * p.x + 0.7152 * p.y + 0.0722 * p.z)
-            .sum();
+        let sum: f32 = self.pixels.iter().map(|p| 0.2126 * p.x + 0.7152 * p.y + 0.0722 * p.z).sum();
         sum / self.pixels.len() as f32
     }
 

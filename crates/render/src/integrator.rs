@@ -75,10 +75,7 @@ pub struct PathTracer<'s> {
 impl<'s> PathTracer<'s> {
     /// Build a tracer (and its BVH) for a scene.
     pub fn new(scene: &'s Scene) -> PathTracer<'s> {
-        PathTracer {
-            scene,
-            bvh: Bvh::build(scene.mesh(), &BuildParams::default()),
-        }
+        PathTracer { scene, bvh: Bvh::build(scene.mesh(), &BuildParams::default()) }
     }
 
     /// Construct from an externally built BVH (lets callers share one BVH
@@ -201,8 +198,8 @@ impl<'s> PathTracer<'s> {
             if nee {
                 let point = ray.at(hit.t) + normal * RAY_EPSILON;
                 let u = sampler.next_2d();
-                radiance += throughput.hadamard(material.albedo)
-                    * self.direct_light(point, normal, u);
+                radiance +=
+                    throughput.hadamard(material.albedo) * self.direct_light(point, normal, u);
             }
             let u2 = sampler.next_2d();
             let lobe = sampler.next_1d();
@@ -279,12 +276,8 @@ mod tests {
     fn render_produces_nonzero_image() {
         let scene = SceneKind::Conference.build_with_tris(600);
         let tracer = PathTracer::new(&scene);
-        let cfg = RenderConfig {
-            width: 24,
-            height: 18,
-            samples_per_pixel: 4,
-            ..Default::default()
-        };
+        let cfg =
+            RenderConfig { width: 24, height: 18, samples_per_pixel: 4, ..Default::default() };
         let img = tracer.render(&cfg);
         assert!(img.mean_luminance() > 0.0, "room with lights renders black");
         assert!(img.mean_luminance().is_finite());
@@ -294,12 +287,8 @@ mod tests {
     fn open_scene_sees_sky() {
         let scene = SceneKind::FairyForest.build_with_tris(600);
         let tracer = PathTracer::new(&scene);
-        let cfg = RenderConfig {
-            width: 16,
-            height: 12,
-            samples_per_pixel: 2,
-            ..Default::default()
-        };
+        let cfg =
+            RenderConfig { width: 16, height: 12, samples_per_pixel: 2, ..Default::default() };
         let img = tracer.render(&cfg);
         // Most of the frame is ground/sky; with sky_emission 1.0 mean
         // luminance must be substantial.
@@ -326,11 +315,7 @@ mod tests {
         tracer.walk_paths(500, 8, 1, &mut v);
         assert_eq!(v.per_bounce[1], 500, "every path has a primary ray");
         for b in 2..v.per_bounce.len() {
-            assert!(
-                v.per_bounce[b] <= v.per_bounce[b - 1],
-                "bounce {b} grew: {:?}",
-                v.per_bounce
-            );
+            assert!(v.per_bounce[b] <= v.per_bounce[b - 1], "bounce {b} grew: {:?}", v.per_bounce);
         }
         // Conference has ceiling lights: a good fraction of paths must
         // survive to bounce 2 (hit something non-emissive first).
@@ -368,12 +353,8 @@ mod nee_tests {
     fn nee_reduces_variance_without_changing_brightness_scale() {
         let scene = SceneKind::Conference.build_with_tris(800);
         let tracer = PathTracer::new(&scene);
-        let base = RenderConfig {
-            width: 20,
-            height: 15,
-            samples_per_pixel: 8,
-            ..Default::default()
-        };
+        let base =
+            RenderConfig { width: 20, height: 15, samples_per_pixel: 8, ..Default::default() };
         let with_nee = RenderConfig { next_event_estimation: true, ..base };
         let a = tracer.render(&base);
         let b = tracer.render(&with_nee);
@@ -382,10 +363,7 @@ mod nee_tests {
         assert!(la > 0.0 && lb > 0.0);
         // Both estimate the same light transport; means should be in the
         // same ballpark (NEE is unbiased up to our one-light estimator).
-        assert!(
-            lb / la < 4.0 && la / lb < 4.0,
-            "NEE {lb:.4} vs walk {la:.4} differ too much"
-        );
+        assert!(lb / la < 4.0 && la / lb < 4.0, "NEE {lb:.4} vs walk {la:.4} differ too much");
         // Variance proxy: per-pixel deviation from each image's mean; the
         // NEE image should not be wildly noisier.
         let spread = |img: &crate::Image, mean: f32| -> f32 {

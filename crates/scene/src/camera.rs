@@ -24,11 +24,14 @@ impl Camera {
     /// # Panics
     ///
     /// Panics if `position == target` or `vfov_degrees` is not in (0, 180).
-    pub fn look_at(position: Vec3, target: Vec3, up: Vec3, vfov_degrees: f32, aspect: f32) -> Camera {
-        assert!(
-            (target - position).length_squared() > 0.0,
-            "camera position and target coincide"
-        );
+    pub fn look_at(
+        position: Vec3,
+        target: Vec3,
+        up: Vec3,
+        vfov_degrees: f32,
+        aspect: f32,
+    ) -> Camera {
+        assert!((target - position).length_squared() > 0.0, "camera position and target coincide");
         assert!(
             vfov_degrees > 0.0 && vfov_degrees < 180.0,
             "field of view out of range: {vfov_degrees}"
@@ -122,12 +125,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn bad_fov_panics() {
-        Camera::look_at(
-            Vec3::ZERO,
-            Vec3::new(0.0, 0.0, -1.0),
-            Vec3::new(0.0, 1.0, 0.0),
-            0.0,
-            1.0,
-        );
+        Camera::look_at(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0), Vec3::new(0.0, 1.0, 0.0), 0.0, 1.0);
     }
 }

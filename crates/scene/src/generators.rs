@@ -22,12 +22,12 @@ mod mat {
 
 fn standard_materials() -> Vec<Material> {
     vec![
-        Material::diffuse(Vec3::new(0.55, 0.5, 0.45)),  // FLOOR
-        Material::diffuse(Vec3::new(0.7, 0.68, 0.6)),   // WALL
+        Material::diffuse(Vec3::new(0.55, 0.5, 0.45)), // FLOOR
+        Material::diffuse(Vec3::new(0.7, 0.68, 0.6)),  // WALL
         Material::glossy(Vec3::new(0.45, 0.3, 0.2), 0.3), // FURNITURE
-        Material::light(12.0),                           // LIGHT
-        Material::mirror(Vec3::new(0.9, 0.9, 0.95)),     // MIRROR
-        Material::diffuse(Vec3::new(0.2, 0.5, 0.15)),    // FOLIAGE
+        Material::light(12.0),                         // LIGHT
+        Material::mirror(Vec3::new(0.9, 0.9, 0.95)),   // MIRROR
+        Material::diffuse(Vec3::new(0.2, 0.5, 0.15)),  // FOLIAGE
     ]
 }
 
@@ -40,10 +40,14 @@ pub fn conference(target_tris: usize) -> Scene {
     // rays spread over many leaves.
     let (w, h, d) = (16.0, 5.0, 10.0);
     let res = ((target_tris / 20).max(8) as f32).sqrt() as usize;
-    b.material(mat::FLOOR)
-        .grid_xz(Vec3::new(0.0, 0.0, 0.0), Vec3::new(w, 0.0, d), 0.0, res, res);
-    b.material(mat::WALL)
-        .grid_xz(Vec3::new(0.0, 0.0, 0.0), Vec3::new(w, 0.0, d), h, res / 2 + 1, res / 2 + 1);
+    b.material(mat::FLOOR).grid_xz(Vec3::new(0.0, 0.0, 0.0), Vec3::new(w, 0.0, d), 0.0, res, res);
+    b.material(mat::WALL).grid_xz(
+        Vec3::new(0.0, 0.0, 0.0),
+        Vec3::new(w, 0.0, d),
+        h,
+        res / 2 + 1,
+        res / 2 + 1,
+    );
     // Four walls.
     b.material(mat::WALL);
     b.quad(
@@ -52,24 +56,14 @@ pub fn conference(target_tris: usize) -> Scene {
         Vec3::new(w, h, 0.0),
         Vec3::new(0.0, h, 0.0),
     );
-    b.quad(
-        Vec3::new(0.0, 0.0, d),
-        Vec3::new(0.0, h, d),
-        Vec3::new(w, h, d),
-        Vec3::new(w, 0.0, d),
-    );
+    b.quad(Vec3::new(0.0, 0.0, d), Vec3::new(0.0, h, d), Vec3::new(w, h, d), Vec3::new(w, 0.0, d));
     b.quad(
         Vec3::new(0.0, 0.0, 0.0),
         Vec3::new(0.0, h, 0.0),
         Vec3::new(0.0, h, d),
         Vec3::new(0.0, 0.0, d),
     );
-    b.quad(
-        Vec3::new(w, 0.0, 0.0),
-        Vec3::new(w, 0.0, d),
-        Vec3::new(w, h, d),
-        Vec3::new(w, h, 0.0),
-    );
+    b.quad(Vec3::new(w, 0.0, 0.0), Vec3::new(w, 0.0, d), Vec3::new(w, h, d), Vec3::new(w, h, 0.0));
     // Ceiling light panels: a 4x2 array of emissive quads slightly below the
     // ceiling. These terminate upward-bounced rays quickly.
     b.material(mat::LIGHT);
@@ -87,8 +81,7 @@ pub fn conference(target_tris: usize) -> Scene {
         }
     }
     // Central conference table.
-    b.material(mat::FURNITURE)
-        .aa_box(Vec3::new(4.0, 0.7, 3.0), Vec3::new(12.0, 0.85, 7.0));
+    b.material(mat::FURNITURE).aa_box(Vec3::new(4.0, 0.7, 3.0), Vec3::new(12.0, 0.85, 7.0));
     for leg in 0..4 {
         let lx = if leg % 2 == 0 { 4.4 } else { 11.6 };
         let lz = if leg / 2 == 0 { 3.4 } else { 6.6 };
@@ -109,14 +102,8 @@ pub fn conference(target_tris: usize) -> Scene {
         let cx = cx.clamp(0.5, w - 0.5);
         let cz = cz.clamp(0.5, d - 0.5);
         let s = 0.22 + rng.next_f32() * 0.06;
-        b.aa_box(
-            Vec3::new(cx - s, 0.35, cz - s),
-            Vec3::new(cx + s, 0.45, cz + s),
-        ); // seat
-        b.aa_box(
-            Vec3::new(cx - s, 0.45, cz + s - 0.05),
-            Vec3::new(cx + s, 0.95, cz + s),
-        ); // back
+        b.aa_box(Vec3::new(cx - s, 0.35, cz - s), Vec3::new(cx + s, 0.45, cz + s)); // seat
+        b.aa_box(Vec3::new(cx - s, 0.45, cz + s - 0.05), Vec3::new(cx + s, 0.95, cz + s)); // back
         b.aa_box(
             Vec3::new(cx - s + 0.05, 0.0, cz - s + 0.05),
             Vec3::new(cx + s - 0.05, 0.35, cz + s - 0.05),
@@ -184,8 +171,7 @@ pub fn crytek_sponza(target_tris: usize) -> Scene {
     let res = ((target_tris / 12).max(8) as f32).sqrt() as usize;
     // Floor and interior wall faces, finely tessellated (wall detail is what
     // makes sponza's traversal long).
-    b.material(mat::FLOOR)
-        .grid_xz(Vec3::new(0.0, 0.0, 0.0), Vec3::new(w, 0.0, d), 0.0, res, res);
+    b.material(mat::FLOOR).grid_xz(Vec3::new(0.0, 0.0, 0.0), Vec3::new(w, 0.0, d), 0.0, res, res);
     b.material(mat::WALL);
     // Long walls get tessellated panels via thin boxes stacked along them.
     let panels = (res / 2).max(4);
@@ -283,12 +269,8 @@ mod tests {
     fn fairy_forest_concentrates_triangles_centrally() {
         let scene = fairy_forest(5_000);
         let center_box = drs_math::Aabb::new(Vec3::new(-1.5, 0.0, -1.5), Vec3::new(1.5, 3.0, 1.5));
-        let inside = scene
-            .mesh()
-            .triangles()
-            .iter()
-            .filter(|t| center_box.contains(t.centroid()))
-            .count();
+        let inside =
+            scene.mesh().triangles().iter().filter(|t| center_box.contains(t.centroid())).count();
         let frac = inside as f32 / scene.mesh().len() as f32;
         assert!(frac > 0.7, "only {frac} of triangles in the dense cluster");
     }

@@ -59,12 +59,8 @@ pub enum SceneKind {
 
 impl SceneKind {
     /// All four benchmark scenes, in the order the paper reports them.
-    pub const ALL: [SceneKind; 4] = [
-        SceneKind::Conference,
-        SceneKind::FairyForest,
-        SceneKind::CrytekSponza,
-        SceneKind::Plants,
-    ];
+    pub const ALL: [SceneKind; 4] =
+        [SceneKind::Conference, SceneKind::FairyForest, SceneKind::CrytekSponza, SceneKind::Plants];
 
     /// The scene's display name as used in the paper's tables.
     pub fn name(self) -> &'static str {
@@ -145,13 +141,7 @@ impl Scene {
                 materials.len()
             );
         }
-        Scene {
-            kind,
-            mesh,
-            materials,
-            camera,
-            sky_emission,
-        }
+        Scene { kind, mesh, materials, camera, sky_emission }
     }
 
     /// Which benchmark this scene is.
@@ -232,10 +222,7 @@ mod tests {
     fn indoor_scene_has_emissive_ceiling_outdoor_has_sky() {
         let conf = SceneKind::Conference.build_with_tris(1_000);
         assert_eq!(conf.sky_emission(), 0.0, "conference is closed");
-        assert!(
-            conf.materials().iter().any(|m| m.emission > 0.0),
-            "conference needs area lights"
-        );
+        assert!(conf.materials().iter().any(|m| m.emission > 0.0), "conference needs area lights");
         let fairy = SceneKind::FairyForest.build_with_tris(1_000);
         assert!(fairy.sky_emission() > 0.0, "fairy forest is open air");
     }

@@ -31,22 +31,12 @@ pub struct Material {
 impl Material {
     /// A Lambertian surface with the given reflectance.
     pub fn diffuse(albedo: Vec3) -> Material {
-        Material {
-            kind: MaterialKind::Diffuse,
-            albedo,
-            emission: 0.0,
-            gloss: 0.0,
-        }
+        Material { kind: MaterialKind::Diffuse, albedo, emission: 0.0, gloss: 0.0 }
     }
 
     /// A perfect mirror with the given tint.
     pub fn mirror(albedo: Vec3) -> Material {
-        Material {
-            kind: MaterialKind::Mirror,
-            albedo,
-            emission: 0.0,
-            gloss: 0.0,
-        }
+        Material { kind: MaterialKind::Mirror, albedo, emission: 0.0, gloss: 0.0 }
     }
 
     /// A glossy surface: `gloss ∈ [0,1]` is the probability a path sample
@@ -57,23 +47,13 @@ impl Material {
     /// Panics if `gloss` lies outside `[0, 1]`.
     pub fn glossy(albedo: Vec3, gloss: f32) -> Material {
         assert!((0.0..=1.0).contains(&gloss), "gloss out of range: {gloss}");
-        Material {
-            kind: MaterialKind::Glossy,
-            albedo,
-            emission: 0.0,
-            gloss,
-        }
+        Material { kind: MaterialKind::Glossy, albedo, emission: 0.0, gloss }
     }
 
     /// An emissive (area light) surface with the given radiance.
     pub fn light(emission: f32) -> Material {
         assert!(emission > 0.0, "light emission must be positive");
-        Material {
-            kind: MaterialKind::Diffuse,
-            albedo: Vec3::splat(0.8),
-            emission,
-            gloss: 0.0,
-        }
+        Material { kind: MaterialKind::Diffuse, albedo: Vec3::splat(0.8), emission, gloss: 0.0 }
     }
 
     /// True if this material emits light.

@@ -32,7 +32,7 @@ impl SceneStats {
         assert!(!tris.is_empty(), "scene has no geometry");
         let bounds = scene.bounds();
         const GRID: usize = 5; // odd, so a central cluster stays in one cell
-        let mut cells = vec![0usize; GRID * GRID];
+        let mut cells = [0usize; GRID * GRID];
         let mut total_area = 0.0f64;
         let mut emissive = 0usize;
         for t in tris {

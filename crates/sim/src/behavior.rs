@@ -58,7 +58,13 @@ pub trait SpecialUnit {
     /// Per-cycle tick, after instruction issue. `idle_banks[b]` is true when
     /// register-file bank `b` had a free port this cycle (the DRS swap
     /// engine moves ray registers through exactly these free ports).
-    fn tick(&mut self, cycle: u64, idle_banks: &[bool], m: &mut MachineState<'_>, stats: &mut SimStats);
+    fn tick(
+        &mut self,
+        cycle: u64,
+        idle_banks: &[bool],
+        m: &mut MachineState<'_>,
+        stats: &mut SimStats,
+    );
 }
 
 /// A no-op special unit for kernels without hardware assistance.
@@ -76,7 +82,14 @@ impl SpecialUnit for NullSpecial {
         SpecialOutcome::Proceed { ctrl: 0 }
     }
 
-    fn tick(&mut self, _cycle: u64, _idle: &[bool], _m: &mut MachineState<'_>, _stats: &mut SimStats) {}
+    fn tick(
+        &mut self,
+        _cycle: u64,
+        _idle: &[bool],
+        _m: &mut MachineState<'_>,
+        _stats: &mut SimStats,
+    ) {
+    }
 }
 
 #[cfg(test)]

@@ -83,15 +83,16 @@ impl Cache {
         }
         self.stats.misses += 1;
         // Evict LRU (or an invalid way).
-        let victim = (0..self.config.ways)
-            .min_by_key(|&w| {
-                if self.tags[base + w] == u64::MAX {
-                    0
-                } else {
-                    self.stamps[base + w] + 1
-                }
-            })
-            .expect("at least one way");
+        let victim =
+            (0..self.config.ways)
+                .min_by_key(|&w| {
+                    if self.tags[base + w] == u64::MAX {
+                        0
+                    } else {
+                        self.stamps[base + w] + 1
+                    }
+                })
+                .expect("at least one way");
         self.tags[base + victim] = line_addr;
         self.stamps[base + victim] = self.tick;
         false
@@ -117,6 +118,8 @@ pub struct MemoryHierarchy {
     l1_latency: u32,
     l2_latency: u32,
     dram_latency: u32,
+    /// MSHR capacity: distinct lines that may be in flight at once.
+    mshr_entries: usize,
     /// In-flight fills: line address -> cycle the data arrives.
     inflight: HashMap<u64, u64>,
 }
@@ -125,9 +128,7 @@ impl MemoryHierarchy {
     /// Build the hierarchy from the GPU configuration.
     pub fn new(cfg: &GpuConfig) -> MemoryHierarchy {
         let line = cfg.line_bytes;
-        let mk = |bytes| {
-            Cache::new(CacheConfig { bytes, line_bytes: line, ways: cfg.cache_ways })
-        };
+        let mk = |bytes| Cache::new(CacheConfig { bytes, line_bytes: line, ways: cfg.cache_ways });
         MemoryHierarchy {
             l1d: mk(cfg.l1d_bytes),
             l1t: mk(cfg.l1t_bytes),
@@ -136,6 +137,7 @@ impl MemoryHierarchy {
             l1_latency: cfg.l1_latency,
             l2_latency: cfg.l2_latency,
             dram_latency: cfg.dram_latency,
+            mshr_entries: cfg.mshr_entries.max(1),
             inflight: HashMap::new(),
         }
     }
@@ -170,19 +172,33 @@ impl MemoryHierarchy {
                     }
                     self.inflight.remove(&line);
                 }
-                let ready = if self.l2.access(line) {
-                    now + self.l2_latency as u64
-                } else {
-                    now + self.dram_latency as u64
-                };
-                self.inflight.insert(line, ready);
-                // Opportunistic cleanup to bound the map.
-                if self.inflight.len() > 4096 {
+                // A new fill needs a free MSHR. Completed fills free theirs;
+                // if every entry is still pending, the request queues behind
+                // the earliest completion.
+                if self.inflight.len() >= self.mshr_entries {
                     self.inflight.retain(|_, &mut r| r > now);
                 }
+                let start = if self.inflight.len() >= self.mshr_entries {
+                    let free_at = self.inflight.values().copied().min().unwrap_or(now);
+                    self.inflight.retain(|_, &mut r| r > free_at);
+                    free_at.max(now)
+                } else {
+                    now
+                };
+                let ready = if self.l2.access(line) {
+                    start + self.l2_latency as u64
+                } else {
+                    start + self.dram_latency as u64
+                };
+                self.inflight.insert(line, ready);
                 ready
             }
         }
+    }
+
+    /// Fills still outstanding at cycle `now` (occupied MSHRs).
+    pub fn outstanding_misses(&self, now: u64) -> usize {
+        self.inflight.values().filter(|&&r| r > now).count()
     }
 }
 
@@ -274,6 +290,25 @@ mod tests {
         m.l1t.flush();
         let t = m.access(MemSpace::Texture, 0x3000_0000, 10_000);
         assert_eq!(t, 10_000 + cfg.l2_latency as u64);
+    }
+
+    #[test]
+    fn mshr_capacity_queues_extra_misses() {
+        let cfg = GpuConfig { mshr_entries: 1, ..GpuConfig::gtx780() };
+        let mut m = MemoryHierarchy::new(&cfg);
+        let t0 = m.access(MemSpace::Texture, 0x5000_0000, 0);
+        assert_eq!(m.outstanding_misses(1), 1);
+        // A different line misses while the only MSHR is occupied: it must
+        // wait for the first fill to complete before starting its own.
+        let t1 = m.access(MemSpace::Texture, 0x6000_0000, 1);
+        assert!(t1 >= t0 + cfg.dram_latency as u64, "got {t1} vs fill at {t0}");
+        assert_eq!(m.outstanding_misses(t1), 0);
+        // With ample MSHRs the same pattern overlaps.
+        let mut wide = MemoryHierarchy::new(&GpuConfig::gtx780());
+        let a = wide.access(MemSpace::Texture, 0x5000_0000, 0);
+        let b = wide.access(MemSpace::Texture, 0x6000_0000, 1);
+        assert_eq!(a, cfg.dram_latency as u64);
+        assert_eq!(b, 1 + cfg.dram_latency as u64);
     }
 
     #[test]

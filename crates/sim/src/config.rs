@@ -60,8 +60,15 @@ pub struct GpuConfig {
     pub dram_latency: u32,
     /// Taken-branch redirect penalty in cycles.
     pub branch_penalty: u32,
+    /// Miss-status holding registers: distinct cache lines that may be in
+    /// flight at once; further misses queue behind the earliest fill.
+    pub mshr_entries: usize,
     /// Safety cap on simulated cycles (guards against livelock bugs).
     pub max_cycles: u64,
+    /// Cycles without a single issued instruction before the `validate`
+    /// feature's watchdog dumps warp states and aborts instead of spinning
+    /// to `max_cycles`.
+    pub watchdog_cycles: u64,
 }
 
 impl GpuConfig {
@@ -87,7 +94,9 @@ impl GpuConfig {
             l2_latency: 190,
             dram_latency: 440,
             branch_penalty: 2,
+            mshr_entries: 4096,
             max_cycles: 2_000_000_000,
+            watchdog_cycles: 1_000_000,
         }
     }
 
@@ -114,6 +123,7 @@ impl GpuConfig {
         assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
         assert!(self.max_warps > 0, "need at least one warp");
         assert!(self.register_banks > 0, "need at least one register bank");
+        assert!(self.mshr_entries >= 1, "need at least one MSHR entry");
     }
 }
 

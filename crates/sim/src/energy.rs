@@ -81,8 +81,7 @@ impl EnergyModel {
         let dram_accesses = stats.l2.misses;
         EnergyBreakdown {
             lanes_pj: all.active_sum as f64 * self.per_lane_op_pj,
-            regfile_pj: (stats.regfile_reads + stats.regfile_writes) as f64
-                * self.per_rf_access_pj,
+            regfile_pj: (stats.regfile_reads + stats.regfile_writes) as f64 * self.per_rf_access_pj,
             swap_pj: stats.swap_accesses as f64 * self.per_rf_access_pj,
             l1_pj: l1_accesses as f64 * self.per_l1_access_pj,
             l2_pj: l2_accesses as f64 * self.per_l2_access_pj,
@@ -98,10 +97,9 @@ mod tests {
     use crate::stats::ActiveHistogram;
 
     fn stats_with(active: u64, rf: u64, swap: u64) -> SimStats {
-        let mut issued = ActiveHistogram::default();
         // Encode `active` as active_sum via direct field construction.
-        issued.total = 1;
-        issued.active_sum = active;
+        let mut issued =
+            ActiveHistogram { total: 1, active_sum: active, ..ActiveHistogram::default() };
         issued.buckets[3] = 1;
         SimStats {
             issued,

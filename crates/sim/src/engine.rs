@@ -12,7 +12,7 @@ use drs_trace::RayScript;
 
 /// Architectural registers tracked per warp (micro-op reg ids must be below
 /// this).
-const TRACKED_REGS: usize = 64;
+pub const TRACKED_REGS: usize = 64;
 
 /// One entry of a warp's SIMT reconvergence stack.
 #[derive(Debug, Clone, Copy)]
@@ -101,6 +101,12 @@ pub struct Simulation<'w> {
     cycle: u64,
     /// Greedy warp per scheduler.
     sched_current: Vec<usize>,
+    /// Full active mask for the configured lane count.
+    #[cfg(feature = "validate")]
+    full_mask: u32,
+    /// Last cycle any instruction issued (watchdog baseline).
+    #[cfg(feature = "validate")]
+    last_issue_cycle: u64,
 }
 
 impl<'w> Simulation<'w> {
@@ -151,6 +157,10 @@ impl<'w> Simulation<'w> {
             spawn_busy_until: 0,
             cycle: 0,
             sched_current,
+            #[cfg(feature = "validate")]
+            full_mask,
+            #[cfg(feature = "validate")]
+            last_issue_cycle: 0,
         }
     }
 
@@ -163,6 +173,10 @@ impl<'w> Simulation<'w> {
                 break;
             }
             self.step();
+        }
+        #[cfg(feature = "validate")]
+        if completed {
+            self.check_drained();
         }
         self.stats.cycles = self.cycle;
         self.stats.rays_completed = self.machine.rays_completed;
@@ -185,18 +199,95 @@ impl<'w> Simulation<'w> {
     /// Advance one cycle.
     fn step(&mut self) {
         self.banks.new_cycle();
+        #[cfg(feature = "validate")]
+        let issued_before = self.stats.issued.total + self.stats.issued_si.total;
         for s in 0..self.cfg.warp_schedulers {
             self.schedule(s);
+        }
+        #[cfg(feature = "validate")]
+        {
+            if self.stats.issued.total + self.stats.issued_si.total > issued_before {
+                self.last_issue_cycle = self.cycle;
+            } else if self.cycle - self.last_issue_cycle > self.cfg.watchdog_cycles {
+                self.watchdog_abort();
+            }
         }
         let idle = self.banks.idle_banks();
         self.special.tick(self.cycle, &idle, &mut self.machine, &mut self.stats);
         self.cycle += 1;
     }
 
+    /// Watchdog: no warp has issued for `watchdog_cycles`. Dump every warp's
+    /// SIMT stack so a livelocked kernel is debuggable, then abort instead
+    /// of spinning until `max_cycles`.
+    #[cfg(feature = "validate")]
+    fn watchdog_abort(&self) -> ! {
+        eprintln!(
+            "validate watchdog: no instruction issued for {} cycles (now at cycle {})",
+            self.cfg.watchdog_cycles, self.cycle
+        );
+        for (w, warp) in self.warps.iter().enumerate() {
+            eprintln!("  warp {w}: exited={} blocked_until={}", warp.exited, warp.blocked_until);
+            for (d, e) in warp.stack.iter().enumerate().rev() {
+                eprintln!(
+                    "    [{d}] block {} `{}` op {} mask {:#010x} reconv {}",
+                    e.pc,
+                    self.program.block(e.pc).label,
+                    e.op_idx,
+                    e.mask,
+                    e.reconv
+                );
+            }
+        }
+        panic!(
+            "validate watchdog: no forward progress for {} cycles — warp dump above",
+            self.cfg.watchdog_cycles
+        );
+    }
+
+    /// End-of-run invariants: SIMT stacks unwound, all rays drained, no
+    /// scoreboard timestamp or MSHR fill implausibly far in the future.
+    #[cfg(feature = "validate")]
+    fn check_drained(&self) {
+        let slack = (self.cfg.dram_latency
+            + self.cfg.l2_latency
+            + self.cfg.l1_latency
+            + self.cfg.alu_latency) as u64
+            + 64;
+        for (w, warp) in self.warps.iter().enumerate() {
+            assert_eq!(
+                warp.stack.len(),
+                1,
+                "validate: warp {w} exited with {} reconvergence entries still stacked",
+                warp.stack.len() - 1
+            );
+            for (r, &ready) in warp.reg_ready.iter().enumerate() {
+                assert!(
+                    ready <= self.cycle + slack,
+                    "validate: warp {w} scoreboard r{r} ready at {ready}, past cycle {} + {slack}",
+                    self.cycle
+                );
+            }
+        }
+        assert!(
+            self.machine.all_work_drained(),
+            "validate: rays remain after all warps exited ({} queued, {} resident)",
+            self.machine.queue.remaining(),
+            self.machine.slots.iter().filter(|s| s.ray.is_some()).count()
+        );
+        let horizon = self.cycle + 2 * slack;
+        assert_eq!(
+            self.mem.outstanding_misses(horizon),
+            0,
+            "validate: MSHR fills outstanding past kernel end"
+        );
+    }
+
     /// One scheduler's issue attempt for this cycle.
     fn schedule(&mut self, sched: usize) {
         let nsched = self.cfg.warp_schedulers;
-        let my_warps: Vec<usize> = (0..self.cfg.max_warps).filter(|w| w % nsched == sched).collect();
+        let my_warps: Vec<usize> =
+            (0..self.cfg.max_warps).filter(|w| w % nsched == sched).collect();
         if my_warps.is_empty() {
             return;
         }
@@ -212,7 +303,7 @@ impl<'w> Simulation<'w> {
                 order.extend(my_warps.iter().copied().filter(|&w| w != current));
             }
             crate::config::SchedulerPolicy::LooseRoundRobin => {
-                let start = (self.cycle as usize / 1) % my_warps.len();
+                let start = (self.cycle as usize) % my_warps.len();
                 order.extend(my_warps[start..].iter().copied());
                 order.extend(my_warps[..start].iter().copied());
             }
@@ -307,8 +398,19 @@ impl<'w> Simulation<'w> {
     /// Issue one micro-op for warp `w` under `mask`.
     fn try_issue_op(&mut self, w: usize, op: &MicroOp, mask: u32) -> IssueResult {
         let now = self.cycle;
-        let active: Vec<usize> = (0..self.cfg.simd_lanes).filter(|l| mask & (1 << l) != 0).collect();
+        let active: Vec<usize> =
+            (0..self.cfg.simd_lanes).filter(|l| mask & (1 << l) != 0).collect();
         debug_assert!(!active.is_empty(), "issue with empty mask");
+        #[cfg(feature = "validate")]
+        {
+            assert_ne!(mask, 0, "validate: issue with empty active mask");
+            assert_eq!(
+                mask & !self.full_mask,
+                0,
+                "validate: active mask {mask:#010x} names lanes beyond the {} live lanes",
+                self.cfg.simd_lanes
+            );
+        }
         match op.kind {
             OpKind::Special { token } => {
                 match self.special.issue(w, token, &mut self.machine, &mut self.stats) {
@@ -320,8 +422,7 @@ impl<'w> Simulation<'w> {
                         self.machine.warp_ctrl[w] = ctrl;
                         self.stats.rdctrl_issued += 1;
                         if let Some(d) = op.dst {
-                            self.warps[w].reg_ready[d as usize] =
-                                now + self.cfg.alu_latency as u64;
+                            self.warps[w].reg_ready[d as usize] = now + self.cfg.alu_latency as u64;
                             self.banks.write(w, d);
                         }
                     }
@@ -452,6 +553,15 @@ impl<'w> Simulation<'w> {
                     }
                 }
                 let f_mask = mask & !t_mask;
+                #[cfg(feature = "validate")]
+                {
+                    assert_eq!(t_mask & f_mask, 0, "validate: divergent masks overlap");
+                    assert_eq!(
+                        t_mask | f_mask,
+                        mask,
+                        "validate: divergence must partition the parent mask"
+                    );
+                }
                 let warp = &mut self.warps[w];
                 if f_mask == 0 {
                     let top = warp.top_mut();
@@ -732,11 +842,8 @@ mod tests {
             }
             fn apply_effect(&self, _t: u16, _w: usize, _l: usize, _m: &mut MachineState<'_>) {}
         }
-        let program = Program::new(vec![Block::new(
-            "only",
-            vec![MicroOp::special(0, 0)],
-            Terminator::Exit,
-        )]);
+        let program =
+            Program::new(vec![Block::new("only", vec![MicroOp::special(0, 0)], Terminator::Exit)]);
         let scripts: Vec<RayScript> = vec![];
         let cfg = GpuConfig { max_warps: 1, ..GpuConfig::gtx780() };
         let sim = Simulation::new(

@@ -123,12 +123,7 @@ impl MicroOp {
 
     /// A zero-latency effect op.
     pub fn effect(token: u16) -> MicroOp {
-        MicroOp {
-            kind: OpKind::Effect { token },
-            dst: None,
-            srcs: [None; 3],
-            tag: OpTag::Normal,
-        }
+        MicroOp { kind: OpKind::Effect { token }, dst: None, srcs: [None; 3], tag: OpTag::Normal }
     }
 
     /// Retag this op for statistics (builder style).

@@ -47,7 +47,7 @@ pub use behavior::{KernelBehavior, NullSpecial, SpecialOutcome, SpecialUnit};
 pub use cache::{Cache, CacheConfig, CacheStats, MemoryHierarchy};
 pub use config::{GpuConfig, SchedulerPolicy};
 pub use energy::{EnergyBreakdown, EnergyModel};
-pub use engine::{SimOutcome, Simulation};
+pub use engine::{SimOutcome, Simulation, TRACKED_REGS};
 pub use isa::{MemSpace, MicroOp, OpKind, OpTag, Reg};
 pub use program::{Block, BlockId, Program, Terminator};
 pub use state::{MachineState, RayQueue, RayRef, RaySlot, RayState, NO_POSTPONED, NO_SLOT};

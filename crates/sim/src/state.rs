@@ -162,7 +162,12 @@ pub const NO_SLOT: u32 = u32::MAX;
 impl<'w> MachineState<'w> {
     /// Create machine state with `slot_count` empty slots and an identity
     /// lane map for `warps` warps of `lanes` lanes.
-    pub fn new(scripts: &'w [RayScript], warps: usize, lanes: usize, slot_count: usize) -> MachineState<'w> {
+    pub fn new(
+        scripts: &'w [RayScript],
+        warps: usize,
+        lanes: usize,
+        slot_count: usize,
+    ) -> MachineState<'w> {
         assert!(slot_count >= warps * lanes, "need at least one slot per lane");
         MachineState {
             scripts,

@@ -103,7 +103,12 @@ impl BounceStreams {
     /// # Panics
     ///
     /// Panics if `target_per_bounce == 0` or `max_bounces == 0`.
-    pub fn capture(scene: &Scene, target_per_bounce: usize, max_bounces: usize, seed: u64) -> BounceStreams {
+    pub fn capture(
+        scene: &Scene,
+        target_per_bounce: usize,
+        max_bounces: usize,
+        seed: u64,
+    ) -> BounceStreams {
         let bvh = Bvh::build(scene.mesh(), &BuildParams::default());
         Self::capture_with_bvh(scene, &bvh, target_per_bounce, max_bounces, seed)
     }
@@ -133,7 +138,6 @@ impl BounceStreams {
         // primary rays coherent in the paper's Figure 2.
         let tiles_x = width.div_ceil(8);
         let tiles_y = height.div_ceil(4);
-        let max_sweeps = max_sweeps;
         'sweeps: for sweep in 0..max_sweeps {
             for tile in 0..tiles_x * tiles_y {
                 let tx = (tile % tiles_x) * 8;
@@ -155,7 +159,15 @@ impl BounceStreams {
                     let u = (px as f32 + jx) / width as f32;
                     let v = 1.0 - (py as f32 + jy) / height as f32;
                     let ray = scene.camera().primary_ray(u, v);
-                    walk_one_path(scene, bvh, ray, &mut sampler, max_bounces, target_per_bounce, &mut streams);
+                    walk_one_path(
+                        scene,
+                        bvh,
+                        ray,
+                        &mut sampler,
+                        max_bounces,
+                        target_per_bounce,
+                        &mut streams,
+                    );
                 }
             }
         }
@@ -198,10 +210,9 @@ fn walk_one_path(
         let mut steps: Vec<Step> = Vec::with_capacity(48);
         let hit = bvh.intersect_instrumented(scene.mesh(), &ray, &mut |e| {
             steps.push(match e {
-                TraversalEvent::Inner { node_index, both_children_hit } => Step::Inner {
-                    node_addr: bvh.node_addr(node_index as usize),
-                    both_children_hit,
-                },
+                TraversalEvent::Inner { node_index, both_children_hit } => {
+                    Step::Inner { node_addr: bvh.node_addr(node_index as usize), both_children_hit }
+                }
                 TraversalEvent::Leaf { node_index, prim_count, first_prim } => Step::Leaf {
                     node_addr: bvh.node_addr(node_index as usize),
                     prim_base_addr: bvh.prim_addr(first_prim as usize),
@@ -223,9 +234,8 @@ fn walk_one_path(
                     }
                     let u2 = sampler.next_2d();
                     let lobe = sampler.next_1d();
-                    let next = sample_bsdf(material, ray.direction, normal, u2, lobe).map(|s| {
-                        Ray::new(ray.at(h.t) + normal * RAY_EPSILON, s.direction)
-                    });
+                    let next = sample_bsdf(material, ray.direction, normal, u2, lobe)
+                        .map(|s| Ray::new(ray.at(h.t) + normal * RAY_EPSILON, s.direction));
                     (Termination::Hit, next)
                 }
             }
@@ -293,10 +303,7 @@ mod tests {
         };
         let p1 = prefix_agreement(streams.bounce(1));
         let p2 = prefix_agreement(streams.bounce(2));
-        assert!(
-            p1 > p2 * 1.5,
-            "primary coherence {p1:.2} not clearly above secondary {p2:.2}"
-        );
+        assert!(p1 > p2 * 1.5, "primary coherence {p1:.2} not clearly above secondary {p2:.2}");
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Control-flow-graph passes: well-formedness, reachability, and true
+//! immediate post-dominator computation diffed against each branch's
+//! declared `reconverge`.
+
+use crate::diag::{bname, Check, Diagnostic, Report};
+use drs_sim::{Block, BlockId, Terminator};
+use std::collections::BTreeSet;
+
+/// CFG successors of a block (the declared `reconverge` is bookkeeping, not
+/// an edge).
+pub(crate) fn successors(b: &Block) -> Vec<BlockId> {
+    match b.terminator {
+        Terminator::Jump(t) => vec![t],
+        Terminator::Branch { on_true, on_false, .. } => {
+            if on_true == on_false {
+                vec![on_true]
+            } else {
+                vec![on_true, on_false]
+            }
+        }
+        Terminator::Exit => vec![],
+    }
+}
+
+/// Structural checks that must hold before any deeper analysis: a nonempty
+/// program whose terminators all target existing blocks.
+pub(crate) fn check_structure(blocks: &[Block], report: &mut Report) -> bool {
+    if blocks.is_empty() {
+        report.push(Diagnostic::new(
+            Check::EmptyProgram,
+            None,
+            "program has no blocks (entry block 0 is required)".into(),
+        ));
+        return false;
+    }
+    let n = blocks.len() as u32;
+    let mut ok = true;
+    for (i, b) in blocks.iter().enumerate() {
+        let mut bad = |id: BlockId, what: &str| {
+            if id >= n {
+                report.push(Diagnostic::new(
+                    Check::DanglingTarget,
+                    Some(i as BlockId),
+                    format!(
+                        "{} has a dangling {what} target {id} (program has {n} blocks)",
+                        bname(blocks, i as BlockId)
+                    ),
+                ));
+                ok = false;
+            }
+        };
+        match b.terminator {
+            Terminator::Jump(t) => bad(t, "jump"),
+            Terminator::Branch { on_true, on_false, reconverge, .. } => {
+                bad(on_true, "branch-true");
+                bad(on_false, "branch-false");
+                bad(reconverge, "reconverge");
+            }
+            Terminator::Exit => {}
+        }
+    }
+    ok
+}
+
+/// Blocks reachable from the entry block 0.
+pub(crate) fn reachable(blocks: &[Block]) -> Vec<bool> {
+    let mut seen = vec![false; blocks.len()];
+    let mut work = vec![0 as BlockId];
+    while let Some(b) = work.pop() {
+        if std::mem::replace(&mut seen[b as usize], true) {
+            continue;
+        }
+        work.extend(successors(&blocks[b as usize]));
+    }
+    seen
+}
+
+/// Reachability diagnostics: unreachable blocks (warning) and no reachable
+/// `Exit` (error).
+pub(crate) fn check_reachability(blocks: &[Block], reach: &[bool], report: &mut Report) {
+    for (i, r) in reach.iter().enumerate() {
+        if !r {
+            report.push(Diagnostic::new(
+                Check::UnreachableBlock,
+                Some(i as BlockId),
+                format!("{} is unreachable from the entry block", bname(blocks, i as BlockId)),
+            ));
+        }
+    }
+    let exit_reachable = blocks
+        .iter()
+        .zip(reach.iter())
+        .any(|(b, &r)| r && matches!(b.terminator, Terminator::Exit));
+    if !exit_reachable {
+        report.push(Diagnostic::new(
+            Check::NoExit,
+            None,
+            "no Exit terminator is reachable from the entry block — warps can never finish".into(),
+        ));
+    }
+}
+
+/// Post-dominator sets over the CFG, with a virtual exit node `n` that every
+/// `Exit` block flows into. `pdom[i]` contains `j` iff every path from `i`
+/// to program exit passes through `j`.
+pub(crate) fn postdominators(blocks: &[Block]) -> Vec<BTreeSet<u32>> {
+    let n = blocks.len();
+    let virt = n as u32;
+    let all: BTreeSet<u32> = (0..=virt).collect();
+    let mut pdom: Vec<BTreeSet<u32>> = vec![all; n + 1];
+    pdom[n] = BTreeSet::from([virt]);
+    let succ: Vec<Vec<u32>> = blocks
+        .iter()
+        .map(|b| if matches!(b.terminator, Terminator::Exit) { vec![virt] } else { successors(b) })
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..n).rev() {
+            let mut new: Option<BTreeSet<u32>> = None;
+            for &s in &succ[i] {
+                new = Some(match new {
+                    None => pdom[s as usize].clone(),
+                    Some(acc) => acc.intersection(&pdom[s as usize]).copied().collect(),
+                });
+            }
+            let mut new = new.unwrap_or_default();
+            new.insert(i as u32);
+            if new != pdom[i] {
+                pdom[i] = new;
+                changed = true;
+            }
+        }
+    }
+    pdom
+}
+
+/// The immediate post-dominator of `i`: the closest strict post-dominator —
+/// the member of `pdom(i) \ {i}` that every other member post-dominates.
+/// `None` when the only strict post-dominator is the virtual exit (the paths
+/// from `i` never rejoin before the program ends).
+pub(crate) fn ipdom(pdom: &[BTreeSet<u32>], i: usize, virt: u32) -> Option<u32> {
+    let strict: Vec<u32> = pdom[i].iter().copied().filter(|&p| p != i as u32).collect();
+    let best = strict
+        .iter()
+        .copied()
+        .find(|&p| strict.iter().all(|&q| q == p || pdom[p as usize].contains(&q)))?;
+    if best == virt {
+        None
+    } else {
+        Some(best)
+    }
+}
+
+/// Diff every reachable branch's declared `reconverge` against the computed
+/// immediate post-dominator.
+pub(crate) fn check_reconverge(blocks: &[Block], reach: &[bool], report: &mut Report) {
+    let pdom = postdominators(blocks);
+    let virt = blocks.len() as u32;
+    for (i, b) in blocks.iter().enumerate() {
+        if !reach[i] {
+            continue;
+        }
+        let Terminator::Branch { reconverge, .. } = b.terminator else { continue };
+        let computed = ipdom(&pdom, i, virt);
+        if computed != Some(reconverge) {
+            let expected = match computed {
+                Some(c) => format!("the immediate post-dominator is {}", bname(blocks, c)),
+                None => "the branch paths never reconverge before program exit".to_string(),
+            };
+            report.push(Diagnostic::new(
+                Check::ReconvergeMismatch,
+                Some(i as BlockId),
+                format!(
+                    "{} declares reconvergence at {} but {expected}",
+                    bname(blocks, i as BlockId),
+                    bname(blocks, reconverge),
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Register dataflow over `MicroOp::{dst, srcs}`: read-before-write (error)
+//! and dead-write (warning) detection, plus scoreboard range checks.
+//!
+//! Read-before-write is a *may*-analysis: a read is flagged only when **no**
+//! path from entry ever defines the register first — loop-carried
+//! definitions flowing around back edges count as definitions, matching how
+//! the kernels seed their ALU chains across iterations. A flagged read means
+//! the scoreboard models a dependence on a register nothing ever produces.
+
+use crate::cfg::successors;
+use crate::diag::{bname, Check, Diagnostic, Report};
+use drs_sim::{Block, BlockId, Reg, TRACKED_REGS};
+use std::collections::BTreeSet;
+
+/// Every micro-op register id must fit the engine's scoreboard.
+pub(crate) fn check_register_range(blocks: &[Block], report: &mut Report) {
+    for (i, b) in blocks.iter().enumerate() {
+        for (j, op) in b.ops.iter().enumerate() {
+            let mut bad = |r: Reg, role: &str| {
+                if (r as usize) >= TRACKED_REGS {
+                    report.push(Diagnostic::new(
+                        Check::RegisterOutOfRange,
+                        Some(i as BlockId),
+                        format!(
+                            "{} op {j} {role} register r{r} exceeds the scoreboard's \
+                             {TRACKED_REGS} tracked registers",
+                            bname(blocks, i as BlockId)
+                        ),
+                    ));
+                }
+            };
+            if let Some(d) = op.dst {
+                bad(d, "destination");
+            }
+            for s in op.sources() {
+                bad(s, "source");
+            }
+        }
+    }
+}
+
+fn predecessors(blocks: &[Block]) -> Vec<Vec<usize>> {
+    let mut preds = vec![Vec::new(); blocks.len()];
+    for (i, b) in blocks.iter().enumerate() {
+        for s in successors(b) {
+            preds[s as usize].push(i);
+        }
+    }
+    preds
+}
+
+/// Read-before-write: forward may-defined analysis over reachable blocks.
+pub(crate) fn check_read_before_write(blocks: &[Block], reach: &[bool], report: &mut Report) {
+    let n = blocks.len();
+    let preds = predecessors(blocks);
+    let gen: Vec<BTreeSet<Reg>> =
+        blocks.iter().map(|b| b.ops.iter().filter_map(|op| op.dst).collect()).collect();
+    // def_in[b]: registers some path from entry may have defined on arrival.
+    let mut def_in: Vec<BTreeSet<Reg>> = vec![BTreeSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            if !reach[i] {
+                continue;
+            }
+            let mut new = BTreeSet::new();
+            for &p in &preds[i] {
+                if !reach[p] {
+                    continue;
+                }
+                new.extend(def_in[p].iter().copied());
+                new.extend(gen[p].iter().copied());
+            }
+            if new != def_in[i] {
+                def_in[i] = new;
+                changed = true;
+            }
+        }
+    }
+    // Reporting pass: walk each block's ops in order with the running set.
+    for (i, b) in blocks.iter().enumerate() {
+        if !reach[i] {
+            continue;
+        }
+        let mut defined = def_in[i].clone();
+        let mut flagged: BTreeSet<Reg> = BTreeSet::new();
+        for (j, op) in b.ops.iter().enumerate() {
+            for s in op.sources() {
+                if !defined.contains(&s) && flagged.insert(s) {
+                    report.push(Diagnostic::new(
+                        Check::ReadBeforeWrite,
+                        Some(i as BlockId),
+                        format!(
+                            "{} op {j} reads r{s}, which no path from entry ever writes first",
+                            bname(blocks, i as BlockId)
+                        ),
+                    ));
+                }
+            }
+            if let Some(d) = op.dst {
+                defined.insert(d);
+            }
+        }
+    }
+}
+
+/// Dead writes: backward liveness over reachable blocks. A write whose value
+/// cannot reach any read still occupies a scoreboard slot and a register
+/// bank write port, so the timing model charges for work no program needs.
+pub(crate) fn check_dead_writes(blocks: &[Block], reach: &[bool], report: &mut Report) {
+    let n = blocks.len();
+    let mut live_in: Vec<BTreeSet<Reg>> = vec![BTreeSet::new(); n];
+    let block_live_in = |blocks: &[Block], i: usize, live_out: &BTreeSet<Reg>| {
+        let mut live = live_out.clone();
+        for op in blocks[i].ops.iter().rev() {
+            if let Some(d) = op.dst {
+                live.remove(&d);
+            }
+            live.extend(op.sources());
+        }
+        live
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..n).rev() {
+            if !reach[i] {
+                continue;
+            }
+            let mut live_out = BTreeSet::new();
+            for s in successors(&blocks[i]) {
+                live_out.extend(live_in[s as usize].iter().copied());
+            }
+            let new = block_live_in(blocks, i, &live_out);
+            if new != live_in[i] {
+                live_in[i] = new;
+                changed = true;
+            }
+        }
+    }
+    for (i, b) in blocks.iter().enumerate() {
+        if !reach[i] {
+            continue;
+        }
+        let mut live = BTreeSet::new();
+        for s in successors(b) {
+            live.extend(live_in[s as usize].iter().copied());
+        }
+        for (j, op) in b.ops.iter().enumerate().rev() {
+            if let Some(d) = op.dst {
+                if !live.remove(&d) {
+                    report.push(Diagnostic::new(
+                        Check::DeadWrite,
+                        Some(i as BlockId),
+                        format!(
+                            "{} op {j} writes r{d} but no path ever reads that value",
+                            bname(blocks, i as BlockId)
+                        ),
+                    ));
+                }
+            }
+            live.extend(op.sources());
+        }
+    }
+}

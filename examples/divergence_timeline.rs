@@ -62,11 +62,8 @@ fn main() {
         // Inner phase: lanes whose next step is an inner node execute; the
         // warp loops until no lane wants inner traversal (we aggregate the
         // whole inner run into one printed phase per lane-step).
-        let phase_kind = if st.iter().any(|&s| s == LaneState::Inner) {
-            LaneState::Inner
-        } else {
-            LaneState::Leaf
-        };
+        let phase_kind =
+            if st.contains(&LaneState::Inner) { LaneState::Inner } else { LaneState::Leaf };
         let active: Vec<bool> = st.iter().map(|&s| s == phase_kind).collect();
         let n_active = active.iter().filter(|&&a| a).count();
         let grid: String = st.iter().map(|&s| state_char(s)).collect();

@@ -18,7 +18,14 @@ fn run(method: &str, gpu: &GpuConfig, scripts: &[RayScript]) -> SimOutcome {
     match method {
         "aila" => {
             let k = WhileWhileKernel::new(WhileWhileConfig::default());
-            Simulation::new(gpu.clone(), k.program(), Box::new(k.clone()), Box::new(NullSpecial), scripts).run()
+            Simulation::new(
+                gpu.clone(),
+                k.program(),
+                Box::new(k.clone()),
+                Box::new(NullSpecial),
+                scripts,
+            )
+            .run()
         }
         "drs" => {
             let cfg = DrsConfig {
@@ -41,12 +48,30 @@ fn run(method: &str, gpu: &GpuConfig, scripts: &[RayScript]) -> SimOutcome {
         "dmk" => {
             let cfg = DmkConfig { warps: gpu.max_warps, lanes: 32, pool_slots: gpu.max_warps * 32 };
             let k = DmkKernel::new(cfg);
-            Simulation::new(gpu.clone(), k.program(), Box::new(k.clone()), Box::new(DmkUnit::new(cfg)), scripts).run()
+            Simulation::new(
+                gpu.clone(),
+                k.program(),
+                Box::new(k.clone()),
+                Box::new(DmkUnit::new(cfg)),
+                scripts,
+            )
+            .run()
         }
         "tbc" => {
             let k = WhileIfKernel::new();
-            let cfg = TbcConfig { warps: gpu.max_warps, lanes: 32, warps_per_block: 6.min(gpu.max_warps) };
-            Simulation::new(gpu.clone(), k.program(), Box::new(k.clone()), Box::new(TbcUnit::new(cfg)), scripts).run()
+            let cfg = TbcConfig {
+                warps: gpu.max_warps,
+                lanes: 32,
+                warps_per_block: 6.min(gpu.max_warps),
+            };
+            Simulation::new(
+                gpu.clone(),
+                k.program(),
+                Box::new(k.clone()),
+                Box::new(TbcUnit::new(cfg)),
+                scripts,
+            )
+            .run()
         }
         other => {
             eprintln!("unknown method {other}; use aila|drs|dmk|tbc");
@@ -74,7 +99,10 @@ fn main() {
     let streams = BounceStreams::capture(&scene, 4_000, 8, 7);
     let gpu = GpuConfig { max_warps: 12, ..GpuConfig::gtx780() };
     println!("{} / {method}: SIMD efficiency per bounce", scene.kind());
-    println!("{:>3} {:>7} {:>9} {:>8} {:>8} {:>8} {:>8}", "B", "rays", "eff", "W1:8", "W9:16", "W17:24", "W25:32");
+    println!(
+        "{:>3} {:>7} {:>9} {:>8} {:>8} {:>8} {:>8}",
+        "B", "rays", "eff", "W1:8", "W9:16", "W17:24", "W25:32"
+    );
     for b in 1..=streams.depth() {
         let stream = streams.bounce(b);
         if stream.scripts.is_empty() {

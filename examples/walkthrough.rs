@@ -69,7 +69,10 @@ fn main() {
     m.track_dirty = true;
     let mut stats = SimStats::default();
 
-    println!("Figure 6 walkthrough: {} rays, 2 warps x {LANES} lanes, {rows} rows\n", scripts.len());
+    println!(
+        "Figure 6 walkthrough: {} rays, 2 warps x {LANES} lanes, {rows} rows\n",
+        scripts.len()
+    );
     for round in 0..14 {
         // Each warp reads trav_ctrl_val; the DRS control renames/stalls.
         for warp in 0..cfg.warps {
@@ -90,10 +93,8 @@ fn main() {
                     for lane in 0..LANES {
                         let slot = row * LANES + lane;
                         match ctrl {
-                            1 => {
-                                if m.slots[slot].ray.is_none() {
-                                    m.fetch_into(slot);
-                                }
+                            1 if m.slots[slot].ray.is_none() => {
+                                m.fetch_into(slot);
                             }
                             2 => {
                                 if matches!(m.peek_step(slot), Some(Step::Inner { .. })) {
@@ -121,7 +122,10 @@ fn main() {
         }
         dump(&m, &unit, rows, round);
         if m.all_work_drained() {
-            println!("\nall {} rays traced; {} ray swaps performed", m.rays_completed, stats.swaps_completed);
+            println!(
+                "\nall {} rays traced; {} ray swaps performed",
+                m.rays_completed, stats.swaps_completed
+            );
             break;
         }
         println!();

@@ -1,0 +1,85 @@
+//! `drs-verify`: static verification CLI for the shipped kernel programs
+//! and GPU configurations.
+//!
+//! ```text
+//! drs-verify [KERNEL...]        verify named kernels (default: all)
+//! drs-verify --config           also lint the paper's GPU configuration
+//! ```
+//!
+//! Kernels: `while-while`, `while-if`, `dmk`, `tbc`, `drs`. TBC and DRS
+//! execute the while-if program under their own hardware units, so their
+//! entries verify that same program — listed separately because the paper
+//! evaluates them as separate methods. Exits nonzero if any error-severity
+//! diagnostic fires.
+
+use drs::baselines::{DmkConfig, DmkKernel};
+use drs::kernels::{WhileIfKernel, WhileWhileConfig, WhileWhileKernel};
+use drs::sim::{GpuConfig, Program};
+use drs::verify::{verify_config, verify_program, Report};
+
+const KERNELS: [&str; 5] = ["while-while", "while-if", "dmk", "tbc", "drs"];
+
+fn program_for(name: &str) -> Option<Program> {
+    match name {
+        "while-while" => Some(WhileWhileKernel::new(WhileWhileConfig::default()).program()),
+        "while-if" => Some(WhileIfKernel::new().program()),
+        "dmk" => Some(DmkKernel::new(DmkConfig::paper_default(4)).program()),
+        // TBC and DRS are hardware units over the while-if software kernel.
+        "tbc" | "drs" => Some(WhileIfKernel::new().program()),
+        _ => None,
+    }
+}
+
+fn print_report(what: &str, report: &Report) -> bool {
+    let errors = report.errors().count();
+    let warnings = report.warnings().count();
+    if report.diagnostics.is_empty() {
+        println!("{what}: clean");
+    } else {
+        println!("{what}: {errors} error(s), {warnings} warning(s)");
+        for d in &report.diagnostics {
+            println!("  {d}");
+        }
+    }
+    report.is_clean()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut lint_config = false;
+    let mut names: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--config" => lint_config = true,
+            "--help" | "-h" => {
+                println!("usage: drs-verify [--config] [KERNEL...]");
+                println!("kernels: {}  (default: all)", KERNELS.join(", "));
+                return;
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names = KERNELS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut ok = true;
+    for name in &names {
+        match program_for(name) {
+            Some(program) => {
+                let report = verify_program(&program);
+                ok &= print_report(&format!("kernel {name}"), &report);
+            }
+            None => {
+                eprintln!("unknown kernel `{name}` (expected one of: {})", KERNELS.join(", "));
+                ok = false;
+            }
+        }
+    }
+    if lint_config {
+        ok &= print_report("config gtx780", &verify_config(&GpuConfig::gtx780()));
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

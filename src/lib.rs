@@ -13,6 +13,7 @@
 //! - [`kernels`] — the while-while (Aila) and while-if (DRS) kernels
 //! - [`core`] — the Dynamic Ray Shuffling hardware model (the paper's contribution)
 //! - [`baselines`] — DMK and TBC comparison hardware
+//! - [`verify`] — static verification of kernel programs and GPU configs
 //!
 //! # Quickstart
 //!
@@ -36,3 +37,4 @@ pub use drs_render as render;
 pub use drs_scene as scene;
 pub use drs_sim as sim;
 pub use drs_trace as trace;
+pub use drs_verify as verify;

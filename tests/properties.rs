@@ -1,121 +1,153 @@
-//! Property-based tests over the core data structures and invariants.
+//! Randomized property tests over the core data structures and invariants.
+//!
+//! Driven by the in-repo `drs_math::XorShift64` generator (no external
+//! dependencies), and compiled only with `--features proptest` so the default
+//! tier-1 run stays fast and offline.
+
+#![cfg(feature = "proptest")]
 
 use drs::bvh::{BuildMethod, BuildParams, Bvh, KdBuildParams, KdTree};
 use drs::geom::{Mesh, Triangle};
 use drs::math::{Aabb, Ray, Vec3, XorShift64};
 use drs::sim::{MachineState, RayState};
 use drs::trace::{RayScript, Step, Termination};
-use proptest::prelude::*;
 
-fn arb_vec3(range: f32) -> impl Strategy<Value = Vec3> {
-    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+fn gen_vec3(rng: &mut XorShift64, range: f32) -> Vec3 {
+    let mut c = || (rng.next_f32() * 2.0 - 1.0) * range;
+    Vec3::new(c(), c(), c())
 }
 
-fn arb_triangle() -> impl Strategy<Value = Triangle> {
-    (arb_vec3(10.0), arb_vec3(10.0), arb_vec3(10.0)).prop_map(|(a, b, c)| Triangle::new(a, b, c, 0))
+fn gen_mesh(rng: &mut XorShift64, max: usize) -> Mesh {
+    let n = 1 + rng.next_below(max);
+    let tris: Vec<Triangle> = (0..n)
+        .map(|_| Triangle::new(gen_vec3(rng, 10.0), gen_vec3(rng, 10.0), gen_vec3(rng, 10.0), 0))
+        .collect();
+    Mesh::from_triangles(tris)
 }
 
-fn arb_mesh(max: usize) -> impl Strategy<Value = Mesh> {
-    proptest::collection::vec(arb_triangle(), 1..max).prop_map(Mesh::from_triangles)
-}
-
-fn arb_ray() -> impl Strategy<Value = Ray> {
-    (arb_vec3(20.0), arb_vec3(1.0))
-        .prop_filter("nonzero direction", |(_, d)| d.length_squared() > 1e-6)
-        .prop_map(|(o, d)| Ray::new(o, d.normalized()))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every BVH built over any triangle soup passes structural validation.
-    #[test]
-    fn bvh_structure_is_always_valid(mesh in arb_mesh(120), sah in proptest::bool::ANY) {
-        let method = if sah { BuildMethod::BinnedSah { bins: 8 } } else { BuildMethod::Median };
-        let bvh = Bvh::build(&mesh, &BuildParams { method, max_leaf_size: 3 });
-        prop_assert!(bvh.validate(&mesh).is_ok());
+fn gen_ray(rng: &mut XorShift64) -> Ray {
+    let o = gen_vec3(rng, 20.0);
+    loop {
+        let d = gen_vec3(rng, 1.0);
+        if d.length_squared() > 1e-6 {
+            return Ray::new(o, d.normalized());
+        }
     }
+}
 
-    /// BVH traversal agrees with brute force on closest hits.
-    #[test]
-    fn bvh_traversal_matches_brute_force(mesh in arb_mesh(60), ray in arb_ray()) {
+/// Every BVH built over any triangle soup passes structural validation.
+#[test]
+fn bvh_structure_is_always_valid() {
+    let mut rng = XorShift64::new(0xB44D_1001);
+    for case in 0..64 {
+        let mesh = gen_mesh(&mut rng, 120);
+        let method =
+            if case % 2 == 0 { BuildMethod::BinnedSah { bins: 8 } } else { BuildMethod::Median };
+        let bvh = Bvh::build(&mesh, &BuildParams { method, max_leaf_size: 3 });
+        assert!(bvh.validate(&mesh).is_ok(), "invalid BVH on case {case}");
+    }
+}
+
+/// BVH traversal agrees with brute force on closest hits.
+#[test]
+fn bvh_traversal_matches_brute_force() {
+    let mut rng = XorShift64::new(0xB44D_1002);
+    for case in 0..64 {
+        let mesh = gen_mesh(&mut rng, 60);
         let bvh = Bvh::build(&mesh, &BuildParams::default());
+        let ray = gen_ray(&mut rng);
         let fast = bvh.intersect(&mesh, &ray);
         let slow = Bvh::intersect_brute_force(&mesh, &ray);
         match (fast, slow) {
             (None, None) => {}
-            (Some(a), Some(b)) => prop_assert!((a.t - b.t).abs() < 1e-2,
-                "t mismatch {} vs {}", a.t, b.t),
-            (a, b) => prop_assert!(false, "hit disagreement: {a:?} vs {b:?}"),
+            (Some(a), Some(b)) => {
+                assert!((a.t - b.t).abs() < 1e-2, "case {case}: t mismatch {} vs {}", a.t, b.t)
+            }
+            (a, b) => panic!("case {case}: hit disagreement: {a:?} vs {b:?}"),
         }
     }
+}
 
-    /// kd-tree traversal agrees with brute force on closest hits (same
-    /// contract as the BVH, different partitioning semantics).
-    #[test]
-    fn kdtree_traversal_matches_brute_force(mesh in arb_mesh(60), ray in arb_ray()) {
+/// kd-tree traversal agrees with brute force on closest hits (same contract
+/// as the BVH, different partitioning semantics).
+#[test]
+fn kdtree_traversal_matches_brute_force() {
+    let mut rng = XorShift64::new(0xB44D_1003);
+    for case in 0..64 {
+        let mesh = gen_mesh(&mut rng, 60);
         let kd = KdTree::build(&mesh, &KdBuildParams::default());
-        prop_assert!(kd.validate(&mesh).is_ok());
+        assert!(kd.validate(&mesh).is_ok());
+        let ray = gen_ray(&mut rng);
         let fast = kd.intersect(&mesh, &ray);
         let slow = Bvh::intersect_brute_force(&mesh, &ray);
         match (fast, slow) {
             (None, None) => {}
-            (Some(a), Some(b)) => prop_assert!((a.t - b.t).abs() < 1e-2,
-                "t mismatch {} vs {}", a.t, b.t),
-            (a, b) => prop_assert!(false, "hit disagreement: {a:?} vs {b:?}"),
+            (Some(a), Some(b)) => {
+                assert!((a.t - b.t).abs() < 1e-2, "case {case}: t mismatch {} vs {}", a.t, b.t)
+            }
+            (a, b) => panic!("case {case}: hit disagreement: {a:?} vs {b:?}"),
         }
     }
+}
 
-    /// AABB union is commutative, associative in effect, and monotone.
-    #[test]
-    fn aabb_union_laws(a in arb_vec3(10.0), b in arb_vec3(10.0),
-                       c in arb_vec3(10.0), d in arb_vec3(10.0)) {
-        let bb1 = Aabb::from_points([a, b]);
-        let bb2 = Aabb::from_points([c, d]);
+/// AABB union is commutative, containing, and monotone in surface area.
+#[test]
+fn aabb_union_laws() {
+    let mut rng = XorShift64::new(0xB44D_1004);
+    for _ in 0..256 {
+        let bb1 = Aabb::from_points([gen_vec3(&mut rng, 10.0), gen_vec3(&mut rng, 10.0)]);
+        let bb2 = Aabb::from_points([gen_vec3(&mut rng, 10.0), gen_vec3(&mut rng, 10.0)]);
         let u = bb1.union(&bb2);
-        prop_assert_eq!(u, bb2.union(&bb1));
-        prop_assert!(u.contains_box(&bb1));
-        prop_assert!(u.contains_box(&bb2));
-        prop_assert!(u.surface_area() + 1e-3 >= bb1.surface_area().max(bb2.surface_area()));
+        assert_eq!(u, bb2.union(&bb1));
+        assert!(u.contains_box(&bb1));
+        assert!(u.contains_box(&bb2));
+        assert!(u.surface_area() + 1e-3 >= bb1.surface_area().max(bb2.surface_area()));
     }
+}
 
-    /// A ray that hits the union box must hit at least... the converse: a
-    /// ray hitting either sub-box always hits their union.
-    #[test]
-    fn ray_hitting_part_hits_union(a in arb_vec3(5.0), b in arb_vec3(5.0),
-                                   c in arb_vec3(5.0), d in arb_vec3(5.0),
-                                   ray in arb_ray()) {
-        let bb1 = Aabb::from_points([a, b]);
-        let bb2 = Aabb::from_points([c, d]);
+/// A ray hitting either sub-box always hits their union.
+#[test]
+fn ray_hitting_part_hits_union() {
+    let mut rng = XorShift64::new(0xB44D_1005);
+    for _ in 0..256 {
+        let bb1 = Aabb::from_points([gen_vec3(&mut rng, 5.0), gen_vec3(&mut rng, 5.0)]);
+        let bb2 = Aabb::from_points([gen_vec3(&mut rng, 5.0), gen_vec3(&mut rng, 5.0)]);
         let u = bb1.union(&bb2);
+        let ray = gen_ray(&mut rng);
         let hit_part = bb1.intersect(&ray, 0.0, f32::INFINITY).is_some()
             || bb2.intersect(&ray, 0.0, f32::INFINITY).is_some();
         if hit_part {
-            prop_assert!(u.intersect(&ray, 0.0, f32::INFINITY).is_some());
+            assert!(u.intersect(&ray, 0.0, f32::INFINITY).is_some());
         }
     }
+}
 
-    /// Shuffling preserves the multiset of elements.
-    #[test]
-    fn rng_shuffle_is_permutation(seed in 1u64.., len in 1usize..200) {
+/// Shuffling preserves the multiset of elements.
+#[test]
+fn rng_shuffle_is_permutation() {
+    let mut seeds = XorShift64::new(0xB44D_1006);
+    for _ in 0..64 {
+        let seed = seeds.next_u64().max(1);
+        let len = 1 + seeds.next_below(200);
         let mut rng = XorShift64::new(seed);
         let mut v: Vec<usize> = (0..len).collect();
         rng.shuffle(&mut v);
         let mut sorted = v.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..len).collect::<Vec<_>>());
     }
+}
 
-    /// Machine-state slot transitions: fetch/consume/retire keep the cached
-    /// state consistent with recomputation, and ray conservation holds.
-    #[test]
-    fn machine_state_cache_is_coherent(
-        step_counts in proptest::collection::vec(0usize..6, 4..40),
-        ops in proptest::collection::vec((0usize..64, 0u8..3), 1..300),
-    ) {
-        let scripts: Vec<RayScript> = step_counts
-            .iter()
-            .map(|&n| {
+/// Machine-state slot transitions: fetch/consume/retire keep the cached
+/// state consistent with recomputation, and ray conservation holds.
+#[test]
+fn machine_state_cache_is_coherent() {
+    let mut rng = XorShift64::new(0xB44D_1007);
+    for _ in 0..32 {
+        let n_rays = 4 + rng.next_below(36);
+        let scripts: Vec<RayScript> = (0..n_rays)
+            .map(|_| {
+                let n = rng.next_below(6);
                 RayScript::new(
                     (0..n)
                         .map(|k| Step::Inner {
@@ -131,9 +163,10 @@ proptest! {
         let mut m = MachineState::new(&scripts, 2, 8, slots);
         m.track_dirty = true;
         let total = scripts.len() as u64;
-        for (slot_raw, op) in ops {
-            let s = slot_raw % slots;
-            match op {
+        let n_ops = 1 + rng.next_below(300);
+        for _ in 0..n_ops {
+            let s = rng.next_below(slots);
+            match rng.next_below(3) {
                 0 => {
                     if m.slots[s].ray.is_none() {
                         m.fetch_into(s);
@@ -151,16 +184,16 @@ proptest! {
                 }
             }
             // The cache matches a fresh recomputation.
-            prop_assert_eq!(m.state_cache[s], m.compute_state(s));
+            assert_eq!(m.state_cache[s], m.compute_state(s));
         }
         // Ray conservation: handed out = resident + completed.
         let resident = m.slots.iter().filter(|s| s.ray.is_some()).count() as u64;
         let handed_out = total - m.queue.remaining() as u64;
-        prop_assert_eq!(handed_out, resident + m.rays_completed);
+        assert_eq!(handed_out, resident + m.rays_completed);
         // States are within the legal set.
         for s in 0..slots {
             let st = m.slot_state(s);
-            prop_assert!(matches!(
+            assert!(matches!(
                 st,
                 RayState::Fetching | RayState::Inner | RayState::Leaf | RayState::Done
             ));
@@ -174,62 +207,71 @@ mod kernel_robustness {
     use drs::core::system::RowedWhileIf;
     use drs::core::{DrsConfig, DrsUnit};
     use drs::kernels::{WhileIfKernel, WhileWhileConfig, WhileWhileKernel};
+    use drs::math::XorShift64;
     use drs::sim::{GpuConfig, NullSpecial, Simulation};
     use drs::trace::{RayScript, Step, Termination};
-    use proptest::prelude::*;
 
-    fn arb_step() -> impl Strategy<Value = Step> {
-        prop_oneof![
-            (0u64..2048, proptest::bool::ANY).prop_map(|(n, b)| Step::Inner {
-                node_addr: 0x1000_0000 + n * 64,
-                both_children_hit: b,
-            }),
-            (0u64..2048, 0u64..2048, 1u16..6).prop_map(|(n, p, c)| Step::Leaf {
-                node_addr: 0x1100_0000 + n * 64,
-                prim_base_addr: 0x4000_0000 + p * 48,
-                prim_count: c,
-            }),
-        ]
+    fn gen_step(rng: &mut XorShift64) -> Step {
+        if rng.next_below(2) == 0 {
+            Step::Inner {
+                node_addr: 0x1000_0000 + rng.next_below(2048) as u64 * 64,
+                both_children_hit: rng.next_below(2) == 0,
+            }
+        } else {
+            Step::Leaf {
+                node_addr: 0x1100_0000 + rng.next_below(2048) as u64 * 64,
+                prim_base_addr: 0x4000_0000 + rng.next_below(2048) as u64 * 48,
+                prim_count: 1 + rng.next_below(5) as u16,
+            }
+        }
     }
 
-    fn arb_scripts() -> impl Strategy<Value = Vec<RayScript>> {
-        proptest::collection::vec(
-            proptest::collection::vec(arb_step(), 0..24)
-                .prop_map(|steps| RayScript::new(steps, Termination::Hit)),
-            1..220,
-        )
+    fn gen_scripts(rng: &mut XorShift64) -> Vec<RayScript> {
+        let n = 1 + rng.next_below(219);
+        (0..n)
+            .map(|_| {
+                let steps = (0..rng.next_below(24)).map(|_| gen_step(rng)).collect();
+                RayScript::new(steps, Termination::Hit)
+            })
+            .collect()
     }
 
     fn gpu() -> GpuConfig {
         GpuConfig { max_warps: 3, max_cycles: 80_000_000, ..GpuConfig::gtx780() }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(12))]
-
-        #[test]
-        fn both_kernels_trace_every_ray(scripts in arb_scripts()) {
-            let live = scripts.iter().filter(|s| !s.steps().is_empty()).count();
-            let _ = live;
+    #[test]
+    fn both_kernels_trace_every_ray() {
+        let mut rng = XorShift64::new(0xB44D_1008);
+        for case in 0..12 {
+            let scripts = gen_scripts(&mut rng);
             let expected = scripts.len() as u64;
 
             let k = WhileWhileKernel::new(WhileWhileConfig::default());
             let aila = Simulation::new(
-                gpu(), k.program(), Box::new(k.clone()), Box::new(NullSpecial), &scripts,
-            ).run();
-            prop_assert!(aila.completed, "while-while hit the cycle cap");
-            prop_assert_eq!(aila.stats.rays_completed, expected);
+                gpu(),
+                k.program(),
+                Box::new(k.clone()),
+                Box::new(NullSpecial),
+                &scripts,
+            )
+            .run();
+            assert!(aila.completed, "case {case}: while-while hit the cycle cap");
+            assert_eq!(aila.stats.rays_completed, expected);
 
-            let cfg = DrsConfig { warps: 3, backup_rows: 1, swap_buffers: 6, ideal: false, lanes: 32 };
+            let cfg =
+                DrsConfig { warps: 3, backup_rows: 1, swap_buffers: 6, ideal: false, lanes: 32 };
             let wi = WhileIfKernel::new();
             let drs = Simulation::new(
-                gpu(), wi.program(),
+                gpu(),
+                wi.program(),
                 Box::new(RowedWhileIf::new(cfg.rows())),
                 Box::new(DrsUnit::new(cfg)),
                 &scripts,
-            ).run();
-            prop_assert!(drs.completed, "DRS hit the cycle cap");
-            prop_assert_eq!(drs.stats.rays_completed, expected);
+            )
+            .run();
+            assert!(drs.completed, "case {case}: DRS hit the cycle cap");
+            assert_eq!(drs.stats.rays_completed, expected);
         }
     }
 }
