@@ -1,48 +1,183 @@
-//! Regenerates every table and figure of the paper's evaluation section.
+//! Regenerates every table and figure of the paper's evaluation section
+//! through the `drs-harness` job pool.
 //!
-//! Usage: `experiments <mode>` where mode is one of
-//! `table1 | fig2 | fig8 | fig9 | table2 | fig10 | fig11 | overhead | all`.
+//! Usage: `experiments [MODE] [--jobs N] [--out PATH] [--no-cache] [--list]`
+//! where MODE is one of `table1 | fig2 | fig8 | fig9 | table2 | fig10 |
+//! fig11 | overhead | ablation | energy | all` (default `all`).
+//!
+//! Each figure is a declarative job set (`drs_harness::figures`); the
+//! union of the requested figures' cells is deduplicated by content-
+//! derived job id (fig10 and fig11 share their whole grid), executed in
+//! parallel with bit-deterministic results, and written both as the
+//! familiar stdout tables and as machine-readable JSON
+//! (`BENCH_experiments.json`) for the per-PR perf trajectory.
 //!
 //! Scaling knobs: `DRS_RAYS`, `DRS_TRIS_SCALE`, `DRS_WARPS_SCALE` (see the
 //! `drs-bench` crate docs). Absolute Mrays/s values depend on the scaled
 //! workloads; the comparisons (who wins, by what factor) are the result.
 
-use drs_bench::{capture_workloads, run_all_bounces, run_method, Method};
+use drs_bench::cli;
+use drs_bench::{figures, Aggregate};
 use drs_core::overhead::{dmk_spawn_memory_bytes, paper, tbc_warp_buffer_bytes, DrsOverhead};
 use drs_core::DrsConfig;
+use drs_harness::{
+    run_jobs, CaptureMode, CellResult, JobId, Method, ResultsFile, RunOptions, Scale, SimJob,
+    StreamCache, WorkloadSpec,
+};
 use drs_scene::SceneKind;
 use drs_sim::{ActiveHistogram, GpuConfig};
+use std::collections::HashMap;
+
+/// Cells of the current run, addressable by content-derived job id.
+struct Cells {
+    by_id: HashMap<JobId, CellResult>,
+    scale: Scale,
+}
+
+impl Cells {
+    /// The cell for (scene, bounce, method), if it was part of the run.
+    fn get(&self, scene: SceneKind, bounce: usize, method: Method) -> Option<&CellResult> {
+        let workload = WorkloadSpec::standard(scene, &self.scale, figures::CANONICAL_DEPTH);
+        let job =
+            SimJob { workload, bounce, method, warps: self.scale.warps(method.paper_warps()) };
+        self.by_id.get(&job.id())
+    }
+
+    /// Like [`Cells::get`] but demands presence (enumeration bug otherwise).
+    fn require(&self, scene: SceneKind, bounce: usize, method: Method) -> &CellResult {
+        self.get(scene, bounce, method).unwrap_or_else(|| {
+            panic!("cell missing from run: {scene} B{bounce} {}", method.label())
+        })
+    }
+}
 
 fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    match mode.as_str() {
-        "table1" => table1(),
-        "fig2" => fig2(),
-        "fig8" => fig8(),
-        "fig9" => fig9(),
-        "table2" => table2(),
-        "fig10" => fig10(),
-        "fig11" => fig11(),
-        "overhead" => overhead(),
-        "ablation" => ablation(),
-        "energy" => energy(),
-        "all" => {
-            table1();
-            fig2();
-            fig8();
-            fig9();
-            table2();
-            fig10();
-            fig11();
-            overhead();
-            ablation();
-            energy();
-        }
-        other => {
-            eprintln!(
-                "unknown mode {other}; expected table1|fig2|fig8|fig9|table2|fig10|fig11|overhead|ablation|energy|all"
-            );
+    let cli = match cli::parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", cli::USAGE);
             std::process::exit(2);
+        }
+    };
+    if cli.help {
+        println!("{}", cli::USAGE);
+        return;
+    }
+    let scale = Scale::from_env();
+    if cli.list {
+        list_modes(&scale);
+        return;
+    }
+
+    let modes = modes_for(&cli.mode);
+
+    // Union of all requested figures' jobs, deduped by content id. One
+    // simulated cell can serve several figures (fig10/fig11 share every
+    // cell; energy is a subset of both).
+    let mut jobs: Vec<SimJob> = Vec::new();
+    let mut index: HashMap<JobId, usize> = HashMap::new();
+    let mut figures_of: Vec<Vec<String>> = Vec::new();
+    for mode in &modes {
+        let Some(set) = figures::by_name(mode, &scale) else { continue };
+        for job in set.jobs {
+            let id = job.id();
+            let slot = *index.entry(id).or_insert_with(|| {
+                jobs.push(job);
+                figures_of.push(Vec::new());
+                jobs.len() - 1
+            });
+            if !figures_of[slot].iter().any(|f| f == mode) {
+                figures_of[slot].push(mode.to_string());
+            }
+        }
+    }
+
+    let capture = if cli.use_cache {
+        CaptureMode::Cached(StreamCache::new(StreamCache::default_dir()))
+    } else {
+        CaptureMode::Uncached
+    };
+    let opts = RunOptions { workers: cli.workers, capture };
+    let report = run_jobs(&jobs, &opts);
+
+    let incomplete: Vec<String> = report
+        .cells
+        .iter()
+        .filter(|c| !c.completed)
+        .map(|c| format!("{} B{} {}", c.job.workload.scene, c.job.bounce, c.job.method.label()))
+        .collect();
+    let cells =
+        Cells { by_id: report.cells.iter().map(|c| (c.job.id(), c.clone())).collect(), scale };
+
+    for mode in &modes {
+        match *mode {
+            "table1" => table1(),
+            "fig2" => fig2(&cells),
+            "fig8" => fig8(&cells),
+            "fig9" => fig9(&cells),
+            "table2" => table2(&cells),
+            "fig10" => fig10(&cells),
+            "fig11" => fig11(&cells),
+            "overhead" => overhead(),
+            "ablation" => ablation(&cells),
+            "energy" => energy(&cells),
+            other => unreachable!("unhandled mode {other}"),
+        }
+    }
+
+    let cache = report.cache;
+    let results = ResultsFile::from_report(&cli.mode, cli.workers, report, figures_of);
+    match results.write_to(&cli.out) {
+        Ok(()) => {
+            println!(
+                "\n[{} cells -> {}; capture cache: {} hit / {} miss / {} evicted; {:.1}s]",
+                results.cells.len(),
+                cli.out.display(),
+                cache.hits,
+                cache.misses,
+                cache.evictions,
+                results.wall_ms / 1e3
+            );
+        }
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", cli.out.display());
+            std::process::exit(1);
+        }
+    }
+    if !incomplete.is_empty() {
+        eprintln!("error: {} cell(s) hit the simulation cycle cap:", incomplete.len());
+        for cell in incomplete {
+            eprintln!("  {cell}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// The presentation order for a mode (`all` = every section).
+fn modes_for(mode: &str) -> Vec<&'static str> {
+    let all = [
+        "table1", "fig2", "fig8", "fig9", "table2", "fig10", "fig11", "overhead", "ablation",
+        "energy",
+    ];
+    match mode {
+        "all" => all.to_vec(),
+        m => all.iter().copied().filter(|x| *x == m).collect(),
+    }
+}
+
+fn list_modes(scale: &Scale) {
+    println!("{:10} {:>6}  workloads", "mode", "jobs");
+    for mode in cli::MODES {
+        if mode == "all" {
+            continue;
+        }
+        match figures::by_name(mode, scale) {
+            Some(set) => {
+                let workloads = set.distinct_workloads();
+                let scenes: Vec<String> = workloads.iter().map(|w| w.scene.to_string()).collect();
+                println!("{:10} {:>6}  {}", mode, set.jobs.len(), scenes.join(", "));
+            }
+            None => println!("{:10} {:>6}  (print-only, no simulation)", mode, 0),
         }
     }
 }
@@ -81,54 +216,38 @@ fn histogram_row(h: &ActiveHistogram) -> String {
 
 /// Figure 2: SIMD efficiency breakdown of Aila's kernel per bounce on the
 /// conference room.
-fn fig2() {
+fn fig2(cells: &Cells) {
     banner("Figure 2: Aila kernel SIMD efficiency per bounce (conference room)");
-    let wl = capture_workloads(&[SceneKind::Conference], 8);
-    for b in 1..=wl[0].streams.depth() {
-        let stream = wl[0].streams.bounce(b);
-        if stream.scripts.is_empty() {
+    for b in 1..=figures::CANONICAL_DEPTH {
+        let cell = cells.require(SceneKind::Conference, b, Method::Aila);
+        if cell.empty {
             println!("B{b}: (no surviving rays)");
             continue;
         }
-        let out = run_method(Method::Aila, &stream.scripts);
-        println!("B{b}: {}", histogram_row(&out.stats.issued));
+        println!("B{b}: {}", histogram_row(&cell.stats.issued));
     }
 }
 
 /// Figure 8: Mrays/s for bounces 1-4 under different backup-row configs.
-fn fig8() {
+fn fig8(cells: &Cells) {
     banner("Figure 8: ray tracing performance (Mrays/s) vs backup ray rows");
     let gpu = GpuConfig::gtx780();
-    let methods: Vec<(String, Method)> = vec![
-        ("Aila".into(), Method::Aila),
-        (
-            "DRS M=1 (no xbank, 58w)".into(),
-            Method::Drs { backup_rows: 1, swap_buffers: 9, extra_bank: false },
-        ),
-        ("DRS M=1".into(), Method::Drs { backup_rows: 1, swap_buffers: 9, extra_bank: true }),
-        ("DRS M=2".into(), Method::Drs { backup_rows: 2, swap_buffers: 9, extra_bank: true }),
-        ("DRS M=4".into(), Method::Drs { backup_rows: 4, swap_buffers: 9, extra_bank: true }),
-        ("DRS M=8".into(), Method::Drs { backup_rows: 8, swap_buffers: 9, extra_bank: true }),
-        ("DRS ideal".into(), Method::IdealDrs),
-    ];
-    let workloads = capture_workloads(&SceneKind::ALL, 4);
-    for wl in &workloads {
-        println!("\n{}:", wl.kind);
+    for kind in SceneKind::ALL {
+        println!("\n{kind}:");
         print!("{:26}", "");
         for b in 1..=4 {
             print!("      B{b}");
         }
         println!();
-        for (label, method) in &methods {
+        for (label, method) in figures::fig8_methods() {
             print!("{label:26}");
-            for b in 1..=wl.streams.depth() {
-                let stream = wl.streams.bounce(b);
-                if stream.scripts.is_empty() {
+            for b in 1..=4 {
+                let cell = cells.require(kind, b, method);
+                if cell.empty {
                     print!("      --");
-                    continue;
+                } else {
+                    print!("  {:6.1}", cell.mrays_per_sec(&gpu));
                 }
-                let out = run_method(*method, &stream.scripts);
-                print!("  {:6.1}", out.stats.mrays_per_sec(gpu.clock_mhz, gpu.smx_count));
             }
             println!();
         }
@@ -136,16 +255,19 @@ fn fig8() {
 }
 
 /// Figure 9: rdctrl warp-issue stall rate vs backup rows.
-fn fig9() {
+fn fig9(cells: &Cells) {
     banner("Figure 9: rdctrl warp issue stall rate vs backup ray rows");
-    let workloads = capture_workloads(&[SceneKind::Conference, SceneKind::FairyForest], 4);
-    for wl in &workloads {
-        println!("\n{}:", wl.kind);
+    for kind in [SceneKind::Conference, SceneKind::FairyForest] {
+        println!("\n{kind}:");
         for m in [1usize, 2, 4, 8] {
             let method = Method::Drs { backup_rows: m, swap_buffers: 9, extra_bank: true };
-            let (outs, _) = run_all_bounces(method, &wl.streams);
-            let stalls: u64 = outs.iter().map(|o| o.stats.rdctrl_stalls).sum();
-            let issued: u64 = outs.iter().map(|o| o.stats.rdctrl_issued).sum();
+            let mut stalls = 0u64;
+            let mut issued = 0u64;
+            for b in 1..=4 {
+                let cell = cells.require(kind, b, method);
+                stalls += cell.stats.rdctrl_stalls;
+                issued += cell.stats.rdctrl_issued;
+            }
             let rate = stalls as f64 / (stalls + issued).max(1) as f64;
             println!(
                 "  M={m}: stall rate {:6.2}%  ({} stalls / {} issues)",
@@ -158,27 +280,29 @@ fn fig9() {
 }
 
 /// Table 2: Mrays/s vs swap-buffer count, plus average swap latency.
-fn table2() {
+fn table2(cells: &Cells) {
     banner("Table 2: ray tracing performance vs swap buffers (1 backup row)");
     let gpu = GpuConfig::gtx780();
-    let buffer_counts = [6usize, 9, 12, 18];
-    let workloads = capture_workloads(&SceneKind::ALL, 4);
     println!("{:16} {:>4} {:>9} {:>9} {:>9} {:>9}", "scene", "", "#6", "#9", "#12", "#18");
-    let mut swap_cycles = vec![(0u64, 0u64); buffer_counts.len()];
-    for wl in &workloads {
-        for b in 1..=wl.streams.depth() {
-            let stream = wl.streams.bounce(b);
-            if stream.scripts.is_empty() {
+    let mut swap_cycles = vec![(0u64, 0u64); figures::TABLE2_BUFFERS.len()];
+    for kind in SceneKind::ALL {
+        for b in 1..=4 {
+            let row: Vec<&CellResult> = figures::TABLE2_BUFFERS
+                .iter()
+                .map(|&buffers| {
+                    let method =
+                        Method::Drs { backup_rows: 1, swap_buffers: buffers, extra_bank: false };
+                    cells.require(kind, b, method)
+                })
+                .collect();
+            if row.iter().all(|c| c.empty) {
                 continue;
             }
-            print!("{:16} B{b:<3}", wl.kind.to_string());
-            for (i, &buffers) in buffer_counts.iter().enumerate() {
-                let method =
-                    Method::Drs { backup_rows: 1, swap_buffers: buffers, extra_bank: false };
-                let out = run_method(method, &stream.scripts);
-                swap_cycles[i].0 += out.stats.swap_cycle_sum;
-                swap_cycles[i].1 += out.stats.swaps_completed;
-                print!(" {:9.2}", out.stats.mrays_per_sec(gpu.clock_mhz, gpu.smx_count));
+            print!("{:16} B{b:<3}", kind.to_string());
+            for (i, cell) in row.iter().enumerate() {
+                swap_cycles[i].0 += cell.stats.swap_cycle_sum;
+                swap_cycles[i].1 += cell.stats.swaps_completed;
+                print!(" {:9.2}", cell.mrays_per_sec(&gpu));
             }
             println!();
         }
@@ -191,36 +315,33 @@ fn table2() {
 }
 
 /// Figure 10: SIMD efficiency and utilization breakdown for all methods.
-fn fig10() {
+fn fig10(cells: &Cells) {
     banner("Figure 10: SIMD efficiency and utilization breakdown");
-    let methods = [Method::Aila, Method::Dmk, Method::Tbc, Method::drs_default()];
-    let workloads = capture_workloads(&SceneKind::ALL, 8);
-    for wl in &workloads {
-        println!("\n{}:", wl.kind);
-        for method in methods {
+    for kind in SceneKind::ALL {
+        println!("\n{kind}:");
+        for method in figures::comparison_methods() {
             println!("  {}:", method.label());
             let mut agg_all = ActiveHistogram::default();
             let mut agg_si = ActiveHistogram::default();
-            for b in 1..=wl.streams.depth() {
-                let stream = wl.streams.bounce(b);
-                if stream.scripts.is_empty() {
+            for b in 1..=figures::CANONICAL_DEPTH {
+                let cell = cells.require(kind, b, method);
+                if cell.empty {
                     continue;
                 }
-                let out = run_method(method, &stream.scripts);
-                agg_all.merge(&out.stats.issued);
-                agg_si.merge(&out.stats.issued_si);
+                agg_all.merge(&cell.stats.issued);
+                agg_si.merge(&cell.stats.issued_si);
                 if b <= 3 {
-                    let si = if out.stats.issued_si.total > 0 {
+                    let si = if cell.stats.issued_si.total > 0 {
                         format!(
                             "  SI {:4.1}%",
-                            out.stats.issued_si.total as f64
-                                / (out.stats.issued.total + out.stats.issued_si.total) as f64
+                            cell.stats.issued_si.total as f64
+                                / (cell.stats.issued.total + cell.stats.issued_si.total) as f64
                                 * 100.0
                         )
                     } else {
                         String::new()
                     };
-                    println!("    B{b}: {}{si}", histogram_row(&out.stats.issued));
+                    println!("    B{b}: {}{si}", histogram_row(&cell.stats.issued));
                 }
             }
             let mut combined = agg_all;
@@ -236,23 +357,28 @@ fn fig10() {
 }
 
 /// Figure 11: simulated performance and speedups normalized to Aila.
-fn fig11() {
+fn fig11(cells: &Cells) {
     banner("Figure 11: performance (Mrays/s) and speedup vs Aila");
     let gpu = GpuConfig::gtx780();
-    let methods = [Method::Aila, Method::Dmk, Method::Tbc, Method::drs_default()];
-    let workloads = capture_workloads(&SceneKind::ALL, 8);
+    let methods = figures::comparison_methods();
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
-    for wl in &workloads {
-        println!("\n{}:", wl.kind);
+    for kind in SceneKind::ALL {
+        println!("\n{kind}:");
         let mut overall = Vec::new();
-        for method in methods.iter() {
-            let (outs, agg) = run_all_bounces(*method, &wl.streams);
+        for method in methods {
+            let mut agg = Aggregate::default();
+            let mut per_bounce = Vec::new();
+            for b in 1..=figures::CANONICAL_DEPTH {
+                let cell = cells.require(kind, b, method);
+                if cell.empty {
+                    continue;
+                }
+                agg.add(&cell.stats);
+                if per_bounce.len() < 3 {
+                    per_bounce.push(format!("{:6.1}", cell.mrays_per_sec(&gpu)));
+                }
+            }
             let mrays = agg.mrays(&gpu);
-            let per_bounce: Vec<String> = outs
-                .iter()
-                .take(3)
-                .map(|o| format!("{:6.1}", o.stats.mrays_per_sec(gpu.clock_mhz, gpu.smx_count)))
-                .collect();
             println!(
                 "  {:12} B1-B3 [{}]  overall {:7.1} Mrays/s",
                 method.label(),
@@ -324,52 +450,30 @@ fn overhead() {
 }
 
 /// Ablations of the design choices DESIGN.md calls out: Aila's software
-/// optimizations (speculative traversal / terminated-ray replacement) and
-/// the BVH build quality feeding every experiment.
-fn ablation() {
+/// optimizations (run through the harness grid) and the BVH build quality
+/// feeding every experiment (functional, not simulation cells).
+fn ablation(cells: &Cells) {
     use drs_bvh::{BuildMethod, BuildParams, Bvh};
-    use drs_kernels::{WhileWhileConfig, WhileWhileKernel};
-    use drs_sim::{NullSpecial, Simulation};
     use drs_trace::BounceStreams;
 
     banner("Ablations");
     let gpu = GpuConfig::gtx780();
-    let wl = capture_workloads(&[SceneKind::Conference], 2);
-    let scripts = &wl[0].streams.bounce(2).scripts;
+    let scale = cells.scale;
 
     println!("Aila software-optimization ablation (conference, bounce 2):");
-    for (label, spec, replace) in [
-        ("while-while (plain)        ", false, false),
-        ("+ terminated-ray replace   ", false, true),
-        ("+ speculative traversal    ", true, false),
-        ("+ both (paper baseline)    ", true, true),
-    ] {
-        let k = WhileWhileKernel::new(WhileWhileConfig {
-            speculative_traversal: spec,
-            replace_terminated: replace,
-        });
-        let out = Simulation::new(
-            GpuConfig { max_warps: 48, ..gpu.clone() },
-            k.program(),
-            Box::new(k.clone()),
-            Box::new(NullSpecial),
-            scripts,
-        )
-        .run();
-        assert!(out.completed);
+    for (label, method) in figures::ablation_variants() {
+        let cell = cells.require(SceneKind::Conference, 2, method);
         println!(
             "  {label} eff {:5.1}%  {:7.1} Mrays/s",
-            out.stats.issued.simd_efficiency() * 100.0,
-            out.stats.mrays_per_sec(gpu.clock_mhz, gpu.smx_count)
+            cell.stats.issued.simd_efficiency() * 100.0,
+            cell.mrays_per_sec(&gpu)
         );
     }
 
     println!("\nAcceleration-structure ablation (conference, functional traversal):");
     {
         use drs_bvh::{KdBuildParams, KdTree};
-        let tris = (SceneKind::Conference.paper_triangle_count() as f64 * drs_bench::tris_scale())
-            as usize;
-        let scene = SceneKind::Conference.build_with_tris(tris.max(2_000));
+        let scene = SceneKind::Conference.build_with_tris(scale.tris(SceneKind::Conference));
         let bvh = Bvh::build(scene.mesh(), &BuildParams::default());
         let kd = KdTree::build(scene.mesh(), &KdBuildParams::default());
         let mut bvh_nodes = 0usize;
@@ -395,18 +499,19 @@ fn ablation() {
     }
 
     println!("\nBVH build-quality ablation (conference, primary rays):");
-    let tris =
-        (SceneKind::Conference.paper_triangle_count() as f64 * drs_bench::tris_scale()) as usize;
-    let scene = SceneKind::Conference.build_with_tris(tris.max(2_000));
+    let scene = SceneKind::Conference.build_with_tris(scale.tris(SceneKind::Conference));
     for (label, method) in [
         ("binned SAH (16 bins)", BuildMethod::BinnedSah { bins: 16 }),
         ("median split        ", BuildMethod::Median),
     ] {
         let bvh = Bvh::build(scene.mesh(), &BuildParams { method, max_leaf_size: 4 });
-        let streams =
-            BounceStreams::capture_with_bvh(&scene, &bvh, drs_bench::rays_per_bounce(), 1, 7);
+        let streams = BounceStreams::capture_with_bvh(&scene, &bvh, scale.rays, 1, 7);
         let stats = streams.bounce(1).stats();
-        let out = run_method(Method::Aila, &streams.bounce(1).scripts);
+        let out = drs_harness::run_method_with_warps(
+            Method::Aila,
+            scale.warps(Method::Aila.paper_warps()),
+            &streams.bounce(1).scripts,
+        );
         println!(
             "  {label}  nodes/ray {:5.1}  prims/ray {:4.1}  Aila {:7.1} Mrays/s",
             stats.avg_inner(),
@@ -420,27 +525,26 @@ fn ablation() {
 /// ray shuffling adds RF traffic, but the drop in redundant issues makes
 /// DRS a net win. Also reports the swap share of RF accesses against the
 /// paper's measured 7.36 % (primary) / 18.79 % (secondary).
-fn energy() {
+fn energy(cells: &Cells) {
     use drs_sim::EnergyModel;
 
     banner("Energy: per-ray dynamic energy and RF traffic");
     let model = EnergyModel::default();
-    let wl = capture_workloads(&[SceneKind::Conference], 2);
     for b in 1..=2 {
-        let stream = wl[0].streams.bounce(b);
-        if stream.scripts.is_empty() {
+        let probe = cells.require(SceneKind::Conference, b, Method::Aila);
+        if probe.empty {
             continue;
         }
-        println!("\nconference bounce {b} ({} rays):", stream.scripts.len());
-        for method in [Method::Aila, Method::Dmk, Method::Tbc, Method::drs_default()] {
-            let out = run_method(method, &stream.scripts);
-            let e = model.estimate(&out.stats);
-            let swap_share = out.stats.swap_regfile_fraction() * 100.0;
+        println!("\nconference bounce {b} ({} rays):", probe.stats.rays_completed);
+        for method in figures::comparison_methods() {
+            let cell = cells.require(SceneKind::Conference, b, method);
+            let e = model.estimate(&cell.stats);
+            let swap_share = cell.stats.swap_regfile_fraction() * 100.0;
             println!(
                 "  {:12} {:8.1} nJ/ray   RF accesses {:>10}   swap share {:4.1}%",
                 method.label(),
-                e.nj_per_ray(out.stats.rays_completed),
-                out.stats.regfile_reads + out.stats.regfile_writes + out.stats.swap_accesses,
+                e.nj_per_ray(cell.stats.rays_completed),
+                cell.stats.regfile_reads + cell.stats.regfile_writes + cell.stats.swap_accesses,
                 swap_share
             );
         }

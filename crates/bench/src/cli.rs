@@ -1,0 +1,183 @@
+//! Command-line parsing for the `experiments` binary.
+//!
+//! Kept in the library (rather than the binary) so flag handling is unit
+//! tested without spawning processes.
+
+use std::path::PathBuf;
+
+/// Every mode the binary accepts, in `all`-run order.
+pub const MODES: [&str; 11] = [
+    "table1", "fig2", "fig8", "fig9", "table2", "fig10", "fig11", "overhead", "ablation", "energy",
+    "all",
+];
+
+/// Usage text printed on `--help` and on flag errors.
+pub const USAGE: &str = "\
+Usage: experiments [MODE] [OPTIONS]
+
+Regenerates the paper's tables and figures through the drs-harness job
+pool and records every simulated cell to a machine-readable JSON file.
+
+Modes:
+  table1 | fig2 | fig8 | fig9 | table2 | fig10 | fig11 |
+  overhead | ablation | energy | all        (default: all)
+
+Options:
+  --jobs N      worker threads (default: available parallelism)
+  --out PATH    results JSON destination (default: BENCH_experiments.json)
+  --no-cache    always recapture ray streams; skip target/drs-cache
+  --list        list modes with their job counts and exit
+  -h, --help    show this help
+
+Scaling environment variables: DRS_RAYS, DRS_TRIS_SCALE, DRS_WARPS_SCALE;
+cache location: DRS_CACHE_DIR (default target/drs-cache).";
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cli {
+    /// Selected mode (validated against [`MODES`]).
+    pub mode: String,
+    /// Worker threads for the harness pool.
+    pub workers: usize,
+    /// Results JSON destination.
+    pub out: PathBuf,
+    /// Use the on-disk capture cache.
+    pub use_cache: bool,
+    /// List modes instead of running.
+    pub list: bool,
+    /// Show usage instead of running.
+    pub help: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Cli {
+        Cli {
+            mode: "all".into(),
+            workers: default_workers(),
+            out: PathBuf::from("BENCH_experiments.json"),
+            use_cache: true,
+            list: false,
+            help: false,
+        }
+    }
+}
+
+/// Available hardware parallelism (floor 1).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Parse the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown modes, unknown flags,
+/// malformed or missing flag values; the caller prints it with [`USAGE`]
+/// and exits nonzero.
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut saw_mode = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        // Accept both `--flag value` and `--flag=value`.
+        let (flag, inline): (&str, Option<String>) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (&arg[..f.len()], Some(v.to_string())),
+            _ => (arg.as_str(), None),
+        };
+        let mut value = |name: &str| -> Result<String, String> {
+            if let Some(v) = &inline {
+                return Ok(v.clone());
+            }
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag {
+            "--jobs" => {
+                let v = value("--jobs")?;
+                cli.workers = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--jobs expects a positive integer, got '{v}'"))?;
+            }
+            "--out" => cli.out = PathBuf::from(value("--out")?),
+            "--no-cache" => cli.use_cache = false,
+            "--list" => cli.list = true,
+            "-h" | "--help" => cli.help = true,
+            f if f.starts_with('-') => return Err(format!("unknown flag '{f}'")),
+            mode => {
+                if saw_mode {
+                    return Err(format!("unexpected extra argument '{mode}'"));
+                }
+                if !MODES.contains(&mode) {
+                    return Err(format!(
+                        "unknown mode '{}'; expected one of {}",
+                        mode,
+                        MODES.join("|")
+                    ));
+                }
+                cli.mode = mode.to_string();
+                saw_mode = true;
+            }
+        }
+    }
+    Ok(cli)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Cli, String> {
+        parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let cli = p(&[]).unwrap();
+        assert_eq!(cli.mode, "all");
+        assert!(cli.use_cache);
+        assert!(!cli.list);
+        assert!(cli.workers >= 1);
+        assert_eq!(cli.out, PathBuf::from("BENCH_experiments.json"));
+    }
+
+    #[test]
+    fn full_flag_set_both_syntaxes() {
+        let a = p(&["fig10", "--jobs", "4", "--out", "r.json", "--no-cache"]).unwrap();
+        let b = p(&["fig10", "--jobs=4", "--out=r.json", "--no-cache"]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.mode, "fig10");
+        assert_eq!(a.workers, 4);
+        assert_eq!(a.out, PathBuf::from("r.json"));
+        assert!(!a.use_cache);
+    }
+
+    #[test]
+    fn list_and_help() {
+        assert!(p(&["--list"]).unwrap().list);
+        assert!(p(&["--help"]).unwrap().help);
+        assert!(p(&["-h"]).unwrap().help);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected_with_messages() {
+        for (args, needle) in [
+            (&["frob"][..], "unknown mode"),
+            (&["--frob"][..], "unknown flag"),
+            (&["--jobs"][..], "requires a value"),
+            (&["--jobs", "0"][..], "positive integer"),
+            (&["--jobs", "x"][..], "positive integer"),
+            (&["fig2", "fig8"][..], "extra argument"),
+        ] {
+            let err = p(args).unwrap_err();
+            assert!(err.contains(needle), "args {args:?}: '{err}' missing '{needle}'");
+        }
+    }
+
+    #[test]
+    fn every_mode_parses() {
+        for mode in MODES {
+            assert_eq!(p(&[mode]).unwrap().mode, mode);
+        }
+    }
+}

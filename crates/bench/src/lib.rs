@@ -1,8 +1,14 @@
-//! Experiment harness: workload generation and method runners shared by the
-//! `experiments` binary (one mode per paper table/figure) and the
-//! dependency-free [`microbench`] benches under `benches/`.
+//! Experiment front-end: paper-figure presentation and micro-benches.
 //!
-//! Scaling knobs (environment variables):
+//! The orchestration machinery — job model, worker pool, capture cache,
+//! machine-readable results — lives in the `drs-harness` crate and is
+//! re-exported here. This crate keeps what is specific to *presenting*
+//! the paper's evaluation: the `experiments` binary (one mode per paper
+//! table/figure, see [`cli`]) and the dependency-free [`microbench`]
+//! benches under `benches/`.
+//!
+//! Scaling knobs (environment variables, resolved once per process via
+//! [`Scale::from_env`]):
 //!
 //! - `DRS_RAYS` — rays captured per bounce (default 24000; the paper uses
 //!   2 000 000 per bounce on a hardware-speed simulator),
@@ -13,158 +19,38 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod microbench;
 
-use drs_baselines::{DmkConfig, DmkKernel, DmkUnit, TbcConfig, TbcUnit};
-use drs_core::system::RowedWhileIf;
-use drs_core::{DrsConfig, DrsUnit};
-use drs_kernels::{WhileIfKernel, WhileWhileConfig, WhileWhileKernel};
+pub use drs_harness::{
+    figures, parallel_map, run_jobs, run_method_with_warps, CacheCounters, CaptureMode, CellResult,
+    JobId, JobSet, Method, ResultsFile, RunOptions, RunReport, Scale, SimJob, StreamCache,
+    WorkloadSpec,
+};
+
 use drs_scene::SceneKind;
-use drs_sim::{GpuConfig, NullSpecial, SimOutcome, SimStats, Simulation};
+use drs_sim::{GpuConfig, SimOutcome, SimStats};
 use drs_trace::{BounceStreams, RayScript};
 
-/// Read a scaling knob from the environment.
-fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
-/// Rays captured per bounce.
+/// Rays captured per bounce (`DRS_RAYS`).
 pub fn rays_per_bounce() -> usize {
-    env_f64("DRS_RAYS", 24000.0) as usize
+    Scale::from_env().rays
 }
 
-/// Scene scale relative to the paper's assets.
+/// Scene scale relative to the paper's assets (`DRS_TRIS_SCALE`).
 pub fn tris_scale() -> f64 {
-    env_f64("DRS_TRIS_SCALE", 0.1)
+    Scale::from_env().tris_scale
 }
 
-fn scale_warps(warps: usize) -> usize {
-    ((warps as f64 * env_f64("DRS_WARPS_SCALE", 1.0)) as usize).max(2)
-}
-
-/// The ray-tracing methods the paper evaluates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Method {
-    /// Aila-style software while-while kernel (48 warps).
-    Aila,
-    /// Dynamic Micro-Kernels (54 warps — spawn memory sized per the paper).
-    Dmk,
-    /// Thread Block Compaction (48 warps, 6-warp blocks).
-    Tbc,
-    /// Dynamic Ray Shuffling with explicit parameters.
-    Drs {
-        /// Backup ray rows.
-        backup_rows: usize,
-        /// Total swap buffers.
-        swap_buffers: usize,
-        /// Use the extra register bank (60 warps) or shrink to 58 warps.
-        extra_bank: bool,
-    },
-    /// DRS with zero-cost shuffling.
-    IdealDrs,
-}
-
-impl Method {
-    /// The paper's default DRS configuration.
-    pub fn drs_default() -> Method {
-        Method::Drs { backup_rows: 1, swap_buffers: 6, extra_bank: false }
-    }
-
-    /// Display label used in the printed tables.
-    pub fn label(&self) -> String {
-        match self {
-            Method::Aila => "Aila".into(),
-            Method::Dmk => "DMK".into(),
-            Method::Tbc => "TBC".into(),
-            Method::Drs { backup_rows, swap_buffers, extra_bank } => {
-                format!(
-                    "DRS(M={backup_rows},B={swap_buffers}{})",
-                    if *extra_bank { ",xbank" } else { "" }
-                )
-            }
-            Method::IdealDrs => "DRS(ideal)".into(),
-        }
-    }
-}
-
-/// Resident warps for a method (before `DRS_WARPS_SCALE`).
-fn paper_warps(method: Method) -> usize {
-    match method {
-        Method::Aila => 48,
-        Method::Dmk => 54,
-        Method::Tbc => 48,
-        // One backup row without the extra register bank costs two warps'
-        // worth of registers (60 -> 58); the extra bank keeps 60.
-        Method::Drs { extra_bank: false, .. } => 58,
-        Method::Drs { extra_bank: true, .. } | Method::IdealDrs => 60,
-    }
-}
-
-/// Run one method over one ray stream to completion.
+/// Run one method over one ray stream to completion, with the warp count
+/// the paper assigns the method (scaled by `DRS_WARPS_SCALE`).
 ///
 /// # Panics
 ///
 /// Panics if the simulation hits its safety cycle cap (a modelling bug).
 pub fn run_method(method: Method, scripts: &[RayScript]) -> SimOutcome {
-    let warps = scale_warps(paper_warps(method));
-    let gpu = GpuConfig { max_warps: warps, max_cycles: 4_000_000_000, ..GpuConfig::gtx780() };
-    let out = match method {
-        Method::Aila => {
-            let k = WhileWhileKernel::new(WhileWhileConfig::default());
-            Simulation::new(gpu, k.program(), Box::new(k.clone()), Box::new(NullSpecial), scripts)
-                .run()
-        }
-        Method::Dmk => {
-            let cfg = DmkConfig { warps, lanes: 32, pool_slots: warps * 32 };
-            let k = DmkKernel::new(cfg);
-            Simulation::new(
-                gpu,
-                k.program(),
-                Box::new(k.clone()),
-                Box::new(DmkUnit::new(cfg)),
-                scripts,
-            )
-            .run()
-        }
-        Method::Tbc => {
-            let k = WhileIfKernel::new();
-            let cfg = TbcConfig { warps, lanes: 32, warps_per_block: 6.min(warps) };
-            Simulation::new(
-                gpu,
-                k.program(),
-                Box::new(k.clone()),
-                Box::new(TbcUnit::new(cfg)),
-                scripts,
-            )
-            .run()
-        }
-        Method::Drs { backup_rows, swap_buffers, .. } => {
-            let cfg = DrsConfig { warps, backup_rows, swap_buffers, ideal: false, lanes: 32 };
-            let k = WhileIfKernel::new();
-            let behavior = RowedWhileIf::new(cfg.rows());
-            Simulation::new(
-                gpu,
-                k.program(),
-                Box::new(behavior),
-                Box::new(DrsUnit::new(cfg)),
-                scripts,
-            )
-            .run()
-        }
-        Method::IdealDrs => {
-            let cfg = DrsConfig { warps, backup_rows: 1, swap_buffers: 6, ideal: true, lanes: 32 };
-            let k = WhileIfKernel::new();
-            let behavior = RowedWhileIf::new(cfg.rows());
-            Simulation::new(
-                gpu,
-                k.program(),
-                Box::new(behavior),
-                Box::new(DrsUnit::new(cfg)),
-                scripts,
-            )
-            .run()
-        }
-    };
+    let scale = Scale::from_env();
+    let out = run_method_with_warps(method, scale.warps(method.paper_warps()), scripts);
     assert!(out.completed, "{} hit the simulation cycle cap", method.label());
     out
 }
@@ -178,16 +64,15 @@ pub struct Workload {
     pub streams: BounceStreams,
 }
 
-/// Capture workloads for the given scenes at `bounces` depth.
+/// Capture workloads for the given scenes at `bounces` depth (uncached —
+/// harness runs go through [`StreamCache`] instead).
 pub fn capture_workloads(scenes: &[SceneKind], bounces: usize) -> Vec<Workload> {
-    let rays = rays_per_bounce();
+    let scale = Scale::from_env();
     scenes
         .iter()
         .map(|&kind| {
-            let tris = (kind.paper_triangle_count() as f64 * tris_scale()) as usize;
-            let scene = kind.build_with_tris(tris.max(2_000));
-            let streams = BounceStreams::capture(&scene, rays, bounces, 0xD125_0000 + tris as u64);
-            Workload { kind, streams }
+            let spec = WorkloadSpec::standard(kind, &scale, bounces);
+            Workload { kind, streams: spec.capture() }
         })
         .collect()
 }
@@ -281,17 +166,5 @@ mod tests {
         assert_eq!(agg.rays, sum);
         assert!(agg.mrays(&GpuConfig::gtx780()) > 0.0);
         assert!(agg.simd_efficiency() > 0.0);
-    }
-
-    #[test]
-    fn labels_are_distinct() {
-        let labels: Vec<String> =
-            [Method::Aila, Method::Dmk, Method::Tbc, Method::drs_default(), Method::IdealDrs]
-                .iter()
-                .map(|m| m.label())
-                .collect();
-        let mut dedup = labels.clone();
-        dedup.dedup();
-        assert_eq!(labels.len(), dedup.len());
     }
 }

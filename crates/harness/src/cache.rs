@@ -1,0 +1,210 @@
+//! On-disk ray-stream capture cache.
+//!
+//! Capturing a workload (build scene, build BVH, path-trace thousands of
+//! rays with instrumented traversal) dominates experiment start-up and is
+//! identical across every figure that uses the same scene. The cache
+//! persists each captured [`BounceStreams`] once, keyed by the workload's
+//! content hash — (scene kind, triangle budget, ray budget, capture
+//! depth, seed, trace format version) — so a full `experiments all` run
+//! captures each scene exactly once *ever*, not once per figure per run.
+//!
+//! Corrupt, truncated, or stale files are detected by the typed
+//! [`TraceIoError`] decoder, evicted, and transparently recaptured; a
+//! cache can never make a run fail, only make it faster.
+
+use crate::job::WorkloadSpec;
+use drs_trace::{BounceStreams, TraceIoError};
+use std::fs;
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Snapshot of cache activity for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Workloads served from disk.
+    pub hits: u64,
+    /// Workloads captured because no cache entry existed.
+    pub misses: u64,
+    /// Unreadable entries that were deleted and recaptured.
+    pub evictions: u64,
+}
+
+/// A directory of serialized bounce streams, safe for concurrent use from
+/// the worker pool (counters are atomic; writes go through a temp file +
+/// rename so parallel processes never observe torn entries).
+#[derive(Debug)]
+pub struct StreamCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl StreamCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> StreamCache {
+        StreamCache {
+            dir: dir.into(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The default cache location: `$DRS_CACHE_DIR` or `target/drs-cache`
+    /// relative to the working directory.
+    pub fn default_dir() -> PathBuf {
+        std::env::var_os("DRS_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target").join("drs-cache"))
+    }
+
+    /// The directory this cache lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Cache file for a workload.
+    pub fn path_for(&self, spec: &WorkloadSpec) -> PathBuf {
+        self.dir.join(format!("{:016x}.bin", spec.content_key()))
+    }
+
+    /// Counters accumulated since construction.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Load `spec` from the cache, or capture it and populate the cache.
+    ///
+    /// Decode failures evict the entry (it is stale or corrupt — the key
+    /// covers the format version, so this mostly means bit rot or a
+    /// torn write from a crashed run) and fall through to recapture.
+    /// Store failures are reported to stderr but never fail the run.
+    pub fn get_or_capture(&self, spec: &WorkloadSpec) -> BounceStreams {
+        let path = self.path_for(spec);
+        if let Ok(file) = fs::File::open(&path) {
+            match BounceStreams::load(BufReader::new(file)) {
+                Ok(streams) if streams.depth() == spec.bounces => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return streams;
+                }
+                Ok(_) => {
+                    // Key collision or hand-edited file: depth disagrees
+                    // with the spec. Treat exactly like corruption.
+                    self.evict(&path, &TraceIoError::Corrupt("cached depth mismatch"));
+                }
+                Err(e) => self.evict(&path, &e),
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let streams = spec.capture();
+        self.store(spec, &streams);
+        streams
+    }
+
+    fn evict(&self, path: &Path, why: &TraceIoError) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        eprintln!("drs-harness: evicting cache entry {} ({why})", path.display());
+        let _ = fs::remove_file(path);
+    }
+
+    /// Persist a captured workload (temp file + rename for atomicity).
+    pub fn store(&self, spec: &WorkloadSpec, streams: &BounceStreams) {
+        let path = self.path_for(spec);
+        let write = || -> std::io::Result<()> {
+            fs::create_dir_all(&self.dir)?;
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            {
+                let mut w = BufWriter::new(fs::File::create(&tmp)?);
+                streams.save(&mut w)?;
+            }
+            fs::rename(&tmp, &path)?;
+            Ok(())
+        };
+        if let Err(e) = write() {
+            eprintln!("drs-harness: failed to write cache entry {} ({e})", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Scale;
+    use drs_scene::SceneKind;
+    use std::sync::atomic::AtomicU32;
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    fn temp_cache() -> StreamCache {
+        let dir = std::env::temp_dir().join(format!(
+            "drs-cache-test-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        StreamCache::new(dir)
+    }
+
+    fn tiny_spec() -> WorkloadSpec {
+        let scale = Scale { rays: 120, tris_scale: 0.005, warps_scale: 1.0 };
+        WorkloadSpec::standard(SceneKind::Conference, &scale, 2)
+    }
+
+    #[test]
+    fn miss_then_hit_with_identical_content() {
+        let cache = temp_cache();
+        let spec = tiny_spec();
+        let first = cache.get_or_capture(&spec);
+        assert_eq!(cache.counters(), CacheCounters { hits: 0, misses: 1, evictions: 0 });
+        let second = cache.get_or_capture(&spec);
+        assert_eq!(cache.counters(), CacheCounters { hits: 1, misses: 1, evictions: 0 });
+        for b in 1..=spec.bounces {
+            assert_eq!(first.bounce(b).scripts, second.bounce(b).scripts);
+        }
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_entry_is_evicted_and_recaptured() {
+        let cache = temp_cache();
+        let spec = tiny_spec();
+        let clean = cache.get_or_capture(&spec);
+        // Truncate the cached file to garbage.
+        let path = cache.path_for(&spec);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        let recaptured = cache.get_or_capture(&spec);
+        let c = cache.counters();
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.misses, 2);
+        assert_eq!(clean.bounce(1).scripts, recaptured.bounce(1).scripts);
+        // The bad entry was replaced by a good one.
+        let third = cache.get_or_capture(&spec);
+        assert_eq!(cache.counters().hits, 1);
+        assert_eq!(third.bounce(1).scripts, clean.bounce(1).scripts);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn depth_mismatch_is_treated_as_corruption() {
+        let cache = temp_cache();
+        let spec = tiny_spec();
+        let streams = cache.get_or_capture(&spec);
+        // Forge an entry under the wrong key: same bytes, different depth.
+        let deeper = WorkloadSpec { bounces: 3, ..spec };
+        let mut buf = Vec::new();
+        streams.save(&mut buf).unwrap();
+        fs::create_dir_all(cache.dir()).unwrap();
+        fs::write(cache.path_for(&deeper), &buf).unwrap();
+        let recaptured = cache.get_or_capture(&deeper);
+        assert_eq!(recaptured.depth(), 3);
+        assert_eq!(cache.counters().evictions, 1);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+}

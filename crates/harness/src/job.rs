@@ -1,0 +1,350 @@
+//! The experiment job model: workloads, jobs, and content-derived ids.
+//!
+//! Every cell of the paper's evaluation — one (scene, bounce, method,
+//! hardware-config) point of a figure or table — is a [`SimJob`]. Jobs are
+//! plain data: building one costs nothing, so figure definitions can be
+//! fully declarative ([`crate::figures`]) and the executor
+//! ([`crate::pool`]) is free to dedupe, cache, and parallelize.
+
+use drs_scene::SceneKind;
+use drs_trace::BounceStreams;
+
+/// 64-bit FNV-1a over a byte string — the content hash behind [`JobId`]
+/// and the capture-cache file names. Stable across platforms and runs.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The ray-tracing methods the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Aila-style software while-while kernel (48 warps).
+    Aila,
+    /// Aila's kernel with its software optimizations toggled — the
+    /// ablation grid of DESIGN.md (48 warps, like [`Method::Aila`]).
+    AilaVariant {
+        /// Postpone one leaf and keep traversing while warp-mates traverse.
+        speculative_traversal: bool,
+        /// Fetch replacement rays for terminated lanes each outer iteration.
+        replace_terminated: bool,
+    },
+    /// Dynamic Micro-Kernels (54 warps — spawn memory sized per the paper).
+    Dmk,
+    /// Thread Block Compaction (48 warps, 6-warp blocks).
+    Tbc,
+    /// Dynamic Ray Shuffling with explicit parameters.
+    Drs {
+        /// Backup ray rows.
+        backup_rows: usize,
+        /// Total swap buffers.
+        swap_buffers: usize,
+        /// Use the extra register bank (60 warps) or shrink to 58 warps.
+        extra_bank: bool,
+    },
+    /// DRS with zero-cost shuffling.
+    IdealDrs,
+}
+
+impl Method {
+    /// The paper's default DRS configuration.
+    pub fn drs_default() -> Method {
+        Method::Drs { backup_rows: 1, swap_buffers: 6, extra_bank: false }
+    }
+
+    /// Display label used in the printed tables and JSON records.
+    pub fn label(&self) -> String {
+        match self {
+            Method::Aila => "Aila".into(),
+            Method::AilaVariant { speculative_traversal, replace_terminated } => format!(
+                "Aila(spec={},repl={})",
+                *speculative_traversal as u8, *replace_terminated as u8
+            ),
+            Method::Dmk => "DMK".into(),
+            Method::Tbc => "TBC".into(),
+            Method::Drs { backup_rows, swap_buffers, extra_bank } => {
+                format!(
+                    "DRS(M={backup_rows},B={swap_buffers}{})",
+                    if *extra_bank { ",xbank" } else { "" }
+                )
+            }
+            Method::IdealDrs => "DRS(ideal)".into(),
+        }
+    }
+
+    /// Resident warps for this method before [`Scale::warps`] is applied.
+    pub fn paper_warps(&self) -> usize {
+        match self {
+            Method::Aila | Method::AilaVariant { .. } => 48,
+            Method::Dmk => 54,
+            Method::Tbc => 48,
+            // One backup row without the extra register bank costs two
+            // warps' worth of registers (60 -> 58); the extra bank keeps 60.
+            Method::Drs { extra_bank: false, .. } => 58,
+            Method::Drs { extra_bank: true, .. } | Method::IdealDrs => 60,
+        }
+    }
+}
+
+/// The workload scaling knobs, resolved once at process start instead of
+/// being re-read from the environment deep inside capture loops — so job
+/// identity is explicit and tests never race on env mutation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Rays captured per bounce (`DRS_RAYS`, default 24000).
+    pub rays: usize,
+    /// Scene triangle count as a fraction of the original asset
+    /// (`DRS_TRIS_SCALE`, default 0.1).
+    pub tris_scale: f64,
+    /// Scales the resident-warp counts (`DRS_WARPS_SCALE`, default 1.0).
+    pub warps_scale: f64,
+}
+
+impl Default for Scale {
+    fn default() -> Scale {
+        Scale { rays: 24_000, tris_scale: 0.1, warps_scale: 1.0 }
+    }
+}
+
+impl Scale {
+    /// Resolve the scaling knobs from `DRS_RAYS`, `DRS_TRIS_SCALE`,
+    /// `DRS_WARPS_SCALE`.
+    pub fn from_env() -> Scale {
+        fn env_f64(name: &str, default: f64) -> f64 {
+            std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+        }
+        let d = Scale::default();
+        Scale {
+            rays: env_f64("DRS_RAYS", d.rays as f64) as usize,
+            tris_scale: env_f64("DRS_TRIS_SCALE", d.tris_scale),
+            warps_scale: env_f64("DRS_WARPS_SCALE", d.warps_scale),
+        }
+    }
+
+    /// Triangle budget for a scene at this scale (floored at 2000 so the
+    /// procedural generators always produce sensible geometry).
+    pub fn tris(&self, kind: SceneKind) -> usize {
+        ((kind.paper_triangle_count() as f64 * self.tris_scale) as usize).max(2_000)
+    }
+
+    /// Resident-warp count for a method at this scale (floored at 2).
+    pub fn warps(&self, paper_warps: usize) -> usize {
+        ((paper_warps as f64 * self.warps_scale) as usize).max(2)
+    }
+}
+
+/// One capturable render+trace workload: the expensive input shared by
+/// every simulation cell over the same scene.
+///
+/// All fields participate in [`WorkloadSpec::content_key`], which — with
+/// the trace [`FORMAT_VERSION`](drs_trace::FORMAT_VERSION) — keys the
+/// on-disk capture cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkloadSpec {
+    /// Which benchmark scene.
+    pub scene: SceneKind,
+    /// Triangle budget fed to the procedural generator.
+    pub tris: usize,
+    /// Target rays per bounce.
+    pub rays: usize,
+    /// Capture depth (number of bounces walked).
+    pub bounces: usize,
+    /// Path-tracing seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The standard workload for a scene at a given scale and depth, with
+    /// the seed formula the experiment suite has always used.
+    pub fn standard(scene: SceneKind, scale: &Scale, bounces: usize) -> WorkloadSpec {
+        let tris = scale.tris(scene);
+        WorkloadSpec { scene, tris, rays: scale.rays, bounces, seed: 0xD125_0000 + tris as u64 }
+    }
+
+    /// Canonical text form: the hash input for [`Self::content_key`] and a
+    /// human-readable identity for logs.
+    pub fn canonical(&self) -> String {
+        format!(
+            "scene={};tris={};rays={};bounces={};seed={:#x};fmt={}",
+            self.scene,
+            self.tris,
+            self.rays,
+            self.bounces,
+            self.seed,
+            drs_trace::FORMAT_VERSION
+        )
+    }
+
+    /// Stable content-derived key (also the cache file stem).
+    pub fn content_key(&self) -> u64 {
+        fnv1a64(self.canonical().as_bytes())
+    }
+
+    /// Run the render+trace capture for this workload (the expensive path
+    /// the cache exists to skip).
+    pub fn capture(&self) -> BounceStreams {
+        let scene = self.scene.build_with_tris(self.tris);
+        BounceStreams::capture(&scene, self.rays, self.bounces, self.seed)
+    }
+}
+
+/// Stable content-derived identifier of a [`SimJob`] — equal inputs give
+/// equal ids across runs, machines, and worker counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// One experiment cell: run `method` with `warps` resident warps over
+/// bounce `bounce` of `workload`'s captured ray streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimJob {
+    /// The captured input stream this job consumes.
+    pub workload: WorkloadSpec,
+    /// 1-based bounce index into the workload's streams.
+    pub bounce: usize,
+    /// Method / hardware configuration under test.
+    pub method: Method,
+    /// Resident warps (already scaled).
+    pub warps: usize,
+}
+
+impl SimJob {
+    /// Content-derived id covering every input that affects the result.
+    pub fn id(&self) -> JobId {
+        let canon = format!(
+            "{};bounce={};method={};warps={}",
+            self.workload.canonical(),
+            self.bounce,
+            self.method.label(),
+            self.warps
+        );
+        JobId(fnv1a64(canon.as_bytes()))
+    }
+}
+
+/// A named, ordered collection of jobs — one figure or table of the paper.
+#[derive(Debug, Clone)]
+pub struct JobSet {
+    /// Figure/table name (`fig10`, `table2`, …).
+    pub name: String,
+    /// The cells, in enumeration order.
+    pub jobs: Vec<SimJob>,
+}
+
+impl JobSet {
+    /// A new named set.
+    pub fn new(name: impl Into<String>) -> JobSet {
+        JobSet { name: name.into(), jobs: Vec::new() }
+    }
+
+    /// Append a cell.
+    pub fn push(&mut self, job: SimJob) {
+        self.jobs.push(job);
+    }
+
+    /// The distinct workloads this set needs, in first-use order.
+    pub fn distinct_workloads(&self) -> Vec<WorkloadSpec> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for j in &self.jobs {
+            if seen.insert(j.workload.content_key()) {
+                out.push(j.workload);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn job_ids_are_stable_and_distinct() {
+        let scale = Scale::default();
+        let wl = WorkloadSpec::standard(SceneKind::Conference, &scale, 8);
+        let job = |method: Method, bounce| SimJob {
+            workload: wl,
+            bounce,
+            method,
+            warps: scale.warps(method.paper_warps()),
+        };
+        let a = job(Method::Aila, 1);
+        assert_eq!(a.id(), job(Method::Aila, 1).id());
+        let mut ids: Vec<JobId> = vec![
+            a.id(),
+            job(Method::Aila, 2).id(),
+            job(Method::Dmk, 1).id(),
+            job(Method::drs_default(), 1).id(),
+            job(Method::Drs { backup_rows: 2, swap_buffers: 6, extra_bank: false }, 1).id(),
+        ];
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 5);
+    }
+
+    #[test]
+    fn workload_key_tracks_every_field() {
+        let scale = Scale::default();
+        let base = WorkloadSpec::standard(SceneKind::Plants, &scale, 4);
+        let variants = [
+            WorkloadSpec { tris: base.tris + 1, ..base },
+            WorkloadSpec { rays: base.rays + 1, ..base },
+            WorkloadSpec { bounces: base.bounces + 1, ..base },
+            WorkloadSpec { seed: base.seed + 1, ..base },
+            WorkloadSpec { scene: SceneKind::Conference, ..base },
+        ];
+        for v in variants {
+            assert_ne!(v.content_key(), base.content_key(), "{}", v.canonical());
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = [
+            Method::Aila,
+            Method::AilaVariant { speculative_traversal: false, replace_terminated: false },
+            Method::Dmk,
+            Method::Tbc,
+            Method::drs_default(),
+            Method::IdealDrs,
+        ]
+        .iter()
+        .map(|m| m.label())
+        .collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+
+    #[test]
+    fn jobset_distinct_workloads_dedupe() {
+        let scale = Scale::default();
+        let wl = WorkloadSpec::standard(SceneKind::Conference, &scale, 8);
+        let wl2 = WorkloadSpec::standard(SceneKind::Plants, &scale, 8);
+        let mut set = JobSet::new("t");
+        for b in 1..=3 {
+            set.push(SimJob { workload: wl, bounce: b, method: Method::Aila, warps: 48 });
+            set.push(SimJob { workload: wl2, bounce: b, method: Method::Aila, warps: 48 });
+        }
+        assert_eq!(set.distinct_workloads().len(), 2);
+    }
+}

@@ -1,0 +1,53 @@
+//! Parallel experiment orchestration for the DRS reproduction.
+//!
+//! Every figure and table of the paper's evaluation is a grid of
+//! independent single-threaded simulations — scene × bounce × method ×
+//! hardware config. This crate turns that grid into data and machinery:
+//!
+//! - **Job model** ([`job`]): each cell is a [`SimJob`] with a stable
+//!   content-derived [`JobId`]; figures are declarative [`JobSet`]s
+//!   ([`figures`]).
+//! - **Worker pool** ([`pool`]): a std-only (`std::thread` + atomics)
+//!   executor. Results are slotted by job index, so serial and parallel
+//!   runs produce bit-identical [`SimStats`](drs_sim::SimStats) — proven
+//!   by the test suite, not just promised.
+//! - **Capture cache** ([`cache`]): captured ray streams are persisted
+//!   via the `drs-trace` binary codec to `target/drs-cache/<hash>.bin`,
+//!   keyed by (scene, triangle budget, ray budget, depth, seed, trace
+//!   format version). The expensive render+trace phase runs once per
+//!   workload ever, instead of once per figure per run; corrupt entries
+//!   are evicted and recaptured via the typed
+//!   [`TraceIoError`](drs_trace::TraceIoError).
+//! - **Results** ([`results`]): every cell is emitted as JSON
+//!   (`BENCH_experiments.json`) — Mrays/s, SIMD efficiency, the complete
+//!   simulator counter set, wall-clock — giving the repo a machine-
+//!   readable perf trajectory across PRs.
+//!
+//! # Example
+//!
+//! ```
+//! use drs_harness::{figures, pool, Scale};
+//!
+//! // A tiny fig2 slice: conference scene, Aila kernel, 3 bounces.
+//! let scale = Scale { rays: 200, tris_scale: 0.005, warps_scale: 0.1 };
+//! let mut set = figures::fig2(&scale);
+//! set.jobs.truncate(3);
+//! let report = pool::run_jobs(&set.jobs, &pool::RunOptions::parallel(2));
+//! assert_eq!(report.cells.len(), 3);
+//! assert!(report.cells.iter().all(|c| c.completed));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod figures;
+pub mod job;
+pub mod pool;
+pub mod results;
+pub mod runner;
+
+pub use cache::{CacheCounters, StreamCache};
+pub use job::{fnv1a64, JobId, JobSet, Method, Scale, SimJob, WorkloadSpec};
+pub use pool::{parallel_map, run_jobs, CaptureMode, RunOptions, RunReport};
+pub use results::{CellResult, ResultsFile, RESULTS_SCHEMA_VERSION};
+pub use runner::run_method_with_warps;

@@ -1,0 +1,200 @@
+//! A std-only worker pool executing experiment jobs in parallel with
+//! provably deterministic results.
+//!
+//! Each [`SimJob`] is an independent single-threaded simulation, so the
+//! only thing parallelism could perturb is *which worker runs which job* —
+//! and results are written into a slot indexed by the job's position, so
+//! the output vector is identical for any worker count. `run_jobs` with
+//! one worker and with N workers return bit-identical
+//! [`SimStats`](drs_sim::SimStats) (asserted by the harness test suite).
+//!
+//! Execution happens in two phases sharing the pool:
+//!
+//! 1. **Capture**: the distinct workloads behind the job list are
+//!    captured (or served from the [`StreamCache`]) in parallel;
+//! 2. **Simulate**: every job runs against its workload's in-memory
+//!    streams, fanned out over the same workers.
+
+use crate::cache::{CacheCounters, StreamCache};
+use crate::job::SimJob;
+use crate::results::CellResult;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// How a run obtains workload captures.
+#[derive(Debug)]
+pub enum CaptureMode {
+    /// Always capture in-process; never touch the disk.
+    Uncached,
+    /// Serve from / populate an on-disk [`StreamCache`].
+    Cached(StreamCache),
+}
+
+/// Execution options for [`run_jobs`].
+#[derive(Debug)]
+pub struct RunOptions {
+    /// Worker threads (1 = fully serial on the calling thread).
+    pub workers: usize,
+    /// Capture caching policy.
+    pub capture: CaptureMode,
+}
+
+impl RunOptions {
+    /// Serial execution without a cache — the reference configuration
+    /// parallel runs must match bit-for-bit.
+    pub fn serial() -> RunOptions {
+        RunOptions { workers: 1, capture: CaptureMode::Uncached }
+    }
+
+    /// Parallel execution with `workers` threads, no cache.
+    pub fn parallel(workers: usize) -> RunOptions {
+        RunOptions { workers, capture: CaptureMode::Uncached }
+    }
+}
+
+/// Everything a run produced: per-cell results (in job order) plus cache
+/// and timing telemetry.
+#[derive(Debug)]
+pub struct RunReport {
+    /// One result per input job, same order.
+    pub cells: Vec<CellResult>,
+    /// Capture-cache activity (all zeros when uncached).
+    pub cache: CacheCounters,
+    /// Wall-clock of the whole run in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Map `f` over `items` with `workers` threads, preserving order.
+///
+/// Results land in per-index slots, so the output is independent of
+/// scheduling; a single worker degenerates to a plain serial loop on the
+/// calling thread. Worker panics propagate to the caller.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every claimed slot"))
+        .collect()
+}
+
+/// Execute `jobs` under `opts`, returning per-cell results in job order.
+///
+/// Distinct workloads are captured exactly once per run (and, with a
+/// cache, once across runs); jobs over the same workload share one
+/// in-memory copy of its streams.
+pub fn run_jobs(jobs: &[SimJob], opts: &RunOptions) -> RunReport {
+    let start = Instant::now();
+
+    // Phase 1: capture the distinct workloads.
+    let mut seen = std::collections::HashSet::new();
+    let mut distinct = Vec::new();
+    for j in jobs {
+        if seen.insert(j.workload.content_key()) {
+            distinct.push(j.workload);
+        }
+    }
+    let captured = parallel_map(&distinct, opts.workers, |_, spec| match &opts.capture {
+        CaptureMode::Uncached => spec.capture(),
+        CaptureMode::Cached(cache) => cache.get_or_capture(spec),
+    });
+    let streams_by_key: HashMap<u64, Arc<drs_trace::BounceStreams>> = distinct
+        .iter()
+        .zip(captured)
+        .map(|(spec, streams)| (spec.content_key(), Arc::new(streams)))
+        .collect();
+
+    // Phase 2: simulate every cell.
+    let cells = parallel_map(jobs, opts.workers, |_, job| {
+        let streams = &streams_by_key[&job.workload.content_key()];
+        let job_start = Instant::now();
+        let cell =
+            if job.bounce <= streams.depth() && !streams.bounce(job.bounce).scripts.is_empty() {
+                let scripts = &streams.bounce(job.bounce).scripts;
+                let out = crate::runner::run_method_with_warps(job.method, job.warps, scripts);
+                CellResult {
+                    job: *job,
+                    empty: false,
+                    completed: out.completed,
+                    stats: out.stats,
+                    wall_ms: job_start.elapsed().as_secs_f64() * 1e3,
+                }
+            } else {
+                // No surviving rays at this depth (open scenes): a real,
+                // reportable cell with zeroed counters.
+                CellResult {
+                    job: *job,
+                    empty: true,
+                    completed: true,
+                    stats: Default::default(),
+                    wall_ms: 0.0,
+                }
+            };
+        cell
+    });
+
+    let cache = match &opts.capture {
+        CaptureMode::Uncached => CacheCounters::default(),
+        CaptureMode::Cached(cache) => cache.counters(),
+    };
+    RunReport { cells, cache, wall_ms: start.elapsed().as_secs_f64() * 1e3 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for workers in [1, 3, 8] {
+            let out = parallel_map(&items, workers, |i, &v| {
+                assert_eq!(i, v);
+                v * 2
+            });
+            assert_eq!(out, items.iter().map(|v| v * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |_, v| *v).is_empty());
+        let one = [7u32];
+        assert_eq!(parallel_map(&one, 16, |_, v| *v + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_map_runs_every_item_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let counts: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+        let items: Vec<usize> = (0..100).collect();
+        parallel_map(&items, 7, |_, &i| counts[i].fetch_add(1, Ordering::Relaxed));
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Machine-readable experiment results: the repo's perf trajectory.
+//!
+//! Every run of the `experiments` binary emits one JSON document
+//! (`BENCH_experiments.json` by default) containing a record per cell —
+//! Mrays/s, SIMD efficiency, the full counter set of
+//! [`SimStats`](drs_sim::SimStats), and wall-clock — plus run-level cache
+//! and timing telemetry. CI uploads the file as an artifact on every
+//! push, so regressions show up as a diffable number series instead of a
+//! human eyeballing stdout tables.
+
+use crate::cache::CacheCounters;
+use crate::job::SimJob;
+use crate::pool::RunReport;
+use drs_sim::{GpuConfig, JsonBuf, SimStats};
+use std::io::Write;
+use std::path::Path;
+
+/// Version of the results-file schema (independent of the trace format).
+pub const RESULTS_SCHEMA_VERSION: u32 = 1;
+
+/// The outcome of one experiment cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The job that produced this cell.
+    pub job: SimJob,
+    /// True when the workload had no surviving rays at this bounce (the
+    /// stats are all zero and no simulation ran).
+    pub empty: bool,
+    /// False when the simulation hit its safety cycle cap.
+    pub completed: bool,
+    /// Full simulator counter set.
+    pub stats: SimStats,
+    /// Wall-clock of this cell's simulation in milliseconds (excluded
+    /// from determinism comparisons — compare [`CellResult::stats`]).
+    pub wall_ms: f64,
+}
+
+impl CellResult {
+    /// Whole-GPU throughput for this cell.
+    pub fn mrays_per_sec(&self, gpu: &GpuConfig) -> f64 {
+        self.stats.mrays_per_sec(gpu.clock_mhz, gpu.smx_count)
+    }
+
+    /// Append this cell as a JSON object. `figures` names the figures /
+    /// tables that reference the cell (one cell can serve several).
+    pub fn write_json(&self, j: &mut JsonBuf, figures: &[String], gpu: &GpuConfig) {
+        j.begin_obj();
+        j.kv_str("id", &self.job.id().to_string());
+        j.key("figures");
+        j.begin_arr();
+        for f in figures {
+            j.str(f);
+        }
+        j.end_arr();
+        j.kv_str("scene", &self.job.workload.scene.to_string());
+        j.kv_u64("tris", self.job.workload.tris as u64);
+        j.kv_u64("rays_per_bounce", self.job.workload.rays as u64);
+        j.kv_u64("capture_depth", self.job.workload.bounces as u64);
+        j.kv_u64("seed", self.job.workload.seed);
+        j.kv_u64("bounce", self.job.bounce as u64);
+        j.kv_str("method", &self.job.method.label());
+        j.kv_u64("warps", self.job.warps as u64);
+        j.kv_bool("empty", self.empty);
+        j.kv_bool("completed", self.completed);
+        j.kv_f64("wall_ms", self.wall_ms);
+        j.kv_f64("mrays_per_sec", self.mrays_per_sec(gpu));
+        j.kv_f64("simd_efficiency", self.stats.simd_efficiency());
+        j.key("stats");
+        self.stats.write_json(j);
+        j.end_obj();
+    }
+}
+
+/// A complete results document ready to serialize.
+#[derive(Debug)]
+pub struct ResultsFile {
+    /// The mode the binary ran (`fig10`, `all`, …).
+    pub mode: String,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Capture-cache telemetry.
+    pub cache: CacheCounters,
+    /// Whole-run wall clock in milliseconds.
+    pub wall_ms: f64,
+    /// `(figures-that-use-it, cell)` in deterministic job order.
+    pub cells: Vec<(Vec<String>, CellResult)>,
+}
+
+impl ResultsFile {
+    /// Assemble a document from a pool report. `figures_of` maps each job
+    /// index to the figure names that requested it.
+    pub fn from_report(
+        mode: &str,
+        workers: usize,
+        report: RunReport,
+        figures_of: Vec<Vec<String>>,
+    ) -> ResultsFile {
+        assert_eq!(report.cells.len(), figures_of.len(), "one figure list per cell");
+        ResultsFile {
+            mode: mode.to_string(),
+            workers,
+            cache: report.cache,
+            wall_ms: report.wall_ms,
+            cells: figures_of.into_iter().zip(report.cells).collect(),
+        }
+    }
+
+    /// Serialize the document.
+    pub fn to_json(&self) -> String {
+        let gpu = GpuConfig::gtx780();
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.kv_u64("schema_version", RESULTS_SCHEMA_VERSION as u64);
+        j.kv_str("suite", "drs-experiments");
+        j.kv_str("mode", &self.mode);
+        j.kv_u64("workers", self.workers as u64);
+        j.key("gpu");
+        j.begin_obj();
+        j.kv_u64("clock_mhz", gpu.clock_mhz as u64);
+        j.kv_u64("smx_count", gpu.smx_count as u64);
+        j.end_obj();
+        j.key("capture_cache");
+        j.begin_obj();
+        j.kv_u64("hits", self.cache.hits);
+        j.kv_u64("misses", self.cache.misses);
+        j.kv_u64("evictions", self.cache.evictions);
+        j.end_obj();
+        j.kv_f64("wall_ms", self.wall_ms);
+        j.key("cells");
+        j.begin_arr();
+        for (figures, cell) in &self.cells {
+            cell.write_json(&mut j, figures, &gpu);
+        }
+        j.end_arr();
+        j.end_obj();
+        j.finish()
+    }
+
+    /// Write the document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (the caller decides whether a missing
+    /// results file fails the run).
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        f.write_all(b"\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Method, Scale, WorkloadSpec};
+    use drs_scene::SceneKind;
+
+    fn sample_cell() -> CellResult {
+        let scale = Scale::default();
+        let wl = WorkloadSpec::standard(SceneKind::Conference, &scale, 8);
+        CellResult {
+            job: SimJob { workload: wl, bounce: 2, method: Method::drs_default(), warps: 58 },
+            empty: false,
+            completed: true,
+            stats: SimStats { cycles: 10, rays_completed: 5, ..Default::default() },
+            wall_ms: 1.25,
+        }
+    }
+
+    #[test]
+    fn results_file_contains_required_fields() {
+        let file = ResultsFile {
+            mode: "fig10".into(),
+            workers: 4,
+            cache: CacheCounters { hits: 3, misses: 1, evictions: 0 },
+            wall_ms: 12.5,
+            cells: vec![(vec!["fig10".into(), "fig11".into()], sample_cell())],
+        };
+        let json = file.to_json();
+        for needle in [
+            "\"schema_version\":1",
+            "\"mode\":\"fig10\"",
+            "\"workers\":4",
+            "\"hits\":3",
+            "\"mrays_per_sec\":",
+            "\"simd_efficiency\":",
+            "\"figures\":[\"fig10\",\"fig11\"]",
+            "\"method\":\"DRS(M=1,B=6)\"",
+            "\"stats\":{\"cycles\":10",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        let open = json.matches(['{', '[']).count();
+        let close = json.matches(['}', ']']).count();
+        assert_eq!(open, close);
+    }
+}

@@ -1,0 +1,108 @@
+//! Executing one method over one ray stream — the leaf operation every
+//! job in the pool performs.
+
+use crate::job::Method;
+use drs_baselines::{DmkConfig, DmkKernel, DmkUnit, TbcConfig, TbcUnit};
+use drs_core::system::RowedWhileIf;
+use drs_core::{DrsConfig, DrsUnit};
+use drs_kernels::{WhileIfKernel, WhileWhileConfig, WhileWhileKernel};
+use drs_sim::{GpuConfig, NullSpecial, SimOutcome, Simulation};
+use drs_trace::RayScript;
+
+/// Run `method` with `warps` resident warps over one ray stream to
+/// completion. Deterministic: the simulator is single-threaded and all
+/// inputs are explicit, so equal arguments give bit-identical
+/// [`SimStats`](drs_sim::SimStats).
+///
+/// Unlike the pre-harness runner this does **not** panic when the safety
+/// cycle cap fires; the caller decides how to report `completed == false`.
+pub fn run_method_with_warps(method: Method, warps: usize, scripts: &[RayScript]) -> SimOutcome {
+    let gpu = GpuConfig { max_warps: warps, max_cycles: 4_000_000_000, ..GpuConfig::gtx780() };
+    match method {
+        Method::Aila => {
+            let k = WhileWhileKernel::new(WhileWhileConfig::default());
+            Simulation::new(gpu, k.program(), Box::new(k.clone()), Box::new(NullSpecial), scripts)
+                .run()
+        }
+        Method::AilaVariant { speculative_traversal, replace_terminated } => {
+            let k = WhileWhileKernel::new(WhileWhileConfig {
+                speculative_traversal,
+                replace_terminated,
+            });
+            Simulation::new(gpu, k.program(), Box::new(k.clone()), Box::new(NullSpecial), scripts)
+                .run()
+        }
+        Method::Dmk => {
+            let cfg = DmkConfig { warps, lanes: 32, pool_slots: warps * 32 };
+            let k = DmkKernel::new(cfg);
+            Simulation::new(
+                gpu,
+                k.program(),
+                Box::new(k.clone()),
+                Box::new(DmkUnit::new(cfg)),
+                scripts,
+            )
+            .run()
+        }
+        Method::Tbc => {
+            let k = WhileIfKernel::new();
+            let cfg = TbcConfig { warps, lanes: 32, warps_per_block: 6.min(warps) };
+            Simulation::new(
+                gpu,
+                k.program(),
+                Box::new(k.clone()),
+                Box::new(TbcUnit::new(cfg)),
+                scripts,
+            )
+            .run()
+        }
+        Method::Drs { backup_rows, swap_buffers, .. } => {
+            let cfg = DrsConfig { warps, backup_rows, swap_buffers, ideal: false, lanes: 32 };
+            let k = WhileIfKernel::new();
+            let behavior = RowedWhileIf::new(cfg.rows());
+            Simulation::new(
+                gpu,
+                k.program(),
+                Box::new(behavior),
+                Box::new(DrsUnit::new(cfg)),
+                scripts,
+            )
+            .run()
+        }
+        Method::IdealDrs => {
+            let cfg = DrsConfig { warps, backup_rows: 1, swap_buffers: 6, ideal: true, lanes: 32 };
+            let k = WhileIfKernel::new();
+            let behavior = RowedWhileIf::new(cfg.rows());
+            Simulation::new(
+                gpu,
+                k.program(),
+                Box::new(behavior),
+                Box::new(DrsUnit::new(cfg)),
+                scripts,
+            )
+            .run()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drs_scene::SceneKind;
+    use drs_trace::BounceStreams;
+
+    #[test]
+    fn aila_variant_with_defaults_matches_aila() {
+        let scene = SceneKind::Conference.build_with_tris(2_000);
+        let streams = BounceStreams::capture(&scene, 300, 2, 7);
+        let scripts = &streams.bounce(2).scripts;
+        let a = run_method_with_warps(Method::Aila, 8, scripts);
+        let b = run_method_with_warps(
+            Method::AilaVariant { speculative_traversal: true, replace_terminated: true },
+            8,
+            scripts,
+        );
+        assert_eq!(a.stats, b.stats);
+        assert!(a.completed);
+    }
+}

@@ -1,0 +1,341 @@
+//! A minimal hand-rolled JSON emitter (std-only, no dependencies).
+//!
+//! The experiment harness records every simulation cell to
+//! `BENCH_experiments.json` so the repo accumulates a machine-readable
+//! perf trajectory across PRs. The simulator owns the emitter because the
+//! bulk of each record is [`SimStats`](crate::SimStats); keeping the
+//! serialization next to the counters means a new counter and its JSON
+//! field are added in one place.
+//!
+//! The writer produces compact, valid JSON: string escaping per RFC 8259,
+//! non-finite floats mapped to `null` (JSON has no NaN/Infinity), and
+//! comma placement tracked by a container stack. It is append-only — there
+//! is no DOM — which is all the harness needs.
+//!
+//! # Example
+//!
+//! ```
+//! use drs_sim::JsonBuf;
+//!
+//! let mut j = JsonBuf::new();
+//! j.begin_obj();
+//! j.kv_str("scene", "conference room");
+//! j.kv_u64("rays", 24_000);
+//! j.key("buckets");
+//! j.begin_arr();
+//! j.u64(1);
+//! j.u64(2);
+//! j.end_arr();
+//! j.end_obj();
+//! assert_eq!(j.finish(), r#"{"scene":"conference room","rays":24000,"buckets":[1,2]}"#);
+//! ```
+
+use crate::cache::CacheStats;
+use crate::stats::{ActiveHistogram, SimStats};
+
+/// An append-only JSON string builder.
+#[derive(Debug, Default)]
+pub struct JsonBuf {
+    out: String,
+    /// One entry per open container: `true` once it has an element (so the
+    /// next element needs a leading comma).
+    stack: Vec<bool>,
+}
+
+impl JsonBuf {
+    /// An empty buffer.
+    pub fn new() -> JsonBuf {
+        JsonBuf::default()
+    }
+
+    /// Consume the buffer, returning the JSON text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a container opened with `begin_obj`/`begin_arr` was never
+    /// closed — that is a bug in the emitting code, not in the data.
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "unclosed JSON container");
+        self.out
+    }
+
+    /// Write the comma separating this element from its predecessor (if
+    /// any) and mark the enclosing container non-empty.
+    fn separate(&mut self) {
+        if let Some(has_elems) = self.stack.last_mut() {
+            if *has_elems {
+                self.out.push(',');
+            }
+            *has_elems = true;
+        }
+    }
+
+    /// Open an object (`{`).
+    pub fn begin_obj(&mut self) {
+        self.separate();
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    /// Close the innermost object (`}`).
+    pub fn end_obj(&mut self) {
+        self.stack.pop().expect("end_obj with no open container");
+        self.out.push('}');
+    }
+
+    /// Open an array (`[`).
+    pub fn begin_arr(&mut self) {
+        self.separate();
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// Close the innermost array (`]`).
+    pub fn end_arr(&mut self) {
+        self.stack.pop().expect("end_arr with no open container");
+        self.out.push(']');
+    }
+
+    /// Write an object key. The following value call supplies the value
+    /// (key/value separation is the caller's responsibility to pair up).
+    pub fn key(&mut self, k: &str) {
+        self.separate();
+        self.push_escaped(k);
+        self.out.push(':');
+        // The value following the key must not emit a comma of its own:
+        // temporarily mark the container "empty" again.
+        if let Some(has_elems) = self.stack.last_mut() {
+            *has_elems = false;
+        }
+    }
+
+    fn value_written(&mut self) {
+        if let Some(has_elems) = self.stack.last_mut() {
+            *has_elems = true;
+        }
+    }
+
+    /// Write a string value.
+    pub fn str(&mut self, v: &str) {
+        self.separate();
+        self.push_escaped(v);
+    }
+
+    /// Write an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.separate();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Write a float value; NaN and infinities become `null`.
+    pub fn f64(&mut self, v: f64) {
+        self.separate();
+        if v.is_finite() {
+            // Rust's shortest-roundtrip formatting is valid JSON for
+            // finite values (always contains a digit, never an exponent
+            // JSON can't parse).
+            let s = v.to_string();
+            self.out.push_str(&s);
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                self.out.push_str(".0");
+            }
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Write a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.separate();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// `key: string` shorthand.
+    pub fn kv_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.str(v);
+        self.value_written();
+    }
+
+    /// `key: u64` shorthand.
+    pub fn kv_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.u64(v);
+        self.value_written();
+    }
+
+    /// `key: f64` shorthand.
+    pub fn kv_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.f64(v);
+        self.value_written();
+    }
+
+    /// `key: bool` shorthand.
+    pub fn kv_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.bool(v);
+        self.value_written();
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+impl ActiveHistogram {
+    /// Append this histogram as a JSON object (buckets, total, efficiency).
+    pub fn write_json(&self, j: &mut JsonBuf) {
+        j.begin_obj();
+        j.key("buckets");
+        j.begin_arr();
+        for b in self.buckets {
+            j.u64(b);
+        }
+        j.end_arr();
+        j.kv_u64("total", self.total);
+        j.kv_u64("active_sum", self.active_sum);
+        j.kv_f64("simd_efficiency", self.simd_efficiency());
+        j.end_obj();
+    }
+}
+
+impl CacheStats {
+    /// Append hit/miss counters as a JSON object.
+    pub fn write_json(&self, j: &mut JsonBuf) {
+        j.begin_obj();
+        j.kv_u64("hits", self.hits);
+        j.kv_u64("misses", self.misses);
+        j.kv_f64("hit_rate", self.hit_rate());
+        j.end_obj();
+    }
+}
+
+impl SimStats {
+    /// Append every counter of this run as a JSON object — the complete
+    /// machine-readable record of one simulation cell.
+    pub fn write_json(&self, j: &mut JsonBuf) {
+        j.begin_obj();
+        j.kv_u64("cycles", self.cycles);
+        j.kv_u64("rays_completed", self.rays_completed);
+        j.key("issued");
+        self.issued.write_json(j);
+        j.key("issued_si");
+        self.issued_si.write_json(j);
+        j.kv_u64("loads", self.loads);
+        j.kv_u64("stores", self.stores);
+        j.kv_u64("mem_transactions", self.mem_transactions);
+        j.kv_u64("rdctrl_stalls", self.rdctrl_stalls);
+        j.kv_u64("rdctrl_issued", self.rdctrl_issued);
+        j.kv_u64("regfile_reads", self.regfile_reads);
+        j.kv_u64("regfile_writes", self.regfile_writes);
+        j.kv_u64("bank_conflicts", self.bank_conflicts);
+        j.kv_u64("swap_accesses", self.swap_accesses);
+        j.kv_u64("swaps_completed", self.swaps_completed);
+        j.kv_u64("swap_cycle_sum", self.swap_cycle_sum);
+        j.kv_u64("spawn_bank_conflict_cycles", self.spawn_bank_conflict_cycles);
+        j.kv_u64("sync_wait_cycles", self.sync_wait_cycles);
+        j.key("l1t");
+        self.l1t.write_json(j);
+        j.key("l1d");
+        self.l1d.write_json(j);
+        j.key("l2");
+        self.l2.write_json(j);
+        j.key("block_profile");
+        j.begin_arr();
+        for (label, issues, active_sum) in &self.block_profile {
+            j.begin_obj();
+            j.kv_str("block", label);
+            j.kv_u64("issues", *issues);
+            j.kv_u64("active_sum", *active_sum);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structure_and_commas() {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.kv_str("a", "x");
+        j.key("b");
+        j.begin_arr();
+        j.u64(1);
+        j.begin_obj();
+        j.kv_bool("t", true);
+        j.end_obj();
+        j.end_arr();
+        j.kv_f64("c", 1.5);
+        j.end_obj();
+        assert_eq!(j.finish(), r#"{"a":"x","b":[1,{"t":true}],"c":1.5}"#);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut j = JsonBuf::new();
+        j.str("quote\" slash\\ nl\n tab\t ctrl\u{1}");
+        assert_eq!(j.finish(), "\"quote\\\" slash\\\\ nl\\n tab\\t ctrl\\u0001\"");
+    }
+
+    #[test]
+    fn floats_are_json_safe() {
+        let mut j = JsonBuf::new();
+        j.begin_arr();
+        j.f64(1.0);
+        j.f64(0.25);
+        j.f64(f64::NAN);
+        j.f64(f64::INFINITY);
+        j.end_arr();
+        assert_eq!(j.finish(), "[1.0,0.25,null,null]");
+    }
+
+    #[test]
+    #[should_panic]
+    fn unclosed_container_is_a_bug() {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        let _ = j.finish();
+    }
+
+    #[test]
+    fn simstats_serializes_every_counter() {
+        let stats = SimStats {
+            cycles: 100,
+            rays_completed: 42,
+            loads: 7,
+            block_profile: vec![("inner", 5, 100)],
+            ..Default::default()
+        };
+        let mut j = JsonBuf::new();
+        stats.write_json(&mut j);
+        let s = j.finish();
+        assert!(s.contains("\"cycles\":100"));
+        assert!(s.contains("\"rays_completed\":42"));
+        assert!(s.contains("\"block\":\"inner\""));
+        assert!(s.contains("\"l1t\":{"));
+        // Braces and brackets balance.
+        let open = s.matches(['{', '[']).count();
+        let close = s.matches(['}', ']']).count();
+        assert_eq!(open, close);
+    }
+}

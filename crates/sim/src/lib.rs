@@ -38,6 +38,7 @@ mod config;
 mod energy;
 mod engine;
 mod isa;
+mod json;
 mod program;
 mod state;
 mod stats;
@@ -49,6 +50,7 @@ pub use config::{GpuConfig, SchedulerPolicy};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use engine::{SimOutcome, Simulation, TRACKED_REGS};
 pub use isa::{MemSpace, MicroOp, OpKind, OpTag, Reg};
+pub use json::JsonBuf;
 pub use program::{Block, BlockId, Program, Terminator};
 pub use state::{MachineState, RayQueue, RayRef, RaySlot, RayState, NO_POSTPONED, NO_SLOT};
 pub use stats::{ActiveHistogram, SimStats};

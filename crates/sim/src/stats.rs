@@ -56,7 +56,10 @@ impl ActiveHistogram {
 }
 
 /// All counters produced by one simulation run.
-#[derive(Debug, Clone, Default)]
+///
+/// Derives `PartialEq` so the harness can prove bit-identical results
+/// between serial and parallel experiment runs.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Total simulated cycles.
     pub cycles: u64,

@@ -39,4 +39,5 @@ mod io;
 mod script;
 
 pub use capture::{BounceStream, BounceStreams, StreamStats};
+pub use io::{TraceIoError, FORMAT_VERSION};
 pub use script::{RayScript, ScriptCursor, Step, Termination};

@@ -14,6 +14,8 @@
 //! - [`core`] — the Dynamic Ray Shuffling hardware model (the paper's contribution)
 //! - [`baselines`] — DMK and TBC comparison hardware
 //! - [`verify`] — static verification of kernel programs and GPU configs
+//! - [`harness`] — parallel experiment orchestration (jobs, worker pool,
+//!   capture cache, machine-readable results)
 //!
 //! # Quickstart
 //!
@@ -31,6 +33,7 @@ pub use drs_baselines as baselines;
 pub use drs_bvh as bvh;
 pub use drs_core as core;
 pub use drs_geom as geom;
+pub use drs_harness as harness;
 pub use drs_kernels as kernels;
 pub use drs_math as math;
 pub use drs_render as render;
