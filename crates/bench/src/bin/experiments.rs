@@ -1,9 +1,16 @@
 //! Regenerates every table and figure of the paper's evaluation section
 //! through the `drs-harness` job pool.
 //!
-//! Usage: `experiments [MODE] [--jobs N] [--out PATH] [--no-cache] [--list]`
+//! Usage: `experiments [MODE] [--jobs N] [--out PATH] [--no-cache]
+//! [--timeline] [--trace-out PATH] [--interval N] [--progress] [--list]`
 //! where MODE is one of `table1 | fig2 | fig8 | fig9 | table2 | fig10 |
 //! fig11 | overhead | ablation | energy | all` (default `all`).
+//!
+//! `--timeline` attaches the telemetry collector to every cell and writes
+//! stall-attribution totals plus interval timelines to
+//! `<out stem>_timeline.json`; `--trace-out PATH` additionally records
+//! per-warp stall spans as Chrome trace-event JSON (open in
+//! `chrome://tracing` or Perfetto).
 //!
 //! Each figure is a declarative job set (`drs_harness::figures`); the
 //! union of the requested figures' cells is deduplicated by content-
@@ -97,7 +104,12 @@ fn main() {
     } else {
         CaptureMode::Uncached
     };
-    let opts = RunOptions { workers: cli.workers, capture };
+    let telemetry = cli.telemetry_enabled().then(|| drs_telemetry::TelemetryConfig {
+        interval: cli.interval,
+        trace: cli.trace_out.is_some(),
+        ..drs_telemetry::TelemetryConfig::default()
+    });
+    let opts = RunOptions { workers: cli.workers, capture, telemetry, progress: cli.progress };
     let report = run_jobs(&jobs, &opts);
 
     let incomplete: Vec<String> = report
@@ -142,6 +154,31 @@ fn main() {
         Err(e) => {
             eprintln!("error: could not write {}: {e}", cli.out.display());
             std::process::exit(1);
+        }
+    }
+    if cli.telemetry_enabled() {
+        let timeline = cli.timeline_path();
+        match results.timeline_json() {
+            Some(json) => {
+                if let Err(e) = drs_harness::write_text(&timeline, &json) {
+                    eprintln!("error: could not write {}: {e}", timeline.display());
+                    std::process::exit(1);
+                }
+                println!("[timeline -> {}]", timeline.display());
+            }
+            None => println!("[timeline: no instrumented cells in this mode]"),
+        }
+    }
+    if let Some(trace_path) = &cli.trace_out {
+        match results.chrome_trace_json() {
+            Some(json) => {
+                if let Err(e) = drs_harness::write_text(trace_path, &json) {
+                    eprintln!("error: could not write {}: {e}", trace_path.display());
+                    std::process::exit(1);
+                }
+                println!("[chrome trace -> {}; load in chrome://tracing]", trace_path.display());
+            }
+            None => println!("[chrome trace: no instrumented cells in this mode]"),
         }
     }
     if !incomplete.is_empty() {

@@ -23,11 +23,18 @@ Modes:
   overhead | ablation | energy | all        (default: all)
 
 Options:
-  --jobs N      worker threads (default: available parallelism)
-  --out PATH    results JSON destination (default: BENCH_experiments.json)
-  --no-cache    always recapture ray streams; skip target/drs-cache
-  --list        list modes with their job counts and exit
-  -h, --help    show this help
+  --jobs N         worker threads (default: available parallelism)
+  --out PATH       results JSON destination (default: BENCH_experiments.json)
+  --no-cache       always recapture ray streams; skip target/drs-cache
+  --timeline       collect stall attribution + interval timelines; writes
+                   <out stem>_timeline.json next to the results file
+  --trace-out PATH also record per-warp stall spans and write them as
+                   Chrome trace-event JSON (chrome://tracing, Perfetto);
+                   implies --timeline
+  --interval N     timeline sampling window in cycles (default: 1000)
+  --progress       per-job start/finish lines on stderr
+  --list           list modes with their job counts and exit
+  -h, --help       show this help
 
 Scaling environment variables: DRS_RAYS, DRS_TRIS_SCALE, DRS_WARPS_SCALE;
 cache location: DRS_CACHE_DIR (default target/drs-cache).";
@@ -43,6 +50,14 @@ pub struct Cli {
     pub out: PathBuf,
     /// Use the on-disk capture cache.
     pub use_cache: bool,
+    /// Collect stall attribution + interval timelines.
+    pub timeline: bool,
+    /// Chrome trace-event JSON destination (implies [`Cli::timeline`]).
+    pub trace_out: Option<PathBuf>,
+    /// Timeline sampling window in cycles.
+    pub interval: u64,
+    /// Print per-job progress lines to stderr.
+    pub progress: bool,
     /// List modes instead of running.
     pub list: bool,
     /// Show usage instead of running.
@@ -56,9 +71,28 @@ impl Default for Cli {
             workers: default_workers(),
             out: PathBuf::from("BENCH_experiments.json"),
             use_cache: true,
+            timeline: false,
+            trace_out: None,
+            interval: 1000,
+            progress: false,
             list: false,
             help: false,
         }
+    }
+}
+
+impl Cli {
+    /// Telemetry is on when either timeline output or a trace was asked
+    /// for (`--trace-out` implies `--timeline`).
+    pub fn telemetry_enabled(&self) -> bool {
+        self.timeline || self.trace_out.is_some()
+    }
+
+    /// Where the timeline artifact goes: `<out stem>_timeline.json` next
+    /// to the results file.
+    pub fn timeline_path(&self) -> PathBuf {
+        let stem = self.out.file_stem().and_then(|s| s.to_str()).unwrap_or("experiments");
+        self.out.with_file_name(format!("{stem}_timeline.json"))
     }
 }
 
@@ -101,6 +135,17 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
             }
             "--out" => cli.out = PathBuf::from(value("--out")?),
             "--no-cache" => cli.use_cache = false,
+            "--timeline" => cli.timeline = true,
+            "--trace-out" => cli.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--interval" => {
+                let v = value("--interval")?;
+                cli.interval = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--interval expects a positive integer, got '{v}'"))?;
+            }
+            "--progress" => cli.progress = true,
             "--list" => cli.list = true,
             "-h" | "--help" => cli.help = true,
             f if f.starts_with('-') => return Err(format!("unknown flag '{f}'")),
@@ -153,6 +198,43 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_flags_both_syntaxes() {
+        let a = p(&["fig2", "--timeline", "--trace-out", "t.json", "--interval", "500"]).unwrap();
+        let b = p(&["fig2", "--timeline", "--trace-out=t.json", "--interval=500"]).unwrap();
+        assert_eq!(a, b);
+        assert!(a.timeline);
+        assert_eq!(a.trace_out, Some(PathBuf::from("t.json")));
+        assert_eq!(a.interval, 500);
+        assert!(a.telemetry_enabled());
+    }
+
+    #[test]
+    fn trace_out_implies_telemetry_without_timeline() {
+        let cli = p(&["--trace-out", "t.json"]).unwrap();
+        assert!(!cli.timeline);
+        assert!(cli.telemetry_enabled());
+        assert!(!p(&[]).unwrap().telemetry_enabled());
+    }
+
+    #[test]
+    fn progress_flag_and_default_interval() {
+        let cli = p(&["--progress"]).unwrap();
+        assert!(cli.progress);
+        assert_eq!(cli.interval, 1000);
+        assert!(!p(&[]).unwrap().progress);
+    }
+
+    #[test]
+    fn timeline_path_sits_next_to_out() {
+        let cli = p(&["--out", "results/BENCH_experiments.json"]).unwrap();
+        assert_eq!(cli.timeline_path(), PathBuf::from("results/BENCH_experiments_timeline.json"));
+        assert_eq!(
+            p(&[]).unwrap().timeline_path(),
+            PathBuf::from("BENCH_experiments_timeline.json")
+        );
+    }
+
+    #[test]
     fn list_and_help() {
         assert!(p(&["--list"]).unwrap().list);
         assert!(p(&["--help"]).unwrap().help);
@@ -167,6 +249,9 @@ mod tests {
             (&["--jobs"][..], "requires a value"),
             (&["--jobs", "0"][..], "positive integer"),
             (&["--jobs", "x"][..], "positive integer"),
+            (&["--interval"][..], "requires a value"),
+            (&["--interval", "0"][..], "positive integer"),
+            (&["--trace-out"][..], "requires a value"),
             (&["fig2", "fig8"][..], "extra argument"),
         ] {
             let err = p(args).unwrap_err();

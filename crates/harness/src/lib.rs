@@ -49,5 +49,5 @@ pub mod runner;
 pub use cache::{CacheCounters, StreamCache};
 pub use job::{fnv1a64, JobId, JobSet, Method, Scale, SimJob, WorkloadSpec};
 pub use pool::{parallel_map, run_jobs, CaptureMode, RunOptions, RunReport};
-pub use results::{CellResult, ResultsFile, RESULTS_SCHEMA_VERSION};
-pub use runner::run_method_with_warps;
+pub use results::{write_text, CellResult, ResultsFile, RESULTS_SCHEMA_VERSION};
+pub use runner::{run_method_with_warps, run_method_with_warps_telemetry};

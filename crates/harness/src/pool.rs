@@ -18,6 +18,7 @@
 use crate::cache::{CacheCounters, StreamCache};
 use crate::job::SimJob;
 use crate::results::CellResult;
+use drs_telemetry::TelemetryConfig;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -39,18 +40,25 @@ pub struct RunOptions {
     pub workers: usize,
     /// Capture caching policy.
     pub capture: CaptureMode,
+    /// When set, every non-empty cell runs with a telemetry collector
+    /// attached and its [`CellResult`] carries the report. `None` (the
+    /// default) runs the engine with no attribution work at all.
+    pub telemetry: Option<TelemetryConfig>,
+    /// Print a per-job start/finish line to stderr (off by default so the
+    /// binary's stdout/stderr stay unchanged).
+    pub progress: bool,
 }
 
 impl RunOptions {
     /// Serial execution without a cache — the reference configuration
     /// parallel runs must match bit-for-bit.
     pub fn serial() -> RunOptions {
-        RunOptions { workers: 1, capture: CaptureMode::Uncached }
+        RunOptions { workers: 1, capture: CaptureMode::Uncached, telemetry: None, progress: false }
     }
 
     /// Parallel execution with `workers` threads, no cache.
     pub fn parallel(workers: usize) -> RunOptions {
-        RunOptions { workers, capture: CaptureMode::Uncached }
+        RunOptions { workers, ..RunOptions::serial() }
     }
 }
 
@@ -128,18 +136,35 @@ pub fn run_jobs(jobs: &[SimJob], opts: &RunOptions) -> RunReport {
         .collect();
 
     // Phase 2: simulate every cell.
-    let cells = parallel_map(jobs, opts.workers, |_, job| {
+    let total = jobs.len();
+    let cells = parallel_map(jobs, opts.workers, |i, job| {
         let streams = &streams_by_key[&job.workload.content_key()];
+        let label =
+            format!("{} {} b{} w{}", job.workload.scene, job.method.label(), job.bounce, job.warps);
+        if opts.progress {
+            eprintln!("[{}/{total}] start  {label}", i + 1);
+        }
         let job_start = Instant::now();
         let cell =
             if job.bounce <= streams.depth() && !streams.bounce(job.bounce).scripts.is_empty() {
                 let scripts = &streams.bounce(job.bounce).scripts;
-                let out = crate::runner::run_method_with_warps(job.method, job.warps, scripts);
+                let (out, telemetry) = match opts.telemetry {
+                    Some(cfg) => {
+                        let (out, report) = crate::runner::run_method_with_warps_telemetry(
+                            job.method, job.warps, scripts, cfg,
+                        );
+                        (out, Some(report))
+                    }
+                    None => {
+                        (crate::runner::run_method_with_warps(job.method, job.warps, scripts), None)
+                    }
+                };
                 CellResult {
                     job: *job,
                     empty: false,
                     completed: out.completed,
                     stats: out.stats,
+                    telemetry,
                     wall_ms: job_start.elapsed().as_secs_f64() * 1e3,
                 }
             } else {
@@ -150,9 +175,13 @@ pub fn run_jobs(jobs: &[SimJob], opts: &RunOptions) -> RunReport {
                     empty: true,
                     completed: true,
                     stats: Default::default(),
+                    telemetry: None,
                     wall_ms: 0.0,
                 }
             };
+        if opts.progress {
+            eprintln!("[{}/{total}] finish {label} ({:.1} ms)", i + 1, cell.wall_ms);
+        }
         cell
     });
 

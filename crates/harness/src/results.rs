@@ -12,6 +12,7 @@ use crate::cache::CacheCounters;
 use crate::job::SimJob;
 use crate::pool::RunReport;
 use drs_sim::{GpuConfig, JsonBuf, SimStats};
+use drs_telemetry::TelemetryReport;
 use std::io::Write;
 use std::path::Path;
 
@@ -30,6 +31,9 @@ pub struct CellResult {
     pub completed: bool,
     /// Full simulator counter set.
     pub stats: SimStats,
+    /// Stall-attribution / timeline report, present when the run had
+    /// telemetry enabled (see [`RunOptions::telemetry`](crate::RunOptions)).
+    pub telemetry: Option<TelemetryReport>,
     /// Wall-clock of this cell's simulation in milliseconds (excluded
     /// from determinism comparisons — compare [`CellResult::stats`]).
     pub wall_ms: f64,
@@ -39,6 +43,17 @@ impl CellResult {
     /// Whole-GPU throughput for this cell.
     pub fn mrays_per_sec(&self, gpu: &GpuConfig) -> f64 {
         self.stats.mrays_per_sec(gpu.clock_mhz, gpu.smx_count)
+    }
+
+    /// Short human label for logs and trace process names.
+    pub fn cell_name(&self) -> String {
+        format!(
+            "{}/{}/b{}/w{}",
+            self.job.workload.scene,
+            self.job.method.label(),
+            self.job.bounce,
+            self.job.warps
+        )
     }
 
     /// Append this cell as a JSON object. `figures` names the figures /
@@ -143,15 +158,70 @@ impl ResultsFile {
     /// Propagates filesystem errors (the caller decides whether a missing
     /// results file fails the run).
     pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(self.to_json().as_bytes())?;
-        f.write_all(b"\n")
+        write_text(path, &self.to_json())
     }
+
+    /// The timeline artifact: one record per instrumented cell carrying
+    /// its full [`TelemetryReport`] (stall-bucket totals + interval
+    /// series). `None` when no cell has telemetry.
+    pub fn timeline_json(&self) -> Option<String> {
+        if !self.cells.iter().any(|(_, c)| c.telemetry.is_some()) {
+            return None;
+        }
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.kv_u64("schema_version", RESULTS_SCHEMA_VERSION as u64);
+        j.kv_str("suite", "drs-telemetry-timeline");
+        j.kv_str("mode", &self.mode);
+        j.key("cells");
+        j.begin_arr();
+        for (_, cell) in &self.cells {
+            let Some(report) = &cell.telemetry else { continue };
+            j.begin_obj();
+            j.kv_str("id", &cell.job.id().to_string());
+            j.kv_str("cell", &cell.cell_name());
+            j.kv_f64("simd_efficiency", cell.stats.simd_efficiency());
+            j.key("telemetry");
+            report.write_json(&mut j);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+        Some(j.finish())
+    }
+
+    /// A Chrome trace-event document covering every instrumented cell
+    /// (one trace process per cell). `None` when no cell has telemetry.
+    pub fn chrome_trace_json(&self) -> Option<String> {
+        let cells: Vec<(String, &TelemetryReport)> = self
+            .cells
+            .iter()
+            .filter_map(|(_, c)| c.telemetry.as_ref().map(|t| (c.cell_name(), t)))
+            .collect();
+        if cells.is_empty() {
+            return None;
+        }
+        Some(drs_telemetry::chrome::trace_json(
+            cells.iter().map(|(name, report)| (name.as_str(), *report)),
+        ))
+    }
+}
+
+/// Write `text` (plus a trailing newline) to `path`, creating parent
+/// directories as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_text(path: &Path, text: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(text.as_bytes())?;
+    f.write_all(b"\n")
 }
 
 #[cfg(test)]
@@ -168,6 +238,7 @@ mod tests {
             empty: false,
             completed: true,
             stats: SimStats { cycles: 10, rays_completed: 5, ..Default::default() },
+            telemetry: None,
             wall_ms: 1.25,
         }
     }
@@ -198,5 +269,46 @@ mod tests {
         let open = json.matches(['{', '[']).count();
         let close = json.matches(['}', ']']).count();
         assert_eq!(open, close);
+    }
+
+    #[test]
+    fn artifacts_absent_without_telemetry() {
+        let file = ResultsFile {
+            mode: "fig2".into(),
+            workers: 1,
+            cache: CacheCounters::default(),
+            wall_ms: 1.0,
+            cells: vec![(vec!["fig2".into()], sample_cell())],
+        };
+        assert!(file.timeline_json().is_none());
+        assert!(file.chrome_trace_json().is_none());
+    }
+
+    #[test]
+    fn artifacts_cover_instrumented_cells() {
+        let mut cell = sample_cell();
+        cell.telemetry = Some(TelemetryReport {
+            warps: 2,
+            cycles: 10,
+            interval: 5,
+            totals: [20, 0, 0, 0, 0, 0, 0, 0],
+            ..TelemetryReport::default()
+        });
+        let file = ResultsFile {
+            mode: "fig2".into(),
+            workers: 1,
+            cache: CacheCounters::default(),
+            wall_ms: 1.0,
+            cells: vec![(vec!["fig2".into()], sample_cell()), (vec!["fig2".into()], cell)],
+        };
+        let timeline = file.timeline_json().expect("one instrumented cell");
+        assert!(timeline.contains("\"suite\":\"drs-telemetry-timeline\""));
+        assert!(timeline.contains("\"stall_buckets\""));
+        // Only the instrumented cell is listed.
+        assert_eq!(timeline.matches("\"cell\":").count(), 1);
+        let trace = file.chrome_trace_json().expect("one instrumented cell");
+        let summary = drs_telemetry::check::validate_chrome_trace(&trace).unwrap();
+        assert_eq!(summary.pids, vec![0]);
+        assert_eq!(summary.metadata_events, 3, "process + two warp threads");
     }
 }

@@ -6,7 +6,8 @@ use drs_baselines::{DmkConfig, DmkKernel, DmkUnit, TbcConfig, TbcUnit};
 use drs_core::system::RowedWhileIf;
 use drs_core::{DrsConfig, DrsUnit};
 use drs_kernels::{WhileIfKernel, WhileWhileConfig, WhileWhileKernel};
-use drs_sim::{GpuConfig, NullSpecial, SimOutcome, Simulation};
+use drs_sim::{GpuConfig, NullSpecial, SimOutcome, Simulation, TelemetrySink};
+use drs_telemetry::{TelemetryCollector, TelemetryConfig, TelemetryReport};
 use drs_trace::RayScript;
 
 /// Run `method` with `warps` resident warps over one ray stream to
@@ -17,12 +18,36 @@ use drs_trace::RayScript;
 /// Unlike the pre-harness runner this does **not** panic when the safety
 /// cycle cap fires; the caller decides how to report `completed == false`.
 pub fn run_method_with_warps(method: Method, warps: usize, scripts: &[RayScript]) -> SimOutcome {
+    run_inner(method, warps, scripts, None)
+}
+
+/// Like [`run_method_with_warps`], but with a [`TelemetryCollector`]
+/// attached: also returns the stall-attribution / timeline report.
+///
+/// Telemetry is observational — the [`SimOutcome`] is bit-identical to
+/// the plain runner's (asserted by the harness test suite).
+pub fn run_method_with_warps_telemetry(
+    method: Method,
+    warps: usize,
+    scripts: &[RayScript],
+    config: TelemetryConfig,
+) -> (SimOutcome, TelemetryReport) {
+    let mut collector = TelemetryCollector::new(config);
+    let out = run_inner(method, warps, scripts, Some(&mut collector));
+    (out, collector.into_report())
+}
+
+fn run_inner<'w>(
+    method: Method,
+    warps: usize,
+    scripts: &'w [RayScript],
+    sink: Option<&'w mut dyn TelemetrySink>,
+) -> SimOutcome {
     let gpu = GpuConfig { max_warps: warps, max_cycles: 4_000_000_000, ..GpuConfig::gtx780() };
-    match method {
+    let mut sim = match method {
         Method::Aila => {
             let k = WhileWhileKernel::new(WhileWhileConfig::default());
             Simulation::new(gpu, k.program(), Box::new(k.clone()), Box::new(NullSpecial), scripts)
-                .run()
         }
         Method::AilaVariant { speculative_traversal, replace_terminated } => {
             let k = WhileWhileKernel::new(WhileWhileConfig {
@@ -30,7 +55,6 @@ pub fn run_method_with_warps(method: Method, warps: usize, scripts: &[RayScript]
                 replace_terminated,
             });
             Simulation::new(gpu, k.program(), Box::new(k.clone()), Box::new(NullSpecial), scripts)
-                .run()
         }
         Method::Dmk => {
             let cfg = DmkConfig { warps, lanes: 32, pool_slots: warps * 32 };
@@ -42,7 +66,6 @@ pub fn run_method_with_warps(method: Method, warps: usize, scripts: &[RayScript]
                 Box::new(DmkUnit::new(cfg)),
                 scripts,
             )
-            .run()
         }
         Method::Tbc => {
             let k = WhileIfKernel::new();
@@ -54,7 +77,6 @@ pub fn run_method_with_warps(method: Method, warps: usize, scripts: &[RayScript]
                 Box::new(TbcUnit::new(cfg)),
                 scripts,
             )
-            .run()
         }
         Method::Drs { backup_rows, swap_buffers, .. } => {
             let cfg = DrsConfig { warps, backup_rows, swap_buffers, ideal: false, lanes: 32 };
@@ -67,7 +89,6 @@ pub fn run_method_with_warps(method: Method, warps: usize, scripts: &[RayScript]
                 Box::new(DrsUnit::new(cfg)),
                 scripts,
             )
-            .run()
         }
         Method::IdealDrs => {
             let cfg = DrsConfig { warps, backup_rows: 1, swap_buffers: 6, ideal: true, lanes: 32 };
@@ -80,9 +101,12 @@ pub fn run_method_with_warps(method: Method, warps: usize, scripts: &[RayScript]
                 Box::new(DrsUnit::new(cfg)),
                 scripts,
             )
-            .run()
         }
+    };
+    if let Some(sink) = sink {
+        sim.attach_telemetry(sink);
     }
+    sim.run()
 }
 
 #[cfg(test)]
@@ -104,5 +128,28 @@ mod tests {
         );
         assert_eq!(a.stats, b.stats);
         assert!(a.completed);
+    }
+
+    #[test]
+    fn telemetry_runner_is_observational_and_balanced() {
+        let scene = SceneKind::Conference.build_with_tris(2_000);
+        let streams = BounceStreams::capture(&scene, 300, 2, 7);
+        let scripts = &streams.bounce(1).scripts;
+        let plain = run_method_with_warps(Method::Aila, 8, scripts);
+        let (out, report) = run_method_with_warps_telemetry(
+            Method::Aila,
+            8,
+            scripts,
+            TelemetryConfig { interval: 500, trace: true, ..TelemetryConfig::default() },
+        );
+        assert_eq!(plain.stats, out.stats, "attaching telemetry must not change results");
+        assert_eq!(report.warps, 8);
+        assert_eq!(report.cycles, out.stats.cycles);
+        report.check_identity().unwrap();
+        assert!(
+            (report.weighted_simd_efficiency() - out.stats.simd_efficiency()).abs() < 1e-9,
+            "interval series must reproduce the aggregate efficiency"
+        );
+        assert!(report.trace.as_ref().is_some_and(|t| !t.spans.is_empty()));
     }
 }

@@ -63,13 +63,21 @@ fn warm_cache_rerun_is_identical_and_skips_capture() {
     let _ = std::fs::remove_dir_all(&dir);
 
     // Cold pass: every workload is a miss.
-    let cold_opts = RunOptions { workers: 4, capture: CaptureMode::Cached(StreamCache::new(&dir)) };
+    let cold_opts = RunOptions {
+        workers: 4,
+        capture: CaptureMode::Cached(StreamCache::new(&dir)),
+        ..RunOptions::serial()
+    };
     let cold = pool::run_jobs(&set.jobs, &cold_opts);
     assert_eq!(cold.cache.misses as usize, distinct);
     assert_eq!(cold.cache.hits, 0);
 
     // Warm pass: all capture work is skipped.
-    let warm_opts = RunOptions { workers: 4, capture: CaptureMode::Cached(StreamCache::new(&dir)) };
+    let warm_opts = RunOptions {
+        workers: 4,
+        capture: CaptureMode::Cached(StreamCache::new(&dir)),
+        ..RunOptions::serial()
+    };
     let warm = pool::run_jobs(&set.jobs, &warm_opts);
     assert_eq!(
         warm.cache.hits as usize, distinct,

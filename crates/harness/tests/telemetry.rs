@@ -1,0 +1,158 @@
+//! The telemetry layer's contractual guarantees, proven on the real
+//! experiment grid (conference scene, every fig2 bounce, all four
+//! comparison methods):
+//!
+//! 1. **Accounting identity**: with telemetry attached, every warp-cycle
+//!    of every cell is charged to exactly one stall bucket —
+//!    `Σ buckets == cycles × warps`, globally and per interval.
+//! 2. **Observability is free**: the same grid run without telemetry
+//!    yields bit-identical `SimStats` (the hot loop does no attribution
+//!    work when detached).
+//! 3. **Timeline fidelity**: the issue-weighted mean of the interval
+//!    SIMD-efficiency series reproduces the aggregate efficiency to 1e-9.
+//! 4. **Artifact validity**: the emitted Chrome trace and timeline JSON
+//!    parse and match the schema the trace viewer expects.
+
+use drs_harness::{
+    figures, pool, CellResult, Method, ResultsFile, RunOptions, Scale, SimJob, WorkloadSpec,
+};
+use drs_scene::SceneKind;
+use drs_sim::StallBucket;
+use drs_telemetry::{check, TelemetryConfig};
+
+/// Reduced scale so the grid stays fast in debug CI runs.
+fn tiny_scale() -> Scale {
+    Scale { rays: 260, tris_scale: 0.008, warps_scale: 0.15 }
+}
+
+/// Every fig2 cell (conference, bounces 1..=depth) for all four
+/// comparison methods — Aila, DMK, TBC, and default DRS.
+fn fig2_all_methods(scale: &Scale) -> Vec<SimJob> {
+    let wl = WorkloadSpec::standard(SceneKind::Conference, scale, figures::CANONICAL_DEPTH);
+    let mut jobs = Vec::new();
+    for method in figures::comparison_methods() {
+        for bounce in 1..=figures::CANONICAL_DEPTH {
+            jobs.push(SimJob {
+                workload: wl,
+                bounce,
+                method,
+                warps: scale.warps(method.paper_warps()),
+            });
+        }
+    }
+    assert_eq!(jobs.len(), 4 * figures::CANONICAL_DEPTH);
+    jobs
+}
+
+fn telemetry_opts() -> RunOptions {
+    RunOptions {
+        workers: 4,
+        telemetry: Some(TelemetryConfig {
+            interval: 512,
+            trace: true,
+            ..TelemetryConfig::default()
+        }),
+        ..RunOptions::serial()
+    }
+}
+
+fn cell_label(c: &CellResult) -> String {
+    format!("{} B{}", c.job.method.label(), c.job.bounce)
+}
+
+#[test]
+fn accounting_identity_and_timeline_fidelity_on_fig2_grid() {
+    let scale = tiny_scale();
+    let jobs = fig2_all_methods(&scale);
+    let report = pool::run_jobs(&jobs, &telemetry_opts());
+
+    let mut simulated = 0usize;
+    for cell in &report.cells {
+        assert!(cell.completed, "{} hit the cycle cap", cell_label(cell));
+        if cell.empty {
+            assert!(cell.telemetry.is_none(), "empty cells must not carry telemetry");
+            continue;
+        }
+        simulated += 1;
+        let t = cell.telemetry.as_ref().unwrap_or_else(|| {
+            panic!("{}: telemetry missing despite being enabled", cell_label(cell))
+        });
+        assert_eq!(t.cycles, cell.stats.cycles, "{}", cell_label(cell));
+        assert_eq!(t.warps, cell.job.warps, "{}", cell_label(cell));
+        t.check_identity().unwrap_or_else(|e| panic!("{}: {e}", cell_label(cell)));
+        assert!(
+            (t.weighted_simd_efficiency() - cell.stats.simd_efficiency()).abs() < 1e-9,
+            "{}: interval series does not reproduce aggregate SIMD efficiency",
+            cell_label(cell)
+        );
+        // Issued warp-cycles only happen when instructions issued, and
+        // every run that completed rays must have issued something.
+        assert!(t.totals[StallBucket::Issued as usize] > 0, "{}", cell_label(cell));
+        assert!(t.trace.as_ref().is_some_and(|tr| !tr.spans.is_empty()), "{}", cell_label(cell));
+    }
+    assert!(simulated >= 8, "grid too empty to be meaningful: {simulated} simulated cells");
+}
+
+#[test]
+fn telemetry_off_is_bit_identical() {
+    let scale = tiny_scale();
+    // Bound the runtime: identity for all methods is covered above, so
+    // two bounces per method suffice for the A/B comparison.
+    let mut jobs = fig2_all_methods(&scale);
+    jobs.retain(|j| j.bounce <= 2);
+
+    let plain = pool::run_jobs(&jobs, &RunOptions { workers: 4, ..RunOptions::serial() });
+    let observed = pool::run_jobs(&jobs, &telemetry_opts());
+
+    assert_eq!(plain.cells.len(), observed.cells.len());
+    for (p, o) in plain.cells.iter().zip(observed.cells.iter()) {
+        assert!(p.telemetry.is_none());
+        assert_eq!(
+            p.stats,
+            o.stats,
+            "telemetry must be purely observational, diverged on {}",
+            cell_label(p)
+        );
+        assert_eq!(p.completed, o.completed);
+        assert_eq!(p.empty, o.empty);
+    }
+}
+
+#[test]
+fn emitted_artifacts_parse_and_match_schema() {
+    let scale = tiny_scale();
+    let mut jobs = fig2_all_methods(&scale);
+    jobs.retain(|j| j.bounce <= 2 && j.method == Method::Aila);
+    let report = pool::run_jobs(&jobs, &telemetry_opts());
+    let n = report.cells.iter().filter(|c| !c.empty).count();
+    assert!(n >= 1);
+
+    let figures_of = vec![vec!["fig2".to_string()]; report.cells.len()];
+    let results = ResultsFile::from_report("fig2", 4, report, figures_of);
+
+    // The timeline artifact parses and lists every instrumented cell.
+    let timeline = results.timeline_json().expect("instrumented cells present");
+    let doc = check::parse(&timeline).expect("timeline artifact must be valid JSON");
+    let cells = doc.get("cells").and_then(|c| c.as_arr()).expect("cells array");
+    assert_eq!(cells.len(), n);
+    for cell in cells {
+        let t = cell.get("telemetry").expect("telemetry object");
+        let buckets = t.get("stall_buckets").expect("stall_buckets object");
+        let total: f64 = StallBucket::ALL
+            .iter()
+            .map(|b| buckets.get(b.label()).and_then(|v| v.as_num()).expect("bucket count"))
+            .sum();
+        let cycles = t.get("cycles").and_then(|v| v.as_num()).unwrap();
+        let warps = t.get("warps").and_then(|v| v.as_num()).unwrap();
+        assert_eq!(total, cycles * warps, "identity must survive serialization");
+        assert!(!t.get("intervals").and_then(|v| v.as_arr()).unwrap().is_empty());
+    }
+
+    // The Chrome trace parses and passes the schema check.
+    let trace = results.chrome_trace_json().expect("instrumented cells present");
+    let summary = check::validate_chrome_trace(&trace).expect("trace must satisfy the schema");
+    assert_eq!(summary.pids.len(), n, "one trace process per instrumented cell");
+    assert!(summary.duration_events > 0, "stall spans must be present");
+    assert!(summary.counter_events > 0, "SIMD-efficiency counters must be present");
+    assert_eq!(summary.instant_events, n, "one end-marker per cell");
+}

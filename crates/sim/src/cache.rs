@@ -154,21 +154,28 @@ impl MemoryHierarchy {
     /// Spawn memory is on-chip scratch, not cached here (the DMK unit
     /// models its banking separately) — it completes at L1 speed.
     pub fn access(&mut self, space: MemSpace, addr: u64, now: u64) -> u64 {
+        self.access_probed(space, addr, now).0
+    }
+
+    /// Like [`MemoryHierarchy::access`], but also reports whether the
+    /// request had to queue for a free miss-status holding register —
+    /// the signal the telemetry layer charges to its MSHR-full bucket.
+    pub fn access_probed(&mut self, space: MemSpace, addr: u64, now: u64) -> (u64, bool) {
         let line = self.line_of(addr);
         match space {
-            MemSpace::Spawn => now + self.l1_latency as u64,
+            MemSpace::Spawn => (now + self.l1_latency as u64, false),
             MemSpace::Global | MemSpace::Texture => {
                 let l1 = match space {
                     MemSpace::Global => &mut self.l1d,
                     _ => &mut self.l1t,
                 };
                 if l1.access(line) {
-                    return now + self.l1_latency as u64;
+                    return (now + self.l1_latency as u64, false);
                 }
                 // L1 miss: check for an already-outstanding fill (MSHR merge).
                 if let Some(&ready) = self.inflight.get(&line) {
                     if ready > now {
-                        return ready;
+                        return (ready, false);
                     }
                     self.inflight.remove(&line);
                 }
@@ -178,7 +185,8 @@ impl MemoryHierarchy {
                 if self.inflight.len() >= self.mshr_entries {
                     self.inflight.retain(|_, &mut r| r > now);
                 }
-                let start = if self.inflight.len() >= self.mshr_entries {
+                let mshr_queued = self.inflight.len() >= self.mshr_entries;
+                let start = if mshr_queued {
                     let free_at = self.inflight.values().copied().min().unwrap_or(now);
                     self.inflight.retain(|_, &mut r| r > free_at);
                     free_at.max(now)
@@ -191,7 +199,7 @@ impl MemoryHierarchy {
                     start + self.dram_latency as u64
                 };
                 self.inflight.insert(line, ready);
-                ready
+                (ready, mshr_queued)
             }
         }
     }

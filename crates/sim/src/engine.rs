@@ -8,6 +8,7 @@ use crate::isa::{MemSpace, MicroOp, OpKind, OpTag};
 use crate::program::{BlockId, Program, Terminator};
 use crate::state::MachineState;
 use crate::stats::SimStats;
+use crate::telemetry::{CycleSnapshot, StallBucket, TelemetrySink};
 use drs_trace::RayScript;
 
 /// Architectural registers tracked per warp (micro-op reg ids must be below
@@ -68,6 +69,75 @@ impl WarpTiming {
     fn top_mut(&mut self) -> &mut StackEntry {
         self.stack.last_mut().expect("SIMT stack never empties")
     }
+
+    /// The entry [`WarpTiming::settle`] would leave on top, without
+    /// mutating the stack (read-only view for stall attribution).
+    fn effective_top(&self) -> &StackEntry {
+        let mut i = self.stack.len() - 1;
+        while i > 0 && self.stack[i].op_idx == 0 && self.stack[i].pc == self.stack[i].reconv {
+            i -= 1;
+        }
+        &self.stack[i]
+    }
+}
+
+/// Why a warp's `blocked_until` lies in the future (telemetry only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum BlockReason {
+    /// Never blocked yet.
+    #[default]
+    None,
+    /// Branch-redirect penalty (SIMT stack update).
+    Branch,
+    /// Special-unit (`rdctrl`) refusal backoff.
+    Rdctrl,
+    /// Serialized behind the shared spawn scratchpad.
+    SpawnMem,
+}
+
+/// What produced a register's pending value (telemetry only).
+#[derive(Debug, Clone, Copy, Default)]
+struct RegProducer {
+    /// Produced by a load (in-flight memory) rather than an ALU/special op.
+    mem: bool,
+    /// The producing load had to queue for a free MSHR.
+    mshr_queued: bool,
+    /// Ready time excluding operand-collector (bank-conflict) extra
+    /// cycles: past this point only collector serialization remains.
+    base_ready: u64,
+}
+
+/// Per-warp bookkeeping behind the stall-attribution pass. Allocated only
+/// when a [`TelemetrySink`] is attached; the hot loop never touches it
+/// otherwise, so detached runs do zero attribution work.
+struct Attribution {
+    /// Warp issued ≥ 1 instruction this cycle.
+    issued: Vec<bool>,
+    /// Warp was refused by the special unit this cycle.
+    rdctrl: Vec<bool>,
+    /// Reason for the warp's latest `blocked_until` assignment.
+    block_reason: Vec<BlockReason>,
+    /// Producer metadata per (warp, register).
+    producers: Vec<[RegProducer; TRACKED_REGS]>,
+    /// This cycle's charge per warp (reused buffer handed to the sink).
+    buckets: Vec<StallBucket>,
+}
+
+impl Attribution {
+    fn new(warps: usize) -> Attribution {
+        Attribution {
+            issued: vec![false; warps],
+            rdctrl: vec![false; warps],
+            block_reason: vec![BlockReason::None; warps],
+            producers: vec![[RegProducer::default(); TRACKED_REGS]; warps],
+            buckets: vec![StallBucket::Idle; warps],
+        }
+    }
+
+    fn begin_cycle(&mut self) {
+        self.issued.fill(false);
+        self.rdctrl.fill(false);
+    }
 }
 
 /// Result of a completed simulation.
@@ -101,6 +171,10 @@ pub struct Simulation<'w> {
     cycle: u64,
     /// Greedy warp per scheduler.
     sched_current: Vec<usize>,
+    /// Attached telemetry sink (observational; never affects results).
+    sink: Option<&'w mut dyn TelemetrySink>,
+    /// Stall-attribution state; `Some` iff a sink is attached.
+    attr: Option<Attribution>,
     /// Full active mask for the configured lane count.
     #[cfg(feature = "validate")]
     full_mask: u32,
@@ -157,11 +231,25 @@ impl<'w> Simulation<'w> {
             spawn_busy_until: 0,
             cycle: 0,
             sched_current,
+            sink: None,
+            attr: None,
             #[cfg(feature = "validate")]
             full_mask,
             #[cfg(feature = "validate")]
             last_issue_cycle: 0,
         }
+    }
+
+    /// Attach a telemetry sink: from now on every cycle charges each warp
+    /// to exactly one [`StallBucket`] and forwards the attribution to the
+    /// sink. Attach before [`Simulation::run`]; attribution of cycles
+    /// simulated earlier is not reconstructed.
+    ///
+    /// The sink observes — it cannot alter simulation results, and runs
+    /// without a sink skip the attribution pass entirely.
+    pub fn attach_telemetry(&mut self, sink: &'w mut dyn TelemetrySink) {
+        self.attr = Some(Attribution::new(self.cfg.max_warps));
+        self.sink = Some(sink);
     }
 
     /// Run to completion (all warps exited) or the safety cycle cap.
@@ -193,12 +281,33 @@ impl<'w> Simulation<'w> {
             .zip(self.block_counters.iter())
             .map(|(b, &(n, a))| (b.label, n, a))
             .collect();
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.on_finish(&Self::snapshot(&self.stats, self.cycle, self.machine.rays_completed));
+        }
         SimOutcome { stats: self.stats, completed }
+    }
+
+    /// A cheap copy of the live counters for the telemetry sink.
+    fn snapshot(stats: &SimStats, cycle: u64, rays_completed: u64) -> CycleSnapshot {
+        CycleSnapshot {
+            cycle,
+            issued: stats.issued,
+            issued_si: stats.issued_si,
+            rdctrl_stalls: stats.rdctrl_stalls,
+            rdctrl_issued: stats.rdctrl_issued,
+            mem_transactions: stats.mem_transactions,
+            loads: stats.loads,
+            stores: stats.stores,
+            rays_completed,
+        }
     }
 
     /// Advance one cycle.
     fn step(&mut self) {
         self.banks.new_cycle();
+        if let Some(attr) = &mut self.attr {
+            attr.begin_cycle();
+        }
         #[cfg(feature = "validate")]
         let issued_before = self.stats.issued.total + self.stats.issued_si.total;
         for s in 0..self.cfg.warp_schedulers {
@@ -214,7 +323,87 @@ impl<'w> Simulation<'w> {
         }
         let idle = self.banks.idle_banks();
         self.special.tick(self.cycle, &idle, &mut self.machine, &mut self.stats);
+        if self.attr.is_some() {
+            self.cycle_telemetry();
+        }
         self.cycle += 1;
+    }
+
+    /// Charge every warp's cycle to exactly one [`StallBucket`] and hand
+    /// the attribution to the sink. Only runs with telemetry attached.
+    ///
+    /// The charging priority order is documented on [`StallBucket`]; the
+    /// per-warp sum over a whole run satisfies
+    /// `Σ buckets == cycles × warps` by construction (one bucket per warp
+    /// per call, one call per cycle).
+    fn cycle_telemetry(&mut self) {
+        let attr = self.attr.as_mut().expect("guarded by caller");
+        let now = self.cycle;
+        for (w, warp) in self.warps.iter().enumerate() {
+            let bucket = if attr.issued[w] {
+                StallBucket::Issued
+            } else if warp.exited {
+                // Drained out of the kernel; the slot idles until grid end.
+                StallBucket::SimtDrain
+            } else if attr.rdctrl[w]
+                || (warp.blocked_until > now && attr.block_reason[w] == BlockReason::Rdctrl)
+            {
+                StallBucket::RdctrlStall
+            } else if warp.blocked_until > now {
+                match attr.block_reason[w] {
+                    BlockReason::SpawnMem => StallBucket::MemoryPending,
+                    // Branch-redirect penalty: the SIMT stack update drains
+                    // the front end.
+                    _ => StallBucket::SimtDrain,
+                }
+            } else {
+                // No explicit block: consult the scoreboard for the next op
+                // the warp would execute.
+                let top = warp.effective_top();
+                let block = self.program.block(top.pc);
+                match block.ops.get(top.op_idx) {
+                    None => StallBucket::Idle, // ready at the terminator
+                    Some(op) => {
+                        // The binding operand is the one released last.
+                        let mut worst: Option<(u64, StallBucket)> = None;
+                        for r in op.sources().chain(op.dst) {
+                            let ready = warp.reg_ready[r as usize];
+                            if ready <= now {
+                                continue;
+                            }
+                            let p = attr.producers[w][r as usize];
+                            let b = if now >= p.base_ready {
+                                // Base latency elapsed: only register-bank
+                                // serialization keeps the value away.
+                                StallBucket::OperandCollector
+                            } else if p.mem {
+                                if p.mshr_queued {
+                                    StallBucket::MshrFull
+                                } else {
+                                    StallBucket::MemoryPending
+                                }
+                            } else {
+                                StallBucket::Scoreboard
+                            };
+                            if worst.map(|(t, _)| ready > t).unwrap_or(true) {
+                                worst = Some((ready, b));
+                            }
+                        }
+                        match worst {
+                            Some((_, b)) => b,
+                            // Operands ready: the warp was simply not
+                            // selected by its scheduler this cycle.
+                            None => StallBucket::Idle,
+                        }
+                    }
+                }
+            };
+            attr.buckets[w] = bucket;
+        }
+        let snap = Self::snapshot(&self.stats, now, self.machine.rays_completed);
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.on_cycle(&snap, &attr.buckets);
+        }
     }
 
     /// Watchdog: no warp has issued for `watchdog_cycles`. Dump every warp's
@@ -314,6 +503,9 @@ impl<'w> Simulation<'w> {
             }
             let issued = self.issue_from_warp(w);
             if issued > 0 {
+                if let Some(attr) = &mut self.attr {
+                    attr.issued[w] = true;
+                }
                 self.sched_current[sched] = w;
                 return;
             }
@@ -362,6 +554,9 @@ impl<'w> Simulation<'w> {
                         // also keeps the scheduler from burning its issue
                         // slot on the same stalled warp every cycle.
                         self.warps[w].blocked_until = self.cycle + 3;
+                        if let Some(attr) = &mut self.attr {
+                            attr.block_reason[w] = BlockReason::Rdctrl;
+                        }
                         break;
                     }
                 }
@@ -416,14 +611,19 @@ impl<'w> Simulation<'w> {
                 match self.special.issue(w, token, &mut self.machine, &mut self.stats) {
                     SpecialOutcome::Stall => {
                         self.stats.rdctrl_stalls += 1;
+                        if let Some(attr) = &mut self.attr {
+                            attr.rdctrl[w] = true;
+                        }
                         return IssueResult::Stalled;
                     }
                     SpecialOutcome::Proceed { ctrl } => {
                         self.machine.warp_ctrl[w] = ctrl;
                         self.stats.rdctrl_issued += 1;
                         if let Some(d) = op.dst {
-                            self.warps[w].reg_ready[d as usize] = now + self.cfg.alu_latency as u64;
+                            let ready = now + self.cfg.alu_latency as u64;
+                            self.warps[w].reg_ready[d as usize] = ready;
                             self.banks.write(w, d);
+                            self.note_producer(w, d, false, false, ready);
                         }
                     }
                 }
@@ -436,16 +636,19 @@ impl<'w> Simulation<'w> {
             OpKind::Alu { latency } => {
                 let extra = self.collect_operands(w, op);
                 if let Some(d) = op.dst {
-                    self.warps[w].reg_ready[d as usize] = now + latency as u64 + extra as u64;
+                    let base = now + latency as u64;
+                    self.warps[w].reg_ready[d as usize] = base + extra as u64;
                     self.banks.write(w, d);
+                    self.note_producer(w, d, false, false, base);
                 }
             }
             OpKind::Load { space, addr } => {
                 let extra = self.collect_operands(w, op);
-                let ready = self.memory_access(w, space, addr, &active, true);
+                let (ready, mshr_queued) = self.memory_access(w, space, addr, &active, true);
                 if let Some(d) = op.dst {
                     self.warps[w].reg_ready[d as usize] = ready + extra as u64;
                     self.banks.write(w, d);
+                    self.note_producer(w, d, true, mshr_queued, ready);
                 }
                 self.stats.loads += 1;
             }
@@ -463,6 +666,15 @@ impl<'w> Simulation<'w> {
         IssueResult::Issued
     }
 
+    /// Record what produced register `d`'s pending value (telemetry only;
+    /// no-op when no sink is attached).
+    #[inline]
+    fn note_producer(&mut self, w: usize, d: u8, mem: bool, mshr_queued: bool, base_ready: u64) {
+        if let Some(attr) = &mut self.attr {
+            attr.producers[w][d as usize] = RegProducer { mem, mshr_queued, base_ready };
+        }
+    }
+
     /// Read source operands through the banked register file; returns extra
     /// operand-collection cycles caused by bank conflicts.
     fn collect_operands(&mut self, w: usize, op: &MicroOp) -> u32 {
@@ -474,7 +686,8 @@ impl<'w> Simulation<'w> {
     }
 
     /// Coalesce the active lanes' addresses and access the hierarchy;
-    /// returns the cycle the last line's data arrives.
+    /// returns the cycle the last line's data arrives plus whether any
+    /// line's miss had to queue for an MSHR (telemetry attribution).
     fn memory_access(
         &mut self,
         w: usize,
@@ -482,7 +695,7 @@ impl<'w> Simulation<'w> {
         addr_token: u16,
         active: &[usize],
         _is_load: bool,
-    ) -> u64 {
+    ) -> (u64, bool) {
         let now = self.cycle;
         let mut lines: Vec<u64> = Vec::with_capacity(4);
         let mut spawn_banks = [0u32; 32];
@@ -513,7 +726,10 @@ impl<'w> Simulation<'w> {
             let end = start + 1 + conflict_cycles;
             self.spawn_busy_until = end;
             self.warps[w].blocked_until = end;
-            return end + self.cfg.l1_latency as u64;
+            if let Some(attr) = &mut self.attr {
+                attr.block_reason[w] = BlockReason::SpawnMem;
+            }
+            return (end + self.cfg.l1_latency as u64, false);
         }
         // The load/store unit is shared: spawn-memory conflict serialization
         // (DMK) occupies it, so ordinary loads issued meanwhile queue behind
@@ -521,13 +737,15 @@ impl<'w> Simulation<'w> {
         // be hidden".
         let start = self.spawn_busy_until.max(now);
         let mut last_ready = start;
+        let mut any_mshr_queued = false;
         // The LSU processes one line per cycle; memory divergence serializes.
         for (i, line) in lines.iter().enumerate() {
-            let ready = self.mem.access(space, *line, start + i as u64);
+            let (ready, mshr_queued) = self.mem.access_probed(space, *line, start + i as u64);
             last_ready = last_ready.max(ready);
+            any_mshr_queued |= mshr_queued;
             self.stats.mem_transactions += 1;
         }
-        last_ready
+        (last_ready, any_mshr_queued)
     }
 
     /// Execute a block terminator for warp `w`.
@@ -541,6 +759,9 @@ impl<'w> Simulation<'w> {
                 top.pc = t;
                 top.op_idx = 0;
                 self.warps[w].blocked_until = now + self.cfg.branch_penalty as u64;
+                if let Some(attr) = &mut self.attr {
+                    attr.block_reason[w] = BlockReason::Branch;
+                }
             }
             Terminator::Exit => {
                 self.warps[w].exited = true;
@@ -593,6 +814,9 @@ impl<'w> Simulation<'w> {
                     });
                 }
                 self.warps[w].blocked_until = now + self.cfg.branch_penalty as u64;
+                if let Some(attr) = &mut self.attr {
+                    attr.block_reason[w] = BlockReason::Branch;
+                }
             }
         }
     }
@@ -614,7 +838,7 @@ mod tests {
     /// A toy kernel: each lane consumes its script's steps one per loop
     /// iteration (cond 0 = "lane's slot still has steps"; effect 0 =
     /// consume + retire/fetch as needed; addr 0 = current step address).
-    struct ToyBehavior;
+    pub(super) struct ToyBehavior;
 
     const COND_HAS_WORK: u16 = 0;
     const EFF_CONSUME: u16 = 0;
@@ -659,7 +883,7 @@ mod tests {
         }
     }
 
-    fn toy_program() -> Program {
+    pub(super) fn toy_program() -> Program {
         Program::new(vec![
             // 0: loop head
             Block::new(
@@ -683,7 +907,7 @@ mod tests {
         ])
     }
 
-    fn scripts_uniform(n: usize, steps: usize) -> Vec<RayScript> {
+    pub(super) fn scripts_uniform(n: usize, steps: usize) -> Vec<RayScript> {
         (0..n)
             .map(|i| {
                 RayScript::new(
@@ -699,7 +923,7 @@ mod tests {
             .collect()
     }
 
-    fn small_cfg(warps: usize) -> GpuConfig {
+    pub(super) fn small_cfg(warps: usize) -> GpuConfig {
         GpuConfig { max_warps: warps, max_cycles: 2_000_000, ..GpuConfig::gtx780() }
     }
 
@@ -858,6 +1082,110 @@ mod tests {
         assert_eq!(out.stats.rdctrl_stalls, 5);
         assert_eq!(out.stats.rdctrl_issued, 1);
         assert!((out.stats.rdctrl_stall_rate() - 5.0 / 6.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod telemetry_tests {
+    use super::tests::{scripts_uniform, small_cfg, toy_program, ToyBehavior};
+    use super::*;
+    use crate::behavior::NullSpecial;
+    use crate::telemetry::NUM_STALL_BUCKETS;
+
+    /// Sink that tallies buckets and checks per-call invariants.
+    #[derive(Default)]
+    struct Recorder {
+        cycles: u64,
+        warps: usize,
+        counts: [u64; NUM_STALL_BUCKETS],
+        finished: bool,
+        last_cycle: Option<u64>,
+    }
+
+    impl TelemetrySink for Recorder {
+        fn on_cycle(&mut self, snap: &CycleSnapshot, warp_buckets: &[StallBucket]) {
+            // Cycles arrive strictly in order, exactly once each.
+            if let Some(prev) = self.last_cycle {
+                assert_eq!(snap.cycle, prev + 1);
+            } else {
+                assert_eq!(snap.cycle, 0);
+            }
+            self.last_cycle = Some(snap.cycle);
+            self.cycles += 1;
+            self.warps = warp_buckets.len();
+            for &b in warp_buckets {
+                self.counts[b as usize] += 1;
+            }
+        }
+
+        fn on_finish(&mut self, snap: &CycleSnapshot) {
+            assert!(!self.finished, "on_finish must fire once");
+            self.finished = true;
+            assert_eq!(snap.cycle, self.cycles);
+        }
+    }
+
+    fn run_with_recorder(scripts: &[RayScript]) -> (SimOutcome, Recorder) {
+        let mut rec = Recorder::default();
+        let mut sim = Simulation::new(
+            small_cfg(4),
+            toy_program(),
+            Box::new(ToyBehavior),
+            Box::new(NullSpecial),
+            scripts,
+        );
+        sim.attach_telemetry(&mut rec);
+        let out = sim.run();
+        (out, rec)
+    }
+
+    #[test]
+    fn accounting_identity_holds_every_cycle() {
+        let scripts = scripts_uniform(256, 10);
+        let (out, rec) = run_with_recorder(&scripts);
+        assert!(out.completed);
+        assert!(rec.finished);
+        assert_eq!(rec.cycles, out.stats.cycles);
+        assert_eq!(rec.warps, 4);
+        let total: u64 = rec.counts.iter().sum();
+        assert_eq!(
+            total,
+            out.stats.cycles * 4,
+            "Σ buckets must equal cycles × warps; got {:?}",
+            rec.counts
+        );
+        // The toy kernel issues, waits on loads and drains at the end.
+        assert!(rec.counts[StallBucket::Issued as usize] > 0);
+        assert!(rec.counts[StallBucket::MemoryPending as usize] > 0);
+        assert!(rec.counts[StallBucket::SimtDrain as usize] > 0);
+    }
+
+    #[test]
+    fn detached_and_attached_runs_are_bit_identical() {
+        let scripts = scripts_uniform(128, 6);
+        let plain = Simulation::new(
+            small_cfg(4),
+            toy_program(),
+            Box::new(ToyBehavior),
+            Box::new(NullSpecial),
+            &scripts,
+        )
+        .run();
+        let (observed, _) = run_with_recorder(&scripts);
+        assert_eq!(plain.stats, observed.stats, "telemetry must be purely observational");
+        assert_eq!(plain.completed, observed.completed);
+    }
+
+    #[test]
+    fn issued_cycles_bounded_by_issue_histogram() {
+        // A warp-cycle charged `issued` implies ≥ 1 issue, and one warp
+        // issues at most `issues_per_scheduler` ops per cycle.
+        let scripts = scripts_uniform(64, 5);
+        let (out, rec) = run_with_recorder(&scripts);
+        let issued_cycles = rec.counts[StallBucket::Issued as usize];
+        let issued_insts = out.stats.issued.total + out.stats.issued_si.total;
+        assert!(issued_cycles <= issued_insts);
+        assert!(issued_insts <= issued_cycles * small_cfg(4).issues_per_scheduler() as u64);
     }
 }
 

@@ -14,7 +14,11 @@
 //! - **L1 data / L1 texture / L2 caches** with MSHR merging and a flat DRAM
 //!   latency, fed by a per-warp memory coalescer,
 //! - **statistics** matching the paper's reporting: the W*m*:*n* active-lane
-//!   issue histogram, SIMD efficiency, stall and cache counters.
+//!   issue histogram, SIMD efficiency, stall and cache counters,
+//! - **telemetry hooks**: an attachable [`TelemetrySink`] receives a
+//!   per-cycle charge of every warp to one [`StallBucket`] (stall
+//!   attribution) plus live counter snapshots; with no sink attached the
+//!   hot loop does zero attribution work and results are bit-identical.
 //!
 //! Kernels are expressed as [`Program`]s of basic blocks of [`MicroOp`]s.
 //! Per-lane branch outcomes and memory addresses are *oracle-driven*: each
@@ -42,6 +46,7 @@ mod json;
 mod program;
 mod state;
 mod stats;
+mod telemetry;
 
 pub use banks::RegisterBanks;
 pub use behavior::{KernelBehavior, NullSpecial, SpecialOutcome, SpecialUnit};
@@ -54,3 +59,4 @@ pub use json::JsonBuf;
 pub use program::{Block, BlockId, Program, Terminator};
 pub use state::{MachineState, RayQueue, RayRef, RaySlot, RayState, NO_POSTPONED, NO_SLOT};
 pub use stats::{ActiveHistogram, SimStats};
+pub use telemetry::{CycleSnapshot, StallBucket, TelemetrySink, NUM_STALL_BUCKETS};

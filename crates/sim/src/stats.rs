@@ -42,6 +42,29 @@ impl ActiveHistogram {
         self.buckets[i] as f64 / self.total as f64
     }
 
+    /// The element-wise difference `self - earlier` — the issues recorded
+    /// between two snapshots of the same growing histogram (interval
+    /// sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is not a prefix state of `self` (any counter
+    /// would go negative) — snapshots taken out of order are a bug.
+    pub fn delta(&self, earlier: &ActiveHistogram) -> ActiveHistogram {
+        let sub = |a: u64, b: u64| {
+            a.checked_sub(b).expect("histogram delta: earlier snapshot is not a prefix")
+        };
+        let mut buckets = [0u64; 4];
+        for (d, (a, b)) in buckets.iter_mut().zip(self.buckets.iter().zip(earlier.buckets.iter())) {
+            *d = sub(*a, *b);
+        }
+        ActiveHistogram {
+            buckets,
+            total: sub(self.total, earlier.total),
+            active_sum: sub(self.active_sum, earlier.active_sum),
+        }
+    }
+
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &ActiveHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -191,6 +214,31 @@ mod tests {
     #[should_panic]
     fn zero_active_is_a_bug() {
         ActiveHistogram::default().record(0);
+    }
+
+    #[test]
+    fn delta_recovers_interval_counts() {
+        let mut early = ActiveHistogram::default();
+        early.record(32);
+        early.record(4);
+        let mut late = early;
+        late.record(16);
+        late.record(1);
+        let d = late.delta(&early);
+        assert_eq!(d.total, 2);
+        assert_eq!(d.active_sum, 17);
+        assert_eq!(d.buckets, [1, 1, 0, 0]);
+        // Zero-width interval.
+        let z = late.delta(&late);
+        assert_eq!(z, ActiveHistogram::default());
+    }
+
+    #[test]
+    #[should_panic]
+    fn delta_rejects_reordered_snapshots() {
+        let mut late = ActiveHistogram::default();
+        late.record(8);
+        let _ = ActiveHistogram::default().delta(&late);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! The engine-side telemetry hook: per-cycle stall attribution.
+//!
+//! Every simulated cycle, each resident warp's state is charged to exactly
+//! one [`StallBucket`], and an attached [`TelemetrySink`] receives the
+//! per-warp bucket vector plus a cheap copy of the live counters
+//! ([`CycleSnapshot`]). The charging priority order is documented on
+//! [`StallBucket`] and in DESIGN.md's "Observability" section.
+//!
+//! The hook is *observational*: a sink can never change simulation
+//! results, and with no sink attached the engine performs no attribution
+//! work at all — [`SimStats`] are bit-identical either way (asserted by
+//! the harness test suite).
+//!
+//! Collectors (interval sampling, Chrome-trace export) live in the
+//! `drs-telemetry` crate; this module only defines the contract so the
+//! simulator stays dependency-free.
+
+use crate::stats::ActiveHistogram;
+
+/// Number of stall-attribution buckets.
+pub const NUM_STALL_BUCKETS: usize = 8;
+
+/// Where one warp-cycle went. Exactly one bucket is charged per resident
+/// warp per cycle, so `Σ buckets == cycles × warps` (the accounting
+/// identity the telemetry tests enforce).
+///
+/// Charging priority (first match wins):
+///
+/// 1. [`Issued`](StallBucket::Issued) — the warp issued ≥ 1 instruction.
+/// 2. [`SimtDrain`](StallBucket::SimtDrain) — the warp has exited and its
+///    slot drains until kernel end, or it is serving a branch-redirect
+///    penalty (SIMT stack update).
+/// 3. [`RdctrlStall`](StallBucket::RdctrlStall) — the special unit
+///    refused the warp's `rdctrl` this cycle, or the warp is in the
+///    re-arbitration backoff that follows such a refusal.
+/// 4. [`MemoryPending`](StallBucket::MemoryPending) /
+///    [`MshrFull`](StallBucket::MshrFull) — the warp is serialized behind
+///    the shared spawn scratchpad, or its next op waits on a register
+///    whose producing load is still in flight (`MshrFull` when that load
+///    had to queue for a miss-status holding register).
+/// 5. [`OperandCollector`](StallBucket::OperandCollector) — the producing
+///    op's base latency has elapsed; only register-bank conflict
+///    serialization keeps the operand unavailable.
+/// 6. [`Scoreboard`](StallBucket::Scoreboard) — the next op waits on an
+///    ALU-produced register still inside its latency.
+/// 7. [`Idle`](StallBucket::Idle) — no hazard blocks the warp; either the
+///    schedulers issued from other warps this cycle or the warp is ready
+///    at a terminator awaiting its slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum StallBucket {
+    /// The warp issued at least one instruction this cycle.
+    Issued = 0,
+    /// Blocked on a scoreboard dependence from an ALU-produced register.
+    Scoreboard = 1,
+    /// Blocked only on register-bank conflict serialization.
+    OperandCollector = 2,
+    /// Blocked on a load whose miss had to queue for an MSHR.
+    MshrFull = 3,
+    /// Blocked on in-flight memory (load latency or spawn scratchpad).
+    MemoryPending = 4,
+    /// Refused by the special unit (`rdctrl`) or in its issue backoff.
+    RdctrlStall = 5,
+    /// Exited (draining until kernel end) or serving a branch penalty.
+    SimtDrain = 6,
+    /// Ready but not selected, or nothing to do.
+    Idle = 7,
+}
+
+impl StallBucket {
+    /// Stable labels, indexable by `bucket as usize`.
+    pub const LABELS: [&'static str; NUM_STALL_BUCKETS] = [
+        "issued",
+        "scoreboard",
+        "operand_collector",
+        "mshr_full",
+        "memory_pending",
+        "rdctrl_stall",
+        "simt_drain",
+        "idle",
+    ];
+
+    /// Every bucket, in index order.
+    pub const ALL: [StallBucket; NUM_STALL_BUCKETS] = [
+        StallBucket::Issued,
+        StallBucket::Scoreboard,
+        StallBucket::OperandCollector,
+        StallBucket::MshrFull,
+        StallBucket::MemoryPending,
+        StallBucket::RdctrlStall,
+        StallBucket::SimtDrain,
+        StallBucket::Idle,
+    ];
+
+    /// This bucket's label.
+    pub fn label(self) -> &'static str {
+        Self::LABELS[self as usize]
+    }
+}
+
+/// A cheap copy of the live counters a sink may want to sample — taken
+/// every cycle while telemetry is attached, so interval collectors can
+/// slice [`SimStats`](crate::SimStats)-style series at any window without
+/// the engine knowing the window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CycleSnapshot {
+    /// The cycle this snapshot describes (0-based; taken at end of cycle).
+    pub cycle: u64,
+    /// Issue histogram for ordinary instructions so far.
+    pub issued: ActiveHistogram,
+    /// Issue histogram for spawn-overhead (SI) instructions so far.
+    pub issued_si: ActiveHistogram,
+    /// `rdctrl` stalls so far.
+    pub rdctrl_stalls: u64,
+    /// `rdctrl` issues so far.
+    pub rdctrl_issued: u64,
+    /// Coalesced memory transactions so far.
+    pub mem_transactions: u64,
+    /// Load instructions so far.
+    pub loads: u64,
+    /// Store instructions so far.
+    pub stores: u64,
+    /// Rays fully traced so far.
+    pub rays_completed: u64,
+}
+
+/// Receiver of per-cycle attribution events.
+///
+/// Implementations must not assume anything about call timing beyond:
+/// `on_cycle` fires exactly once per simulated cycle, in order, with one
+/// bucket per resident warp; `on_finish` fires exactly once after the
+/// last cycle with the final snapshot.
+pub trait TelemetrySink {
+    /// One simulated cycle: counters snapshot + per-warp charge.
+    fn on_cycle(&mut self, snap: &CycleSnapshot, warp_buckets: &[StallBucket]);
+
+    /// The run ended (all warps exited or the cycle cap fired).
+    fn on_finish(&mut self, snap: &CycleSnapshot);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_align_with_discriminants() {
+        for (i, b) in StallBucket::ALL.iter().enumerate() {
+            assert_eq!(*b as usize, i);
+            assert_eq!(b.label(), StallBucket::LABELS[i]);
+        }
+        assert_eq!(StallBucket::ALL.len(), NUM_STALL_BUCKETS);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut l = StallBucket::LABELS.to_vec();
+        l.sort_unstable();
+        l.dedup();
+        assert_eq!(l.len(), NUM_STALL_BUCKETS);
+    }
+}

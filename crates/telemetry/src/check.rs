@@ -1,0 +1,393 @@
+//! A minimal recursive-descent JSON reader used to *validate* emitted
+//! artifacts (std-only, like the emitter it checks).
+//!
+//! This is deliberately not a general-purpose parser: it exists so the
+//! test suite and CI smoke can prove that every trace/timeline file the
+//! telemetry layer writes is well-formed JSON with the schema Chrome's
+//! trace viewer expects, without adding a serde dependency.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object. Keys are unique; duplicate keys are a parse error
+    /// because the emitter never produces them.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The value at `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Where and why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError { at: self.pos, msg: msg.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            if map.insert(key, val).is_some() {
+                return Err(self.err("duplicate object key"));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            // The emitter only writes \u for C0 controls, so
+                            // surrogate pairs are out of scope — reject them.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("surrogate \\u escape"))?;
+                            s.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point (input is a &str, so
+                    // byte boundaries are safe to rediscover).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    s.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| ParseError { at: start, msg: format!("bad number '{text}'") })
+    }
+}
+
+/// Event counts found by [`validate_chrome_trace`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// `"M"` metadata events.
+    pub metadata_events: usize,
+    /// `"X"` complete-duration events (stall spans).
+    pub duration_events: usize,
+    /// `"C"` counter events (SIMD-efficiency samples).
+    pub counter_events: usize,
+    /// `"i"` instant markers.
+    pub instant_events: usize,
+    /// Distinct process ids, sorted.
+    pub pids: Vec<u64>,
+}
+
+/// Parse `text` and check it is a Chrome trace-event document this crate's
+/// writer could have produced: a top-level object with a `traceEvents`
+/// array whose members each carry a `ph` phase and `pid`, with `"X"`
+/// events additionally carrying numeric `tid`/`ts`/`dur` and a name.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing 'traceEvents' key")?
+        .as_arr()
+        .ok_or("'traceEvents' is not an array")?;
+    let mut summary = TraceSummary::default();
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |field: &str| format!("traceEvents[{i}]: {field}");
+        let ph = ev.get("ph").and_then(Value::as_str).ok_or_else(|| ctx("missing string 'ph'"))?;
+        let pid =
+            ev.get("pid").and_then(Value::as_num).ok_or_else(|| ctx("missing numeric 'pid'"))?
+                as u64;
+        if !summary.pids.contains(&pid) {
+            summary.pids.push(pid);
+        }
+        match ph {
+            "M" => summary.metadata_events += 1,
+            "X" => {
+                for field in ["tid", "ts", "dur"] {
+                    ev.get(field)
+                        .and_then(Value::as_num)
+                        .ok_or_else(|| ctx(&format!("'X' event missing numeric '{field}'")))?;
+                }
+                ev.get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| ctx("'X' event missing 'name'"))?;
+                summary.duration_events += 1;
+            }
+            "C" => {
+                ev.get("args").ok_or_else(|| ctx("'C' event missing 'args'"))?;
+                summary.counter_events += 1;
+            }
+            "i" => summary.instant_events += 1,
+            other => return Err(ctx(&format!("unknown phase '{other}'"))),
+        }
+    }
+    summary.pids.sort_unstable();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let v = parse(r#"{"a":[1,2.5,-3e2],"b":{"c":null,"d":true},"s":"x\ny"}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_num(), Some(2.5));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2].as_num(), Some(-300.0));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Null));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x\ny"));
+    }
+
+    #[test]
+    fn parses_empty_containers_and_unicode() {
+        assert_eq!(parse("[]").unwrap(), Value::Arr(vec![]));
+        assert_eq!(parse("{}").unwrap(), Value::Obj(BTreeMap::new()));
+        assert_eq!(parse(r#""Ané""#).unwrap().as_str(), Some("Ané"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "{\"a\":1,}", "12 34", "{\"a\":1}x", "nul"] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+        // Duplicate keys are a bug in our emitter.
+        assert!(parse(r#"{"a":1,"a":2}"#).is_err());
+    }
+
+    #[test]
+    fn roundtrips_the_emitter() {
+        let mut j = drs_sim::JsonBuf::new();
+        j.begin_obj();
+        j.kv_str("s", "quote\" nl\n ctrl\u{1}");
+        j.kv_f64("f", 0.25);
+        j.kv_f64("nan", f64::NAN);
+        j.end_obj();
+        let v = parse(&j.finish()).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("quote\" nl\n ctrl\u{1}"));
+        assert_eq!(v.get("f").unwrap().as_num(), Some(0.25));
+        assert_eq!(v.get("nan"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn trace_validation_rejects_schema_violations() {
+        assert!(validate_chrome_trace("[]").is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents":1}"#).is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents":[{"pid":0}]}"#).is_err());
+        assert!(
+            validate_chrome_trace(r#"{"traceEvents":[{"ph":"X","pid":0,"tid":0,"ts":0}]}"#)
+                .is_err(),
+            "X without dur must fail"
+        );
+        let ok = validate_chrome_trace(
+            r#"{"traceEvents":[{"name":"issued","ph":"X","pid":0,"tid":1,"ts":5,"dur":2}]}"#,
+        )
+        .unwrap();
+        assert_eq!(ok.duration_events, 1);
+        assert_eq!(ok.pids, vec![0]);
+    }
+}

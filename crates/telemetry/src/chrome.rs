@@ -1,0 +1,161 @@
+//! Chrome trace-event JSON export.
+//!
+//! Emits the [Trace Event Format](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+//! JSON that `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)
+//! load directly. The mapping:
+//!
+//! - one **process** (`pid`) per simulation cell, named after the cell;
+//! - one **thread** (`tid`) per warp, named `warp N`;
+//! - one `"X"` (complete duration) event per merged stall span, with the
+//!   bucket label as the event name and one simulated cycle = 1 µs of
+//!   trace time (`ts`/`dur` are in µs in the format);
+//! - a `"C"` (counter) event per sampling interval carrying the window's
+//!   SIMD efficiency, so the timeline shows an efficiency track above the
+//!   warp lanes;
+//! - an `"i"` (instant) marker at the cell's final cycle.
+//!
+//! Everything goes through the simulator's [`JsonBuf`] emitter — no
+//! serialization dependency.
+
+use crate::collector::TelemetryReport;
+use drs_sim::JsonBuf;
+
+/// Append the trace events for one cell into an already-open JSON array
+/// (the `"traceEvents"` list). `pid` distinguishes cells sharing a file.
+pub fn write_cell_events(j: &mut JsonBuf, pid: u64, cell_name: &str, report: &TelemetryReport) {
+    // Process / thread naming metadata.
+    metadata(j, pid, None, "process_name", cell_name);
+    for w in 0..report.warps {
+        metadata(j, pid, Some(w as u64), "thread_name", &format!("warp {w}"));
+    }
+    if let Some(trace) = &report.trace {
+        for s in &trace.spans {
+            j.begin_obj();
+            j.kv_str("name", s.bucket.label());
+            j.kv_str("cat", "stall");
+            j.kv_str("ph", "X");
+            j.kv_u64("pid", pid);
+            j.kv_u64("tid", s.warp as u64);
+            j.kv_u64("ts", s.start);
+            j.kv_u64("dur", s.len);
+            j.end_obj();
+        }
+    }
+    for s in &report.intervals {
+        j.begin_obj();
+        j.kv_str("name", "simd_efficiency");
+        j.kv_str("ph", "C");
+        j.kv_u64("pid", pid);
+        j.kv_u64("ts", s.start);
+        j.key("args");
+        j.begin_obj();
+        j.kv_f64("efficiency", s.simd_efficiency());
+        j.end_obj();
+        j.end_obj();
+    }
+    j.begin_obj();
+    j.kv_str("name", "kernel end");
+    j.kv_str("ph", "i");
+    j.kv_str("s", "p");
+    j.kv_u64("pid", pid);
+    j.kv_u64("tid", 0);
+    j.kv_u64("ts", report.cycles);
+    j.end_obj();
+}
+
+fn metadata(j: &mut JsonBuf, pid: u64, tid: Option<u64>, what: &str, name: &str) {
+    j.begin_obj();
+    j.kv_str("name", what);
+    j.kv_str("ph", "M");
+    j.kv_u64("pid", pid);
+    if let Some(t) = tid {
+        j.kv_u64("tid", t);
+    }
+    j.key("args");
+    j.begin_obj();
+    j.kv_str("name", name);
+    j.end_obj();
+    j.end_obj();
+}
+
+/// Build a complete Chrome trace JSON document from named cell reports.
+/// Cells become processes in pid order.
+pub fn trace_json<'a, I>(cells: I) -> String
+where
+    I: IntoIterator<Item = (&'a str, &'a TelemetryReport)>,
+{
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.kv_str("displayTimeUnit", "ms");
+    j.key("traceEvents");
+    j.begin_arr();
+    for (pid, (name, report)) in cells.into_iter().enumerate() {
+        write_cell_events(&mut j, pid as u64, name, report);
+    }
+    j.end_arr();
+    j.end_obj();
+    j.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{IntervalSample, StallSpan, TraceData};
+    use drs_sim::StallBucket;
+
+    fn tiny_report() -> TelemetryReport {
+        let mut issued = drs_sim::ActiveHistogram::default();
+        issued.record(32);
+        issued.record(8);
+        TelemetryReport {
+            warps: 2,
+            cycles: 4,
+            interval: 4,
+            totals: [2, 0, 0, 0, 2, 0, 2, 2],
+            intervals: vec![IntervalSample {
+                start: 0,
+                end: 4,
+                issued,
+                ..IntervalSample::default()
+            }],
+            trace: Some(TraceData {
+                spans: vec![
+                    StallSpan { warp: 0, bucket: StallBucket::Issued, start: 0, len: 2 },
+                    StallSpan { warp: 1, bucket: StallBucket::Idle, start: 0, len: 4 },
+                ],
+                dropped: 0,
+            }),
+        }
+    }
+
+    #[test]
+    fn document_parses_and_has_expected_events() {
+        let r = tiny_report();
+        let text = trace_json([("fig2/aila", &r)]);
+        let summary = crate::check::validate_chrome_trace(&text).unwrap();
+        // 1 process_name + 2 thread_name metadata, 2 spans, 1 counter, 1 instant.
+        assert_eq!(summary.metadata_events, 3);
+        assert_eq!(summary.duration_events, 2);
+        assert_eq!(summary.counter_events, 1);
+        assert_eq!(summary.instant_events, 1);
+        assert_eq!(summary.pids, vec![0]);
+    }
+
+    #[test]
+    fn multiple_cells_get_distinct_pids() {
+        let r = tiny_report();
+        let text = trace_json([("a", &r), ("b", &r)]);
+        let summary = crate::check::validate_chrome_trace(&text).unwrap();
+        assert_eq!(summary.pids, vec![0, 1]);
+        assert_eq!(summary.duration_events, 4);
+    }
+
+    #[test]
+    fn report_without_trace_still_exports_counters() {
+        let r = TelemetryReport { trace: None, ..tiny_report() };
+        let text = trace_json([("counters only", &r)]);
+        let summary = crate::check::validate_chrome_trace(&text).unwrap();
+        assert_eq!(summary.duration_events, 0);
+        assert_eq!(summary.counter_events, 1);
+    }
+}

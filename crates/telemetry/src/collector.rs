@@ -1,0 +1,476 @@
+//! The standard [`TelemetrySink`] implementation: stall-bucket totals,
+//! interval-sliced timelines, and (optionally) per-warp state spans for
+//! Chrome-trace export.
+
+use drs_sim::{ActiveHistogram, CycleSnapshot, StallBucket, TelemetrySink, NUM_STALL_BUCKETS};
+
+/// What to collect while a simulation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Timeline sampling window in cycles. Every `interval` cycles the
+    /// collector closes an [`IntervalSample`] of counter deltas.
+    pub interval: u64,
+    /// Record per-warp stall spans for Chrome-trace export. Off by default
+    /// because span storage grows with run length.
+    pub trace: bool,
+    /// Hard cap on stored trace spans; beyond it spans are counted as
+    /// dropped instead of stored, so a pathological run cannot exhaust
+    /// memory.
+    pub max_trace_events: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig { interval: 1000, trace: false, max_trace_events: 1 << 20 }
+    }
+}
+
+/// Counter deltas over one sampling window `[start, end)`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IntervalSample {
+    /// First cycle of the window.
+    pub start: u64,
+    /// One past the last cycle of the window.
+    pub end: u64,
+    /// Instructions issued during the window (ordinary).
+    pub issued: ActiveHistogram,
+    /// Spawn-overhead (SI) instructions issued during the window.
+    pub issued_si: ActiveHistogram,
+    /// Warp-cycles charged to each stall bucket during the window.
+    pub buckets: [u64; NUM_STALL_BUCKETS],
+    /// Coalesced memory transactions during the window.
+    pub mem_transactions: u64,
+    /// Rays completed during the window.
+    pub rays_completed: u64,
+}
+
+impl IntervalSample {
+    /// Window width in cycles.
+    pub fn width(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Combined (normal + SI) issue histogram for the window.
+    pub fn issued_all(&self) -> ActiveHistogram {
+        let mut h = self.issued;
+        h.merge(&self.issued_si);
+        h
+    }
+
+    /// SIMD efficiency over this window alone (0 when nothing issued).
+    pub fn simd_efficiency(&self) -> f64 {
+        self.issued_all().simd_efficiency()
+    }
+}
+
+/// One merged run of consecutive cycles a warp spent in a single bucket —
+/// the unit the Chrome-trace writer turns into a duration event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallSpan {
+    /// Warp index within the SMX.
+    pub warp: u32,
+    /// The bucket charged for every cycle of the span.
+    pub bucket: StallBucket,
+    /// First cycle of the span.
+    pub start: u64,
+    /// Span length in cycles (≥ 1).
+    pub len: u64,
+}
+
+/// Recorded per-warp spans plus how many were discarded at the cap.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceData {
+    /// Merged stall spans, in close order.
+    pub spans: Vec<StallSpan>,
+    /// Spans discarded after `max_trace_events` was reached.
+    pub dropped: u64,
+}
+
+/// Everything one instrumented run produced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// Resident warps attributed each cycle.
+    pub warps: usize,
+    /// Total simulated cycles observed.
+    pub cycles: u64,
+    /// Sampling window the intervals were sliced at.
+    pub interval: u64,
+    /// Whole-run warp-cycle totals per stall bucket.
+    pub totals: [u64; NUM_STALL_BUCKETS],
+    /// Timeline of counter deltas, one per window (last may be partial).
+    pub intervals: Vec<IntervalSample>,
+    /// Per-warp stall spans, when tracing was enabled.
+    pub trace: Option<TraceData>,
+}
+
+impl TelemetryReport {
+    /// The accounting identity: every warp-cycle lands in exactly one
+    /// bucket, globally and within every interval. Returns a description
+    /// of the first violation, if any.
+    pub fn check_identity(&self) -> Result<(), String> {
+        let total: u64 = self.totals.iter().sum();
+        let expect = self.cycles * self.warps as u64;
+        if total != expect {
+            return Err(format!(
+                "stall-bucket total {total} != cycles {} x warps {} = {expect}",
+                self.cycles, self.warps
+            ));
+        }
+        for s in &self.intervals {
+            let got: u64 = s.buckets.iter().sum();
+            let want = s.width() * self.warps as u64;
+            if got != want {
+                return Err(format!(
+                    "interval [{}, {}): bucket sum {got} != width x warps = {want}",
+                    s.start, s.end
+                ));
+            }
+        }
+        if let Some(last) = self.intervals.last() {
+            if last.end != self.cycles {
+                return Err(format!(
+                    "intervals end at {} but the run has {} cycles",
+                    last.end, self.cycles
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Issue-weighted mean of the per-interval SIMD efficiencies. Because
+    /// the intervals partition the run, this equals the aggregate
+    /// [`SimStats::simd_efficiency`](drs_sim::SimStats::simd_efficiency)
+    /// up to floating-point rounding.
+    pub fn weighted_simd_efficiency(&self) -> f64 {
+        let mut active = 0u64;
+        let mut total = 0u64;
+        for s in &self.intervals {
+            let h = s.issued_all();
+            active += h.active_sum;
+            total += h.total;
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        active as f64 / (total as f64 * 32.0)
+    }
+
+    /// Fraction of all warp-cycles charged to `bucket`.
+    pub fn bucket_fraction(&self, bucket: StallBucket) -> f64 {
+        let total: u64 = self.totals.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.totals[bucket as usize] as f64 / total as f64
+    }
+
+    /// Append this report as a JSON object (the timeline artifact format;
+    /// the Chrome trace is a separate file, see [`crate::chrome`]).
+    pub fn write_json(&self, j: &mut drs_sim::JsonBuf) {
+        j.begin_obj();
+        j.kv_u64("warps", self.warps as u64);
+        j.kv_u64("cycles", self.cycles);
+        j.kv_u64("interval", self.interval);
+        j.key("stall_buckets");
+        j.begin_obj();
+        for b in StallBucket::ALL {
+            j.kv_u64(b.label(), self.totals[b as usize]);
+        }
+        j.end_obj();
+        j.kv_f64("weighted_simd_efficiency", self.weighted_simd_efficiency());
+        j.key("intervals");
+        j.begin_arr();
+        for s in &self.intervals {
+            j.begin_obj();
+            j.kv_u64("start", s.start);
+            j.kv_u64("end", s.end);
+            j.kv_f64("simd_efficiency", s.simd_efficiency());
+            j.key("issued");
+            s.issued.write_json(j);
+            j.key("issued_si");
+            s.issued_si.write_json(j);
+            j.key("buckets");
+            j.begin_arr();
+            for b in s.buckets {
+                j.u64(b);
+            }
+            j.end_arr();
+            j.kv_u64("mem_transactions", s.mem_transactions);
+            j.kv_u64("rays_completed", s.rays_completed);
+            j.end_obj();
+        }
+        j.end_arr();
+        if let Some(t) = &self.trace {
+            j.kv_u64("trace_spans", t.spans.len() as u64);
+            j.kv_u64("trace_dropped", t.dropped);
+        }
+        j.end_obj();
+    }
+}
+
+/// A [`TelemetrySink`] that accumulates a [`TelemetryReport`].
+///
+/// Attach with [`Simulation::attach_telemetry`](drs_sim::Simulation::attach_telemetry),
+/// run, then take the report with [`TelemetryCollector::into_report`].
+#[derive(Debug)]
+pub struct TelemetryCollector {
+    config: TelemetryConfig,
+    report: TelemetryReport,
+    /// Snapshot at the last closed interval boundary.
+    prev: CycleSnapshot,
+    /// Bucket counts accumulated inside the open interval.
+    window_buckets: [u64; NUM_STALL_BUCKETS],
+    /// First cycle of the open interval.
+    window_start: u64,
+    /// Per-warp open span: (bucket, start cycle). Grown on first cycle.
+    open_spans: Vec<(StallBucket, u64)>,
+    finished: bool,
+}
+
+impl TelemetryCollector {
+    /// A collector for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.interval` is zero.
+    pub fn new(config: TelemetryConfig) -> TelemetryCollector {
+        assert!(config.interval > 0, "sampling interval must be positive");
+        TelemetryCollector {
+            report: TelemetryReport {
+                interval: config.interval,
+                trace: config.trace.then(TraceData::default),
+                ..TelemetryReport::default()
+            },
+            config,
+            prev: CycleSnapshot::default(),
+            window_buckets: [0; NUM_STALL_BUCKETS],
+            window_start: 0,
+            open_spans: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Close the open interval at `end` (exclusive) using `snap` as the
+    /// right-edge counter state.
+    fn close_interval(&mut self, end: u64, snap: &CycleSnapshot) {
+        self.report.intervals.push(IntervalSample {
+            start: self.window_start,
+            end,
+            issued: snap.issued.delta(&self.prev.issued),
+            issued_si: snap.issued_si.delta(&self.prev.issued_si),
+            buckets: self.window_buckets,
+            mem_transactions: snap.mem_transactions - self.prev.mem_transactions,
+            rays_completed: snap.rays_completed - self.prev.rays_completed,
+        });
+        self.prev = *snap;
+        self.window_buckets = [0; NUM_STALL_BUCKETS];
+        self.window_start = end;
+    }
+
+    fn push_span(&mut self, warp: u32, bucket: StallBucket, start: u64, end: u64) {
+        let trace = self.report.trace.as_mut().expect("spans only tracked when tracing");
+        if trace.spans.len() >= self.config.max_trace_events {
+            trace.dropped += 1;
+            return;
+        }
+        trace.spans.push(StallSpan { warp, bucket, start, len: end - start });
+    }
+
+    /// The accumulated report. Call after the simulation's `run` returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sink never saw `on_finish` — taking a report from a
+    /// run that did not complete is a harness bug.
+    pub fn into_report(self) -> TelemetryReport {
+        assert!(self.finished, "into_report before the simulation finished");
+        self.report
+    }
+}
+
+impl TelemetrySink for TelemetryCollector {
+    fn on_cycle(&mut self, snap: &CycleSnapshot, warp_buckets: &[StallBucket]) {
+        if self.report.warps == 0 {
+            self.report.warps = warp_buckets.len();
+        }
+        debug_assert_eq!(warp_buckets.len(), self.report.warps);
+        for &b in warp_buckets {
+            self.report.totals[b as usize] += 1;
+            self.window_buckets[b as usize] += 1;
+        }
+        if self.config.trace {
+            if self.open_spans.is_empty() {
+                self.open_spans = warp_buckets.iter().map(|&b| (b, snap.cycle)).collect();
+            } else {
+                for (w, &next) in warp_buckets.iter().enumerate() {
+                    let (cur, start) = self.open_spans[w];
+                    if cur != next {
+                        self.push_span(w as u32, cur, start, snap.cycle);
+                        self.open_spans[w] = (next, snap.cycle);
+                    }
+                }
+            }
+        }
+        if (snap.cycle + 1).is_multiple_of(self.config.interval) {
+            self.close_interval(snap.cycle + 1, snap);
+        }
+    }
+
+    fn on_finish(&mut self, snap: &CycleSnapshot) {
+        self.report.cycles = snap.cycle;
+        if self.window_start < snap.cycle {
+            self.close_interval(snap.cycle, snap);
+        }
+        if self.config.trace {
+            let open = std::mem::take(&mut self.open_spans);
+            for (w, (bucket, start)) in open.into_iter().enumerate() {
+                self.push_span(w as u32, bucket, start, snap.cycle);
+            }
+        }
+        self.finished = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a collector by hand: `warps` warps for `cycles` cycles, every
+    /// warp issuing one 32-lane instruction per cycle.
+    fn drive(config: TelemetryConfig, warps: usize, cycles: u64) -> TelemetryReport {
+        let mut c = TelemetryCollector::new(config);
+        let mut snap = CycleSnapshot::default();
+        for cycle in 0..cycles {
+            snap.cycle = cycle;
+            for _ in 0..warps {
+                snap.issued.record(32);
+            }
+            snap.mem_transactions += 2;
+            c.on_cycle(&snap, &vec![StallBucket::Issued; warps]);
+        }
+        snap.cycle = cycles;
+        c.on_finish(&snap);
+        c.into_report()
+    }
+
+    #[test]
+    fn intervals_partition_the_run() {
+        let r = drive(TelemetryConfig { interval: 10, ..Default::default() }, 4, 35);
+        assert_eq!(r.cycles, 35);
+        assert_eq!(r.intervals.len(), 4, "three full windows plus one partial");
+        assert_eq!(r.intervals[0].width(), 10);
+        assert_eq!(r.intervals[3].width(), 5);
+        assert_eq!(r.intervals[3].end, 35);
+        r.check_identity().unwrap();
+        for s in &r.intervals {
+            assert_eq!(s.issued.total, s.width() * 4);
+            assert_eq!(s.mem_transactions, 2 * s.width());
+        }
+    }
+
+    #[test]
+    fn exact_multiple_has_no_partial_tail() {
+        let r = drive(TelemetryConfig { interval: 10, ..Default::default() }, 2, 30);
+        assert_eq!(r.intervals.len(), 3);
+        assert!(r.intervals.iter().all(|s| s.width() == 10));
+        r.check_identity().unwrap();
+    }
+
+    #[test]
+    fn weighted_efficiency_matches_uniform_run() {
+        let r = drive(TelemetryConfig { interval: 7, ..Default::default() }, 4, 100);
+        assert!((r.weighted_simd_efficiency() - 1.0).abs() < 1e-12);
+        assert!((r.bucket_fraction(StallBucket::Issued) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_detects_corruption() {
+        let mut r = drive(TelemetryConfig::default(), 2, 5);
+        r.check_identity().unwrap();
+        r.totals[0] += 1;
+        assert!(r.check_identity().is_err());
+    }
+
+    #[test]
+    fn spans_merge_consecutive_cycles() {
+        let mut c = TelemetryCollector::new(TelemetryConfig { trace: true, ..Default::default() });
+        let seq = [
+            [StallBucket::Issued, StallBucket::Idle],
+            [StallBucket::Issued, StallBucket::Idle],
+            [StallBucket::MemoryPending, StallBucket::Idle],
+            [StallBucket::MemoryPending, StallBucket::Issued],
+        ];
+        let mut snap = CycleSnapshot::default();
+        for (cycle, buckets) in seq.iter().enumerate() {
+            snap.cycle = cycle as u64;
+            snap.issued.record(32);
+            c.on_cycle(&snap, buckets);
+        }
+        snap.cycle = 4;
+        c.on_finish(&snap);
+        let trace = c.into_report().trace.unwrap();
+        assert_eq!(trace.dropped, 0);
+        // Warp 0: issued[0,2) + memory_pending[2,4). Warp 1: idle[0,3) + issued[3,4).
+        assert_eq!(
+            trace.spans,
+            vec![
+                StallSpan { warp: 0, bucket: StallBucket::Issued, start: 0, len: 2 },
+                StallSpan { warp: 1, bucket: StallBucket::Idle, start: 0, len: 3 },
+                StallSpan { warp: 0, bucket: StallBucket::MemoryPending, start: 2, len: 2 },
+                StallSpan { warp: 1, bucket: StallBucket::Issued, start: 3, len: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn span_cap_counts_drops() {
+        let mut c = TelemetryCollector::new(TelemetryConfig {
+            trace: true,
+            max_trace_events: 2,
+            ..Default::default()
+        });
+        let mut snap = CycleSnapshot::default();
+        // One warp alternating buckets every cycle: many spans.
+        for cycle in 0..10u64 {
+            snap.cycle = cycle;
+            let b = if cycle % 2 == 0 { StallBucket::Issued } else { StallBucket::Idle };
+            snap.issued.record(1);
+            c.on_cycle(&snap, &[b]);
+        }
+        snap.cycle = 10;
+        c.on_finish(&snap);
+        let trace = c.into_report().trace.unwrap();
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.dropped, 8);
+    }
+
+    #[test]
+    fn no_trace_by_default() {
+        let r = drive(TelemetryConfig::default(), 1, 3);
+        assert!(r.trace.is_none());
+    }
+
+    #[test]
+    fn report_json_is_balanced() {
+        let r = drive(TelemetryConfig { interval: 2, trace: true, ..Default::default() }, 2, 5);
+        let mut j = drs_sim::JsonBuf::new();
+        r.write_json(&mut j);
+        let s = j.finish();
+        assert!(s.contains("\"stall_buckets\""));
+        assert!(s.contains("\"issued\":"));
+        assert!(s.contains("\"trace_spans\""));
+        assert_eq!(s.matches(['{', '[']).count(), s.matches(['}', ']']).count());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_interval_rejected() {
+        TelemetryCollector::new(TelemetryConfig { interval: 0, ..Default::default() });
+    }
+
+    #[test]
+    #[should_panic]
+    fn report_requires_finish() {
+        TelemetryCollector::new(TelemetryConfig::default()).into_report();
+    }
+}

@@ -1,0 +1,41 @@
+//! Telemetry collectors for the cycle-level simulator.
+//!
+//! The simulator (`drs-sim`) defines the observation contract — an
+//! attachable [`TelemetrySink`](drs_sim::TelemetrySink) receiving a
+//! per-cycle [`StallBucket`](drs_sim::StallBucket) charge for every warp
+//! plus live counter snapshots. This crate supplies the collectors that
+//! turn that stream into artifacts:
+//!
+//! - [`TelemetryCollector`] — the standard sink: whole-run stall-bucket
+//!   totals, a timeline of [`IntervalSample`] counter deltas at a
+//!   configurable window, and (optionally) merged per-warp stall spans.
+//! - [`chrome`] — exports a report as Chrome trace-event JSON, loadable
+//!   in `chrome://tracing` or Perfetto (one process per cell, one thread
+//!   per warp, one duration event per stall span).
+//! - [`check`] — a minimal std-only JSON reader used by tests and CI to
+//!   validate that emitted artifacts parse and match the expected schema.
+//!
+//! ```
+//! use drs_telemetry::{TelemetryCollector, TelemetryConfig};
+//!
+//! let mut collector = TelemetryCollector::new(TelemetryConfig {
+//!     interval: 500,
+//!     trace: true,
+//!     ..TelemetryConfig::default()
+//! });
+//! // let mut sim = Simulation::new(...);
+//! // sim.attach_telemetry(&mut collector);
+//! // let outcome = sim.run();
+//! // let report = collector.into_report();
+//! // report.check_identity().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod chrome;
+mod collector;
+
+pub use collector::{
+    IntervalSample, StallSpan, TelemetryCollector, TelemetryConfig, TelemetryReport, TraceData,
+};

@@ -1,93 +1,80 @@
-//! The paper's Figure 1: why ray tracing under-utilizes SIMD units.
+//! The paper's Figure 1 argument, measured instead of sketched: where
+//! warp-cycles go when the while-while kernel traces incoherent rays.
 //!
 //! Run with: `cargo run --release --example divergence_timeline`
 //!
-//! Eight rays share one 8-lane warp executing the classic while-while
-//! kernel. At each loop phase the warp serially executes the inner-node
-//! body (only lanes in the `I` state active), then the leaf body (only
-//! lanes in the `L` state active); terminated lanes (`F`) idle until every
-//! ray finishes. The printout shows each phase's active mask — the W1:8
-//! tail the paper's Figure 2 measures, made visible.
+//! Earlier versions of this example hand-animated an 8-lane warp. Now the
+//! cycle-level simulator runs the real Aila kernel over captured
+//! secondary rays with the telemetry collector attached, and we print
+//! what the hardware actually did:
+//!
+//! 1. an interval timeline — SIMD efficiency per 2000-cycle window, the
+//!    same series `experiments --timeline` writes as JSON;
+//! 2. a stall-attribution table — every warp-cycle of the run charged to
+//!    exactly one bucket (the accounting identity is asserted).
 
+use drs::harness::{run_method_with_warps_telemetry, Method};
 use drs::scene::SceneKind;
-use drs::trace::{BounceStreams, Step};
+use drs::sim::StallBucket;
+use drs::telemetry::TelemetryConfig;
+use drs::trace::BounceStreams;
 
-const LANES: usize = 8;
-
-#[derive(Clone, Copy, PartialEq)]
-enum LaneState {
-    Inner,
-    Leaf,
-    Fetch,
-}
-
-fn state_char(s: LaneState) -> char {
-    match s {
-        LaneState::Inner => 'I',
-        LaneState::Leaf => 'L',
-        LaneState::Fetch => 'F',
+fn bar(frac: f64, width: usize) -> String {
+    let filled = (frac * width as f64).round() as usize;
+    let mut s = String::new();
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
     }
+    s
 }
 
 fn main() {
     // Real secondary rays from the conference scene: incoherent, exactly
     // the workload of Figure 1's discussion.
     let scene = SceneKind::Conference.build_with_tris(4_000);
-    let streams = BounceStreams::capture(&scene, 64, 2, 0xF16);
-    let scripts = &streams.bounce(2).scripts[..LANES];
+    let streams = BounceStreams::capture(&scene, 640, 2, 0xF16);
+    let scripts = &streams.bounce(2).scripts;
 
-    let mut cursors = vec![0usize; LANES];
-    let states = |cursors: &[usize]| -> Vec<LaneState> {
-        scripts
-            .iter()
-            .zip(cursors)
-            .map(|(s, &c)| match s.steps().get(c) {
-                Some(Step::Inner { .. }) => LaneState::Inner,
-                Some(Step::Leaf { .. }) => LaneState::Leaf,
-                None => LaneState::Fetch,
-            })
-            .collect()
-    };
+    let warps = 8;
+    let (out, report) = run_method_with_warps_telemetry(
+        Method::Aila,
+        warps,
+        scripts,
+        TelemetryConfig { interval: 2000, ..TelemetryConfig::default() },
+    );
+    report.check_identity().expect("every warp-cycle charged exactly once");
 
-    println!("Figure 1: while-while warp timeline (8 lanes, secondary rays)\n");
-    println!("phase        lane states   active  utilization");
-    let mut total_active = 0usize;
-    let mut total_slots = 0usize;
-    let mut phase = 0usize;
-    loop {
-        let st = states(&cursors);
-        if st.iter().all(|&s| s == LaneState::Fetch) {
-            break;
-        }
-        // Inner phase: lanes whose next step is an inner node execute; the
-        // warp loops until no lane wants inner traversal (we aggregate the
-        // whole inner run into one printed phase per lane-step).
-        let phase_kind =
-            if st.contains(&LaneState::Inner) { LaneState::Inner } else { LaneState::Leaf };
-        let active: Vec<bool> = st.iter().map(|&s| s == phase_kind).collect();
-        let n_active = active.iter().filter(|&&a| a).count();
-        let grid: String = st.iter().map(|&s| state_char(s)).collect();
-        let mask: String = active.iter().map(|&a| if a { '#' } else { '.' }).collect();
+    println!("while-while kernel, {} secondary rays, {warps} warps", scripts.len());
+    println!(
+        "{} cycles, SIMD efficiency {:.1}%\n",
+        out.stats.cycles,
+        out.stats.simd_efficiency() * 100.0
+    );
+
+    println!("SIMD efficiency per {}-cycle interval:", report.interval);
+    for s in &report.intervals {
+        let eff = s.simd_efficiency();
         println!(
-            "T{phase:<3} {}   [{grid}]      {n_active}/8    [{mask}]",
-            if phase_kind == LaneState::Inner { "inner" } else { "leaf " },
+            "  [{:>6}, {:>6})  {}  {:5.1}%  ({} issues)",
+            s.start,
+            s.end,
+            bar(eff, 32),
+            eff * 100.0,
+            s.issued_all().total
         );
-        total_active += n_active;
-        total_slots += LANES;
-        for (lane, act) in active.iter().enumerate() {
-            if *act {
-                cursors[lane] += 1;
-            }
-        }
-        phase += 1;
-        if phase > 400 {
-            break;
-        }
+    }
+
+    println!("\nwhere the warp-cycles went ({} warps x {} cycles):", report.warps, report.cycles);
+    let total: u64 = report.totals.iter().sum();
+    for b in StallBucket::ALL {
+        let n = report.totals[b as usize];
+        let frac = n as f64 / total as f64;
+        println!("  {:18} {}  {:5.1}%  ({n} warp-cycles)", b.label(), bar(frac, 32), frac * 100.0);
     }
     println!(
-        "\nwarp SIMD utilization over {} phases: {:.1}%",
-        phase,
-        total_active as f64 / total_slots as f64 * 100.0
+        "\naccounting identity: {} warp-cycles attributed == {} cycles x {} warps",
+        total, report.cycles, report.warps
     );
-    println!("(the DRS eliminates exactly this loss — see `examples/walkthrough.rs`)");
+    println!("(DRS attacks the idle/drain tail by refilling divergent warps —");
+    println!(" see `examples/walkthrough.rs` and `experiments fig10`)");
 }

@@ -10,6 +10,8 @@
 //! - [`render`] — the path tracer and per-bounce ray-stream capture
 //! - [`trace`] — per-ray traversal scripts consumed by the simulator
 //! - [`sim`] — the cycle-level SIMT GPU core simulator
+//! - [`telemetry`] — stall attribution, interval timelines, Chrome-trace
+//!   export for instrumented simulation runs
 //! - [`kernels`] — the while-while (Aila) and while-if (DRS) kernels
 //! - [`core`] — the Dynamic Ray Shuffling hardware model (the paper's contribution)
 //! - [`baselines`] — DMK and TBC comparison hardware
@@ -39,5 +41,6 @@ pub use drs_math as math;
 pub use drs_render as render;
 pub use drs_scene as scene;
 pub use drs_sim as sim;
+pub use drs_telemetry as telemetry;
 pub use drs_trace as trace;
 pub use drs_verify as verify;
