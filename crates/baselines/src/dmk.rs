@@ -402,6 +402,12 @@ impl SpecialUnit for DmkUnit {
         _stats: &mut SimStats,
     ) {
     }
+
+    fn next_event(&self, _now: u64) -> Option<u64> {
+        // DMK does all its work at `rdctrl` issue; the tick is empty, so
+        // the unit is always quiescent and never blocks cycle skipping.
+        None
+    }
 }
 
 #[cfg(test)]

@@ -196,6 +196,33 @@ impl SpecialUnit for TbcUnit {
                 .count() as u64;
         }
     }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        // The tick accrues `sync_wait_cycles` for every warp currently held
+        // back by the round window; round counters only change on `rdctrl`
+        // issue, so the per-cycle accrual is constant across a no-issue
+        // span. If any warp is accruing, the tick must run every cycle
+        // (no skipping); otherwise the tick is a pure no-op.
+        let accruing = self.blocks.iter().any(|b| {
+            let min_round = b
+                .rounds
+                .iter()
+                .zip(b.done.iter())
+                .filter(|&(_, &d)| !d)
+                .map(|(&r, _)| r)
+                .min()
+                .unwrap_or(0);
+            b.rounds
+                .iter()
+                .zip(b.done.iter())
+                .any(|(&r, &d)| !d && r >= min_round + Self::ROUND_WINDOW)
+        });
+        if accruing {
+            Some(now)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]

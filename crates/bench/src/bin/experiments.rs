@@ -75,6 +75,15 @@ fn main() {
         list_modes(&scale);
         return;
     }
+    // Standalone utility modes: neither runs the figure pipeline below.
+    if cli.mode == "perf" {
+        perf_mode(&cli, &scale);
+        return;
+    }
+    if cli.mode == "report" {
+        report_mode(&cli);
+        return;
+    }
 
     let modes = modes_for(&cli.mode);
 
@@ -109,7 +118,13 @@ fn main() {
         trace: cli.trace_out.is_some(),
         ..drs_telemetry::TelemetryConfig::default()
     });
-    let opts = RunOptions { workers: cli.workers, capture, telemetry, progress: cli.progress };
+    let opts = RunOptions {
+        workers: cli.workers,
+        capture,
+        telemetry,
+        progress: cli.progress,
+        fastpath: cli.fastpath,
+    };
     let report = run_jobs(&jobs, &opts);
 
     let incomplete: Vec<String> = report
@@ -155,6 +170,13 @@ fn main() {
             eprintln!("error: could not write {}: {e}", cli.out.display());
             std::process::exit(1);
         }
+    }
+    if let Some(dump) = &cli.stats_dump {
+        if let Err(e) = drs_harness::write_text(dump, &results.stats_json()) {
+            eprintln!("error: could not write {}: {e}", dump.display());
+            std::process::exit(1);
+        }
+        println!("[stats dump -> {}]", dump.display());
     }
     if cli.telemetry_enabled() {
         let timeline = cli.timeline_path();
@@ -208,13 +230,168 @@ fn list_modes(scale: &Scale) {
         if mode == "all" {
             continue;
         }
-        match figures::by_name(mode, scale) {
-            Some(set) => {
-                let workloads = set.distinct_workloads();
-                let scenes: Vec<String> = workloads.iter().map(|w| w.scene.to_string()).collect();
-                println!("{:10} {:>6}  {}", mode, set.jobs.len(), scenes.join(", "));
+        match mode {
+            "perf" => {
+                let jobs: usize = PERF_FIGURES
+                    .iter()
+                    .map(|f| figures::by_name(f, scale).unwrap().jobs.len())
+                    .sum();
+                println!(
+                    "{:10} {:>6}  {} grids twice (fast path vs naive) -> BENCH_sim.json",
+                    mode,
+                    jobs * 2,
+                    PERF_FIGURES.join("+")
+                );
             }
-            None => println!("{:10} {:>6}  (print-only, no simulation)", mode, 0),
+            "report" => {
+                println!("{:10} {:>6}  render BENCH_experiments.json -> RESULTS.md", mode, 0)
+            }
+            _ => match figures::by_name(mode, scale) {
+                Some(set) => {
+                    let workloads = set.distinct_workloads();
+                    let scenes: Vec<String> =
+                        workloads.iter().map(|w| w.scene.to_string()).collect();
+                    println!("{:10} {:>6}  {}", mode, set.jobs.len(), scenes.join(", "));
+                }
+                None => println!("{:10} {:>6}  (print-only, no simulation)", mode, 0),
+            },
+        }
+    }
+}
+
+/// The grids the perf baseline times: fig2 (latency-bound single-method
+/// column) and fig8 (the big memory-bound backup-row sweep — where cycle
+/// skipping pays most).
+const PERF_FIGURES: [&str; 2] = ["fig2", "fig8"];
+
+/// `perf` mode: the simulator's own perf baseline. Runs the perf grids
+/// twice — event-driven fast path, then naive per-cycle stepping —
+/// asserts the two passes produced bit-identical stats, and writes the
+/// wall-clock comparison to `BENCH_sim.json` (or `--out` when overridden)
+/// for CI regression gating.
+fn perf_mode(cli: &cli::Cli, scale: &Scale) {
+    use drs_sim::JsonBuf;
+    banner("Simulator perf: event-driven fast path vs naive stepping");
+    let out = if cli.out == std::path::Path::new("BENCH_experiments.json") {
+        std::path::PathBuf::from("BENCH_sim.json")
+    } else {
+        cli.out.clone()
+    };
+    let opts = |fastpath: bool| RunOptions {
+        workers: cli.workers,
+        capture: if cli.use_cache {
+            CaptureMode::Cached(StreamCache::new(StreamCache::default_dir()))
+        } else {
+            CaptureMode::Uncached
+        },
+        telemetry: None,
+        progress: cli.progress,
+        fastpath,
+    };
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.kv_u64("schema_version", 1);
+    j.kv_str("suite", "drs-sim-perf");
+    j.kv_u64("workers", cli.workers as u64);
+    j.key("figures");
+    j.begin_arr();
+    let mut mismatches = 0usize;
+    for fig in PERF_FIGURES {
+        let set = figures::by_name(fig, scale).expect("perf figures are simulation modes");
+        let fast = run_jobs(&set.jobs, &opts(true));
+        let naive = run_jobs(&set.jobs, &opts(false));
+        let mut sim_cycles = 0u64;
+        let mut wall_fast = 0.0f64;
+        let mut wall_naive = 0.0f64;
+        j.begin_obj();
+        j.kv_str("figure", fig);
+        j.key("cells");
+        j.begin_arr();
+        for (f, n) in fast.cells.iter().zip(&naive.cells) {
+            if f.stats != n.stats {
+                eprintln!("error: fast path changed results for {}", f.cell_name());
+                mismatches += 1;
+            }
+            if f.empty {
+                continue;
+            }
+            sim_cycles += f.stats.cycles;
+            wall_fast += f.wall_ms;
+            wall_naive += n.wall_ms;
+            j.begin_obj();
+            j.kv_str("cell", &f.cell_name());
+            j.kv_u64("sim_cycles", f.stats.cycles);
+            j.kv_f64("wall_ms_fast", f.wall_ms);
+            j.kv_f64("wall_ms_naive", n.wall_ms);
+            j.kv_f64("speedup", n.wall_ms / f.wall_ms.max(1e-9));
+            j.kv_f64("cycles_per_sec_fast", f.stats.cycles as f64 / (f.wall_ms / 1e3).max(1e-12));
+            j.kv_f64("cycles_per_sec_naive", n.stats.cycles as f64 / (n.wall_ms / 1e3).max(1e-12));
+            j.end_obj();
+        }
+        j.end_arr();
+        j.kv_u64("sim_cycles", sim_cycles);
+        j.kv_f64("wall_ms_fast", wall_fast);
+        j.kv_f64("wall_ms_naive", wall_naive);
+        j.kv_f64("speedup", wall_naive / wall_fast.max(1e-9));
+        j.end_obj();
+        println!(
+            "{fig}: {} cells, {:.3e} sim-cycles; fast {:.0} ms, naive {:.0} ms, speedup {:.2}x",
+            fast.cells.len(),
+            sim_cycles as f64,
+            wall_fast,
+            wall_naive,
+            wall_naive / wall_fast.max(1e-9)
+        );
+    }
+    j.end_arr();
+    j.end_obj();
+    if mismatches > 0 {
+        eprintln!("error: {mismatches} cell(s) differ between fast path and naive stepping");
+        std::process::exit(1);
+    }
+    match drs_harness::write_text(&out, &j.finish()) {
+        Ok(()) => println!("[perf baseline -> {}]", out.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `report` mode: render an existing `BENCH_experiments.json` (the file
+/// `--out` points at) into `RESULTS.md` next to it.
+fn report_mode(cli: &cli::Cli) {
+    let text = match std::fs::read_to_string(&cli.out) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "error: could not read {}: {e}\n(run `experiments all` first, or point --out at \
+                 an existing results file)",
+                cli.out.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    let doc = match drs_telemetry::check::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: {} is not valid JSON: {e}", cli.out.display());
+            std::process::exit(1);
+        }
+    };
+    let md = match drs_bench::report::render(&doc) {
+        Ok(md) => md,
+        Err(e) => {
+            eprintln!("error: {}: {e}", cli.out.display());
+            std::process::exit(1);
+        }
+    };
+    let out = cli.out.with_file_name("RESULTS.md");
+    match drs_harness::write_text(&out, md.trim_end()) {
+        Ok(()) => println!("[report -> {}]", out.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", out.display());
+            std::process::exit(1);
         }
     }
 }

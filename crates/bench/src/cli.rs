@@ -5,10 +5,14 @@
 
 use std::path::PathBuf;
 
-/// Every mode the binary accepts, in `all`-run order.
-pub const MODES: [&str; 11] = [
+/// Every mode the binary accepts, in `all`-run order. `perf` and `report`
+/// are standalone utilities: `perf` times the simulator itself (fast path
+/// vs naive stepping) and writes `BENCH_sim.json`; `report` renders an
+/// existing `BENCH_experiments.json` into `RESULTS.md`. Neither is part
+/// of `all`.
+pub const MODES: [&str; 13] = [
     "table1", "fig2", "fig8", "fig9", "table2", "fig10", "fig11", "overhead", "ablation", "energy",
-    "all",
+    "perf", "report", "all",
 ];
 
 /// Usage text printed on `--help` and on flag errors.
@@ -21,11 +25,25 @@ pool and records every simulated cell to a machine-readable JSON file.
 Modes:
   table1 | fig2 | fig8 | fig9 | table2 | fig10 | fig11 |
   overhead | ablation | energy | all        (default: all)
+  perf             simulator perf baseline: run the fig2+fig8 grids twice
+                   (fast path on, then naive stepping), assert bit-identical
+                   stats, write wall-clock timings to BENCH_sim.json
+  report           render an existing BENCH_experiments.json (see --out)
+                   into RESULTS.md, comparing measured speedups against
+                   the paper's headline numbers
 
 Options:
   --jobs N         worker threads (default: available parallelism)
-  --out PATH       results JSON destination (default: BENCH_experiments.json)
+  --out PATH       results JSON destination (default: BENCH_experiments.json);
+                   for `report`, the results file to read
   --no-cache       always recapture ray streams; skip target/drs-cache
+  --no-fastpath    disable the engine's event-driven cycle skipping and
+                   step every cycle (results are bit-identical either way;
+                   this is the reference path the perf harness times)
+  --stats-dump PATH after the run, also write a deterministic stats-only
+                   JSON dump of every cell (no wall-clock fields) — two
+                   runs with identical inputs produce byte-identical dumps,
+                   which CI diffs across --no-fastpath
   --timeline       collect stall attribution + interval timelines; writes
                    <out stem>_timeline.json next to the results file
   --trace-out PATH also record per-warp stall spans and write them as
@@ -50,6 +68,10 @@ pub struct Cli {
     pub out: PathBuf,
     /// Use the on-disk capture cache.
     pub use_cache: bool,
+    /// Engine event-driven fast path (`--no-fastpath` clears it).
+    pub fastpath: bool,
+    /// Deterministic stats-only JSON dump destination (`--stats-dump`).
+    pub stats_dump: Option<PathBuf>,
     /// Collect stall attribution + interval timelines.
     pub timeline: bool,
     /// Chrome trace-event JSON destination (implies [`Cli::timeline`]).
@@ -71,6 +93,8 @@ impl Default for Cli {
             workers: default_workers(),
             out: PathBuf::from("BENCH_experiments.json"),
             use_cache: true,
+            fastpath: true,
+            stats_dump: None,
             timeline: false,
             trace_out: None,
             interval: 1000,
@@ -135,6 +159,8 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
             }
             "--out" => cli.out = PathBuf::from(value("--out")?),
             "--no-cache" => cli.use_cache = false,
+            "--no-fastpath" => cli.fastpath = false,
+            "--stats-dump" => cli.stats_dump = Some(PathBuf::from(value("--stats-dump")?)),
             "--timeline" => cli.timeline = true,
             "--trace-out" => cli.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--interval" => {
@@ -181,9 +207,21 @@ mod tests {
         let cli = p(&[]).unwrap();
         assert_eq!(cli.mode, "all");
         assert!(cli.use_cache);
+        assert!(cli.fastpath);
+        assert_eq!(cli.stats_dump, None);
         assert!(!cli.list);
         assert!(cli.workers >= 1);
         assert_eq!(cli.out, PathBuf::from("BENCH_experiments.json"));
+    }
+
+    #[test]
+    fn fastpath_and_stats_dump_flags() {
+        let cli = p(&["fig2", "--no-fastpath", "--stats-dump", "a.json"]).unwrap();
+        assert!(!cli.fastpath);
+        assert_eq!(cli.stats_dump, Some(PathBuf::from("a.json")));
+        let eq = p(&["fig2", "--no-fastpath", "--stats-dump=a.json"]).unwrap();
+        assert_eq!(cli, eq);
+        assert!(p(&["--stats-dump"]).unwrap_err().contains("requires a value"));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 pub mod cli;
 pub mod microbench;
+pub mod report;
 
 pub use drs_harness::{
     figures, parallel_map, run_jobs, run_method_with_warps, CacheCounters, CaptureMode, CellResult,

@@ -137,7 +137,7 @@ impl Bvh {
         TRI_BASE_ADDR + pos as u64 * TRI_SIZE_BYTES
     }
 
-    /// Closest-hit traversal. See [`traverse`].
+    /// Closest-hit traversal (stackful, front-to-back by slab distance).
     pub fn intersect(&self, mesh: &Mesh, ray: &drs_math::Ray) -> Option<Hit> {
         traverse::intersect(self, mesh, ray, &mut |_| {})
     }

@@ -118,6 +118,42 @@ struct Transfer {
 }
 
 /// The DRS control unit.
+///
+/// Plugs into the simulator as its
+/// [`SpecialUnit`](drs_sim::SpecialUnit): `rdctrl` issues consult the
+/// renaming and ray-state tables, and the per-cycle tick advances the
+/// swap engine. A minimal end-to-end run:
+///
+/// ```
+/// use drs_core::system::RowedWhileIf;
+/// use drs_core::{DrsConfig, DrsUnit};
+/// use drs_kernels::WhileIfKernel;
+/// use drs_sim::{GpuConfig, Simulation};
+/// use drs_trace::{RayScript, Step, Termination};
+///
+/// let scripts: Vec<RayScript> = (0..64)
+///     .map(|i| {
+///         let steps = (0..2 + i % 5)
+///             .map(|k| Step::Inner { node_addr: 0x1000 + k as u64 * 64, both_children_hit: false })
+///             .collect();
+///         RayScript::new(steps, Termination::Hit)
+///     })
+///     .collect();
+///
+/// let cfg = DrsConfig { warps: 2, backup_rows: 1, swap_buffers: 6, ideal: false, lanes: 32 };
+/// let kernel = WhileIfKernel::new();
+/// let gpu = GpuConfig { max_warps: 2, max_cycles: 10_000_000, ..GpuConfig::gtx780() };
+/// let out = Simulation::new(
+///     gpu,
+///     kernel.program(),
+///     Box::new(RowedWhileIf::new(cfg.rows())),
+///     Box::new(DrsUnit::new(cfg)),
+///     &scripts,
+/// )
+/// .run();
+/// assert!(out.completed);
+/// assert_eq!(out.stats.rays_completed, 64);
+/// ```
 #[derive(Debug)]
 pub struct DrsUnit {
     cfg: DrsConfig,
@@ -764,6 +800,23 @@ impl SpecialUnit for DrsUnit {
             self.finalize_transfer(t, cycle + 1, m, stats);
         }
         self.plan_transfers(cycle, m);
+    }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        // Ideal DRS never ticks; real DRS is quiescent once no transfers
+        // are in flight: with no issues in between, the dirty queue stays
+        // drained, `plan_transfers` re-evaluates the identical machine
+        // state and plans nothing, and the leaf-collector refresh is at a
+        // fixed point — so every tick until the next issue is a pure
+        // no-op. Before the first tick the unit still has to initialize,
+        // so it pins the engine to the current cycle.
+        if self.cfg.ideal {
+            return None;
+        }
+        if !self.initialized || !self.transfers.is_empty() {
+            return Some(now);
+        }
+        None
     }
 }
 

@@ -205,6 +205,24 @@ impl std::fmt::Display for JobId {
 
 /// One experiment cell: run `method` with `warps` resident warps over
 /// bounce `bounce` of `workload`'s captured ray streams.
+///
+/// Jobs are plain data with content-derived identity, so equal inputs
+/// dedupe across figures and cache across runs:
+///
+/// ```
+/// use drs_harness::{Method, Scale, SimJob, WorkloadSpec};
+/// use drs_scene::SceneKind;
+///
+/// let scale = Scale::default();
+/// let workload = WorkloadSpec::standard(SceneKind::Conference, &scale, 8);
+/// let job = SimJob { workload, bounce: 2, method: Method::drs_default(), warps: 58 };
+///
+/// // Identity is derived from the job's content, not its address: the
+/// // same cell built twice (e.g. by two different figures) is one job.
+/// let again = SimJob { workload, bounce: 2, method: Method::drs_default(), warps: 58 };
+/// assert_eq!(job.id(), again.id());
+/// assert_ne!(job.id(), SimJob { bounce: 3, ..job }.id());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SimJob {
     /// The captured input stream this job consumes.

@@ -47,13 +47,23 @@ pub struct RunOptions {
     /// Print a per-job start/finish line to stderr (off by default so the
     /// binary's stdout/stderr stay unchanged).
     pub progress: bool,
+    /// Engine event-driven fast path (on by default). `false` forces
+    /// naive one-cycle stepping — the reference the perf harness and CI
+    /// A/B smoke compare against; results are bit-identical either way.
+    pub fastpath: bool,
 }
 
 impl RunOptions {
     /// Serial execution without a cache — the reference configuration
     /// parallel runs must match bit-for-bit.
     pub fn serial() -> RunOptions {
-        RunOptions { workers: 1, capture: CaptureMode::Uncached, telemetry: None, progress: false }
+        RunOptions {
+            workers: 1,
+            capture: CaptureMode::Uncached,
+            telemetry: None,
+            progress: false,
+            fastpath: true,
+        }
     }
 
     /// Parallel execution with `workers` threads, no cache.
@@ -150,14 +160,24 @@ pub fn run_jobs(jobs: &[SimJob], opts: &RunOptions) -> RunReport {
                 let scripts = &streams.bounce(job.bounce).scripts;
                 let (out, telemetry) = match opts.telemetry {
                     Some(cfg) => {
-                        let (out, report) = crate::runner::run_method_with_warps_telemetry(
-                            job.method, job.warps, scripts, cfg,
+                        let (out, report) = crate::runner::run_method_with_warps_telemetry_fastpath(
+                            job.method,
+                            job.warps,
+                            scripts,
+                            cfg,
+                            opts.fastpath,
                         );
                         (out, Some(report))
                     }
-                    None => {
-                        (crate::runner::run_method_with_warps(job.method, job.warps, scripts), None)
-                    }
+                    None => (
+                        crate::runner::run_method_with_warps_fastpath(
+                            job.method,
+                            job.warps,
+                            scripts,
+                            opts.fastpath,
+                        ),
+                        None,
+                    ),
                 };
                 CellResult {
                     job: *job,

@@ -3,7 +3,7 @@
 //! Every run of the `experiments` binary emits one JSON document
 //! (`BENCH_experiments.json` by default) containing a record per cell —
 //! Mrays/s, SIMD efficiency, the full counter set of
-//! [`SimStats`](drs_sim::SimStats), and wall-clock — plus run-level cache
+//! [`drs_sim::SimStats`], and wall-clock — plus run-level cache
 //! and timing telemetry. CI uploads the file as an artifact on every
 //! push, so regressions show up as a diffable number series instead of a
 //! human eyeballing stdout tables.
@@ -151,6 +151,40 @@ impl ResultsFile {
         j.finish()
     }
 
+    /// A deterministic, stats-only dump of every cell: job identity plus
+    /// the full [`SimStats`] counter set and (when present) the telemetry
+    /// report — no wall-clock, cache, or worker-count fields. Two runs
+    /// over identical inputs produce byte-identical dumps regardless of
+    /// machine speed, worker count, or the engine fast path; CI diffs
+    /// this file across `--no-fastpath` to prove the fast path changes
+    /// nothing observable.
+    pub fn stats_json(&self) -> String {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.kv_u64("schema_version", RESULTS_SCHEMA_VERSION as u64);
+        j.kv_str("suite", "drs-experiments-stats");
+        j.kv_str("mode", &self.mode);
+        j.key("cells");
+        j.begin_arr();
+        for (_, cell) in &self.cells {
+            j.begin_obj();
+            j.kv_str("id", &cell.job.id().to_string());
+            j.kv_str("cell", &cell.cell_name());
+            j.kv_bool("empty", cell.empty);
+            j.kv_bool("completed", cell.completed);
+            j.key("stats");
+            cell.stats.write_json(&mut j);
+            if let Some(report) = &cell.telemetry {
+                j.key("telemetry");
+                report.write_json(&mut j);
+            }
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+        j.finish()
+    }
+
     /// Write the document to `path`.
     ///
     /// # Errors
@@ -269,6 +303,24 @@ mod tests {
         let open = json.matches(['{', '[']).count();
         let close = json.matches(['}', ']']).count();
         assert_eq!(open, close);
+    }
+
+    #[test]
+    fn stats_dump_excludes_timing_and_is_reproducible() {
+        let make = |wall_ms: f64, workers: usize| ResultsFile {
+            mode: "fig2".into(),
+            workers,
+            cache: CacheCounters { hits: workers as u64, misses: 0, evictions: 0 },
+            wall_ms,
+            cells: vec![(vec!["fig2".into()], CellResult { wall_ms, ..sample_cell() })],
+        };
+        let a = make(1.25, 1).stats_json();
+        let b = make(99.0, 8).stats_json();
+        assert_eq!(a, b, "stats dump must not depend on timing or worker count");
+        assert!(!a.contains("wall_ms"));
+        assert!(!a.contains("workers"));
+        assert!(a.contains("\"suite\":\"drs-experiments-stats\""));
+        assert!(a.contains("\"stats\":{\"cycles\":10"));
     }
 
     #[test]

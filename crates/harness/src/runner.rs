@@ -18,7 +18,20 @@ use drs_trace::RayScript;
 /// Unlike the pre-harness runner this does **not** panic when the safety
 /// cycle cap fires; the caller decides how to report `completed == false`.
 pub fn run_method_with_warps(method: Method, warps: usize, scripts: &[RayScript]) -> SimOutcome {
-    run_inner(method, warps, scripts, None)
+    run_inner(method, warps, scripts, None, true)
+}
+
+/// Like [`run_method_with_warps`], with explicit control over the engine's
+/// event-driven fast path. `fastpath: false` forces naive one-cycle
+/// stepping — the reference behavior the perf harness and the CI A/B smoke
+/// diff against; results are bit-identical either way.
+pub fn run_method_with_warps_fastpath(
+    method: Method,
+    warps: usize,
+    scripts: &[RayScript],
+    fastpath: bool,
+) -> SimOutcome {
+    run_inner(method, warps, scripts, None, fastpath)
 }
 
 /// Like [`run_method_with_warps`], but with a [`TelemetryCollector`]
@@ -32,8 +45,23 @@ pub fn run_method_with_warps_telemetry(
     scripts: &[RayScript],
     config: TelemetryConfig,
 ) -> (SimOutcome, TelemetryReport) {
+    run_method_with_warps_telemetry_fastpath(method, warps, scripts, config, true)
+}
+
+/// Like [`run_method_with_warps_telemetry`], with explicit fast-path
+/// control. The telemetry report — totals, interval timeline, trace spans
+/// — is identical with the fast path on or off (asserted by the harness
+/// test suite): skipped spans are bulk-charged to the same buckets naive
+/// stepping would attribute cycle by cycle.
+pub fn run_method_with_warps_telemetry_fastpath(
+    method: Method,
+    warps: usize,
+    scripts: &[RayScript],
+    config: TelemetryConfig,
+    fastpath: bool,
+) -> (SimOutcome, TelemetryReport) {
     let mut collector = TelemetryCollector::new(config);
-    let out = run_inner(method, warps, scripts, Some(&mut collector));
+    let out = run_inner(method, warps, scripts, Some(&mut collector), fastpath);
     (out, collector.into_report())
 }
 
@@ -42,6 +70,7 @@ fn run_inner<'w>(
     warps: usize,
     scripts: &'w [RayScript],
     sink: Option<&'w mut dyn TelemetrySink>,
+    fastpath: bool,
 ) -> SimOutcome {
     let gpu = GpuConfig { max_warps: warps, max_cycles: 4_000_000_000, ..GpuConfig::gtx780() };
     let mut sim = match method {
@@ -106,6 +135,7 @@ fn run_inner<'w>(
     if let Some(sink) = sink {
         sim.attach_telemetry(sink);
     }
+    sim.set_fastpath(fastpath);
     sim.run()
 }
 

@@ -2,11 +2,11 @@
 //!
 //! Two kernels, matching the paper's evaluation:
 //!
-//! - [`while_while`]: Aila-style software kernel — persistent threads, a
-//!   layered while-while loop, optional speculative traversal and
-//!   terminated-ray replacement. This is the software baseline every
+//! - [`WhileWhileKernel`]: Aila-style software kernel — persistent
+//!   threads, a layered while-while loop, optional speculative traversal
+//!   and terminated-ray replacement. This is the software baseline every
 //!   hardware scheme is compared against.
-//! - [`while_if`]: the paper's Kernel 1 — a while-if restructuring whose
+//! - [`WhileIfKernel`]: the paper's Kernel 1 — a while-if restructuring whose
 //!   control flow is steered by the `rdctrl` special instruction and the
 //!   `reg_ray_state` effect, designed for the DRS hardware (and reused by
 //!   the DMK/TBC baseline units with their own special tokens).

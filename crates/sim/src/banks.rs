@@ -12,6 +12,9 @@
 pub struct RegisterBanks {
     banks: usize,
     usage: Vec<u32>,
+    /// True when any port was used since the last [`RegisterBanks::new_cycle`],
+    /// so an all-idle cycle's reset is a no-op instead of a `fill`.
+    dirty: bool,
     /// Lifetime counters.
     pub total_reads: u64,
     /// Total writes observed (writes are counted but, having a dedicated
@@ -28,6 +31,7 @@ impl RegisterBanks {
         RegisterBanks {
             banks,
             usage: vec![0; banks],
+            dirty: false,
             total_reads: 0,
             total_writes: 0,
             total_conflicts: 0,
@@ -46,6 +50,7 @@ impl RegisterBanks {
         let b = self.bank_of(warp, reg);
         let prior = self.usage[b];
         self.usage[b] += 1;
+        self.dirty = true;
         self.total_reads += 1;
         if prior > 0 {
             self.total_conflicts += 1;
@@ -65,6 +70,9 @@ impl RegisterBanks {
     /// which addresses rows directly).
     pub fn raw_access(&mut self, bank: usize, n: u32) {
         self.usage[bank % self.banks] += n;
+        if n > 0 {
+            self.dirty = true;
+        }
         self.total_reads += n as u64;
     }
 
@@ -73,9 +81,20 @@ impl RegisterBanks {
         self.usage.iter().map(|&u| u == 0).collect()
     }
 
-    /// Reset per-cycle usage (call once per simulated cycle).
+    /// Like [`RegisterBanks::idle_banks`], but into a caller-owned buffer
+    /// so the per-cycle hot loop allocates nothing.
+    pub fn idle_banks_into(&self, buf: &mut Vec<bool>) {
+        buf.clear();
+        buf.extend(self.usage.iter().map(|&u| u == 0));
+    }
+
+    /// Reset per-cycle usage (call once per simulated cycle). A no-op on
+    /// cycles with no port activity.
     pub fn new_cycle(&mut self) {
-        self.usage.fill(0);
+        if self.dirty {
+            self.usage.fill(0);
+            self.dirty = false;
+        }
     }
 
     /// Number of banks.

@@ -65,6 +65,28 @@ pub trait SpecialUnit {
         m: &mut MachineState<'_>,
         stats: &mut SimStats,
     );
+
+    /// The engine's event-driven fast path asks, at the start of cycle
+    /// `now` (the previous cycle's [`tick`](SpecialUnit::tick) has already
+    /// run), when the unit next needs to be ticked, assuming no warp
+    /// issues in the meantime.
+    ///
+    /// - `None` means the unit is **quiescent**: as long as no instruction
+    ///   issues, every subsequent `tick` would be a pure no-op (no machine,
+    ///   stats, or internal-state mutation), so the engine may skip ticking
+    ///   it entirely.
+    /// - `Some(t)` promises that ticks at cycles in `now..t` are no-ops;
+    ///   the engine will not skip past `t`. `Some(now)` means "tick me
+    ///   this very cycle" and disables skipping entirely.
+    ///
+    /// The conservative default returns `Some(now)`, which disables cycle
+    /// skipping whenever this unit may have pending work the engine cannot
+    /// see. Units whose `tick` does real work must only report quiescence
+    /// when that work is provably drained; the A/B bit-identity tests
+    /// (fast path on vs. off) enforce this.
+    fn next_event(&self, now: u64) -> Option<u64> {
+        Some(now)
+    }
 }
 
 /// A no-op special unit for kernels without hardware assistance.
@@ -89,6 +111,10 @@ impl SpecialUnit for NullSpecial {
         _m: &mut MachineState<'_>,
         _stats: &mut SimStats,
     ) {
+    }
+
+    fn next_event(&self, _now: u64) -> Option<u64> {
+        None // the tick is empty, so the unit is always quiescent
     }
 }
 

@@ -127,12 +127,70 @@ pub struct CycleSnapshot {
 /// Receiver of per-cycle attribution events.
 ///
 /// Implementations must not assume anything about call timing beyond:
-/// `on_cycle` fires exactly once per simulated cycle, in order, with one
-/// bucket per resident warp; `on_finish` fires exactly once after the
-/// last cycle with the final snapshot.
+/// every simulated cycle is delivered exactly once, in order — either via
+/// `on_cycle` (one call per cycle) or via `on_cycles` (one call per
+/// constant-attribution span) — with one bucket per resident warp;
+/// `on_finish` fires exactly once after the last cycle with the final
+/// snapshot.
+///
+/// # Example
+///
+/// A minimal sink that proves the accounting identity
+/// `Σ buckets == cycles × warps` for a run:
+///
+/// ```
+/// use drs_sim::{CycleSnapshot, StallBucket, TelemetrySink, NUM_STALL_BUCKETS};
+///
+/// #[derive(Default)]
+/// struct Tally {
+///     counts: [u64; NUM_STALL_BUCKETS],
+///     cycles: u64,
+///     warps: usize,
+/// }
+///
+/// impl TelemetrySink for Tally {
+///     fn on_cycle(&mut self, _snap: &CycleSnapshot, warp_buckets: &[StallBucket]) {
+///         self.cycles += 1;
+///         self.warps = warp_buckets.len();
+///         for &b in warp_buckets {
+///             self.counts[b as usize] += 1;
+///         }
+///     }
+///     fn on_finish(&mut self, _snap: &CycleSnapshot) {
+///         let total: u64 = self.counts.iter().sum();
+///         assert_eq!(total, self.cycles * self.warps as u64);
+///     }
+/// }
+///
+/// let mut t = Tally::default();
+/// let snap = CycleSnapshot::default();
+/// t.on_cycle(&snap, &[StallBucket::Issued, StallBucket::Idle]);
+/// // The engine's fast path delivers skipped spans in bulk; the default
+/// // `on_cycles` expands them into ordinary per-cycle calls.
+/// t.on_cycles(&CycleSnapshot { cycle: 1, ..snap }, &[StallBucket::Idle, StallBucket::Idle], 3);
+/// t.on_finish(&CycleSnapshot { cycle: 4, ..snap });
+/// ```
 pub trait TelemetrySink {
     /// One simulated cycle: counters snapshot + per-warp charge.
     fn on_cycle(&mut self, snap: &CycleSnapshot, warp_buckets: &[StallBucket]);
+
+    /// `span` consecutive cycles (`snap.cycle .. snap.cycle + span`) over
+    /// which every warp's bucket — and every counter in `snap` — is
+    /// constant. Emitted by the engine's event-driven fast path when it
+    /// skips a no-issue region in one jump.
+    ///
+    /// The default implementation expands the span into `span` ordinary
+    /// [`on_cycle`](TelemetrySink::on_cycle) calls with consecutive cycle
+    /// numbers, so existing sinks observe exactly the naive cycle stream.
+    /// Collectors may override it to charge the whole span at once (see
+    /// `drs-telemetry`'s `TelemetryCollector`).
+    fn on_cycles(&mut self, snap: &CycleSnapshot, warp_buckets: &[StallBucket], span: u64) {
+        let mut s = *snap;
+        for i in 0..span {
+            s.cycle = snap.cycle + i;
+            self.on_cycle(&s, warp_buckets);
+        }
+    }
 
     /// The run ended (all warps exited or the cycle cap fired).
     fn on_finish(&mut self, snap: &CycleSnapshot);

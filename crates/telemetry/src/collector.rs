@@ -316,6 +316,57 @@ impl TelemetrySink for TelemetryCollector {
         }
     }
 
+    /// Bulk charge for a fast-path span: `span` cycles starting at
+    /// `snap.cycle` over which every warp's bucket and every counter are
+    /// constant. Equivalent to `span` calls of
+    /// [`on_cycle`](TelemetrySink::on_cycle) (the engine's A/B tests
+    /// assert identical reports), but O(interval boundaries) instead of
+    /// O(span × warps): totals and windows take `count × span` adds, open
+    /// trace spans extend implicitly, and every interval boundary inside
+    /// the span closes with the same snapshot — valid as the right-edge
+    /// state precisely because the counters cannot change in a span no
+    /// instruction issues in.
+    fn on_cycles(&mut self, snap: &CycleSnapshot, warp_buckets: &[StallBucket], span: u64) {
+        if span == 0 {
+            return;
+        }
+        if self.report.warps == 0 {
+            self.report.warps = warp_buckets.len();
+        }
+        debug_assert_eq!(warp_buckets.len(), self.report.warps);
+        for &b in warp_buckets {
+            self.report.totals[b as usize] += span;
+        }
+        if self.config.trace {
+            if self.open_spans.is_empty() {
+                self.open_spans = warp_buckets.iter().map(|&b| (b, snap.cycle)).collect();
+            } else {
+                for (w, &next) in warp_buckets.iter().enumerate() {
+                    let (cur, start) = self.open_spans[w];
+                    if cur != next {
+                        self.push_span(w as u32, cur, start, snap.cycle);
+                        self.open_spans[w] = (next, snap.cycle);
+                    }
+                }
+            }
+        }
+        // Walk the interval boundaries covered by the span.
+        let mut c = snap.cycle;
+        let end = snap.cycle + span;
+        while c < end {
+            let boundary = (c / self.config.interval + 1) * self.config.interval;
+            let chunk_end = boundary.min(end);
+            let width = chunk_end - c;
+            for &b in warp_buckets {
+                self.window_buckets[b as usize] += width;
+            }
+            if chunk_end == boundary {
+                self.close_interval(boundary, &CycleSnapshot { cycle: boundary - 1, ..*snap });
+            }
+            c = chunk_end;
+        }
+    }
+
     fn on_finish(&mut self, snap: &CycleSnapshot) {
         self.report.cycles = snap.cycle;
         if self.window_start < snap.cycle {
@@ -442,6 +493,52 @@ mod tests {
         let trace = c.into_report().trace.unwrap();
         assert_eq!(trace.spans.len(), 2);
         assert_eq!(trace.dropped, 8);
+    }
+
+    /// The bulk fast-path charge must produce a report identical to the
+    /// same cycles delivered one at a time — across interval boundaries,
+    /// partial tails, and open trace spans.
+    #[test]
+    fn bulk_spans_match_per_cycle_delivery() {
+        let config = TelemetryConfig { interval: 10, trace: true, ..Default::default() };
+        // (buckets, span) segments with constant attribution, crossing
+        // interval boundaries (spans 7+16 cross two) and ending mid-window.
+        let segments: [(&[StallBucket], u64); 4] = [
+            (&[StallBucket::Issued, StallBucket::Idle], 7),
+            (&[StallBucket::MemoryPending, StallBucket::Idle], 16),
+            (&[StallBucket::MemoryPending, StallBucket::Issued], 10),
+            (&[StallBucket::Issued, StallBucket::Issued], 3),
+        ];
+        let total_cycles: u64 = segments.iter().map(|&(_, s)| s).sum();
+        let run = |bulk: bool| {
+            let mut c = TelemetryCollector::new(config);
+            let mut snap = CycleSnapshot::default();
+            let mut cycle = 0u64;
+            for &(buckets, span) in &segments {
+                // Counters move only at segment starts, as in a real
+                // no-issue span.
+                snap.issued.record(32);
+                snap.mem_transactions += 1;
+                snap.cycle = cycle;
+                if bulk {
+                    c.on_cycles(&snap, buckets, span);
+                } else {
+                    for i in 0..span {
+                        snap.cycle = cycle + i;
+                        c.on_cycle(&snap, buckets);
+                    }
+                }
+                cycle += span;
+            }
+            snap.cycle = total_cycles;
+            c.on_finish(&snap);
+            c.into_report()
+        };
+        let bulk = run(true);
+        let per_cycle = run(false);
+        assert_eq!(bulk, per_cycle, "bulk and per-cycle delivery must agree exactly");
+        bulk.check_identity().unwrap();
+        assert_eq!(bulk.intervals.len(), 4, "three full windows plus a partial tail");
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Static verification of kernel micro-op [`Program`]s and [`GpuConfig`]s.
+//! Static verification of kernel micro-op [`Program`]s and
+//! [`GpuConfig`](drs_sim::GpuConfig)s.
 //!
 //! The simulator's timing fidelity rests on hand-assembled programs whose
 //! `Branch::reconverge` fields *declare* each branch's immediate

@@ -201,6 +201,158 @@ fn machine_state_cache_is_coherent() {
     }
 }
 
+/// The engine's event-driven fast path is unobservable: for arbitrary
+/// ray scripts across every method family, cycle skipping on vs. off
+/// yields identical `SimStats` and identical telemetry reports (stall
+/// totals, interval samples, trace spans).
+mod fastpath_equivalence {
+    use drs::baselines::{DmkConfig, DmkKernel, DmkUnit, TbcConfig, TbcUnit};
+    use drs::core::system::RowedWhileIf;
+    use drs::core::{DrsConfig, DrsUnit};
+    use drs::kernels::{WhileIfKernel, WhileWhileConfig, WhileWhileKernel};
+    use drs::math::XorShift64;
+    use drs::sim::{GpuConfig, NullSpecial, SimOutcome, Simulation};
+    use drs::telemetry::{TelemetryCollector, TelemetryConfig, TelemetryReport};
+    use drs::trace::{RayScript, Step, Termination};
+
+    fn gen_scripts(rng: &mut XorShift64) -> Vec<RayScript> {
+        let n = 1 + rng.next_below(150);
+        (0..n)
+            .map(|_| {
+                let steps = (0..rng.next_below(20))
+                    .map(|_| {
+                        if rng.next_below(2) == 0 {
+                            Step::Inner {
+                                node_addr: 0x1000_0000 + rng.next_below(2048) as u64 * 64,
+                                both_children_hit: rng.next_below(2) == 0,
+                            }
+                        } else {
+                            Step::Leaf {
+                                node_addr: 0x1100_0000 + rng.next_below(2048) as u64 * 64,
+                                prim_base_addr: 0x4000_0000 + rng.next_below(2048) as u64 * 48,
+                                prim_count: 1 + rng.next_below(4) as u16,
+                            }
+                        }
+                    })
+                    .collect();
+                RayScript::new(steps, Termination::Hit)
+            })
+            .collect()
+    }
+
+    const WARPS: usize = 3;
+
+    fn gpu() -> GpuConfig {
+        GpuConfig { max_warps: WARPS, max_cycles: 80_000_000, ..GpuConfig::gtx780() }
+    }
+
+    fn build(method: usize, scripts: &[RayScript]) -> Simulation<'_> {
+        match method {
+            0 => {
+                let k = WhileWhileKernel::new(WhileWhileConfig::default());
+                Simulation::new(
+                    gpu(),
+                    k.program(),
+                    Box::new(k.clone()),
+                    Box::new(NullSpecial),
+                    scripts,
+                )
+            }
+            1 => {
+                let cfg = DmkConfig { warps: WARPS, lanes: 32, pool_slots: WARPS * 32 };
+                let k = DmkKernel::new(cfg);
+                Simulation::new(
+                    gpu(),
+                    k.program(),
+                    Box::new(k.clone()),
+                    Box::new(DmkUnit::new(cfg)),
+                    scripts,
+                )
+            }
+            2 => {
+                let k = WhileIfKernel::new();
+                let cfg = TbcConfig { warps: WARPS, lanes: 32, warps_per_block: 2 };
+                Simulation::new(
+                    gpu(),
+                    k.program(),
+                    Box::new(k.clone()),
+                    Box::new(TbcUnit::new(cfg)),
+                    scripts,
+                )
+            }
+            _ => {
+                let cfg = DrsConfig {
+                    warps: WARPS,
+                    backup_rows: 1,
+                    swap_buffers: 6,
+                    ideal: false,
+                    lanes: 32,
+                };
+                let k = WhileIfKernel::new();
+                Simulation::new(
+                    gpu(),
+                    k.program(),
+                    Box::new(RowedWhileIf::new(cfg.rows())),
+                    Box::new(DrsUnit::new(cfg)),
+                    scripts,
+                )
+            }
+        }
+    }
+
+    fn run(
+        method: usize,
+        scripts: &[RayScript],
+        fastpath: bool,
+        telemetry: bool,
+    ) -> (SimOutcome, Option<TelemetryReport>) {
+        let mut collector = TelemetryCollector::new(TelemetryConfig {
+            interval: 400,
+            trace: true,
+            ..TelemetryConfig::default()
+        });
+        let mut sim = build(method, scripts);
+        if telemetry {
+            sim.attach_telemetry(&mut collector);
+        }
+        sim.set_fastpath(fastpath);
+        let out = sim.run();
+        (out, telemetry.then(|| collector.into_report()))
+    }
+
+    #[test]
+    fn fastpath_is_unobservable_for_random_programs() {
+        let mut rng = XorShift64::new(0xB44D_1009);
+        for case in 0..8 {
+            let scripts = gen_scripts(&mut rng);
+            for method in 0..4 {
+                // Plain engine: stats must match bit for bit.
+                let (fast, _) = run(method, &scripts, true, false);
+                let (naive, _) = run(method, &scripts, false, false);
+                assert!(fast.completed, "case {case} method {method} hit the cycle cap");
+                assert_eq!(
+                    fast.stats, naive.stats,
+                    "case {case} method {method}: fast path changed SimStats"
+                );
+
+                // With a collector attached: stats unchanged vs. the plain
+                // run, and the full report — totals, interval samples,
+                // trace spans — identical across the fast path.
+                let (fast_t, fast_report) = run(method, &scripts, true, true);
+                let (naive_t, naive_report) = run(method, &scripts, false, true);
+                assert_eq!(fast_t.stats, fast.stats, "telemetry must stay observational");
+                assert_eq!(naive_t.stats, naive.stats);
+                let (fast_report, naive_report) = (fast_report.unwrap(), naive_report.unwrap());
+                assert_eq!(
+                    fast_report, naive_report,
+                    "case {case} method {method}: fast path changed the telemetry report"
+                );
+                fast_report.check_identity().unwrap();
+            }
+        }
+    }
+}
+
 /// End-to-end robustness: for arbitrary ray scripts, both the software
 /// baseline and DRS trace every ray to completion, deterministically.
 mod kernel_robustness {
