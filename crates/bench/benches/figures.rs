@@ -29,7 +29,7 @@ fn capture_pipeline(c: &mut Criterion) {
             BenchmarkId::new("fig11_cell", method.label()),
             &scripts,
             |b, scripts| {
-                b.iter(|| run_method(method, scripts).stats.cycles);
+                b.iter(|| run_method(method, scripts).cycles);
             },
         );
     }

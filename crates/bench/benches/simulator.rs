@@ -32,7 +32,7 @@ fn simulator(c: &mut Criterion) {
                 &scripts,
             )
             .run()
-            .stats
+            .expect("completes")
             .cycles
         });
     });
@@ -50,7 +50,7 @@ fn simulator(c: &mut Criterion) {
                 &scripts,
             )
             .run()
-            .stats
+            .expect("completes")
             .cycles
         });
     });

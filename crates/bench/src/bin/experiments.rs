@@ -28,8 +28,8 @@ use drs_bench::{figures, Aggregate};
 use drs_core::overhead::{dmk_spawn_memory_bytes, paper, tbc_warp_buffer_bytes, DrsOverhead};
 use drs_core::DrsConfig;
 use drs_harness::{
-    run_jobs, CaptureMode, CellResult, JobId, Method, ResultsFile, RunOptions, Scale, SimJob,
-    StreamCache, WorkloadSpec,
+    run_jobs, CaptureMode, CellResult, CheckpointSpec, FaultPlan, JobId, Method, ResultsFile,
+    RunOptions, Scale, SimJob, StreamCache, WorkloadSpec,
 };
 use drs_scene::SceneKind;
 use drs_sim::{ActiveHistogram, GpuConfig};
@@ -118,21 +118,50 @@ fn main() {
         trace: cli.trace_out.is_some(),
         ..drs_telemetry::TelemetryConfig::default()
     });
+    let faults = match &cli.inject {
+        Some(spec) => match FaultPlan::parse(spec) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", cli::USAGE);
+                std::process::exit(2);
+            }
+        },
+        None => FaultPlan::default(),
+    };
     let opts = RunOptions {
         workers: cli.workers,
         capture,
         telemetry,
         progress: cli.progress,
         fastpath: cli.fastpath,
+        retries: cli.retries,
+        job_cycle_budget: cli.job_cycles,
+        job_timeout_ms: cli.job_timeout_secs.map(|s| s * 1000),
+        faults,
+        checkpoint: Some(CheckpointSpec { path: cli.checkpoint_path(), resume: cli.resume }),
+        ..RunOptions::serial()
     };
     let report = run_jobs(&jobs, &opts);
 
-    let incomplete: Vec<String> = report
+    let failures: Vec<String> = report
         .cells
         .iter()
-        .filter(|c| !c.completed)
-        .map(|c| format!("{} B{} {}", c.job.workload.scene, c.job.bounce, c.job.method.label()))
+        .filter(|c| c.failure.is_some() || !c.completed)
+        .map(|c| {
+            let why = c
+                .failure
+                .as_ref()
+                .map_or_else(|| "incomplete".to_string(), |f| format!("{}: {}", f.kind, f.message));
+            format!(
+                "{} B{} {} ({} attempt(s)): {why}",
+                c.job.workload.scene,
+                c.job.bounce,
+                c.job.method.label(),
+                c.attempts
+            )
+        })
         .collect();
+    let resumed = report.resumed;
     let cells =
         Cells { by_id: report.cells.iter().map(|c| (c.job.id(), c.clone())).collect(), scale };
 
@@ -156,8 +185,13 @@ fn main() {
     let results = ResultsFile::from_report(&cli.mode, cli.workers, report, figures_of);
     match results.write_to(&cli.out) {
         Ok(()) => {
+            let resumed_note = if resumed > 0 {
+                format!("; {resumed} resumed from checkpoint")
+            } else {
+                String::new()
+            };
             println!(
-                "\n[{} cells -> {}; capture cache: {} hit / {} miss / {} evicted; {:.1}s]",
+                "\n[{} cells -> {}; capture cache: {} hit / {} miss / {} evicted{resumed_note}; {:.1}s]",
                 results.cells.len(),
                 cli.out.display(),
                 cache.hits,
@@ -203,11 +237,16 @@ fn main() {
             None => println!("[chrome trace: no instrumented cells in this mode]"),
         }
     }
-    if !incomplete.is_empty() {
-        eprintln!("error: {} cell(s) hit the simulation cycle cap:", incomplete.len());
-        for cell in incomplete {
+    if !failures.is_empty() {
+        eprintln!("error: {} of {} cell(s) failed:", failures.len(), results.cells.len());
+        for cell in failures {
             eprintln!("  {cell}");
         }
+        eprintln!(
+            "(structured failure records are in {}; rerun with --resume to retry only the \
+             failed cells)",
+            cli.out.display()
+        );
         std::process::exit(1);
     }
 }
@@ -284,9 +323,9 @@ fn perf_mode(cli: &cli::Cli, scale: &Scale) {
         } else {
             CaptureMode::Uncached
         },
-        telemetry: None,
         progress: cli.progress,
         fastpath,
+        ..RunOptions::serial()
     };
     let mut j = JsonBuf::new();
     j.begin_obj();
@@ -721,16 +760,20 @@ fn ablation(cells: &Cells) {
         let bvh = Bvh::build(scene.mesh(), &BuildParams { method, max_leaf_size: 4 });
         let streams = BounceStreams::capture_with_bvh(&scene, &bvh, scale.rays, 1, 7);
         let stats = streams.bounce(1).stats();
-        let out = drs_harness::run_method_with_warps(
+        let sim = drs_harness::run_method_with_warps(
             Method::Aila,
             scale.warps(Method::Aila.paper_warps()),
             &streams.bounce(1).scripts,
-        );
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: BVH-ablation cell failed: {e}");
+            std::process::exit(1);
+        });
         println!(
             "  {label}  nodes/ray {:5.1}  prims/ray {:4.1}  Aila {:7.1} Mrays/s",
             stats.avg_inner(),
             stats.total_prim_tests as f64 / stats.rays.max(1) as f64,
-            out.stats.mrays_per_sec(gpu.clock_mhz, gpu.smx_count)
+            sim.mrays_per_sec(gpu.clock_mhz, gpu.smx_count)
         );
     }
 }

@@ -51,8 +51,28 @@ Options:
                    implies --timeline
   --interval N     timeline sampling window in cycles (default: 1000)
   --progress       per-job start/finish lines on stderr
+  --retries N      extra attempts per cell for transient failures (worker
+                   panics, cache corruption, injected faults); permanent
+                   simulator failures are never retried (default: 1)
+  --job-timeout SECS per-cell wall-clock budget; a cell exceeding it is
+                   recorded as a typed 'deadline' failure with partial stats
+  --job-cycles N   per-cell simulated-cycle budget; exceeding it records a
+                   typed 'cycle_limit' failure instead of running to the
+                   global safety cap
+  --resume         reuse clean cells from this grid's checkpoint file
+                   (<out stem>_checkpoint.json) and re-simulate only the
+                   missing or failed ones; merged results are bit-identical
+                   to an uninterrupted run
+  --inject SPEC    deterministic fault injection, e.g.
+                   'seed=7,panic@1,cache~4x1,watchdog@2,budget@0'
+                   (kinds panic|cache|watchdog|budget; @IDX by job index,
+                   ~N seed-addressed one-in-N; xT = first T attempts only)
   --list           list modes with their job counts and exit
   -h, --help       show this help
+
+Exit status: 0 on a clean run, 1 when any cell failed or was incomplete
+(results are still written, with structured failure records), 2 on usage
+errors.
 
 Scaling environment variables: DRS_RAYS, DRS_TRIS_SCALE, DRS_WARPS_SCALE;
 cache location: DRS_CACHE_DIR (default target/drs-cache).";
@@ -80,6 +100,17 @@ pub struct Cli {
     pub interval: u64,
     /// Print per-job progress lines to stderr.
     pub progress: bool,
+    /// Extra attempts per cell for transient failures.
+    pub retries: u32,
+    /// Per-cell wall-clock budget in seconds.
+    pub job_timeout_secs: Option<u64>,
+    /// Per-cell simulated-cycle budget.
+    pub job_cycles: Option<u64>,
+    /// Resume from this grid's checkpoint file.
+    pub resume: bool,
+    /// Deterministic fault-injection spec (`--inject`), parsed downstream
+    /// by [`FaultPlan::parse`](drs_harness::FaultPlan::parse).
+    pub inject: Option<String>,
     /// List modes instead of running.
     pub list: bool,
     /// Show usage instead of running.
@@ -99,6 +130,11 @@ impl Default for Cli {
             trace_out: None,
             interval: 1000,
             progress: false,
+            retries: 1,
+            job_timeout_secs: None,
+            job_cycles: None,
+            resume: false,
+            inject: None,
             list: false,
             help: false,
         }
@@ -117,6 +153,13 @@ impl Cli {
     pub fn timeline_path(&self) -> PathBuf {
         let stem = self.out.file_stem().and_then(|s| s.to_str()).unwrap_or("experiments");
         self.out.with_file_name(format!("{stem}_timeline.json"))
+    }
+
+    /// Where the crash-safe checkpoint lives: `<out stem>_checkpoint.json`
+    /// next to the results file.
+    pub fn checkpoint_path(&self) -> PathBuf {
+        let stem = self.out.file_stem().and_then(|s| s.to_str()).unwrap_or("experiments");
+        self.out.with_file_name(format!("{stem}_checkpoint.json"))
     }
 }
 
@@ -172,6 +215,32 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
                     .ok_or(format!("--interval expects a positive integer, got '{v}'"))?;
             }
             "--progress" => cli.progress = true,
+            "--retries" => {
+                let v = value("--retries")?;
+                cli.retries = v
+                    .parse::<u32>()
+                    .map_err(|_| format!("--retries expects a non-negative integer, got '{v}'"))?;
+            }
+            "--job-timeout" => {
+                let v = value("--job-timeout")?;
+                cli.job_timeout_secs = Some(
+                    v.parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or(format!("--job-timeout expects a positive integer, got '{v}'"))?,
+                );
+            }
+            "--job-cycles" => {
+                let v = value("--job-cycles")?;
+                cli.job_cycles = Some(
+                    v.parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or(format!("--job-cycles expects a positive integer, got '{v}'"))?,
+                );
+            }
+            "--resume" => cli.resume = true,
+            "--inject" => cli.inject = Some(value("--inject")?),
             "--list" => cli.list = true,
             "-h" | "--help" => cli.help = true,
             f if f.starts_with('-') => return Err(format!("unknown flag '{f}'")),
@@ -273,6 +342,58 @@ mod tests {
     }
 
     #[test]
+    fn fault_tolerance_flags_both_syntaxes() {
+        let a = p(&[
+            "fig2",
+            "--retries",
+            "3",
+            "--job-timeout",
+            "30",
+            "--job-cycles",
+            "5000",
+            "--resume",
+            "--inject",
+            "seed=7,panic@1",
+        ])
+        .unwrap();
+        let b = p(&[
+            "fig2",
+            "--retries=3",
+            "--job-timeout=30",
+            "--job-cycles=5000",
+            "--resume",
+            "--inject=seed=7,panic@1",
+        ])
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.job_timeout_secs, Some(30));
+        assert_eq!(a.job_cycles, Some(5000));
+        assert!(a.resume);
+        assert_eq!(a.inject.as_deref(), Some("seed=7,panic@1"));
+        let d = p(&[]).unwrap();
+        assert_eq!(d.retries, 1);
+        assert_eq!(d.job_timeout_secs, None);
+        assert_eq!(d.job_cycles, None);
+        assert!(!d.resume);
+        assert_eq!(d.inject, None);
+        assert_eq!(p(&["--retries", "0"]).unwrap().retries, 0, "zero retries is valid");
+    }
+
+    #[test]
+    fn checkpoint_path_sits_next_to_out() {
+        let cli = p(&["--out", "results/BENCH_experiments.json"]).unwrap();
+        assert_eq!(
+            cli.checkpoint_path(),
+            PathBuf::from("results/BENCH_experiments_checkpoint.json")
+        );
+        assert_eq!(
+            p(&[]).unwrap().checkpoint_path(),
+            PathBuf::from("BENCH_experiments_checkpoint.json")
+        );
+    }
+
+    #[test]
     fn list_and_help() {
         assert!(p(&["--list"]).unwrap().list);
         assert!(p(&["--help"]).unwrap().help);
@@ -290,6 +411,10 @@ mod tests {
             (&["--interval"][..], "requires a value"),
             (&["--interval", "0"][..], "positive integer"),
             (&["--trace-out"][..], "requires a value"),
+            (&["--retries", "x"][..], "non-negative integer"),
+            (&["--job-timeout", "0"][..], "positive integer"),
+            (&["--job-cycles", "x"][..], "positive integer"),
+            (&["--inject"][..], "requires a value"),
             (&["fig2", "fig8"][..], "extra argument"),
         ] {
             let err = p(args).unwrap_err();

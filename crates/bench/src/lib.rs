@@ -30,7 +30,7 @@ pub use drs_harness::{
 };
 
 use drs_scene::SceneKind;
-use drs_sim::{GpuConfig, SimOutcome, SimStats};
+use drs_sim::{GpuConfig, SimStats};
 use drs_trace::{BounceStreams, RayScript};
 
 /// Rays captured per bounce (`DRS_RAYS`).
@@ -48,12 +48,11 @@ pub fn tris_scale() -> f64 {
 ///
 /// # Panics
 ///
-/// Panics if the simulation hits its safety cycle cap (a modelling bug).
-pub fn run_method(method: Method, scripts: &[RayScript]) -> SimOutcome {
+/// Panics if the simulation fails (cycle cap, watchdog — a modelling bug).
+pub fn run_method(method: Method, scripts: &[RayScript]) -> SimStats {
     let scale = Scale::from_env();
-    let out = run_method_with_warps(method, scale.warps(method.paper_warps()), scripts);
-    assert!(out.completed, "{} hit the simulation cycle cap", method.label());
-    out
+    run_method_with_warps(method, scale.warps(method.paper_warps()), scripts)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", method.label()))
 }
 
 /// A captured per-scene workload.
@@ -118,8 +117,8 @@ impl Aggregate {
 }
 
 /// Run `method` over every bounce of `streams`, returning per-bounce
-/// outcomes plus the aggregate.
-pub fn run_all_bounces(method: Method, streams: &BounceStreams) -> (Vec<SimOutcome>, Aggregate) {
+/// statistics plus the aggregate.
+pub fn run_all_bounces(method: Method, streams: &BounceStreams) -> (Vec<SimStats>, Aggregate) {
     let mut agg = Aggregate::default();
     let mut outs = Vec::new();
     for b in 1..=streams.depth() {
@@ -128,7 +127,7 @@ pub fn run_all_bounces(method: Method, streams: &BounceStreams) -> (Vec<SimOutco
             continue;
         }
         let out = run_method(method, &stream.scripts);
-        agg.add(&out.stats);
+        agg.add(&out);
         outs.push(out);
     }
     (outs, agg)
@@ -153,7 +152,7 @@ mod tests {
             [Method::Aila, Method::Dmk, Method::Tbc, Method::drs_default(), Method::IdealDrs]
         {
             let out = run_method(method, scripts);
-            assert!(out.stats.rays_completed > 0, "{} traced no rays", method.label());
+            assert!(out.rays_completed > 0, "{} traced no rays", method.label());
         }
     }
 
@@ -163,7 +162,7 @@ mod tests {
         let wl = capture_workloads(&[SceneKind::FairyForest], 2);
         let (outs, agg) = run_all_bounces(Method::Aila, &wl[0].streams);
         assert!(!outs.is_empty());
-        let sum: u64 = outs.iter().map(|o| o.stats.rays_completed).sum();
+        let sum: u64 = outs.iter().map(|o| o.rays_completed).sum();
         assert_eq!(agg.rays, sum);
         assert!(agg.mrays(&GpuConfig::gtx780()) > 0.0);
         assert!(agg.simd_efficiency() > 0.0);

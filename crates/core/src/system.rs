@@ -2,7 +2,7 @@
 
 use crate::drs::{DrsConfig, DrsUnit};
 use drs_kernels::WhileIfKernel;
-use drs_sim::{GpuConfig, KernelBehavior, MachineState, SimOutcome, Simulation};
+use drs_sim::{GpuConfig, KernelBehavior, MachineState, SimError, SimStats, Simulation};
 use drs_trace::RayScript;
 
 /// The while-if kernel re-dimensioned for a DRS slot pool of
@@ -70,8 +70,10 @@ impl DrsSystem {
         DrsSystem { gpu, drs }
     }
 
-    /// Simulate one ray stream to completion.
-    pub fn simulate(&self, scripts: &[RayScript]) -> SimOutcome {
+    /// Simulate one ray stream to completion. Fails with a typed
+    /// [`SimError`] (cycle cap, watchdog, deadline or invariant violation)
+    /// carrying the partial statistics.
+    pub fn simulate(&self, scripts: &[RayScript]) -> Result<SimStats, SimError> {
         let kernel = WhileIfKernel::new();
         let behavior = RowedWhileIf::new(self.drs.rows());
         let unit = DrsUnit::new(self.drs);
@@ -120,9 +122,8 @@ mod tests {
             GpuConfig { max_warps: 4, max_cycles: 50_000_000, ..GpuConfig::gtx780() },
             DrsConfig { warps: 4, backup_rows: 1, swap_buffers: 6, ideal: false, lanes: 32 },
         );
-        let out = sys.simulate(&scripts(300));
-        assert!(out.completed);
-        assert_eq!(out.stats.rays_completed, 300);
+        let stats = sys.simulate(&scripts(300)).expect("completes");
+        assert_eq!(stats.rays_completed, 300);
     }
 
     #[test]

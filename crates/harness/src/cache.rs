@@ -28,6 +28,33 @@ pub struct CacheCounters {
     pub misses: u64,
     /// Unreadable entries that were deleted and recaptured.
     pub evictions: u64,
+    /// Captured workloads that could not be persisted (the run continues
+    /// with the in-memory copy; the failure is recorded, not fatal).
+    pub store_failures: u64,
+}
+
+/// A cache entry that could not be written: the destination path and the
+/// underlying I/O error. Never fatal — the captured streams stay usable in
+/// memory — but typed so callers can count and report it instead of the
+/// failure vanishing into stderr.
+#[derive(Debug)]
+pub struct CacheStoreError {
+    /// The entry path the write was aimed at.
+    pub path: PathBuf,
+    /// The I/O failure.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for CacheStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to write cache entry {}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for CacheStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
 }
 
 /// A directory of serialized bounce streams, safe for concurrent use from
@@ -39,6 +66,7 @@ pub struct StreamCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    store_failures: AtomicU64,
 }
 
 impl StreamCache {
@@ -49,6 +77,7 @@ impl StreamCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            store_failures: AtomicU64::new(0),
         }
     }
 
@@ -76,6 +105,7 @@ impl StreamCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            store_failures: self.store_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -103,7 +133,10 @@ impl StreamCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let streams = spec.capture();
-        self.store(spec, &streams);
+        if let Err(e) = self.store(spec, &streams) {
+            self.store_failures.fetch_add(1, Ordering::Relaxed);
+            eprintln!("drs-harness: {e}");
+        }
         streams
     }
 
@@ -114,7 +147,16 @@ impl StreamCache {
     }
 
     /// Persist a captured workload (temp file + rename for atomicity).
-    pub fn store(&self, spec: &WorkloadSpec, streams: &BounceStreams) {
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`CacheStoreError`] on any filesystem failure;
+    /// the captured streams remain usable and the run continues.
+    pub fn store(
+        &self,
+        spec: &WorkloadSpec,
+        streams: &BounceStreams,
+    ) -> Result<(), CacheStoreError> {
         let path = self.path_for(spec);
         let write = || -> std::io::Result<()> {
             fs::create_dir_all(&self.dir)?;
@@ -126,9 +168,7 @@ impl StreamCache {
             fs::rename(&tmp, &path)?;
             Ok(())
         };
-        if let Err(e) = write() {
-            eprintln!("drs-harness: failed to write cache entry {} ({e})", path.display());
-        }
+        write().map_err(|source| CacheStoreError { path, source })
     }
 }
 
@@ -161,9 +201,9 @@ mod tests {
         let cache = temp_cache();
         let spec = tiny_spec();
         let first = cache.get_or_capture(&spec);
-        assert_eq!(cache.counters(), CacheCounters { hits: 0, misses: 1, evictions: 0 });
+        assert_eq!(cache.counters(), CacheCounters { hits: 0, misses: 1, ..Default::default() });
         let second = cache.get_or_capture(&spec);
-        assert_eq!(cache.counters(), CacheCounters { hits: 1, misses: 1, evictions: 0 });
+        assert_eq!(cache.counters(), CacheCounters { hits: 1, misses: 1, ..Default::default() });
         for b in 1..=spec.bounces {
             assert_eq!(first.bounce(b).scripts, second.bounce(b).scripts);
         }
@@ -189,6 +229,28 @@ mod tests {
         assert_eq!(cache.counters().hits, 1);
         assert_eq!(third.bounce(1).scripts, clean.bounce(1).scripts);
         let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn store_failure_is_typed_counted_and_nonfatal() {
+        // Root the cache under a path whose parent is a regular file:
+        // create_dir_all must fail, so every store fails.
+        let blocker = std::env::temp_dir().join(format!(
+            "drs-cache-blocker-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&blocker, b"not a directory").unwrap();
+        let cache = StreamCache::new(blocker.join("sub"));
+        let spec = tiny_spec();
+        let streams = cache.get_or_capture(&spec);
+        assert!(streams.depth() >= 1, "capture still succeeds in memory");
+        let c = cache.counters();
+        assert_eq!(c.store_failures, 1, "failed persist must be counted");
+        assert_eq!(c.misses, 1);
+        let err = cache.store(&spec, &streams).unwrap_err();
+        assert!(err.to_string().contains("failed to write cache entry"), "{err}");
+        let _ = fs::remove_file(&blocker);
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //!   (`BENCH_experiments.json`) — Mrays/s, SIMD efficiency, the complete
 //!   simulator counter set, wall-clock — giving the repo a machine-
 //!   readable perf trajectory across PRs.
+//! - **Fault tolerance** ([`fault`], [`checkpoint`]): worker panics and
+//!   typed simulator failures are isolated per cell (`catch_unwind`),
+//!   retried with backoff when transient, and recorded as structured
+//!   [`CellFailure`] data in the results JSON; a crash-safe checkpoint
+//!   file lets an interrupted grid resume with bit-identical merged
+//!   results. A deterministic [`FaultPlan`] makes every defended failure
+//!   mode reproducible on demand.
 //!
 //! # Example
 //!
@@ -40,14 +47,20 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod checkpoint;
+pub mod fault;
 pub mod figures;
 pub mod job;
 pub mod pool;
 pub mod results;
 pub mod runner;
 
-pub use cache::{CacheCounters, StreamCache};
+pub use cache::{CacheCounters, CacheStoreError, StreamCache};
+pub use checkpoint::{Checkpoint, CheckpointCell, CheckpointSpec};
+pub use fault::{FaultKind, FaultPlan, FaultSpecError};
 pub use job::{fnv1a64, JobId, JobSet, Method, Scale, SimJob, WorkloadSpec};
-pub use pool::{parallel_map, run_jobs, CaptureMode, RunOptions, RunReport};
-pub use results::{write_text, CellResult, ResultsFile, RESULTS_SCHEMA_VERSION};
-pub use runner::{run_method_with_warps, run_method_with_warps_telemetry};
+pub use pool::{
+    parallel_map, parallel_map_catching, run_jobs, CaptureMode, CaughtPanic, RunOptions, RunReport,
+};
+pub use results::{write_text, CellFailure, CellResult, ResultsFile, RESULTS_SCHEMA_VERSION};
+pub use runner::{run_cell, run_method_with_warps, run_method_with_warps_telemetry, CellConfig};

@@ -1,12 +1,12 @@
 //! A std-only worker pool executing experiment jobs in parallel with
-//! provably deterministic results.
+//! provably deterministic results and fault-tolerant execution.
 //!
 //! Each [`SimJob`] is an independent single-threaded simulation, so the
 //! only thing parallelism could perturb is *which worker runs which job* —
 //! and results are written into a slot indexed by the job's position, so
 //! the output vector is identical for any worker count. `run_jobs` with
 //! one worker and with N workers return bit-identical
-//! [`SimStats`](drs_sim::SimStats) (asserted by the harness test suite).
+//! [`SimStats`] (asserted by the harness test suite).
 //!
 //! Execution happens in two phases sharing the pool:
 //!
@@ -14,15 +14,39 @@
 //!    captured (or served from the [`StreamCache`]) in parallel;
 //! 2. **Simulate**: every job runs against its workload's in-memory
 //!    streams, fanned out over the same workers.
+//!
+//! A failing cell never takes the run down with it. Every attempt runs
+//! under `catch_unwind`, so a panicking worker becomes a recorded
+//! [`CellFailure`]; *transient* failures (panics, cache corruption,
+//! injected faults) are retried with exponential backoff, while
+//! *permanent* ones (an organic watchdog trip, cycle-cap, deadline, or
+//! invariant failure — deterministic, so a retry would fail identically)
+//! are recorded immediately. With a [`CheckpointSpec`] attached, every
+//! finished cell is persisted through an atomic file rewrite, and a
+//! resumed rerun reuses clean cells byte-for-byte while re-simulating
+//! only the missing or failed ones.
 
 use crate::cache::{CacheCounters, StreamCache};
-use crate::job::SimJob;
-use crate::results::CellResult;
-use drs_telemetry::TelemetryConfig;
+use crate::checkpoint::{run_key, Checkpoint, CheckpointCell, CheckpointSpec};
+use crate::fault::{FaultKind, FaultPlan};
+use crate::job::{JobId, SimJob};
+use crate::results::{CellFailure, CellResult};
+use crate::runner::CellConfig;
+use drs_sim::{SimError, SimErrorKind, SimStats};
+use drs_telemetry::{TelemetryConfig, TelemetryReport};
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, Once, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Cycle at which an injected [`FaultKind::WatchdogTrip`] fires.
+const INJECTED_TRIP_CYCLE: u64 = 64;
+/// Cycle budget imposed by an injected [`FaultKind::BudgetExhaust`].
+const INJECTED_CYCLE_BUDGET: u64 = 64;
+/// Upper bound on a single retry backoff sleep.
+const MAX_BACKOFF_MS: u64 = 2_000;
 
 /// How a run obtains workload captures.
 #[derive(Debug)]
@@ -51,6 +75,27 @@ pub struct RunOptions {
     /// naive one-cycle stepping — the reference the perf harness and CI
     /// A/B smoke compare against; results are bit-identical either way.
     pub fastpath: bool,
+    /// Extra attempts after the first for *transient* failures (worker
+    /// panics, cache corruption, injected faults). Permanent simulation
+    /// failures (watchdog, cycle cap, deadline, invariant) are never
+    /// retried — they are deterministic and would fail identically.
+    pub retries: u32,
+    /// Base backoff before the first retry, doubled per subsequent
+    /// attempt and capped at 2 s. Zero disables the sleep entirely.
+    pub retry_backoff_ms: u64,
+    /// Per-job cycle budget. A cell exceeding it fails with a typed
+    /// `cycle_limit` record instead of running to the global safety cap.
+    pub job_cycle_budget: Option<u64>,
+    /// Per-job wall-clock budget in milliseconds. A cell exceeding it
+    /// fails with a typed `deadline` record carrying partial stats.
+    pub job_timeout_ms: Option<u64>,
+    /// Deterministic fault injection (empty plan = no faults).
+    pub faults: FaultPlan,
+    /// Crash-safe checkpointing: persist every finished cell and
+    /// optionally resume from a previous run's checkpoint. Ignored (with
+    /// a warning) when telemetry is enabled — reports are not
+    /// checkpointable.
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 impl RunOptions {
@@ -63,6 +108,12 @@ impl RunOptions {
             telemetry: None,
             progress: false,
             fastpath: true,
+            retries: 1,
+            retry_backoff_ms: 10,
+            job_cycle_budget: None,
+            job_timeout_ms: None,
+            faults: FaultPlan::default(),
+            checkpoint: None,
         }
     }
 
@@ -80,15 +131,77 @@ pub struct RunReport {
     pub cells: Vec<CellResult>,
     /// Capture-cache activity (all zeros when uncached).
     pub cache: CacheCounters,
+    /// Cells reused from a checkpoint instead of being re-simulated.
+    pub resumed: usize,
     /// Wall-clock of the whole run in milliseconds.
     pub wall_ms: f64,
+}
+
+impl RunReport {
+    /// Cells that ended in a recorded failure.
+    pub fn failed_cells(&self) -> impl Iterator<Item = &CellResult> {
+        self.cells.iter().filter(|c| c.failure.is_some())
+    }
+
+    /// True when every cell completed cleanly.
+    pub fn all_clean(&self) -> bool {
+        self.cells.iter().all(|c| c.completed && c.failure.is_none())
+    }
+}
+
+/// The message a worker panic carried, extracted from the unwind payload
+/// (`&str` and `String` cover `panic!` and friends).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaughtPanic {
+    /// The panic message, or a placeholder for non-string payloads.
+    pub message: String,
+}
+
+impl CaughtPanic {
+    fn from_payload(payload: &(dyn std::any::Any + Send)) -> CaughtPanic {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic with non-string payload".to_string()
+        };
+        CaughtPanic { message }
+    }
+}
+
+thread_local! {
+    /// True while this thread is inside a pool `catch_unwind` region.
+    static CATCHING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Run `f` under `catch_unwind` with the default panic hook silenced for
+/// this thread: a caught panic becomes data (the [`CaughtPanic`] message),
+/// so the hook's "thread panicked" + backtrace spam on stderr would only
+/// duplicate what lands in the failure record. Panics on other threads
+/// (and outside catching regions) keep the normal hook behavior.
+fn catch_quietly<R>(f: impl FnOnce() -> R) -> Result<R, CaughtPanic> {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !CATCHING.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+    let was = CATCHING.with(|c| c.replace(true));
+    let out = catch_unwind(AssertUnwindSafe(f));
+    CATCHING.with(|c| c.set(was));
+    out.map_err(|payload| CaughtPanic::from_payload(payload.as_ref()))
 }
 
 /// Map `f` over `items` with `workers` threads, preserving order.
 ///
 /// Results land in per-index slots, so the output is independent of
 /// scheduling; a single worker degenerates to a plain serial loop on the
-/// calling thread. Worker panics propagate to the caller.
+/// calling thread. Worker panics propagate to the caller; use
+/// [`parallel_map_catching`] to record them as data instead.
 pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -109,107 +222,347 @@ where
                     break;
                 }
                 let r = f(i, &items[i]);
-                *slots[i].lock().unwrap() = Some(r);
+                // Poison-safe: a slot holds plain data, so a panic in a
+                // sibling worker must not cascade into this thread.
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
             });
         }
     });
     slots
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker filled every claimed slot"))
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("worker filled every claimed slot")
+        })
         .collect()
+}
+
+/// Like [`parallel_map`], but each invocation of `f` runs under
+/// `catch_unwind`: a panicking item yields `Err(CaughtPanic)` in its slot
+/// while every other item completes normally — one poisoned job cannot
+/// take down the run.
+pub fn parallel_map_catching<T, R, F>(
+    items: &[T],
+    workers: usize,
+    f: F,
+) -> Vec<Result<R, CaughtPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map(items, workers, |i, t| catch_quietly(|| f(i, t)))
+}
+
+/// Shared checkpoint state: the accumulating snapshot plus its path.
+struct CheckpointState {
+    path: std::path::PathBuf,
+    snapshot: Mutex<Checkpoint>,
+}
+
+impl CheckpointState {
+    /// Record a finished cell and atomically rewrite the file. Write
+    /// failures cost resumability, never the run.
+    fn record(&self, cell: &CellResult) {
+        let mut snap = self.snapshot.lock().unwrap_or_else(PoisonError::into_inner);
+        snap.cells.insert(
+            cell.job.id(),
+            CheckpointCell {
+                empty: cell.empty,
+                completed: cell.completed,
+                attempts: cell.attempts,
+                wall_ms: cell.wall_ms,
+                stats: cell.stats.clone(),
+                failure: cell.failure.clone(),
+            },
+        );
+        if let Err(e) = snap.write_to(&self.path) {
+            eprintln!("drs-harness: checkpoint write failed ({}): {e}", self.path.display());
+        }
+    }
 }
 
 /// Execute `jobs` under `opts`, returning per-cell results in job order.
 ///
 /// Distinct workloads are captured exactly once per run (and, with a
 /// cache, once across runs); jobs over the same workload share one
-/// in-memory copy of its streams.
+/// in-memory copy of its streams. Failures are isolated, retried when
+/// transient, and recorded per cell — see the module docs.
 pub fn run_jobs(jobs: &[SimJob], opts: &RunOptions) -> RunReport {
     let start = Instant::now();
 
-    // Phase 1: capture the distinct workloads.
+    // Checkpointing binds to this exact grid; telemetry reports are not
+    // checkpointable, so the two features are exclusive.
+    let checkpoint = match (&opts.checkpoint, &opts.telemetry) {
+        (Some(_), Some(_)) => {
+            eprintln!("drs-harness: checkpointing disabled for telemetry runs");
+            None
+        }
+        (spec, _) => spec.as_ref(),
+    };
+    let key = checkpoint.map(|_| run_key(jobs, opts.fastpath));
+    let resumed_cells: HashMap<JobId, CheckpointCell> = match (checkpoint, key) {
+        (Some(spec), Some(key)) if spec.resume => Checkpoint::load(&spec.path, key)
+            .map(|cp| cp.cells.into_iter().filter(|(_, c)| c.is_clean()).collect())
+            .unwrap_or_default(),
+        _ => HashMap::new(),
+    };
+    let checkpoint_state = checkpoint.zip(key).map(|(spec, key)| {
+        let mut snapshot = Checkpoint::new(key);
+        // Seed the snapshot with the resumed cells so a chain of resumes
+        // never loses earlier work.
+        for (id, cell) in &resumed_cells {
+            snapshot.cells.insert(*id, cell.clone());
+        }
+        CheckpointState { path: spec.path.clone(), snapshot: Mutex::new(snapshot) }
+    });
+
+    // Phase 1: capture the distinct workloads still needed (fully resumed
+    // jobs contribute nothing to the capture set).
     let mut seen = std::collections::HashSet::new();
     let mut distinct = Vec::new();
     for j in jobs {
-        if seen.insert(j.workload.content_key()) {
+        if !resumed_cells.contains_key(&j.id()) && seen.insert(j.workload.content_key()) {
             distinct.push(j.workload);
         }
     }
-    let captured = parallel_map(&distinct, opts.workers, |_, spec| match &opts.capture {
+    let captured = parallel_map_catching(&distinct, opts.workers, |_, spec| match &opts.capture {
         CaptureMode::Uncached => spec.capture(),
         CaptureMode::Cached(cache) => cache.get_or_capture(spec),
     });
-    let streams_by_key: HashMap<u64, Arc<drs_trace::BounceStreams>> = distinct
+    let streams_by_key: HashMap<u64, Result<Arc<drs_trace::BounceStreams>, String>> = distinct
         .iter()
         .zip(captured)
-        .map(|(spec, streams)| (spec.content_key(), Arc::new(streams)))
+        .map(|(spec, streams)| (spec.content_key(), streams.map(Arc::new).map_err(|p| p.message)))
         .collect();
 
     // Phase 2: simulate every cell.
     let total = jobs.len();
+    let resumed_count = AtomicUsize::new(0);
     let cells = parallel_map(jobs, opts.workers, |i, job| {
-        let streams = &streams_by_key[&job.workload.content_key()];
         let label =
             format!("{} {} b{} w{}", job.workload.scene, job.method.label(), job.bounce, job.warps);
+        if let Some(prior) = resumed_cells.get(&job.id()) {
+            resumed_count.fetch_add(1, Ordering::Relaxed);
+            if opts.progress {
+                eprintln!("[{}/{total}] resume {label} (from checkpoint)", i + 1);
+            }
+            return CellResult {
+                job: *job,
+                empty: prior.empty,
+                completed: prior.completed,
+                stats: prior.stats.clone(),
+                telemetry: None,
+                failure: prior.failure.clone(),
+                attempts: prior.attempts,
+                wall_ms: prior.wall_ms,
+            };
+        }
         if opts.progress {
             eprintln!("[{}/{total}] start  {label}", i + 1);
         }
-        let job_start = Instant::now();
-        let cell =
-            if job.bounce <= streams.depth() && !streams.bounce(job.bounce).scripts.is_empty() {
-                let scripts = &streams.bounce(job.bounce).scripts;
-                let (out, telemetry) = match opts.telemetry {
-                    Some(cfg) => {
-                        let (out, report) = crate::runner::run_method_with_warps_telemetry_fastpath(
-                            job.method,
-                            job.warps,
-                            scripts,
-                            cfg,
-                            opts.fastpath,
-                        );
-                        (out, Some(report))
-                    }
-                    None => (
-                        crate::runner::run_method_with_warps_fastpath(
-                            job.method,
-                            job.warps,
-                            scripts,
-                            opts.fastpath,
-                        ),
-                        None,
-                    ),
-                };
-                CellResult {
-                    job: *job,
-                    empty: false,
-                    completed: out.completed,
-                    stats: out.stats,
-                    telemetry,
-                    wall_ms: job_start.elapsed().as_secs_f64() * 1e3,
-                }
-            } else {
-                // No surviving rays at this depth (open scenes): a real,
-                // reportable cell with zeroed counters.
-                CellResult {
-                    job: *job,
-                    empty: true,
-                    completed: true,
-                    stats: Default::default(),
-                    telemetry: None,
-                    wall_ms: 0.0,
-                }
-            };
+        let cell = match &streams_by_key[&job.workload.content_key()] {
+            Ok(streams) => run_one_job(i, job, streams, opts),
+            Err(message) => CellResult {
+                job: *job,
+                empty: false,
+                completed: false,
+                stats: SimStats::default(),
+                telemetry: None,
+                failure: Some(CellFailure {
+                    kind: "capture".to_string(),
+                    message: format!("workload capture failed: {message}"),
+                    cycle: None,
+                    injected: false,
+                    warp_dump: None,
+                }),
+                attempts: 1,
+                wall_ms: 0.0,
+            },
+        };
+        if let Some(state) = &checkpoint_state {
+            state.record(&cell);
+        }
         if opts.progress {
-            eprintln!("[{}/{total}] finish {label} ({:.1} ms)", i + 1, cell.wall_ms);
+            match &cell.failure {
+                Some(f) => eprintln!(
+                    "[{}/{total}] FAILED {label} ({}, {} attempt(s))",
+                    i + 1,
+                    f.kind,
+                    cell.attempts
+                ),
+                None => eprintln!("[{}/{total}] finish {label} ({:.1} ms)", i + 1, cell.wall_ms),
+            }
         }
         cell
     });
+
+    // A fully clean run needs no resume: drop the checkpoint so the next
+    // run starts fresh instead of trusting a stale file.
+    if let Some(state) = &checkpoint_state {
+        if cells.iter().all(|c| c.completed && c.failure.is_none()) {
+            let _ = std::fs::remove_file(&state.path);
+        }
+    }
 
     let cache = match &opts.capture {
         CaptureMode::Uncached => CacheCounters::default(),
         CaptureMode::Cached(cache) => cache.counters(),
     };
-    RunReport { cells, cache, wall_ms: start.elapsed().as_secs_f64() * 1e3 }
+    RunReport {
+        cells,
+        cache,
+        resumed: resumed_count.into_inner(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// Run one job to a final [`CellResult`], owning the retry loop.
+fn run_one_job(
+    index: usize,
+    job: &SimJob,
+    streams: &Arc<drs_trace::BounceStreams>,
+    opts: &RunOptions,
+) -> CellResult {
+    let job_start = Instant::now();
+    if job.bounce > streams.depth() || streams.bounce(job.bounce).scripts.is_empty() {
+        // No surviving rays at this depth (open scenes): a real,
+        // reportable cell with zeroed counters.
+        return CellResult {
+            job: *job,
+            empty: true,
+            completed: true,
+            stats: SimStats::default(),
+            telemetry: None,
+            failure: None,
+            attempts: 1,
+            wall_ms: 0.0,
+        };
+    }
+    let scripts = &streams.bounce(job.bounce).scripts;
+    let max_attempts = 1 + opts.retries;
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let fault = opts.faults.fault_for(index, job.id(), attempt);
+        match run_attempt(job, scripts, fault, opts) {
+            Ok((stats, telemetry)) => {
+                return CellResult {
+                    job: *job,
+                    empty: false,
+                    completed: true,
+                    stats,
+                    telemetry,
+                    failure: None,
+                    attempts: attempt,
+                    wall_ms: job_start.elapsed().as_secs_f64() * 1e3,
+                };
+            }
+            Err(boxed) => {
+                let (failure, partial) = *boxed;
+                let transient =
+                    failure.injected || matches!(failure.kind.as_str(), "panic" | "cache_corrupt");
+                if transient && attempt < max_attempts {
+                    let backoff = opts
+                        .retry_backoff_ms
+                        .saturating_mul(1u64 << (attempt - 1).min(16))
+                        .min(MAX_BACKOFF_MS);
+                    if backoff > 0 {
+                        std::thread::sleep(Duration::from_millis(backoff));
+                    }
+                    continue;
+                }
+                return CellResult {
+                    job: *job,
+                    empty: false,
+                    completed: false,
+                    stats: partial,
+                    telemetry: None,
+                    failure: Some(failure),
+                    attempts: attempt,
+                    wall_ms: job_start.elapsed().as_secs_f64() * 1e3,
+                };
+            }
+        }
+    }
+}
+
+/// Outcome of a single cell attempt. The error side is boxed —
+/// `SimStats` is large — and carries the partial stats accumulated
+/// before the failure.
+type AttemptOutcome = Result<(SimStats, Option<TelemetryReport>), Box<(CellFailure, SimStats)>>;
+
+/// One isolated attempt: inject the planned fault (if any), run the cell
+/// under `catch_unwind`, and map every outcome to data.
+fn run_attempt(
+    job: &SimJob,
+    scripts: &[drs_trace::RayScript],
+    fault: Option<FaultKind>,
+    opts: &RunOptions,
+) -> AttemptOutcome {
+    let injected = fault.is_some();
+    if fault == Some(FaultKind::CacheCorrupt) {
+        return Err(Box::new((
+            CellFailure {
+                kind: "cache_corrupt".to_string(),
+                message: "injected corrupted capture-cache read".to_string(),
+                cycle: None,
+                injected: true,
+                warp_dump: None,
+            },
+            SimStats::default(),
+        )));
+    }
+    let mut cfg = CellConfig::new(job.method, job.warps);
+    cfg.fastpath = opts.fastpath;
+    cfg.cycle_budget = opts.job_cycle_budget;
+    if let Some(ms) = opts.job_timeout_ms {
+        cfg.deadline = Some((Instant::now() + Duration::from_millis(ms), ms));
+    }
+    match fault {
+        Some(FaultKind::WatchdogTrip) => cfg.watchdog_trip_at = Some(INJECTED_TRIP_CYCLE),
+        Some(FaultKind::BudgetExhaust) => {
+            cfg.cycle_budget = Some(
+                cfg.cycle_budget.map_or(INJECTED_CYCLE_BUDGET, |b| b.min(INJECTED_CYCLE_BUDGET)),
+            )
+        }
+        _ => {}
+    }
+    let outcome = catch_quietly(|| {
+        if fault == Some(FaultKind::WorkerPanic) {
+            panic!("injected worker panic (job {})", job.id());
+        }
+        crate::runner::run_cell(&cfg, scripts, opts.telemetry)
+    });
+    match outcome {
+        Ok((Ok(stats), telemetry)) => Ok((stats, telemetry)),
+        Ok((Err(err), _)) => Err(Box::new(failure_from_sim_error(err, injected))),
+        Err(caught) => Err(Box::new((
+            CellFailure {
+                kind: "panic".to_string(),
+                message: caught.message,
+                cycle: None,
+                injected,
+                warp_dump: None,
+            },
+            SimStats::default(),
+        ))),
+    }
+}
+
+/// Turn a typed simulator failure into a structured cell record, keeping
+/// the partial stats and (for watchdog trips) the warp dump as data.
+fn failure_from_sim_error(err: SimError, injected_fault: bool) -> (CellFailure, SimStats) {
+    let message = err.to_string();
+    let kind = err.kind.label().to_string();
+    let (injected, warp_dump) = match &err.kind {
+        SimErrorKind::Watchdog { injected, dump, .. } => {
+            (*injected || injected_fault, Some(dump.to_string()))
+        }
+        _ => (injected_fault, None),
+    };
+    (CellFailure { kind, message, cycle: Some(err.cycle), injected, warp_dump }, *err.stats)
 }
 
 #[cfg(test)]
@@ -245,5 +598,37 @@ mod tests {
         for c in &counts {
             assert_eq!(c.load(Ordering::Relaxed), 1);
         }
+    }
+
+    #[test]
+    fn catching_map_isolates_panics_per_item() {
+        let items: Vec<usize> = (0..40).collect();
+        for workers in [1, 4] {
+            let out = parallel_map_catching(&items, workers, |_, &v| {
+                if v % 7 == 3 {
+                    panic!("boom on {v}");
+                }
+                v * 10
+            });
+            assert_eq!(out.len(), items.len());
+            for (v, r) in items.iter().zip(&out) {
+                if v % 7 == 3 {
+                    let p = r.as_ref().unwrap_err();
+                    assert_eq!(p.message, format!("boom on {v}"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), v * 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn caught_panic_extracts_string_payloads() {
+        let r = catch_unwind(|| panic!("static str")).unwrap_err();
+        assert_eq!(CaughtPanic::from_payload(r.as_ref()).message, "static str");
+        let r = catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(CaughtPanic::from_payload(r.as_ref()).message, "formatted 7");
+        let r = catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(CaughtPanic::from_payload(r.as_ref()).message, "panic with non-string payload");
     }
 }

@@ -19,6 +19,46 @@ use std::path::Path;
 /// Version of the results-file schema (independent of the trace format).
 pub const RESULTS_SCHEMA_VERSION: u32 = 1;
 
+/// A structured record of why a cell failed — attached to the cell's JSON
+/// instead of being printed to stderr and lost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellFailure {
+    /// Machine-readable failure class: `panic`, `cache_corrupt`,
+    /// `capture`, or a [`SimErrorKind`](drs_sim::SimErrorKind) label
+    /// (`watchdog`, `cycle_limit`, `invariant`, `deadline`).
+    pub kind: String,
+    /// Human-readable description of the final failed attempt.
+    pub message: String,
+    /// Simulation cycle the failure fired at (absent for panics and
+    /// capture/cache errors, which happen outside the simulated clock).
+    pub cycle: Option<u64>,
+    /// True when the failure was deterministically injected via a
+    /// [`FaultPlan`](crate::fault::FaultPlan).
+    pub injected: bool,
+    /// Rendered per-warp SIMT state at a watchdog trip (the dump that was
+    /// previously printed to stderr), captured as data.
+    pub warp_dump: Option<String>,
+}
+
+impl CellFailure {
+    /// Append this failure as a JSON object. `attempts` is the total
+    /// number of attempts the pool made on the cell.
+    pub fn write_json(&self, j: &mut JsonBuf, attempts: u32) {
+        j.begin_obj();
+        j.kv_str("kind", &self.kind);
+        j.kv_str("message", &self.message);
+        j.kv_u64("attempts", attempts as u64);
+        if let Some(cycle) = self.cycle {
+            j.kv_u64("cycle", cycle);
+        }
+        j.kv_bool("injected", self.injected);
+        if let Some(dump) = &self.warp_dump {
+            j.kv_str("warp_dump", dump);
+        }
+        j.end_obj();
+    }
+}
+
 /// The outcome of one experiment cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellResult {
@@ -27,13 +67,20 @@ pub struct CellResult {
     /// True when the workload had no surviving rays at this bounce (the
     /// stats are all zero and no simulation ran).
     pub empty: bool,
-    /// False when the simulation hit its safety cycle cap.
+    /// False when the simulation ended short of full completion (see
+    /// [`CellResult::failure`] for why).
     pub completed: bool,
-    /// Full simulator counter set.
+    /// Full simulator counter set. For failed cells these are the partial
+    /// counters up to the failure point (zeros for panics).
     pub stats: SimStats,
     /// Stall-attribution / timeline report, present when the run had
     /// telemetry enabled (see [`RunOptions::telemetry`](crate::RunOptions)).
     pub telemetry: Option<TelemetryReport>,
+    /// Why the cell failed, when it did. Every failed attempt's class and
+    /// message survive into the results JSON instead of killing the run.
+    pub failure: Option<CellFailure>,
+    /// Attempts the pool made on this cell (1 = first try succeeded).
+    pub attempts: u32,
     /// Wall-clock of this cell's simulation in milliseconds (excluded
     /// from determinism comparisons — compare [`CellResult::stats`]).
     pub wall_ms: f64,
@@ -77,6 +124,11 @@ impl CellResult {
         j.kv_u64("warps", self.job.warps as u64);
         j.kv_bool("empty", self.empty);
         j.kv_bool("completed", self.completed);
+        j.kv_u64("attempts", self.attempts as u64);
+        if let Some(failure) = &self.failure {
+            j.key("failure");
+            failure.write_json(j, self.attempts);
+        }
         j.kv_f64("wall_ms", self.wall_ms);
         j.kv_f64("mrays_per_sec", self.mrays_per_sec(gpu));
         j.kv_f64("simd_efficiency", self.stats.simd_efficiency());
@@ -139,6 +191,7 @@ impl ResultsFile {
         j.kv_u64("hits", self.cache.hits);
         j.kv_u64("misses", self.cache.misses);
         j.kv_u64("evictions", self.cache.evictions);
+        j.kv_u64("store_failures", self.cache.store_failures);
         j.end_obj();
         j.kv_f64("wall_ms", self.wall_ms);
         j.key("cells");
@@ -172,6 +225,10 @@ impl ResultsFile {
             j.kv_str("cell", &cell.cell_name());
             j.kv_bool("empty", cell.empty);
             j.kv_bool("completed", cell.completed);
+            if let Some(failure) = &cell.failure {
+                j.key("failure");
+                failure.write_json(&mut j, cell.attempts);
+            }
             j.key("stats");
             cell.stats.write_json(&mut j);
             if let Some(report) = &cell.telemetry {
@@ -273,6 +330,8 @@ mod tests {
             completed: true,
             stats: SimStats { cycles: 10, rays_completed: 5, ..Default::default() },
             telemetry: None,
+            failure: None,
+            attempts: 1,
             wall_ms: 1.25,
         }
     }
@@ -282,7 +341,7 @@ mod tests {
         let file = ResultsFile {
             mode: "fig10".into(),
             workers: 4,
-            cache: CacheCounters { hits: 3, misses: 1, evictions: 0 },
+            cache: CacheCounters { hits: 3, misses: 1, ..Default::default() },
             wall_ms: 12.5,
             cells: vec![(vec!["fig10".into(), "fig11".into()], sample_cell())],
         };
@@ -310,7 +369,7 @@ mod tests {
         let make = |wall_ms: f64, workers: usize| ResultsFile {
             mode: "fig2".into(),
             workers,
-            cache: CacheCounters { hits: workers as u64, misses: 0, evictions: 0 },
+            cache: CacheCounters { hits: workers as u64, ..Default::default() },
             wall_ms,
             cells: vec![(vec!["fig2".into()], CellResult { wall_ms, ..sample_cell() })],
         };
@@ -321,6 +380,50 @@ mod tests {
         assert!(!a.contains("workers"));
         assert!(a.contains("\"suite\":\"drs-experiments-stats\""));
         assert!(a.contains("\"stats\":{\"cycles\":10"));
+    }
+
+    #[test]
+    fn failed_cells_carry_structured_failure_records() {
+        let mut cell = sample_cell();
+        cell.completed = false;
+        cell.attempts = 2;
+        cell.failure = Some(CellFailure {
+            kind: "watchdog".into(),
+            message: "no progress for 40 cycles".into(),
+            cycle: Some(123),
+            injected: true,
+            warp_dump: Some("warp 0: stalled".into()),
+        });
+        let file = ResultsFile {
+            mode: "fig2".into(),
+            workers: 1,
+            cache: CacheCounters::default(),
+            wall_ms: 1.0,
+            cells: vec![(vec!["fig2".into()], cell)],
+        };
+        for json in [file.to_json(), file.stats_json()] {
+            for needle in [
+                "\"completed\":false",
+                "\"failure\":{\"kind\":\"watchdog\"",
+                "\"message\":\"no progress for 40 cycles\"",
+                "\"attempts\":2",
+                "\"cycle\":123",
+                "\"injected\":true",
+                "\"warp_dump\":\"warp 0: stalled\"",
+            ] {
+                assert!(json.contains(needle), "missing {needle} in {json}");
+            }
+        }
+        // Clean cells stay failure-free in both documents.
+        let clean = ResultsFile {
+            mode: "fig2".into(),
+            workers: 1,
+            cache: CacheCounters::default(),
+            wall_ms: 1.0,
+            cells: vec![(vec!["fig2".into()], sample_cell())],
+        };
+        assert!(!clean.to_json().contains("\"failure\""));
+        assert!(!clean.stats_json().contains("\"failure\""));
     }
 
     #[test]

@@ -6,45 +6,112 @@ use drs_baselines::{DmkConfig, DmkKernel, DmkUnit, TbcConfig, TbcUnit};
 use drs_core::system::RowedWhileIf;
 use drs_core::{DrsConfig, DrsUnit};
 use drs_kernels::{WhileIfKernel, WhileWhileConfig, WhileWhileKernel};
-use drs_sim::{GpuConfig, NullSpecial, SimOutcome, Simulation, TelemetrySink};
+use drs_sim::{GpuConfig, NullSpecial, SimError, SimStats, Simulation, TelemetrySink};
 use drs_telemetry::{TelemetryCollector, TelemetryConfig, TelemetryReport};
 use drs_trace::RayScript;
+use std::time::Instant;
+
+/// Everything needed to execute one experiment cell, including the
+/// fault-tolerance knobs the pool threads through: an optional per-job
+/// cycle budget, a wall-clock deadline, and a deterministic injected
+/// watchdog trip (fault-injection testing).
+#[derive(Debug, Clone, Copy)]
+pub struct CellConfig {
+    /// Method / hardware configuration under test.
+    pub method: Method,
+    /// Resident warps.
+    pub warps: usize,
+    /// Engine event-driven fast path (`false` forces naive stepping).
+    pub fastpath: bool,
+    /// Per-job cycle budget overriding the default safety cap.
+    pub cycle_budget: Option<u64>,
+    /// Wall-clock deadline: (absolute instant, budget in ms for reporting).
+    pub deadline: Option<(Instant, u64)>,
+    /// Trip the no-progress watchdog at this cycle (deterministic fault
+    /// injection; see [`FaultPlan`](crate::fault::FaultPlan)).
+    pub watchdog_trip_at: Option<u64>,
+}
+
+impl CellConfig {
+    /// A plain cell: no budgets, no injection, fast path on.
+    pub fn new(method: Method, warps: usize) -> CellConfig {
+        CellConfig {
+            method,
+            warps,
+            fastpath: true,
+            cycle_budget: None,
+            deadline: None,
+            watchdog_trip_at: None,
+        }
+    }
+}
+
+/// Run one cell to completion or typed failure. Deterministic for equal
+/// inputs (deadlines excepted — they depend on wall-clock): the simulator
+/// is single-threaded and all inputs are explicit, so equal arguments give
+/// bit-identical [`SimStats`].
+///
+/// On failure the [`SimError`] carries the failure kind, cycle, and the
+/// partial counter set — the caller records it as data instead of losing
+/// the run.
+pub fn run_cell(
+    cfg: &CellConfig,
+    scripts: &[RayScript],
+    telemetry: Option<TelemetryConfig>,
+) -> (Result<SimStats, SimError>, Option<TelemetryReport>) {
+    match telemetry {
+        Some(tcfg) => {
+            let mut collector = TelemetryCollector::new(tcfg);
+            let out = run_inner(cfg, scripts, Some(&mut collector));
+            (out, Some(collector.into_report()))
+        }
+        None => (run_inner(cfg, scripts, None), None),
+    }
+}
 
 /// Run `method` with `warps` resident warps over one ray stream to
-/// completion. Deterministic: the simulator is single-threaded and all
-/// inputs are explicit, so equal arguments give bit-identical
-/// [`SimStats`](drs_sim::SimStats).
+/// completion, with the default safety cycle cap and no injection.
 ///
-/// Unlike the pre-harness runner this does **not** panic when the safety
-/// cycle cap fires; the caller decides how to report `completed == false`.
-pub fn run_method_with_warps(method: Method, warps: usize, scripts: &[RayScript]) -> SimOutcome {
-    run_inner(method, warps, scripts, None, true)
+/// # Errors
+///
+/// Returns the typed [`SimError`] (cycle cap, watchdog, invariant) with
+/// partial stats instead of panicking; the caller decides how to report it.
+pub fn run_method_with_warps(
+    method: Method,
+    warps: usize,
+    scripts: &[RayScript],
+) -> Result<SimStats, SimError> {
+    run_inner(&CellConfig::new(method, warps), scripts, None)
 }
 
 /// Like [`run_method_with_warps`], with explicit control over the engine's
 /// event-driven fast path. `fastpath: false` forces naive one-cycle
 /// stepping — the reference behavior the perf harness and the CI A/B smoke
 /// diff against; results are bit-identical either way.
+///
+/// # Errors
+///
+/// See [`run_method_with_warps`].
 pub fn run_method_with_warps_fastpath(
     method: Method,
     warps: usize,
     scripts: &[RayScript],
     fastpath: bool,
-) -> SimOutcome {
-    run_inner(method, warps, scripts, None, fastpath)
+) -> Result<SimStats, SimError> {
+    run_inner(&CellConfig { fastpath, ..CellConfig::new(method, warps) }, scripts, None)
 }
 
 /// Like [`run_method_with_warps`], but with a [`TelemetryCollector`]
 /// attached: also returns the stall-attribution / timeline report.
 ///
-/// Telemetry is observational — the [`SimOutcome`] is bit-identical to
-/// the plain runner's (asserted by the harness test suite).
+/// Telemetry is observational — the stats are bit-identical to the plain
+/// runner's (asserted by the harness test suite).
 pub fn run_method_with_warps_telemetry(
     method: Method,
     warps: usize,
     scripts: &[RayScript],
     config: TelemetryConfig,
-) -> (SimOutcome, TelemetryReport) {
+) -> (Result<SimStats, SimError>, TelemetryReport) {
     run_method_with_warps_telemetry_fastpath(method, warps, scripts, config, true)
 }
 
@@ -59,21 +126,24 @@ pub fn run_method_with_warps_telemetry_fastpath(
     scripts: &[RayScript],
     config: TelemetryConfig,
     fastpath: bool,
-) -> (SimOutcome, TelemetryReport) {
-    let mut collector = TelemetryCollector::new(config);
-    let out = run_inner(method, warps, scripts, Some(&mut collector), fastpath);
-    (out, collector.into_report())
+) -> (Result<SimStats, SimError>, TelemetryReport) {
+    let cfg = CellConfig { fastpath, ..CellConfig::new(method, warps) };
+    let (out, report) = run_cell(&cfg, scripts, Some(config));
+    (out, report.expect("telemetry was requested"))
 }
 
 fn run_inner<'w>(
-    method: Method,
-    warps: usize,
+    cfg: &CellConfig,
     scripts: &'w [RayScript],
     sink: Option<&'w mut dyn TelemetrySink>,
-    fastpath: bool,
-) -> SimOutcome {
-    let gpu = GpuConfig { max_warps: warps, max_cycles: 4_000_000_000, ..GpuConfig::gtx780() };
-    let mut sim = match method {
+) -> Result<SimStats, SimError> {
+    let warps = cfg.warps;
+    let gpu = GpuConfig {
+        max_warps: warps,
+        max_cycles: cfg.cycle_budget.unwrap_or(4_000_000_000),
+        ..GpuConfig::gtx780()
+    };
+    let mut sim = match cfg.method {
         Method::Aila => {
             let k = WhileWhileKernel::new(WhileWhileConfig::default());
             Simulation::new(gpu, k.program(), Box::new(k.clone()), Box::new(NullSpecial), scripts)
@@ -135,7 +205,13 @@ fn run_inner<'w>(
     if let Some(sink) = sink {
         sim.attach_telemetry(sink);
     }
-    sim.set_fastpath(fastpath);
+    sim.set_fastpath(cfg.fastpath);
+    if let Some(at) = cfg.watchdog_trip_at {
+        sim.inject_watchdog_trip(at);
+    }
+    if let Some((instant, budget_ms)) = cfg.deadline {
+        sim.set_deadline(instant, budget_ms);
+    }
     sim.run()
 }
 
@@ -143,6 +219,7 @@ fn run_inner<'w>(
 mod tests {
     use super::*;
     use drs_scene::SceneKind;
+    use drs_sim::SimErrorKind;
     use drs_trace::BounceStreams;
 
     #[test]
@@ -150,14 +227,14 @@ mod tests {
         let scene = SceneKind::Conference.build_with_tris(2_000);
         let streams = BounceStreams::capture(&scene, 300, 2, 7);
         let scripts = &streams.bounce(2).scripts;
-        let a = run_method_with_warps(Method::Aila, 8, scripts);
+        let a = run_method_with_warps(Method::Aila, 8, scripts).expect("completes");
         let b = run_method_with_warps(
             Method::AilaVariant { speculative_traversal: true, replace_terminated: true },
             8,
             scripts,
-        );
-        assert_eq!(a.stats, b.stats);
-        assert!(a.completed);
+        )
+        .expect("completes");
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -165,21 +242,51 @@ mod tests {
         let scene = SceneKind::Conference.build_with_tris(2_000);
         let streams = BounceStreams::capture(&scene, 300, 2, 7);
         let scripts = &streams.bounce(1).scripts;
-        let plain = run_method_with_warps(Method::Aila, 8, scripts);
+        let plain = run_method_with_warps(Method::Aila, 8, scripts).expect("completes");
         let (out, report) = run_method_with_warps_telemetry(
             Method::Aila,
             8,
             scripts,
             TelemetryConfig { interval: 500, trace: true, ..TelemetryConfig::default() },
         );
-        assert_eq!(plain.stats, out.stats, "attaching telemetry must not change results");
+        let stats = out.expect("completes");
+        assert_eq!(plain, stats, "attaching telemetry must not change results");
         assert_eq!(report.warps, 8);
-        assert_eq!(report.cycles, out.stats.cycles);
+        assert_eq!(report.cycles, stats.cycles);
         report.check_identity().unwrap();
         assert!(
-            (report.weighted_simd_efficiency() - out.stats.simd_efficiency()).abs() < 1e-9,
+            (report.weighted_simd_efficiency() - stats.simd_efficiency()).abs() < 1e-9,
             "interval series must reproduce the aggregate efficiency"
         );
         assert!(report.trace.as_ref().is_some_and(|t| !t.spans.is_empty()));
+    }
+
+    #[test]
+    fn cycle_budget_returns_typed_error_with_partial_stats() {
+        let scene = SceneKind::Conference.build_with_tris(2_000);
+        let streams = BounceStreams::capture(&scene, 300, 2, 7);
+        let scripts = &streams.bounce(1).scripts;
+        let cfg = CellConfig { cycle_budget: Some(50), ..CellConfig::new(Method::Aila, 8) };
+        let (out, _) = run_cell(&cfg, scripts, None);
+        let err = out.expect_err("50 cycles cannot finish the stream");
+        assert!(matches!(err.kind, SimErrorKind::CycleLimit { max_cycles: 50 }));
+        assert_eq!(err.stats.cycles, 50, "partial stats must be populated");
+    }
+
+    #[test]
+    fn injected_watchdog_trip_carries_warp_dump() {
+        let scene = SceneKind::Conference.build_with_tris(2_000);
+        let streams = BounceStreams::capture(&scene, 300, 2, 7);
+        let scripts = &streams.bounce(1).scripts;
+        let cfg = CellConfig { watchdog_trip_at: Some(40), ..CellConfig::new(Method::Aila, 4) };
+        let (out, _) = run_cell(&cfg, scripts, None);
+        let err = out.expect_err("injected trip must fire");
+        match err.kind {
+            SimErrorKind::Watchdog { injected, dump, .. } => {
+                assert!(injected);
+                assert_eq!(dump.warps.len(), 4, "one dump entry per warp");
+            }
+            other => panic!("expected watchdog, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,192 @@
+//! Golden fault-tolerance tests: injected failures are isolated and
+//! recorded, surviving cells stay bit-identical to a clean run, transient
+//! faults recover through retries, and a checkpointed grid resumes to a
+//! bit-identical merged result.
+
+use drs_harness::{
+    figures, run_jobs, CheckpointSpec, FaultPlan, ResultsFile, RunOptions, Scale, SimJob,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static SEQ: AtomicU32 = AtomicU32::new(0);
+
+fn tiny_fig2_jobs() -> Vec<SimJob> {
+    let scale = Scale { rays: 120, tris_scale: 0.005, warps_scale: 0.1 };
+    let mut set = figures::fig2(&scale);
+    set.jobs.truncate(4);
+    assert_eq!(set.jobs.len(), 4, "need four cells for the fault grid");
+    set.jobs
+}
+
+fn temp_checkpoint() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "drs-faults-test-{}-{}.json",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn opts() -> RunOptions {
+    RunOptions { retry_backoff_ms: 0, ..RunOptions::serial() }
+}
+
+fn stats_dump(mode: &str, report: drs_harness::RunReport) -> String {
+    let n = report.cells.len();
+    ResultsFile::from_report(mode, 1, report, vec![Vec::new(); n]).stats_json()
+}
+
+#[test]
+fn injected_failures_are_recorded_and_survivors_are_bit_identical() {
+    let jobs = tiny_fig2_jobs();
+    let clean = run_jobs(&jobs, &opts());
+    assert!(clean.all_clean(), "the clean grid must complete");
+
+    // Permanent injections (no xT suffix → they fire on every attempt):
+    // a worker panic on job 1, a watchdog trip on job 2, a cycle-budget
+    // exhaustion on job 3. Job 0 is untouched.
+    let faults = FaultPlan::parse("panic@1,watchdog@2,budget@3").unwrap();
+    let faulted = run_jobs(&jobs, &RunOptions { faults, ..opts() });
+
+    assert_eq!(faulted.cells.len(), clean.cells.len());
+    assert_eq!(faulted.failed_cells().count(), 3, "exactly the three injected cells fail");
+
+    let survivor = &faulted.cells[0];
+    assert!(survivor.completed && survivor.failure.is_none());
+    assert_eq!(survivor.attempts, 1);
+    assert_eq!(survivor.stats, clean.cells[0].stats, "survivors must be bit-identical");
+
+    let panic_cell = &faulted.cells[1];
+    let f = panic_cell.failure.as_ref().expect("job 1 must fail");
+    assert!(!panic_cell.completed);
+    assert_eq!(f.kind, "panic");
+    assert!(f.injected);
+    assert!(f.message.contains("injected worker panic"), "{}", f.message);
+    assert_eq!(panic_cell.attempts, 2, "default retry budget is one extra attempt");
+
+    let watchdog_cell = &faulted.cells[2];
+    let f = watchdog_cell.failure.as_ref().expect("job 2 must fail");
+    assert_eq!(f.kind, "watchdog");
+    assert!(f.injected);
+    assert!(f.cycle.is_some());
+    let dump = f.warp_dump.as_ref().expect("watchdog failures carry the warp dump as data");
+    assert!(dump.contains("warp"), "dump must describe per-warp state: {dump}");
+
+    let budget_cell = &faulted.cells[3];
+    let f = budget_cell.failure.as_ref().expect("job 3 must fail");
+    assert_eq!(f.kind, "cycle_limit");
+    assert!(f.injected);
+    assert!(budget_cell.stats.cycles > 0, "partial stats survive into the failed cell");
+}
+
+#[test]
+fn transient_fault_recovers_and_result_is_bit_identical() {
+    let jobs = tiny_fig2_jobs();
+    let clean = run_jobs(&jobs, &opts());
+
+    // x1: the fault fires only on the first attempt; the retry succeeds.
+    let faults = FaultPlan::parse("panic@0x1,cache@2x1").unwrap();
+    let report = run_jobs(&jobs, &RunOptions { faults, ..opts() });
+    assert!(report.all_clean(), "transient faults must be absorbed by the retry layer");
+    assert_eq!(report.cells[0].attempts, 2);
+    assert_eq!(report.cells[2].attempts, 2);
+    assert_eq!(report.cells[1].attempts, 1);
+    for (got, want) in report.cells.iter().zip(&clean.cells) {
+        assert_eq!(got.stats, want.stats, "recovered cells must match the clean run");
+    }
+}
+
+#[test]
+fn exhausted_retries_keep_the_failure_of_the_final_attempt() {
+    let jobs = tiny_fig2_jobs();
+    // Zero retries: even a transient fault is terminal on the first attempt.
+    let faults = FaultPlan::parse("cache@1").unwrap();
+    let report = run_jobs(&jobs, &RunOptions { faults, retries: 0, ..opts() });
+    let cell = &report.cells[1];
+    let f = cell.failure.as_ref().expect("no retry budget, so the cell fails");
+    assert_eq!(f.kind, "cache_corrupt");
+    assert_eq!(cell.attempts, 1);
+    assert_eq!(report.failed_cells().count(), 1);
+}
+
+#[test]
+fn checkpointed_run_resumes_to_a_bit_identical_merge() {
+    let jobs = tiny_fig2_jobs();
+    let clean_dump = stats_dump("fig2", run_jobs(&jobs, &opts()));
+
+    // First pass: one permanently failing cell, checkpoint attached.
+    let path = temp_checkpoint();
+    let faults = FaultPlan::parse("watchdog@2").unwrap();
+    let first = run_jobs(
+        &jobs,
+        &RunOptions {
+            faults,
+            checkpoint: Some(CheckpointSpec { path: path.clone(), resume: false }),
+            ..opts()
+        },
+    );
+    assert_eq!(first.failed_cells().count(), 1);
+    assert!(path.exists(), "a run with failures must leave its checkpoint behind");
+
+    // Second pass: resume without faults. Only the failed cell re-runs.
+    let second = run_jobs(
+        &jobs,
+        &RunOptions {
+            checkpoint: Some(CheckpointSpec { path: path.clone(), resume: true }),
+            ..opts()
+        },
+    );
+    assert_eq!(second.resumed, 3, "the three clean cells come from the checkpoint");
+    assert!(second.all_clean());
+    assert_eq!(
+        stats_dump("fig2", second),
+        clean_dump,
+        "resumed merge must be byte-identical to an uninterrupted run"
+    );
+    assert!(!path.exists(), "a fully clean run removes its checkpoint");
+}
+
+#[test]
+fn corrupt_or_mismatched_checkpoints_are_ignored_on_resume() {
+    let jobs = tiny_fig2_jobs();
+    let path = temp_checkpoint();
+    std::fs::write(&path, b"{ not json").unwrap();
+    let report = run_jobs(
+        &jobs,
+        &RunOptions {
+            checkpoint: Some(CheckpointSpec { path: path.clone(), resume: true }),
+            ..opts()
+        },
+    );
+    assert_eq!(report.resumed, 0, "garbage checkpoints must be ignored, not trusted");
+    assert!(report.all_clean());
+    assert!(!path.exists(), "the clean run replaces and then removes the checkpoint");
+}
+
+#[test]
+fn checkpoint_from_a_different_grid_is_rejected() {
+    let jobs = tiny_fig2_jobs();
+    let path = temp_checkpoint();
+    // Build a checkpoint for a *different* grid (one job fewer).
+    let first = run_jobs(
+        &jobs[..3],
+        &RunOptions {
+            faults: FaultPlan::parse("watchdog@0").unwrap(),
+            checkpoint: Some(CheckpointSpec { path: path.clone(), resume: false }),
+            ..opts()
+        },
+    );
+    assert_eq!(first.failed_cells().count(), 1);
+    assert!(path.exists());
+    // Resuming the full grid must not trust it: the run key differs.
+    let report = run_jobs(
+        &jobs,
+        &RunOptions {
+            checkpoint: Some(CheckpointSpec { path: path.clone(), resume: true }),
+            ..opts()
+        },
+    );
+    assert_eq!(report.resumed, 0, "a checkpoint for another grid must be rejected");
+    assert!(report.all_clean());
+    let _ = std::fs::remove_file(&path);
+}

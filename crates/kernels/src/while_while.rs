@@ -411,10 +411,9 @@ mod tests {
             Box::new(NullSpecial),
             &scripts,
         );
-        let out = sim.run();
-        assert!(out.completed, "hit cycle cap");
-        assert_eq!(out.stats.rays_completed, 512);
-        assert!(out.stats.l1t.hits + out.stats.l1t.misses > 0, "BVH reads go through L1T");
+        let out = sim.run().expect("hit cycle cap");
+        assert_eq!(out.rays_completed, 512);
+        assert!(out.l1t.hits + out.l1t.misses > 0, "BVH reads go through L1T");
     }
 
     #[test]
@@ -428,8 +427,8 @@ mod tests {
             Box::new(NullSpecial),
             &scripts,
         );
-        let out = sim.run();
-        let eff = out.stats.issued.simd_efficiency();
+        let out = sim.run().expect("completes");
+        let eff = out.issued.simd_efficiency();
         assert!(eff > 0.95, "coherent rays should stay converged: {eff}");
     }
 
@@ -451,10 +450,10 @@ mod tests {
             Box::new(NullSpecial),
             &scripts,
         );
-        let out = sim.run();
-        let eff = out.stats.issued.simd_efficiency();
+        let out = sim.run().expect("completes");
+        let eff = out.issued.simd_efficiency();
         assert!(eff < 0.85, "divergent mix must hurt: {eff}");
-        assert_eq!(out.stats.rays_completed, 256);
+        assert_eq!(out.rays_completed, 256);
     }
 
     #[test]
@@ -491,15 +490,13 @@ mod tests {
                 &scripts,
             )
             .run()
+            .expect("completes")
         };
         let with = run(true);
         let without = run(false);
-        assert_eq!(with.stats.rays_completed, 320);
-        assert_eq!(without.stats.rays_completed, 320);
-        assert_ne!(
-            with.stats.cycles, without.stats.cycles,
-            "speculation should alter the schedule"
-        );
+        assert_eq!(with.rays_completed, 320);
+        assert_eq!(without.rays_completed, 320);
+        assert_ne!(with.cycles, without.cycles, "speculation should alter the schedule");
     }
 
     #[test]
@@ -514,9 +511,8 @@ mod tests {
             Box::new(NullSpecial),
             &scripts,
         );
-        let out = sim.run();
-        assert!(out.completed);
-        assert_eq!(out.stats.rays_completed, 64);
+        let out = sim.run().expect("completes");
+        assert_eq!(out.rays_completed, 64);
     }
 
     #[test]
@@ -532,8 +528,7 @@ mod tests {
             Box::new(NullSpecial),
             &scripts,
         );
-        let out = sim.run();
-        assert!(out.completed);
-        assert_eq!(out.stats.rays_completed, 500);
+        let out = sim.run().expect("completes");
+        assert_eq!(out.rays_completed, 500);
     }
 }

@@ -4,12 +4,14 @@ use crate::banks::RegisterBanks;
 use crate::behavior::{KernelBehavior, SpecialOutcome, SpecialUnit};
 use crate::cache::MemoryHierarchy;
 use crate::config::GpuConfig;
+use crate::error::{FrameDump, SimError, SimErrorKind, WarpDump, WarpDumpEntry};
 use crate::isa::{MemSpace, MicroOp, OpKind, OpTag};
 use crate::program::{BlockId, Program, Terminator};
 use crate::state::MachineState;
 use crate::stats::SimStats;
 use crate::telemetry::{CycleSnapshot, StallBucket, TelemetrySink};
 use drs_trace::RayScript;
+use std::time::Instant;
 
 /// Architectural registers tracked per warp (micro-op reg ids must be below
 /// this).
@@ -140,15 +142,6 @@ impl Attribution {
     }
 }
 
-/// Result of a completed simulation.
-#[derive(Debug, Clone)]
-pub struct SimOutcome {
-    /// All collected statistics.
-    pub stats: SimStats,
-    /// False when the safety cycle cap fired before all warps exited.
-    pub completed: bool,
-}
-
 /// A configured single-SMX simulation, generic over kernel behavior and an
 /// optional special hardware unit.
 pub struct Simulation<'w> {
@@ -196,8 +189,12 @@ pub struct Simulation<'w> {
     #[cfg(feature = "validate")]
     full_mask: u32,
     /// Last cycle any instruction issued (watchdog baseline).
-    #[cfg(feature = "validate")]
     last_issue_cycle: u64,
+    /// Fault injection: trip the watchdog once `cycle` reaches this value.
+    watchdog_trip_at: Option<u64>,
+    /// Wall-clock budget: `(deadline, budget_ms)`; checked cooperatively
+    /// every 1024 loop iterations.
+    deadline: Option<(Instant, u64)>,
 }
 
 impl<'w> Simulation<'w> {
@@ -256,8 +253,9 @@ impl<'w> Simulation<'w> {
             attr: None,
             #[cfg(feature = "validate")]
             full_mask,
-            #[cfg(feature = "validate")]
             last_issue_cycle: 0,
+            watchdog_trip_at: None,
+            deadline: None,
         }
     }
 
@@ -285,20 +283,61 @@ impl<'w> Simulation<'w> {
         self.fastpath = on;
     }
 
-    /// Run to completion (all warps exited) or the safety cycle cap.
-    pub fn run(mut self) -> SimOutcome {
-        let mut completed = true;
+    /// Inject a watchdog trip: once the simulation reaches `at_cycle`, the
+    /// next step fails with [`SimErrorKind::Watchdog`] (`injected: true`)
+    /// carrying a real [`WarpDump`] of the machine state at that point.
+    ///
+    /// Fault-injection hook for exercising harness recovery paths; if every
+    /// warp exits before `at_cycle`, the run completes normally.
+    pub fn inject_watchdog_trip(&mut self, at_cycle: u64) {
+        self.watchdog_trip_at = Some(at_cycle);
+    }
+
+    /// Set a wall-clock deadline: if `deadline` passes before the run
+    /// completes, it fails with [`SimErrorKind::Deadline`]. `budget_ms` is
+    /// reported in the error (the original budget, for context). The check
+    /// is cooperative — every 1024 loop iterations — so overshoot is
+    /// bounded by ~1024 stepped cycles of wall time.
+    pub fn set_deadline(&mut self, deadline: Instant, budget_ms: u64) {
+        self.deadline = Some((deadline, budget_ms));
+    }
+
+    /// Package a failure kind with the current cycle and finalized partial
+    /// statistics.
+    fn fail(&mut self, kind: SimErrorKind) -> SimError {
+        SimError { kind, cycle: self.cycle, stats: Box::new(self.stats.clone()) }
+    }
+
+    /// Run to completion (all warps exited), or fail with a typed
+    /// [`SimError`] on the safety cycle cap, a watchdog trip, a wall-clock
+    /// deadline, or (under the `validate` feature) an end-of-run invariant
+    /// violation. Errors carry the finalized partial statistics.
+    pub fn run(mut self) -> Result<SimStats, SimError> {
+        let mut failure: Option<SimErrorKind> = None;
         let mut dbg_attempts = 0u64;
         let mut dbg_successes = 0u64;
         let mut dbg_skipped = 0u64;
         let mut dbg_dead = 0u64;
+        let mut iters = 0u64;
         while !self.warps.iter().all(|w| w.exited) {
             if self.cycle >= self.cfg.max_cycles {
-                completed = false;
+                failure = Some(SimErrorKind::CycleLimit { max_cycles: self.cfg.max_cycles });
                 break;
             }
+            iters = iters.wrapping_add(1);
+            if iters & 0x3FF == 0 {
+                if let Some((deadline, budget_ms)) = self.deadline {
+                    if Instant::now() >= deadline {
+                        failure = Some(SimErrorKind::Deadline { budget_ms });
+                        break;
+                    }
+                }
+            }
             let issued_before = self.stats.issued.total + self.stats.issued_si.total;
-            self.step();
+            if let Err(kind) = self.step() {
+                failure = Some(kind);
+                break;
+            }
             // Only bother computing a wake-up target after a dead cycle: a
             // cycle that issued usually has more ready work right behind it.
             // Failed attempts back off exponentially — compute-bound phases
@@ -338,10 +377,6 @@ impl<'w> Simulation<'w> {
                 dbg_skipped as f64 / dbg_successes.max(1) as f64
             );
         }
-        #[cfg(feature = "validate")]
-        if completed {
-            self.check_drained();
-        }
         self.stats.cycles = self.cycle;
         self.stats.rays_completed = self.machine.rays_completed;
         self.stats.l1t = self.mem.l1t.stats;
@@ -355,12 +390,19 @@ impl<'w> Simulation<'w> {
             .blocks()
             .iter()
             .zip(self.block_counters.iter())
-            .map(|(b, &(n, a))| (b.label, n, a))
+            .map(|(b, &(n, a))| (b.label.to_string(), n, a))
             .collect();
         if let Some(sink) = self.sink.as_deref_mut() {
             sink.on_finish(&Self::snapshot(&self.stats, self.cycle, self.machine.rays_completed));
         }
-        SimOutcome { stats: self.stats, completed }
+        if let Some(kind) = failure {
+            return Err(self.fail(kind));
+        }
+        #[cfg(feature = "validate")]
+        if let Err(kind) = self.check_drained() {
+            return Err(self.fail(kind));
+        }
+        Ok(self.stats)
     }
 
     /// A cheap copy of the live counters for the telemetry sink.
@@ -378,24 +420,27 @@ impl<'w> Simulation<'w> {
         }
     }
 
-    /// Advance one cycle.
-    fn step(&mut self) {
+    /// Advance one cycle. Fails on a watchdog trip (organic no-progress or
+    /// injected); the cycle is left un-incremented so the caller reports
+    /// the failing cycle accurately.
+    fn step(&mut self) -> Result<(), SimErrorKind> {
+        if let Some(at) = self.watchdog_trip_at {
+            if self.cycle >= at {
+                return Err(self.watchdog_kind(true));
+            }
+        }
         self.banks.new_cycle();
         if let Some(attr) = &mut self.attr {
             attr.begin_cycle();
         }
-        #[cfg(feature = "validate")]
         let issued_before = self.stats.issued.total + self.stats.issued_si.total;
         for s in 0..self.cfg.warp_schedulers {
             self.schedule(s);
         }
-        #[cfg(feature = "validate")]
-        {
-            if self.stats.issued.total + self.stats.issued_si.total > issued_before {
-                self.last_issue_cycle = self.cycle;
-            } else if self.cycle - self.last_issue_cycle > self.cfg.watchdog_cycles {
-                self.watchdog_abort();
-            }
+        if self.stats.issued.total + self.stats.issued_si.total > issued_before {
+            self.last_issue_cycle = self.cycle;
+        } else if self.cycle - self.last_issue_cycle > self.cfg.watchdog_cycles {
+            return Err(self.watchdog_kind(false));
         }
         let mut idle = std::mem::take(&mut self.idle_scratch);
         self.banks.idle_banks_into(&mut idle);
@@ -405,6 +450,7 @@ impl<'w> Simulation<'w> {
             self.cycle_telemetry();
         }
         self.cycle += 1;
+        Ok(())
     }
 
     /// The event-driven fast path: called between steps (at the
@@ -654,70 +700,79 @@ impl<'w> Simulation<'w> {
         }
     }
 
-    /// Watchdog: no warp has issued for `watchdog_cycles`. Dump every warp's
-    /// SIMT stack so a livelocked kernel is debuggable, then abort instead
-    /// of spinning until `max_cycles`.
-    #[cfg(feature = "validate")]
-    fn watchdog_abort(&self) -> ! {
-        eprintln!(
-            "validate watchdog: no instruction issued for {} cycles (now at cycle {})",
-            self.cfg.watchdog_cycles, self.cycle
-        );
-        for (w, warp) in self.warps.iter().enumerate() {
-            eprintln!("  warp {w}: exited={} blocked_until={}", warp.exited, warp.blocked_until);
-            for (d, e) in warp.stack.iter().enumerate().rev() {
-                eprintln!(
-                    "    [{d}] block {} `{}` op {} mask {:#010x} reconv {}",
-                    e.pc,
-                    self.program.block(e.pc).label,
-                    e.op_idx,
-                    e.mask,
-                    e.reconv
-                );
-            }
+    /// Watchdog trip: no warp has issued for `watchdog_cycles` (or an
+    /// injected trip fired). Capture every warp's SIMT stack as a
+    /// [`WarpDump`] — data in the error payload, not a stderr print — so a
+    /// livelocked kernel is debuggable from the failed cell's record.
+    fn watchdog_kind(&self, injected: bool) -> SimErrorKind {
+        let warps = self
+            .warps
+            .iter()
+            .enumerate()
+            .map(|(w, warp)| WarpDumpEntry {
+                warp: w,
+                exited: warp.exited,
+                blocked_until: warp.blocked_until,
+                stack: warp
+                    .stack
+                    .iter()
+                    .map(|e| FrameDump {
+                        block: e.pc,
+                        label: self.program.block(e.pc).label.to_string(),
+                        op_idx: e.op_idx,
+                        mask: e.mask,
+                        reconv: e.reconv,
+                    })
+                    .collect(),
+            })
+            .collect();
+        SimErrorKind::Watchdog {
+            stalled_cycles: self.cycle - self.last_issue_cycle,
+            watchdog_cycles: self.cfg.watchdog_cycles,
+            injected,
+            dump: WarpDump { warps },
         }
-        panic!(
-            "validate watchdog: no forward progress for {} cycles — warp dump above",
-            self.cfg.watchdog_cycles
-        );
     }
 
     /// End-of-run invariants: SIMT stacks unwound, all rays drained, no
     /// scoreboard timestamp or MSHR fill implausibly far in the future.
     #[cfg(feature = "validate")]
-    fn check_drained(&self) {
+    fn check_drained(&self) -> Result<(), SimErrorKind> {
+        let fail = |message: String| Err(SimErrorKind::Invariant { message });
         let slack = (self.cfg.dram_latency
             + self.cfg.l2_latency
             + self.cfg.l1_latency
             + self.cfg.alu_latency) as u64
             + 64;
         for (w, warp) in self.warps.iter().enumerate() {
-            assert_eq!(
-                warp.stack.len(),
-                1,
-                "validate: warp {w} exited with {} reconvergence entries still stacked",
-                warp.stack.len() - 1
-            );
+            if warp.stack.len() != 1 {
+                return fail(format!(
+                    "warp {w} exited with {} reconvergence entries still stacked",
+                    warp.stack.len() - 1
+                ));
+            }
             for (r, &ready) in warp.reg_ready.iter().enumerate() {
-                assert!(
-                    ready <= self.cycle + slack,
-                    "validate: warp {w} scoreboard r{r} ready at {ready}, past cycle {} + {slack}",
-                    self.cycle
-                );
+                if ready > self.cycle + slack {
+                    return fail(format!(
+                        "warp {w} scoreboard r{r} ready at {ready}, past cycle {} + {slack}",
+                        self.cycle
+                    ));
+                }
             }
         }
-        assert!(
-            self.machine.all_work_drained(),
-            "validate: rays remain after all warps exited ({} queued, {} resident)",
-            self.machine.queue.remaining(),
-            self.machine.slots.iter().filter(|s| s.ray.is_some()).count()
-        );
+        if !self.machine.all_work_drained() {
+            return fail(format!(
+                "rays remain after all warps exited ({} queued, {} resident)",
+                self.machine.queue.remaining(),
+                self.machine.slots.iter().filter(|s| s.ray.is_some()).count()
+            ));
+        }
         let horizon = self.cycle + 2 * slack;
-        assert_eq!(
-            self.mem.outstanding_misses(horizon),
-            0,
-            "validate: MSHR fills outstanding past kernel end"
-        );
+        let outstanding = self.mem.outstanding_misses(horizon);
+        if outstanding != 0 {
+            return fail(format!("{outstanding} MSHR fills outstanding past kernel end"));
+        }
+        Ok(())
     }
 
     /// One scheduler's issue attempt for this cycle.
@@ -1213,12 +1268,11 @@ mod tests {
             Box::new(NullSpecial),
             &scripts,
         );
-        let out = sim.run();
-        assert!(out.completed, "simulation hit the cycle cap");
-        assert_eq!(out.stats.rays_completed, 256);
-        assert!(out.stats.cycles > 0);
-        assert!(out.stats.issued.total > 0);
-        assert!(out.stats.loads > 0);
+        let stats = sim.run().expect("simulation hit the cycle cap");
+        assert_eq!(stats.rays_completed, 256);
+        assert!(stats.cycles > 0);
+        assert!(stats.issued.total > 0);
+        assert!(stats.loads > 0);
     }
 
     #[test]
@@ -1233,12 +1287,8 @@ mod tests {
             Box::new(NullSpecial),
             &scripts,
         );
-        let out = sim.run();
-        assert!(
-            out.stats.issued.simd_efficiency() > 0.999,
-            "got {}",
-            out.stats.issued.simd_efficiency()
-        );
+        let stats = sim.run().expect("completes");
+        assert!(stats.issued.simd_efficiency() > 0.999, "got {}", stats.issued.simd_efficiency());
     }
 
     #[test]
@@ -1264,12 +1314,11 @@ mod tests {
             Box::new(NullSpecial),
             &scripts,
         );
-        let out = sim.run();
-        let eff = out.stats.issued.simd_efficiency();
-        assert!(out.completed);
+        let stats = sim.run().expect("completes");
+        let eff = stats.issued.simd_efficiency();
         assert!(eff < 0.95, "ragged work should diverge, got {eff}");
         assert!(eff > 0.2, "sanity lower bound, got {eff}");
-        assert_eq!(out.stats.rays_completed, 128);
+        assert_eq!(stats.rays_completed, 128);
     }
 
     #[test]
@@ -1284,11 +1333,12 @@ mod tests {
                 &scripts,
             )
             .run()
+            .expect("completes")
         };
         let a = run();
         let b = run();
-        assert_eq!(a.stats.cycles, b.stats.cycles);
-        assert_eq!(a.stats.issued.total, b.stats.issued.total);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.issued.total, b.issued.total);
     }
 
     #[test]
@@ -1304,8 +1354,8 @@ mod tests {
             Box::new(NullSpecial),
             &scripts,
         );
-        let out = sim.run();
-        assert!(out.stats.l1t.hits > 0, "expected texture-cache hits");
+        let stats = sim.run().expect("completes");
+        assert!(stats.l1t.hits > 0, "expected texture-cache hits");
     }
 
     /// Special unit that stalls the first `n` attempts.
@@ -1353,11 +1403,10 @@ mod tests {
             Box::new(StallingUnit { remaining: 5 }),
             &scripts,
         );
-        let out = sim.run();
-        assert!(out.completed);
-        assert_eq!(out.stats.rdctrl_stalls, 5);
-        assert_eq!(out.stats.rdctrl_issued, 1);
-        assert!((out.stats.rdctrl_stall_rate() - 5.0 / 6.0).abs() < 1e-12);
+        let stats = sim.run().expect("completes");
+        assert_eq!(stats.rdctrl_stalls, 5);
+        assert_eq!(stats.rdctrl_issued, 1);
+        assert!((stats.rdctrl_stall_rate() - 5.0 / 6.0).abs() < 1e-12);
     }
 }
 
@@ -1401,7 +1450,7 @@ mod telemetry_tests {
         }
     }
 
-    fn run_with_recorder(scripts: &[RayScript]) -> (SimOutcome, Recorder) {
+    fn run_with_recorder(scripts: &[RayScript]) -> (SimStats, Recorder) {
         let mut rec = Recorder::default();
         let mut sim = Simulation::new(
             small_cfg(4),
@@ -1411,22 +1460,21 @@ mod telemetry_tests {
             scripts,
         );
         sim.attach_telemetry(&mut rec);
-        let out = sim.run();
-        (out, rec)
+        let stats = sim.run().expect("completes");
+        (stats, rec)
     }
 
     #[test]
     fn accounting_identity_holds_every_cycle() {
         let scripts = scripts_uniform(256, 10);
-        let (out, rec) = run_with_recorder(&scripts);
-        assert!(out.completed);
+        let (stats, rec) = run_with_recorder(&scripts);
         assert!(rec.finished);
-        assert_eq!(rec.cycles, out.stats.cycles);
+        assert_eq!(rec.cycles, stats.cycles);
         assert_eq!(rec.warps, 4);
         let total: u64 = rec.counts.iter().sum();
         assert_eq!(
             total,
-            out.stats.cycles * 4,
+            stats.cycles * 4,
             "Σ buckets must equal cycles × warps; got {:?}",
             rec.counts
         );
@@ -1446,10 +1494,10 @@ mod telemetry_tests {
             Box::new(NullSpecial),
             &scripts,
         )
-        .run();
+        .run()
+        .expect("completes");
         let (observed, _) = run_with_recorder(&scripts);
-        assert_eq!(plain.stats, observed.stats, "telemetry must be purely observational");
-        assert_eq!(plain.completed, observed.completed);
+        assert_eq!(plain, observed, "telemetry must be purely observational");
     }
 
     #[test]
@@ -1457,9 +1505,9 @@ mod telemetry_tests {
         // A warp-cycle charged `issued` implies ≥ 1 issue, and one warp
         // issues at most `issues_per_scheduler` ops per cycle.
         let scripts = scripts_uniform(64, 5);
-        let (out, rec) = run_with_recorder(&scripts);
+        let (stats, rec) = run_with_recorder(&scripts);
         let issued_cycles = rec.counts[StallBucket::Issued as usize];
-        let issued_insts = out.stats.issued.total + out.stats.issued_si.total;
+        let issued_insts = stats.issued.total + stats.issued_si.total;
         assert!(issued_cycles <= issued_insts);
         assert!(issued_insts <= issued_cycles * small_cfg(4).issues_per_scheduler() as u64);
     }
@@ -1495,7 +1543,7 @@ mod fastpath_tests {
         }
     }
 
-    fn run_toy(warps: usize, fastpath: bool) -> SimOutcome {
+    fn run_toy(warps: usize, fastpath: bool) -> SimStats {
         let scripts = scripts_uniform(192, 9);
         let mut sim = Simulation::new(
             small_cfg(warps),
@@ -1505,7 +1553,7 @@ mod fastpath_tests {
             &scripts,
         );
         sim.set_fastpath(fastpath);
-        sim.run()
+        sim.run().expect("completes")
     }
 
     #[test]
@@ -1513,11 +1561,7 @@ mod fastpath_tests {
         for warps in [1, 2, 4] {
             let fast = run_toy(warps, true);
             let naive = run_toy(warps, false);
-            assert_eq!(
-                fast.stats, naive.stats,
-                "fast path must not change results ({warps} warps)"
-            );
-            assert_eq!(fast.completed, naive.completed);
+            assert_eq!(fast, naive, "fast path must not change results ({warps} warps)");
         }
     }
 
@@ -1535,17 +1579,17 @@ mod fastpath_tests {
             );
             sim.set_fastpath(fastpath);
             sim.attach_telemetry(&mut s);
-            let out = sim.run();
-            (out, s)
+            let stats = sim.run().expect("completes");
+            (stats, s)
         };
         let (fast, fs) = run(true);
         let (naive, ns) = run(false);
-        assert_eq!(fast.stats, naive.stats);
+        assert_eq!(fast, naive);
         assert_eq!(fs.final_cycle, ns.final_cycle);
         assert_eq!(fs.counts, ns.counts, "bulk-charged buckets must match naive attribution");
         assert_eq!(fs.buckets, ns.buckets, "per-cycle bucket streams must be identical");
         let total: u64 = fs.counts.iter().sum();
-        assert_eq!(total, fast.stats.cycles * 4, "accounting identity survives skipping");
+        assert_eq!(total, fast.cycles * 4, "accounting identity survives skipping");
     }
 
     #[test]
@@ -1557,8 +1601,8 @@ mod fastpath_tests {
         // skip-friendly shape.)
         let fast = run_toy(1, true);
         let naive = run_toy(1, false);
-        assert_eq!(fast.stats, naive.stats);
-        assert!(fast.stats.cycles > 1000, "the workload must have dead spans worth skipping");
+        assert_eq!(fast, naive);
+        assert!(fast.cycles > 1000, "the workload must have dead spans worth skipping");
     }
 
     /// A special unit with a non-trivial tick that mutates stats every
@@ -1593,13 +1637,13 @@ mod fastpath_tests {
                 &scripts,
             );
             sim.set_fastpath(fastpath);
-            sim.run()
+            sim.run().expect("completes")
         };
         let fast = run(true);
         let naive = run(false);
-        assert_eq!(fast.stats, naive.stats);
+        assert_eq!(fast, naive);
         // The tick ran on every single cycle in both runs.
-        assert_eq!(fast.stats.sync_wait_cycles, fast.stats.cycles);
+        assert_eq!(fast.sync_wait_cycles, fast.cycles);
     }
 }
 
@@ -1650,7 +1694,7 @@ mod more_engine_tests {
             &scripts,
         )
         .run()
-        .stats
+        .expect("probe completes")
     }
 
     #[test]
@@ -1741,12 +1785,142 @@ mod more_engine_tests {
             };
             Simulation::new(cfg, program.clone(), Box::new(Toy), Box::new(NullSpecial), &scripts)
                 .run()
+                .expect("completes")
         };
         let gto = run(SchedulerPolicy::GreedyThenOldest);
         let lrr = run(SchedulerPolicy::LooseRoundRobin);
-        assert!(gto.completed && lrr.completed);
-        assert_eq!(gto.stats.rays_completed, 1024);
-        assert_eq!(lrr.stats.rays_completed, 1024);
-        assert_ne!(gto.stats.cycles, lrr.stats.cycles, "policies must differ");
+        assert_eq!(gto.rays_completed, 1024);
+        assert_eq!(lrr.rays_completed, 1024);
+        assert_ne!(gto.cycles, lrr.cycles, "policies must differ");
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::tests::{scripts_uniform, small_cfg, toy_program, ToyBehavior};
+    use super::*;
+    use crate::behavior::NullSpecial;
+    use crate::isa::MicroOp;
+    use crate::program::Block;
+
+    fn toy_sim(scripts: &[RayScript], cfg: GpuConfig) -> Simulation<'_> {
+        Simulation::new(cfg, toy_program(), Box::new(ToyBehavior), Box::new(NullSpecial), scripts)
+    }
+
+    #[test]
+    fn cycle_limit_yields_typed_error_with_partial_stats() {
+        let scripts = scripts_uniform(256, 10);
+        let cfg = GpuConfig { max_cycles: 200, ..small_cfg(4) };
+        let err = toy_sim(&scripts, cfg).run().expect_err("200 cycles is far too few");
+        assert_eq!(err.kind.label(), "cycle_limit");
+        assert!(matches!(err.kind, SimErrorKind::CycleLimit { max_cycles: 200 }));
+        assert_eq!(err.cycle, 200);
+        // Partial stats are finalized: the truncated run still reports
+        // cycles, issue counts and a block profile.
+        assert_eq!(err.stats.cycles, 200);
+        assert!(err.stats.issued.total > 0, "something issued before the cap");
+        assert!(!err.stats.block_profile.is_empty());
+        assert!(err.stats.rays_completed < 256);
+    }
+
+    /// A special unit that refuses every issue attempt: the kernel can
+    /// never make progress, which is exactly the livelock the watchdog
+    /// exists to catch.
+    struct AlwaysStall;
+    impl SpecialUnit for AlwaysStall {
+        fn issue(
+            &mut self,
+            _w: usize,
+            _t: u16,
+            _m: &mut MachineState<'_>,
+            _s: &mut SimStats,
+        ) -> SpecialOutcome {
+            SpecialOutcome::Stall
+        }
+        fn tick(&mut self, _c: u64, _i: &[bool], _m: &mut MachineState<'_>, _s: &mut SimStats) {}
+    }
+
+    struct NoWork;
+    impl KernelBehavior for NoWork {
+        fn eval_cond(&self, _t: u16, _w: usize, _l: usize, _m: &MachineState<'_>) -> bool {
+            false
+        }
+        fn eval_addr(&self, _t: u16, _w: usize, _l: usize, _m: &MachineState<'_>) -> u64 {
+            0
+        }
+        fn apply_effect(&self, _t: u16, _w: usize, _l: usize, _m: &mut MachineState<'_>) {}
+    }
+
+    #[test]
+    fn organic_livelock_trips_watchdog_with_warp_dump() {
+        let program =
+            Program::new(vec![Block::new("spin", vec![MicroOp::special(0, 0)], Terminator::Exit)]);
+        let scripts: Vec<RayScript> = vec![];
+        let cfg = GpuConfig { max_warps: 2, watchdog_cycles: 500, ..GpuConfig::gtx780() };
+        let sim = Simulation::new(cfg, program, Box::new(NoWork), Box::new(AlwaysStall), &scripts);
+        let err = sim.run().expect_err("livelocked kernel must trip the watchdog");
+        match &err.kind {
+            SimErrorKind::Watchdog { stalled_cycles, watchdog_cycles, injected, dump } => {
+                assert!(*stalled_cycles > 500);
+                assert_eq!(*watchdog_cycles, 500);
+                assert!(!injected);
+                assert_eq!(dump.warps.len(), 2);
+                let w0 = &dump.warps[0];
+                assert!(!w0.exited);
+                assert_eq!(w0.stack.len(), 1);
+                assert_eq!(w0.stack[0].label, "spin");
+                let text = dump.to_string();
+                assert!(text.contains("`spin`"), "{text}");
+            }
+            other => panic!("expected watchdog, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_watchdog_trip_fires_with_real_dump() {
+        let scripts = scripts_uniform(128, 8);
+        let mut sim = toy_sim(&scripts, small_cfg(4));
+        sim.inject_watchdog_trip(50);
+        let err = sim.run().expect_err("injected trip must fire");
+        match &err.kind {
+            SimErrorKind::Watchdog { injected, dump, .. } => {
+                assert!(injected);
+                assert_eq!(dump.warps.len(), 4);
+            }
+            other => panic!("expected watchdog, got {other:?}"),
+        }
+        assert!(err.cycle >= 50, "trip fires once the cycle reaches the mark");
+    }
+
+    #[test]
+    fn injected_trip_after_completion_never_fires() {
+        let scripts = scripts_uniform(64, 4);
+        let mut sim = toy_sim(&scripts, small_cfg(4));
+        sim.inject_watchdog_trip(u64::MAX);
+        let stats = sim.run().expect("completes before the trip point");
+        assert_eq!(stats.rays_completed, 64);
+    }
+
+    #[test]
+    fn expired_deadline_fails_with_deadline_error() {
+        let scripts = scripts_uniform(512, 12);
+        let mut sim = toy_sim(&scripts, small_cfg(2));
+        // Naive stepping so loop iterations == cycles, guaranteeing the
+        // cooperative check (every 1024 iterations) actually runs.
+        sim.set_fastpath(false);
+        sim.set_deadline(Instant::now(), 0);
+        let err = sim.run().expect_err("already-expired deadline");
+        assert!(matches!(err.kind, SimErrorKind::Deadline { budget_ms: 0 }));
+        assert!(err.cycle > 0, "some cycles ran before the cooperative check");
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire() {
+        let scripts = scripts_uniform(64, 4);
+        let mut sim = toy_sim(&scripts, small_cfg(4));
+        let budget = std::time::Duration::from_secs(3600);
+        sim.set_deadline(Instant::now() + budget, 3_600_000);
+        let stats = sim.run().expect("one-hour budget is ample for a toy run");
+        assert_eq!(stats.rays_completed, 64);
     }
 }

@@ -1,0 +1,218 @@
+//! Typed simulation failures.
+//!
+//! [`Simulation::run`](crate::Simulation::run) returns `Result<SimStats,
+//! SimError>`: every way a run can end short of full completion — the
+//! no-progress watchdog, the safety cycle cap, a `validate` invariant
+//! violation, a wall-clock deadline — is a [`SimError`] value carrying the
+//! failure kind, the cycle it fired at, and the partial counter set, so
+//! harnesses can record the failure as data instead of losing the whole
+//! process to an abort.
+
+use crate::program::BlockId;
+use crate::stats::SimStats;
+use std::fmt;
+
+/// One frame of a warp's SIMT reconvergence stack, captured for a
+/// [`WarpDump`]. Rendered top-of-stack first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameDump {
+    /// Block the frame sits at.
+    pub block: BlockId,
+    /// The block's label.
+    pub label: String,
+    /// Next op index within the block.
+    pub op_idx: usize,
+    /// Lanes the frame executes.
+    pub mask: u32,
+    /// Reconvergence block (`u32::MAX` for the base frame).
+    pub reconv: BlockId,
+}
+
+/// One warp's state at the moment a watchdog fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpDumpEntry {
+    /// Warp index.
+    pub warp: usize,
+    /// The warp had already exited the kernel.
+    pub exited: bool,
+    /// The warp's `blocked_until` timestamp.
+    pub blocked_until: u64,
+    /// SIMT stack, base frame first.
+    pub stack: Vec<FrameDump>,
+}
+
+/// Every warp's SIMT stack and block state, captured as data when the
+/// no-progress watchdog fires (previously this was printed to stderr and
+/// the process aborted; now the harness attaches it to the failed cell's
+/// JSON record).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WarpDump {
+    /// One entry per warp, in warp order.
+    pub warps: Vec<WarpDumpEntry>,
+}
+
+impl fmt::Display for WarpDump {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for w in &self.warps {
+            writeln!(f, "warp {}: exited={} blocked_until={}", w.warp, w.exited, w.blocked_until)?;
+            for (d, e) in w.stack.iter().enumerate().rev() {
+                writeln!(
+                    f,
+                    "  [{d}] block {} `{}` op {} mask {:#010x} reconv {}",
+                    e.block, e.label, e.op_idx, e.mask, e.reconv
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a simulation ended short of full completion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimErrorKind {
+    /// No instruction issued for more than the configured watchdog window
+    /// (livelock), or an injected watchdog trip fired.
+    Watchdog {
+        /// Cycles since the last issue when the watchdog fired.
+        stalled_cycles: u64,
+        /// The configured no-progress window.
+        watchdog_cycles: u64,
+        /// True when the trip was injected via
+        /// [`Simulation::inject_watchdog_trip`](crate::Simulation::inject_watchdog_trip)
+        /// (fault-injection testing) rather than detected organically.
+        injected: bool,
+        /// Every warp's SIMT state at the trip, captured as data.
+        dump: WarpDump,
+    },
+    /// The safety cycle cap (`GpuConfig::max_cycles` or a per-job cycle
+    /// budget) fired before all warps exited.
+    CycleLimit {
+        /// The cap that fired.
+        max_cycles: u64,
+    },
+    /// A `validate`-feature end-of-run invariant failed.
+    Invariant {
+        /// Human-readable description of the violated invariant.
+        message: String,
+    },
+    /// The wall-clock deadline set via
+    /// [`Simulation::set_deadline`](crate::Simulation::set_deadline) passed
+    /// before the run completed.
+    Deadline {
+        /// The budget that was exceeded, in milliseconds.
+        budget_ms: u64,
+    },
+}
+
+impl SimErrorKind {
+    /// Short machine-readable label (`watchdog`, `cycle_limit`,
+    /// `invariant`, `deadline`) used in failure records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SimErrorKind::Watchdog { .. } => "watchdog",
+            SimErrorKind::CycleLimit { .. } => "cycle_limit",
+            SimErrorKind::Invariant { .. } => "invariant",
+            SimErrorKind::Deadline { .. } => "deadline",
+        }
+    }
+}
+
+/// A failed simulation: the kind of failure, where it happened, and the
+/// counters accumulated up to that point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimError {
+    /// What went wrong.
+    pub kind: SimErrorKind,
+    /// Cycle at which the failure fired.
+    pub cycle: u64,
+    /// Partial statistics at the failure point (finalized: cache counters,
+    /// block profile and cycle count are filled in, so a truncated run is
+    /// still reportable).
+    pub stats: Box<SimStats>,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            SimErrorKind::Watchdog { stalled_cycles, watchdog_cycles, injected, .. } => write!(
+                f,
+                "{}watchdog: no instruction issued for {stalled_cycles} cycles \
+                 (window {watchdog_cycles}, at cycle {})",
+                if *injected { "injected " } else { "" },
+                self.cycle
+            ),
+            SimErrorKind::CycleLimit { max_cycles } => {
+                write!(f, "cycle limit: {max_cycles} cycles elapsed before all warps exited")
+            }
+            SimErrorKind::Invariant { message } => {
+                write!(f, "invariant violated at cycle {}: {message}", self.cycle)
+            }
+            SimErrorKind::Deadline { budget_ms } => {
+                write!(f, "wall-clock budget of {budget_ms} ms exceeded at cycle {}", self.cycle)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_display() {
+        let dump = WarpDump {
+            warps: vec![WarpDumpEntry {
+                warp: 0,
+                exited: false,
+                blocked_until: 7,
+                stack: vec![FrameDump {
+                    block: 1,
+                    label: "body".into(),
+                    op_idx: 2,
+                    mask: 0xff,
+                    reconv: u32::MAX,
+                }],
+            }],
+        };
+        let e = SimError {
+            kind: SimErrorKind::Watchdog {
+                stalled_cycles: 11,
+                watchdog_cycles: 10,
+                injected: false,
+                dump: dump.clone(),
+            },
+            cycle: 42,
+            stats: Box::default(),
+        };
+        assert_eq!(e.kind.label(), "watchdog");
+        let msg = e.to_string();
+        assert!(msg.contains("no instruction issued for 11 cycles"), "{msg}");
+        let rendered = dump.to_string();
+        assert!(rendered.contains("warp 0: exited=false blocked_until=7"), "{rendered}");
+        assert!(rendered.contains("block 1 `body` op 2 mask 0x000000ff"), "{rendered}");
+
+        let e = SimError {
+            kind: SimErrorKind::CycleLimit { max_cycles: 100 },
+            cycle: 100,
+            stats: Box::default(),
+        };
+        assert_eq!(e.kind.label(), "cycle_limit");
+        assert!(e.to_string().contains("100 cycles elapsed"));
+
+        let e = SimError {
+            kind: SimErrorKind::Deadline { budget_ms: 5 },
+            cycle: 9,
+            stats: Box::default(),
+        };
+        assert_eq!(e.kind.label(), "deadline");
+        let e = SimError {
+            kind: SimErrorKind::Invariant { message: "rays remain".into() },
+            cycle: 9,
+            stats: Box::default(),
+        };
+        assert_eq!(e.kind.label(), "invariant");
+        assert!(e.to_string().contains("rays remain"));
+    }
+}

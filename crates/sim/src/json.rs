@@ -323,7 +323,7 @@ mod tests {
             cycles: 100,
             rays_completed: 42,
             loads: 7,
-            block_profile: vec![("inner", 5, 100)],
+            block_profile: vec![("inner".to_string(), 5, 100)],
             ..Default::default()
         };
         let mut j = JsonBuf::new();

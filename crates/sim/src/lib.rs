@@ -41,6 +41,7 @@ mod cache;
 mod config;
 mod energy;
 mod engine;
+mod error;
 mod isa;
 mod json;
 mod program;
@@ -53,7 +54,8 @@ pub use behavior::{KernelBehavior, NullSpecial, SpecialOutcome, SpecialUnit};
 pub use cache::{Cache, CacheConfig, CacheStats, MemoryHierarchy};
 pub use config::{GpuConfig, SchedulerPolicy};
 pub use energy::{EnergyBreakdown, EnergyModel};
-pub use engine::{SimOutcome, Simulation, TRACKED_REGS};
+pub use engine::{Simulation, TRACKED_REGS};
+pub use error::{FrameDump, SimError, SimErrorKind, WarpDump, WarpDumpEntry};
 pub use isa::{MemSpace, MicroOp, OpKind, OpTag, Reg};
 pub use json::JsonBuf;
 pub use program::{Block, BlockId, Program, Terminator};

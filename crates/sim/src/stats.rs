@@ -126,7 +126,7 @@ pub struct SimStats {
     pub rays_completed: u64,
     /// Per-block issue profile: `(label, issues, active_lane_sum)` —
     /// which kernel blocks issue and at what occupancy.
-    pub block_profile: Vec<(&'static str, u64, u64)>,
+    pub block_profile: Vec<(String, u64, u64)>,
 }
 
 impl SimStats {

@@ -25,7 +25,7 @@
 //! });
 //! // let mut sim = Simulation::new(...);
 //! // sim.attach_telemetry(&mut collector);
-//! // let outcome = sim.run();
+//! // let stats = sim.run()?;
 //! // let report = collector.into_report();
 //! // report.check_identity().unwrap();
 //! ```

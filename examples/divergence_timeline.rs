@@ -43,13 +43,10 @@ fn main() {
         TelemetryConfig { interval: 2000, ..TelemetryConfig::default() },
     );
     report.check_identity().expect("every warp-cycle charged exactly once");
+    let stats = out.expect("the stream completes within the safety cycle cap");
 
     println!("while-while kernel, {} secondary rays, {warps} warps", scripts.len());
-    println!(
-        "{} cycles, SIMD efficiency {:.1}%\n",
-        out.stats.cycles,
-        out.stats.simd_efficiency() * 100.0
-    );
+    println!("{} cycles, SIMD efficiency {:.1}%\n", stats.cycles, stats.simd_efficiency() * 100.0);
 
     println!("SIMD efficiency per {}-cycle interval:", report.interval);
     for s in &report.intervals {

@@ -31,7 +31,8 @@ fn main() {
         Box::new(NullSpecial),
         secondary,
     )
-    .run();
+    .run()
+    .expect("baseline run failed");
 
     // 4. Simulate the same rays with DRS hardware attached.
     let drs_cfg = DrsConfig { warps: 12, backup_rows: 1, swap_buffers: 6, ideal: false, lanes: 32 };
@@ -43,22 +44,23 @@ fn main() {
         Box::new(DrsUnit::new(drs_cfg)),
         secondary,
     )
-    .run();
+    .run()
+    .expect("DRS run failed");
 
     // 5. Report.
-    let speedup = base.stats.cycles as f64 / drs.stats.cycles as f64;
+    let speedup = base.cycles as f64 / drs.cycles as f64;
     println!("\n                 {:>12} {:>12}", "while-while", "DRS");
     println!(
         "SIMD efficiency  {:>11.1}% {:>11.1}%",
-        base.stats.issued.simd_efficiency() * 100.0,
-        drs.stats.issued.simd_efficiency() * 100.0
+        base.issued.simd_efficiency() * 100.0,
+        drs.issued.simd_efficiency() * 100.0
     );
-    println!("cycles           {:>12} {:>12}", base.stats.cycles, drs.stats.cycles);
+    println!("cycles           {:>12} {:>12}", base.cycles, drs.cycles);
     println!(
         "Mrays/s (GPU)    {:>12.1} {:>12.1}",
-        base.stats.mrays_per_sec(gpu.clock_mhz, gpu.smx_count),
-        drs.stats.mrays_per_sec(gpu.clock_mhz, gpu.smx_count)
+        base.mrays_per_sec(gpu.clock_mhz, gpu.smx_count),
+        drs.mrays_per_sec(gpu.clock_mhz, gpu.smx_count)
     );
     println!("\nDRS speedup on incoherent rays: {speedup:.2}x");
-    println!("rays shuffled by the swap engine: {}", drs.stats.swaps_completed);
+    println!("rays shuffled by the swap engine: {}", drs.swaps_completed);
 }

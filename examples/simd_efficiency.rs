@@ -11,10 +11,10 @@ use drs::core::system::RowedWhileIf;
 use drs::core::{DrsConfig, DrsUnit};
 use drs::kernels::{WhileIfKernel, WhileWhileConfig, WhileWhileKernel};
 use drs::scene::SceneKind;
-use drs::sim::{GpuConfig, NullSpecial, SimOutcome, Simulation};
+use drs::sim::{GpuConfig, NullSpecial, SimStats, Simulation};
 use drs::trace::{BounceStreams, RayScript};
 
-fn run(method: &str, gpu: &GpuConfig, scripts: &[RayScript]) -> SimOutcome {
+fn run(method: &str, gpu: &GpuConfig, scripts: &[RayScript]) -> SimStats {
     match method {
         "aila" => {
             let k = WhileWhileKernel::new(WhileWhileConfig::default());
@@ -78,6 +78,10 @@ fn run(method: &str, gpu: &GpuConfig, scripts: &[RayScript]) -> SimOutcome {
             std::process::exit(2);
         }
     }
+    .unwrap_or_else(|e| {
+        eprintln!("simulation failed: {e}");
+        std::process::exit(1);
+    })
 }
 
 fn main() {
@@ -110,7 +114,7 @@ fn main() {
             continue;
         }
         let out = run(&method, &gpu, &stream.scripts);
-        let h = out.stats.issued;
+        let h = out.issued;
         println!(
             "{b:>3} {:>7} {:>8.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
             stream.scripts.len(),

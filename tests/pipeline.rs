@@ -7,7 +7,7 @@ use drs::core::system::{DrsSystem, RowedWhileIf};
 use drs::core::{DrsConfig, DrsUnit};
 use drs::kernels::{WhileIfKernel, WhileWhileConfig, WhileWhileKernel};
 use drs::scene::SceneKind;
-use drs::sim::{GpuConfig, NullSpecial, SimOutcome, Simulation};
+use drs::sim::{GpuConfig, NullSpecial, SimStats, Simulation};
 use drs::trace::{BounceStreams, RayScript};
 
 fn gpu(warps: usize) -> GpuConfig {
@@ -19,13 +19,14 @@ fn capture(kind: SceneKind, rays: usize, bounces: usize) -> BounceStreams {
     BounceStreams::capture(&scene, rays, bounces, 0xFEED)
 }
 
-fn run_aila(scripts: &[RayScript], warps: usize) -> SimOutcome {
+fn run_aila(scripts: &[RayScript], warps: usize) -> SimStats {
     let k = WhileWhileKernel::new(WhileWhileConfig::default());
     Simulation::new(gpu(warps), k.program(), Box::new(k.clone()), Box::new(NullSpecial), scripts)
         .run()
+        .expect("aila completes")
 }
 
-fn run_drs(scripts: &[RayScript], warps: usize) -> SimOutcome {
+fn run_drs(scripts: &[RayScript], warps: usize) -> SimStats {
     let cfg = DrsConfig { warps, backup_rows: 1, swap_buffers: 6, ideal: false, lanes: 32 };
     let k = WhileIfKernel::new();
     Simulation::new(
@@ -36,6 +37,7 @@ fn run_drs(scripts: &[RayScript], warps: usize) -> SimOutcome {
         scripts,
     )
     .run()
+    .expect("drs completes")
 }
 
 #[test]
@@ -45,12 +47,10 @@ fn full_pipeline_all_methods_trace_every_ray() {
     let expected = scripts.len() as u64;
 
     let aila = run_aila(scripts, 4);
-    assert!(aila.completed);
-    assert_eq!(aila.stats.rays_completed, expected);
+    assert_eq!(aila.rays_completed, expected);
 
     let drs = run_drs(scripts, 4);
-    assert!(drs.completed);
-    assert_eq!(drs.stats.rays_completed, expected);
+    assert_eq!(drs.rays_completed, expected);
 
     let dmk_cfg = DmkConfig { warps: 4, lanes: 32, pool_slots: 4 * 32 };
     let dmk_kernel = DmkKernel::new(dmk_cfg);
@@ -61,9 +61,9 @@ fn full_pipeline_all_methods_trace_every_ray() {
         Box::new(DmkUnit::new(dmk_cfg)),
         scripts,
     )
-    .run();
-    assert!(dmk.completed);
-    assert_eq!(dmk.stats.rays_completed, expected);
+    .run()
+    .expect("dmk completes");
+    assert_eq!(dmk.rays_completed, expected);
 
     let tbc_kernel = WhileIfKernel::new();
     let tbc_cfg = TbcConfig { warps: 4, lanes: 32, warps_per_block: 4 };
@@ -74,9 +74,9 @@ fn full_pipeline_all_methods_trace_every_ray() {
         Box::new(TbcUnit::new(tbc_cfg)),
         scripts,
     )
-    .run();
-    assert!(tbc.completed);
-    assert_eq!(tbc.stats.rays_completed, expected);
+    .run()
+    .expect("tbc completes");
+    assert_eq!(tbc.rays_completed, expected);
 }
 
 #[test]
@@ -87,17 +87,17 @@ fn headline_result_drs_beats_aila_on_secondary_rays() {
     let scripts = &streams.bounce(2).scripts;
     let aila = run_aila(scripts, 6);
     let drs = run_drs(scripts, 6);
-    let e_aila = aila.stats.issued.simd_efficiency();
-    let e_drs = drs.stats.issued.simd_efficiency();
+    let e_aila = aila.issued.simd_efficiency();
+    let e_drs = drs.issued.simd_efficiency();
     assert!(
         e_drs > e_aila * 1.3,
         "DRS SIMD efficiency {e_drs:.3} should dominate Aila {e_aila:.3}"
     );
     assert!(
-        drs.stats.cycles < aila.stats.cycles,
+        drs.cycles < aila.cycles,
         "DRS cycles {} should undercut Aila {}",
-        drs.stats.cycles,
-        aila.stats.cycles
+        drs.cycles,
+        aila.cycles
     );
 }
 
@@ -107,8 +107,8 @@ fn primary_rays_are_coherent_secondary_are_not() {
     let streams = capture(SceneKind::CrytekSponza, 1_000, 2);
     let b1 = run_aila(&streams.bounce(1).scripts, 4);
     let b2 = run_aila(&streams.bounce(2).scripts, 4);
-    let e1 = b1.stats.issued.simd_efficiency();
-    let e2 = b2.stats.issued.simd_efficiency();
+    let e1 = b1.issued.simd_efficiency();
+    let e2 = b2.issued.simd_efficiency();
     assert!(e1 > e2 + 0.05, "B1 {e1:.3} must exceed B2 {e2:.3}");
 }
 
@@ -119,9 +119,8 @@ fn drs_system_wrapper_end_to_end() {
         gpu(4),
         DrsConfig { warps: 4, backup_rows: 2, swap_buffers: 9, ideal: false, lanes: 32 },
     );
-    let out = sys.simulate(&streams.bounce(1).scripts);
-    assert!(out.completed);
-    assert_eq!(out.stats.rays_completed, streams.bounce(1).scripts.len() as u64);
+    let out = sys.simulate(&streams.bounce(1).scripts).expect("completes");
+    assert_eq!(out.rays_completed, streams.bounce(1).scripts.len() as u64);
 }
 
 #[test]
@@ -130,20 +129,20 @@ fn simulations_are_deterministic_end_to_end() {
     let scripts = &streams.bounce(1).scripts;
     let a = run_drs(scripts, 4);
     let b = run_drs(scripts, 4);
-    assert_eq!(a.stats.cycles, b.stats.cycles);
-    assert_eq!(a.stats.issued.total, b.stats.issued.total);
-    assert_eq!(a.stats.swaps_completed, b.stats.swaps_completed);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.issued.total, b.issued.total);
+    assert_eq!(a.swaps_completed, b.swaps_completed);
 }
 
 #[test]
 fn bvh_addresses_flow_into_texture_cache() {
     let streams = capture(SceneKind::Conference, 500, 1);
     let out = run_aila(&streams.bounce(1).scripts, 4);
-    let l1t_total = out.stats.l1t.hits + out.stats.l1t.misses;
+    let l1t_total = out.l1t.hits + out.l1t.misses;
     assert!(l1t_total > 0, "BVH traffic must hit the texture cache");
     assert!(
-        out.stats.l1t.hit_rate() > 0.3,
+        out.l1t.hit_rate() > 0.3,
         "coherent primary rays should reuse cached nodes, rate {}",
-        out.stats.l1t.hit_rate()
+        out.l1t.hit_rate()
     );
 }

@@ -211,7 +211,7 @@ mod fastpath_equivalence {
     use drs::core::{DrsConfig, DrsUnit};
     use drs::kernels::{WhileIfKernel, WhileWhileConfig, WhileWhileKernel};
     use drs::math::XorShift64;
-    use drs::sim::{GpuConfig, NullSpecial, SimOutcome, Simulation};
+    use drs::sim::{GpuConfig, NullSpecial, SimStats, Simulation};
     use drs::telemetry::{TelemetryCollector, TelemetryConfig, TelemetryReport};
     use drs::trace::{RayScript, Step, Termination};
 
@@ -305,7 +305,7 @@ mod fastpath_equivalence {
         scripts: &[RayScript],
         fastpath: bool,
         telemetry: bool,
-    ) -> (SimOutcome, Option<TelemetryReport>) {
+    ) -> (SimStats, Option<TelemetryReport>) {
         let mut collector = TelemetryCollector::new(TelemetryConfig {
             interval: 400,
             trace: true,
@@ -316,7 +316,7 @@ mod fastpath_equivalence {
             sim.attach_telemetry(&mut collector);
         }
         sim.set_fastpath(fastpath);
-        let out = sim.run();
+        let out = sim.run().expect("hit the cycle cap");
         (out, telemetry.then(|| collector.into_report()))
     }
 
@@ -329,19 +329,15 @@ mod fastpath_equivalence {
                 // Plain engine: stats must match bit for bit.
                 let (fast, _) = run(method, &scripts, true, false);
                 let (naive, _) = run(method, &scripts, false, false);
-                assert!(fast.completed, "case {case} method {method} hit the cycle cap");
-                assert_eq!(
-                    fast.stats, naive.stats,
-                    "case {case} method {method}: fast path changed SimStats"
-                );
+                assert_eq!(fast, naive, "case {case} method {method}: fast path changed SimStats");
 
                 // With a collector attached: stats unchanged vs. the plain
                 // run, and the full report — totals, interval samples,
                 // trace spans — identical across the fast path.
                 let (fast_t, fast_report) = run(method, &scripts, true, true);
                 let (naive_t, naive_report) = run(method, &scripts, false, true);
-                assert_eq!(fast_t.stats, fast.stats, "telemetry must stay observational");
-                assert_eq!(naive_t.stats, naive.stats);
+                assert_eq!(fast_t, fast, "telemetry must stay observational");
+                assert_eq!(naive_t, naive);
                 let (fast_report, naive_report) = (fast_report.unwrap(), naive_report.unwrap());
                 assert_eq!(
                     fast_report, naive_report,
@@ -407,9 +403,9 @@ mod kernel_robustness {
                 Box::new(NullSpecial),
                 &scripts,
             )
-            .run();
-            assert!(aila.completed, "case {case}: while-while hit the cycle cap");
-            assert_eq!(aila.stats.rays_completed, expected);
+            .run()
+            .unwrap_or_else(|e| panic!("case {case}: while-while failed: {e}"));
+            assert_eq!(aila.rays_completed, expected);
 
             let cfg =
                 DrsConfig { warps: 3, backup_rows: 1, swap_buffers: 6, ideal: false, lanes: 32 };
@@ -421,9 +417,9 @@ mod kernel_robustness {
                 Box::new(DrsUnit::new(cfg)),
                 &scripts,
             )
-            .run();
-            assert!(drs.completed, "case {case}: DRS hit the cycle cap");
-            assert_eq!(drs.stats.rays_completed, expected);
+            .run()
+            .unwrap_or_else(|e| panic!("case {case}: DRS failed: {e}"));
+            assert_eq!(drs.rays_completed, expected);
         }
     }
 }

@@ -194,8 +194,9 @@ fn all_methods_complete_under_runtime_validation() {
     let aila = WhileWhileKernel::new(WhileWhileConfig::default());
     let out =
         Simulation::new(gpu(4), aila.program(), Box::new(aila.clone()), Box::new(NullSpecial), &s)
-            .run();
-    assert!(out.completed && out.stats.rays_completed == expected, "while-while");
+            .run()
+            .expect("while-while completes");
+    assert_eq!(out.rays_completed, expected, "while-while");
 
     let drs_cfg = DrsConfig { warps: 4, backup_rows: 1, swap_buffers: 6, ideal: false, lanes: 32 };
     let k = WhileIfKernel::new();
@@ -206,8 +207,9 @@ fn all_methods_complete_under_runtime_validation() {
         Box::new(DrsUnit::new(drs_cfg)),
         &s,
     )
-    .run();
-    assert!(out.completed && out.stats.rays_completed == expected, "drs");
+    .run()
+    .expect("drs completes");
+    assert_eq!(out.rays_completed, expected, "drs");
 
     let dmk_cfg = DmkConfig { warps: 4, lanes: 32, pool_slots: 4 * 32 };
     let dmk = DmkKernel::new(dmk_cfg);
@@ -218,8 +220,9 @@ fn all_methods_complete_under_runtime_validation() {
         Box::new(DmkUnit::new(dmk_cfg)),
         &s,
     )
-    .run();
-    assert!(out.completed && out.stats.rays_completed == expected, "dmk");
+    .run()
+    .expect("dmk completes");
+    assert_eq!(out.rays_completed, expected, "dmk");
 
     let tbc = WhileIfKernel::new();
     let tbc_cfg = TbcConfig { warps: 4, lanes: 32, warps_per_block: 4 };
@@ -230,6 +233,7 @@ fn all_methods_complete_under_runtime_validation() {
         Box::new(TbcUnit::new(tbc_cfg)),
         &s,
     )
-    .run();
-    assert!(out.completed && out.stats.rays_completed == expected, "tbc");
+    .run()
+    .expect("tbc completes");
+    assert_eq!(out.rays_completed, expected, "tbc");
 }
