@@ -84,6 +84,10 @@ fn main() {
         report_mode(&cli);
         return;
     }
+    if cli.mode == "verify" {
+        verify_mode(&cli);
+        return;
+    }
 
     let modes = modes_for(&cli.mode);
 
@@ -283,8 +287,14 @@ fn list_modes(scale: &Scale) {
                 );
             }
             "report" => {
-                println!("{:10} {:>6}  render BENCH_experiments.json -> RESULTS.md", mode, 0)
+                println!("{:10} {:>6}  render BENCH_experiments.json -> RESULTS.md", mode, 0);
             }
+            "verify" => println!(
+                "{:10} {:>6}  static analysis of {} kernel programs -> BENCH_verify.json",
+                mode,
+                0,
+                VERIFY_KERNELS.len()
+            ),
             _ => match figures::by_name(mode, scale) {
                 Some(set) => {
                     let workloads = set.distinct_workloads();
@@ -394,6 +404,153 @@ fn perf_mode(cli: &cli::Cli, scale: &Scale) {
             eprintln!("error: could not write {}: {e}", out.display());
             std::process::exit(1);
         }
+    }
+}
+
+/// Every kernel program the static-analysis report covers. TBC and DRS
+/// execute the while-if program under their own hardware units, so their
+/// entries verify that same program — listed separately because the paper
+/// evaluates them as separate methods.
+const VERIFY_KERNELS: [&str; 5] = ["while-while", "while-if", "dmk", "tbc", "drs"];
+
+/// The program a registered kernel name executes (mirrors the `drs-verify`
+/// CLI's registry).
+fn verify_program_for(name: &str) -> drs_sim::Program {
+    use drs_baselines::{DmkConfig, DmkKernel};
+    use drs_kernels::{WhileIfKernel, WhileWhileConfig, WhileWhileKernel};
+    match name {
+        "while-while" => WhileWhileKernel::new(WhileWhileConfig::default()).program(),
+        "dmk" => DmkKernel::new(DmkConfig::paper_default(4)).program(),
+        "while-if" | "tbc" | "drs" => WhileIfKernel::new().program(),
+        other => unreachable!("unregistered kernel `{other}`"),
+    }
+}
+
+/// `verify` mode: run the full static-analysis suite — structural checks,
+/// dataflow diagnostics, shuffle live sets, stack-depth and register-
+/// pressure bounds, natural loops — over every registered kernel program
+/// and write one machine-readable JSON report for CI to gate on.
+///
+/// Exits 1 when any kernel has an error-severity diagnostic (including a
+/// shuffle live set that differs from the declared per-ray register
+/// count); warnings are recorded but do not fail the run.
+fn verify_mode(cli: &cli::Cli) {
+    use drs_kernels::costs::RAY_LIVE_REGISTERS;
+    use drs_sim::JsonBuf;
+    use drs_verify::{live_set_summary, verify_program, Severity};
+
+    banner("Static analysis: kernel programs");
+    let out = if cli.out == std::path::Path::new("BENCH_experiments.json") {
+        std::path::PathBuf::from("BENCH_verify.json")
+    } else {
+        cli.out.clone()
+    };
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.kv_u64("schema_version", 1);
+    j.kv_str("suite", "drs-verify-static");
+    j.key("kernels");
+    j.begin_arr();
+    let mut total_errors = 0usize;
+    for name in VERIFY_KERNELS {
+        let program = verify_program_for(name);
+        let mut report = verify_program(&program);
+        drs_verify::shuffle::check_shuffle_live(program.blocks(), RAY_LIVE_REGISTERS, &mut report);
+        let summary = live_set_summary(&program);
+        let errors = report.errors().count();
+        let warnings = report.warnings().count();
+        total_errors += errors;
+
+        j.begin_obj();
+        j.kv_str("kernel", name);
+        j.kv_u64("declared_live_regs", RAY_LIVE_REGISTERS as u64);
+        j.kv_bool("clean", errors == 0);
+        j.kv_u64("errors", errors as u64);
+        j.kv_u64("warnings", warnings as u64);
+        j.key("diagnostics");
+        j.begin_arr();
+        for d in &report.diagnostics {
+            j.begin_obj();
+            j.kv_str("check", d.check.code());
+            j.kv_str("severity", if d.severity == Severity::Error { "error" } else { "warning" });
+            if let Some(b) = d.block {
+                j.kv_u64("block", u64::from(b));
+            }
+            j.kv_str("message", &d.message);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.key("live");
+        j.begin_obj();
+        j.kv_u64("transfer_regs", summary.transfer_regs() as u64);
+        j.kv_u64("max_live", summary.max_live as u64);
+        j.kv_u64("min_live", summary.min_live as u64);
+        j.kv_u64("max_pressure", summary.max_pressure as u64);
+        j.kv_u64("distinct_dsts", summary.distinct_dsts as u64);
+        j.kv_u64("reconverge_nesting", summary.reconverge_nesting as u64);
+        j.kv_bool("stack_repeatable", summary.stack_repeatable);
+        j.kv_u64("stack_depth_bound_32_lanes", summary.stack_depth_bound(32) as u64);
+        j.key("points");
+        j.begin_arr();
+        for p in &summary.points {
+            j.begin_obj();
+            j.kv_u64("block", u64::from(p.block));
+            j.kv_str("label", &p.label);
+            j.kv_bool("loop_header", p.loop_header);
+            j.kv_bool("reconverge", p.reconverge);
+            j.kv_u64("live_regs", p.live_count() as u64);
+            j.key("regs");
+            j.begin_arr();
+            for r in p.live_regs() {
+                j.u64(u64::from(r));
+            }
+            j.end_arr();
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+        j.key("loops");
+        j.begin_arr();
+        for l in &summary.loops {
+            j.begin_obj();
+            j.kv_u64("header", u64::from(l.header));
+            j.kv_u64("depth", l.depth as u64);
+            j.kv_u64("body_blocks", l.body.len() as u64);
+            j.kv_bool("trip_count_static", l.trip_bounds.is_some());
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+
+        let shuffle_ok = summary.points.iter().all(|p| p.live_count() == RAY_LIVE_REGISTERS);
+        println!(
+            "{name:12} {} ({} error(s), {} warning(s)); {} shuffle points, live {}..{} regs{}, \
+             stack depth <= {}, pressure <= {}",
+            if errors == 0 { "clean" } else { "FAILED" },
+            errors,
+            warnings,
+            summary.points.len(),
+            summary.min_live,
+            summary.max_live,
+            if shuffle_ok { " (= declared)" } else { " (MISMATCH)" },
+            summary.stack_depth_bound(32),
+            summary.max_pressure,
+        );
+    }
+    j.end_arr();
+    j.kv_bool("clean", total_errors == 0);
+    j.kv_u64("total_errors", total_errors as u64);
+    j.end_obj();
+    match drs_harness::write_text(&out, &j.finish()) {
+        Ok(()) => println!("[static analysis -> {}]", out.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+    if total_errors > 0 {
+        eprintln!("error: {total_errors} error-severity diagnostic(s); see {}", out.display());
+        std::process::exit(1);
     }
 }
 

@@ -5,14 +5,16 @@
 
 use std::path::PathBuf;
 
-/// Every mode the binary accepts, in `all`-run order. `perf` and `report`
-/// are standalone utilities: `perf` times the simulator itself (fast path
-/// vs naive stepping) and writes `BENCH_sim.json`; `report` renders an
-/// existing `BENCH_experiments.json` into `RESULTS.md`. Neither is part
-/// of `all`.
-pub const MODES: [&str; 13] = [
+/// Every mode the binary accepts, in `all`-run order. `perf`, `report`,
+/// and `verify` are standalone utilities: `perf` times the simulator
+/// itself (fast path vs naive stepping) and writes `BENCH_sim.json`;
+/// `report` renders an existing `BENCH_experiments.json` into
+/// `RESULTS.md`; `verify` runs the static analyses over every registered
+/// kernel program and writes a machine-readable report. None is part of
+/// `all`.
+pub const MODES: [&str; 14] = [
     "table1", "fig2", "fig8", "fig9", "table2", "fig10", "fig11", "overhead", "ablation", "energy",
-    "perf", "report", "all",
+    "perf", "report", "verify", "all",
 ];
 
 /// Usage text printed on `--help` and on flag errors.
@@ -31,6 +33,13 @@ Modes:
   report           render an existing BENCH_experiments.json (see --out)
                    into RESULTS.md, comparing measured speedups against
                    the paper's headline numbers
+  verify           run the drs-verify static analyses (structural checks,
+                   shuffle live sets, stack-depth and pressure bounds,
+                   natural loops) over every registered kernel program and
+                   write a machine-readable JSON report to --out (default:
+                   BENCH_verify.json); exits 1 on any error-severity
+                   diagnostic or when a shuffle live set differs from the
+                   kernel's declared per-ray register count
 
 Options:
   --jobs N         worker threads (default: available parallelism)
@@ -165,7 +174,7 @@ impl Cli {
 
 /// Available hardware parallelism (floor 1).
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 /// Parse the argument list (without the program name).
@@ -268,7 +277,7 @@ mod tests {
     use super::*;
 
     fn p(args: &[&str]) -> Result<Cli, String> {
-        parse(args.iter().map(|s| s.to_string()))
+        parse(args.iter().map(std::string::ToString::to_string))
     }
 
     #[test]

@@ -83,7 +83,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        self.run(id.into(), |b| f(b));
+        self.run(&id.into(), |b| f(b));
         self
     }
 
@@ -97,11 +97,11 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        self.run(id.into(), |b| f(b, input));
+        self.run(&id.into(), |b| f(b, input));
         self
     }
 
-    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+    fn run(&mut self, id: &BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
         let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
         f(&mut b);
         report(&self.name, &id.label, &b.samples, self.throughput);
@@ -121,6 +121,9 @@ pub struct Bencher {
 
 impl Bencher {
     /// Measure `routine`: one warm-up call, then `sample_size` timed calls.
+    /// Named for Criterion API parity, so bench bodies port verbatim; it
+    /// records samples rather than returning an iterator.
+    #[allow(clippy::iter_not_returning_iterator)]
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         std::hint::black_box(routine());
         for _ in 0..self.sample_size {

@@ -78,7 +78,7 @@ fn build_recursive(
     let centroid_bounds = refs[lo..hi].iter().fold(Aabb::EMPTY, |bb, r| bb.union_point(r.centroid));
     // Degenerate: all centroids coincide — no split can separate them.
     if centroid_bounds.extent().max_component() <= 0.0 {
-        if count <= u16::MAX as usize {
+        if u16::try_from(count).is_ok() {
             push_leaf(refs, lo, hi, bounds, nodes, prim_indices);
             return my_index;
         }

@@ -327,7 +327,7 @@ mod tests {
             match (fast, slow) {
                 (None, None) => {}
                 (Some(a), Some(b)) => {
-                    assert!((a.t - b.t).abs() < 1e-2, "t mismatch {} vs {}", a.t, b.t)
+                    assert!((a.t - b.t).abs() < 1e-2, "t mismatch {} vs {}", a.t, b.t);
                 }
                 (a, b) => panic!("disagreement: kd {a:?} vs brute {b:?}"),
             }

@@ -172,13 +172,24 @@ pub struct DrsUnit {
     parked: Vec<bool>,
     /// Sticky designation of the leaf-state ray collecting row.
     leaf_collector: Option<usize>,
+    /// Registers one ray-state move must copy (the paper's fixed 17, or a
+    /// per-kernel value derived by `drs-verify` shuffle liveness).
+    ray_regs: u8,
     initialized: bool,
 }
 
 impl DrsUnit {
-    /// Build the unit for a configuration.
+    /// Build the unit for a configuration with the paper's fixed
+    /// 17-register transfer cost.
     pub fn new(cfg: DrsConfig) -> DrsUnit {
+        Self::with_ray_regs(cfg, RAY_REGISTERS as u8)
+    }
+
+    /// Build the unit with an explicit per-ray transfer cost in registers,
+    /// e.g. one statically derived from the kernel's shuffle live sets.
+    pub fn with_ray_regs(cfg: DrsConfig, ray_regs: u8) -> DrsUnit {
         cfg.validate();
+        assert!(ray_regs > 0, "a ray transfer must move at least one register");
         let rows = cfg.rows();
         DrsUnit {
             cfg,
@@ -189,8 +200,14 @@ impl DrsUnit {
             transfers: Vec::with_capacity(3),
             parked: vec![false; cfg.warps],
             leaf_collector: None,
+            ray_regs,
             initialized: false,
         }
+    }
+
+    /// Registers one ray-state move copies between register files.
+    pub fn ray_regs(&self) -> u8 {
+        self.ray_regs
     }
 
     /// The configuration this unit was built with.
@@ -273,7 +290,7 @@ impl DrsUnit {
     fn row_score(&self, row: usize, m: &MachineState<'_>) -> u32 {
         let s = self.counts[row];
         match s.uniform_state() {
-            Some(RayState::Inner) | Some(RayState::Leaf) => s.rays() as u32,
+            Some(RayState::Inner | RayState::Leaf) => s.rays() as u32,
             Some(RayState::Fetching) if !m.queue.is_empty() => {
                 // A fetch fills every hole (bounded by queued rays).
                 (s.no_ray as usize).min(m.queue.remaining()).max(1) as u32
@@ -362,7 +379,7 @@ impl DrsUnit {
         if self.counts[self.row_of_warp[warp]].rays() > 0 {
             return false;
         }
-        if self.transfers.iter().any(|_| true) {
+        if !self.transfers.is_empty() {
             return false; // rays in flight
         }
         (0..self.cfg.rows())
@@ -522,12 +539,12 @@ impl DrsUnit {
                 // Collector hole, else exchange for a collector inner ray.
                 let (dst, regs) = if self.counts[col].no_ray > 0 {
                     match self.find_slot(col, m, |s| m.slots[s].ray.is_none()) {
-                        Some(h) => (h, RAY_REGISTERS as u8),
+                        Some(h) => (h, self.ray_regs),
                         None => continue 'srcs,
                     }
                 } else if self.counts[col].inner > 0 {
                     match self.find_slot(col, m, |s| m.state_cache[s] == RayState::Inner) {
-                        Some(x) => (x, 2 * RAY_REGISTERS as u8),
+                        Some(x) => (x, 2 * self.ray_regs),
                         None => continue 'srcs,
                     }
                 } else {
@@ -576,7 +593,7 @@ impl DrsUnit {
                 }
             }
             if let Some(dst) = dst {
-                self.push_transfer(src, dst, RAY_REGISTERS as u8, now);
+                self.push_transfer(src, dst, self.ray_regs, now);
             }
         }
 
@@ -616,7 +633,7 @@ impl DrsUnit {
                 }
             }
             if let Some(dst) = dst {
-                self.push_transfer(src, dst, RAY_REGISTERS as u8, now);
+                self.push_transfer(src, dst, self.ray_regs, now);
             }
         }
     }
@@ -863,13 +880,13 @@ mod tests {
                 self.0.eval_addr(t, w, l, m)
             }
             fn apply_effect(&self, t: u16, w: usize, l: usize, m: &mut MachineState<'_>) {
-                self.0.apply_effect(t, w, l, m)
+                self.0.apply_effect(t, w, l, m);
             }
             fn slot_count(&self, _warps: usize, lanes: usize) -> usize {
                 self.1 * lanes
             }
             fn initialize(&self, m: &mut MachineState<'_>) {
-                self.0.initialize(m)
+                self.0.initialize(m);
             }
         }
         let behavior = SlotCountKernel(k.clone(), drs.rows());
@@ -1033,11 +1050,11 @@ mod policy_tests {
             .collect()
     }
 
-    fn unit_and_machine<'a>(
-        scripts: &'a [RayScript],
+    fn unit_and_machine(
+        scripts: &[RayScript],
         warps: usize,
         backup: usize,
-    ) -> (DrsUnit, MachineState<'a>) {
+    ) -> (DrsUnit, MachineState<'_>) {
         let cfg =
             DrsConfig { warps, backup_rows: backup, swap_buffers: 6, ideal: false, lanes: LANES };
         let unit = DrsUnit::new(cfg);
@@ -1053,7 +1070,7 @@ mod policy_tests {
         let mut stats = drs_sim::SimStats::default();
         match unit.issue(0, 0, &mut m, &mut stats) {
             SpecialOutcome::Proceed { ctrl } => {
-                assert_eq!(ctrl, drs_kernels::CTRL_FETCH)
+                assert_eq!(ctrl, drs_kernels::CTRL_FETCH);
             }
             SpecialOutcome::Stall => panic!("empty row with queued rays must fetch"),
         }

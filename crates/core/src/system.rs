@@ -30,7 +30,7 @@ impl KernelBehavior for RowedWhileIf {
     }
 
     fn apply_effect(&self, token: u16, warp: usize, lane: usize, m: &mut MachineState<'_>) {
-        self.kernel.apply_effect(token, warp, lane, m)
+        self.kernel.apply_effect(token, warp, lane, m);
     }
 
     fn slot_count(&self, _warps: usize, lanes: usize) -> usize {
@@ -38,7 +38,7 @@ impl KernelBehavior for RowedWhileIf {
     }
 
     fn initialize(&self, m: &mut MachineState<'_>) {
-        self.kernel.initialize(m)
+        self.kernel.initialize(m);
     }
 }
 

@@ -85,8 +85,7 @@ impl StreamCache {
     /// relative to the working directory.
     pub fn default_dir() -> PathBuf {
         std::env::var_os("DRS_CACHE_DIR")
-            .map(PathBuf::from)
-            .unwrap_or_else(|| PathBuf::from("target").join("drs-cache"))
+            .map_or_else(|| PathBuf::from("target").join("drs-cache"), PathBuf::from)
     }
 
     /// The directory this cache lives in.

@@ -202,8 +202,8 @@ mod tests {
     #[test]
     fn fig10_and_fig11_share_every_cell() {
         let scale = Scale::default();
-        let a: Vec<_> = fig10(&scale).jobs.iter().map(|j| j.id()).collect();
-        let b: Vec<_> = fig11(&scale).jobs.iter().map(|j| j.id()).collect();
+        let a: Vec<_> = fig10(&scale).jobs.iter().map(super::super::job::SimJob::id).collect();
+        let b: Vec<_> = fig11(&scale).jobs.iter().map(super::super::job::SimJob::id).collect();
         assert_eq!(a, b);
     }
 

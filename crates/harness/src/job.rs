@@ -345,7 +345,7 @@ mod tests {
             Method::IdealDrs,
         ]
         .iter()
-        .map(|m| m.label())
+        .map(super::Method::label)
         .collect();
         let mut dedup = labels.clone();
         dedup.sort();

@@ -525,14 +525,12 @@ fn run_attempt(
         Some(FaultKind::BudgetExhaust) => {
             cfg.cycle_budget = Some(
                 cfg.cycle_budget.map_or(INJECTED_CYCLE_BUDGET, |b| b.min(INJECTED_CYCLE_BUDGET)),
-            )
+            );
         }
         _ => {}
     }
     let outcome = catch_quietly(|| {
-        if fault == Some(FaultKind::WorkerPanic) {
-            panic!("injected worker panic (job {})", job.id());
-        }
+        assert!(fault != Some(FaultKind::WorkerPanic), "injected worker panic (job {})", job.id());
         crate::runner::run_cell(&cfg, scripts, opts.telemetry)
     });
     match outcome {
@@ -605,9 +603,7 @@ mod tests {
         let items: Vec<usize> = (0..40).collect();
         for workers in [1, 4] {
             let out = parallel_map_catching(&items, workers, |_, &v| {
-                if v % 7 == 3 {
-                    panic!("boom on {v}");
-                }
+                assert!(v % 7 != 3, "boom on {v}");
                 v * 10
             });
             assert_eq!(out.len(), items.len());

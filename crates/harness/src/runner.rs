@@ -4,9 +4,9 @@
 use crate::job::Method;
 use drs_baselines::{DmkConfig, DmkKernel, DmkUnit, TbcConfig, TbcUnit};
 use drs_core::system::RowedWhileIf;
-use drs_core::{DrsConfig, DrsUnit};
+use drs_core::{DrsConfig, DrsUnit, RAY_REGISTERS};
 use drs_kernels::{WhileIfKernel, WhileWhileConfig, WhileWhileKernel};
-use drs_sim::{GpuConfig, NullSpecial, SimError, SimStats, Simulation, TelemetrySink};
+use drs_sim::{GpuConfig, NullSpecial, Program, SimError, SimStats, Simulation, TelemetrySink};
 use drs_telemetry::{TelemetryCollector, TelemetryConfig, TelemetryReport};
 use drs_trace::RayScript;
 use std::time::Instant;
@@ -30,10 +30,16 @@ pub struct CellConfig {
     /// Trip the no-progress watchdog at this cycle (deterministic fault
     /// injection; see [`FaultPlan`](crate::fault::FaultPlan)).
     pub watchdog_trip_at: Option<u64>,
+    /// Derive the DRS swap engine's per-ray transfer cost from the
+    /// kernel's shuffle live sets (`drs-verify`) instead of the paper's
+    /// fixed 17 registers. Results are bit-identical whenever the derived
+    /// count equals the constant — asserted by the golden test.
+    pub derived_transfer_cost: bool,
 }
 
 impl CellConfig {
-    /// A plain cell: no budgets, no injection, fast path on.
+    /// A plain cell: no budgets, no injection, fast path on, constant
+    /// transfer cost.
     pub fn new(method: Method, warps: usize) -> CellConfig {
         CellConfig {
             method,
@@ -42,8 +48,45 @@ impl CellConfig {
             cycle_budget: None,
             deadline: None,
             watchdog_trip_at: None,
+            derived_transfer_cost: false,
         }
     }
+}
+
+/// The DRS per-ray transfer cost for a kernel program: statically derived
+/// from its shuffle-point live sets when `derived` is set, the paper's
+/// fixed [`RAY_REGISTERS`] otherwise.
+fn transfer_regs(program: &Program, derived: bool) -> u8 {
+    if derived {
+        let regs = drs_verify::live_set_summary(program).transfer_regs();
+        u8::try_from(regs).expect("live sets fit the 64-register scoreboard")
+    } else {
+        RAY_REGISTERS as u8
+    }
+}
+
+/// Build the simulation, arming the verifier's static resource bounds as
+/// runtime cross-checks when the `validate` feature is on.
+fn new_sim<'w>(
+    gpu: GpuConfig,
+    program: Program,
+    behavior: Box<dyn drs_sim::KernelBehavior + 'w>,
+    special: Box<dyn drs_sim::SpecialUnit + 'w>,
+    scripts: &'w [RayScript],
+) -> Simulation<'w> {
+    #[cfg(feature = "validate")]
+    let bounds = {
+        let summary = drs_verify::live_set_summary(&program);
+        (summary.stack_depth_bound(gpu.simd_lanes), summary.distinct_dsts)
+    };
+    #[cfg_attr(not(feature = "validate"), allow(unused_mut))]
+    let mut sim = Simulation::new(gpu, program, behavior, special, scripts);
+    #[cfg(feature = "validate")]
+    {
+        sim.set_stack_depth_bound(bounds.0);
+        sim.set_inflight_regs_bound(bounds.1);
+    }
+    sim
 }
 
 /// Run one cell to completion or typed failure. Deterministic for equal
@@ -146,60 +189,42 @@ fn run_inner<'w>(
     let mut sim = match cfg.method {
         Method::Aila => {
             let k = WhileWhileKernel::new(WhileWhileConfig::default());
-            Simulation::new(gpu, k.program(), Box::new(k.clone()), Box::new(NullSpecial), scripts)
+            new_sim(gpu, k.program(), Box::new(k.clone()), Box::new(NullSpecial), scripts)
         }
         Method::AilaVariant { speculative_traversal, replace_terminated } => {
             let k = WhileWhileKernel::new(WhileWhileConfig {
                 speculative_traversal,
                 replace_terminated,
             });
-            Simulation::new(gpu, k.program(), Box::new(k.clone()), Box::new(NullSpecial), scripts)
+            new_sim(gpu, k.program(), Box::new(k.clone()), Box::new(NullSpecial), scripts)
         }
         Method::Dmk => {
-            let cfg = DmkConfig { warps, lanes: 32, pool_slots: warps * 32 };
-            let k = DmkKernel::new(cfg);
-            Simulation::new(
-                gpu,
-                k.program(),
-                Box::new(k.clone()),
-                Box::new(DmkUnit::new(cfg)),
-                scripts,
-            )
+            let dmk = DmkConfig { warps, lanes: 32, pool_slots: warps * 32 };
+            let k = DmkKernel::new(dmk);
+            new_sim(gpu, k.program(), Box::new(k.clone()), Box::new(DmkUnit::new(dmk)), scripts)
         }
         Method::Tbc => {
             let k = WhileIfKernel::new();
-            let cfg = TbcConfig { warps, lanes: 32, warps_per_block: 6.min(warps) };
-            Simulation::new(
-                gpu,
-                k.program(),
-                Box::new(k.clone()),
-                Box::new(TbcUnit::new(cfg)),
-                scripts,
-            )
+            let tbc = TbcConfig { warps, lanes: 32, warps_per_block: 6.min(warps) };
+            new_sim(gpu, k.program(), Box::new(k.clone()), Box::new(TbcUnit::new(tbc)), scripts)
         }
         Method::Drs { backup_rows, swap_buffers, .. } => {
-            let cfg = DrsConfig { warps, backup_rows, swap_buffers, ideal: false, lanes: 32 };
+            let drs = DrsConfig { warps, backup_rows, swap_buffers, ideal: false, lanes: 32 };
             let k = WhileIfKernel::new();
-            let behavior = RowedWhileIf::new(cfg.rows());
-            Simulation::new(
-                gpu,
-                k.program(),
-                Box::new(behavior),
-                Box::new(DrsUnit::new(cfg)),
-                scripts,
-            )
+            let program = k.program();
+            let behavior = RowedWhileIf::new(drs.rows());
+            let unit =
+                DrsUnit::with_ray_regs(drs, transfer_regs(&program, cfg.derived_transfer_cost));
+            new_sim(gpu, program, Box::new(behavior), Box::new(unit), scripts)
         }
         Method::IdealDrs => {
-            let cfg = DrsConfig { warps, backup_rows: 1, swap_buffers: 6, ideal: true, lanes: 32 };
+            let drs = DrsConfig { warps, backup_rows: 1, swap_buffers: 6, ideal: true, lanes: 32 };
             let k = WhileIfKernel::new();
-            let behavior = RowedWhileIf::new(cfg.rows());
-            Simulation::new(
-                gpu,
-                k.program(),
-                Box::new(behavior),
-                Box::new(DrsUnit::new(cfg)),
-                scripts,
-            )
+            let program = k.program();
+            let behavior = RowedWhileIf::new(drs.rows());
+            let unit =
+                DrsUnit::with_ray_regs(drs, transfer_regs(&program, cfg.derived_transfer_cost));
+            new_sim(gpu, program, Box::new(behavior), Box::new(unit), scripts)
         }
     };
     if let Some(sink) = sink {
@@ -259,6 +284,30 @@ mod tests {
             "interval series must reproduce the aggregate efficiency"
         );
         assert!(report.trace.as_ref().is_some_and(|t| !t.spans.is_empty()));
+    }
+
+    /// Golden: the statically derived transfer cost for the while-if
+    /// kernel is exactly the paper's 17 registers, so grid results with
+    /// `derived_transfer_cost` on are bit-identical to the constant-cost
+    /// baseline.
+    #[test]
+    fn derived_transfer_cost_is_bit_identical() {
+        let program = WhileIfKernel::new().program();
+        assert_eq!(transfer_regs(&program, true), RAY_REGISTERS as u8);
+        let scene = SceneKind::Conference.build_with_tris(2_000);
+        let streams = BounceStreams::capture(&scene, 300, 2, 7);
+        let scripts = &streams.bounce(2).scripts;
+        for method in [Method::drs_default(), Method::IdealDrs] {
+            let constant = CellConfig::new(method, 8);
+            let derived = CellConfig { derived_transfer_cost: true, ..constant };
+            let (a, _) = run_cell(&constant, scripts, None);
+            let (b, _) = run_cell(&derived, scripts, None);
+            assert_eq!(
+                a.expect("constant-cost run completes"),
+                b.expect("derived-cost run completes"),
+                "derived transfer cost must not change {method:?} results"
+            );
+        }
     }
 
     #[test]

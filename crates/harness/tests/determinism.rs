@@ -104,20 +104,14 @@ fn results_json_is_well_formed_with_required_metrics() {
     let json = file.to_json();
 
     let value = json_parse(&json).unwrap_or_else(|e| panic!("invalid JSON at byte {e}: {json}"));
-    let obj = match value {
-        Json::Obj(o) => o,
-        _ => panic!("top level must be an object"),
-    };
+    let Json::Obj(obj) = value else { panic!("top level must be an object") };
     let cells = match obj.iter().find(|(k, _)| k == "cells") {
         Some((_, Json::Arr(cells))) => cells,
         other => panic!("missing cells array: {other:?}"),
     };
     assert_eq!(cells.len(), n_cells);
     for cell in cells {
-        let fields = match cell {
-            Json::Obj(o) => o,
-            _ => panic!("cell must be an object"),
-        };
+        let Json::Obj(fields) = cell else { panic!("cell must be an object") };
         for required in ["mrays_per_sec", "simd_efficiency", "scene", "bounce", "method", "stats"] {
             assert!(
                 fields.iter().any(|(k, _)| k == required),
@@ -180,9 +174,8 @@ fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, usize> {
             }
             loop {
                 skip_ws(b, i);
-                let key = match parse_value(b, i)? {
-                    Json::Str(k) => k,
-                    _ => return Err(*i),
+                let Json::Str(key) = parse_value(b, i)? else {
+                    return Err(*i);
                 };
                 skip_ws(b, i);
                 expect(b, i, b':')?;

@@ -140,10 +140,15 @@ fn emitted_artifacts_parse_and_match_schema() {
         let buckets = t.get("stall_buckets").expect("stall_buckets object");
         let total: f64 = StallBucket::ALL
             .iter()
-            .map(|b| buckets.get(b.label()).and_then(|v| v.as_num()).expect("bucket count"))
+            .map(|b| {
+                buckets
+                    .get(b.label())
+                    .and_then(drs_telemetry::check::Value::as_num)
+                    .expect("bucket count")
+            })
             .sum();
-        let cycles = t.get("cycles").and_then(|v| v.as_num()).unwrap();
-        let warps = t.get("warps").and_then(|v| v.as_num()).unwrap();
+        let cycles = t.get("cycles").and_then(drs_telemetry::check::Value::as_num).unwrap();
+        let warps = t.get("warps").and_then(drs_telemetry::check::Value::as_num).unwrap();
         assert_eq!(total, cycles * warps, "identity must survive serialization");
         assert!(!t.get("intervals").and_then(|v| v.as_arr()).unwrap().is_empty());
     }

@@ -22,10 +22,19 @@ pub const PRIM_ALU_OPS: usize = 28;
 pub const PRIM_LOADS: usize = 2;
 /// ALU ops in the ray-fetch body (ray setup: reciprocal direction, init).
 pub const FETCH_ALU_OPS: usize = 12;
-/// Global-memory loads in the ray-fetch body (17 words ≈ 3 × 128-bit + 2).
-pub const FETCH_LOADS: usize = 3;
+/// Global-memory loads in the ray-fetch body: 17 words ≈ 3 × 128-bit
+/// vectors + 2 scalars = 5 transactions.
+pub const FETCH_LOADS: usize = 5;
 /// Live registers per ray (the paper's count: 17 integers and floats).
 pub const RAY_LIVE_REGISTERS: usize = 17;
+/// First register of the ray-state window. Both kernels keep the ray's
+/// architectural state in `RAY_REG_LO..=RAY_REG_HI` so the static liveness
+/// pass derives exactly [`RAY_LIVE_REGISTERS`] live registers at every
+/// shuffle-eligible point; r1-r9 are block-local scratch that never
+/// crosses a block boundary.
+pub const RAY_REG_LO: u8 = 10;
+/// Last register of the ray-state window (inclusive).
+pub const RAY_REG_HI: u8 = RAY_REG_LO + RAY_LIVE_REGISTERS as u8 - 1;
 
 /// Default ALU latency used for kernel arithmetic.
 pub const ALU_LAT: u32 = 9;
@@ -47,6 +56,95 @@ pub fn alu_chain(ops: &mut Vec<MicroOp>, n: usize, regs: &[Reg], tag: OpTag) {
 /// Append a load with the given address token.
 pub fn load(ops: &mut Vec<MicroOp>, dst: Reg, space: MemSpace, addr: u16, tag: OpTag) {
     ops.push(MicroOp::load(dst, space, addr, &[]).with_tag(tag));
+}
+
+/// Append `n` ALU ops that read `inputs`, mix through block-local
+/// `scratch`, and land in `outputs` — with *no* dead writes and no
+/// upward-exposed scratch, so the liveness pass sees exactly the intended
+/// register traffic.
+///
+/// Four phases: gather (each scratch register seeded from two inputs,
+/// covering every input), mix (scratch updated in place, reading its own
+/// old value plus a neighbour), reduce (every scratch residue folded into
+/// `scratch[0]`), and output (each output computed from the reduction).
+/// Every write is read by a later op in the same block except the output
+/// writes, which the caller keeps live across the block boundary.
+///
+/// # Panics
+///
+/// Panics when fewer than two scratch registers are given, when `inputs`
+/// or `outputs` is empty, when `2 * scratch.len() < inputs.len()` (the
+/// gather phase could not read every input), or when `n` is too small to
+/// fit the gather/reduce/output phases.
+pub fn compute_chain(
+    ops: &mut Vec<MicroOp>,
+    n: usize,
+    scratch: &[Reg],
+    inputs: &[Reg],
+    outputs: &[Reg],
+    tag: OpTag,
+) {
+    let s = scratch.len();
+    assert!(s >= 2, "need at least two scratch registers");
+    assert!(!inputs.is_empty() && !outputs.is_empty(), "inputs and outputs must be nonempty");
+    assert!(2 * s >= inputs.len(), "gather phase must read every input");
+    assert!(n >= s + (s - 1) + outputs.len(), "n too small for gather+reduce+output");
+    let m = n - s - (s - 1) - outputs.len();
+    // Gather: scratch[i] = f(inputs[2i], inputs[2i+1]) (indices mod len).
+    for (i, &dst) in scratch.iter().enumerate() {
+        let a = inputs[(2 * i) % inputs.len()];
+        let b = inputs[(2 * i + 1) % inputs.len()];
+        ops.push(MicroOp::alu(dst, &[a, b], ALU_LAT).with_tag(tag));
+    }
+    // Mix: in-place updates; the self-read consumes the previous value.
+    for j in 0..m {
+        let dst = scratch[j % s];
+        let other = scratch[(j + 1) % s];
+        ops.push(MicroOp::alu(dst, &[dst, other], ALU_LAT).with_tag(tag));
+    }
+    // Reduce: fold every scratch residue into scratch[0].
+    for &t in &scratch[1..] {
+        ops.push(MicroOp::alu(scratch[0], &[scratch[0], t], ALU_LAT).with_tag(tag));
+    }
+    // Output: land the result in the caller's live registers.
+    for (k, &dst) in outputs.iter().enumerate() {
+        let other = scratch[1 + k % (s - 1)];
+        ops.push(MicroOp::alu(dst, &[scratch[0], other], ALU_LAT).with_tag(tag));
+    }
+}
+
+/// Append `n` ALU ops that each define a fresh register (`dst_base + i`)
+/// from two registers of `window`. The ray-fetch body uses this to expand
+/// the loaded ray words into the rest of the ray-state window: every
+/// destination is written exactly once (live across the block boundary)
+/// and every window register is read.
+///
+/// # Panics
+///
+/// Panics when `window` has fewer than one register or `2 * n <
+/// window.len()` (some window register would never be read).
+pub fn expand_chain(ops: &mut Vec<MicroOp>, n: usize, window: &[Reg], dst_base: Reg, tag: OpTag) {
+    assert!(!window.is_empty(), "need a source window");
+    assert!(2 * n >= window.len(), "expansion must read every window register");
+    for i in 0..n {
+        let a = window[(2 * i) % window.len()];
+        let b = window[(2 * i + 1) % window.len()];
+        ops.push(MicroOp::alu(dst_base + i as Reg, &[a, b], ALU_LAT).with_tag(tag));
+    }
+}
+
+/// Append `n` ALU ops that update `regs` in place (each op reads its own
+/// destination plus a neighbour). Used for predicated read-modify-write
+/// sequences over live state, e.g. the far-child stack push: every write
+/// consumes the previous value, so none is dead as long as `regs` stay
+/// live after the block.
+pub fn update_chain(ops: &mut Vec<MicroOp>, n: usize, regs: &[Reg], tag: OpTag) {
+    assert!(regs.len() >= 2, "need at least two registers for an update chain");
+    for i in 0..n {
+        let dst = regs[i % regs.len()];
+        let other = regs[(i + 1) % regs.len()];
+        ops.push(MicroOp::alu(dst, &[dst, other], ALU_LAT).with_tag(tag));
+    }
 }
 
 #[cfg(test)]
@@ -80,6 +178,68 @@ mod tests {
     fn cost_constants_sane() {
         // The paper counts 17 live ray registers.
         assert_eq!(RAY_LIVE_REGISTERS, 17);
+        assert_eq!(RAY_REG_HI as usize - RAY_REG_LO as usize + 1, RAY_LIVE_REGISTERS);
         const { assert!(INNER_ALU_OPS >= 20, "node step must dominate loop overhead") };
+    }
+
+    #[test]
+    fn compute_chain_produces_n_ops_reading_every_input() {
+        let mut ops = Vec::new();
+        compute_chain(&mut ops, 20, &[2, 3, 4], &[10, 11, 12, 13, 14], &[10, 11], OpTag::Normal);
+        assert_eq!(ops.len(), 20);
+        let read: std::collections::BTreeSet<_> =
+            ops.iter().flat_map(drs_sim::MicroOp::sources).collect();
+        for r in [10, 11, 12, 13, 14] {
+            assert!(read.contains(&r), "input r{r} never read");
+        }
+    }
+
+    #[test]
+    fn compute_chain_has_no_intra_block_dead_writes() {
+        // Every write except the output writes must be read by a later op.
+        let mut ops = Vec::new();
+        compute_chain(
+            &mut ops,
+            36,
+            &[2, 3, 4, 5, 6, 7],
+            &[1, 10, 11, 12],
+            &[19, 20],
+            OpTag::Normal,
+        );
+        for (j, op) in ops.iter().enumerate() {
+            let d = op.dst.expect("all chain ops write");
+            if [19, 20].contains(&d) && j >= ops.len() - 2 {
+                continue; // outputs stay live across the block
+            }
+            assert!(
+                ops[j + 1..].iter().any(|later| later.sources().any(|s| s == d)),
+                "op {j} writes r{d} but nothing later reads it"
+            );
+        }
+    }
+
+    #[test]
+    fn compute_chain_defines_scratch_before_reading_it() {
+        let mut ops = Vec::new();
+        let scratch = [2u8, 3, 4];
+        compute_chain(&mut ops, 12, &scratch, &[10, 11], &[10], OpTag::Normal);
+        let mut defined: std::collections::BTreeSet<u8> = [10, 11].into();
+        for op in &ops {
+            for s in op.sources() {
+                assert!(defined.contains(&s), "r{s} read before written");
+            }
+            defined.insert(op.dst.unwrap());
+        }
+    }
+
+    #[test]
+    fn update_chain_is_read_modify_write() {
+        let mut ops = Vec::new();
+        update_chain(&mut ops, 3, &[19, 20], OpTag::Normal);
+        assert_eq!(ops.len(), 3);
+        for op in &ops {
+            let d = op.dst.unwrap();
+            assert!(op.sources().any(|s| s == d), "must read its own destination");
+        }
     }
 }

@@ -9,9 +9,11 @@
 //! state via the `reg_ray_state` effect, which the simulator folds into the
 //! machine's per-slot state cache.
 
+#[cfg(debug_assertions)]
+use crate::costs::RAY_LIVE_REGISTERS;
 use crate::costs::{
-    alu_chain, load, FETCH_ALU_OPS, FETCH_LOADS, INNER_ALU_OPS, PRIM_ALU_OPS, PRIM_LOADS,
-    PUSH_FAR_ALU_OPS,
+    compute_chain, expand_chain, load, update_chain, FETCH_ALU_OPS, FETCH_LOADS, INNER_ALU_OPS,
+    PRIM_ALU_OPS, PRIM_LOADS, PUSH_FAR_ALU_OPS, RAY_REG_LO,
 };
 use drs_sim::{Block, KernelBehavior, MachineState, MemSpace, MicroOp, OpTag, Program, Terminator};
 use drs_trace::Step;
@@ -110,34 +112,64 @@ impl WhileIfKernel {
     pub fn program(&self) -> Program {
         let program = self.build_program();
         #[cfg(debug_assertions)]
-        drs_verify::assert_program_valid("while-if", &program);
+        {
+            drs_verify::assert_program_valid("while-if", &program);
+            drs_verify::assert_shuffle_live("while-if", &program, RAY_LIVE_REGISTERS);
+        }
         program
     }
 
     fn build_program(&self) -> Program {
         let t = OpTag::Normal;
+        // Register conventions: ray state lives in r10-r26 (the window
+        // `RAY_REG_LO..RAY_REG_LO+17`) and is the only state live across
+        // block boundaries; r1-r9 are block-local scratch. The static
+        // liveness pass therefore derives exactly RAY_LIVE_REGISTERS live
+        // registers at every shuffle-eligible point — the paper's 17.
         let mut fetch_ops = Vec::new();
-        for dst in 10u8..10 + FETCH_LOADS as u8 {
+        for dst in RAY_REG_LO..RAY_REG_LO + FETCH_LOADS as u8 {
             load(&mut fetch_ops, dst, MemSpace::Global, A_RAY, t);
         }
-        alu_chain(&mut fetch_ops, FETCH_ALU_OPS, &[10, 11, 12], t);
+        // Ray setup expands the loaded words into the rest of the window.
+        expand_chain(
+            &mut fetch_ops,
+            FETCH_ALU_OPS,
+            &[10, 11, 12, 13, 14],
+            RAY_REG_LO + FETCH_LOADS as u8,
+            t,
+        );
         fetch_ops.push(MicroOp::effect(E_FETCH));
         fetch_ops.push(MicroOp::effect(E_SET_STATE));
 
         let mut inner_ops = Vec::new();
         load(&mut inner_ops, 1, MemSpace::Texture, A_NODE, t);
-        alu_chain(&mut inner_ops, INNER_ALU_OPS, &[1, 2, 3, 4], t);
-        // Predicated far-child push (no divergence, every lane pays).
-        alu_chain(&mut inner_ops, PUSH_FAR_ALU_OPS, &[5, 6], t);
+        compute_chain(
+            &mut inner_ops,
+            INNER_ALU_OPS,
+            &[2, 3, 4, 5, 6, 7],
+            &[1, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20],
+            &[19, 20],
+            t,
+        );
+        // Predicated far-child push (no divergence, every lane pays):
+        // read-modify-write of the traversal-stack registers.
+        update_chain(&mut inner_ops, PUSH_FAR_ALU_OPS, &[19, 20], t);
         inner_ops.push(MicroOp::effect(E_CONSUME_INNER));
         inner_ops.push(MicroOp::effect(E_SET_STATE));
 
         let mut prim_ops = Vec::new();
-        load(&mut prim_ops, 14, MemSpace::Texture, A_PRIM0, t);
+        load(&mut prim_ops, 8, MemSpace::Texture, A_PRIM0, t);
         if PRIM_LOADS > 1 {
-            load(&mut prim_ops, 15, MemSpace::Texture, A_PRIM1, t);
+            load(&mut prim_ops, 9, MemSpace::Texture, A_PRIM1, t);
         }
-        alu_chain(&mut prim_ops, PRIM_ALU_OPS, &[14, 15, 16], t);
+        compute_chain(
+            &mut prim_ops,
+            PRIM_ALU_OPS,
+            &[2, 3, 4, 5, 6, 7],
+            &[8, 9, 20, 21, 22, 23, 24, 25, 26],
+            &[20, 25],
+            t,
+        );
         prim_ops.push(MicroOp::effect(E_CONSUME_PRIM));
 
         Program::new(vec![

@@ -15,9 +15,11 @@
 //! idle at the reconvergence point, and the time to finish a warp's rays is
 //! set by the longest ray.
 
+#[cfg(debug_assertions)]
+use crate::costs::RAY_LIVE_REGISTERS;
 use crate::costs::{
-    alu_chain, load, FETCH_ALU_OPS, FETCH_LOADS, INNER_ALU_OPS, PRIM_ALU_OPS, PRIM_LOADS,
-    PUSH_FAR_ALU_OPS,
+    compute_chain, expand_chain, load, update_chain, FETCH_ALU_OPS, FETCH_LOADS, INNER_ALU_OPS,
+    PRIM_ALU_OPS, PRIM_LOADS, PUSH_FAR_ALU_OPS, RAY_REG_LO,
 };
 use drs_sim::{
     Block, KernelBehavior, MachineState, MemSpace, MicroOp, OpTag, Program, RaySlot, Terminator,
@@ -77,35 +79,61 @@ impl WhileWhileKernel {
     pub fn program(&self) -> Program {
         let program = self.build_program();
         #[cfg(debug_assertions)]
-        drs_verify::assert_program_valid("while-while", &program);
+        {
+            drs_verify::assert_program_valid("while-while", &program);
+            drs_verify::assert_shuffle_live("while-while", &program, RAY_LIVE_REGISTERS);
+        }
         program
     }
 
     fn build_program(&self) -> Program {
         let t = OpTag::Normal;
-        // Register conventions: r1-r8 traversal scratch, r10-r12 ray data,
-        // r14-r16 leaf scratch.
+        // Register conventions: ray state lives in r10-r26 (the window
+        // `RAY_REG_LO..RAY_REG_LO+17`) and is the only state live across
+        // block boundaries; r1-r9 are block-local scratch — so static
+        // liveness derives the paper's 17 live registers per ray.
         let mut fetch_ops = Vec::new();
-        for dst in 10u8..10 + FETCH_LOADS as u8 {
+        for dst in RAY_REG_LO..RAY_REG_LO + FETCH_LOADS as u8 {
             load(&mut fetch_ops, dst, MemSpace::Global, A_RAY, t);
         }
-        alu_chain(&mut fetch_ops, FETCH_ALU_OPS, &[10, 11, 12], t);
+        // Ray setup expands the loaded words into the rest of the window.
+        expand_chain(
+            &mut fetch_ops,
+            FETCH_ALU_OPS,
+            &[10, 11, 12, 13, 14],
+            RAY_REG_LO + FETCH_LOADS as u8,
+            t,
+        );
         fetch_ops.push(MicroOp::effect(E_FETCH));
 
         let mut inner_ops = Vec::new();
         load(&mut inner_ops, 1, MemSpace::Texture, A_NODE, t);
-        alu_chain(&mut inner_ops, INNER_ALU_OPS, &[1, 2, 3, 4], t);
+        compute_chain(
+            &mut inner_ops,
+            INNER_ALU_OPS,
+            &[2, 3, 4, 5, 6, 7],
+            &[1, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20],
+            &[19, 20],
+            t,
+        );
         // The far-child push compiles to predicated ops in real traversal
         // kernels — every lane pays its cost, but it causes no divergence.
-        alu_chain(&mut inner_ops, PUSH_FAR_ALU_OPS, &[5, 6], t);
+        update_chain(&mut inner_ops, PUSH_FAR_ALU_OPS, &[19, 20], t);
         inner_ops.push(MicroOp::effect(E_CONSUME_INNER));
 
         let mut prim_ops = Vec::new();
-        load(&mut prim_ops, 14, MemSpace::Texture, A_PRIM0, t);
+        load(&mut prim_ops, 8, MemSpace::Texture, A_PRIM0, t);
         if PRIM_LOADS > 1 {
-            load(&mut prim_ops, 15, MemSpace::Texture, A_PRIM1, t);
+            load(&mut prim_ops, 9, MemSpace::Texture, A_PRIM1, t);
         }
-        alu_chain(&mut prim_ops, PRIM_ALU_OPS, &[14, 15, 16], t);
+        compute_chain(
+            &mut prim_ops,
+            PRIM_ALU_OPS,
+            &[2, 3, 4, 5, 6, 7],
+            &[8, 9, 20, 21, 22, 23, 24, 25, 26],
+            &[20, 25],
+            t,
+        );
         prim_ops.push(MicroOp::effect(E_CONSUME_PRIM));
 
         Program::new(vec![

@@ -220,7 +220,7 @@ impl<'s> PathTracer<'s> {
     }
 }
 
-impl<'s> PathTracer<'s> {
+impl PathTracer<'_> {
     /// One-sample direct-lighting estimate at `point`: pick an emissive
     /// triangle uniformly, sample a point on it, and cast a shadow ray.
     fn direct_light(&self, point: Vec3, normal: Vec3, u: (f32, f32)) -> f32 {

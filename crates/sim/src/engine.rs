@@ -188,6 +188,18 @@ pub struct Simulation<'w> {
     /// Full active mask for the configured lane count.
     #[cfg(feature = "validate")]
     full_mask: u32,
+    /// Statically derived worst-case SIMT-stack depth (entries), when the
+    /// caller ran the verifier; every divergence push is checked against it.
+    #[cfg(feature = "validate")]
+    stack_depth_bound: Option<usize>,
+    /// Deepest SIMT stack observed on any warp this run.
+    #[cfg(feature = "validate")]
+    max_stack_depth: usize,
+    /// Statically derived bound on distinct in-flight destination
+    /// registers per warp (scoreboard pressure), when the caller ran the
+    /// verifier.
+    #[cfg(feature = "validate")]
+    inflight_regs_bound: Option<usize>,
     /// Last cycle any instruction issued (watchdog baseline).
     last_issue_cycle: u64,
     /// Fault injection: trip the watchdog once `cycle` reaches this value.
@@ -253,6 +265,12 @@ impl<'w> Simulation<'w> {
             attr: None,
             #[cfg(feature = "validate")]
             full_mask,
+            #[cfg(feature = "validate")]
+            stack_depth_bound: None,
+            #[cfg(feature = "validate")]
+            max_stack_depth: 1,
+            #[cfg(feature = "validate")]
+            inflight_regs_bound: None,
             last_issue_cycle: 0,
             watchdog_trip_at: None,
             deadline: None,
@@ -281,6 +299,30 @@ impl<'w> Simulation<'w> {
     /// stepping — the reference behavior for debugging and benchmarking.
     pub fn set_fastpath(&mut self, on: bool) {
         self.fastpath = on;
+    }
+
+    /// Arm the runtime cross-check of a statically derived worst-case
+    /// SIMT-stack depth (in stack entries, counting the base entry): every
+    /// divergence push asserts the warp's stack stays within `bound`, and
+    /// the end-of-run invariant check re-asserts the observed maximum.
+    ///
+    /// The bound comes from `drs-verify`'s abstract interpretation of the
+    /// kernel CFG (`LiveSetSummary::stack_depth_bound`); a violation means
+    /// either the engine's reconvergence discipline or the verifier's
+    /// model is wrong, which is exactly what `validate` runs exist to
+    /// catch.
+    #[cfg(feature = "validate")]
+    pub fn set_stack_depth_bound(&mut self, bound: usize) {
+        self.stack_depth_bound = Some(bound);
+    }
+
+    /// Arm the runtime cross-check of the verifier's scoreboard-pressure
+    /// bound: at every issue, the number of this warp's registers with a
+    /// pending ready time must not exceed the program's distinct
+    /// destination-register count (`LiveSetSummary::distinct_dsts`).
+    #[cfg(feature = "validate")]
+    pub fn set_inflight_regs_bound(&mut self, bound: usize) {
+        self.inflight_regs_bound = Some(bound);
     }
 
     /// Inject a watchdog trip: once the simulation reaches `at_cycle`, the
@@ -325,7 +367,7 @@ impl<'w> Simulation<'w> {
                 break;
             }
             iters = iters.wrapping_add(1);
-            if iters & 0x3FF == 0 {
+            if iters.is_multiple_of(1024) {
                 if let Some((deadline, budget_ms)) = self.deadline {
                     if Instant::now() >= deadline {
                         failure = Some(SimErrorKind::Deadline { budget_ms });
@@ -685,7 +727,7 @@ impl<'w> Simulation<'w> {
                         } else {
                             StallBucket::Scoreboard
                         };
-                        if worst.map(|(t, _)| ready > t).unwrap_or(true) {
+                        if worst.is_none_or(|(t, _)| ready > t) {
                             worst = Some((ready, b));
                         }
                     }
@@ -771,6 +813,14 @@ impl<'w> Simulation<'w> {
         let outstanding = self.mem.outstanding_misses(horizon);
         if outstanding != 0 {
             return fail(format!("{outstanding} MSHR fills outstanding past kernel end"));
+        }
+        if let Some(bound) = self.stack_depth_bound {
+            if self.max_stack_depth > bound {
+                return fail(format!(
+                    "observed SIMT stack depth {} exceeds the statically derived bound {bound}",
+                    self.max_stack_depth
+                ));
+            }
         }
         Ok(())
     }
@@ -932,6 +982,14 @@ impl<'w> Simulation<'w> {
                 "validate: active mask {mask:#010x} names lanes beyond the {} live lanes",
                 self.cfg.simd_lanes
             );
+            if let Some(bound) = self.inflight_regs_bound {
+                let inflight = self.warps[w].reg_ready.iter().filter(|&&ready| ready > now).count();
+                assert!(
+                    inflight <= bound,
+                    "validate: warp {w} has {inflight} registers in flight, exceeding the \
+                     program's {bound} distinct destination registers"
+                );
+            }
         }
         match op.kind {
             OpKind::Special { token } => {
@@ -1143,6 +1201,18 @@ impl<'w> Simulation<'w> {
                         mask: t_mask,
                         reconv: reconverge,
                     });
+                    #[cfg(feature = "validate")]
+                    {
+                        let depth = warp.stack.len();
+                        self.max_stack_depth = self.max_stack_depth.max(depth);
+                        if let Some(bound) = self.stack_depth_bound {
+                            assert!(
+                                depth <= bound,
+                                "validate: warp {w} SIMT stack reached {depth} entries, \
+                                 exceeding the statically derived bound of {bound}"
+                            );
+                        }
+                    }
                 }
                 self.warps[w].blocked_until = now + self.cfg.branch_penalty as u64;
                 if let Some(attr) = &mut self.attr {
@@ -1297,7 +1367,7 @@ mod tests {
         let scripts: Vec<RayScript> = (0..128usize)
             .map(|i| {
                 RayScript::new(
-                    (0..(i % 16) + 1)
+                    (0..=(i % 16))
                         .map(|s| Step::Inner {
                             node_addr: 0x1000_0000 + ((i * 31 + s) as u64) * 64,
                             both_children_hit: false,
@@ -1714,7 +1784,7 @@ mod more_engine_tests {
         let scripts: Vec<RayScript> = (0..1024usize)
             .map(|i| {
                 RayScript::new(
-                    (0..1 + i % 37)
+                    (0..=(i % 37))
                         .map(|k| Step::Inner {
                             node_addr: 0x1000_0000 + ((i * 131 + k * 7) % 16384) as u64 * 64,
                             both_children_hit: false,
@@ -1918,7 +1988,7 @@ mod failure_tests {
     fn generous_deadline_does_not_fire() {
         let scripts = scripts_uniform(64, 4);
         let mut sim = toy_sim(&scripts, small_cfg(4));
-        let budget = std::time::Duration::from_secs(3600);
+        let budget = std::time::Duration::from_hours(1);
         sim.set_deadline(Instant::now() + budget, 3_600_000);
         let stats = sim.run().expect("one-hour budget is ample for a toy run");
         assert_eq!(stats.rays_completed, 64);

@@ -314,7 +314,8 @@ mod tests {
             let st = s.stats();
             assert_eq!(st.rays, s.scripts.len());
             assert_eq!(st.hits + st.escaped + st.hit_light, st.rays);
-            let manual_inner: usize = s.scripts.iter().map(|x| x.inner_count()).sum();
+            let manual_inner: usize =
+                s.scripts.iter().map(super::super::script::RayScript::inner_count).sum();
             assert_eq!(st.total_inner, manual_inner);
             assert!(st.avg_inner() >= 0.0);
         }

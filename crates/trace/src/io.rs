@@ -121,7 +121,7 @@ fn write_script<W: Write>(w: &mut W, s: &RayScript) -> io::Result<()> {
     for step in s.steps() {
         match *step {
             Step::Inner { node_addr, both_children_hit } => {
-                w.write_all(&[if both_children_hit { 1 } else { 0 }])?;
+                w.write_all(&[u8::from(both_children_hit)])?;
                 write_u64(w, node_addr)?;
             }
             Step::Leaf { node_addr, prim_base_addr, prim_count } => {

@@ -87,7 +87,7 @@ impl RayScript {
             .iter()
             .map(|s| match s {
                 Step::Leaf { prim_count, .. } => *prim_count as usize,
-                _ => 0,
+                Step::Inner { .. } => 0,
             })
             .sum()
     }

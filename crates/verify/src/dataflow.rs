@@ -1,16 +1,21 @@
 //! Register dataflow over `MicroOp::{dst, srcs}`: read-before-write (error)
 //! and dead-write (warning) detection, plus scoreboard range checks.
 //!
+//! Both checks are reporting passes over fixpoints computed by the generic
+//! worklist solver ([`crate::solver`]): read-before-write walks each block
+//! forward under the [`crate::liveness::ReachingDefs`] solution, dead-write
+//! detection walks backward under the [`crate::liveness::LivenessAnalysis`]
+//! solution.
+//!
 //! Read-before-write is a *may*-analysis: a read is flagged only when **no**
 //! path from entry ever defines the register first — loop-carried
 //! definitions flowing around back edges count as definitions, matching how
 //! the kernels seed their ALU chains across iterations. A flagged read means
 //! the scoreboard models a dependence on a register nothing ever produces.
 
-use crate::cfg::successors;
 use crate::diag::{bname, Check, Diagnostic, Report};
+use crate::liveness::{live_sets, reaching_defs, reg_bit};
 use drs_sim::{Block, BlockId, Reg, TRACKED_REGS};
-use std::collections::BTreeSet;
 
 /// Every micro-op register id must fit the engine's scoreboard.
 pub(crate) fn check_register_range(blocks: &[Block], report: &mut Report) {
@@ -39,55 +44,21 @@ pub(crate) fn check_register_range(blocks: &[Block], report: &mut Report) {
     }
 }
 
-fn predecessors(blocks: &[Block]) -> Vec<Vec<usize>> {
-    let mut preds = vec![Vec::new(); blocks.len()];
-    for (i, b) in blocks.iter().enumerate() {
-        for s in successors(b) {
-            preds[s as usize].push(i);
-        }
-    }
-    preds
-}
-
 /// Read-before-write: forward may-defined analysis over reachable blocks.
 pub(crate) fn check_read_before_write(blocks: &[Block], reach: &[bool], report: &mut Report) {
-    let n = blocks.len();
-    let preds = predecessors(blocks);
-    let gen: Vec<BTreeSet<Reg>> =
-        blocks.iter().map(|b| b.ops.iter().filter_map(|op| op.dst).collect()).collect();
-    // def_in[b]: registers some path from entry may have defined on arrival.
-    let mut def_in: Vec<BTreeSet<Reg>> = vec![BTreeSet::new(); n];
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for i in 0..n {
-            if !reach[i] {
-                continue;
-            }
-            let mut new = BTreeSet::new();
-            for &p in &preds[i] {
-                if !reach[p] {
-                    continue;
-                }
-                new.extend(def_in[p].iter().copied());
-                new.extend(gen[p].iter().copied());
-            }
-            if new != def_in[i] {
-                def_in[i] = new;
-                changed = true;
-            }
-        }
-    }
+    let defs = reaching_defs(blocks, reach);
     // Reporting pass: walk each block's ops in order with the running set.
     for (i, b) in blocks.iter().enumerate() {
         if !reach[i] {
             continue;
         }
-        let mut defined = def_in[i].clone();
-        let mut flagged: BTreeSet<Reg> = BTreeSet::new();
+        let mut defined = defs.entry[i];
+        let mut flagged: u64 = 0;
         for (j, op) in b.ops.iter().enumerate() {
             for s in op.sources() {
-                if !defined.contains(&s) && flagged.insert(s) {
+                let bit = reg_bit(s);
+                if bit != 0 && defined & bit == 0 && flagged & bit == 0 {
+                    flagged |= bit;
                     report.push(Diagnostic::new(
                         Check::ReadBeforeWrite,
                         Some(i as BlockId),
@@ -99,7 +70,7 @@ pub(crate) fn check_read_before_write(blocks: &[Block], reach: &[bool], report: 
                 }
             }
             if let Some(d) = op.dst {
-                defined.insert(d);
+                defined |= reg_bit(d);
             }
         }
     }
@@ -109,47 +80,16 @@ pub(crate) fn check_read_before_write(blocks: &[Block], reach: &[bool], report: 
 /// cannot reach any read still occupies a scoreboard slot and a register
 /// bank write port, so the timing model charges for work no program needs.
 pub(crate) fn check_dead_writes(blocks: &[Block], reach: &[bool], report: &mut Report) {
-    let n = blocks.len();
-    let mut live_in: Vec<BTreeSet<Reg>> = vec![BTreeSet::new(); n];
-    let block_live_in = |blocks: &[Block], i: usize, live_out: &BTreeSet<Reg>| {
-        let mut live = live_out.clone();
-        for op in blocks[i].ops.iter().rev() {
-            if let Some(d) = op.dst {
-                live.remove(&d);
-            }
-            live.extend(op.sources());
-        }
-        live
-    };
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for i in (0..n).rev() {
-            if !reach[i] {
-                continue;
-            }
-            let mut live_out = BTreeSet::new();
-            for s in successors(&blocks[i]) {
-                live_out.extend(live_in[s as usize].iter().copied());
-            }
-            let new = block_live_in(blocks, i, &live_out);
-            if new != live_in[i] {
-                live_in[i] = new;
-                changed = true;
-            }
-        }
-    }
+    let live = live_sets(blocks, reach);
     for (i, b) in blocks.iter().enumerate() {
         if !reach[i] {
             continue;
         }
-        let mut live = BTreeSet::new();
-        for s in successors(b) {
-            live.extend(live_in[s as usize].iter().copied());
-        }
+        let mut live_now = live.exit[i];
         for (j, op) in b.ops.iter().enumerate().rev() {
             if let Some(d) = op.dst {
-                if !live.remove(&d) {
+                let bit = reg_bit(d);
+                if bit != 0 && live_now & bit == 0 {
                     report.push(Diagnostic::new(
                         Check::DeadWrite,
                         Some(i as BlockId),
@@ -159,8 +99,11 @@ pub(crate) fn check_dead_writes(blocks: &[Block], reach: &[bool], report: &mut R
                         ),
                     ));
                 }
+                live_now &= !bit;
             }
-            live.extend(op.sources());
+            for s in op.sources() {
+                live_now |= reg_bit(s);
+            }
         }
     }
 }

@@ -42,6 +42,9 @@ pub enum Check {
     DeadWrite,
     /// A micro-op names a register the engine's scoreboard cannot track.
     RegisterOutOfRange,
+    /// The live register set at a shuffle-eligible point does not match
+    /// the kernel's declared per-ray live-register count.
+    ShuffleLiveMismatch,
     /// Cache line size is not a power of two.
     BadLineSize,
     /// A cache level's set count is not a power of two (the index function
@@ -74,6 +77,7 @@ impl Check {
             Check::ReadBeforeWrite => "read-before-write",
             Check::DeadWrite => "dead-write",
             Check::RegisterOutOfRange => "register-out-of-range",
+            Check::ShuffleLiveMismatch => "shuffle-live-mismatch",
             Check::BadLineSize => "bad-line-size",
             Check::NonPowerOfTwoSets => "non-power-of-two-sets",
             Check::MshrTooFew => "mshr-too-few",

@@ -18,9 +18,21 @@
 //!    cycle may grow the stack without bound.
 //! 5. **Config lints** — cache geometry, MSHR sizing, bank/lane striping.
 //!
+//! Beyond the checklist, the crate is an **abstract-interpretation
+//! framework**: [`solver`] is a generic worklist fixpoint solver over the
+//! CFG (forward/backward, join-lattice [`solver::Analysis`] trait), and
+//! [`liveness`] (backward liveness, reaching definitions, register
+//! pressure), [`ranges`] (interval domain, natural loops), and
+//! [`shuffle`] (per-point live sets at shuffle-eligible points, static
+//! SIMT-stack and scoreboard bounds) are analyses built on it. The
+//! [`shuffle::LiveSetSummary`] feeds drs-core's swap engine so transfer
+//! cost is statically derived instead of hard-coded.
+//!
 //! Entry points: [`verify_program`] / [`verify_blocks`] for programs,
-//! [`verify_config`] for configurations, and [`assert_program_valid`] for
-//! the debug-build hook kernels call from their constructors.
+//! [`verify_config`] for configurations, [`shuffle::live_set_summary`]
+//! for the derived cost/bound summary, and [`assert_program_valid`] /
+//! [`assert_shuffle_live`] for the debug-build hooks kernels call from
+//! their constructors.
 
 #![warn(missing_docs)]
 
@@ -28,10 +40,16 @@ mod cfg;
 mod config_lint;
 mod dataflow;
 mod diag;
+pub mod liveness;
+pub mod ranges;
+pub mod shuffle;
+pub mod solver;
 mod stack;
 
 pub use config_lint::verify_config;
 pub use diag::{Check, Diagnostic, Report, Severity};
+pub use shuffle::{live_set_summary, LiveSetSummary, ShufflePoint};
+pub use stack::StackBounds;
 
 use drs_sim::{Block, Program};
 
@@ -70,6 +88,26 @@ pub fn verify_blocks(blocks: &[Block]) -> Report {
 pub fn assert_program_valid(name: &str, program: &Program) {
     let report = verify_program(program);
     assert!(report.is_clean(), "program `{name}` failed static verification:\n{report}");
+}
+
+/// Panic when any shuffle-eligible point of `program` has a live register
+/// set whose size differs from `expected` (the kernel's declared per-ray
+/// live-register count, e.g. `RAY_LIVE_REGISTERS`).
+///
+/// Kernel constructors call this under `cfg(debug_assertions)` so an edit
+/// that changes the live state at a shuffle point — and therefore the
+/// shuffle's true transfer cost — fails loudly at construction.
+///
+/// # Panics
+///
+/// Panics when any shuffle point's live count differs from `expected`.
+pub fn assert_shuffle_live(name: &str, program: &Program, expected: usize) {
+    let mut report = Report::default();
+    shuffle::check_shuffle_live(program.blocks(), expected, &mut report);
+    assert!(
+        report.is_clean(),
+        "program `{name}` has shuffle points whose live set is not {expected} registers:\n{report}"
+    );
 }
 
 #[cfg(test)]

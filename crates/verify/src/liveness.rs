@@ -1,0 +1,280 @@
+//! Register-level dataflow analyses built on the worklist solver:
+//! backward liveness, forward reaching definitions (register granularity),
+//! and per-point liveness / register pressure within a block.
+//!
+//! Register sets are `u64` bitmasks — the engine's scoreboard tracks
+//! [`TRACKED_REGS`] (= 64) registers, so one word holds a whole set.
+//! Registers outside the tracked range (already flagged as errors by the
+//! range check) are ignored rather than aliased into the mask.
+
+use crate::solver::{solve, Analysis, Direction, Solution};
+use drs_sim::{Block, MicroOp, Reg, TRACKED_REGS};
+
+/// A set of registers as a bitmask over the scoreboard's tracked range.
+pub type RegSet = u64;
+
+/// The bit for register `r`, or the empty set if `r` is untracked.
+#[inline]
+pub fn reg_bit(r: Reg) -> RegSet {
+    if (r as usize) < TRACKED_REGS {
+        1u64 << r
+    } else {
+        0
+    }
+}
+
+/// The registers in `set`, ascending.
+pub fn regs_in(set: RegSet) -> Vec<Reg> {
+    (0..TRACKED_REGS as u8).filter(|&r| set & (1 << r) != 0).collect()
+}
+
+/// Apply one op to a backward-flowing live set (kill the destination,
+/// then generate the sources).
+#[inline]
+fn step_backward(live: &mut RegSet, op: &MicroOp) {
+    if let Some(d) = op.dst {
+        *live &= !reg_bit(d);
+    }
+    for s in op.sources() {
+        *live |= reg_bit(s);
+    }
+}
+
+/// Backward register liveness: a register is live at a point when some
+/// path from that point reads it before writing it.
+pub struct LivenessAnalysis;
+
+impl Analysis for LivenessAnalysis {
+    type Value = RegSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn bottom(&self) -> RegSet {
+        0
+    }
+
+    fn boundary(&self) -> RegSet {
+        0 // nothing is live after program exit
+    }
+
+    fn join(&self, into: &mut RegSet, from: &RegSet) -> bool {
+        let old = *into;
+        *into |= from;
+        *into != old
+    }
+
+    fn transfer(&self, block: &Block, _id: usize, live_out: &RegSet) -> RegSet {
+        let mut live = *live_out;
+        for op in block.ops.iter().rev() {
+            step_backward(&mut live, op);
+        }
+        live
+    }
+}
+
+/// Forward reaching definitions at register granularity: a register is in
+/// the set when *some* path from entry has defined it. This is the
+/// may-analysis behind the read-before-write check — loop-carried
+/// definitions flowing around back edges count.
+pub struct ReachingDefs;
+
+impl Analysis for ReachingDefs {
+    type Value = RegSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self) -> RegSet {
+        0
+    }
+
+    fn boundary(&self) -> RegSet {
+        0 // no register is defined before the entry block
+    }
+
+    fn join(&self, into: &mut RegSet, from: &RegSet) -> bool {
+        let old = *into;
+        *into |= from;
+        *into != old
+    }
+
+    fn transfer(&self, block: &Block, _id: usize, def_in: &RegSet) -> RegSet {
+        let mut defs = *def_in;
+        for op in &block.ops {
+            if let Some(d) = op.dst {
+                defs |= reg_bit(d);
+            }
+        }
+        defs
+    }
+}
+
+/// Solve liveness over the program: `entry[b]` is each block's live-in,
+/// `exit[b]` its live-out.
+pub fn live_sets(blocks: &[Block], reach: &[bool]) -> Solution<RegSet> {
+    solve(&LivenessAnalysis, blocks, reach)
+}
+
+/// Solve reaching definitions: `entry[b]` is the set of registers some
+/// path may have defined when `b` is entered.
+pub fn reaching_defs(blocks: &[Block], reach: &[bool]) -> Solution<RegSet> {
+    solve(&ReachingDefs, blocks, reach)
+}
+
+/// Liveness at every point inside one block, given its live-out set:
+/// `result[j]` is the live set immediately before op `j`, and the final
+/// entry (`result[ops.len()]`) is the live-out itself.
+pub fn per_point_liveness(block: &Block, live_out: RegSet) -> Vec<RegSet> {
+    let mut points = vec![0; block.ops.len() + 1];
+    let mut live = live_out;
+    points[block.ops.len()] = live;
+    for (j, op) in block.ops.iter().enumerate().rev() {
+        step_backward(&mut live, op);
+        points[j] = live;
+    }
+    points
+}
+
+/// Maximum number of simultaneously-live registers at any point of the
+/// block (its register pressure), given the block's live-out set.
+pub fn block_pressure(block: &Block, live_out: RegSet) -> usize {
+    per_point_liveness(block, live_out)
+        .into_iter()
+        .map(|set| set.count_ones() as usize)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::reachable;
+    use drs_sim::{MemSpace, Terminator};
+
+    /// Tiny deterministic LCG so the property test needs no external
+    /// crates and reproduces exactly.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n.max(1)
+        }
+    }
+
+    /// Random structurally-valid program: every block's targets exist, the
+    /// last block is `Exit` with no ops, interior blocks carry random
+    /// alu/load/store ops over r0-r15.
+    fn random_blocks(rng: &mut Lcg) -> Vec<Block> {
+        let n = 2 + rng.below(10) as usize;
+        let mut blocks = Vec::new();
+        for i in 0..n - 1 {
+            let mut ops = Vec::new();
+            for _ in 0..rng.below(6) {
+                let dst = rng.below(16) as Reg;
+                let src = rng.below(16) as Reg;
+                match rng.below(3) {
+                    0 => ops.push(MicroOp::alu(dst, &[src], 1)),
+                    1 => ops.push(MicroOp::load(dst, MemSpace::Global, 0, &[])),
+                    _ => ops.push(MicroOp::store(MemSpace::Global, 0, &[src])),
+                }
+            }
+            let t = if rng.below(2) == 0 {
+                Terminator::Jump(rng.below(n as u64) as u32)
+            } else {
+                let on_true = rng.below(n as u64) as u32;
+                let on_false = rng.below(n as u64) as u32;
+                Terminator::Branch { cond: 0, on_true, on_false, reconverge: on_false }
+            };
+            let _ = i;
+            blocks.push(Block::new("b", ops, t));
+        }
+        blocks.push(Block::new("exit", Vec::new(), Terminator::Exit));
+        blocks
+    }
+
+    /// Property: for any program whose exit blocks carry no ops, liveness
+    /// at the entry of every exit block is empty — nothing can be read
+    /// after the program ends.
+    #[test]
+    fn liveness_at_exit_entry_is_empty() {
+        let mut rng = Lcg(0x5eed);
+        for case in 0..300 {
+            let blocks = random_blocks(&mut rng);
+            let reach = reachable(&blocks);
+            let live = live_sets(&blocks, &reach);
+            for (i, b) in blocks.iter().enumerate() {
+                if matches!(b.terminator, Terminator::Exit) {
+                    assert_eq!(
+                        live.entry[i],
+                        0,
+                        "case {case}: exit block {i} has nonempty live-in {:?}",
+                        regs_in(live.entry[i])
+                    );
+                    assert_eq!(live.exit[i], 0, "case {case}: exit block {i} live-out");
+                }
+            }
+        }
+    }
+
+    /// Property: a register never named in any op is never live.
+    #[test]
+    fn unused_registers_never_live() {
+        let mut rng = Lcg(0xfeed);
+        for _ in 0..100 {
+            let blocks = random_blocks(&mut rng);
+            let reach = reachable(&blocks);
+            let live = live_sets(&blocks, &reach);
+            // random_blocks only names r0-r15.
+            let high: RegSet = !0xFFFF;
+            for (entry, exit) in live.entry.iter().zip(live.exit.iter()) {
+                assert_eq!(entry & high, 0);
+                assert_eq!(exit & high, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn per_point_liveness_walks_backward() {
+        // ops: r1 = f(); r2 = f(r1); store r2 — live-out empty.
+        let b = Block::new(
+            "b",
+            vec![
+                MicroOp::alu(1, &[], 1),
+                MicroOp::alu(2, &[1], 1),
+                MicroOp::store(MemSpace::Global, 0, &[2]),
+            ],
+            Terminator::Exit,
+        );
+        let points = per_point_liveness(&b, 0);
+        assert_eq!(points, vec![0, 1 << 1, 1 << 2, 0]);
+        assert_eq!(block_pressure(&b, 0), 1);
+    }
+
+    #[test]
+    fn reaching_defs_include_loop_carried() {
+        // 0: branch {1, 2}; 1: def r7, jump 0; 2: exit. On entry to 0,
+        // r7 may be defined (around the back edge).
+        let blocks = vec![
+            Block::new(
+                "head",
+                Vec::new(),
+                Terminator::Branch { cond: 0, on_true: 1, on_false: 2, reconverge: 2 },
+            ),
+            Block::new("body", vec![MicroOp::alu(7, &[], 1)], Terminator::Jump(0)),
+            Block::new("exit", Vec::new(), Terminator::Exit),
+        ];
+        let reach = reachable(&blocks);
+        let defs = reaching_defs(&blocks, &reach);
+        assert_eq!(defs.entry[0], 1 << 7);
+        assert_eq!(defs.entry[1], 1 << 7);
+        assert_eq!(defs.entry[2], 1 << 7);
+    }
+}

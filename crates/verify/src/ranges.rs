@@ -1,0 +1,363 @@
+//! Value-range analysis (interval domain with widening) and natural-loop
+//! detection, built on the worklist solver.
+//!
+//! The micro-op ISA carries no arithmetic semantics — an `Alu` op is an
+//! opaque function of its sources, and loads/specials produce
+//! data-dependent values — so the interval transfer function is honest
+//! about what it knows: a defined register is `Top` (some value, bounds
+//! data-dependent), an undefined one is `Bottom`. What the analysis *does*
+//! establish statically is which loops exist, how deeply they nest, and
+//! that every loop's trip count is data-dependent (token-conditioned)
+//! rather than derivable from a counter — exactly what the JSON report
+//! states. The interval lattice itself (join, widening, constants) is
+//! exercised directly by unit tests so a future ISA with immediates can
+//! plug real transfer semantics into the same solver instance.
+
+use crate::cfg::successors;
+use crate::solver::{solve, Analysis, Direction, Solution};
+use drs_sim::{Block, BlockId, TRACKED_REGS};
+
+/// An interval over `i64` with explicit bottom (no value) and top
+/// (unknown value) elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interval {
+    /// No execution reaches this point with a value (unreachable/undefined).
+    Bottom,
+    /// The value lies within `[lo, hi]` (inclusive).
+    Range(i64, i64),
+    /// Defined, but the bounds are data-dependent.
+    Top,
+}
+
+impl Interval {
+    /// The singleton interval `[v, v]`.
+    pub fn constant(v: i64) -> Interval {
+        Interval::Range(v, v)
+    }
+
+    /// Least upper bound (interval hull).
+    pub fn join(self, other: Interval) -> Interval {
+        match (self, other) {
+            (Interval::Bottom, x) | (x, Interval::Bottom) => x,
+            (Interval::Top, _) | (_, Interval::Top) => Interval::Top,
+            (Interval::Range(a, b), Interval::Range(c, d)) => Interval::Range(a.min(c), b.max(d)),
+        }
+    }
+
+    /// Standard interval widening: any bound that grew jumps to infinity
+    /// (here: `Top` once either bound is unstable), guaranteeing
+    /// termination on loops that bump a counter every iteration.
+    pub fn widen(self, next: Interval) -> Interval {
+        match (self, next) {
+            (Interval::Bottom, x) => x,
+            (x, Interval::Bottom) => x,
+            (Interval::Top, _) | (_, Interval::Top) => Interval::Top,
+            (Interval::Range(a, b), Interval::Range(c, d)) => {
+                if c < a || d > b {
+                    Interval::Top
+                } else {
+                    Interval::Range(a, b)
+                }
+            }
+        }
+    }
+
+    /// Whether the interval admits at least one value.
+    pub fn is_defined(self) -> bool {
+        !matches!(self, Interval::Bottom)
+    }
+}
+
+/// Per-register intervals at a program point.
+pub type IntervalEnv = Vec<Interval>;
+
+/// Forward interval analysis over all tracked registers.
+pub struct IntervalAnalysis;
+
+impl Analysis for IntervalAnalysis {
+    type Value = IntervalEnv;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self) -> IntervalEnv {
+        vec![Interval::Bottom; TRACKED_REGS]
+    }
+
+    fn boundary(&self) -> IntervalEnv {
+        vec![Interval::Bottom; TRACKED_REGS]
+    }
+
+    fn join(&self, into: &mut IntervalEnv, from: &IntervalEnv) -> bool {
+        let mut changed = false;
+        for (i, f) in into.iter_mut().zip(from.iter()) {
+            // Widening at join points keeps counter-bumping loops finite.
+            let new = i.widen(i.join(*f));
+            if new != *i {
+                *i = new;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer(&self, block: &Block, _id: usize, input: &IntervalEnv) -> IntervalEnv {
+        let mut env = input.clone();
+        for op in &block.ops {
+            if let Some(d) = op.dst {
+                if (d as usize) < TRACKED_REGS {
+                    // No op in this ISA has arithmetic semantics the
+                    // analysis could bound: every definition is
+                    // data-dependent.
+                    env[d as usize] = Interval::Top;
+                }
+            }
+        }
+        env
+    }
+}
+
+/// Solve interval analysis: `entry[b][r]` bounds register `r` at `b`'s
+/// entry.
+pub fn value_ranges(blocks: &[Block], reach: &[bool]) -> Solution<IntervalEnv> {
+    solve(&IntervalAnalysis, blocks, reach)
+}
+
+/// One natural loop of the CFG.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// The loop header (target of the back edges).
+    pub header: BlockId,
+    /// Sources of the back edges into `header`.
+    pub back_edges: Vec<BlockId>,
+    /// Every block of the loop body, ascending (includes the header).
+    pub body: Vec<BlockId>,
+    /// Nesting depth: 1 for an outermost loop.
+    pub depth: usize,
+    /// Static trip-count bounds, when derivable from a counter register.
+    /// `None` means data-dependent — true of every token-conditioned
+    /// kernel loop in this repo.
+    pub trip_bounds: Option<(u64, u64)>,
+}
+
+/// Dominator sets over reachable blocks: `dom[i]` contains `j` iff every
+/// path from entry to `i` passes through `j`.
+fn dominators(blocks: &[Block], reach: &[bool]) -> Vec<BlockSet> {
+    let n = blocks.len();
+    assert!(n <= 128, "dominator bitset holds at most 128 blocks");
+    let all: BlockSet = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, b) in blocks.iter().enumerate() {
+        if !reach[i] {
+            continue;
+        }
+        for s in successors(b) {
+            preds[s as usize].push(i);
+        }
+    }
+    let mut dom: Vec<BlockSet> = vec![all; n];
+    dom[0] = 1;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 1..n {
+            if !reach[i] {
+                continue;
+            }
+            let mut new = all;
+            let mut any = false;
+            for &p in &preds[i] {
+                if reach[p] {
+                    new &= dom[p];
+                    any = true;
+                }
+            }
+            if !any {
+                new = 0;
+            }
+            new |= 1u128 << i;
+            if new != dom[i] {
+                dom[i] = new;
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+/// Bitset over block ids (programs here have tens of blocks).
+type BlockSet = u128;
+
+/// Find the natural loops of the CFG (reachable blocks only): each back
+/// edge `u -> h` where `h` dominates `u` contributes the set of blocks
+/// that can reach `u` without passing through `h`. Back edges sharing a
+/// header are merged into one loop.
+pub fn natural_loops(blocks: &[Block], reach: &[bool]) -> Vec<LoopInfo> {
+    let n = blocks.len();
+    if n == 0 || n > 128 {
+        return Vec::new();
+    }
+    let dom = dominators(blocks, reach);
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, b) in blocks.iter().enumerate() {
+        if !reach[i] {
+            continue;
+        }
+        for s in successors(b) {
+            preds[s as usize].push(i);
+        }
+    }
+    // Collect back edges per header.
+    let mut by_header: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (u, b) in blocks.iter().enumerate() {
+        if !reach[u] {
+            continue;
+        }
+        for h in successors(b) {
+            let h = h as usize;
+            if dom[u] & (1u128 << h) != 0 {
+                match by_header.iter_mut().find(|(hdr, _)| *hdr == h) {
+                    Some((_, edges)) => edges.push(u),
+                    None => by_header.push((h, vec![u])),
+                }
+            }
+        }
+    }
+    by_header.sort_by_key(|(h, _)| *h);
+    let mut loops: Vec<LoopInfo> = Vec::new();
+    for (h, edges) in &by_header {
+        // Natural-loop body: h plus everything reaching a back-edge source
+        // backward without crossing h.
+        let mut in_body = vec![false; n];
+        in_body[*h] = true;
+        let mut work: Vec<usize> = edges.clone();
+        while let Some(u) = work.pop() {
+            if std::mem::replace(&mut in_body[u], true) {
+                continue;
+            }
+            work.extend(preds[u].iter().copied());
+        }
+        let body: Vec<BlockId> = (0..n).filter(|&i| in_body[i]).map(|i| i as BlockId).collect();
+        loops.push(LoopInfo {
+            header: *h as BlockId,
+            back_edges: edges.iter().map(|&u| u as BlockId).collect(),
+            body,
+            depth: 0, // filled below
+            trip_bounds: None,
+        });
+    }
+    // Depth: 1 + number of other loops whose body strictly contains this
+    // loop's header.
+    let depths: Vec<usize> = loops
+        .iter()
+        .map(|l| {
+            1 + loops.iter().filter(|o| o.header != l.header && o.body.contains(&l.header)).count()
+        })
+        .collect();
+    for (l, d) in loops.iter_mut().zip(depths) {
+        l.depth = d;
+    }
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::reachable;
+    use drs_sim::{MicroOp, Terminator};
+
+    #[test]
+    fn interval_lattice_laws() {
+        let a = Interval::Range(1, 5);
+        let b = Interval::Range(3, 9);
+        assert_eq!(a.join(b), Interval::Range(1, 9));
+        assert_eq!(a.join(Interval::Bottom), a);
+        assert_eq!(a.join(Interval::Top), Interval::Top);
+        assert_eq!(Interval::constant(4), Interval::Range(4, 4));
+        assert!(Interval::Top.is_defined());
+        assert!(!Interval::Bottom.is_defined());
+    }
+
+    #[test]
+    fn widening_terminates_growth() {
+        // A stable interval stays; a growing bound widens to Top.
+        let a = Interval::Range(0, 10);
+        assert_eq!(a.widen(Interval::Range(2, 8)), a);
+        assert_eq!(a.widen(Interval::Range(0, 11)), Interval::Top);
+        assert_eq!(a.widen(Interval::Range(-1, 10)), Interval::Top);
+        assert_eq!(Interval::Bottom.widen(a), a);
+    }
+
+    fn loop_blocks() -> Vec<Block> {
+        vec![
+            // 0: outer head.
+            Block::new(
+                "outer",
+                Vec::new(),
+                Terminator::Branch { cond: 0, on_true: 1, on_false: 4, reconverge: 4 },
+            ),
+            // 1: inner head.
+            Block::new(
+                "inner",
+                Vec::new(),
+                Terminator::Branch { cond: 1, on_true: 2, on_false: 3, reconverge: 3 },
+            ),
+            // 2: inner body -> inner head (back edge).
+            Block::new("inner_body", vec![MicroOp::alu(3, &[3], 1)], Terminator::Jump(1)),
+            // 3: outer tail -> outer head (back edge).
+            Block::new("outer_tail", Vec::new(), Terminator::Jump(0)),
+            // 4: exit.
+            Block::new("exit", Vec::new(), Terminator::Exit),
+        ]
+    }
+
+    #[test]
+    fn natural_loops_found_with_nesting() {
+        let blocks = loop_blocks();
+        let reach = reachable(&blocks);
+        let loops = natural_loops(&blocks, &reach);
+        assert_eq!(loops.len(), 2);
+        let outer = loops.iter().find(|l| l.header == 0).expect("outer loop");
+        let inner = loops.iter().find(|l| l.header == 1).expect("inner loop");
+        assert_eq!(outer.depth, 1);
+        assert_eq!(inner.depth, 2);
+        assert_eq!(outer.back_edges, vec![3]);
+        assert_eq!(inner.back_edges, vec![2]);
+        assert!(outer.body.contains(&1) && outer.body.contains(&2) && outer.body.contains(&3));
+        assert!(inner.body.contains(&2) && !inner.body.contains(&3));
+        // Token-conditioned loops: trip counts are data-dependent.
+        assert!(outer.trip_bounds.is_none() && inner.trip_bounds.is_none());
+    }
+
+    #[test]
+    fn value_ranges_distinguish_defined_from_undefined() {
+        let blocks = loop_blocks();
+        let reach = reachable(&blocks);
+        let sol = value_ranges(&blocks, &reach);
+        // r3 is may-defined (data-dependent) on entry to both loop heads —
+        // its definition in the inner body flows around both back edges.
+        assert_eq!(sol.entry[0][3], Interval::Top);
+        assert!(sol.entry[1][3].is_defined());
+        assert_eq!(sol.entry[1][3], Interval::Top);
+        // In the exit block it is still only Top: no arithmetic semantics.
+        assert_eq!(sol.entry[4][3], Interval::Top);
+        // A register nothing writes stays Bottom everywhere.
+        assert!(sol.entry.iter().all(|env| env[9] == Interval::Bottom));
+    }
+
+    #[test]
+    fn acyclic_program_has_no_loops() {
+        let blocks = vec![
+            Block::new(
+                "entry",
+                Vec::new(),
+                Terminator::Branch { cond: 0, on_true: 1, on_false: 2, reconverge: 2 },
+            ),
+            Block::new("body", Vec::new(), Terminator::Jump(2)),
+            Block::new("exit", Vec::new(), Terminator::Exit),
+        ];
+        let reach = reachable(&blocks);
+        assert!(natural_loops(&blocks, &reach).is_empty());
+    }
+}

@@ -22,13 +22,34 @@ use std::collections::HashSet;
 /// hitting this means pathological context growth, not real size.
 const STATE_BUDGET: usize = 200_000;
 
-pub(crate) fn check_stack_discipline(blocks: &[Block], report: &mut Report) {
+/// What the abstract interpretation learned about reconvergence-stack
+/// shape, beyond the pass/fail diagnostics: inputs to the static
+/// stack-depth bound derived in [`crate::shuffle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackBounds {
+    /// Maximum pending-reconvergence context length over every reachable
+    /// abstract state — the deepest divergence *nesting* the program
+    /// admits (re-divergence parked at the same point is deduplicated).
+    pub max_context: usize,
+    /// Whether some branch can re-diverge at a reconvergence point
+    /// already pending (a loop whose body diverges at its own head): the
+    /// engine then parks one stack entry per mask split there, so depth
+    /// is bounded by lane splitting rather than by `max_context`.
+    pub repeatable: bool,
+    /// The exploration hit the state budget and the bounds above cover
+    /// only the states visited.
+    pub truncated: bool,
+}
+
+pub(crate) fn check_stack_discipline(blocks: &[Block], report: &mut Report) -> StackBounds {
     let depth_cap = blocks.len() + 2;
     let mut seen: HashSet<(BlockId, Vec<BlockId>)> = HashSet::new();
     let mut work: Vec<(BlockId, Vec<BlockId>)> = vec![(0, Vec::new())];
     let mut nonuniform_exits: HashSet<BlockId> = HashSet::new();
     let mut unbounded_at: HashSet<BlockId> = HashSet::new();
     let mut truncated = false;
+    let mut max_context = 0usize;
+    let mut repeatable = false;
 
     while let Some((block, mut ctx)) = work.pop() {
         // Arrival: pop every pending reconvergence point equal to this block.
@@ -38,6 +59,7 @@ pub(crate) fn check_stack_discipline(blocks: &[Block], report: &mut Report) {
         if !seen.insert((block, ctx.clone())) {
             continue;
         }
+        max_context = max_context.max(ctx.len());
         if seen.len() > STATE_BUDGET {
             truncated = true;
             break;
@@ -73,6 +95,7 @@ pub(crate) fn check_stack_discipline(blocks: &[Block], report: &mut Report) {
                 // clears all at once.
                 if ctx.last() == Some(&reconverge) {
                     // Same states as the uniform outcomes above.
+                    repeatable = true;
                 } else if ctx.len() + 1 > depth_cap {
                     if unbounded_at.insert(block) {
                         report.push(Diagnostic::new(
@@ -105,4 +128,5 @@ pub(crate) fn check_stack_discipline(blocks: &[Block], report: &mut Report) {
             ),
         ));
     }
+    StackBounds { max_context, repeatable, truncated }
 }

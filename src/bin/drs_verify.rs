@@ -60,7 +60,7 @@ fn main() {
         }
     }
     if names.is_empty() {
-        names = KERNELS.iter().map(|s| s.to_string()).collect();
+        names = KERNELS.iter().map(std::string::ToString::to_string).collect();
     }
 
     let mut ok = true;

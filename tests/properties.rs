@@ -61,7 +61,7 @@ fn bvh_traversal_matches_brute_force() {
         match (fast, slow) {
             (None, None) => {}
             (Some(a), Some(b)) => {
-                assert!((a.t - b.t).abs() < 1e-2, "case {case}: t mismatch {} vs {}", a.t, b.t)
+                assert!((a.t - b.t).abs() < 1e-2, "case {case}: t mismatch {} vs {}", a.t, b.t);
             }
             (a, b) => panic!("case {case}: hit disagreement: {a:?} vs {b:?}"),
         }
@@ -83,7 +83,7 @@ fn kdtree_traversal_matches_brute_force() {
         match (fast, slow) {
             (None, None) => {}
             (Some(a), Some(b)) => {
-                assert!((a.t - b.t).abs() < 1e-2, "case {case}: t mismatch {} vs {}", a.t, b.t)
+                assert!((a.t - b.t).abs() < 1e-2, "case {case}: t mismatch {} vs {}", a.t, b.t);
             }
             (a, b) => panic!("case {case}: hit disagreement: {a:?} vs {b:?}"),
         }
