@@ -28,8 +28,8 @@ use drs_bench::{figures, Aggregate};
 use drs_core::overhead::{dmk_spawn_memory_bytes, paper, tbc_warp_buffer_bytes, DrsOverhead};
 use drs_core::DrsConfig;
 use drs_harness::{
-    run_jobs, CaptureMode, CellResult, CheckpointSpec, FaultPlan, JobId, Method, ResultsFile,
-    RunOptions, Scale, SimJob, StreamCache, WorkloadSpec,
+    run_jobs, CaptureMode, CellResult, CheckpointSpec, ChipConfig, FaultPlan, JobId, Method,
+    ResultsFile, RunOptions, Scale, SimJob, StreamCache, WorkloadSpec,
 };
 use drs_scene::SceneKind;
 use drs_sim::{ActiveHistogram, GpuConfig};
@@ -39,14 +39,22 @@ use std::collections::HashMap;
 struct Cells {
     by_id: HashMap<JobId, CellResult>,
     scale: Scale,
+    /// The chip config every job ran with (`--chip`), or `None` for the
+    /// default single-SMX cells scaled by the SMX count.
+    chip: Option<ChipConfig>,
 }
 
 impl Cells {
     /// The cell for (scene, bounce, method), if it was part of the run.
     fn get(&self, scene: SceneKind, bounce: usize, method: Method) -> Option<&CellResult> {
         let workload = WorkloadSpec::standard(scene, &self.scale, figures::CANONICAL_DEPTH);
-        let job =
-            SimJob { workload, bounce, method, warps: self.scale.warps(method.paper_warps()) };
+        let job = SimJob {
+            workload,
+            bounce,
+            method,
+            warps: self.scale.warps(method.paper_warps()),
+            chip: self.chip,
+        };
         self.by_id.get(&job.id())
     }
 
@@ -90,15 +98,21 @@ fn main() {
     }
 
     let modes = modes_for(&cli.mode);
+    let chip_cfg = cli.chip.then(|| ChipConfig::gtx780(cli.sms));
 
     // Union of all requested figures' jobs, deduped by content id. One
     // simulated cell can serve several figures (fig10/fig11 share every
-    // cell; energy is a subset of both).
+    // cell; energy is a subset of both). With `--chip` every set is
+    // decorated *before* ids are taken, since the chip config is part of
+    // job identity.
     let mut jobs: Vec<SimJob> = Vec::new();
     let mut index: HashMap<JobId, usize> = HashMap::new();
     let mut figures_of: Vec<Vec<String>> = Vec::new();
     for mode in &modes {
-        let Some(set) = figures::by_name(mode, &scale) else { continue };
+        let Some(mut set) = figures::by_name(mode, &scale) else { continue };
+        if let Some(chip) = chip_cfg {
+            set = set.with_chip(chip);
+        }
         for job in set.jobs {
             let id = job.id();
             let slot = *index.entry(id).or_insert_with(|| {
@@ -141,6 +155,7 @@ fn main() {
         retries: cli.retries,
         job_cycle_budget: cli.job_cycles,
         job_timeout_ms: cli.job_timeout_secs.map(|s| s * 1000),
+        chip_threads: cli.chip_threads,
         faults,
         checkpoint: Some(CheckpointSpec { path: cli.checkpoint_path(), resume: cli.resume }),
         ..RunOptions::serial()
@@ -166,8 +181,19 @@ fn main() {
         })
         .collect();
     let resumed = report.resumed;
-    let cells =
-        Cells { by_id: report.cells.iter().map(|c| (c.job.id(), c.clone())).collect(), scale };
+    if let Some(chip) = &chip_cfg {
+        println!(
+            "[full-chip mode: {} SMs sharing one L2/MSHR/DRAM system ({}); throughput is \
+             chip-accurate, not SMX-count-scaled]",
+            chip.sms,
+            chip.canonical()
+        );
+    }
+    let cells = Cells {
+        by_id: report.cells.iter().map(|c| (c.job.id(), c.clone())).collect(),
+        scale,
+        chip: chip_cfg,
+    };
 
     for mode in &modes {
         match *mode {
@@ -320,6 +346,10 @@ const PERF_FIGURES: [&str; 2] = ["fig2", "fig8"];
 /// for CI regression gating.
 fn perf_mode(cli: &cli::Cli, scale: &Scale) {
     use drs_sim::JsonBuf;
+    if cli.chip {
+        chip_perf_mode(cli, scale);
+        return;
+    }
     banner("Simulator perf: event-driven fast path vs naive stepping");
     let out = if cli.out == std::path::Path::new("BENCH_experiments.json") {
         std::path::PathBuf::from("BENCH_sim.json")
@@ -400,6 +430,128 @@ fn perf_mode(cli: &cli::Cli, scale: &Scale) {
     }
     match drs_harness::write_text(&out, &j.finish()) {
         Ok(()) => println!("[perf baseline -> {}]", out.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `perf --chip`: chip-accurate vs SMX-count-scaled throughput. Runs a
+/// small scene × method × bounce grid twice — once as classic single-SMX
+/// cells scaled by `--sms`, once as full chips of `--sms` SMs sharing one
+/// L2/MSHR/DRAM system — and writes the per-cell Mrays/s deltas plus the
+/// shared-memory contention counters to `BENCH_chip.json` (or `--out`
+/// when overridden). The delta *is* the measurement: it quantifies how
+/// much the usual "multiply one SMX by 15" extrapolation overstates (or
+/// understates) whole-chip throughput once SMs contend for the L2, the
+/// MSHR pool, and DRAM bandwidth.
+fn chip_perf_mode(cli: &cli::Cli, scale: &Scale) {
+    use drs_sim::JsonBuf;
+    banner("Chip perf: full-chip simulation vs SMX-count-scaled extrapolation");
+    let chip = ChipConfig::gtx780(cli.sms);
+    let mut gpu = GpuConfig::gtx780();
+    gpu.smx_count = cli.sms;
+    let out = if cli.out == std::path::Path::new("BENCH_experiments.json") {
+        std::path::PathBuf::from("BENCH_chip.json")
+    } else {
+        cli.out.clone()
+    };
+
+    // A small but representative grid: a closed and an open scene, the
+    // Aila baseline and the default DRS config, two bounces each.
+    let scenes = [SceneKind::Conference, SceneKind::FairyForest];
+    let methods = [Method::Aila, Method::drs_default()];
+    let mut scaled_jobs = Vec::new();
+    for scene in scenes {
+        let workload = WorkloadSpec::standard(scene, scale, figures::CANONICAL_DEPTH);
+        for method in methods {
+            for bounce in 1..=2 {
+                scaled_jobs.push(SimJob {
+                    workload,
+                    bounce,
+                    method,
+                    warps: scale.warps(method.paper_warps()),
+                    chip: None,
+                });
+            }
+        }
+    }
+    let chip_jobs: Vec<SimJob> =
+        scaled_jobs.iter().map(|j| SimJob { chip: Some(chip), ..*j }).collect();
+
+    let opts = || RunOptions {
+        workers: cli.workers,
+        capture: if cli.use_cache {
+            CaptureMode::Cached(StreamCache::new(StreamCache::default_dir()))
+        } else {
+            CaptureMode::Uncached
+        },
+        progress: cli.progress,
+        fastpath: cli.fastpath,
+        chip_threads: cli.chip_threads,
+        ..RunOptions::serial()
+    };
+    let scaled = run_jobs(&scaled_jobs, &opts());
+    let chips = run_jobs(&chip_jobs, &opts());
+
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.kv_u64("schema_version", 1);
+    j.kv_str("suite", "drs-chip-perf");
+    j.kv_u64("sms", cli.sms as u64);
+    j.kv_str("chip_config", &chip.canonical());
+    j.key("cells");
+    j.begin_arr();
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for (s, c) in scaled.cells.iter().zip(&chips.cells) {
+        if s.failure.is_some() || c.failure.is_some() {
+            eprintln!("error: chip-perf cell failed: {}", s.cell_name());
+            failures += 1;
+            continue;
+        }
+        if s.empty {
+            continue;
+        }
+        let summary = c.chip.as_ref().expect("completed chip cells carry a summary");
+        let mrays_scaled = s.mrays_per_sec(&gpu);
+        let mrays_chip = c.mrays_per_sec(&gpu);
+        let delta_pct = (mrays_chip / mrays_scaled.max(1e-12) - 1.0) * 100.0;
+        compared += 1;
+        j.begin_obj();
+        j.kv_str("cell", &s.cell_name());
+        j.kv_f64("mrays_scaled", mrays_scaled);
+        j.kv_f64("mrays_chip", mrays_chip);
+        j.kv_f64("delta_pct", delta_pct);
+        j.kv_f64("l2_hit_rate_scaled", s.stats.l2.hit_rate());
+        j.kv_f64("l2_hit_rate_chip", summary.l2_hit_rate());
+        j.kv_u64("chip_cycles", c.stats.cycles);
+        j.kv_u64("dram_lines", summary.dram_lines);
+        j.kv_u64("dram_queue_cycles", summary.dram_queue_cycles);
+        j.kv_u64("bank_conflict_cycles", summary.bank_conflict_cycles);
+        j.kv_u64("mshr_merges", summary.mshr_merges);
+        j.kv_u64("mshr_waits", summary.mshr_waits);
+        j.end_obj();
+        println!(
+            "{:32} scaled {:7.1} Mrays/s  chip {:7.1} Mrays/s  ({:+5.1}%)  L2 {:4.1}% -> {:4.1}%",
+            s.cell_name(),
+            mrays_scaled,
+            mrays_chip,
+            delta_pct,
+            s.stats.l2.hit_rate() * 100.0,
+            summary.l2_hit_rate() * 100.0
+        );
+    }
+    j.end_arr();
+    j.kv_u64("cells_compared", compared as u64);
+    j.end_obj();
+    if failures > 0 || compared < 2 {
+        eprintln!("error: chip-perf needs >= 2 clean comparison cells, got {compared}");
+        std::process::exit(1);
+    }
+    match drs_harness::write_text(&out, &j.finish()) {
+        Ok(()) => println!("[chip perf -> {}]", out.display()),
         Err(e) => {
             eprintln!("error: could not write {}: {e}", out.display());
             std::process::exit(1);
@@ -770,6 +922,9 @@ fn fig10(cells: &Cells) {
 fn fig11(cells: &Cells) {
     banner("Figure 11: performance (Mrays/s) and speedup vs Aila");
     let gpu = GpuConfig::gtx780();
+    // Chip cells aggregate every SM's rays already; scaling by the SMX
+    // count again would double-count (see CellResult::mrays_per_sec).
+    let smx = if cells.chip.is_some() { 1 } else { gpu.smx_count };
     let methods = figures::comparison_methods();
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
     for kind in SceneKind::ALL {
@@ -788,7 +943,7 @@ fn fig11(cells: &Cells) {
                     per_bounce.push(format!("{:6.1}", cell.mrays_per_sec(&gpu)));
                 }
             }
-            let mrays = agg.mrays(&gpu);
+            let mrays = agg.mrays_at(gpu.clock_mhz, smx);
             println!(
                 "  {:12} B1-B3 [{}]  overall {:7.1} Mrays/s",
                 method.label(),

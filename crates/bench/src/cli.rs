@@ -72,10 +72,18 @@ Options:
                    (<out stem>_checkpoint.json) and re-simulate only the
                    missing or failed ones; merged results are bit-identical
                    to an uninterrupted run
+  --chip           full-chip mode: run every cell as --sms per-SM engines
+                   against one shared L2/MSHR/DRAM memory system instead
+                   of a single SMX scaled by the SMX count; in `perf` mode
+                   also writes a chip-vs-scaled comparison to BENCH_chip.json
+  --sms N          SMs per chip cell (default: 15, the GTX 780)
+  --chip-threads N worker threads sharding the SMs inside each chip cell
+                   (results are bit-identical for any value; default: 1)
   --inject SPEC    deterministic fault injection, e.g.
                    'seed=7,panic@1,cache~4x1,watchdog@2,budget@0'
-                   (kinds panic|cache|watchdog|budget; @IDX by job index,
-                   ~N seed-addressed one-in-N; xT = first T attempts only)
+                   (kinds panic|cache|watchdog|budget|chipcfg; @IDX by job
+                   index, ~N seed-addressed one-in-N; xT = first T attempts
+                   only)
   --list           list modes with their job counts and exit
   -h, --help       show this help
 
@@ -117,6 +125,12 @@ pub struct Cli {
     pub job_cycles: Option<u64>,
     /// Resume from this grid's checkpoint file.
     pub resume: bool,
+    /// Full-chip mode: N per-SM engines sharing one memory system.
+    pub chip: bool,
+    /// SMs per chip cell (only meaningful with [`Cli::chip`]).
+    pub sms: usize,
+    /// Worker threads inside each chip cell's window loop.
+    pub chip_threads: usize,
     /// Deterministic fault-injection spec (`--inject`), parsed downstream
     /// by [`FaultPlan::parse`](drs_harness::FaultPlan::parse).
     pub inject: Option<String>,
@@ -143,6 +157,9 @@ impl Default for Cli {
             job_timeout_secs: None,
             job_cycles: None,
             resume: false,
+            chip: false,
+            sms: 15,
+            chip_threads: 1,
             inject: None,
             list: false,
             help: false,
@@ -249,6 +266,23 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
                 );
             }
             "--resume" => cli.resume = true,
+            "--chip" => cli.chip = true,
+            "--sms" => {
+                let v = value("--sms")?;
+                cli.sms = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--sms expects a positive integer, got '{v}'"))?;
+            }
+            "--chip-threads" => {
+                let v = value("--chip-threads")?;
+                cli.chip_threads = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--chip-threads expects a positive integer, got '{v}'"))?;
+            }
             "--inject" => cli.inject = Some(value("--inject")?),
             "--list" => cli.list = true,
             "-h" | "--help" => cli.help = true,
@@ -387,6 +421,22 @@ mod tests {
         assert!(!d.resume);
         assert_eq!(d.inject, None);
         assert_eq!(p(&["--retries", "0"]).unwrap().retries, 0, "zero retries is valid");
+    }
+
+    #[test]
+    fn chip_flags_both_syntaxes() {
+        let a = p(&["fig2", "--chip", "--sms", "4", "--chip-threads", "2"]).unwrap();
+        let b = p(&["fig2", "--chip", "--sms=4", "--chip-threads=2"]).unwrap();
+        assert_eq!(a, b);
+        assert!(a.chip);
+        assert_eq!(a.sms, 4);
+        assert_eq!(a.chip_threads, 2);
+        let d = p(&[]).unwrap();
+        assert!(!d.chip);
+        assert_eq!(d.sms, 15, "default SMs match the GTX 780");
+        assert_eq!(d.chip_threads, 1);
+        assert!(p(&["--sms", "0"]).unwrap_err().contains("positive integer"));
+        assert!(p(&["--chip-threads", "0"]).unwrap_err().contains("positive integer"));
     }
 
     #[test]

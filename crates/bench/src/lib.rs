@@ -25,8 +25,8 @@ pub mod report;
 
 pub use drs_harness::{
     figures, parallel_map, run_jobs, run_method_with_warps, CacheCounters, CaptureMode, CellResult,
-    JobId, JobSet, Method, ResultsFile, RunOptions, RunReport, Scale, SimJob, StreamCache,
-    WorkloadSpec,
+    ChipConfig, ChipSummary, JobId, JobSet, Method, ResultsFile, RunOptions, RunReport, Scale,
+    SimJob, StreamCache, WorkloadSpec,
 };
 
 use drs_scene::SceneKind;
@@ -102,10 +102,17 @@ impl Aggregate {
 
     /// Overall Mrays/s at the whole-GPU scale.
     pub fn mrays(&self, gpu: &GpuConfig) -> f64 {
+        self.mrays_at(gpu.clock_mhz, gpu.smx_count)
+    }
+
+    /// Overall Mrays/s with an explicit SMX scale factor: the GPU's
+    /// `smx_count` for single-SMX cells, 1 for full-chip aggregates
+    /// (whose rays are already summed across every SM).
+    pub fn mrays_at(&self, clock_mhz: u32, smx_count: usize) -> f64 {
         if self.cycles == 0 {
             return 0.0;
         }
-        self.rays as f64 / self.cycles as f64 * gpu.clock_mhz as f64 * gpu.smx_count as f64
+        self.rays as f64 / self.cycles as f64 * f64::from(clock_mhz) * smx_count as f64
     }
 
     /// Overall SIMD efficiency including SI instructions.

@@ -154,6 +154,7 @@ fn verdict(measured: f64, paper: f64) -> String {
 /// file, or a schema from a different tool).
 pub fn render(doc: &Value) -> Result<String, String> {
     let mode = doc.get("mode").and_then(Value::as_str).unwrap_or("?").to_string();
+    let chip_sms = chip_sms(doc);
     let cells = parse_cells(doc)?;
     let mut md = String::new();
     md.push_str("# Results vs. the paper\n\n");
@@ -167,10 +168,23 @@ pub fn render(doc: &Value) -> Result<String, String> {
          (see `DRS_RAYS`, `DRS_TRIS_SCALE`, `DRS_WARPS_SCALE`), so absolute \
          Mrays/s are not comparable to the paper; speedup *ratios* are the \
          reproduction target\n\
-         - pass band: within {:.0}% of the paper's per-scene speedup\n\n",
+         - pass band: within {:.0}% of the paper's per-scene speedup\n",
         cells.len(),
         PASS_BAND * 100.0
     ));
+    match chip_sms {
+        Some(sms) => md.push_str(&format!(
+            "- **chip-accurate figures**: cells ran in full-chip mode \
+             (`--chip`, {sms} SMs sharing one L2/MSHR/DRAM memory system), \
+             so throughput includes cross-SM contention instead of scaling \
+             one SMX by the SMX count\n\n"
+        )),
+        None => md.push_str(
+            "- figures extrapolate one simulated SMX by the SMX count \
+             (15×); rerun with `--chip` for chip-accurate numbers that \
+             include cross-SM memory contention\n\n",
+        ),
+    }
 
     render_fig11(&mut md, &cells);
     render_fig2(&mut md, &cells);
@@ -181,6 +195,18 @@ pub fn render(doc: &Value) -> Result<String, String> {
          experiments -- all` followed by `… -- report`.\n",
     );
     Ok(md)
+}
+
+/// The SM count of a full-chip results document (every cell carries its
+/// `chip_config`), or `None` for classic SMX-count-scaled results.
+fn chip_sms(doc: &Value) -> Option<u64> {
+    doc.get("cells")?
+        .as_arr()?
+        .iter()
+        .find_map(|c| c.get("chip_config"))
+        .and_then(|cfg| cfg.get("sms"))
+        .and_then(Value::as_num)
+        .map(|n| n as u64)
 }
 
 /// The ordered method labels of the four-method comparison grid.
@@ -344,6 +370,27 @@ mod tests {
         assert!(md.contains("| B1 | 93.8% |"), "{md}");
         assert!(md.contains("| B2 | 31.2% |"));
         assert!(md.contains("93.8% → 31.2% (pass)"));
+    }
+
+    #[test]
+    fn report_annotates_chip_vs_scaled_runs() {
+        let scaled = render(&sample_doc()).unwrap();
+        assert!(scaled.contains("extrapolate one simulated SMX"), "{scaled}");
+
+        // The same document with one chip cell flips the annotation.
+        let doc = parse(
+            r#"{"mode":"fig2","cells":[{"scene":"conference room","method":"Aila",
+               "bounce":1,"figures":["fig2"],"empty":false,
+               "chip_config":{"sms":15,"l2_banks":16},
+               "stats":{"cycles":10,"rays_completed":5,
+                 "issued":{"active_sum":300,"total":10},
+                 "issued_si":{"active_sum":0,"total":0}}}]}"#,
+        )
+        .unwrap();
+        let chip = render(&doc).unwrap();
+        assert!(chip.contains("chip-accurate figures"), "{chip}");
+        assert!(chip.contains("15 SMs sharing one L2/MSHR/DRAM"), "{chip}");
+        assert!(!chip.contains("extrapolate one simulated SMX"));
     }
 
     #[test]

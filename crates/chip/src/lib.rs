@@ -1,0 +1,583 @@
+//! Full-chip simulation: N per-SM engines over one shared memory system.
+//!
+//! The single-SMX simulator (`drs-sim`) models one core and scales
+//! whole-GPU throughput by `smx_count`, which erases every inter-SM
+//! effect — shared-L2 capacity and MSHR contention, DRAM bandwidth,
+//! interconnect latency. This crate instantiates `ChipConfig::sms`
+//! unmodified engines as the SM models and connects their chip ports
+//! (see [`drs_sim::PortRequest`]) to a [`SharedMemSys`]: private L1s
+//! per SM, one banked L2 with a chip-wide MSHR pool, and a
+//! finite-bandwidth DRAM channel.
+//!
+//! # The window-barrier protocol
+//!
+//! The chip clock advances in windows of `W = 2·noc_latency + 1` cycles.
+//! Each round:
+//!
+//! 1. compute `m = min` over live SMs of their wake hint (the chip-level
+//!    `next_wake`); no SM state can change before `m`, so no requests can
+//!    be issued before it;
+//! 2. advance every SM to `target = m + W` (in parallel across worker
+//!    threads, or inline — the engines don't interact inside a window);
+//! 3. at the barrier, drain all SMs' request outboxes, sort them into the
+//!    deterministic arbitration order, feed them through the shared
+//!    memory system, and deliver every load response.
+//!
+//! The memory system guarantees every response lands at least `noc + 1`
+//! cycles after its request arrived, i.e. at least `2·noc + 1` cycles
+//! after issue — never inside the window that issued it. Delivering all
+//! responses at the barrier is therefore exact, not an approximation, and
+//! the result is bit-identical however SMs are sharded across threads.
+//!
+//! # Deterministic arbitration
+//!
+//! Requests are ordered by `(arrival, round-robin rank, per-SM sequence)`
+//! where `arrival = issue + noc_latency` and the round-robin rank rotates
+//! priority across SMs with the arrival cycle — SM iteration order and
+//! thread scheduling never affect the order in which the (stateful,
+//! order-sensitive) banks, MSHR pool and DRAM channel see requests.
+
+#![warn(missing_docs)]
+
+mod memsys;
+
+pub use memsys::{ChipStats, SharedMemSys};
+
+use drs_sim::{ChipConfig, GpuConfig, PortRequest, SimError, SimErrorKind, SimStats, Simulation};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Outcome of a completed full-chip run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipResult {
+    /// Per-SM statistics, in SM order (each SM's private counters; the
+    /// per-SM `l2` fields stay zero — the shared system owns the L2).
+    pub per_sm: Vec<SimStats>,
+    /// Chip-wide aggregate: `cycles` is the max over SMs, histograms and
+    /// counters are summed, `l2` is the shared L2's counters. Chip
+    /// throughput is `aggregate.mrays_per_sec(clock_mhz, 1)` — rays are
+    /// already summed, so no `smx_count` scaling applies.
+    pub aggregate: SimStats,
+    /// Shared memory system counters (DRAM queueing, bank conflicts,
+    /// MSHR merges/waits).
+    pub chip: ChipStats,
+}
+
+/// Run `sms` engines — one per SM, already constructed (with telemetry
+/// attached if wanted) but not yet started — against one shared memory
+/// system. `threads` worker threads shard the SMs inside each window;
+/// results are bit-identical for any `threads >= 1`.
+///
+/// # Errors
+///
+/// An inconsistent [`ChipConfig`] (or an SM count that doesn't match the
+/// engine count) fails with [`SimErrorKind::ChipConfig`] before any cycle
+/// runs. A failing SM (watchdog, cycle cap, deadline) aborts the chip run
+/// at the next window barrier; the lowest-numbered failing SM's error is
+/// returned.
+pub fn run_chip(
+    sms: Vec<Simulation<'_>>,
+    cfg: &GpuConfig,
+    chip: &ChipConfig,
+    threads: usize,
+) -> Result<ChipResult, SimError> {
+    let chip_fail = |message: String| SimError {
+        kind: SimErrorKind::ChipConfig { message },
+        cycle: 0,
+        stats: Box::default(),
+    };
+    if let Err(e) = chip.validate() {
+        return Err(chip_fail(e.0));
+    }
+    if sms.len() != chip.sms {
+        return Err(chip_fail(format!(
+            "chip declares {} SMs but {} engines were supplied",
+            chip.sms,
+            sms.len()
+        )));
+    }
+    let mut lanes = sms;
+    for lane in &mut lanes {
+        lane.attach_chip_port();
+    }
+    let mut memsys = SharedMemSys::new(cfg, chip);
+    let noc = u64::from(chip.noc_latency);
+    let window = 2 * noc + 1;
+    let workers = threads.clamp(1, lanes.len());
+    if workers == 1 {
+        run_windows_serial(&mut lanes, &mut memsys, noc, window);
+    } else {
+        run_windows_threaded(&mut lanes, &mut memsys, noc, window, workers);
+    }
+    // Finalize every SM; the lowest-numbered failure wins.
+    let mut per_sm = Vec::with_capacity(lanes.len());
+    let mut first_err: Option<SimError> = None;
+    for lane in lanes {
+        match lane.finish() {
+            Ok(stats) => per_sm.push(stats),
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    let aggregate = aggregate_stats(&per_sm, &memsys.stats);
+    Ok(ChipResult { per_sm, aggregate, chip: memsys.stats })
+}
+
+/// One barrier: drain every SM's outbox, arbitrate deterministically, feed
+/// the shared system and deliver load responses. Returns true while any
+/// SM still needs cycles.
+fn barrier_exchange(
+    lanes: &mut [Simulation<'_>],
+    memsys: &mut SharedMemSys,
+    inbox: &mut Vec<(usize, PortRequest)>,
+    scratch: &mut Vec<PortRequest>,
+    noc: u64,
+) {
+    inbox.clear();
+    for (sm, lane) in lanes.iter_mut().enumerate() {
+        scratch.clear();
+        lane.drain_requests(scratch);
+        inbox.extend(scratch.drain(..).map(|r| (sm, r)));
+    }
+    let n = lanes.len() as u64;
+    // (arrival, round-robin rank, per-SM sequence): a total order
+    // independent of SM iteration order and thread scheduling.
+    inbox.sort_by_key(|&(sm, r)| {
+        let arrival = r.issue + noc;
+        (arrival, (sm as u64 + n - arrival % n) % n, r.seq)
+    });
+    for &(sm, r) in inbox.iter() {
+        let ready = memsys.request(r.line, r.issue + noc);
+        if r.is_load {
+            lanes[sm].chip_complete(r.group, ready);
+        }
+    }
+}
+
+/// Next window target: `min` wake over live SMs plus the window length,
+/// or `None` when every SM is done (or one has failed — stop arbitrating
+/// so the failure surfaces immediately).
+fn next_target(lanes: &[Simulation<'_>], window: u64) -> Option<u64> {
+    if lanes.iter().any(Simulation::failed) {
+        return None;
+    }
+    let m = lanes.iter().map(Simulation::wake_hint).min().unwrap_or(u64::MAX);
+    if m == u64::MAX {
+        return None;
+    }
+    Some(m.saturating_add(window))
+}
+
+/// The reference chip loop: one thread advances every SM in turn.
+fn run_windows_serial(
+    lanes: &mut [Simulation<'_>],
+    memsys: &mut SharedMemSys,
+    noc: u64,
+    window: u64,
+) {
+    let mut inbox = Vec::new();
+    let mut scratch = Vec::new();
+    while let Some(target) = next_target(lanes, window) {
+        for lane in lanes.iter_mut() {
+            lane.advance_to(target);
+        }
+        barrier_exchange(lanes, memsys, &mut inbox, &mut scratch, noc);
+    }
+}
+
+/// The sharded chip loop: `workers` persistent threads advance disjoint
+/// SM subsets each window, rendezvousing at a barrier; the coordinator
+/// then runs the identical (serial) exchange. Engines only interact at
+/// the exchange, so this is bit-identical to [`run_windows_serial`].
+fn run_windows_threaded(
+    lanes: &mut [Simulation<'_>],
+    memsys: &mut SharedMemSys,
+    noc: u64,
+    window: u64,
+    workers: usize,
+) {
+    let n = lanes.len();
+    let cells: Vec<Mutex<&mut Simulation<'_>>> = lanes.iter_mut().map(Mutex::new).collect();
+    let target = AtomicU64::new(0);
+    // Two rendezvous per window: one releases the workers into it, one
+    // signals completion back to the coordinator.
+    let barrier = Barrier::new(workers + 1);
+    let panicked: Mutex<Option<String>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for ti in 0..workers {
+            let cells = &cells;
+            let target = &target;
+            let barrier = &barrier;
+            let panicked = &panicked;
+            scope.spawn(move || loop {
+                barrier.wait();
+                let tgt = target.load(Ordering::Acquire);
+                if tgt == u64::MAX {
+                    return;
+                }
+                for cell in cells.iter().skip(ti).step_by(workers) {
+                    let mut lane = cell.lock().expect("lane lock");
+                    // A panic must not strand the coordinator at the
+                    // barrier: catch it, record it, keep the protocol
+                    // moving, and re-raise it on the coordinator.
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| lane.advance_to(tgt))) {
+                        let msg = panic_message(payload.as_ref());
+                        panicked.lock().expect("panic note").get_or_insert(msg);
+                    }
+                }
+                barrier.wait();
+            });
+        }
+        let mut inbox = Vec::new();
+        let mut scratch = Vec::new();
+        loop {
+            let tgt = {
+                let lanes: Vec<_> = cells.iter().map(|c| c.lock().expect("lane lock")).collect();
+                let failed = lanes.iter().any(|l| l.failed());
+                let m = lanes.iter().map(|l| l.wake_hint()).min().unwrap_or(u64::MAX);
+                if failed || m == u64::MAX {
+                    None
+                } else {
+                    Some(m.saturating_add(window))
+                }
+            };
+            let Some(tgt) = tgt else {
+                target.store(u64::MAX, Ordering::Release);
+                barrier.wait(); // workers observe the stop sentinel and exit
+                break;
+            };
+            target.store(tgt, Ordering::Release);
+            barrier.wait(); // release the workers into the window
+            barrier.wait(); // all SMs reached `tgt`
+            if let Some(msg) = panicked.lock().expect("panic note").take() {
+                target.store(u64::MAX, Ordering::Release);
+                barrier.wait();
+                panic!("chip worker panicked: {msg}");
+            }
+            let mut guards: Vec<_> = cells.iter().map(|c| c.lock().expect("lane lock")).collect();
+            // Same exchange as the serial loop, over the locked lanes.
+            inbox.clear();
+            for (sm, lane) in guards.iter_mut().enumerate() {
+                scratch.clear();
+                lane.drain_requests(&mut scratch);
+                inbox.extend(scratch.drain(..).map(|r| (sm, r)));
+            }
+            let total = n as u64;
+            inbox.sort_by_key(|&(sm, r)| {
+                let arrival = r.issue + noc;
+                (arrival, (sm as u64 + total - arrival % total) % total, r.seq)
+            });
+            for &(sm, r) in &inbox {
+                let ready = memsys.request(r.line, r.issue + noc);
+                if r.is_load {
+                    guards[sm].chip_complete(r.group, ready);
+                }
+            }
+        }
+    });
+}
+
+/// Render a caught panic payload for re-raising.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Chip-wide aggregate: `cycles` = max over SMs (wall time of the chip),
+/// counters and histograms summed, block profiles zipped by label, and
+/// the L2 counters taken from the shared system.
+fn aggregate_stats(per_sm: &[SimStats], chip: &ChipStats) -> SimStats {
+    let mut agg = SimStats::default();
+    for s in per_sm {
+        agg.cycles = agg.cycles.max(s.cycles);
+        agg.issued.merge(&s.issued);
+        agg.issued_si.merge(&s.issued_si);
+        agg.loads += s.loads;
+        agg.stores += s.stores;
+        agg.mem_transactions += s.mem_transactions;
+        agg.rdctrl_stalls += s.rdctrl_stalls;
+        agg.rdctrl_issued += s.rdctrl_issued;
+        agg.regfile_reads += s.regfile_reads;
+        agg.regfile_writes += s.regfile_writes;
+        agg.bank_conflicts += s.bank_conflicts;
+        agg.swap_accesses += s.swap_accesses;
+        agg.swaps_completed += s.swaps_completed;
+        agg.swap_cycle_sum += s.swap_cycle_sum;
+        agg.spawn_bank_conflict_cycles += s.spawn_bank_conflict_cycles;
+        agg.sync_wait_cycles += s.sync_wait_cycles;
+        agg.l1t.hits += s.l1t.hits;
+        agg.l1t.misses += s.l1t.misses;
+        agg.l1d.hits += s.l1d.hits;
+        agg.l1d.misses += s.l1d.misses;
+        agg.rays_completed += s.rays_completed;
+        if agg.block_profile.is_empty() {
+            agg.block_profile.clone_from(&s.block_profile);
+        } else {
+            for (acc, cur) in agg.block_profile.iter_mut().zip(s.block_profile.iter()) {
+                debug_assert_eq!(acc.0, cur.0, "SMs run the same program");
+                acc.1 += cur.1;
+                acc.2 += cur.2;
+            }
+        }
+    }
+    agg.l2 = chip.l2;
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drs_sim::{
+        Block, CycleSnapshot, KernelBehavior, MachineState, MemSpace, MicroOp, NullSpecial,
+        Program, StallBucket, TelemetrySink, Terminator, NUM_STALL_BUCKETS,
+    };
+    use drs_trace::{RayScript, Step, Termination};
+
+    /// The chip-test kernel mirrors the engine's toy: each lane walks its
+    /// script, loading each step's node address through the texture path.
+    struct WalkBehavior;
+
+    const COND_HAS_WORK: u16 = 0;
+    const EFF_CONSUME: u16 = 0;
+    const ADDR_NODE: u16 = 0;
+
+    impl KernelBehavior for WalkBehavior {
+        fn eval_cond(&self, token: u16, warp: usize, lane: usize, m: &MachineState<'_>) -> bool {
+            assert_eq!(token, COND_HAS_WORK);
+            let Some(slot) = m.slot_of(warp, lane) else { return false };
+            m.peek_step(slot).is_some() || !m.queue.is_empty()
+        }
+
+        fn eval_addr(&self, token: u16, warp: usize, lane: usize, m: &MachineState<'_>) -> u64 {
+            assert_eq!(token, ADDR_NODE);
+            let slot = m.slot_of(warp, lane).expect("mapped lane");
+            match m.peek_step(slot) {
+                Some(Step::Inner { node_addr, .. } | Step::Leaf { node_addr, .. }) => *node_addr,
+                None => 0x7000_0000,
+            }
+        }
+
+        fn apply_effect(&self, token: u16, warp: usize, lane: usize, m: &mut MachineState<'_>) {
+            assert_eq!(token, EFF_CONSUME);
+            let slot = m.slot_of(warp, lane).expect("mapped lane");
+            if m.slots[slot].ray.is_none() {
+                m.fetch_into(slot);
+                return;
+            }
+            if m.peek_step(slot).is_some() {
+                m.consume_step(slot);
+            }
+            if m.peek_step(slot).is_none() && m.slots[slot].ray.is_some() {
+                m.retire_ray(slot);
+            }
+        }
+
+        fn initialize(&self, m: &mut MachineState<'_>) {
+            for s in 0..m.slots.len() {
+                m.fetch_into(s);
+            }
+        }
+    }
+
+    fn walk_program() -> Program {
+        Program::new(vec![
+            Block::new(
+                "head",
+                vec![],
+                Terminator::Branch { cond: COND_HAS_WORK, on_true: 1, on_false: 2, reconverge: 2 },
+            ),
+            Block::new(
+                "body",
+                vec![
+                    MicroOp::load(1, MemSpace::Texture, ADDR_NODE, &[]),
+                    MicroOp::alu(2, &[1], 9),
+                    MicroOp::effect(EFF_CONSUME),
+                ],
+                Terminator::Jump(0),
+            ),
+            Block::new("exit", vec![], Terminator::Exit),
+        ])
+    }
+
+    fn scripts(n: usize, steps: usize, salt: u64) -> Vec<RayScript> {
+        (0..n)
+            .map(|i| {
+                RayScript::new(
+                    (0..steps)
+                        .map(|s| Step::Inner {
+                            node_addr: 0x1000_0000 + (salt + (i * steps + s) as u64) * 64,
+                            both_children_hit: false,
+                        })
+                        .collect(),
+                    Termination::Escaped,
+                )
+            })
+            .collect()
+    }
+
+    fn small_cfg(warps: usize) -> GpuConfig {
+        GpuConfig { max_warps: warps, max_cycles: 2_000_000, ..GpuConfig::gtx780() }
+    }
+
+    /// Contiguous shards, as the harness slices ray streams across SMs.
+    fn shard(all: &[RayScript], sms: usize) -> Vec<&[RayScript]> {
+        (0..sms).map(|i| &all[i * all.len() / sms..(i + 1) * all.len() / sms]).collect()
+    }
+
+    fn build_lanes<'w>(cfg: &GpuConfig, shards: &[&'w [RayScript]]) -> Vec<Simulation<'w>> {
+        shards
+            .iter()
+            .map(|s| {
+                Simulation::new(
+                    cfg.clone(),
+                    walk_program(),
+                    Box::new(WalkBehavior),
+                    Box::new(NullSpecial),
+                    s,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chip_run_completes_all_rays_per_sm() {
+        let all = scripts(256, 6, 0);
+        let cfg = small_cfg(2);
+        let chip = ChipConfig::gtx780(2);
+        let shards = shard(&all, 2);
+        let result =
+            run_chip(build_lanes(&cfg, &shards), &cfg, &chip, 1).expect("chip run completes");
+        assert_eq!(result.per_sm.len(), 2);
+        assert_eq!(result.aggregate.rays_completed, 256);
+        for (sm, s) in result.per_sm.iter().enumerate() {
+            assert_eq!(s.rays_completed, 128, "SM {sm} must drain its shard");
+            assert_eq!(s.l2, drs_sim::CacheStats::default(), "per-SM L2 stays with the chip");
+        }
+        assert!(result.chip.requests > 0, "traffic must reach the shared system");
+        assert!(result.chip.l2.hits + result.chip.l2.misses > 0);
+        assert!(result.aggregate.cycles >= result.per_sm[0].cycles);
+    }
+
+    #[test]
+    fn sharded_threads_are_bit_identical_to_serial() {
+        let all = scripts(384, 7, 17);
+        let cfg = small_cfg(3);
+        let chip = ChipConfig::gtx780(3);
+        let shards = shard(&all, 3);
+        let serial =
+            run_chip(build_lanes(&cfg, &shards), &cfg, &chip, 1).expect("serial completes");
+        for threads in [2, 3, 8] {
+            let sharded = run_chip(build_lanes(&cfg, &shards), &cfg, &chip, threads)
+                .expect("threaded completes");
+            assert_eq!(serial, sharded, "threads={threads} must not change results");
+        }
+    }
+
+    /// A per-SM tally sink proving `Σ buckets == cycles × warps` holds for
+    /// every SM of a chip run (the accounting identity, now per SM).
+    #[derive(Default)]
+    struct Tally {
+        counts: [u64; NUM_STALL_BUCKETS],
+        cycles: u64,
+        warps: u64,
+    }
+
+    impl TelemetrySink for Tally {
+        fn on_cycle(&mut self, _snap: &CycleSnapshot, warp_buckets: &[StallBucket]) {
+            self.cycles += 1;
+            self.warps = warp_buckets.len() as u64;
+            for &b in warp_buckets {
+                self.counts[b as usize] += 1;
+            }
+        }
+
+        fn on_cycles(&mut self, _snap: &CycleSnapshot, warp_buckets: &[StallBucket], span: u64) {
+            self.cycles += span;
+            self.warps = warp_buckets.len() as u64;
+            for &b in warp_buckets {
+                self.counts[b as usize] += span;
+            }
+        }
+
+        fn on_finish(&mut self, _snap: &CycleSnapshot) {}
+    }
+
+    #[test]
+    fn per_sm_telemetry_preserves_bucket_identity() {
+        let all = scripts(128, 5, 3);
+        let cfg = small_cfg(2);
+        let chip = ChipConfig::gtx780(2);
+        let shards = shard(&all, 2);
+        let mut sinks = [Tally::default(), Tally::default()];
+        let mut lanes = build_lanes(&cfg, &shards);
+        for (lane, sink) in lanes.iter_mut().zip(sinks.iter_mut()) {
+            lane.attach_telemetry(sink);
+        }
+        let result = run_chip(lanes, &cfg, &chip, 2).expect("chip run completes");
+        for (sm, t) in sinks.iter().enumerate() {
+            let total: u64 = t.counts.iter().sum();
+            assert_eq!(total, t.cycles * t.warps, "SM {sm}: Σ buckets must equal cycles × warps");
+            assert_eq!(t.cycles, result.per_sm[sm].cycles, "SM {sm} cycle count");
+        }
+    }
+
+    #[test]
+    fn inconsistent_chip_config_is_a_typed_error() {
+        let all = scripts(32, 2, 0);
+        let cfg = small_cfg(1);
+        let chip = ChipConfig { sms: 0, ..ChipConfig::gtx780(1) };
+        let err = run_chip(build_lanes(&cfg, &[&all]), &cfg, &chip, 1).unwrap_err();
+        assert_eq!(err.kind.label(), "chip_config");
+        assert!(err.to_string().contains("0 SMs"), "{err}");
+        // SM-count mismatch is the same typed failure.
+        let chip = ChipConfig::gtx780(2);
+        let err = run_chip(build_lanes(&cfg, &[&all]), &cfg, &chip, 1).unwrap_err();
+        assert_eq!(err.kind.label(), "chip_config");
+    }
+
+    #[test]
+    fn shared_l2_differs_from_sliced_baseline() {
+        // The same workload through the shared chip L2 and through two
+        // independent sliced runs must produce different L2 hit rates —
+        // the contention (and capacity fusion) the chip mode exists to
+        // model. Overlapping shards guarantee cross-SM sharing.
+        let all = scripts(192, 8, 11);
+        let cfg = small_cfg(2);
+        let chip = ChipConfig::gtx780(2);
+        let shards = shard(&all, 2);
+        let result = run_chip(build_lanes(&cfg, &shards), &cfg, &chip, 1).expect("completes");
+        let mut sliced_hits = 0;
+        let mut sliced_total = 0;
+        for s in &shards {
+            let sim = Simulation::new(
+                cfg.clone(),
+                walk_program(),
+                Box::new(WalkBehavior),
+                Box::new(NullSpecial),
+                s,
+            );
+            let stats = sim.run().expect("sliced run completes");
+            sliced_hits += stats.l2.hits;
+            sliced_total += stats.l2.hits + stats.l2.misses;
+        }
+        let shared = &result.chip.l2;
+        let shared_rate = shared.hits as f64 / (shared.hits + shared.misses) as f64;
+        let sliced_rate = sliced_hits as f64 / sliced_total as f64;
+        assert!(
+            (shared_rate - sliced_rate).abs() > 1e-9,
+            "shared {shared_rate} vs sliced {sliced_rate} must differ"
+        );
+    }
+}

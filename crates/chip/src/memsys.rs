@@ -1,0 +1,277 @@
+//! The chip-shared memory system: one banked L2 with a shared MSHR pool
+//! over a finite-bandwidth DRAM channel.
+//!
+//! Each [`SharedMemSys::request`] is one cache-line request that already
+//! missed an SM's private L1. The model charges, in order:
+//!
+//! 1. **NoC**: the caller passes the post-NoC arrival time (`issue +
+//!    noc_latency`); the response pays the NoC again on the way back.
+//! 2. **Bank arbitration**: the line's L2 bank accepts one request per
+//!    cycle; same-bank traffic (from any SM) serializes.
+//! 3. **Shared MSHRs**: a line already in flight merges with the pending
+//!    fill (no second DRAM access); a new fill needs a free entry from the
+//!    chip-wide pool and queues behind the earliest completion when the
+//!    pool is exhausted.
+//! 4. **L2 lookup**: hits complete at the L2 latency; misses go to DRAM.
+//! 5. **DRAM channel**: a single channel with configurable GB/s. Each
+//!    line occupies the channel for `line_bytes / bytes-per-cycle`
+//!    cycles (tracked in 1/1024-cycle fixed point so non-integer rates
+//!    stay exact and deterministic); requests queue when it saturates,
+//!    then pay the flat DRAM access latency.
+//!
+//! Everything is integer arithmetic over cycle counts, so results are
+//! bit-identical for any request order the chip loop's deterministic
+//! arbitration produces.
+
+use drs_sim::{Cache, CacheConfig, CacheStats, ChipConfig, GpuConfig};
+use std::collections::HashMap;
+
+/// Fixed-point scale for DRAM channel occupancy (1/1024ths of a cycle).
+const Q: u64 = 1024;
+
+/// Counters of the shared memory system (the chip-level complement of the
+/// per-SM `SimStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChipStats {
+    /// Shared L2 hit/miss counters.
+    pub l2: CacheStats,
+    /// Line requests arbitrated (post-L1-miss, pre-merge).
+    pub requests: u64,
+    /// Lines actually transferred from DRAM (L2 misses after merging).
+    pub dram_lines: u64,
+    /// Cycles requests waited for the DRAM channel (bandwidth queueing).
+    pub dram_queue_cycles: u64,
+    /// Cycles requests waited on a busy L2 bank.
+    pub bank_conflict_cycles: u64,
+    /// Requests merged into an already-in-flight fill of the same line.
+    pub mshr_merges: u64,
+    /// Requests that had to queue for a free shared MSHR.
+    pub mshr_waits: u64,
+}
+
+/// The shared L2/MSHR/DRAM model all SMs' ports feed into.
+#[derive(Debug)]
+pub struct SharedMemSys {
+    l2: Cache,
+    line_bytes: u64,
+    /// Per-bank busy horizon: the first cycle the bank is free again.
+    banks: Vec<u64>,
+    /// Shared in-flight fills: line address → cycle the data arrives.
+    inflight: HashMap<u64, u64>,
+    mshrs: usize,
+    l2_latency: u64,
+    dram_latency: u64,
+    noc: u64,
+    /// DRAM channel occupancy per line, in 1/1024ths of a cycle.
+    cycles_per_line_q: u64,
+    /// First instant (fixed point) the channel is free.
+    channel_free_q: u64,
+    /// Counters.
+    pub stats: ChipStats,
+}
+
+impl SharedMemSys {
+    /// Build the shared system: the L2 is `chip.sms` single-SM slices
+    /// fused into one cache (`cfg.l2_bytes × sms`), so a chip run and the
+    /// equivalent set of sliced runs hold the same total capacity.
+    pub fn new(cfg: &GpuConfig, chip: &ChipConfig) -> SharedMemSys {
+        let bytes_per_1000_cycles = u64::from(chip.dram_gbps) * 1000;
+        let cycles_per_line_q =
+            (u64::from(cfg.clock_mhz) * cfg.line_bytes as u64 * Q / bytes_per_1000_cycles).max(1);
+        SharedMemSys {
+            l2: Cache::new(CacheConfig {
+                bytes: cfg.l2_bytes * chip.sms,
+                line_bytes: cfg.line_bytes,
+                ways: cfg.cache_ways,
+            }),
+            line_bytes: cfg.line_bytes as u64,
+            banks: vec![0; chip.l2_banks],
+            inflight: HashMap::new(),
+            mshrs: chip.shared_mshrs,
+            l2_latency: u64::from(cfg.l2_latency),
+            dram_latency: u64::from(cfg.dram_latency),
+            noc: u64::from(chip.noc_latency),
+            cycles_per_line_q,
+            channel_free_q: 0,
+            stats: ChipStats::default(),
+        }
+    }
+
+    /// DRAM channel occupancy per transferred line, in cycles (rounded up;
+    /// exposed for bandwidth-model tests).
+    pub fn cycles_per_line(&self) -> u64 {
+        self.cycles_per_line_q.div_ceil(Q)
+    }
+
+    /// One line request arriving from the NoC at cycle `arrival`; returns
+    /// the cycle the requesting SM has the data (response NoC hop
+    /// included). Stores take the same path — they occupy the bank,
+    /// MSHRs and channel identically — their return value is unused.
+    ///
+    /// Must be called in the chip loop's arbitration order: the model is
+    /// order-sensitive (banks, MSHRs and the channel are stateful), which
+    /// is exactly why arbitration must be deterministic.
+    pub fn request(&mut self, line: u64, arrival: u64) -> u64 {
+        self.stats.requests += 1;
+        // Bank arbitration: one request per bank per cycle.
+        let bank = ((line / self.line_bytes) % self.banks.len() as u64) as usize;
+        let slot = self.banks[bank].max(arrival);
+        self.stats.bank_conflict_cycles += slot - arrival;
+        self.banks[bank] = slot + 1;
+        // Shared MSHRs: merge with an in-flight fill of the same line.
+        if let Some(&fill) = self.inflight.get(&line) {
+            if fill > slot {
+                self.stats.mshr_merges += 1;
+                return self.respond(fill, arrival);
+            }
+            self.inflight.remove(&line);
+        }
+        // A new fill needs a free entry from the chip-wide pool.
+        if self.inflight.len() >= self.mshrs {
+            self.inflight.retain(|_, &mut r| r > slot);
+        }
+        let start = if self.inflight.len() >= self.mshrs {
+            self.stats.mshr_waits += 1;
+            let free_at = self.inflight.values().copied().min().unwrap_or(slot);
+            self.inflight.retain(|_, &mut r| r > free_at);
+            free_at.max(slot)
+        } else {
+            slot
+        };
+        if self.l2.access(line) {
+            self.stats.l2 = self.l2.stats;
+            return self.respond(start + self.l2_latency, arrival);
+        }
+        self.stats.l2 = self.l2.stats;
+        // DRAM: queue for the channel, occupy it for one line's worth of
+        // bandwidth, then pay the access latency.
+        let start_q = start * Q;
+        let channel_start_q = self.channel_free_q.max(start_q);
+        self.stats.dram_queue_cycles += (channel_start_q - start_q) / Q;
+        self.channel_free_q = channel_start_q + self.cycles_per_line_q;
+        self.stats.dram_lines += 1;
+        let fill = self.channel_free_q.div_ceil(Q) + self.dram_latency;
+        self.inflight.insert(line, fill);
+        self.respond(fill, arrival)
+    }
+
+    /// Fills still outstanding at cycle `now` (occupied shared MSHRs).
+    pub fn outstanding_misses(&self, now: u64) -> usize {
+        self.inflight.values().filter(|&&r| r > now).count()
+    }
+
+    /// Response leaves the L2 at `data_at` and pays the return NoC hop.
+    /// The debug assertion is the window-barrier protocol's soundness
+    /// condition: every response lands at least `noc + 1` cycles after
+    /// the request arrived, so a window of `2·noc + 1` cycles never
+    /// delivers a response into its own past.
+    fn respond(&self, data_at: u64, arrival: u64) -> u64 {
+        let ready = data_at + self.noc;
+        debug_assert!(
+            ready > arrival + self.noc,
+            "response at {ready} violates the window bound for arrival {arrival}"
+        );
+        ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gtx(sms: usize) -> (GpuConfig, ChipConfig) {
+        (GpuConfig::gtx780(), ChipConfig::gtx780(sms))
+    }
+
+    /// Two lines in the same bank arriving together serialize; distinct
+    /// banks do not.
+    #[test]
+    fn bank_conflicts_serialize_same_bank_lines() {
+        let (cfg, chip) = gtx(2);
+        let mut m = SharedMemSys::new(&cfg, &chip);
+        let line = cfg.line_bytes as u64;
+        let same_bank = line * chip.l2_banks as u64; // bank 0 again
+        let t0 = m.request(0, 100);
+        let t1 = m.request(same_bank, 100);
+        assert_eq!(m.stats.bank_conflict_cycles, 1, "second same-bank request waits one cycle");
+        assert!(t1 > t0);
+        // A third line in a different bank sails through.
+        m.request(line, 100);
+        assert_eq!(m.stats.bank_conflict_cycles, 1);
+    }
+
+    /// The same line requested by two SMs while in flight merges: one
+    /// DRAM transfer, both responses at the same fill.
+    #[test]
+    fn mshr_merges_same_line_across_sms() {
+        let (cfg, chip) = gtx(2);
+        let mut m = SharedMemSys::new(&cfg, &chip);
+        let t0 = m.request(0x4000, 10); // SM 0
+        let t1 = m.request(0x4000, 11); // SM 1, same line, one cycle later
+        assert_eq!(m.stats.mshr_merges, 1);
+        assert_eq!(m.stats.dram_lines, 1, "merged request must not re-access DRAM");
+        assert_eq!(t1, t0, "both SMs see the data at the shared fill time");
+    }
+
+    /// With a single shared MSHR, a second distinct line queues behind
+    /// the first fill even though it came from another SM.
+    #[test]
+    fn mshr_exhaustion_across_sms_queues() {
+        let (cfg, mut chip) = gtx(2);
+        chip.shared_mshrs = 1;
+        let mut m = SharedMemSys::new(&cfg, &chip);
+        let t0 = m.request(0, 0);
+        assert_eq!(m.outstanding_misses(1), 1);
+        let t1 = m.request(0x8000, 1);
+        assert_eq!(m.stats.mshr_waits, 1);
+        assert!(
+            t1 >= t0 + u64::from(cfg.dram_latency),
+            "queued miss must wait for the first fill: {t1} vs {t0}"
+        );
+        // An ample pool overlaps the same pattern.
+        let mut wide = SharedMemSys::new(&cfg, &ChipConfig::gtx780(2));
+        let a = wide.request(0, 0);
+        let b = wide.request(0x8000, 1);
+        assert!(b < a + u64::from(cfg.dram_latency));
+        assert_eq!(wide.stats.mshr_waits, 0);
+    }
+
+    /// A burst of distinct lines saturates the finite DRAM channel: fills
+    /// space out by the per-line occupancy and queue cycles accumulate.
+    #[test]
+    fn dram_bandwidth_saturates_under_burst() {
+        let (cfg, mut chip) = gtx(2);
+        chip.dram_gbps = 4; // ~31.4 cycles per 128B line at 980 MHz
+        let mut m = SharedMemSys::new(&cfg, &chip);
+        let per_line = m.cycles_per_line();
+        assert!(per_line >= 31, "got {per_line}");
+        // 8 distinct lines, distinct banks, all arriving at cycle 0.
+        let readies: Vec<u64> =
+            (0..8u64).map(|i| m.request(i * cfg.line_bytes as u64, 0)).collect();
+        assert_eq!(m.stats.dram_lines, 8);
+        assert!(m.stats.dram_queue_cycles > 0, "channel must have queued");
+        for pair in readies.windows(2) {
+            assert!(
+                pair[1] >= pair[0] + per_line - 1,
+                "fills must be spaced by channel occupancy: {readies:?}"
+            );
+        }
+        // The full-bandwidth channel answers the same burst much faster.
+        let mut fast = SharedMemSys::new(&cfg, &ChipConfig::gtx780(2));
+        let fast_last = (0..8u64).map(|i| fast.request(i * cfg.line_bytes as u64, 0)).max();
+        assert!(fast_last.unwrap() < *readies.last().unwrap());
+    }
+
+    /// L2 hits skip the DRAM channel entirely.
+    #[test]
+    fn l2_hits_bypass_dram() {
+        let (cfg, chip) = gtx(2);
+        let mut m = SharedMemSys::new(&cfg, &chip);
+        m.request(0x1000, 0);
+        // Re-request after the fill has long landed: the line is resident.
+        let t = m.request(0x1000, 10_000);
+        assert_eq!(t, 10_000 + u64::from(cfg.l2_latency) + u64::from(chip.noc_latency));
+        assert_eq!(m.stats.l2.hits, 1);
+        assert_eq!(m.stats.dram_lines, 1);
+    }
+}

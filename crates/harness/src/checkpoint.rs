@@ -17,7 +17,7 @@
 //! starting over.
 
 use crate::job::{fnv1a64, JobId, SimJob};
-use crate::results::{write_text, CellFailure};
+use crate::results::{write_text, CellFailure, ChipSummary};
 use drs_sim::{ActiveHistogram, JsonBuf, SimStats};
 use drs_telemetry::check::{self, Value};
 use std::collections::BTreeMap;
@@ -25,7 +25,8 @@ use std::path::{Path, PathBuf};
 
 /// Version of the checkpoint schema (bumped on incompatible layout
 /// changes; a mismatch makes old checkpoints stale, never misread).
-pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+/// v2 added the optional per-cell `chip` summary for full-chip cells.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 2;
 
 /// Where the checkpoint lives and whether to read it back.
 #[derive(Debug, Clone)]
@@ -53,6 +54,8 @@ pub struct CheckpointCell {
     pub wall_ms: f64,
     /// Full counter set.
     pub stats: SimStats,
+    /// Shared-memory-system summary, for full-chip cells.
+    pub chip: Option<ChipSummary>,
     /// Failure record, for failed cells.
     pub failure: Option<CellFailure>,
 }
@@ -115,6 +118,10 @@ impl Checkpoint {
             }
             j.key("stats");
             cell.stats.write_json(&mut j);
+            if let Some(chip) = &cell.chip {
+                j.key("chip");
+                chip.write_json(&mut j);
+            }
             j.end_obj();
         }
         j.end_arr();
@@ -162,6 +169,10 @@ impl Checkpoint {
                     attempts: get_u64(cell, "attempts")? as u32,
                     wall_ms: cell.get("wall_ms")?.as_num()?,
                     stats: parse_stats(cell.get("stats")?)?,
+                    chip: match cell.get("chip") {
+                        Some(c) => Some(parse_chip(c)?),
+                        None => None,
+                    },
                     failure: match cell.get("failure") {
                         Some(f) => Some(parse_failure(f)?),
                         None => None,
@@ -251,6 +262,27 @@ fn parse_stats(v: &Value) -> Option<SimStats> {
     })
 }
 
+fn parse_u64_arr(v: &Value) -> Option<Vec<u64>> {
+    v.as_arr()?.iter().map(|item| num_to_u64(item.as_num()?)).collect()
+}
+
+/// Invert [`ChipSummary::write_json`], field for field.
+fn parse_chip(v: &Value) -> Option<ChipSummary> {
+    Some(ChipSummary {
+        sms: get_u64(v, "sms")? as usize,
+        l2_hits: get_u64(v, "l2_hits")?,
+        l2_misses: get_u64(v, "l2_misses")?,
+        requests: get_u64(v, "requests")?,
+        dram_lines: get_u64(v, "dram_lines")?,
+        dram_queue_cycles: get_u64(v, "dram_queue_cycles")?,
+        bank_conflict_cycles: get_u64(v, "bank_conflict_cycles")?,
+        mshr_merges: get_u64(v, "mshr_merges")?,
+        mshr_waits: get_u64(v, "mshr_waits")?,
+        per_sm_cycles: parse_u64_arr(v.get("per_sm_cycles")?)?,
+        per_sm_rays: parse_u64_arr(v.get("per_sm_rays")?)?,
+    })
+}
+
 fn parse_failure(v: &Value) -> Option<CellFailure> {
     Some(CellFailure {
         kind: v.get("kind")?.as_str()?.to_string(),
@@ -306,6 +338,19 @@ mod tests {
                 attempts: 1,
                 wall_ms: 4.5,
                 stats: sample_stats(),
+                chip: Some(ChipSummary {
+                    sms: 3,
+                    l2_hits: 510,
+                    l2_misses: 170,
+                    requests: 700,
+                    dram_lines: 160,
+                    dram_queue_cycles: 42,
+                    bank_conflict_cycles: 13,
+                    mshr_merges: 20,
+                    mshr_waits: 4,
+                    per_sm_cycles: vec![4000, 4100, 3990],
+                    per_sm_rays: vec![226, 226, 226],
+                }),
                 failure: None,
             },
         );
@@ -317,6 +362,7 @@ mod tests {
                 attempts: 2,
                 wall_ms: 1.0,
                 stats: SimStats { cycles: 99, ..Default::default() },
+                chip: None,
                 failure: Some(CellFailure {
                     kind: "watchdog".into(),
                     message: "no instruction issued for 11 cycles".into(),
@@ -368,7 +414,7 @@ mod tests {
         let scale = Scale::default();
         let wl = WorkloadSpec::standard(SceneKind::Conference, &scale, 8);
         let jobs: Vec<SimJob> = (1..=3)
-            .map(|b| SimJob { workload: wl, bounce: b, method: Method::Aila, warps: 8 })
+            .map(|b| SimJob { workload: wl, bounce: b, method: Method::Aila, warps: 8, chip: None })
             .collect();
         let base = run_key(&jobs, true);
         assert_eq!(base, run_key(&jobs, true), "stable");

@@ -3,7 +3,8 @@
 //! Fault tolerance that is only exercised by real hardware failures is
 //! untestable. A [`FaultPlan`] makes every failure mode the pool defends
 //! against — worker panics, corrupted capture-cache entries, watchdog
-//! trips, cycle-budget exhaustion — reproducible on demand: faults are
+//! trips, cycle-budget exhaustion, corrupted full-chip configurations —
+//! reproducible on demand: faults are
 //! addressed either at a fixed job index (`panic@3`) or pseudo-randomly
 //! from a seed and the job's content id (`watchdog~8` ≈ one job in eight),
 //! so the same plan over the same grid always injects the same faults.
@@ -35,6 +36,9 @@ pub enum FaultKind {
     WatchdogTrip,
     /// Exhaust a tiny per-job cycle budget.
     BudgetExhaust,
+    /// Corrupt the full-chip configuration (zero SMs) so the attempt
+    /// fails the simulator's typed `chip_config` validation.
+    ChipConfigCorrupt,
 }
 
 impl FaultKind {
@@ -45,6 +49,7 @@ impl FaultKind {
             FaultKind::CacheCorrupt => "cache",
             FaultKind::WatchdogTrip => "watchdog",
             FaultKind::BudgetExhaust => "budget",
+            FaultKind::ChipConfigCorrupt => "chipcfg",
         }
     }
 
@@ -54,6 +59,7 @@ impl FaultKind {
             "cache" => Some(FaultKind::CacheCorrupt),
             "watchdog" => Some(FaultKind::WatchdogTrip),
             "budget" => Some(FaultKind::BudgetExhaust),
+            "chipcfg" => Some(FaultKind::ChipConfigCorrupt),
             _ => None,
         }
     }
@@ -95,7 +101,7 @@ impl fmt::Display for FaultSpecError {
         write!(
             f,
             "bad fault spec '{}': expected clauses like 'seed=N', 'panic@IDX[xT]' or \
-             'watchdog~N[xT]' with kinds panic|cache|watchdog|budget",
+             'watchdog~N[xT]' with kinds panic|cache|watchdog|budget|chipcfg",
             self.0
         )
     }
@@ -179,9 +185,10 @@ mod tests {
 
     #[test]
     fn parses_every_clause_form() {
-        let plan = FaultPlan::parse("seed=7,panic@1,cache~4x1,watchdog@2x3,budget@0").unwrap();
+        let plan =
+            FaultPlan::parse("seed=7,panic@1,cache~4x1,watchdog@2x3,budget@0,chipcfg@4").unwrap();
         assert_eq!(plan.seed, 7);
-        assert_eq!(plan.rules.len(), 4);
+        assert_eq!(plan.rules.len(), 5);
         assert_eq!(
             plan.rules[0],
             FaultRule { kind: FaultKind::WorkerPanic, target: Target::Index(1), times: None }
@@ -193,6 +200,10 @@ mod tests {
         assert_eq!(
             plan.rules[2],
             FaultRule { kind: FaultKind::WatchdogTrip, target: Target::Index(2), times: Some(3) }
+        );
+        assert_eq!(
+            plan.rules[4],
+            FaultRule { kind: FaultKind::ChipConfigCorrupt, target: Target::Index(4), times: None }
         );
         assert!(FaultPlan::parse("").unwrap().is_empty());
         assert!(FaultPlan::parse("  ").unwrap().is_empty());

@@ -20,7 +20,7 @@ pub fn comparison_methods() -> [Method; 4] {
 }
 
 fn job(wl: WorkloadSpec, bounce: usize, method: Method, scale: &Scale) -> SimJob {
-    SimJob { workload: wl, bounce, method, warps: scale.warps(method.paper_warps()) }
+    SimJob { workload: wl, bounce, method, warps: scale.warps(method.paper_warps()), chip: None }
 }
 
 /// Figure 2: Aila kernel per-bounce SIMD efficiency on the conference room.

@@ -7,6 +7,7 @@
 //! ([`crate::pool`]) is free to dedupe, cache, and parallelize.
 
 use drs_scene::SceneKind;
+use drs_sim::ChipConfig;
 use drs_trace::BounceStreams;
 
 /// 64-bit FNV-1a over a byte string — the content hash behind [`JobId`]
@@ -215,11 +216,17 @@ impl std::fmt::Display for JobId {
 ///
 /// let scale = Scale::default();
 /// let workload = WorkloadSpec::standard(SceneKind::Conference, &scale, 8);
-/// let job = SimJob { workload, bounce: 2, method: Method::drs_default(), warps: 58 };
+/// let job = SimJob {
+///     workload,
+///     bounce: 2,
+///     method: Method::drs_default(),
+///     warps: 58,
+///     chip: None,
+/// };
 ///
 /// // Identity is derived from the job's content, not its address: the
 /// // same cell built twice (e.g. by two different figures) is one job.
-/// let again = SimJob { workload, bounce: 2, method: Method::drs_default(), warps: 58 };
+/// let again = SimJob { chip: None, ..job };
 /// assert_eq!(job.id(), again.id());
 /// assert_ne!(job.id(), SimJob { bounce: 3, ..job }.id());
 /// ```
@@ -233,18 +240,29 @@ pub struct SimJob {
     pub method: Method,
     /// Resident warps (already scaled).
     pub warps: usize,
+    /// Full-chip mode: shard the stream over `chip.sms` SM engines
+    /// against one shared L2/MSHR/DRAM system instead of one SMX with a
+    /// private L2 slice. Every chip knob affects results, so a chip job
+    /// hashes to a different [`JobId`] than its single-SMX twin.
+    pub chip: Option<ChipConfig>,
 }
 
 impl SimJob {
     /// Content-derived id covering every input that affects the result.
+    /// Single-SMX jobs (`chip: None`) keep the historical canonical form,
+    /// so existing checkpoint and cache identities survive unchanged.
     pub fn id(&self) -> JobId {
-        let canon = format!(
+        let mut canon = format!(
             "{};bounce={};method={};warps={}",
             self.workload.canonical(),
             self.bounce,
             self.method.label(),
             self.warps
         );
+        if let Some(chip) = &self.chip {
+            canon.push_str(";chip=");
+            canon.push_str(&chip.canonical());
+        }
         JobId(fnv1a64(canon.as_bytes()))
     }
 }
@@ -267,6 +285,15 @@ impl JobSet {
     /// Append a cell.
     pub fn push(&mut self, job: SimJob) {
         self.jobs.push(job);
+    }
+
+    /// The same set with every cell switched to full-chip mode — the
+    /// `--chip` decoration applied before job ids are taken.
+    pub fn with_chip(mut self, chip: ChipConfig) -> JobSet {
+        for job in &mut self.jobs {
+            job.chip = Some(chip);
+        }
+        self
     }
 
     /// The distinct workloads this set needs, in first-use order.
@@ -303,6 +330,7 @@ mod tests {
             bounce,
             method,
             warps: scale.warps(method.paper_warps()),
+            chip: None,
         };
         let a = job(Method::Aila, 1);
         assert_eq!(a.id(), job(Method::Aila, 1).id());
@@ -335,6 +363,31 @@ mod tests {
     }
 
     #[test]
+    fn chip_config_is_part_of_job_identity() {
+        let scale = Scale::default();
+        let wl = WorkloadSpec::standard(SceneKind::Conference, &scale, 8);
+        let base = SimJob { workload: wl, bounce: 1, method: Method::Aila, warps: 48, chip: None };
+        let chip = SimJob { chip: Some(ChipConfig::gtx780(15)), ..base };
+        assert_ne!(base.id(), chip.id(), "chip mode must change the cell identity");
+        // Every chip knob is result-affecting, so every knob must hash.
+        let knobs = [
+            ChipConfig { sms: 2, ..ChipConfig::gtx780(15) },
+            ChipConfig { l2_banks: 8, ..ChipConfig::gtx780(15) },
+            ChipConfig { shared_mshrs: 64, ..ChipConfig::gtx780(15) },
+            ChipConfig { dram_gbps: 100, ..ChipConfig::gtx780(15) },
+            ChipConfig { noc_latency: 2, ..ChipConfig::gtx780(15) },
+        ];
+        let mut ids: Vec<JobId> = knobs
+            .iter()
+            .map(|&c| SimJob { chip: Some(c), ..base }.id())
+            .chain([base.id(), chip.id()])
+            .collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 7, "all chip variants must be distinct jobs");
+    }
+
+    #[test]
     fn labels_are_distinct() {
         let labels: Vec<String> = [
             Method::Aila,
@@ -360,8 +413,20 @@ mod tests {
         let wl2 = WorkloadSpec::standard(SceneKind::Plants, &scale, 8);
         let mut set = JobSet::new("t");
         for b in 1..=3 {
-            set.push(SimJob { workload: wl, bounce: b, method: Method::Aila, warps: 48 });
-            set.push(SimJob { workload: wl2, bounce: b, method: Method::Aila, warps: 48 });
+            set.push(SimJob {
+                workload: wl,
+                bounce: b,
+                method: Method::Aila,
+                warps: 48,
+                chip: None,
+            });
+            set.push(SimJob {
+                workload: wl2,
+                bounce: b,
+                method: Method::Aila,
+                warps: 48,
+                chip: None,
+            });
         }
         assert_eq!(set.distinct_workloads().len(), 2);
     }

@@ -29,6 +29,10 @@
 //!   file lets an interrupted grid resume with bit-identical merged
 //!   results. A deterministic [`FaultPlan`] makes every defended failure
 //!   mode reproducible on demand.
+//! - **Full-chip mode** ([`runner::run_chip_cell`], `drs-chip`): a job
+//!   with [`SimJob::chip`] set runs N per-SM engines against one shared
+//!   L2/MSHR/DRAM memory system instead of a single scaled SMX; the cell
+//!   carries a [`ChipSummary`] with the cross-SM contention counters.
 //!
 //! # Example
 //!
@@ -57,10 +61,15 @@ pub mod runner;
 
 pub use cache::{CacheCounters, CacheStoreError, StreamCache};
 pub use checkpoint::{Checkpoint, CheckpointCell, CheckpointSpec};
+pub use drs_sim::ChipConfig;
 pub use fault::{FaultKind, FaultPlan, FaultSpecError};
 pub use job::{fnv1a64, JobId, JobSet, Method, Scale, SimJob, WorkloadSpec};
 pub use pool::{
     parallel_map, parallel_map_catching, run_jobs, CaptureMode, CaughtPanic, RunOptions, RunReport,
 };
-pub use results::{write_text, CellFailure, CellResult, ResultsFile, RESULTS_SCHEMA_VERSION};
-pub use runner::{run_cell, run_method_with_warps, run_method_with_warps_telemetry, CellConfig};
+pub use results::{
+    write_text, CellFailure, CellResult, ChipSummary, ResultsFile, RESULTS_SCHEMA_VERSION,
+};
+pub use runner::{
+    run_cell, run_chip_cell, run_method_with_warps, run_method_with_warps_telemetry, CellConfig,
+};

@@ -30,9 +30,9 @@ use crate::cache::{CacheCounters, StreamCache};
 use crate::checkpoint::{run_key, Checkpoint, CheckpointCell, CheckpointSpec};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::job::{JobId, SimJob};
-use crate::results::{CellFailure, CellResult};
+use crate::results::{CellFailure, CellResult, ChipSummary};
 use crate::runner::CellConfig;
-use drs_sim::{SimError, SimErrorKind, SimStats};
+use drs_sim::{ChipConfig, SimError, SimErrorKind, SimStats};
 use drs_telemetry::{TelemetryConfig, TelemetryReport};
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -89,6 +89,11 @@ pub struct RunOptions {
     /// Per-job wall-clock budget in milliseconds. A cell exceeding it
     /// fails with a typed `deadline` record carrying partial stats.
     pub job_timeout_ms: Option<u64>,
+    /// Worker threads sharding the SMs inside each full-chip cell's
+    /// window loop (chip jobs only; single-SMX cells ignore it). Chip
+    /// results are bit-identical for any value, so — unlike the chip
+    /// config itself — this never enters job identity or the run key.
+    pub chip_threads: usize,
     /// Deterministic fault injection (empty plan = no faults).
     pub faults: FaultPlan,
     /// Crash-safe checkpointing: persist every finished cell and
@@ -112,6 +117,7 @@ impl RunOptions {
             retry_backoff_ms: 10,
             job_cycle_budget: None,
             job_timeout_ms: None,
+            chip_threads: 1,
             faults: FaultPlan::default(),
             checkpoint: None,
         }
@@ -274,6 +280,7 @@ impl CheckpointState {
                 attempts: cell.attempts,
                 wall_ms: cell.wall_ms,
                 stats: cell.stats.clone(),
+                chip: cell.chip.clone(),
                 failure: cell.failure.clone(),
             },
         );
@@ -301,6 +308,14 @@ pub fn run_jobs(jobs: &[SimJob], opts: &RunOptions) -> RunReport {
         }
         (spec, _) => spec.as_ref(),
     };
+    // Full-chip cells attach one collector per SM inside the chip loop
+    // (see `runner::run_chip_cell`); the single-report cell field cannot
+    // represent that, so chip cells run unobserved under pool telemetry.
+    if opts.telemetry.is_some() && jobs.iter().any(|j| j.chip.is_some()) {
+        eprintln!(
+            "drs-harness: telemetry skipped for chip cells (per-SM reports need run_chip_cell)"
+        );
+    }
     let key = checkpoint.map(|_| run_key(jobs, opts.fastpath));
     let resumed_cells: HashMap<JobId, CheckpointCell> = match (checkpoint, key) {
         (Some(spec), Some(key)) if spec.resume => Checkpoint::load(&spec.path, key)
@@ -354,6 +369,7 @@ pub fn run_jobs(jobs: &[SimJob], opts: &RunOptions) -> RunReport {
                 completed: prior.completed,
                 stats: prior.stats.clone(),
                 telemetry: None,
+                chip: prior.chip.clone(),
                 failure: prior.failure.clone(),
                 attempts: prior.attempts,
                 wall_ms: prior.wall_ms,
@@ -370,6 +386,7 @@ pub fn run_jobs(jobs: &[SimJob], opts: &RunOptions) -> RunReport {
                 completed: false,
                 stats: SimStats::default(),
                 telemetry: None,
+                chip: None,
                 failure: Some(CellFailure {
                     kind: "capture".to_string(),
                     message: format!("workload capture failed: {message}"),
@@ -435,6 +452,7 @@ fn run_one_job(
             completed: true,
             stats: SimStats::default(),
             telemetry: None,
+            chip: None,
             failure: None,
             attempts: 1,
             wall_ms: 0.0,
@@ -447,13 +465,14 @@ fn run_one_job(
         attempt += 1;
         let fault = opts.faults.fault_for(index, job.id(), attempt);
         match run_attempt(job, scripts, fault, opts) {
-            Ok((stats, telemetry)) => {
+            Ok((stats, telemetry, chip)) => {
                 return CellResult {
                     job: *job,
                     empty: false,
                     completed: true,
                     stats,
                     telemetry,
+                    chip,
                     failure: None,
                     attempts: attempt,
                     wall_ms: job_start.elapsed().as_secs_f64() * 1e3,
@@ -479,6 +498,7 @@ fn run_one_job(
                     completed: false,
                     stats: partial,
                     telemetry: None,
+                    chip: None,
                     failure: Some(failure),
                     attempts: attempt,
                     wall_ms: job_start.elapsed().as_secs_f64() * 1e3,
@@ -490,8 +510,27 @@ fn run_one_job(
 
 /// Outcome of a single cell attempt. The error side is boxed —
 /// `SimStats` is large — and carries the partial stats accumulated
-/// before the failure.
-type AttemptOutcome = Result<(SimStats, Option<TelemetryReport>), Box<(CellFailure, SimStats)>>;
+/// before the failure. The chip summary is `Some` exactly for
+/// successful full-chip cells.
+type AttemptOutcome =
+    Result<(SimStats, Option<TelemetryReport>, Option<ChipSummary>), Box<(CellFailure, SimStats)>>;
+
+/// Flatten a finished chip run into the per-cell summary row.
+fn chip_summary(r: &drs_chip::ChipResult) -> ChipSummary {
+    ChipSummary {
+        sms: r.per_sm.len(),
+        l2_hits: r.chip.l2.hits,
+        l2_misses: r.chip.l2.misses,
+        requests: r.chip.requests,
+        dram_lines: r.chip.dram_lines,
+        dram_queue_cycles: r.chip.dram_queue_cycles,
+        bank_conflict_cycles: r.chip.bank_conflict_cycles,
+        mshr_merges: r.chip.mshr_merges,
+        mshr_waits: r.chip.mshr_waits,
+        per_sm_cycles: r.per_sm.iter().map(|s| s.cycles).collect(),
+        per_sm_rays: r.per_sm.iter().map(|s| s.rays_completed).collect(),
+    }
+}
 
 /// One isolated attempt: inject the planned fault (if any), run the cell
 /// under `catch_unwind`, and map every outcome to data.
@@ -517,6 +556,8 @@ fn run_attempt(
     let mut cfg = CellConfig::new(job.method, job.warps);
     cfg.fastpath = opts.fastpath;
     cfg.cycle_budget = opts.job_cycle_budget;
+    cfg.chip = job.chip;
+    cfg.chip_threads = opts.chip_threads.max(1);
     if let Some(ms) = opts.job_timeout_ms {
         cfg.deadline = Some((Instant::now() + Duration::from_millis(ms), ms));
     }
@@ -527,15 +568,34 @@ fn run_attempt(
                 cfg.cycle_budget.map_or(INJECTED_CYCLE_BUDGET, |b| b.min(INJECTED_CYCLE_BUDGET)),
             );
         }
+        Some(FaultKind::ChipConfigCorrupt) => {
+            // Corrupt the chip config (zero SMs) so the attempt trips
+            // the simulator's typed `chip_config` validation error; a
+            // non-chip job is forced onto the chip path for the purpose.
+            cfg.chip =
+                Some(ChipConfig { sms: 0, ..cfg.chip.unwrap_or_else(|| ChipConfig::gtx780(1)) });
+        }
         _ => {}
     }
     let outcome = catch_quietly(|| {
         assert!(fault != Some(FaultKind::WorkerPanic), "injected worker panic (job {})", job.id());
-        crate::runner::run_cell(&cfg, scripts, opts.telemetry)
+        if cfg.chip.is_some() {
+            let (result, _per_sm) = crate::runner::run_chip_cell(&cfg, scripts, None);
+            match result {
+                Ok(chip) => {
+                    let summary = chip_summary(&chip);
+                    (Ok(chip.aggregate), None, Some(summary))
+                }
+                Err(err) => (Err(err), None, None),
+            }
+        } else {
+            let (result, telemetry) = crate::runner::run_cell(&cfg, scripts, opts.telemetry);
+            (result, telemetry, None)
+        }
     });
     match outcome {
-        Ok((Ok(stats), telemetry)) => Ok((stats, telemetry)),
-        Ok((Err(err), _)) => Err(Box::new(failure_from_sim_error(err, injected))),
+        Ok((Ok(stats), telemetry, chip)) => Ok((stats, telemetry, chip)),
+        Ok((Err(err), _, _)) => Err(Box::new(failure_from_sim_error(err, injected))),
         Err(caught) => Err(Box::new((
             CellFailure {
                 kind: "panic".to_string(),

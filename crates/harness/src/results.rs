@@ -59,6 +59,70 @@ impl CellFailure {
     }
 }
 
+/// Shared-memory-system outcome of a full-chip cell: the contention
+/// counters no single-SMX run can produce, plus the per-SM completion
+/// profile. Attached to [`CellResult`] when the job ran in chip mode.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChipSummary {
+    /// SM engines the cell ran with.
+    pub sms: usize,
+    /// Shared (banked) L2 hits, chip-wide.
+    pub l2_hits: u64,
+    /// Shared L2 misses, chip-wide.
+    pub l2_misses: u64,
+    /// Line requests that reached the shared system.
+    pub requests: u64,
+    /// Lines fetched over the DRAM channel.
+    pub dram_lines: u64,
+    /// Cycles requests spent queued behind a saturated DRAM channel.
+    pub dram_queue_cycles: u64,
+    /// Cycles lost to same-bank serialization at the L2.
+    pub bank_conflict_cycles: u64,
+    /// Requests merged into an in-flight fetch of the same line
+    /// (cross-SM MSHR sharing).
+    pub mshr_merges: u64,
+    /// Requests that waited for a free MSHR (pool exhausted).
+    pub mshr_waits: u64,
+    /// Per-SM cycle counts, SM order (the chip's cycles is the max).
+    pub per_sm_cycles: Vec<u64>,
+    /// Per-SM completed rays, SM order.
+    pub per_sm_rays: Vec<u64>,
+}
+
+impl ChipSummary {
+    /// Shared-L2 hit rate across all SMs.
+    pub fn l2_hit_rate(&self) -> f64 {
+        self.l2_hits as f64 / (self.l2_hits + self.l2_misses).max(1) as f64
+    }
+
+    /// Append this summary as a JSON object.
+    pub fn write_json(&self, j: &mut JsonBuf) {
+        j.begin_obj();
+        j.kv_u64("sms", self.sms as u64);
+        j.kv_u64("l2_hits", self.l2_hits);
+        j.kv_u64("l2_misses", self.l2_misses);
+        j.kv_u64("requests", self.requests);
+        j.kv_u64("dram_lines", self.dram_lines);
+        j.kv_u64("dram_queue_cycles", self.dram_queue_cycles);
+        j.kv_u64("bank_conflict_cycles", self.bank_conflict_cycles);
+        j.kv_u64("mshr_merges", self.mshr_merges);
+        j.kv_u64("mshr_waits", self.mshr_waits);
+        j.key("per_sm_cycles");
+        j.begin_arr();
+        for &c in &self.per_sm_cycles {
+            j.u64(c);
+        }
+        j.end_arr();
+        j.key("per_sm_rays");
+        j.begin_arr();
+        for &r in &self.per_sm_rays {
+            j.u64(r);
+        }
+        j.end_arr();
+        j.end_obj();
+    }
+}
+
 /// The outcome of one experiment cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellResult {
@@ -79,6 +143,12 @@ pub struct CellResult {
     /// Why the cell failed, when it did. Every failed attempt's class and
     /// message survive into the results JSON instead of killing the run.
     pub failure: Option<CellFailure>,
+    /// Shared-memory-system counters and the per-SM profile, for cells
+    /// that ran in full-chip mode (`job.chip` set). In chip mode
+    /// [`CellResult::stats`] is the chip-wide aggregate: rays are summed
+    /// across SMs and `stats.l2` is the shared L2, so throughput uses an
+    /// SMX scale factor of 1.
+    pub chip: Option<ChipSummary>,
     /// Attempts the pool made on this cell (1 = first try succeeded).
     pub attempts: u32,
     /// Wall-clock of this cell's simulation in milliseconds (excluded
@@ -87,9 +157,12 @@ pub struct CellResult {
 }
 
 impl CellResult {
-    /// Whole-GPU throughput for this cell.
+    /// Whole-GPU throughput for this cell. Single-SMX cells scale by
+    /// `smx_count`; chip cells already aggregate every SM's rays, so
+    /// their stats are whole-chip and scale by 1.
     pub fn mrays_per_sec(&self, gpu: &GpuConfig) -> f64 {
-        self.stats.mrays_per_sec(gpu.clock_mhz, gpu.smx_count)
+        let smx = if self.job.chip.is_some() { 1 } else { gpu.smx_count };
+        self.stats.mrays_per_sec(gpu.clock_mhz, smx)
     }
 
     /// Short human label for logs and trace process names.
@@ -122,12 +195,26 @@ impl CellResult {
         j.kv_u64("bounce", self.job.bounce as u64);
         j.kv_str("method", &self.job.method.label());
         j.kv_u64("warps", self.job.warps as u64);
+        if let Some(chip) = &self.job.chip {
+            j.key("chip_config");
+            j.begin_obj();
+            j.kv_u64("sms", chip.sms as u64);
+            j.kv_u64("l2_banks", chip.l2_banks as u64);
+            j.kv_u64("shared_mshrs", chip.shared_mshrs as u64);
+            j.kv_u64("dram_gbps", u64::from(chip.dram_gbps));
+            j.kv_u64("noc_latency", u64::from(chip.noc_latency));
+            j.end_obj();
+        }
         j.kv_bool("empty", self.empty);
         j.kv_bool("completed", self.completed);
         j.kv_u64("attempts", self.attempts as u64);
         if let Some(failure) = &self.failure {
             j.key("failure");
             failure.write_json(j, self.attempts);
+        }
+        if let Some(chip) = &self.chip {
+            j.key("chip");
+            chip.write_json(j);
         }
         j.kv_f64("wall_ms", self.wall_ms);
         j.kv_f64("mrays_per_sec", self.mrays_per_sec(gpu));
@@ -229,6 +316,10 @@ impl ResultsFile {
                 j.key("failure");
                 failure.write_json(&mut j, cell.attempts);
             }
+            if let Some(chip) = &cell.chip {
+                j.key("chip");
+                chip.write_json(&mut j);
+            }
             j.key("stats");
             cell.stats.write_json(&mut j);
             if let Some(report) = &cell.telemetry {
@@ -325,15 +416,69 @@ mod tests {
         let scale = Scale::default();
         let wl = WorkloadSpec::standard(SceneKind::Conference, &scale, 8);
         CellResult {
-            job: SimJob { workload: wl, bounce: 2, method: Method::drs_default(), warps: 58 },
+            job: SimJob {
+                workload: wl,
+                bounce: 2,
+                method: Method::drs_default(),
+                warps: 58,
+                chip: None,
+            },
             empty: false,
             completed: true,
             stats: SimStats { cycles: 10, rays_completed: 5, ..Default::default() },
             telemetry: None,
             failure: None,
+            chip: None,
             attempts: 1,
             wall_ms: 1.25,
         }
+    }
+
+    #[test]
+    fn chip_cells_carry_summary_and_scale_by_one() {
+        use drs_sim::ChipConfig;
+        let mut cell = sample_cell();
+        let plain_mrays = cell.mrays_per_sec(&GpuConfig::gtx780());
+        cell.job.chip = Some(ChipConfig::gtx780(2));
+        cell.chip = Some(ChipSummary {
+            sms: 2,
+            l2_hits: 30,
+            l2_misses: 10,
+            requests: 40,
+            dram_lines: 10,
+            dram_queue_cycles: 7,
+            bank_conflict_cycles: 3,
+            mshr_merges: 2,
+            mshr_waits: 1,
+            per_sm_cycles: vec![10, 9],
+            per_sm_rays: vec![3, 2],
+        });
+        let gpu = GpuConfig::gtx780();
+        assert!(
+            (cell.mrays_per_sec(&gpu) - plain_mrays / gpu.smx_count as f64).abs() < 1e-12,
+            "chip cells must not re-scale by smx_count"
+        );
+        assert!((cell.chip.as_ref().unwrap().l2_hit_rate() - 0.75).abs() < 1e-12);
+        let file = ResultsFile {
+            mode: "fig2".into(),
+            workers: 1,
+            cache: CacheCounters::default(),
+            wall_ms: 1.0,
+            cells: vec![(vec!["fig2".into()], cell)],
+        };
+        for json in [file.to_json(), file.stats_json()] {
+            for needle in [
+                "\"chip\":{\"sms\":2",
+                "\"dram_queue_cycles\":7",
+                "\"bank_conflict_cycles\":3",
+                "\"mshr_merges\":2",
+                "\"per_sm_cycles\":[10,9]",
+                "\"per_sm_rays\":[3,2]",
+            ] {
+                assert!(json.contains(needle), "missing {needle} in {json}");
+            }
+        }
+        assert!(file.to_json().contains("\"chip_config\":{\"sms\":2"));
     }
 
     #[test]

@@ -3,10 +3,13 @@
 
 use crate::job::Method;
 use drs_baselines::{DmkConfig, DmkKernel, DmkUnit, TbcConfig, TbcUnit};
+use drs_chip::{run_chip, ChipResult};
 use drs_core::system::RowedWhileIf;
 use drs_core::{DrsConfig, DrsUnit, RAY_REGISTERS};
 use drs_kernels::{WhileIfKernel, WhileWhileConfig, WhileWhileKernel};
-use drs_sim::{GpuConfig, NullSpecial, Program, SimError, SimStats, Simulation, TelemetrySink};
+use drs_sim::{
+    ChipConfig, GpuConfig, NullSpecial, Program, SimError, SimStats, Simulation, TelemetrySink,
+};
 use drs_telemetry::{TelemetryCollector, TelemetryConfig, TelemetryReport};
 use drs_trace::RayScript;
 use std::time::Instant;
@@ -35,11 +38,18 @@ pub struct CellConfig {
     /// fixed 17 registers. Results are bit-identical whenever the derived
     /// count equals the constant — asserted by the golden test.
     pub derived_transfer_cost: bool,
+    /// Full-chip mode: shard the stream over `chip.sms` SM engines
+    /// sharing one banked L2 / MSHR pool / DRAM channel (`drs-chip`).
+    pub chip: Option<ChipConfig>,
+    /// Worker threads sharding the SMs inside each chip window (chip mode
+    /// only). Results are bit-identical for any value, so this is an
+    /// execution knob, never part of job identity.
+    pub chip_threads: usize,
 }
 
 impl CellConfig {
     /// A plain cell: no budgets, no injection, fast path on, constant
-    /// transfer cost.
+    /// transfer cost, single-SMX mode.
     pub fn new(method: Method, warps: usize) -> CellConfig {
         CellConfig {
             method,
@@ -49,6 +59,8 @@ impl CellConfig {
             deadline: None,
             watchdog_trip_at: None,
             derived_transfer_cost: false,
+            chip: None,
+            chip_threads: 1,
         }
     }
 }
@@ -180,13 +192,44 @@ fn run_inner<'w>(
     scripts: &'w [RayScript],
     sink: Option<&'w mut dyn TelemetrySink>,
 ) -> Result<SimStats, SimError> {
-    let warps = cfg.warps;
-    let gpu = GpuConfig {
-        max_warps: warps,
+    let gpu = gpu_for(cfg);
+    let mut sim = build_method_sim(cfg, gpu, scripts);
+    if let Some(sink) = sink {
+        sim.attach_telemetry(sink);
+    }
+    arm_sim(&mut sim, cfg);
+    sim.run()
+}
+
+/// The per-SMX GPU configuration a cell runs with.
+fn gpu_for(cfg: &CellConfig) -> GpuConfig {
+    GpuConfig {
+        max_warps: cfg.warps,
         max_cycles: cfg.cycle_budget.unwrap_or(4_000_000_000),
         ..GpuConfig::gtx780()
-    };
-    let mut sim = match cfg.method {
+    }
+}
+
+/// Apply the execution knobs (fast path, injected watchdog, deadline) to
+/// a constructed engine — shared by the single-SMX and per-SM chip paths.
+fn arm_sim(sim: &mut Simulation<'_>, cfg: &CellConfig) {
+    sim.set_fastpath(cfg.fastpath);
+    if let Some(at) = cfg.watchdog_trip_at {
+        sim.inject_watchdog_trip(at);
+    }
+    if let Some((instant, budget_ms)) = cfg.deadline {
+        sim.set_deadline(instant, budget_ms);
+    }
+}
+
+/// Construct the engine for a cell's method over one ray stream.
+fn build_method_sim<'w>(
+    cfg: &CellConfig,
+    gpu: GpuConfig,
+    scripts: &'w [RayScript],
+) -> Simulation<'w> {
+    let warps = cfg.warps;
+    match cfg.method {
         Method::Aila => {
             let k = WhileWhileKernel::new(WhileWhileConfig::default());
             new_sim(gpu, k.program(), Box::new(k.clone()), Box::new(NullSpecial), scripts)
@@ -226,18 +269,51 @@ fn run_inner<'w>(
                 DrsUnit::with_ray_regs(drs, transfer_regs(&program, cfg.derived_transfer_cost));
             new_sim(gpu, program, Box::new(behavior), Box::new(unit), scripts)
         }
+    }
+}
+
+/// The contiguous shard of `scripts` SM `sm` of `sms` owns — the same
+/// stream split the chip determinism tests assert on.
+fn shard(scripts: &[RayScript], sm: usize, sms: usize) -> &[RayScript] {
+    &scripts[sm * scripts.len() / sms..(sm + 1) * scripts.len() / sms]
+}
+
+/// Run one cell in full-chip mode: shard the stream over `chip.sms` SM
+/// engines (same method, same per-SM GPU config) against one shared
+/// memory system. When telemetry is requested, one collector is attached
+/// per SM and the per-SM reports come back in SM order — each satisfies
+/// the Σ-buckets identity for its own SM.
+///
+/// Results are bit-identical for any `cfg.chip_threads`.
+pub fn run_chip_cell(
+    cfg: &CellConfig,
+    scripts: &[RayScript],
+    telemetry: Option<TelemetryConfig>,
+) -> (Result<ChipResult, SimError>, Vec<TelemetryReport>) {
+    let chip = cfg.chip.expect("run_chip_cell needs CellConfig::chip");
+    let gpu = gpu_for(cfg);
+    // An invalid SM count would make sharding below panic; let run_chip
+    // turn it into the typed chip_config error instead.
+    if chip.validate().is_err() {
+        let out = run_chip(Vec::new(), &gpu, &chip, cfg.chip_threads.max(1));
+        return (out, Vec::new());
+    }
+    let mut collectors: Vec<TelemetryCollector> = match telemetry {
+        Some(tcfg) => (0..chip.sms).map(|_| TelemetryCollector::new(tcfg)).collect(),
+        None => Vec::new(),
     };
-    if let Some(sink) = sink {
-        sim.attach_telemetry(sink);
+    let mut lanes: Vec<Simulation<'_>> = (0..chip.sms)
+        .map(|sm| {
+            let mut sim = build_method_sim(cfg, gpu.clone(), shard(scripts, sm, chip.sms));
+            arm_sim(&mut sim, cfg);
+            sim
+        })
+        .collect();
+    for (lane, collector) in lanes.iter_mut().zip(collectors.iter_mut()) {
+        lane.attach_telemetry(collector);
     }
-    sim.set_fastpath(cfg.fastpath);
-    if let Some(at) = cfg.watchdog_trip_at {
-        sim.inject_watchdog_trip(at);
-    }
-    if let Some((instant, budget_ms)) = cfg.deadline {
-        sim.set_deadline(instant, budget_ms);
-    }
-    sim.run()
+    let out = run_chip(lanes, &gpu, &chip, cfg.chip_threads.max(1));
+    (out, collectors.into_iter().map(TelemetryCollector::into_report).collect())
 }
 
 #[cfg(test)]

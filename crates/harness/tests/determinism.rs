@@ -7,7 +7,9 @@
 //!    results; the emitted JSON is well-formed and carries Mrays/s and
 //!    SIMD efficiency for every cell.
 
-use drs_harness::{figures, pool, CaptureMode, ResultsFile, RunOptions, Scale, StreamCache};
+use drs_harness::{
+    figures, pool, CaptureMode, ChipConfig, ResultsFile, RunOptions, Scale, StreamCache,
+};
 use drs_scene::SceneKind;
 
 /// Reduced scale so the grid stays fast in debug CI runs.
@@ -50,6 +52,51 @@ fn serial_and_parallel_runs_are_bit_identical() {
     }
     // The grid actually simulated something.
     assert!(serial.cells.iter().any(|c| !c.empty && c.stats.rays_completed > 0));
+}
+
+#[test]
+fn chip_cells_are_bit_identical_across_worker_and_chip_thread_counts() {
+    let scale = tiny_scale();
+    let mut set = reduced_fig10(&scale);
+    set.jobs.retain(|j| j.workload.scene == SceneKind::Conference);
+    set.jobs.truncate(4);
+    let set = set.with_chip(ChipConfig::gtx780(2));
+    assert!(set.jobs.iter().all(|j| j.chip.is_some()));
+
+    let base = pool::run_jobs(&set.jobs, &RunOptions::serial());
+    // Both parallelism axes at once: cells across pool workers AND SMs
+    // across threads inside each chip cell.
+    let threaded = pool::run_jobs(
+        &set.jobs,
+        &RunOptions { workers: 4, chip_threads: 4, ..RunOptions::serial() },
+    );
+    let rerun = pool::run_jobs(&set.jobs, &RunOptions { chip_threads: 3, ..RunOptions::serial() });
+
+    assert!(base.all_clean(), "chip grid must complete");
+    for other in [&threaded, &rerun] {
+        assert_eq!(base.cells.len(), other.cells.len());
+        for (b, o) in base.cells.iter().zip(other.cells.iter()) {
+            assert_eq!(b.stats, o.stats, "chip SimStats diverged across thread counts");
+            assert_eq!(b.chip, o.chip, "chip summary diverged across thread counts");
+        }
+    }
+    for cell in base.cells.iter().filter(|c| !c.empty) {
+        let chip = cell.chip.as_ref().expect("chip cells carry a summary");
+        assert_eq!(chip.sms, 2);
+        assert_eq!(chip.per_sm_cycles.len(), 2);
+        assert_eq!(
+            chip.per_sm_rays.iter().sum::<u64>(),
+            cell.stats.rays_completed,
+            "aggregate rays must equal the per-SM sum"
+        );
+        assert_eq!(
+            cell.stats.cycles,
+            *chip.per_sm_cycles.iter().max().unwrap(),
+            "chip cycles are the slowest SM's cycles"
+        );
+        assert!(chip.requests > 0, "a real workload must reach the shared memory system");
+    }
+    assert!(base.cells.iter().any(|c| !c.empty && c.stats.rays_completed > 0));
 }
 
 #[test]

@@ -4,7 +4,8 @@
 //! bit-identical merged result.
 
 use drs_harness::{
-    figures, run_jobs, CheckpointSpec, FaultPlan, ResultsFile, RunOptions, Scale, SimJob,
+    figures, run_jobs, CheckpointSpec, ChipConfig, FaultPlan, ResultsFile, RunOptions, Scale,
+    SimJob,
 };
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -142,6 +143,67 @@ fn checkpointed_run_resumes_to_a_bit_identical_merge() {
         stats_dump("fig2", second),
         clean_dump,
         "resumed merge must be byte-identical to an uninterrupted run"
+    );
+    assert!(!path.exists(), "a fully clean run removes its checkpoint");
+}
+
+#[test]
+fn injected_chip_config_corruption_is_a_typed_failure() {
+    let jobs = tiny_fig2_jobs();
+    let faults = FaultPlan::parse("chipcfg@1").unwrap();
+    let report = run_jobs(&jobs, &RunOptions { faults, ..opts() });
+
+    let cell = &report.cells[1];
+    let f = cell.failure.as_ref().expect("job 1 must fail chip-config validation");
+    assert_eq!(f.kind, "chip_config");
+    assert!(f.injected);
+    assert!(f.message.contains("0 SMs"), "{}", f.message);
+    assert_eq!(cell.attempts, 2, "injected faults are transient and get the retry");
+    assert!(cell.chip.is_none(), "a failed chip attempt yields no summary");
+    assert_eq!(report.failed_cells().count(), 1, "only the corrupted cell fails");
+    assert!(report.cells[0].completed && report.cells[0].failure.is_none());
+}
+
+#[test]
+fn chip_checkpoint_resumes_to_a_bit_identical_merge() {
+    let chip = ChipConfig::gtx780(2);
+    let jobs: Vec<SimJob> =
+        tiny_fig2_jobs().into_iter().map(|j| SimJob { chip: Some(chip), ..j }).collect();
+    let clean_dump = stats_dump("fig2", run_jobs(&jobs, &opts()));
+
+    // First pass: one permanently failing chip cell, checkpoint attached.
+    let path = temp_checkpoint();
+    let faults = FaultPlan::parse("watchdog@2").unwrap();
+    let first = run_jobs(
+        &jobs,
+        &RunOptions {
+            faults,
+            checkpoint: Some(CheckpointSpec { path: path.clone(), resume: false }),
+            ..opts()
+        },
+    );
+    assert_eq!(first.failed_cells().count(), 1);
+    assert!(path.exists());
+
+    // Second pass: resume without faults. The chip summaries of the
+    // resumed cells must round-trip through the checkpoint file.
+    let second = run_jobs(
+        &jobs,
+        &RunOptions {
+            checkpoint: Some(CheckpointSpec { path: path.clone(), resume: true }),
+            ..opts()
+        },
+    );
+    assert_eq!(second.resumed, 3, "the three clean chip cells come from the checkpoint");
+    assert!(second.all_clean());
+    assert!(
+        second.cells.iter().filter(|c| !c.empty).all(|c| c.chip.is_some()),
+        "resumed chip cells must keep their shared-memory summary"
+    );
+    assert_eq!(
+        stats_dump("fig2", second),
+        clean_dump,
+        "resumed chip merge must be byte-identical to an uninterrupted run"
     );
     assert!(!path.exists(), "a fully clean run removes its checkpoint");
 }

@@ -37,6 +37,7 @@ fn fig2_all_methods(scale: &Scale) -> Vec<SimJob> {
                 bounce,
                 method,
                 warps: scale.warps(method.paper_warps()),
+                chip: None,
             });
         }
     }

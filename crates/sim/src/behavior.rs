@@ -5,7 +5,11 @@ use crate::stats::SimStats;
 
 /// Interprets a program's condition / address / effect tokens against the
 /// machine's ray slots. Implemented by each ray-tracing kernel.
-pub trait KernelBehavior {
+///
+/// `Send` so a full-chip run (`drs-chip`) can shard its per-SM engines —
+/// each owning a boxed behavior — across worker threads. Behaviors are
+/// plain data plus lookups, so the bound costs implementors nothing.
+pub trait KernelBehavior: Send {
     /// Evaluate branch condition `token` for `lane` of `warp`.
     fn eval_cond(&self, token: u16, warp: usize, lane: usize, m: &MachineState<'_>) -> bool;
 
@@ -43,7 +47,10 @@ pub enum SpecialOutcome {
 
 /// A hardware unit attached to the core (DRS control, DMK spawn unit, TBC
 /// compactor). Sees every `Special` issue attempt and ticks every cycle.
-pub trait SpecialUnit {
+///
+/// `Send` for the same reason as [`KernelBehavior`]: full-chip runs move
+/// whole engines (and their boxed units) across threads.
+pub trait SpecialUnit: Send {
     /// A warp attempts to issue `Special { token }`. May inspect and mutate
     /// machine state (remap lanes, move rays) and must decide whether the
     /// warp stalls or proceeds.

@@ -1,5 +1,12 @@
 //! GPU microarchitectural configuration (the paper's Table 1).
 
+use std::fmt;
+
+/// Total shared L2 capacity of the chip in bytes (Table 1: 1536 KB).
+/// Single-SMX runs see their `1 / smx_count` slice; full-chip runs
+/// (`drs-chip`) model the whole capacity as one banked cache.
+pub const L2_TOTAL_BYTES: usize = 1536 * 1024;
+
 /// Warp scheduling policy of each scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SchedulerPolicy {
@@ -74,10 +81,11 @@ pub struct GpuConfig {
 impl GpuConfig {
     /// The paper's baseline: a GTX 780 (Kepler) as configured in Table 1.
     pub fn gtx780() -> GpuConfig {
+        let smx_count = 15;
         GpuConfig {
             clock_mhz: 980,
             simd_lanes: 32,
-            smx_count: 15,
+            smx_count,
             warp_schedulers: 4,
             scheduler_policy: SchedulerPolicy::GreedyThenOldest,
             dispatch_units: 8,
@@ -86,7 +94,9 @@ impl GpuConfig {
             max_warps: 48,
             l1d_bytes: 48 * 1024,
             l1t_bytes: 48 * 1024,
-            l2_bytes: 1536 * 1024 / 15, // one SMX's slice of the shared L2
+            // One SMX's slice of the shared L2 (full-chip runs replace this
+            // with the whole banked capacity; see `ChipConfig`).
+            l2_bytes: L2_TOTAL_BYTES / smx_count,
             line_bytes: 128,
             cache_ways: 8,
             alu_latency: 9,
@@ -133,6 +143,84 @@ impl Default for GpuConfig {
     }
 }
 
+/// Full-chip simulation knobs: how many SMs share the memory system and
+/// how that memory system is provisioned.
+///
+/// `None` (the usual single-SMX mode) keeps today's behavior — one SMX
+/// against its private L2 slice, whole-GPU throughput scaled by
+/// `smx_count`. `Some(chip)` makes `drs-chip` instantiate `chip.sms`
+/// engines against one banked L2 with a shared MSHR pool and a
+/// finite-bandwidth DRAM channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChipConfig {
+    /// Number of SM cores sharing the memory system.
+    pub sms: usize,
+    /// L2 banks; each bank accepts one line request per cycle, so
+    /// same-bank traffic from different SMs serializes.
+    pub l2_banks: usize,
+    /// Shared MSHR pool (distinct lines in flight chip-wide).
+    pub shared_mshrs: usize,
+    /// DRAM channel bandwidth in GB/s; converted to cycles-per-line at
+    /// the core clock, so requests queue when the channel saturates.
+    pub dram_gbps: u32,
+    /// One-way interconnect (NoC) latency between an SM and the L2, in
+    /// cycles. Every request pays it twice (request + response).
+    pub noc_latency: u32,
+}
+
+impl ChipConfig {
+    /// The paper's GTX 780 chip provisioning for `sms` cores: 16 L2
+    /// banks, 4096 shared MSHRs, 336 GB/s DRAM, 8-cycle NoC hop.
+    pub fn gtx780(sms: usize) -> ChipConfig {
+        ChipConfig { sms, l2_banks: 16, shared_mshrs: 4096, dram_gbps: 336, noc_latency: 8 }
+    }
+
+    /// Check internal consistency, returning a typed error instead of
+    /// panicking — chip misconfiguration must surface as a recordable
+    /// cell failure, not a worker abort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipConfigError`] when any provisioning knob is zero
+    /// (no SMs, no L2 banks, no MSHRs, or zero DRAM bandwidth).
+    pub fn validate(&self) -> Result<(), ChipConfigError> {
+        if self.sms == 0 {
+            return Err(ChipConfigError("chip has 0 SMs".into()));
+        }
+        if self.l2_banks == 0 {
+            return Err(ChipConfigError("chip has 0 L2 banks".into()));
+        }
+        if self.shared_mshrs == 0 {
+            return Err(ChipConfigError("chip has 0 shared MSHRs".into()));
+        }
+        if self.dram_gbps == 0 {
+            return Err(ChipConfigError("chip DRAM bandwidth is 0 GB/s".into()));
+        }
+        Ok(())
+    }
+
+    /// Canonical text form — the hash input for content-derived job ids
+    /// (every field affects results, so every field appears).
+    pub fn canonical(&self) -> String {
+        format!(
+            "sms={};l2_banks={};mshrs={};dram_gbps={};noc={}",
+            self.sms, self.l2_banks, self.shared_mshrs, self.dram_gbps, self.noc_latency
+        )
+    }
+}
+
+/// An inconsistent [`ChipConfig`], with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChipConfigError(pub String);
+
+impl fmt::Display for ChipConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inconsistent chip config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ChipConfigError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +252,45 @@ mod tests {
         let mut c = GpuConfig::gtx780();
         c.line_bytes = 100;
         c.validate();
+    }
+
+    #[test]
+    fn l2_slice_is_derived_from_smx_count() {
+        let c = GpuConfig::gtx780();
+        assert_eq!(c.l2_bytes, L2_TOTAL_BYTES / c.smx_count);
+        // The historical literal: deriving the slice must not move any
+        // previously published number.
+        assert_eq!(c.l2_bytes, 1536 * 1024 / 15);
+    }
+
+    #[test]
+    fn chip_config_validates_and_hashes_every_field() {
+        let c = ChipConfig::gtx780(15);
+        assert!(c.validate().is_ok());
+        for bad in [
+            ChipConfig { sms: 0, ..c },
+            ChipConfig { l2_banks: 0, ..c },
+            ChipConfig { shared_mshrs: 0, ..c },
+            ChipConfig { dram_gbps: 0, ..c },
+        ] {
+            let err = bad.validate().unwrap_err();
+            assert!(err.to_string().contains("inconsistent chip config"), "{err}");
+        }
+        let canons: Vec<String> = [
+            c,
+            ChipConfig { sms: 2, ..c },
+            ChipConfig { l2_banks: 8, ..c },
+            ChipConfig { shared_mshrs: 64, ..c },
+            ChipConfig { dram_gbps: 100, ..c },
+            ChipConfig { noc_latency: 0, ..c },
+        ]
+        .iter()
+        .map(ChipConfig::canonical)
+        .collect();
+        let mut dedup = canons.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), canons.len(), "every field must reach the canonical form");
     }
 }
 

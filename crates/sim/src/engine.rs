@@ -11,6 +11,7 @@ use crate::state::MachineState;
 use crate::stats::SimStats;
 use crate::telemetry::{CycleSnapshot, StallBucket, TelemetrySink};
 use drs_trace::RayScript;
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Architectural registers tracked per warp (micro-op reg ids must be below
@@ -142,6 +143,74 @@ impl Attribution {
     }
 }
 
+/// One coalesced cache-line request leaving an SM for the chip's shared
+/// memory system (full-chip mode; see `drs-chip`).
+///
+/// In chip mode the engine probes its private L1s locally and emits one
+/// `PortRequest` per L1-missing line instead of resolving latency against
+/// its own L2 slice. The chip loop drains these with
+/// [`Simulation::drain_requests`], arbitrates them through the shared
+/// L2/MSHR/DRAM model, and answers loads via
+/// [`Simulation::chip_complete`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortRequest {
+    /// Load group the response belongs to. All lines of one load
+    /// instruction share a group; the group's destination register
+    /// releases when every line has been answered. Stores also consume a
+    /// group id (keeps ids per-instruction) but expect no response.
+    pub group: u64,
+    /// Per-SM issue sequence number: a total order over this SM's
+    /// requests, used as the final arbitration tie-breaker.
+    pub seq: u64,
+    /// Line-aligned byte address.
+    pub line: u64,
+    /// Memory space the access came from (never [`MemSpace::Spawn`] —
+    /// spawn scratch stays on-core).
+    pub space: MemSpace,
+    /// True for loads; a response must be delivered via
+    /// [`Simulation::chip_complete`].
+    pub is_load: bool,
+    /// Cycle the SM's LSU put the request on the wire (pre-NoC).
+    pub issue: u64,
+}
+
+/// An in-flight chip-mode load: one load instruction whose L1-missing
+/// lines await responses from the shared memory system.
+#[derive(Debug, Clone, Copy)]
+struct PendingLoad {
+    /// Issuing warp.
+    warp: usize,
+    /// Destination register (bound just after issue by `chip_bind_load`).
+    dst: Option<u8>,
+    /// Operand-collector extra cycles, applied on top of the last
+    /// response (mirrors `ready + extra` on the non-chip path).
+    extra: u32,
+    /// Outstanding line responses.
+    remaining: usize,
+    /// Max ready time seen so far (seeded with the L1-hit ready time).
+    ready_acc: u64,
+}
+
+/// Engine-side half of the SM ↔ shared-memory-system connection
+/// (attached by [`Simulation::attach_chip_port`]).
+#[derive(Debug, Default)]
+struct ChipPort {
+    /// Next load-group id.
+    next_group: u64,
+    /// Next per-SM request sequence number.
+    next_seq: u64,
+    /// Requests issued since the last drain.
+    outbox: Vec<PortRequest>,
+    /// Load groups awaiting responses, by group id.
+    pending: HashMap<u64, PendingLoad>,
+    /// Group created by the current `memory_access` call, so the load
+    /// issue arm can bind its destination register to it.
+    open: Option<u64>,
+    /// Latest response ready time delivered so far (drain horizon for the
+    /// `validate` end-of-run checks).
+    max_response: u64,
+}
+
 /// A configured single-SMX simulation, generic over kernel behavior and an
 /// optional special hardware unit.
 pub struct Simulation<'w> {
@@ -207,6 +276,18 @@ pub struct Simulation<'w> {
     /// Wall-clock budget: `(deadline, budget_ms)`; checked cooperatively
     /// every 1024 loop iterations.
     deadline: Option<(Instant, u64)>,
+    /// Loop-iteration counter backing the deadline check; persists across
+    /// `advance_to` windows so chip runs keep the 1024-iteration cadence.
+    deadline_iters: u64,
+    /// Full-chip mode: the SM side of the shared-memory-system port.
+    chip: Option<ChipPort>,
+    /// A failure observed by `advance_to`, reported by `finish`. Once set
+    /// the engine is done and refuses to advance further.
+    pending_failure: Option<SimErrorKind>,
+    /// `DRS_SKIP_DEBUG` counters (dead cycles, skip attempts/successes,
+    /// cycles skipped), kept on the struct so incremental driving
+    /// accumulates them across windows.
+    dbg_skip: [u64; 4],
 }
 
 impl<'w> Simulation<'w> {
@@ -274,6 +355,10 @@ impl<'w> Simulation<'w> {
             last_issue_cycle: 0,
             watchdog_trip_at: None,
             deadline: None,
+            deadline_iters: 0,
+            chip: None,
+            pending_failure: None,
+            dbg_skip: [0; 4],
         }
     }
 
@@ -355,47 +440,87 @@ impl<'w> Simulation<'w> {
     /// deadline, or (under the `validate` feature) an end-of-run invariant
     /// violation. Errors carry the finalized partial statistics.
     pub fn run(mut self) -> Result<SimStats, SimError> {
-        let mut failure: Option<SimErrorKind> = None;
-        let mut dbg_attempts = 0u64;
-        let mut dbg_successes = 0u64;
-        let mut dbg_skipped = 0u64;
-        let mut dbg_dead = 0u64;
-        let mut iters = 0u64;
-        while !self.warps.iter().all(|w| w.exited) {
+        self.advance_to(u64::MAX);
+        self.finish()
+    }
+
+    /// Full-chip mode: advance the simulated clock to `target` (or until
+    /// all warps exit, or a failure fires). Failures are stored and
+    /// reported by [`Simulation::finish`]; once one is stored — or the
+    /// kernel has drained — further calls are no-ops, so the chip loop can
+    /// keep ticking a finished SM safely.
+    pub fn advance_to(&mut self, target: u64) {
+        if self.pending_failure.is_some() {
+            return;
+        }
+        if let Err(kind) = self.drive(target) {
+            self.pending_failure = Some(kind);
+        }
+    }
+
+    /// True when this engine needs no more cycles: every warp has exited,
+    /// or a failure was recorded.
+    pub fn done(&self) -> bool {
+        self.pending_failure.is_some() || self.warps.iter().all(|w| w.exited)
+    }
+
+    /// True when a failure has been recorded and is waiting for
+    /// [`Simulation::finish`] to report it.
+    pub fn failed(&self) -> bool {
+        self.pending_failure.is_some()
+    }
+
+    /// Current simulated cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Earliest future cycle at which this engine's state can change on
+    /// its own (scoreboard release or special-unit event) — the chip
+    /// loop's per-SM contribution to the chip-level `next_wake`.
+    /// `u64::MAX` when the engine is done, or when every live warp waits
+    /// on a shared-memory response (only [`Simulation::chip_complete`] can
+    /// unblock it).
+    pub fn wake_hint(&self) -> u64 {
+        if self.done() {
+            return u64::MAX;
+        }
+        self.next_wake(self.cycle)
+    }
+
+    /// The run loop: step (and fast-forward) until all warps exit, the
+    /// clock reaches `target`, or a failure fires.
+    fn drive(&mut self, target: u64) -> Result<(), SimErrorKind> {
+        while !self.warps.iter().all(|w| w.exited) && self.cycle < target {
             if self.cycle >= self.cfg.max_cycles {
-                failure = Some(SimErrorKind::CycleLimit { max_cycles: self.cfg.max_cycles });
-                break;
+                return Err(SimErrorKind::CycleLimit { max_cycles: self.cfg.max_cycles });
             }
-            iters = iters.wrapping_add(1);
-            if iters.is_multiple_of(1024) {
+            self.deadline_iters = self.deadline_iters.wrapping_add(1);
+            if self.deadline_iters.is_multiple_of(1024) {
                 if let Some((deadline, budget_ms)) = self.deadline {
                     if Instant::now() >= deadline {
-                        failure = Some(SimErrorKind::Deadline { budget_ms });
-                        break;
+                        return Err(SimErrorKind::Deadline { budget_ms });
                     }
                 }
             }
             let issued_before = self.stats.issued.total + self.stats.issued_si.total;
-            if let Err(kind) = self.step() {
-                failure = Some(kind);
-                break;
-            }
+            self.step()?;
             // Only bother computing a wake-up target after a dead cycle: a
             // cycle that issued usually has more ready work right behind it.
             // Failed attempts back off exponentially — compute-bound phases
             // produce long runs of dead-but-unskippable cycles, and paying
             // the O(warps) wake scan on each one erases the fast path's win.
             if self.stats.issued.total + self.stats.issued_si.total == issued_before {
-                dbg_dead += 1;
+                self.dbg_skip[0] += 1;
                 if self.fastpath {
                     if self.skip_cooldown > 0 {
                         self.skip_cooldown -= 1;
                     } else {
-                        dbg_attempts += 1;
+                        self.dbg_skip[1] += 1;
                         let before = self.cycle;
-                        if self.try_fast_forward() {
-                            dbg_successes += 1;
-                            dbg_skipped += self.cycle - before;
+                        if self.try_fast_forward(target) {
+                            self.dbg_skip[2] += 1;
+                            self.dbg_skip[3] += self.cycle - before;
                             self.skip_penalty = 1;
                         } else {
                             self.skip_cooldown = self.skip_penalty;
@@ -408,15 +533,23 @@ impl<'w> Simulation<'w> {
                 self.skip_penalty = 1;
             }
         }
+        Ok(())
+    }
+
+    /// Finalize: fill derived statistics, notify the sink, and surface any
+    /// stored failure. The terminal half of [`Simulation::run`], split out
+    /// so incrementally driven (chip-mode) engines share one epilogue.
+    pub fn finish(mut self) -> Result<SimStats, SimError> {
         if std::env::var_os("DRS_SKIP_DEBUG").is_some() {
+            let [dead, attempts, successes, skipped] = self.dbg_skip;
             eprintln!(
                 "[skipdbg] cycles={} dead={} attempts={} successes={} skipped={} avg_span={:.1}",
                 self.cycle,
-                dbg_dead,
-                dbg_attempts,
-                dbg_successes,
-                dbg_skipped,
-                dbg_skipped as f64 / dbg_successes.max(1) as f64
+                dead,
+                attempts,
+                successes,
+                skipped,
+                skipped as f64 / successes.max(1) as f64
             );
         }
         self.stats.cycles = self.cycle;
@@ -437,7 +570,7 @@ impl<'w> Simulation<'w> {
         if let Some(sink) = self.sink.as_deref_mut() {
             sink.on_finish(&Self::snapshot(&self.stats, self.cycle, self.machine.rays_completed));
         }
-        if let Some(kind) = failure {
+        if let Some(kind) = self.pending_failure.take() {
             return Err(self.fail(kind));
         }
         #[cfg(feature = "validate")]
@@ -445,6 +578,74 @@ impl<'w> Simulation<'w> {
             return Err(self.fail(kind));
         }
         Ok(self.stats)
+    }
+
+    /// Switch this engine into full-chip mode: L1 lookups stay local, but
+    /// every L1-missing line becomes a [`PortRequest`] for the chip's
+    /// shared L2/MSHR/DRAM system instead of resolving against the
+    /// private L2 slice. Call before any cycles run; the chip loop then
+    /// drives the engine with [`Simulation::advance_to`] /
+    /// [`Simulation::drain_requests`] / [`Simulation::chip_complete`].
+    ///
+    /// In chip mode the per-SM `SimStats::l2` counters stay zero (the
+    /// shared system owns them) and MSHR-full attribution is folded into
+    /// `MemoryPending` (the shared pool queues centrally).
+    pub fn attach_chip_port(&mut self) {
+        assert_eq!(self.cycle, 0, "attach the chip port before any cycles run");
+        self.chip = Some(ChipPort::default());
+    }
+
+    /// Move all port requests issued since the last drain into `into`,
+    /// preserving per-SM issue order.
+    ///
+    /// # Panics
+    ///
+    /// Panics without a chip port attached.
+    pub fn drain_requests(&mut self, into: &mut Vec<PortRequest>) {
+        let port = self.chip.as_mut().expect("chip port attached");
+        into.append(&mut port.outbox);
+    }
+
+    /// Deliver the shared memory system's response for one line of load
+    /// group `group`: its data is ready at cycle `ready`. When the last
+    /// line of the group lands, the destination register releases at the
+    /// group's max ready time plus its operand-collector extra.
+    ///
+    /// # Panics
+    ///
+    /// Panics without a chip port, or for an unknown (already completed)
+    /// group — the chip loop must answer every line of every load exactly
+    /// once.
+    pub fn chip_complete(&mut self, group: u64, ready: u64) {
+        let port = self.chip.as_mut().expect("chip port attached");
+        port.max_response = port.max_response.max(ready);
+        let entry = port.pending.get_mut(&group).expect("response for an open load group");
+        entry.ready_acc = entry.ready_acc.max(ready);
+        entry.remaining -= 1;
+        if entry.remaining == 0 {
+            let entry = port.pending.remove(&group).expect("entry exists");
+            if let Some(d) = entry.dst {
+                let ready = entry.ready_acc + entry.extra as u64;
+                self.warps[entry.warp].reg_ready[d as usize] = ready;
+                if let Some(attr) = &mut self.attr {
+                    attr.producers[entry.warp][d as usize] =
+                        RegProducer { mem: true, mshr_queued: false, base_ready: entry.ready_acc };
+                }
+            }
+        }
+    }
+
+    /// Bind the load that `memory_access` just turned into port requests
+    /// to its destination register and operand-collector extra (chip mode
+    /// only; the sentinel `u64::MAX` scoreboard entry set at issue keeps
+    /// dependents blocked until `chip_complete` fills the real time).
+    fn chip_bind_load(&mut self, w: usize, dst: Option<u8>, extra: u32) {
+        let port = self.chip.as_mut().expect("chip port attached");
+        let group = port.open.take().expect("memory_access opened a group");
+        let entry = port.pending.get_mut(&group).expect("open group is pending");
+        entry.warp = w;
+        entry.dst = dst;
+        entry.extra = extra;
     }
 
     /// A cheap copy of the live counters for the telemetry sink.
@@ -511,14 +712,17 @@ impl<'w> Simulation<'w> {
     ///
     /// Returns `true` iff the cycle counter actually advanced, so the run
     /// loop can back off after failed attempts.
-    fn try_fast_forward(&mut self) -> bool {
+    fn try_fast_forward(&mut self, cap: u64) -> bool {
         let now = self.cycle;
         let wake = self.next_wake(now);
-        if wake == u64::MAX {
+        if wake == u64::MAX && self.chip.is_none() {
             // All warps exited (the run loop is about to terminate).
             return false;
         }
-        let mut target = wake.min(self.cfg.max_cycles);
+        // In chip mode `wake == u64::MAX` means every live warp waits on a
+        // shared-memory response, which can only arrive at the window
+        // barrier — jump straight to the window end (`cap`).
+        let mut target = wake.min(self.cfg.max_cycles).min(cap);
         if self.attr.is_some() {
             target = target.min(self.next_bucket_breakpoint(now));
         }
@@ -559,10 +763,12 @@ impl<'w> Simulation<'w> {
             None => u64::MAX,
         };
         let mut wake = u64::MAX;
+        let mut alive = false;
         for warp in &self.warps {
             if warp.exited {
                 continue;
             }
+            alive = true;
             let w_wake = if warp.blocked_until > now {
                 warp.blocked_until
             } else {
@@ -583,10 +789,16 @@ impl<'w> Simulation<'w> {
             }
             wake = wake.min(w_wake);
         }
-        if wake == u64::MAX {
+        if !alive {
             // Every warp exited: quiescent regardless of the special unit
             // (the run loop is about to terminate).
             return u64::MAX;
+        }
+        if wake == u64::MAX {
+            // Live warps, but every one waits on a chip-mode sentinel
+            // (`reg_ready == u64::MAX`): only the special unit — or a
+            // shared-memory response at the window barrier — wakes us.
+            return special_wake;
         }
         wake.min(special_wake)
     }
@@ -786,6 +998,19 @@ impl<'w> Simulation<'w> {
             + self.cfg.l1_latency
             + self.cfg.alu_latency) as u64
             + 64;
+        // Chip mode: DRAM-channel queueing can push a response past the
+        // flat-latency slack, so the drain horizon starts at the latest
+        // delivered response; and no load group may still await one.
+        let mut horizon_base = self.cycle;
+        if let Some(port) = &self.chip {
+            if !port.pending.is_empty() {
+                return fail(format!(
+                    "{} chip load groups still await shared-memory responses",
+                    port.pending.len()
+                ));
+            }
+            horizon_base = horizon_base.max(port.max_response);
+        }
         for (w, warp) in self.warps.iter().enumerate() {
             if warp.stack.len() != 1 {
                 return fail(format!(
@@ -794,10 +1019,9 @@ impl<'w> Simulation<'w> {
                 ));
             }
             for (r, &ready) in warp.reg_ready.iter().enumerate() {
-                if ready > self.cycle + slack {
+                if ready > horizon_base + slack {
                     return fail(format!(
-                        "warp {w} scoreboard r{r} ready at {ready}, past cycle {} + {slack}",
-                        self.cycle
+                        "warp {w} scoreboard r{r} ready at {ready}, past cycle {horizon_base} + {slack}"
                     ));
                 }
             }
@@ -1030,7 +1254,18 @@ impl<'w> Simulation<'w> {
             OpKind::Load { space, addr } => {
                 let extra = self.collect_operands(w, op);
                 let (ready, mshr_queued) = self.memory_access(w, space, addr, active, true);
-                if let Some(d) = op.dst {
+                if ready == u64::MAX {
+                    // Chip mode, L1 miss(es): the shared memory system
+                    // answers later. Park the destination at the sentinel
+                    // (no `+ extra` — that would overflow; the extra is
+                    // applied when the last response lands).
+                    if let Some(d) = op.dst {
+                        self.warps[w].reg_ready[d as usize] = u64::MAX;
+                        self.banks.write(w, d);
+                        self.note_producer(w, d, true, false, u64::MAX);
+                    }
+                    self.chip_bind_load(w, op.dst, extra);
+                } else if let Some(d) = op.dst {
                     self.warps[w].reg_ready[d as usize] = ready + extra as u64;
                     self.banks.write(w, d);
                     self.note_producer(w, d, true, mshr_queued, ready);
@@ -1079,7 +1314,7 @@ impl<'w> Simulation<'w> {
         space: MemSpace,
         addr_token: u16,
         active: &[usize],
-        _is_load: bool,
+        is_load: bool,
     ) -> (u64, bool) {
         let now = self.cycle;
         // Coalescing scratch on the stack: ≤ 32 lanes → ≤ 32 distinct lines.
@@ -1125,6 +1360,54 @@ impl<'w> Simulation<'w> {
         // it — the paper's "extra cycles incurred by bank conflicts cannot
         // be hidden".
         let start = self.spawn_busy_until.max(now);
+        if let Some(port) = &mut self.chip {
+            // Full-chip mode: probe the private L1s locally; every missing
+            // line becomes a request for the shared memory system. The LSU
+            // still emits one line per cycle.
+            let mut hit_ready = start;
+            let mut misses = 0usize;
+            for (i, line) in lines.iter().enumerate() {
+                let at = start + i as u64;
+                let l1 = match space {
+                    MemSpace::Global => &mut self.mem.l1d,
+                    _ => &mut self.mem.l1t,
+                };
+                if l1.access(*line) {
+                    hit_ready = hit_ready.max(at + self.cfg.l1_latency as u64);
+                } else {
+                    port.outbox.push(PortRequest {
+                        group: port.next_group,
+                        seq: port.next_seq,
+                        line: *line,
+                        space,
+                        is_load,
+                        issue: at,
+                    });
+                    port.next_seq += 1;
+                    misses += 1;
+                }
+                self.stats.mem_transactions += 1;
+            }
+            let group = port.next_group;
+            port.next_group += 1;
+            if is_load && misses > 0 {
+                port.pending.insert(
+                    group,
+                    PendingLoad {
+                        warp: w,
+                        dst: None,
+                        extra: 0,
+                        remaining: misses,
+                        ready_acc: hit_ready,
+                    },
+                );
+                port.open = Some(group);
+                // Sentinel: the destination's real ready time is unknown
+                // until the shared system answers at a window barrier.
+                return (u64::MAX, false);
+            }
+            return (hit_ready, false);
+        }
         let mut last_ready = start;
         let mut any_mshr_queued = false;
         // The LSU processes one line per cycle; memory divergence serializes.

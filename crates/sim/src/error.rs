@@ -102,17 +102,26 @@ pub enum SimErrorKind {
         /// The budget that was exceeded, in milliseconds.
         budget_ms: u64,
     },
+    /// A full-chip run was asked for with an inconsistent
+    /// [`ChipConfig`](crate::ChipConfig) (0 SMs, 0 banks, 0 bandwidth).
+    /// Typed rather than panicking so the harness records it as a cell
+    /// failure.
+    ChipConfig {
+        /// Human-readable description of the inconsistency.
+        message: String,
+    },
 }
 
 impl SimErrorKind {
     /// Short machine-readable label (`watchdog`, `cycle_limit`,
-    /// `invariant`, `deadline`) used in failure records.
+    /// `invariant`, `deadline`, `chip_config`) used in failure records.
     pub fn label(&self) -> &'static str {
         match self {
             SimErrorKind::Watchdog { .. } => "watchdog",
             SimErrorKind::CycleLimit { .. } => "cycle_limit",
             SimErrorKind::Invariant { .. } => "invariant",
             SimErrorKind::Deadline { .. } => "deadline",
+            SimErrorKind::ChipConfig { .. } => "chip_config",
         }
     }
 }
@@ -149,6 +158,9 @@ impl fmt::Display for SimError {
             }
             SimErrorKind::Deadline { budget_ms } => {
                 write!(f, "wall-clock budget of {budget_ms} ms exceeded at cycle {}", self.cycle)
+            }
+            SimErrorKind::ChipConfig { message } => {
+                write!(f, "inconsistent chip config: {message}")
             }
         }
     }
@@ -214,5 +226,13 @@ mod tests {
         };
         assert_eq!(e.kind.label(), "invariant");
         assert!(e.to_string().contains("rays remain"));
+
+        let e = SimError {
+            kind: SimErrorKind::ChipConfig { message: "chip has 0 SMs".into() },
+            cycle: 0,
+            stats: Box::default(),
+        };
+        assert_eq!(e.kind.label(), "chip_config");
+        assert!(e.to_string().contains("chip has 0 SMs"));
     }
 }

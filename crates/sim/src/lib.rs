@@ -52,9 +52,9 @@ mod telemetry;
 pub use banks::RegisterBanks;
 pub use behavior::{KernelBehavior, NullSpecial, SpecialOutcome, SpecialUnit};
 pub use cache::{Cache, CacheConfig, CacheStats, MemoryHierarchy};
-pub use config::{GpuConfig, SchedulerPolicy};
+pub use config::{ChipConfig, ChipConfigError, GpuConfig, SchedulerPolicy, L2_TOTAL_BYTES};
 pub use energy::{EnergyBreakdown, EnergyModel};
-pub use engine::{Simulation, TRACKED_REGS};
+pub use engine::{PortRequest, Simulation, TRACKED_REGS};
 pub use error::{FrameDump, SimError, SimErrorKind, WarpDump, WarpDumpEntry};
 pub use isa::{MemSpace, MicroOp, OpKind, OpTag, Reg};
 pub use json::JsonBuf;

@@ -170,7 +170,11 @@ pub struct CycleSnapshot {
 /// t.on_cycles(&CycleSnapshot { cycle: 1, ..snap }, &[StallBucket::Idle, StallBucket::Idle], 3);
 /// t.on_finish(&CycleSnapshot { cycle: 4, ..snap });
 /// ```
-pub trait TelemetrySink {
+///
+/// `Send` so full-chip runs can move per-SM engines — each carrying its
+/// attached sink — across worker threads; sinks are accumulators, so the
+/// bound is free in practice.
+pub trait TelemetrySink: Send {
     /// One simulated cycle: counters snapshot + per-warp charge.
     fn on_cycle(&mut self, snap: &CycleSnapshot, warp_buckets: &[StallBucket]);
 
