@@ -258,11 +258,23 @@ fn main() {
     if let Some(trace_path) = &cli.trace_out {
         match results.chrome_trace_json() {
             Some(json) => {
+                // Self-validate before writing: a malformed trace should
+                // fail the run, not silently produce an unloadable file.
+                let summary =
+                    drs_telemetry::check::validate_chrome_trace(&json).unwrap_or_else(|e| {
+                        eprintln!("error: generated chrome trace failed validation: {e}");
+                        std::process::exit(1);
+                    });
                 if let Err(e) = drs_harness::write_text(trace_path, &json) {
                     eprintln!("error: could not write {}: {e}", trace_path.display());
                     std::process::exit(1);
                 }
-                println!("[chrome trace -> {}; load in chrome://tracing]", trace_path.display());
+                println!(
+                    "[chrome trace -> {}; {} rows, {} spans; load in chrome://tracing]",
+                    trace_path.display(),
+                    summary.pids.len(),
+                    summary.duration_events
+                );
             }
             None => println!("[chrome trace: no instrumented cells in this mode]"),
         }
@@ -356,6 +368,23 @@ fn perf_mode(cli: &cli::Cli, scale: &Scale) {
     } else {
         cli.out.clone()
     };
+    // Read the committed baseline up front, so gating against the same
+    // path this run is about to overwrite still compares old vs new.
+    let baseline = cli.perf_baseline.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: could not read perf baseline {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let doc = drs_telemetry::check::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: perf baseline {} is not valid JSON: {e}", path.display());
+            std::process::exit(1);
+        });
+        drs_bench::perf::perf_cells(&doc).unwrap_or_else(|| {
+            eprintln!("error: {} is not a drs-sim-perf baseline", path.display());
+            std::process::exit(1);
+        })
+    });
+    let mut measured: Vec<drs_bench::perf::PerfCell> = Vec::new();
     let opts = |fastpath: bool| RunOptions {
         workers: cli.workers,
         capture: if cli.use_cache {
@@ -397,13 +426,15 @@ fn perf_mode(cli: &cli::Cli, scale: &Scale) {
             sim_cycles += f.stats.cycles;
             wall_fast += f.wall_ms;
             wall_naive += n.wall_ms;
+            let cycles_per_sec_fast = f.stats.cycles as f64 / (f.wall_ms / 1e3).max(1e-12);
+            measured.push((fig.to_string(), f.cell_name(), f.stats.cycles as f64, f.wall_ms));
             j.begin_obj();
             j.kv_str("cell", &f.cell_name());
             j.kv_u64("sim_cycles", f.stats.cycles);
             j.kv_f64("wall_ms_fast", f.wall_ms);
             j.kv_f64("wall_ms_naive", n.wall_ms);
             j.kv_f64("speedup", n.wall_ms / f.wall_ms.max(1e-9));
-            j.kv_f64("cycles_per_sec_fast", f.stats.cycles as f64 / (f.wall_ms / 1e3).max(1e-12));
+            j.kv_f64("cycles_per_sec_fast", cycles_per_sec_fast);
             j.kv_f64("cycles_per_sec_naive", n.stats.cycles as f64 / (n.wall_ms / 1e3).max(1e-12));
             j.end_obj();
         }
@@ -434,6 +465,38 @@ fn perf_mode(cli: &cli::Cli, scale: &Scale) {
             eprintln!("error: could not write {}: {e}", out.display());
             std::process::exit(1);
         }
+    }
+    if let Some(baseline) = baseline {
+        use drs_bench::perf::{compare, REGRESSION_TOLERANCE};
+        let gate = compare(&baseline, &measured, REGRESSION_TOLERANCE);
+        let path = cli.perf_baseline.as_ref().unwrap();
+        if !gate.slow_cells.is_empty() {
+            eprintln!(
+                "warning: {} cell(s) individually more than {:.0}% slower than {} \
+                 (noisy at CI cell durations; the gate judges the aggregate):",
+                gate.slow_cells.len(),
+                REGRESSION_TOLERANCE * 100.0,
+                path.display()
+            );
+            for msg in &gate.slow_cells {
+                eprintln!("  {msg}");
+            }
+        }
+        if gate.regresses(REGRESSION_TOLERANCE) {
+            eprintln!(
+                "error: aggregate simulator throughput is {:.0}% below {} \
+                 ({} paired cells; tolerance {:.0}%)",
+                (1.0 - gate.ratio) * 100.0,
+                path.display(),
+                gate.cells_compared,
+                REGRESSION_TOLERANCE * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "[perf gate: {} paired cells, aggregate throughput {:.2}x baseline — pass]",
+            gate.cells_compared, gate.ratio
+        );
     }
 }
 

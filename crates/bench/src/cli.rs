@@ -79,6 +79,9 @@ Options:
   --sms N          SMs per chip cell (default: 15, the GTX 780)
   --chip-threads N worker threads sharding the SMs inside each chip cell
                    (results are bit-identical for any value; default: 1)
+  --perf-baseline PATH (perf mode) compare the new timings against a
+                   committed BENCH_sim.json; exit 1 when any cell's
+                   cycles/sec falls more than 25% below its baseline
   --inject SPEC    deterministic fault injection, e.g.
                    'seed=7,panic@1,cache~4x1,watchdog@2,budget@0'
                    (kinds panic|cache|watchdog|budget|chipcfg; @IDX by job
@@ -131,6 +134,9 @@ pub struct Cli {
     pub sms: usize,
     /// Worker threads inside each chip cell's window loop.
     pub chip_threads: usize,
+    /// `perf` mode: committed `BENCH_sim.json` to gate against — any
+    /// cell more than 25% slower than its baseline fails the run.
+    pub perf_baseline: Option<PathBuf>,
     /// Deterministic fault-injection spec (`--inject`), parsed downstream
     /// by [`FaultPlan::parse`](drs_harness::FaultPlan::parse).
     pub inject: Option<String>,
@@ -160,6 +166,7 @@ impl Default for Cli {
             chip: false,
             sms: 15,
             chip_threads: 1,
+            perf_baseline: None,
             inject: None,
             list: false,
             help: false,
@@ -282,6 +289,9 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
                     .ok()
                     .filter(|&n| n >= 1)
                     .ok_or(format!("--chip-threads expects a positive integer, got '{v}'"))?;
+            }
+            "--perf-baseline" => {
+                cli.perf_baseline = Some(PathBuf::from(value("--perf-baseline")?));
             }
             "--inject" => cli.inject = Some(value("--inject")?),
             "--list" => cli.list = true,
@@ -437,6 +447,16 @@ mod tests {
         assert_eq!(d.chip_threads, 1);
         assert!(p(&["--sms", "0"]).unwrap_err().contains("positive integer"));
         assert!(p(&["--chip-threads", "0"]).unwrap_err().contains("positive integer"));
+    }
+
+    #[test]
+    fn perf_baseline_flag_both_syntaxes() {
+        let a = p(&["perf", "--perf-baseline", "BENCH_sim.json"]).unwrap();
+        let b = p(&["perf", "--perf-baseline=BENCH_sim.json"]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.perf_baseline, Some(PathBuf::from("BENCH_sim.json")));
+        assert_eq!(p(&["perf"]).unwrap().perf_baseline, None);
+        assert!(p(&["--perf-baseline"]).unwrap_err().contains("requires a value"));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 pub mod cli;
 pub mod microbench;
+pub mod perf;
 pub mod report;
 
 pub use drs_harness::{

@@ -1,0 +1,195 @@
+//! CI perf gate: compare a fresh `perf`-mode run against a committed
+//! `BENCH_sim.json` baseline.
+//!
+//! The `experiments perf` mode measures simulated cycles per wall-clock
+//! second for every cell of its grids. With `--perf-baseline PATH` the
+//! fresh measurements are compared against the committed baseline file
+//! cell by cell (matched on figure + cell name), and the run fails when
+//! simulator throughput drops more than [`REGRESSION_TOLERANCE`].
+//!
+//! The pass/fail verdict is the **cycle-weighted aggregate** over all
+//! paired cells (total simulated cycles over total wall time), not any
+//! single cell: at CI scale individual cells run for milliseconds and
+//! their wall times are scheduler-noise-dominated — back-to-back runs
+//! of an identical binary show >40% per-cell swings, while the suite
+//! aggregate stays within a few percent. Per-cell ratios beyond the
+//! tolerance are still reported as diagnostics so a localized regression
+//! is visible even when the aggregate absorbs it. The threshold is
+//! deliberately soft — CI machines are noisy and absolute wall-clock
+//! varies — but a >25% drop in aggregate simulator throughput is a real
+//! regression, not noise.
+
+use drs_telemetry::check::Value;
+
+/// Fractional slowdown tolerated before the gate fails: aggregate
+/// throughput may fall up to 25% below the committed baseline.
+pub const REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// One cell's measurement: (figure, cell name, simulated cycles,
+/// fast-path wall milliseconds).
+pub type PerfCell = (String, String, f64, f64);
+
+/// Outcome of comparing a fresh perf run against a baseline.
+#[derive(Debug, Clone)]
+pub struct GateOutcome {
+    /// Cells present in both runs (matched on figure + cell name).
+    /// Cells on only one side are skipped — grids legitimately grow and
+    /// shrink across PRs; the gate judges only the overlap.
+    pub cells_compared: usize,
+    /// Current aggregate throughput over baseline aggregate throughput
+    /// (cycle-weighted: Σcycles/Σwall on each side, paired cells only).
+    /// 1.0 = unchanged, below 1.0 = slower.
+    pub ratio: f64,
+    /// Per-cell diagnostics: cells individually slower than the
+    /// tolerance, as human-readable messages. Informational — noisy at
+    /// CI cell durations, so they never fail the gate by themselves.
+    pub slow_cells: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Whether the aggregate regression exceeds `tolerance` (an empty
+    /// overlap never fails — there is nothing to judge).
+    pub fn regresses(&self, tolerance: f64) -> bool {
+        self.cells_compared > 0 && self.ratio < 1.0 - tolerance
+    }
+}
+
+/// Extract the per-cell measurements from a parsed `BENCH_sim.json`
+/// document. `None` when the document is not a perf baseline (wrong
+/// suite or shape) — the caller treats that as a hard error rather than
+/// silently passing the gate.
+pub fn perf_cells(doc: &Value) -> Option<Vec<PerfCell>> {
+    if doc.get("suite")?.as_str()? != "drs-sim-perf" {
+        return None;
+    }
+    let mut out = Vec::new();
+    for fig in doc.get("figures")?.as_arr()? {
+        let figure = fig.get("figure")?.as_str()?.to_string();
+        for cell in fig.get("cells")?.as_arr()? {
+            out.push((
+                figure.clone(),
+                cell.get("cell")?.as_str()?.to_string(),
+                cell.get("sim_cycles")?.as_num()?,
+                cell.get("wall_ms_fast")?.as_num()?,
+            ));
+        }
+    }
+    Some(out)
+}
+
+/// Compare `current` against `baseline` over their paired cells.
+pub fn compare(baseline: &[PerfCell], current: &[PerfCell], tolerance: f64) -> GateOutcome {
+    let mut cells_compared = 0;
+    let (mut cycles, mut wall, mut base_cycles, mut base_wall) = (0.0, 0.0, 0.0, 0.0);
+    let mut slow_cells = Vec::new();
+    for (fig, cell, bc, bw) in baseline {
+        let Some((_, _, nc, nw)) = current.iter().find(|(f, c, _, _)| f == fig && c == cell) else {
+            continue;
+        };
+        cells_compared += 1;
+        cycles += nc;
+        wall += nw;
+        base_cycles += bc;
+        base_wall += bw;
+        let (base_cps, new_cps) = (bc / bw.max(1e-12), nc / nw.max(1e-12));
+        if new_cps < base_cps * (1.0 - tolerance) && base_cps > 0.0 {
+            slow_cells.push(format!(
+                "{fig} {cell}: {new_cps:.3e} cycles/s vs baseline {base_cps:.3e} ({:.0}% slower)",
+                (1.0 - new_cps / base_cps) * 100.0
+            ));
+        }
+    }
+    let base_rate = base_cycles / base_wall.max(1e-12);
+    let ratio = if base_rate > 0.0 { cycles / wall.max(1e-12) / base_rate } else { 1.0 };
+    GateOutcome { cells_compared, ratio, slow_cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drs_telemetry::check;
+
+    fn cell(fig: &str, name: &str, cycles: f64, wall_ms: f64) -> PerfCell {
+        (fig.to_string(), name.to_string(), cycles, wall_ms)
+    }
+
+    #[test]
+    fn parses_a_perf_document() {
+        let doc = check::parse(
+            r#"{"suite":"drs-sim-perf","figures":[
+                {"figure":"fig2","cells":[
+                    {"cell":"a","sim_cycles":1000,"wall_ms_fast":1.0},
+                    {"cell":"b","sim_cycles":2000,"wall_ms_fast":1.0}]},
+                {"figure":"fig8","cells":[
+                    {"cell":"c","sim_cycles":3000,"wall_ms_fast":2.0}]}]}"#,
+        )
+        .unwrap();
+        let cells = perf_cells(&doc).unwrap();
+        assert_eq!(
+            cells,
+            vec![
+                cell("fig2", "a", 1000.0, 1.0),
+                cell("fig2", "b", 2000.0, 1.0),
+                cell("fig8", "c", 3000.0, 2.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_non_perf_documents() {
+        let doc = check::parse(r#"{"suite":"drs-experiments","figures":[]}"#).unwrap();
+        assert!(perf_cells(&doc).is_none());
+        let doc = check::parse(r#"{"figures":[]}"#).unwrap();
+        assert!(perf_cells(&doc).is_none());
+    }
+
+    #[test]
+    fn aggregate_regression_fails_the_gate() {
+        let baseline = [cell("fig8", "a", 1000.0, 1.0), cell("fig8", "b", 1000.0, 1.0)];
+        // Both cells 2x slower: aggregate ratio 0.5.
+        let current = [cell("fig8", "a", 1000.0, 2.0), cell("fig8", "b", 1000.0, 2.0)];
+        let out = compare(&baseline, &current, REGRESSION_TOLERANCE);
+        assert_eq!(out.cells_compared, 2);
+        assert!((out.ratio - 0.5).abs() < 1e-9, "{}", out.ratio);
+        assert!(out.regresses(REGRESSION_TOLERANCE));
+        assert_eq!(out.slow_cells.len(), 2);
+        assert!(out.slow_cells[0].contains("50% slower"), "{:?}", out.slow_cells);
+    }
+
+    #[test]
+    fn single_noisy_cell_does_not_fail_the_aggregate() {
+        // One tiny cell 3x slower, one big cell unchanged: the
+        // cycle-weighted aggregate barely moves, so the gate passes but
+        // the noisy cell is still reported.
+        let baseline = [cell("fig8", "big", 100_000.0, 100.0), cell("fig8", "tiny", 100.0, 0.1)];
+        let current = [cell("fig8", "big", 100_000.0, 100.0), cell("fig8", "tiny", 100.0, 0.3)];
+        let out = compare(&baseline, &current, REGRESSION_TOLERANCE);
+        assert!(!out.regresses(REGRESSION_TOLERANCE), "ratio {}", out.ratio);
+        assert_eq!(out.slow_cells.len(), 1);
+        assert!(out.slow_cells[0].contains("fig8 tiny"));
+    }
+
+    #[test]
+    fn unpaired_cells_are_skipped() {
+        let baseline = [cell("fig8", "gone", 1000.0, 10.0), cell("fig8", "kept", 1000.0, 1.0)];
+        let current = [cell("fig8", "kept", 1000.0, 1.0), cell("fig8", "new", 1.0, 100.0)];
+        let out = compare(&baseline, &current, REGRESSION_TOLERANCE);
+        assert_eq!(out.cells_compared, 1);
+        assert!((out.ratio - 1.0).abs() < 1e-9);
+        assert!(out.slow_cells.is_empty());
+    }
+
+    #[test]
+    fn empty_overlap_never_regresses() {
+        let out = compare(&[cell("fig2", "a", 1.0, 1.0)], &[cell("fig8", "z", 1.0, 9.0)], 0.25);
+        assert_eq!(out.cells_compared, 0);
+        assert!(!out.regresses(0.25));
+    }
+
+    #[test]
+    fn faster_and_equal_runs_pass() {
+        let baseline = [cell("fig8", "a", 1000.0, 1.0)];
+        assert!(!compare(&baseline, &[cell("fig8", "a", 1000.0, 1.0)], 0.25).regresses(0.25));
+        assert!(!compare(&baseline, &[cell("fig8", "a", 5000.0, 1.0)], 0.25).regresses(0.25));
+    }
+}

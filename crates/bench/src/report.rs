@@ -40,6 +40,19 @@ struct Cell {
     /// for overall SIMD efficiency across bounces.
     active_sum: f64,
     issued_total: f64,
+    /// Shared-memory-system counters, present only for full-chip cells.
+    chip: Option<ChipCell>,
+}
+
+/// The slice of a full-chip cell's `chip` summary the report footnotes:
+/// L2 hit rate, DRAM-channel utilization, and MSHR-exhaustion stalls.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChipCell {
+    l2_hits: f64,
+    l2_misses: f64,
+    mshr_waits: f64,
+    /// DRAM busy time in 1/1024-cycle fixed point ([`drs_sim::CHIP_TIME_Q`]).
+    dram_busy_q: f64,
 }
 
 fn num(v: &Value, key: &str) -> Result<f64, String> {
@@ -82,6 +95,17 @@ fn parse_cells(doc: &Value) -> Result<Vec<Cell>, String> {
             rays: num(stats, "rays_completed")?,
             active_sum: a + a_si,
             issued_total: t + t_si,
+            chip: v
+                .get("chip")
+                .map(|c| {
+                    Ok::<_, String>(ChipCell {
+                        l2_hits: num(c, "l2_hits")?,
+                        l2_misses: num(c, "l2_misses")?,
+                        mshr_waits: num(c, "mshr_waits")?,
+                        dram_busy_q: num(c, "dram_busy_q")?,
+                    })
+                })
+                .transpose()?,
         });
     }
     Ok(cells)
@@ -189,6 +213,7 @@ pub fn render(doc: &Value) -> Result<String, String> {
     render_fig11(&mut md, &cells);
     render_fig2(&mut md, &cells);
     render_fig10(&mut md, &cells);
+    render_chip_profile(&mut md, &cells);
 
     md.push_str(
         "---\n\nRegenerate with `cargo run -p drs-bench --release --bin \
@@ -316,6 +341,47 @@ fn render_fig10(md: &mut String, cells: &[Cell]) {
     md.push('\n');
 }
 
+/// Footnote table for chip-accurate cells: per-(scene, method) shared
+/// memory-system profile — L2 hit rate, DRAM-channel utilization
+/// (busy time over chip cycles, both summed across bounces), and
+/// MSHR-exhaustion stalls. Silent when the document has no chip cells.
+fn render_chip_profile(md: &mut String, cells: &[Cell]) {
+    let mut map: BTreeMap<(String, String), (ChipCell, f64)> = BTreeMap::new();
+    for c in cells {
+        let Some(chip) = c.chip.filter(|_| !c.empty) else { continue };
+        let (acc, cycles) = map.entry((c.scene.clone(), c.method.clone())).or_default();
+        acc.l2_hits += chip.l2_hits;
+        acc.l2_misses += chip.l2_misses;
+        acc.mshr_waits += chip.mshr_waits;
+        acc.dram_busy_q += chip.dram_busy_q;
+        *cycles += c.cycles;
+    }
+    if map.is_empty() {
+        return;
+    }
+    md.push_str("## Shared memory system (chip-accurate cells)\n\n");
+    md.push_str(
+        "Chip-wide L2 hit rate and DRAM-channel utilization per \
+         (scene, method), summed over bounces. Utilization is DRAM busy \
+         time over chip cycles (fixed-point `dram_busy_q / (cycles × \
+         1024)`); MSHR waits count requests stalled on an exhausted \
+         miss-handler pool.\n\n",
+    );
+    md.push_str("| scene | method | L2 hit rate | DRAM util | MSHR waits |\n");
+    md.push_str("|---|---|---|---|---|\n");
+    for ((scene, method), (chip, cycles)) in &map {
+        let hit_rate = chip.l2_hits / (chip.l2_hits + chip.l2_misses).max(1.0);
+        let util = chip.dram_busy_q / (cycles.max(1.0) * 1024.0);
+        md.push_str(&format!(
+            "| {scene} | {method} | {:.1}% | {:.1}% | {} |\n",
+            hit_rate * 100.0,
+            util * 100.0,
+            chip.mshr_waits
+        ));
+    }
+    md.push('\n');
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,6 +448,8 @@ mod tests {
             r#"{"mode":"fig2","cells":[{"scene":"conference room","method":"Aila",
                "bounce":1,"figures":["fig2"],"empty":false,
                "chip_config":{"sms":15,"l2_banks":16},
+               "chip":{"sms":15,"l2_hits":300,"l2_misses":100,"l2_evictions":2,
+                 "mshr_waits":7,"dram_busy_q":5120},
                "stats":{"cycles":10,"rays_completed":5,
                  "issued":{"active_sum":300,"total":10},
                  "issued_si":{"active_sum":0,"total":0}}}]}"#,
@@ -391,6 +459,29 @@ mod tests {
         assert!(chip.contains("chip-accurate figures"), "{chip}");
         assert!(chip.contains("15 SMs sharing one L2/MSHR/DRAM"), "{chip}");
         assert!(!chip.contains("extrapolate one simulated SMX"));
+    }
+
+    #[test]
+    fn chip_cells_get_a_memory_system_footnote() {
+        // No chip cells → no footnote section at all.
+        let scaled = render(&sample_doc()).unwrap();
+        assert!(!scaled.contains("Shared memory system"), "{scaled}");
+
+        let doc = parse(
+            r#"{"mode":"fig2","cells":[{"scene":"conference room","method":"Aila",
+               "bounce":1,"figures":["fig2"],"empty":false,
+               "chip_config":{"sms":2,"l2_banks":16},
+               "chip":{"sms":2,"l2_hits":300,"l2_misses":100,"l2_evictions":2,
+                 "mshr_waits":7,"dram_busy_q":5120},
+               "stats":{"cycles":10,"rays_completed":5,
+                 "issued":{"active_sum":300,"total":10},
+                 "issued_si":{"active_sum":0,"total":0}}}]}"#,
+        )
+        .unwrap();
+        let md = render(&doc).unwrap();
+        assert!(md.contains("## Shared memory system (chip-accurate cells)"), "{md}");
+        // 300/(300+100) = 75% hit rate; 5120/(10·1024) = 50% utilization.
+        assert!(md.contains("| conference room | Aila | 75.0% | 50.0% | 7 |"), "{md}");
     }
 
     #[test]

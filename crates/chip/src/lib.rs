@@ -43,7 +43,10 @@ mod memsys;
 
 pub use memsys::{ChipStats, SharedMemSys};
 
-use drs_sim::{ChipConfig, GpuConfig, PortRequest, SimError, SimErrorKind, SimStats, Simulation};
+use drs_sim::{
+    ChipConfig, ChipTelemetrySink, GpuConfig, PortRequest, SimError, SimErrorKind, SimStats,
+    Simulation,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
@@ -82,6 +85,22 @@ pub fn run_chip(
     chip: &ChipConfig,
     threads: usize,
 ) -> Result<ChipResult, SimError> {
+    run_chip_observed(sms, cfg, chip, threads, None)
+}
+
+/// [`run_chip`] with an optional [`ChipTelemetrySink`] attached to the
+/// shared memory system: the sink receives the topology, one event per
+/// arbitrated request (in deterministic arbitration order) and, on a
+/// clean run, `on_finish` with the chip's cycle count. Attribution
+/// bookkeeping only happens while a sink is attached; results are
+/// bit-identical with `sink: None`.
+pub fn run_chip_observed(
+    sms: Vec<Simulation<'_>>,
+    cfg: &GpuConfig,
+    chip: &ChipConfig,
+    threads: usize,
+    sink: Option<&mut dyn ChipTelemetrySink>,
+) -> Result<ChipResult, SimError> {
     let chip_fail = |message: String| SimError {
         kind: SimErrorKind::ChipConfig { message },
         cycle: 0,
@@ -102,6 +121,9 @@ pub fn run_chip(
         lane.attach_chip_port();
     }
     let mut memsys = SharedMemSys::new(cfg, chip);
+    if let Some(sink) = sink {
+        memsys.attach_telemetry(sink);
+    }
     let noc = u64::from(chip.noc_latency);
     let window = 2 * noc + 1;
     let workers = threads.clamp(1, lanes.len());
@@ -127,6 +149,7 @@ pub fn run_chip(
         return Err(e);
     }
     let aggregate = aggregate_stats(&per_sm, &memsys.stats);
+    memsys.finish_telemetry(aggregate.cycles);
     Ok(ChipResult { per_sm, aggregate, chip: memsys.stats })
 }
 
@@ -135,7 +158,7 @@ pub fn run_chip(
 /// SM still needs cycles.
 fn barrier_exchange(
     lanes: &mut [Simulation<'_>],
-    memsys: &mut SharedMemSys,
+    memsys: &mut SharedMemSys<'_>,
     inbox: &mut Vec<(usize, PortRequest)>,
     scratch: &mut Vec<PortRequest>,
     noc: u64,
@@ -154,7 +177,7 @@ fn barrier_exchange(
         (arrival, (sm as u64 + n - arrival % n) % n, r.seq)
     });
     for &(sm, r) in inbox.iter() {
-        let ready = memsys.request(r.line, r.issue + noc);
+        let ready = memsys.request(sm, r.line, r.issue + noc);
         if r.is_load {
             lanes[sm].chip_complete(r.group, ready);
         }
@@ -178,7 +201,7 @@ fn next_target(lanes: &[Simulation<'_>], window: u64) -> Option<u64> {
 /// The reference chip loop: one thread advances every SM in turn.
 fn run_windows_serial(
     lanes: &mut [Simulation<'_>],
-    memsys: &mut SharedMemSys,
+    memsys: &mut SharedMemSys<'_>,
     noc: u64,
     window: u64,
 ) {
@@ -198,7 +221,7 @@ fn run_windows_serial(
 /// the exchange, so this is bit-identical to [`run_windows_serial`].
 fn run_windows_threaded(
     lanes: &mut [Simulation<'_>],
-    memsys: &mut SharedMemSys,
+    memsys: &mut SharedMemSys<'_>,
     noc: u64,
     window: u64,
     workers: usize,
@@ -275,7 +298,7 @@ fn run_windows_threaded(
                 (arrival, (sm as u64 + total - arrival % total) % total, r.seq)
             });
             for &(sm, r) in &inbox {
-                let ready = memsys.request(r.line, r.issue + noc);
+                let ready = memsys.request(sm, r.line, r.issue + noc);
                 if r.is_load {
                     guards[sm].chip_complete(r.group, ready);
                 }

@@ -22,12 +22,28 @@
 //! Everything is integer arithmetic over cycle counts, so results are
 //! bit-identical for any request order the chip loop's deterministic
 //! arbitration produces.
+//!
+//! # Observability
+//!
+//! An attached [`ChipTelemetrySink`] receives one [`ChipRequestEvent`]
+//! per arbitrated request with the full service breakdown — bank, conflict
+//! wait, MSHR merge/queue, L2 hit/eviction, DRAM busy span — plus
+//! cross-SM interference attribution: each eviction is charged to the
+//! (victim = last toucher of the displaced line, aggressor = requester)
+//! pair, and each MSHR-exhaustion stall to (victim = queued requester,
+//! aggressor = owner of the earliest-completing in-flight fill). The
+//! line-ownership map and occupancy gauges behind that attribution are
+//! maintained **only while a sink is attached**; timing and [`ChipStats`]
+//! are bit-identical either way.
 
-use drs_sim::{Cache, CacheConfig, CacheStats, ChipConfig, GpuConfig};
+use drs_sim::{
+    Cache, CacheConfig, CacheStats, ChipConfig, ChipDramCharge, ChipRequestEvent,
+    ChipTelemetrySink, ChipTopology, GpuConfig, CHIP_TIME_Q,
+};
 use std::collections::HashMap;
 
 /// Fixed-point scale for DRAM channel occupancy (1/1024ths of a cycle).
-const Q: u64 = 1024;
+const Q: u64 = CHIP_TIME_Q;
 
 /// Counters of the shared memory system (the chip-level complement of the
 /// per-SM `SimStats`).
@@ -35,12 +51,19 @@ const Q: u64 = 1024;
 pub struct ChipStats {
     /// Shared L2 hit/miss counters.
     pub l2: CacheStats,
+    /// Valid lines displaced from the shared L2 by misses (fills into
+    /// invalid ways are not evictions).
+    pub l2_evictions: u64,
     /// Line requests arbitrated (post-L1-miss, pre-merge).
     pub requests: u64,
     /// Lines actually transferred from DRAM (L2 misses after merging).
     pub dram_lines: u64,
     /// Cycles requests waited for the DRAM channel (bandwidth queueing).
     pub dram_queue_cycles: u64,
+    /// Total DRAM channel busy time, in 1/1024ths of a cycle
+    /// (`dram_lines × cycles_per_line_q`; utilization = this over the
+    /// chip's cycle count × 1024).
+    pub dram_busy_q: u64,
     /// Cycles requests waited on a busy L2 bank.
     pub bank_conflict_cycles: u64,
     /// Requests merged into an already-in-flight fill of the same line.
@@ -49,15 +72,35 @@ pub struct ChipStats {
     pub mshr_waits: u64,
 }
 
+/// One in-flight DRAM fill: when the data lands, and which SM started it
+/// (the `sm` is attribution metadata only — timing never reads it).
+#[derive(Debug, Clone, Copy)]
+struct Fill {
+    at: u64,
+    sm: u32,
+}
+
+/// How one request was served, gathered by [`SharedMemSys::serve`] so the
+/// telemetry event can be emitted from a single place.
+struct Served {
+    data_at: u64,
+    start: u64,
+    l2_hit: bool,
+    merged: bool,
+    evicted_line: Option<u64>,
+    mshr_wait_aggressor: Option<u32>,
+    dram: Option<ChipDramCharge>,
+}
+
 /// The shared L2/MSHR/DRAM model all SMs' ports feed into.
-#[derive(Debug)]
-pub struct SharedMemSys {
+pub struct SharedMemSys<'s> {
     l2: Cache,
+    sms: usize,
     line_bytes: u64,
     /// Per-bank busy horizon: the first cycle the bank is free again.
     banks: Vec<u64>,
-    /// Shared in-flight fills: line address → cycle the data arrives.
-    inflight: HashMap<u64, u64>,
+    /// Shared in-flight fills: line address → fill record.
+    inflight: HashMap<u64, Fill>,
     mshrs: usize,
     l2_latency: u64,
     dram_latency: u64,
@@ -66,15 +109,32 @@ pub struct SharedMemSys {
     cycles_per_line_q: u64,
     /// First instant (fixed point) the channel is free.
     channel_free_q: u64,
+    /// Line address → SM that last touched it; maintained only while a
+    /// sink is attached (eviction-victim attribution).
+    line_owner: HashMap<u64, u32>,
+    /// Attached telemetry sink, if any.
+    sink: Option<&'s mut dyn ChipTelemetrySink>,
     /// Counters.
     pub stats: ChipStats,
 }
 
-impl SharedMemSys {
+impl std::fmt::Debug for SharedMemSys<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedMemSys")
+            .field("sms", &self.sms)
+            .field("banks", &self.banks.len())
+            .field("mshrs", &self.mshrs)
+            .field("telemetry", &self.sink.is_some())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'s> SharedMemSys<'s> {
     /// Build the shared system: the L2 is `chip.sms` single-SM slices
     /// fused into one cache (`cfg.l2_bytes × sms`), so a chip run and the
     /// equivalent set of sliced runs hold the same total capacity.
-    pub fn new(cfg: &GpuConfig, chip: &ChipConfig) -> SharedMemSys {
+    pub fn new(cfg: &GpuConfig, chip: &ChipConfig) -> SharedMemSys<'s> {
         let bytes_per_1000_cycles = u64::from(chip.dram_gbps) * 1000;
         let cycles_per_line_q =
             (u64::from(cfg.clock_mhz) * cfg.line_bytes as u64 * Q / bytes_per_1000_cycles).max(1);
@@ -84,6 +144,7 @@ impl SharedMemSys {
                 line_bytes: cfg.line_bytes,
                 ways: cfg.cache_ways,
             }),
+            sms: chip.sms,
             line_bytes: cfg.line_bytes as u64,
             banks: vec![0; chip.l2_banks],
             inflight: HashMap::new(),
@@ -93,7 +154,33 @@ impl SharedMemSys {
             noc: u64::from(chip.noc_latency),
             cycles_per_line_q,
             channel_free_q: 0,
+            line_owner: HashMap::new(),
+            sink: None,
             stats: ChipStats::default(),
+        }
+    }
+
+    /// Attach a telemetry sink. Must happen before any traffic (the
+    /// ownership map used for attribution starts empty) — delivers the
+    /// topology via [`ChipTelemetrySink::on_start`] immediately.
+    pub fn attach_telemetry(&mut self, sink: &'s mut dyn ChipTelemetrySink) {
+        assert_eq!(self.stats.requests, 0, "attach chip telemetry before any request");
+        sink.on_start(&ChipTopology {
+            sms: self.sms,
+            l2_banks: self.banks.len(),
+            line_bytes: self.line_bytes,
+            mshrs: self.mshrs,
+            cycles_per_line_q: self.cycles_per_line_q,
+            noc_latency: self.noc,
+        });
+        self.sink = Some(sink);
+    }
+
+    /// Deliver [`ChipTelemetrySink::on_finish`] and detach the sink.
+    /// No-op when none is attached.
+    pub fn finish_telemetry(&mut self, cycles: u64) {
+        if let Some(sink) = self.sink.take() {
+            sink.on_finish(cycles);
         }
     }
 
@@ -103,61 +190,140 @@ impl SharedMemSys {
         self.cycles_per_line_q.div_ceil(Q)
     }
 
-    /// One line request arriving from the NoC at cycle `arrival`; returns
-    /// the cycle the requesting SM has the data (response NoC hop
-    /// included). Stores take the same path — they occupy the bank,
-    /// MSHRs and channel identically — their return value is unused.
+    /// One line request from SM `sm` arriving from the NoC at cycle
+    /// `arrival`; returns the cycle the requesting SM has the data
+    /// (response NoC hop included). Stores take the same path — they
+    /// occupy the bank, MSHRs and channel identically — their return
+    /// value is unused.
     ///
     /// Must be called in the chip loop's arbitration order: the model is
     /// order-sensitive (banks, MSHRs and the channel are stateful), which
     /// is exactly why arbitration must be deterministic.
-    pub fn request(&mut self, line: u64, arrival: u64) -> u64 {
+    pub fn request(&mut self, sm: usize, line: u64, arrival: u64) -> u64 {
         self.stats.requests += 1;
         // Bank arbitration: one request per bank per cycle.
         let bank = ((line / self.line_bytes) % self.banks.len() as u64) as usize;
         let slot = self.banks[bank].max(arrival);
         self.stats.bank_conflict_cycles += slot - arrival;
         self.banks[bank] = slot + 1;
+        let served = self.serve(sm, line, slot);
+        let ready = self.respond(served.data_at, arrival);
+        if self.sink.is_some() {
+            self.observe(sm, line, bank, arrival, slot, ready, &served);
+        }
+        ready
+    }
+
+    /// MSHRs, L2 lookup and DRAM channel for one bank-arbitrated request.
+    fn serve(&mut self, sm: usize, line: u64, slot: u64) -> Served {
+        let mut out = Served {
+            data_at: 0,
+            start: slot,
+            l2_hit: false,
+            merged: false,
+            evicted_line: None,
+            mshr_wait_aggressor: None,
+            dram: None,
+        };
         // Shared MSHRs: merge with an in-flight fill of the same line.
-        if let Some(&fill) = self.inflight.get(&line) {
-            if fill > slot {
+        if let Some(f) = self.inflight.get(&line) {
+            if f.at > slot {
                 self.stats.mshr_merges += 1;
-                return self.respond(fill, arrival);
+                out.merged = true;
+                out.data_at = f.at;
+                return out;
             }
             self.inflight.remove(&line);
         }
         // A new fill needs a free entry from the chip-wide pool.
         if self.inflight.len() >= self.mshrs {
-            self.inflight.retain(|_, &mut r| r > slot);
+            self.inflight.retain(|_, f| f.at > slot);
         }
         let start = if self.inflight.len() >= self.mshrs {
             self.stats.mshr_waits += 1;
-            let free_at = self.inflight.values().copied().min().unwrap_or(slot);
-            self.inflight.retain(|_, &mut r| r > free_at);
+            // Earliest-completing fill; ties broken by SM index so the
+            // attributed aggressor never depends on hash-map order.
+            let (free_at, owner) =
+                self.inflight.values().map(|f| (f.at, f.sm)).min().unwrap_or((slot, sm as u32));
+            self.inflight.retain(|_, f| f.at > free_at);
+            out.mshr_wait_aggressor = Some(owner);
             free_at.max(slot)
         } else {
             slot
         };
-        if self.l2.access(line) {
-            self.stats.l2 = self.l2.stats;
-            return self.respond(start + self.l2_latency, arrival);
-        }
+        out.start = start;
+        let (hit, evicted) = self.l2.access_probed(line);
         self.stats.l2 = self.l2.stats;
+        if evicted.is_some() {
+            self.stats.l2_evictions += 1;
+        }
+        out.evicted_line = evicted;
+        if hit {
+            out.l2_hit = true;
+            out.data_at = start + self.l2_latency;
+            return out;
+        }
         // DRAM: queue for the channel, occupy it for one line's worth of
         // bandwidth, then pay the access latency.
         let start_q = start * Q;
         let channel_start_q = self.channel_free_q.max(start_q);
-        self.stats.dram_queue_cycles += (channel_start_q - start_q) / Q;
+        let queue_cycles = (channel_start_q - start_q) / Q;
+        self.stats.dram_queue_cycles += queue_cycles;
         self.channel_free_q = channel_start_q + self.cycles_per_line_q;
         self.stats.dram_lines += 1;
+        self.stats.dram_busy_q += self.cycles_per_line_q;
         let fill = self.channel_free_q.div_ceil(Q) + self.dram_latency;
-        self.inflight.insert(line, fill);
-        self.respond(fill, arrival)
+        self.inflight.insert(line, Fill { at: fill, sm: sm as u32 });
+        out.dram = Some(ChipDramCharge {
+            busy_from_q: channel_start_q,
+            busy_to_q: self.channel_free_q,
+            queue_cycles,
+        });
+        out.data_at = fill;
+        out
+    }
+
+    /// Attribution bookkeeping + event emission (sink attached only).
+    #[allow(clippy::too_many_arguments)] // mirrors ChipRequestEvent's timing fields
+    fn observe(
+        &mut self,
+        sm: usize,
+        line: u64,
+        bank: usize,
+        arrival: u64,
+        slot: u64,
+        ready: u64,
+        served: &Served,
+    ) {
+        // The evicted line's last toucher is the eviction's victim; the
+        // entry is dropped — the line is gone from the L2.
+        let evicted_victim =
+            served.evicted_line.map(|l| self.line_owner.remove(&l).unwrap_or(sm as u32));
+        self.line_owner.insert(line, sm as u32);
+        let mshrs_in_use = self.inflight.values().filter(|f| f.at > slot).count() as u64;
+        let ev = ChipRequestEvent {
+            sm: sm as u32,
+            line,
+            bank: bank as u32,
+            arrival,
+            slot,
+            start: served.start,
+            ready,
+            l2_hit: served.l2_hit,
+            merged: served.merged,
+            evicted_victim,
+            mshr_wait_aggressor: served.mshr_wait_aggressor,
+            dram: served.dram,
+            mshrs_in_use,
+        };
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.on_request(&ev);
+        }
     }
 
     /// Fills still outstanding at cycle `now` (occupied shared MSHRs).
     pub fn outstanding_misses(&self, now: u64) -> usize {
-        self.inflight.values().filter(|&&r| r > now).count()
+        self.inflight.values().filter(|f| f.at > now).count()
     }
 
     /// Response leaves the L2 at `data_at` and pays the return NoC hop.
@@ -191,12 +357,12 @@ mod tests {
         let mut m = SharedMemSys::new(&cfg, &chip);
         let line = cfg.line_bytes as u64;
         let same_bank = line * chip.l2_banks as u64; // bank 0 again
-        let t0 = m.request(0, 100);
-        let t1 = m.request(same_bank, 100);
+        let t0 = m.request(0, 0, 100);
+        let t1 = m.request(1, same_bank, 100);
         assert_eq!(m.stats.bank_conflict_cycles, 1, "second same-bank request waits one cycle");
         assert!(t1 > t0);
         // A third line in a different bank sails through.
-        m.request(line, 100);
+        m.request(0, line, 100);
         assert_eq!(m.stats.bank_conflict_cycles, 1);
     }
 
@@ -206,8 +372,8 @@ mod tests {
     fn mshr_merges_same_line_across_sms() {
         let (cfg, chip) = gtx(2);
         let mut m = SharedMemSys::new(&cfg, &chip);
-        let t0 = m.request(0x4000, 10); // SM 0
-        let t1 = m.request(0x4000, 11); // SM 1, same line, one cycle later
+        let t0 = m.request(0, 0x4000, 10); // SM 0
+        let t1 = m.request(1, 0x4000, 11); // SM 1, same line, one cycle later
         assert_eq!(m.stats.mshr_merges, 1);
         assert_eq!(m.stats.dram_lines, 1, "merged request must not re-access DRAM");
         assert_eq!(t1, t0, "both SMs see the data at the shared fill time");
@@ -220,9 +386,9 @@ mod tests {
         let (cfg, mut chip) = gtx(2);
         chip.shared_mshrs = 1;
         let mut m = SharedMemSys::new(&cfg, &chip);
-        let t0 = m.request(0, 0);
+        let t0 = m.request(0, 0, 0);
         assert_eq!(m.outstanding_misses(1), 1);
-        let t1 = m.request(0x8000, 1);
+        let t1 = m.request(1, 0x8000, 1);
         assert_eq!(m.stats.mshr_waits, 1);
         assert!(
             t1 >= t0 + u64::from(cfg.dram_latency),
@@ -230,8 +396,8 @@ mod tests {
         );
         // An ample pool overlaps the same pattern.
         let mut wide = SharedMemSys::new(&cfg, &ChipConfig::gtx780(2));
-        let a = wide.request(0, 0);
-        let b = wide.request(0x8000, 1);
+        let a = wide.request(0, 0, 0);
+        let b = wide.request(1, 0x8000, 1);
         assert!(b < a + u64::from(cfg.dram_latency));
         assert_eq!(wide.stats.mshr_waits, 0);
     }
@@ -247,9 +413,10 @@ mod tests {
         assert!(per_line >= 31, "got {per_line}");
         // 8 distinct lines, distinct banks, all arriving at cycle 0.
         let readies: Vec<u64> =
-            (0..8u64).map(|i| m.request(i * cfg.line_bytes as u64, 0)).collect();
+            (0..8u64).map(|i| m.request(0, i * cfg.line_bytes as u64, 0)).collect();
         assert_eq!(m.stats.dram_lines, 8);
         assert!(m.stats.dram_queue_cycles > 0, "channel must have queued");
+        assert_eq!(m.stats.dram_busy_q, 8 * m.cycles_per_line_q, "busy time is lines × per-line");
         for pair in readies.windows(2) {
             assert!(
                 pair[1] >= pair[0] + per_line - 1,
@@ -258,7 +425,7 @@ mod tests {
         }
         // The full-bandwidth channel answers the same burst much faster.
         let mut fast = SharedMemSys::new(&cfg, &ChipConfig::gtx780(2));
-        let fast_last = (0..8u64).map(|i| fast.request(i * cfg.line_bytes as u64, 0)).max();
+        let fast_last = (0..8u64).map(|i| fast.request(0, i * cfg.line_bytes as u64, 0)).max();
         assert!(fast_last.unwrap() < *readies.last().unwrap());
     }
 
@@ -267,11 +434,85 @@ mod tests {
     fn l2_hits_bypass_dram() {
         let (cfg, chip) = gtx(2);
         let mut m = SharedMemSys::new(&cfg, &chip);
-        m.request(0x1000, 0);
+        m.request(0, 0x1000, 0);
         // Re-request after the fill has long landed: the line is resident.
-        let t = m.request(0x1000, 10_000);
+        let t = m.request(0, 0x1000, 10_000);
         assert_eq!(t, 10_000 + u64::from(cfg.l2_latency) + u64::from(chip.noc_latency));
         assert_eq!(m.stats.l2.hits, 1);
         assert_eq!(m.stats.dram_lines, 1);
+    }
+
+    /// A sink records every request with correct attribution, and the
+    /// attached run's stats/timings are identical to a detached one.
+    #[derive(Default)]
+    struct Record {
+        topo: Option<ChipTopology>,
+        events: Vec<ChipRequestEvent>,
+        finished: Option<u64>,
+    }
+
+    impl ChipTelemetrySink for Record {
+        fn on_start(&mut self, topo: &ChipTopology) {
+            self.topo = Some(*topo);
+        }
+        fn on_request(&mut self, ev: &ChipRequestEvent) {
+            self.events.push(*ev);
+        }
+        fn on_finish(&mut self, cycles: u64) {
+            self.finished = Some(cycles);
+        }
+    }
+
+    /// Fill one L2 set past associativity from SM 0, then displace from
+    /// SM 1: the eviction must be charged to (victim SM 0, aggressor SM 1).
+    #[test]
+    fn evictions_attribute_victim_and_aggressor() {
+        let (cfg, chip) = gtx(2);
+        let mut sink = Record::default();
+        let mut m = SharedMemSys::new(&cfg, &chip);
+        m.attach_telemetry(&mut sink);
+        // Lines that map to the same L2 set: stride = sets × line_bytes.
+        let sets = (cfg.l2_bytes * chip.sms / cfg.line_bytes / cfg.cache_ways) as u64;
+        let stride = sets * cfg.line_bytes as u64;
+        let mut t = 0;
+        for i in 0..cfg.cache_ways as u64 {
+            m.request(0, i * stride, t);
+            t += 10_000; // far apart: no merging, fills land in between
+        }
+        assert_eq!(m.stats.l2_evictions, 0, "filling invalid ways is not eviction");
+        m.request(1, cfg.cache_ways as u64 * stride, t);
+        assert_eq!(m.stats.l2_evictions, 1);
+        m.finish_telemetry(t + 1);
+        let requests = m.stats.requests;
+        drop(m);
+        let ev = sink.events.last().unwrap();
+        assert_eq!(ev.sm, 1);
+        assert_eq!(ev.evicted_victim, Some(0), "SM 0's LRU line was displaced");
+        assert_eq!(sink.finished, Some(t + 1));
+        assert_eq!(sink.topo.unwrap().sms, 2);
+        assert_eq!(sink.events.len(), requests as usize);
+    }
+
+    /// An MSHR-exhaustion stall is charged to the SM owning the fill the
+    /// victim queued behind, and attachment never changes timing.
+    #[test]
+    fn mshr_stalls_attribute_aggressor_and_timing_is_unchanged() {
+        let (cfg, mut chip) = gtx(2);
+        chip.shared_mshrs = 1;
+        let mut detached = SharedMemSys::new(&cfg, &chip);
+        let d0 = detached.request(0, 0, 0);
+        let d1 = detached.request(1, 0x8000, 1);
+        let mut sink = Record::default();
+        let mut m = SharedMemSys::new(&cfg, &chip);
+        m.attach_telemetry(&mut sink);
+        let a0 = m.request(0, 0, 0);
+        let a1 = m.request(1, 0x8000, 1);
+        assert_eq!((a0, a1), (d0, d1), "telemetry must not change timing");
+        assert_eq!(m.stats, detached.stats, "telemetry must not change counters");
+        drop(m);
+        let ev = &sink.events[1];
+        assert_eq!(ev.mshr_wait_aggressor, Some(0), "queued behind SM 0's fill");
+        assert!(ev.start > ev.slot, "the wait is visible in the service breakdown");
+        assert!(sink.events[0].dram.is_some() && ev.dram.is_some());
     }
 }

@@ -25,8 +25,9 @@ use std::path::{Path, PathBuf};
 
 /// Version of the checkpoint schema (bumped on incompatible layout
 /// changes; a mismatch makes old checkpoints stale, never misread).
-/// v2 added the optional per-cell `chip` summary for full-chip cells.
-pub const CHECKPOINT_SCHEMA_VERSION: u32 = 2;
+/// v2 added the optional per-cell `chip` summary for full-chip cells;
+/// v3 extended it with `l2_evictions` and `dram_busy_q`.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 3;
 
 /// Where the checkpoint lives and whether to read it back.
 #[derive(Debug, Clone)]
@@ -272,8 +273,10 @@ fn parse_chip(v: &Value) -> Option<ChipSummary> {
         sms: get_u64(v, "sms")? as usize,
         l2_hits: get_u64(v, "l2_hits")?,
         l2_misses: get_u64(v, "l2_misses")?,
+        l2_evictions: get_u64(v, "l2_evictions")?,
         requests: get_u64(v, "requests")?,
         dram_lines: get_u64(v, "dram_lines")?,
+        dram_busy_q: get_u64(v, "dram_busy_q")?,
         dram_queue_cycles: get_u64(v, "dram_queue_cycles")?,
         bank_conflict_cycles: get_u64(v, "bank_conflict_cycles")?,
         mshr_merges: get_u64(v, "mshr_merges")?,
@@ -342,8 +345,10 @@ mod tests {
                     sms: 3,
                     l2_hits: 510,
                     l2_misses: 170,
+                    l2_evictions: 25,
                     requests: 700,
                     dram_lines: 160,
+                    dram_busy_q: 160 * 2048,
                     dram_queue_cycles: 42,
                     bank_conflict_cycles: 13,
                     mshr_merges: 20,

@@ -33,6 +33,10 @@
 //!   with [`SimJob::chip`] set runs N per-SM engines against one shared
 //!   L2/MSHR/DRAM memory system instead of a single scaled SMX; the cell
 //!   carries a [`ChipSummary`] with the cross-SM contention counters.
+//!   With telemetry enabled the cell additionally carries one
+//!   stall-attribution report per SM and a chip memory-system report
+//!   (per-bank L2 / MSHR / DRAM / NoC interval series plus the cross-SM
+//!   interference matrix) — all purely observational.
 //!
 //! # Example
 //!

@@ -33,7 +33,7 @@ use crate::job::{JobId, SimJob};
 use crate::results::{CellFailure, CellResult, ChipSummary};
 use crate::runner::CellConfig;
 use drs_sim::{ChipConfig, SimError, SimErrorKind, SimStats};
-use drs_telemetry::{TelemetryConfig, TelemetryReport};
+use drs_telemetry::{ChipTelemetryReport, TelemetryConfig, TelemetryReport};
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -139,6 +139,9 @@ pub struct RunReport {
     pub cache: CacheCounters,
     /// Cells reused from a checkpoint instead of being re-simulated.
     pub resumed: usize,
+    /// Successful checkpoint-file writes during the run (0 without a
+    /// [`CheckpointSpec`]).
+    pub checkpoint_writes: u64,
     /// Wall-clock of the whole run in milliseconds.
     pub wall_ms: f64,
 }
@@ -265,6 +268,7 @@ where
 struct CheckpointState {
     path: std::path::PathBuf,
     snapshot: Mutex<Checkpoint>,
+    writes: AtomicUsize,
 }
 
 impl CheckpointState {
@@ -284,8 +288,13 @@ impl CheckpointState {
                 failure: cell.failure.clone(),
             },
         );
-        if let Err(e) = snap.write_to(&self.path) {
-            eprintln!("drs-harness: checkpoint write failed ({}): {e}", self.path.display());
+        match snap.write_to(&self.path) {
+            Ok(()) => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                eprintln!("drs-harness: checkpoint write failed ({}): {e}", self.path.display());
+            }
         }
     }
 }
@@ -308,14 +317,6 @@ pub fn run_jobs(jobs: &[SimJob], opts: &RunOptions) -> RunReport {
         }
         (spec, _) => spec.as_ref(),
     };
-    // Full-chip cells attach one collector per SM inside the chip loop
-    // (see `runner::run_chip_cell`); the single-report cell field cannot
-    // represent that, so chip cells run unobserved under pool telemetry.
-    if opts.telemetry.is_some() && jobs.iter().any(|j| j.chip.is_some()) {
-        eprintln!(
-            "drs-harness: telemetry skipped for chip cells (per-SM reports need run_chip_cell)"
-        );
-    }
     let key = checkpoint.map(|_| run_key(jobs, opts.fastpath));
     let resumed_cells: HashMap<JobId, CheckpointCell> = match (checkpoint, key) {
         (Some(spec), Some(key)) if spec.resume => Checkpoint::load(&spec.path, key)
@@ -330,7 +331,11 @@ pub fn run_jobs(jobs: &[SimJob], opts: &RunOptions) -> RunReport {
         for (id, cell) in &resumed_cells {
             snapshot.cells.insert(*id, cell.clone());
         }
-        CheckpointState { path: spec.path.clone(), snapshot: Mutex::new(snapshot) }
+        CheckpointState {
+            path: spec.path.clone(),
+            snapshot: Mutex::new(snapshot),
+            writes: AtomicUsize::new(0),
+        }
     });
 
     // Phase 1: capture the distinct workloads still needed (fully resumed
@@ -369,6 +374,8 @@ pub fn run_jobs(jobs: &[SimJob], opts: &RunOptions) -> RunReport {
                 completed: prior.completed,
                 stats: prior.stats.clone(),
                 telemetry: None,
+                sm_telemetry: Vec::new(),
+                chip_telemetry: None,
                 chip: prior.chip.clone(),
                 failure: prior.failure.clone(),
                 attempts: prior.attempts,
@@ -386,6 +393,8 @@ pub fn run_jobs(jobs: &[SimJob], opts: &RunOptions) -> RunReport {
                 completed: false,
                 stats: SimStats::default(),
                 telemetry: None,
+                sm_telemetry: Vec::new(),
+                chip_telemetry: None,
                 chip: None,
                 failure: Some(CellFailure {
                     kind: "capture".to_string(),
@@ -431,6 +440,9 @@ pub fn run_jobs(jobs: &[SimJob], opts: &RunOptions) -> RunReport {
         cells,
         cache,
         resumed: resumed_count.into_inner(),
+        checkpoint_writes: checkpoint_state
+            .as_ref()
+            .map_or(0, |s| s.writes.load(Ordering::Relaxed) as u64),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
     }
 }
@@ -452,6 +464,8 @@ fn run_one_job(
             completed: true,
             stats: SimStats::default(),
             telemetry: None,
+            sm_telemetry: Vec::new(),
+            chip_telemetry: None,
             chip: None,
             failure: None,
             attempts: 1,
@@ -465,14 +479,16 @@ fn run_one_job(
         attempt += 1;
         let fault = opts.faults.fault_for(index, job.id(), attempt);
         match run_attempt(job, scripts, fault, opts) {
-            Ok((stats, telemetry, chip)) => {
+            Ok(success) => {
                 return CellResult {
                     job: *job,
                     empty: false,
                     completed: true,
-                    stats,
-                    telemetry,
-                    chip,
+                    stats: success.stats,
+                    telemetry: success.telemetry,
+                    sm_telemetry: success.sm_telemetry,
+                    chip_telemetry: success.chip_telemetry,
+                    chip: success.chip,
                     failure: None,
                     attempts: attempt,
                     wall_ms: job_start.elapsed().as_secs_f64() * 1e3,
@@ -498,6 +514,8 @@ fn run_one_job(
                     completed: false,
                     stats: partial,
                     telemetry: None,
+                    sm_telemetry: Vec::new(),
+                    chip_telemetry: None,
                     chip: None,
                     failure: Some(failure),
                     attempts: attempt,
@@ -508,12 +526,22 @@ fn run_one_job(
     }
 }
 
+/// What a successful attempt produced: the stats plus whichever
+/// telemetry artifacts the cell's mode yields (single-SMX report, or the
+/// per-SM reports and chip memory-system report for full-chip cells).
+struct AttemptSuccess {
+    stats: SimStats,
+    telemetry: Option<TelemetryReport>,
+    sm_telemetry: Vec<TelemetryReport>,
+    chip_telemetry: Option<ChipTelemetryReport>,
+    chip: Option<ChipSummary>,
+}
+
 /// Outcome of a single cell attempt. The error side is boxed —
 /// `SimStats` is large — and carries the partial stats accumulated
 /// before the failure. The chip summary is `Some` exactly for
 /// successful full-chip cells.
-type AttemptOutcome =
-    Result<(SimStats, Option<TelemetryReport>, Option<ChipSummary>), Box<(CellFailure, SimStats)>>;
+type AttemptOutcome = Result<AttemptSuccess, Box<(CellFailure, SimStats)>>;
 
 /// Flatten a finished chip run into the per-cell summary row.
 fn chip_summary(r: &drs_chip::ChipResult) -> ChipSummary {
@@ -521,8 +549,10 @@ fn chip_summary(r: &drs_chip::ChipResult) -> ChipSummary {
         sms: r.per_sm.len(),
         l2_hits: r.chip.l2.hits,
         l2_misses: r.chip.l2.misses,
+        l2_evictions: r.chip.l2_evictions,
         requests: r.chip.requests,
         dram_lines: r.chip.dram_lines,
+        dram_busy_q: r.chip.dram_busy_q,
         dram_queue_cycles: r.chip.dram_queue_cycles,
         bank_conflict_cycles: r.chip.bank_conflict_cycles,
         mshr_merges: r.chip.mshr_merges,
@@ -580,22 +610,25 @@ fn run_attempt(
     let outcome = catch_quietly(|| {
         assert!(fault != Some(FaultKind::WorkerPanic), "injected worker panic (job {})", job.id());
         if cfg.chip.is_some() {
-            let (result, _per_sm) = crate::runner::run_chip_cell(&cfg, scripts, None);
+            let (result, sm_telemetry, chip_telemetry) =
+                crate::runner::run_chip_cell(&cfg, scripts, opts.telemetry);
             match result {
                 Ok(chip) => {
                     let summary = chip_summary(&chip);
-                    (Ok(chip.aggregate), None, Some(summary))
+                    (Ok(chip.aggregate), None, sm_telemetry, chip_telemetry, Some(summary))
                 }
-                Err(err) => (Err(err), None, None),
+                Err(err) => (Err(err), None, Vec::new(), None, None),
             }
         } else {
             let (result, telemetry) = crate::runner::run_cell(&cfg, scripts, opts.telemetry);
-            (result, telemetry, None)
+            (result, telemetry, Vec::new(), None, None)
         }
     });
     match outcome {
-        Ok((Ok(stats), telemetry, chip)) => Ok((stats, telemetry, chip)),
-        Ok((Err(err), _, _)) => Err(Box::new(failure_from_sim_error(err, injected))),
+        Ok((Ok(stats), telemetry, sm_telemetry, chip_telemetry, chip)) => {
+            Ok(AttemptSuccess { stats, telemetry, sm_telemetry, chip_telemetry, chip })
+        }
+        Ok((Err(err), _, _, _, _)) => Err(Box::new(failure_from_sim_error(err, injected))),
         Err(caught) => Err(Box::new((
             CellFailure {
                 kind: "panic".to_string(),

@@ -11,8 +11,8 @@
 use crate::cache::CacheCounters;
 use crate::job::SimJob;
 use crate::pool::RunReport;
-use drs_sim::{GpuConfig, JsonBuf, SimStats};
-use drs_telemetry::TelemetryReport;
+use drs_sim::{GpuConfig, JsonBuf, SimStats, CHIP_TIME_Q};
+use drs_telemetry::{ChipTelemetryReport, TelemetryReport};
 use std::io::Write;
 use std::path::Path;
 
@@ -70,10 +70,16 @@ pub struct ChipSummary {
     pub l2_hits: u64,
     /// Shared L2 misses, chip-wide.
     pub l2_misses: u64,
+    /// Lines displaced from the shared L2 to make room for a fill.
+    pub l2_evictions: u64,
     /// Line requests that reached the shared system.
     pub requests: u64,
     /// Lines fetched over the DRAM channel.
     pub dram_lines: u64,
+    /// Total DRAM-channel busy time in 1/1024-cycle fixed point
+    /// (`dram_lines × cycles_per_line_q`); divided by the chip's cycle
+    /// count it yields the channel utilization.
+    pub dram_busy_q: u64,
     /// Cycles requests spent queued behind a saturated DRAM channel.
     pub dram_queue_cycles: u64,
     /// Cycles lost to same-bank serialization at the L2.
@@ -95,14 +101,23 @@ impl ChipSummary {
         self.l2_hits as f64 / (self.l2_hits + self.l2_misses).max(1) as f64
     }
 
+    /// DRAM-channel utilization over `cycles` chip cycles (0.0–1.0+; a
+    /// value above 1 means the channel owed busy time past the last
+    /// request's issue — the queue never drained).
+    pub fn dram_utilization(&self, cycles: u64) -> f64 {
+        self.dram_busy_q as f64 / (cycles.max(1) * CHIP_TIME_Q) as f64
+    }
+
     /// Append this summary as a JSON object.
     pub fn write_json(&self, j: &mut JsonBuf) {
         j.begin_obj();
         j.kv_u64("sms", self.sms as u64);
         j.kv_u64("l2_hits", self.l2_hits);
         j.kv_u64("l2_misses", self.l2_misses);
+        j.kv_u64("l2_evictions", self.l2_evictions);
         j.kv_u64("requests", self.requests);
         j.kv_u64("dram_lines", self.dram_lines);
+        j.kv_u64("dram_busy_q", self.dram_busy_q);
         j.kv_u64("dram_queue_cycles", self.dram_queue_cycles);
         j.kv_u64("bank_conflict_cycles", self.bank_conflict_cycles);
         j.kv_u64("mshr_merges", self.mshr_merges);
@@ -140,6 +155,14 @@ pub struct CellResult {
     /// Stall-attribution / timeline report, present when the run had
     /// telemetry enabled (see [`RunOptions::telemetry`](crate::RunOptions)).
     pub telemetry: Option<TelemetryReport>,
+    /// Per-SM stall-attribution reports for full-chip cells run with
+    /// telemetry, SM order (single-SMX cells leave this empty and use
+    /// [`CellResult::telemetry`]).
+    pub sm_telemetry: Vec<TelemetryReport>,
+    /// Chip memory-system interval series (per-bank L2, MSHR pool, DRAM
+    /// channel, NoC) plus the cross-SM interference matrix, for full-chip
+    /// cells run with telemetry.
+    pub chip_telemetry: Option<ChipTelemetryReport>,
     /// Why the cell failed, when it did. Every failed attempt's class and
     /// message survive into the results JSON instead of killing the run.
     pub failure: Option<CellFailure>,
@@ -216,6 +239,10 @@ impl CellResult {
             j.key("chip");
             chip.write_json(j);
         }
+        if let Some(report) = &self.chip_telemetry {
+            j.key("chip_telemetry");
+            report.write_totals_json(j);
+        }
         j.kv_f64("wall_ms", self.wall_ms);
         j.kv_f64("mrays_per_sec", self.mrays_per_sec(gpu));
         j.kv_f64("simd_efficiency", self.stats.simd_efficiency());
@@ -236,6 +263,10 @@ pub struct ResultsFile {
     pub cache: CacheCounters,
     /// Whole-run wall clock in milliseconds.
     pub wall_ms: f64,
+    /// Cells reused from a checkpoint instead of being re-simulated.
+    pub resumed: usize,
+    /// Successful checkpoint-file writes during the run.
+    pub checkpoint_writes: u64,
     /// `(figures-that-use-it, cell)` in deterministic job order.
     pub cells: Vec<(Vec<String>, CellResult)>,
 }
@@ -255,8 +286,39 @@ impl ResultsFile {
             workers,
             cache: report.cache,
             wall_ms: report.wall_ms,
+            resumed: report.resumed,
+            checkpoint_writes: report.checkpoint_writes,
             cells: figures_of.into_iter().zip(report.cells).collect(),
         }
+    }
+
+    /// Run-level execution metrics aggregated over every cell: the
+    /// fault-tolerance and caching story of the run as one object (cache
+    /// traffic, retry attempts, checkpoint writes, per-cell wall-clock
+    /// spread) — so CI can watch harness health, not just simulator
+    /// counters.
+    fn write_metrics_json(&self, j: &mut JsonBuf) {
+        let attempts: u64 = self.cells.iter().map(|(_, c)| c.attempts as u64).sum();
+        let cells = self.cells.len() as u64;
+        let failed = self.cells.iter().filter(|(_, c)| c.failure.is_some()).count() as u64;
+        let empty = self.cells.iter().filter(|(_, c)| c.empty).count() as u64;
+        let wall: Vec<f64> = self.cells.iter().map(|(_, c)| c.wall_ms).collect();
+        let wall_sum: f64 = wall.iter().sum();
+        j.begin_obj();
+        j.kv_u64("cells_total", cells);
+        j.kv_u64("cells_failed", failed);
+        j.kv_u64("cells_empty", empty);
+        j.kv_u64("attempts", attempts);
+        j.kv_u64("retries", attempts - cells.min(attempts));
+        j.kv_u64("resumed", self.resumed as u64);
+        j.kv_u64("checkpoint_writes", self.checkpoint_writes);
+        j.kv_u64("cache_hits", self.cache.hits);
+        j.kv_u64("cache_misses", self.cache.misses);
+        j.kv_u64("cache_store_failures", self.cache.store_failures);
+        j.kv_f64("cell_wall_ms_sum", wall_sum);
+        j.kv_f64("cell_wall_ms_max", wall.iter().copied().fold(0.0, f64::max));
+        j.kv_f64("cell_wall_ms_mean", wall_sum / (cells.max(1)) as f64);
+        j.end_obj();
     }
 
     /// Serialize the document.
@@ -280,6 +342,8 @@ impl ResultsFile {
         j.kv_u64("evictions", self.cache.evictions);
         j.kv_u64("store_failures", self.cache.store_failures);
         j.end_obj();
+        j.key("metrics");
+        self.write_metrics_json(&mut j);
         j.kv_f64("wall_ms", self.wall_ms);
         j.key("cells");
         j.begin_arr();
@@ -326,6 +390,18 @@ impl ResultsFile {
                 j.key("telemetry");
                 report.write_json(&mut j);
             }
+            if !cell.sm_telemetry.is_empty() {
+                j.key("sm_telemetry");
+                j.begin_arr();
+                for report in &cell.sm_telemetry {
+                    report.write_json(&mut j);
+                }
+                j.end_arr();
+            }
+            if let Some(report) = &cell.chip_telemetry {
+                j.key("chip_telemetry");
+                report.write_json(&mut j);
+            }
             j.end_obj();
         }
         j.end_arr();
@@ -343,11 +419,19 @@ impl ResultsFile {
         write_text(path, &self.to_json())
     }
 
+    /// True when the cell produced any telemetry artifact (single-SMX
+    /// report, per-SM chip reports, or the chip memory-system report).
+    fn instrumented(cell: &CellResult) -> bool {
+        cell.telemetry.is_some() || !cell.sm_telemetry.is_empty() || cell.chip_telemetry.is_some()
+    }
+
     /// The timeline artifact: one record per instrumented cell carrying
     /// its full [`TelemetryReport`] (stall-bucket totals + interval
-    /// series). `None` when no cell has telemetry.
+    /// series). Chip cells carry the per-SM report array plus the full
+    /// chip memory-system interval series and interference matrix.
+    /// `None` when no cell has telemetry.
     pub fn timeline_json(&self) -> Option<String> {
-        if !self.cells.iter().any(|(_, c)| c.telemetry.is_some()) {
+        if !self.cells.iter().any(|(_, c)| Self::instrumented(c)) {
             return None;
         }
         let mut j = JsonBuf::new();
@@ -358,13 +442,29 @@ impl ResultsFile {
         j.key("cells");
         j.begin_arr();
         for (_, cell) in &self.cells {
-            let Some(report) = &cell.telemetry else { continue };
+            if !Self::instrumented(cell) {
+                continue;
+            }
             j.begin_obj();
             j.kv_str("id", &cell.job.id().to_string());
             j.kv_str("cell", &cell.cell_name());
             j.kv_f64("simd_efficiency", cell.stats.simd_efficiency());
-            j.key("telemetry");
-            report.write_json(&mut j);
+            if let Some(report) = &cell.telemetry {
+                j.key("telemetry");
+                report.write_json(&mut j);
+            }
+            if !cell.sm_telemetry.is_empty() {
+                j.key("sm_telemetry");
+                j.begin_arr();
+                for report in &cell.sm_telemetry {
+                    report.write_json(&mut j);
+                }
+                j.end_arr();
+            }
+            if let Some(report) = &cell.chip_telemetry {
+                j.key("chip_telemetry");
+                report.write_json(&mut j);
+            }
             j.end_obj();
         }
         j.end_arr();
@@ -372,20 +472,29 @@ impl ResultsFile {
         Some(j.finish())
     }
 
-    /// A Chrome trace-event document covering every instrumented cell
-    /// (one trace process per cell). `None` when no cell has telemetry.
+    /// A Chrome trace-event document covering every instrumented cell.
+    /// Single-SMX cells become one process; chip cells become one process
+    /// per SM (`cell/smK` warp rows) plus the memory-system rows — one
+    /// process per L2 bank and one for DRAM/MSHR/NoC counters. `None`
+    /// when no cell has telemetry.
     pub fn chrome_trace_json(&self) -> Option<String> {
-        let cells: Vec<(String, &TelemetryReport)> = self
-            .cells
-            .iter()
-            .filter_map(|(_, c)| c.telemetry.as_ref().map(|t| (c.cell_name(), t)))
-            .collect();
-        if cells.is_empty() {
+        if !self.cells.iter().any(|(_, c)| Self::instrumented(c)) {
             return None;
         }
-        Some(drs_telemetry::chrome::trace_json(
-            cells.iter().map(|(name, report)| (name.as_str(), *report)),
-        ))
+        let mut b = drs_telemetry::chrome::TraceBuilder::new();
+        for (_, cell) in &self.cells {
+            let name = cell.cell_name();
+            if let Some(report) = &cell.telemetry {
+                b.add_cell(&name, report);
+            }
+            for (sm, report) in cell.sm_telemetry.iter().enumerate() {
+                b.add_cell(&format!("{name}/sm{sm}"), report);
+            }
+            if let Some(report) = &cell.chip_telemetry {
+                b.add_chip(&name, report);
+            }
+        }
+        Some(b.finish())
     }
 }
 
@@ -427,10 +536,24 @@ mod tests {
             completed: true,
             stats: SimStats { cycles: 10, rays_completed: 5, ..Default::default() },
             telemetry: None,
+            sm_telemetry: Vec::new(),
+            chip_telemetry: None,
             failure: None,
             chip: None,
             attempts: 1,
             wall_ms: 1.25,
+        }
+    }
+
+    fn file_with(mode: &str, workers: usize, wall_ms: f64, cache: CacheCounters) -> ResultsFile {
+        ResultsFile {
+            mode: mode.into(),
+            workers,
+            cache,
+            wall_ms,
+            resumed: 0,
+            checkpoint_writes: 0,
+            cells: Vec::new(),
         }
     }
 
@@ -444,8 +567,10 @@ mod tests {
             sms: 2,
             l2_hits: 30,
             l2_misses: 10,
+            l2_evictions: 4,
             requests: 40,
             dram_lines: 10,
+            dram_busy_q: 5 * 1024,
             dram_queue_cycles: 7,
             bank_conflict_cycles: 3,
             mshr_merges: 2,
@@ -459,16 +584,14 @@ mod tests {
             "chip cells must not re-scale by smx_count"
         );
         assert!((cell.chip.as_ref().unwrap().l2_hit_rate() - 0.75).abs() < 1e-12);
-        let file = ResultsFile {
-            mode: "fig2".into(),
-            workers: 1,
-            cache: CacheCounters::default(),
-            wall_ms: 1.0,
-            cells: vec![(vec!["fig2".into()], cell)],
-        };
+        assert!((cell.chip.as_ref().unwrap().dram_utilization(10) - 0.5).abs() < 1e-12);
+        let mut file = file_with("fig2", 1, 1.0, CacheCounters::default());
+        file.cells = vec![(vec!["fig2".into()], cell)];
         for json in [file.to_json(), file.stats_json()] {
             for needle in [
                 "\"chip\":{\"sms\":2",
+                "\"l2_evictions\":4",
+                "\"dram_busy_q\":5120",
                 "\"dram_queue_cycles\":7",
                 "\"bank_conflict_cycles\":3",
                 "\"mshr_merges\":2",
@@ -483,19 +606,18 @@ mod tests {
 
     #[test]
     fn results_file_contains_required_fields() {
-        let file = ResultsFile {
-            mode: "fig10".into(),
-            workers: 4,
-            cache: CacheCounters { hits: 3, misses: 1, ..Default::default() },
-            wall_ms: 12.5,
-            cells: vec![(vec!["fig10".into(), "fig11".into()], sample_cell())],
-        };
+        let mut file =
+            file_with("fig10", 4, 12.5, CacheCounters { hits: 3, misses: 1, ..Default::default() });
+        file.cells = vec![(vec!["fig10".into(), "fig11".into()], sample_cell())];
         let json = file.to_json();
         for needle in [
             "\"schema_version\":1",
             "\"mode\":\"fig10\"",
             "\"workers\":4",
             "\"hits\":3",
+            "\"metrics\":{\"cells_total\":1",
+            "\"retries\":0",
+            "\"cache_hits\":3",
             "\"mrays_per_sec\":",
             "\"simd_efficiency\":",
             "\"figures\":[\"fig10\",\"fig11\"]",
@@ -511,12 +633,15 @@ mod tests {
 
     #[test]
     fn stats_dump_excludes_timing_and_is_reproducible() {
-        let make = |wall_ms: f64, workers: usize| ResultsFile {
-            mode: "fig2".into(),
-            workers,
-            cache: CacheCounters { hits: workers as u64, ..Default::default() },
-            wall_ms,
-            cells: vec![(vec!["fig2".into()], CellResult { wall_ms, ..sample_cell() })],
+        let make = |wall_ms: f64, workers: usize| {
+            let mut f = file_with(
+                "fig2",
+                workers,
+                wall_ms,
+                CacheCounters { hits: workers as u64, ..Default::default() },
+            );
+            f.cells = vec![(vec!["fig2".into()], CellResult { wall_ms, ..sample_cell() })];
+            f
         };
         let a = make(1.25, 1).stats_json();
         let b = make(99.0, 8).stats_json();
@@ -539,13 +664,8 @@ mod tests {
             injected: true,
             warp_dump: Some("warp 0: stalled".into()),
         });
-        let file = ResultsFile {
-            mode: "fig2".into(),
-            workers: 1,
-            cache: CacheCounters::default(),
-            wall_ms: 1.0,
-            cells: vec![(vec!["fig2".into()], cell)],
-        };
+        let mut file = file_with("fig2", 1, 1.0, CacheCounters::default());
+        file.cells = vec![(vec!["fig2".into()], cell)];
         for json in [file.to_json(), file.stats_json()] {
             for needle in [
                 "\"completed\":false",
@@ -560,26 +680,16 @@ mod tests {
             }
         }
         // Clean cells stay failure-free in both documents.
-        let clean = ResultsFile {
-            mode: "fig2".into(),
-            workers: 1,
-            cache: CacheCounters::default(),
-            wall_ms: 1.0,
-            cells: vec![(vec!["fig2".into()], sample_cell())],
-        };
+        let mut clean = file_with("fig2", 1, 1.0, CacheCounters::default());
+        clean.cells = vec![(vec!["fig2".into()], sample_cell())];
         assert!(!clean.to_json().contains("\"failure\""));
         assert!(!clean.stats_json().contains("\"failure\""));
     }
 
     #[test]
     fn artifacts_absent_without_telemetry() {
-        let file = ResultsFile {
-            mode: "fig2".into(),
-            workers: 1,
-            cache: CacheCounters::default(),
-            wall_ms: 1.0,
-            cells: vec![(vec!["fig2".into()], sample_cell())],
-        };
+        let mut file = file_with("fig2", 1, 1.0, CacheCounters::default());
+        file.cells = vec![(vec!["fig2".into()], sample_cell())];
         assert!(file.timeline_json().is_none());
         assert!(file.chrome_trace_json().is_none());
     }
@@ -594,13 +704,8 @@ mod tests {
             totals: [20, 0, 0, 0, 0, 0, 0, 0],
             ..TelemetryReport::default()
         });
-        let file = ResultsFile {
-            mode: "fig2".into(),
-            workers: 1,
-            cache: CacheCounters::default(),
-            wall_ms: 1.0,
-            cells: vec![(vec!["fig2".into()], sample_cell()), (vec!["fig2".into()], cell)],
-        };
+        let mut file = file_with("fig2", 1, 1.0, CacheCounters::default());
+        file.cells = vec![(vec!["fig2".into()], sample_cell()), (vec!["fig2".into()], cell)];
         let timeline = file.timeline_json().expect("one instrumented cell");
         assert!(timeline.contains("\"suite\":\"drs-telemetry-timeline\""));
         assert!(timeline.contains("\"stall_buckets\""));
@@ -610,5 +715,50 @@ mod tests {
         let summary = drs_telemetry::check::validate_chrome_trace(&trace).unwrap();
         assert_eq!(summary.pids, vec![0]);
         assert_eq!(summary.metadata_events, 3, "process + two warp threads");
+    }
+
+    #[test]
+    fn chip_cells_fan_out_into_per_sm_and_memsys_trace_rows() {
+        use drs_telemetry::{ChipIntervalSample, ChipTelemetryReport};
+        let sm_report = TelemetryReport {
+            warps: 2,
+            cycles: 10,
+            interval: 5,
+            totals: [20, 0, 0, 0, 0, 0, 0, 0],
+            ..TelemetryReport::default()
+        };
+        let mut sample = ChipIntervalSample::empty(2, 2);
+        sample.end = 10;
+        let chip_report = ChipTelemetryReport {
+            sms: 2,
+            banks: 2,
+            line_bytes: 128,
+            mshrs: 4,
+            cycles_per_line_q: 2048,
+            interval: 10,
+            cycles: 10,
+            interference: vec![0; 4],
+            intervals: vec![sample],
+        };
+        let mut cell = sample_cell();
+        cell.sm_telemetry = vec![sm_report.clone(), sm_report];
+        cell.chip_telemetry = Some(chip_report);
+        let mut file = file_with("fig2", 1, 1.0, CacheCounters::default());
+        file.cells = vec![(vec!["fig2".into()], cell)];
+        // Results JSON embeds the compact chip-telemetry totals.
+        assert!(file.to_json().contains("\"chip_telemetry\":{\"sms\":2"));
+        // The timeline carries the per-SM reports and the full chip series.
+        let timeline = file.timeline_json().expect("instrumented chip cell");
+        assert!(timeline.contains("\"sm_telemetry\":["));
+        assert!(timeline.contains("\"intervals\":["));
+        assert!(timeline.contains("\"interference\":["));
+        // The trace fans out: 2 SM processes + 2 bank processes + 1 DRAM/MSHR.
+        let trace = file.chrome_trace_json().expect("instrumented chip cell");
+        let summary = drs_telemetry::check::validate_chrome_trace(&trace).unwrap();
+        assert_eq!(summary.pids, vec![0, 1, 2, 3, 4]);
+        assert!(trace.contains("/sm0"));
+        assert!(trace.contains("/sm1"));
+        assert!(trace.contains("/L2 bank 1"));
+        assert!(trace.contains("/DRAM+MSHR"));
     }
 }

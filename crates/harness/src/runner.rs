@@ -3,14 +3,17 @@
 
 use crate::job::Method;
 use drs_baselines::{DmkConfig, DmkKernel, DmkUnit, TbcConfig, TbcUnit};
-use drs_chip::{run_chip, ChipResult};
+use drs_chip::{run_chip_observed, ChipResult};
 use drs_core::system::RowedWhileIf;
 use drs_core::{DrsConfig, DrsUnit, RAY_REGISTERS};
 use drs_kernels::{WhileIfKernel, WhileWhileConfig, WhileWhileKernel};
 use drs_sim::{
     ChipConfig, GpuConfig, NullSpecial, Program, SimError, SimStats, Simulation, TelemetrySink,
 };
-use drs_telemetry::{TelemetryCollector, TelemetryConfig, TelemetryReport};
+use drs_telemetry::{
+    ChipTelemetryCollector, ChipTelemetryReport, TelemetryCollector, TelemetryConfig,
+    TelemetryReport,
+};
 use drs_trace::RayScript;
 use std::time::Instant;
 
@@ -281,27 +284,31 @@ fn shard(scripts: &[RayScript], sm: usize, sms: usize) -> &[RayScript] {
 /// Run one cell in full-chip mode: shard the stream over `chip.sms` SM
 /// engines (same method, same per-SM GPU config) against one shared
 /// memory system. When telemetry is requested, one collector is attached
-/// per SM and the per-SM reports come back in SM order — each satisfies
-/// the Σ-buckets identity for its own SM.
+/// per SM (the per-SM reports come back in SM order — each satisfies the
+/// Σ-buckets identity for its own SM) and a [`ChipTelemetryCollector`]
+/// is attached to the shared memory system, yielding the chip-wide
+/// interval series and interference matrix.
 ///
-/// Results are bit-identical for any `cfg.chip_threads`.
+/// Results are bit-identical for any `cfg.chip_threads` and for any
+/// telemetry setting — the sinks are purely observational.
 pub fn run_chip_cell(
     cfg: &CellConfig,
     scripts: &[RayScript],
     telemetry: Option<TelemetryConfig>,
-) -> (Result<ChipResult, SimError>, Vec<TelemetryReport>) {
+) -> (Result<ChipResult, SimError>, Vec<TelemetryReport>, Option<ChipTelemetryReport>) {
     let chip = cfg.chip.expect("run_chip_cell needs CellConfig::chip");
     let gpu = gpu_for(cfg);
     // An invalid SM count would make sharding below panic; let run_chip
     // turn it into the typed chip_config error instead.
     if chip.validate().is_err() {
-        let out = run_chip(Vec::new(), &gpu, &chip, cfg.chip_threads.max(1));
-        return (out, Vec::new());
+        let out = run_chip_observed(Vec::new(), &gpu, &chip, cfg.chip_threads.max(1), None);
+        return (out, Vec::new(), None);
     }
     let mut collectors: Vec<TelemetryCollector> = match telemetry {
         Some(tcfg) => (0..chip.sms).map(|_| TelemetryCollector::new(tcfg)).collect(),
         None => Vec::new(),
     };
+    let mut chip_collector = telemetry.map(|tcfg| ChipTelemetryCollector::new(tcfg.interval));
     let mut lanes: Vec<Simulation<'_>> = (0..chip.sms)
         .map(|sm| {
             let mut sim = build_method_sim(cfg, gpu.clone(), shard(scripts, sm, chip.sms));
@@ -312,8 +319,15 @@ pub fn run_chip_cell(
     for (lane, collector) in lanes.iter_mut().zip(collectors.iter_mut()) {
         lane.attach_telemetry(collector);
     }
-    let out = run_chip(lanes, &gpu, &chip, cfg.chip_threads.max(1));
-    (out, collectors.into_iter().map(TelemetryCollector::into_report).collect())
+    let sink = chip_collector.as_mut().map(|c| c as &mut dyn drs_sim::ChipTelemetrySink);
+    let out = run_chip_observed(lanes, &gpu, &chip, cfg.chip_threads.max(1), sink);
+    let chip_report = match &out {
+        Ok(_) => chip_collector.map(ChipTelemetryCollector::into_report),
+        // A failed chip run never reached `on_finish`; there is no
+        // consistent report to build.
+        Err(_) => None,
+    };
+    (out, collectors.into_iter().map(TelemetryCollector::into_report).collect(), chip_report)
 }
 
 #[cfg(test)]

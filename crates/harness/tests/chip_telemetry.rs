@@ -1,0 +1,106 @@
+//! End-to-end guarantees of the chip memory-system telemetry layer:
+//!
+//! 1. **Observational**: running the same full-chip grid with and
+//!    without telemetry yields bit-identical `SimStats` and
+//!    `ChipSummary` — attaching the sink does zero accounting work that
+//!    could perturb timing.
+//! 2. **Accounting identity**: every emitted report satisfies its
+//!    per-interval identity (Σ interference matrix == evictions +
+//!    MSHR waits, interval series sums to the chip counters) at every
+//!    interval, not just globally.
+//! 3. **Determinism**: the full report — interval series, high-waters,
+//!    interference matrix — is identical for any `chip_threads` count.
+
+use drs_harness::{figures, pool, ChipConfig, RunOptions, Scale};
+use drs_scene::SceneKind;
+use drs_telemetry::TelemetryConfig;
+
+/// Reduced scale so the grid stays fast in debug CI runs.
+fn tiny_scale() -> Scale {
+    Scale { rays: 260, tris_scale: 0.008, warps_scale: 0.15 }
+}
+
+/// A small 2-SM chip grid: conference scene, all four methods.
+fn chip_grid() -> Vec<drs_harness::SimJob> {
+    let mut set = figures::fig10(&tiny_scale());
+    set.jobs.retain(|j| j.bounce <= 2 && matches!(j.workload.scene, SceneKind::Conference));
+    set.jobs.truncate(4);
+    let set = set.with_chip(ChipConfig::gtx780(2));
+    assert!(set.jobs.iter().all(|j| j.chip.is_some()));
+    set.jobs
+}
+
+fn opts(telemetry: Option<TelemetryConfig>, chip_threads: usize) -> RunOptions {
+    RunOptions { chip_threads, telemetry, ..RunOptions::serial() }
+}
+
+#[test]
+fn chip_telemetry_is_observational_and_satisfies_identity() {
+    let jobs = chip_grid();
+    let plain = pool::run_jobs(&jobs, &opts(None, 1));
+    let tcfg = TelemetryConfig { interval: 400, ..TelemetryConfig::default() };
+    let observed = pool::run_jobs(&jobs, &opts(Some(tcfg), 1));
+
+    assert!(plain.all_clean() && observed.all_clean());
+    assert_eq!(plain.cells.len(), observed.cells.len());
+    let mut instrumented = 0;
+    for (p, o) in plain.cells.iter().zip(observed.cells.iter()) {
+        // Golden A/B: the sink must not change a single counter.
+        assert_eq!(p.stats, o.stats, "telemetry perturbed chip SimStats");
+        assert_eq!(p.chip, o.chip, "telemetry perturbed the chip summary");
+        assert!(p.telemetry.is_none() && p.sm_telemetry.is_empty() && p.chip_telemetry.is_none());
+        if o.empty {
+            continue;
+        }
+        instrumented += 1;
+        let summary = o.chip.as_ref().expect("chip cells carry a summary");
+        let report = o.chip_telemetry.as_ref().expect("telemetry chip cells carry a chip report");
+        // Per-SM stall reports ride along, one per SM, each internally
+        // consistent.
+        assert_eq!(o.sm_telemetry.len(), summary.sms);
+        for sm in &o.sm_telemetry {
+            sm.check_identity().unwrap();
+        }
+        // The chip report's interval series and interference matrix must
+        // reconcile exactly with the independently-kept chip counters.
+        assert_eq!(report.sms, summary.sms);
+        assert_eq!(report.cycles, o.stats.cycles);
+        report
+            .check_identity(
+                summary.l2_hits,
+                summary.l2_misses,
+                summary.l2_evictions,
+                summary.mshr_waits,
+            )
+            .unwrap();
+        assert_eq!(
+            report.interference.iter().sum::<u64>(),
+            summary.l2_evictions + summary.mshr_waits,
+            "interference matrix total must equal evictions + MSHR waits"
+        );
+        assert_eq!(
+            report.intervals.iter().map(|s| s.dram_busy_q).sum::<u64>(),
+            summary.dram_busy_q
+        );
+    }
+    assert!(instrumented > 0, "grid must exercise at least one real chip cell");
+}
+
+#[test]
+fn chip_telemetry_reports_are_bit_identical_across_chip_threads() {
+    let jobs = chip_grid();
+    let tcfg = TelemetryConfig { interval: 400, ..TelemetryConfig::default() };
+    let serial = pool::run_jobs(&jobs, &opts(Some(tcfg), 1));
+    let threaded = pool::run_jobs(&jobs, &opts(Some(tcfg), 4));
+
+    assert!(serial.all_clean() && threaded.all_clean());
+    for (s, t) in serial.cells.iter().zip(threaded.cells.iter()) {
+        assert_eq!(s.stats, t.stats);
+        assert_eq!(s.chip, t.chip);
+        assert_eq!(
+            s.chip_telemetry, t.chip_telemetry,
+            "chip telemetry report diverged across chip_threads"
+        );
+        assert_eq!(s.sm_telemetry, t.sm_telemetry, "per-SM reports diverged across chip_threads");
+    }
+}

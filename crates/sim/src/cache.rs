@@ -71,6 +71,15 @@ impl Cache {
     /// Access `line_addr` (already line-aligned); returns true on hit and
     /// fills the line on miss (LRU victim).
     pub fn access(&mut self, line_addr: u64) -> bool {
+        self.access_probed(line_addr).0
+    }
+
+    /// [`access`](Cache::access), additionally reporting the valid line a
+    /// miss evicted (`None` on a hit, or when the fill took an invalid
+    /// way). The probe is observational — timing and [`CacheStats`] are
+    /// identical to `access` — and exists so the chip's shared L2 can
+    /// attribute evictions to the SM whose line was displaced.
+    pub fn access_probed(&mut self, line_addr: u64) -> (bool, Option<u64>) {
         self.tick += 1;
         let sets = self.config.sets() as u64;
         let set = (line_addr / self.config.line_bytes as u64 % sets) as usize;
@@ -79,7 +88,7 @@ impl Cache {
         if let Some(w) = ways.iter().position(|&t| t == line_addr) {
             self.stamps[base + w] = self.tick;
             self.stats.hits += 1;
-            return true;
+            return (true, None);
         }
         self.stats.misses += 1;
         // Evict LRU (or an invalid way).
@@ -93,9 +102,10 @@ impl Cache {
                     }
                 })
                 .expect("at least one way");
+        let evicted = self.tags[base + victim];
         self.tags[base + victim] = line_addr;
         self.stamps[base + victim] = self.tick;
-        false
+        (false, (evicted != u64::MAX).then_some(evicted))
     }
 
     /// Invalidate everything (between simulation phases).

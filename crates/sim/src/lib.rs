@@ -61,4 +61,7 @@ pub use json::JsonBuf;
 pub use program::{Block, BlockId, Program, Terminator};
 pub use state::{MachineState, RayQueue, RayRef, RaySlot, RayState, NO_POSTPONED, NO_SLOT};
 pub use stats::{ActiveHistogram, SimStats};
-pub use telemetry::{CycleSnapshot, StallBucket, TelemetrySink, NUM_STALL_BUCKETS};
+pub use telemetry::{
+    ChipDramCharge, ChipRequestEvent, ChipTelemetrySink, ChipTopology, CycleSnapshot, StallBucket,
+    TelemetrySink, CHIP_TIME_Q, NUM_STALL_BUCKETS,
+};

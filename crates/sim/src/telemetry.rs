@@ -200,6 +200,107 @@ pub trait TelemetrySink: Send {
     fn on_finish(&mut self, snap: &CycleSnapshot);
 }
 
+/// Fixed-point scale for chip-level DRAM channel time: every quantity
+/// suffixed `_q` counts 1/1024ths of a cycle, so non-integer byte rates
+/// stay exact and deterministic in integer arithmetic.
+pub const CHIP_TIME_Q: u64 = 1024;
+
+/// Static shape of the chip's shared memory system, delivered once via
+/// [`ChipTelemetrySink::on_start`] before any request event, so collectors
+/// can size per-bank and per-SM-pair series up front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipTopology {
+    /// Number of SMs feeding the shared system.
+    pub sms: usize,
+    /// Number of L2 banks (one request per bank per cycle).
+    pub l2_banks: usize,
+    /// Cache-line size in bytes (one line per request, per DRAM transfer).
+    pub line_bytes: u64,
+    /// Chip-wide MSHR pool capacity (distinct in-flight DRAM fills).
+    pub mshrs: usize,
+    /// DRAM channel occupancy per transferred line, in [`CHIP_TIME_Q`]ths
+    /// of a cycle.
+    pub cycles_per_line_q: u64,
+    /// One-way NoC hop latency in cycles (paid on request and response).
+    pub noc_latency: u64,
+}
+
+/// The DRAM-channel charge of one L2-missing request: the half-open busy
+/// span the line occupies the channel for, in [`CHIP_TIME_Q`] fixed point,
+/// plus the whole cycles the request queued waiting for the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipDramCharge {
+    /// Channel busy from this instant (1/1024ths of a cycle)...
+    pub busy_from_q: u64,
+    /// ...up to (exclusive) this instant.
+    pub busy_to_q: u64,
+    /// Whole cycles spent queued for the channel (bandwidth contention).
+    pub queue_cycles: u64,
+}
+
+/// One arbitrated request through the chip's shared memory system, emitted
+/// to an attached [`ChipTelemetrySink`] after the request is fully served.
+/// Events arrive in the chip loop's deterministic arbitration order, with
+/// `arrival` non-decreasing across events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipRequestEvent {
+    /// The requesting SM.
+    pub sm: u32,
+    /// The requested cache line (line-aligned address).
+    pub line: u64,
+    /// The L2 bank that served the request.
+    pub bank: u32,
+    /// Post-NoC arrival cycle at the L2 (issue + `noc_latency`).
+    pub arrival: u64,
+    /// Cycle the bank accepted the request (≥ `arrival`; the difference is
+    /// bank-conflict serialization).
+    pub slot: u64,
+    /// Cycle the lookup began (≥ `slot`; the difference is MSHR-exhaustion
+    /// queueing).
+    pub start: u64,
+    /// Cycle the requesting SM has the data (response NoC hop included).
+    pub ready: u64,
+    /// The request hit in the shared L2.
+    pub l2_hit: bool,
+    /// The request merged into an already-in-flight fill of the same line
+    /// (no L2 lookup, no second DRAM transfer).
+    pub merged: bool,
+    /// A miss evicted a resident line: the SM that last touched the victim
+    /// line (the eviction's *victim* in the interference matrix).
+    pub evicted_victim: Option<u32>,
+    /// The request queued for a free MSHR: the SM owning the
+    /// earliest-completing in-flight fill it waited on (the stall's
+    /// *aggressor* in the interference matrix).
+    pub mshr_wait_aggressor: Option<u32>,
+    /// DRAM charge when the request missed L2 and was not merged.
+    pub dram: Option<ChipDramCharge>,
+    /// MSHR pool entries in flight at `slot`, after this request's effect
+    /// (occupancy gauge for high-water sampling).
+    pub mshrs_in_use: u64,
+}
+
+/// Receiver of per-request chip memory-system events — the chip-level
+/// mirror of [`TelemetrySink`].
+///
+/// The hook is *observational*: the shared memory system performs the
+/// attribution bookkeeping (line-ownership tracking, occupancy gauges)
+/// only while a sink is attached, and a sink can never change timing —
+/// chip results are bit-identical with and without one attached (asserted
+/// by the harness test suite).
+///
+/// `Send` for symmetry with [`TelemetrySink`]; collectors are
+/// accumulators, so the bound is free in practice.
+pub trait ChipTelemetrySink: Send {
+    /// The shared memory system's static shape, before any event.
+    fn on_start(&mut self, topo: &ChipTopology);
+
+    /// One fully-served request, in deterministic arbitration order.
+    fn on_request(&mut self, ev: &ChipRequestEvent);
+
+    /// The chip run ended; `cycles` is the slowest SM's cycle count.
+    fn on_finish(&mut self, cycles: u64);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,619 @@
+//! Chip-level interval collector: the [`ChipTelemetrySink`] counterpart
+//! of [`TelemetryCollector`](crate::TelemetryCollector).
+//!
+//! The shared memory system emits one [`ChipRequestEvent`] per arbitrated
+//! request; this collector folds the stream into fixed-width interval
+//! samples over chip cycles — per-bank L2 hits/misses/evictions, MSHR
+//! occupancy and exhaustion-queue high-waters, DRAM bytes and channel
+//! busy time in the model's 1/1024-cycle fixed point, NoC in-flight
+//! high-water — plus a per-interval **cross-SM interference matrix**:
+//! each L2 eviction is charged to (victim = last toucher of the displaced
+//! line, aggressor = requester) and each MSHR-exhaustion stall to
+//! (victim = queued requester, aggressor = owner of the fill it waited
+//! behind).
+//!
+//! The matrix obeys an accounting identity in the spirit of the warp
+//! collector's `Σ buckets == cycles × warps`: in every interval, the sum
+//! over all matrix entries equals that interval's evictions + MSHR waits,
+//! and the whole-run matrix sum equals the shared system's `l2_evictions
+//! + mshr_waits` contention counters — checked by
+//! [`ChipTelemetryReport::check_identity`].
+
+use drs_sim::{ChipRequestEvent, ChipTelemetrySink, ChipTopology, JsonBuf, CHIP_TIME_Q};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One interval of chip memory-system activity. Requests are binned by
+/// their post-NoC `arrival` cycle; DRAM channel busy time is apportioned
+/// exactly across the intervals each transfer's busy span overlaps.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChipIntervalSample {
+    /// First cycle of the interval.
+    pub start: u64,
+    /// One past the last cycle (the final interval ends at the chip's
+    /// cycle count).
+    pub end: u64,
+    /// Per-bank L2 hits this interval.
+    pub bank_hits: Vec<u64>,
+    /// Per-bank L2 misses this interval (merged requests hit neither).
+    pub bank_misses: Vec<u64>,
+    /// Per-bank L2 evictions this interval.
+    pub bank_evictions: Vec<u64>,
+    /// Requests arbitrated this interval.
+    pub requests: u64,
+    /// Cycles requests waited on busy banks this interval.
+    pub bank_conflict_cycles: u64,
+    /// Requests merged into in-flight fills this interval.
+    pub mshr_merges: u64,
+    /// Requests that queued for a free MSHR this interval.
+    pub mshr_waits: u64,
+    /// High-water of MSHR pool occupancy sampled at each request.
+    pub mshr_occupancy_hwm: u64,
+    /// High-water of simultaneously-queued requests waiting for an MSHR
+    /// (each waiter occupies the conceptual queue from its bank slot to
+    /// its service start).
+    pub mshr_queue_hwm: u64,
+    /// Lines transferred from DRAM this interval.
+    pub dram_lines: u64,
+    /// Bytes transferred from DRAM this interval (`lines × line_bytes`).
+    pub dram_bytes: u64,
+    /// DRAM channel busy time overlapping this interval, in 1/1024ths of
+    /// a cycle ([`CHIP_TIME_Q`] fixed point).
+    pub dram_busy_q: u64,
+    /// Cycles requests queued for the DRAM channel this interval.
+    pub dram_queue_cycles: u64,
+    /// High-water of requests in flight (issued, response not yet at the
+    /// SM) sampled at each request arrival.
+    pub noc_inflight_hwm: u64,
+    /// Victim-major `sms × sms` interference matrix: entry
+    /// `[victim × sms + aggressor]` counts evictions of the victim's
+    /// lines by the aggressor plus the victim's MSHR-exhaustion stalls
+    /// behind the aggressor's fills, this interval.
+    pub interference: Vec<u64>,
+}
+
+impl ChipIntervalSample {
+    /// An all-zero sample sized for `banks` L2 banks and `sms` SMs.
+    pub fn empty(banks: usize, sms: usize) -> ChipIntervalSample {
+        ChipIntervalSample {
+            bank_hits: vec![0; banks],
+            bank_misses: vec![0; banks],
+            bank_evictions: vec![0; banks],
+            interference: vec![0; sms * sms],
+            ..ChipIntervalSample::default()
+        }
+    }
+
+    /// Fold another accumulated sample into this one (counters summed,
+    /// high-waters maxed) — used to absorb DRAM busy tails that extend
+    /// past the chip's final cycle into the last interval.
+    fn absorb(&mut self, other: &ChipIntervalSample) {
+        for (a, b) in self.bank_hits.iter_mut().zip(&other.bank_hits) {
+            *a += b;
+        }
+        for (a, b) in self.bank_misses.iter_mut().zip(&other.bank_misses) {
+            *a += b;
+        }
+        for (a, b) in self.bank_evictions.iter_mut().zip(&other.bank_evictions) {
+            *a += b;
+        }
+        for (a, b) in self.interference.iter_mut().zip(&other.interference) {
+            *a += b;
+        }
+        self.requests += other.requests;
+        self.bank_conflict_cycles += other.bank_conflict_cycles;
+        self.mshr_merges += other.mshr_merges;
+        self.mshr_waits += other.mshr_waits;
+        self.mshr_occupancy_hwm = self.mshr_occupancy_hwm.max(other.mshr_occupancy_hwm);
+        self.mshr_queue_hwm = self.mshr_queue_hwm.max(other.mshr_queue_hwm);
+        self.dram_lines += other.dram_lines;
+        self.dram_bytes += other.dram_bytes;
+        self.dram_busy_q += other.dram_busy_q;
+        self.dram_queue_cycles += other.dram_queue_cycles;
+        self.noc_inflight_hwm = self.noc_inflight_hwm.max(other.noc_inflight_hwm);
+    }
+
+    /// Total L2 evictions this interval (sum over banks).
+    pub fn evictions(&self) -> u64 {
+        self.bank_evictions.iter().sum()
+    }
+
+    /// Sum over the interference matrix this interval.
+    pub fn interference_sum(&self) -> u64 {
+        self.interference.iter().sum()
+    }
+
+    /// DRAM channel utilization in `[0, 1]` over this interval
+    /// (`busy_q / (width × 1024)`); zero for a zero-width interval.
+    pub fn dram_utilization(&self) -> f64 {
+        if self.end <= self.start {
+            return 0.0;
+        }
+        self.dram_busy_q as f64 / ((self.end - self.start) * CHIP_TIME_Q) as f64
+    }
+}
+
+/// The chip memory-system timeline produced by [`ChipTelemetryCollector`]
+/// — whole-run interference matrix plus interval samples partitioning
+/// `[0, cycles)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChipTelemetryReport {
+    /// SMs feeding the shared system (matrix dimension).
+    pub sms: usize,
+    /// L2 banks (per-bank series dimension).
+    pub banks: usize,
+    /// Cache-line size in bytes.
+    pub line_bytes: u64,
+    /// Chip-wide MSHR pool capacity.
+    pub mshrs: usize,
+    /// DRAM channel occupancy per line, in 1/1024ths of a cycle.
+    pub cycles_per_line_q: u64,
+    /// Sampling interval width in cycles.
+    pub interval: u64,
+    /// Chip cycle count (the slowest SM's).
+    pub cycles: u64,
+    /// Whole-run victim-major `sms × sms` interference matrix.
+    pub interference: Vec<u64>,
+    /// Interval samples, contiguous from cycle 0.
+    pub intervals: Vec<ChipIntervalSample>,
+}
+
+impl ChipTelemetryReport {
+    /// Whole-run interference between a (victim, aggressor) SM pair.
+    pub fn interference_at(&self, victim: usize, aggressor: usize) -> u64 {
+        self.interference[victim * self.sms + aggressor]
+    }
+
+    /// Whole-run DRAM channel utilization in `[0, 1]`.
+    pub fn dram_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.intervals.iter().map(|s| s.dram_busy_q).sum();
+        busy as f64 / (self.cycles * CHIP_TIME_Q) as f64
+    }
+
+    /// The chip accounting identity, in the spirit of the warp
+    /// collector's `Σ buckets == cycles × warps`:
+    ///
+    /// - in **every interval**, the interference-matrix sum equals that
+    ///   interval's evictions + MSHR-exhaustion waits (each such event is
+    ///   charged to exactly one (victim, aggressor) pair);
+    /// - per-interval matrices sum elementwise to the whole-run matrix;
+    /// - interval bank hit/miss/eviction and wait counters sum to the
+    ///   shared system's contention counters, passed in from `ChipStats`
+    ///   / `ChipSummary` (`l2_hits`, `l2_misses`, `l2_evictions`,
+    ///   `mshr_waits`);
+    /// - intervals are contiguous and end at `cycles`.
+    pub fn check_identity(
+        &self,
+        l2_hits: u64,
+        l2_misses: u64,
+        l2_evictions: u64,
+        mshr_waits: u64,
+    ) -> Result<(), String> {
+        let mut sum_matrix = vec![0u64; self.sms * self.sms];
+        let (mut hits, mut misses, mut evictions, mut waits) = (0, 0, 0, 0);
+        let mut cursor = 0;
+        for (i, s) in self.intervals.iter().enumerate() {
+            if s.start != cursor {
+                return Err(format!("interval {i} starts at {} expected {cursor}", s.start));
+            }
+            cursor = s.end;
+            let m = s.interference_sum();
+            let contended = s.evictions() + s.mshr_waits;
+            if m != contended {
+                return Err(format!(
+                    "interval {i} [{}, {}): interference sum {m} != evictions + mshr_waits {contended}",
+                    s.start, s.end
+                ));
+            }
+            for (acc, v) in sum_matrix.iter_mut().zip(&s.interference) {
+                *acc += v;
+            }
+            hits += s.bank_hits.iter().sum::<u64>();
+            misses += s.bank_misses.iter().sum::<u64>();
+            evictions += s.evictions();
+            waits += s.mshr_waits;
+        }
+        if cursor != self.cycles {
+            return Err(format!("intervals end at {cursor}, run has {} cycles", self.cycles));
+        }
+        if sum_matrix != self.interference {
+            return Err("per-interval matrices do not sum to the whole-run matrix".into());
+        }
+        let total: u64 = self.interference.iter().sum();
+        if total != l2_evictions + mshr_waits {
+            return Err(format!(
+                "matrix sum {total} != l2_evictions {l2_evictions} + mshr_waits {mshr_waits}"
+            ));
+        }
+        if (hits, misses, evictions, waits) != (l2_hits, l2_misses, l2_evictions, mshr_waits) {
+            return Err(format!(
+                "interval totals ({hits}, {misses}, {evictions}, {waits}) != chip counters \
+                 ({l2_hits}, {l2_misses}, {l2_evictions}, {mshr_waits})"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Emit the full report (intervals included) as JSON.
+    pub fn write_json(&self, j: &mut JsonBuf) {
+        j.begin_obj();
+        self.header_json(j);
+        j.key("intervals");
+        j.begin_arr();
+        for s in &self.intervals {
+            j.begin_obj();
+            j.kv_u64("start", s.start);
+            j.kv_u64("end", s.end);
+            j.kv_u64("requests", s.requests);
+            j.kv_u64("bank_conflict_cycles", s.bank_conflict_cycles);
+            u64_arr(j, "bank_hits", &s.bank_hits);
+            u64_arr(j, "bank_misses", &s.bank_misses);
+            u64_arr(j, "bank_evictions", &s.bank_evictions);
+            j.kv_u64("mshr_merges", s.mshr_merges);
+            j.kv_u64("mshr_waits", s.mshr_waits);
+            j.kv_u64("mshr_occupancy_hwm", s.mshr_occupancy_hwm);
+            j.kv_u64("mshr_queue_hwm", s.mshr_queue_hwm);
+            j.kv_u64("dram_lines", s.dram_lines);
+            j.kv_u64("dram_bytes", s.dram_bytes);
+            j.kv_u64("dram_busy_q", s.dram_busy_q);
+            j.kv_u64("dram_queue_cycles", s.dram_queue_cycles);
+            j.kv_f64("dram_utilization", s.dram_utilization());
+            j.kv_u64("noc_inflight_hwm", s.noc_inflight_hwm);
+            u64_arr(j, "interference", &s.interference);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+    }
+
+    /// Emit the compact whole-run form (no interval series) — embedded in
+    /// the results JSON so cells carry the interference matrix without the
+    /// full timeline.
+    pub fn write_totals_json(&self, j: &mut JsonBuf) {
+        j.begin_obj();
+        self.header_json(j);
+        j.kv_u64("intervals", self.intervals.len() as u64);
+        j.kv_f64("dram_utilization", self.dram_utilization());
+        j.kv_u64("dram_bytes", self.intervals.iter().map(|s| s.dram_bytes).sum());
+        j.kv_u64(
+            "mshr_occupancy_hwm",
+            self.intervals.iter().map(|s| s.mshr_occupancy_hwm).max().unwrap_or(0),
+        );
+        j.kv_u64(
+            "mshr_queue_hwm",
+            self.intervals.iter().map(|s| s.mshr_queue_hwm).max().unwrap_or(0),
+        );
+        j.kv_u64(
+            "noc_inflight_hwm",
+            self.intervals.iter().map(|s| s.noc_inflight_hwm).max().unwrap_or(0),
+        );
+        j.end_obj();
+    }
+
+    fn header_json(&self, j: &mut JsonBuf) {
+        j.kv_u64("sms", self.sms as u64);
+        j.kv_u64("l2_banks", self.banks as u64);
+        j.kv_u64("line_bytes", self.line_bytes);
+        j.kv_u64("mshrs", self.mshrs as u64);
+        j.kv_u64("cycles_per_line_q", self.cycles_per_line_q);
+        j.kv_u64("interval", self.interval);
+        j.kv_u64("cycles", self.cycles);
+        u64_arr(j, "interference", &self.interference);
+    }
+}
+
+fn u64_arr(j: &mut JsonBuf, key: &str, vals: &[u64]) {
+    j.key(key);
+    j.begin_arr();
+    for &v in vals {
+        j.u64(v);
+    }
+    j.end_arr();
+}
+
+/// The standard chip sink: folds the request-event stream into a
+/// [`ChipTelemetryReport`]. Attach via `SharedMemSys::attach_telemetry`
+/// (or `run_chip_observed`), then call
+/// [`into_report`](ChipTelemetryCollector::into_report) after the run.
+#[derive(Debug)]
+pub struct ChipTelemetryCollector {
+    interval: u64,
+    topo: Option<ChipTopology>,
+    samples: Vec<ChipIntervalSample>,
+    interference: Vec<u64>,
+    /// Service-start times of requests still conceptually queued for an
+    /// MSHR (min-heap sweep for the queue-depth high-water).
+    mshr_q: BinaryHeap<Reverse<u64>>,
+    /// Ready times of requests still in flight (min-heap sweep for the
+    /// NoC in-flight high-water).
+    noc_q: BinaryHeap<Reverse<u64>>,
+    cycles: Option<u64>,
+}
+
+impl ChipTelemetryCollector {
+    /// Build a collector sampling at `interval` cycles (panics on 0).
+    pub fn new(interval: u64) -> ChipTelemetryCollector {
+        assert!(interval > 0, "chip telemetry interval must be positive");
+        ChipTelemetryCollector {
+            interval,
+            topo: None,
+            samples: Vec::new(),
+            interference: Vec::new(),
+            mshr_q: BinaryHeap::new(),
+            noc_q: BinaryHeap::new(),
+            cycles: None,
+        }
+    }
+
+    fn sample_at<'a>(
+        samples: &'a mut Vec<ChipIntervalSample>,
+        topo: &ChipTopology,
+        idx: usize,
+    ) -> &'a mut ChipIntervalSample {
+        while samples.len() <= idx {
+            samples.push(ChipIntervalSample::empty(topo.l2_banks, topo.sms));
+        }
+        &mut samples[idx]
+    }
+
+    /// Finalize into the report. Panics if the run never finished (the
+    /// chip loop delivers `on_finish` only on a clean run).
+    pub fn into_report(mut self) -> ChipTelemetryReport {
+        let cycles = self.cycles.expect("chip run not finished: into_report before on_finish");
+        let topo = self.topo.expect("no topology: sink was never attached");
+        let n = cycles.div_ceil(self.interval).max(1) as usize;
+        while self.samples.len() < n {
+            self.samples.push(ChipIntervalSample::empty(topo.l2_banks, topo.sms));
+        }
+        // DRAM busy spans may extend past the final cycle; fold the tail
+        // into the last interval so the samples partition [0, cycles).
+        if self.samples.len() > n {
+            let tail = self.samples.split_off(n);
+            let last = self.samples.last_mut().expect("n >= 1");
+            for t in &tail {
+                last.absorb(t);
+            }
+        }
+        for (i, s) in self.samples.iter_mut().enumerate() {
+            s.start = i as u64 * self.interval;
+            s.end = ((i as u64 + 1) * self.interval).min(cycles);
+        }
+        ChipTelemetryReport {
+            sms: topo.sms,
+            banks: topo.l2_banks,
+            line_bytes: topo.line_bytes,
+            mshrs: topo.mshrs,
+            cycles_per_line_q: topo.cycles_per_line_q,
+            interval: self.interval,
+            cycles,
+            interference: self.interference,
+            intervals: self.samples,
+        }
+    }
+}
+
+impl ChipTelemetrySink for ChipTelemetryCollector {
+    fn on_start(&mut self, topo: &ChipTopology) {
+        self.topo = Some(*topo);
+        self.interference = vec![0; topo.sms * topo.sms];
+    }
+
+    fn on_request(&mut self, ev: &ChipRequestEvent) {
+        let topo = self.topo.expect("chip event before on_start");
+        let sms = topo.sms;
+        // Gauge sweeps over the global heaps (spans cross intervals).
+        let mshr_depth = ev.mshr_wait_aggressor.map(|_| {
+            while self.mshr_q.peek().is_some_and(|&Reverse(end)| end <= ev.slot) {
+                self.mshr_q.pop();
+            }
+            self.mshr_q.push(Reverse(ev.start));
+            self.mshr_q.len() as u64
+        });
+        while self.noc_q.peek().is_some_and(|&Reverse(end)| end <= ev.arrival) {
+            self.noc_q.pop();
+        }
+        self.noc_q.push(Reverse(ev.ready));
+        let noc_depth = self.noc_q.len() as u64;
+        let idx = (ev.arrival / self.interval) as usize;
+        let s = Self::sample_at(&mut self.samples, &topo, idx);
+        s.requests += 1;
+        s.bank_conflict_cycles += ev.slot - ev.arrival;
+        let bank = ev.bank as usize;
+        if ev.merged {
+            s.mshr_merges += 1;
+        } else if ev.l2_hit {
+            s.bank_hits[bank] += 1;
+        } else {
+            s.bank_misses[bank] += 1;
+        }
+        if let Some(victim) = ev.evicted_victim {
+            s.bank_evictions[bank] += 1;
+            s.interference[victim as usize * sms + ev.sm as usize] += 1;
+        }
+        if let Some(aggressor) = ev.mshr_wait_aggressor {
+            s.mshr_waits += 1;
+            s.interference[ev.sm as usize * sms + aggressor as usize] += 1;
+        }
+        s.mshr_occupancy_hwm = s.mshr_occupancy_hwm.max(ev.mshrs_in_use);
+        if let Some(d) = mshr_depth {
+            s.mshr_queue_hwm = s.mshr_queue_hwm.max(d);
+        }
+        s.noc_inflight_hwm = s.noc_inflight_hwm.max(noc_depth);
+        if let Some(d) = ev.dram {
+            s.dram_lines += 1;
+            s.dram_bytes += topo.line_bytes;
+            s.dram_queue_cycles += d.queue_cycles;
+        }
+        // Whole-run matrix mirrors the per-interval charges.
+        if let Some(victim) = ev.evicted_victim {
+            self.interference[victim as usize * sms + ev.sm as usize] += 1;
+        }
+        if let Some(aggressor) = ev.mshr_wait_aggressor {
+            self.interference[ev.sm as usize * sms + aggressor as usize] += 1;
+        }
+        // Apportion the DRAM busy span exactly across interval windows.
+        if let Some(d) = ev.dram {
+            let span_q = self.interval * CHIP_TIME_Q;
+            let mut from = d.busy_from_q;
+            while from < d.busy_to_q {
+                let idx = (from / span_q) as usize;
+                let to = d.busy_to_q.min((idx as u64 + 1) * span_q);
+                Self::sample_at(&mut self.samples, &topo, idx).dram_busy_q += to - from;
+                from = to;
+            }
+        }
+    }
+
+    fn on_finish(&mut self, cycles: u64) {
+        self.cycles = Some(cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drs_sim::ChipDramCharge;
+
+    fn topo() -> ChipTopology {
+        ChipTopology {
+            sms: 2,
+            l2_banks: 2,
+            line_bytes: 128,
+            mshrs: 4,
+            cycles_per_line_q: 2048,
+            noc_latency: 8,
+        }
+    }
+
+    fn hit(sm: u32, bank: u32, arrival: u64) -> ChipRequestEvent {
+        ChipRequestEvent {
+            sm,
+            line: 0x1000,
+            bank,
+            arrival,
+            slot: arrival,
+            start: arrival,
+            ready: arrival + 40,
+            l2_hit: true,
+            merged: false,
+            evicted_victim: None,
+            mshr_wait_aggressor: None,
+            dram: None,
+            mshrs_in_use: 0,
+        }
+    }
+
+    #[test]
+    fn intervals_partition_and_identity_holds() {
+        let mut c = ChipTelemetryCollector::new(100);
+        c.on_start(&topo());
+        c.on_request(&hit(0, 0, 5));
+        // A miss that evicts SM 0's line, requested by SM 1.
+        let mut miss = hit(1, 1, 110);
+        miss.l2_hit = false;
+        miss.evicted_victim = Some(0);
+        miss.dram = Some(ChipDramCharge {
+            busy_from_q: 110 * CHIP_TIME_Q,
+            busy_to_q: 112 * CHIP_TIME_Q,
+            queue_cycles: 0,
+        });
+        c.on_request(&miss);
+        // SM 0 queues for an MSHR behind SM 1's fill.
+        let mut wait = hit(0, 0, 130);
+        wait.l2_hit = false;
+        wait.slot = 130;
+        wait.start = 150;
+        wait.mshr_wait_aggressor = Some(1);
+        wait.dram = Some(ChipDramCharge {
+            busy_from_q: 150 * CHIP_TIME_Q,
+            busy_to_q: 152 * CHIP_TIME_Q,
+            queue_cycles: 0,
+        });
+        c.on_request(&wait);
+        c.on_finish(250);
+        let r = c.into_report();
+        assert_eq!(r.intervals.len(), 3);
+        assert_eq!((r.intervals[0].start, r.intervals[0].end), (0, 100));
+        assert_eq!((r.intervals[2].start, r.intervals[2].end), (200, 250));
+        assert_eq!(r.intervals[0].bank_hits[0], 1);
+        assert_eq!(r.intervals[1].bank_misses[1], 1);
+        assert_eq!(r.intervals[1].bank_evictions[1], 1);
+        // Eviction: victim 0, aggressor 1 → row 0; wait: victim 0, aggressor 1.
+        assert_eq!(r.interference_at(0, 1), 2);
+        assert_eq!(r.interference_at(1, 0), 0);
+        r.check_identity(1, 2, 1, 1).expect("identity holds");
+        // Wrong totals must be rejected.
+        assert!(r.check_identity(1, 2, 1, 0).is_err());
+    }
+
+    #[test]
+    fn dram_busy_apportions_across_interval_boundaries() {
+        let mut c = ChipTelemetryCollector::new(100);
+        c.on_start(&topo());
+        let mut miss = hit(0, 0, 95);
+        miss.l2_hit = false;
+        miss.dram = Some(ChipDramCharge {
+            busy_from_q: 95 * CHIP_TIME_Q,
+            busy_to_q: 105 * CHIP_TIME_Q,
+            queue_cycles: 0,
+        });
+        c.on_request(&miss);
+        c.on_finish(200);
+        let r = c.into_report();
+        assert_eq!(r.intervals[0].dram_busy_q, 5 * CHIP_TIME_Q);
+        assert_eq!(r.intervals[1].dram_busy_q, 5 * CHIP_TIME_Q);
+        let total: u64 = r.intervals.iter().map(|s| s.dram_busy_q).sum();
+        assert_eq!(total, 10 * CHIP_TIME_Q);
+        assert!((r.intervals[0].dram_utilization() - 0.05).abs() < 1e-12);
+        r.check_identity(0, 1, 0, 0).expect("identity holds");
+    }
+
+    #[test]
+    fn busy_tail_past_final_cycle_folds_into_last_interval() {
+        let mut c = ChipTelemetryCollector::new(100);
+        c.on_start(&topo());
+        let mut miss = hit(0, 0, 90);
+        miss.l2_hit = false;
+        // Busy span runs to cycle 230 but the chip finishes at 150.
+        miss.dram = Some(ChipDramCharge {
+            busy_from_q: 90 * CHIP_TIME_Q,
+            busy_to_q: 230 * CHIP_TIME_Q,
+            queue_cycles: 0,
+        });
+        c.on_request(&miss);
+        c.on_finish(150);
+        let r = c.into_report();
+        assert_eq!(r.intervals.len(), 2, "samples must partition [0, cycles)");
+        assert_eq!(r.intervals[1].end, 150);
+        let total: u64 = r.intervals.iter().map(|s| s.dram_busy_q).sum();
+        assert_eq!(total, 140 * CHIP_TIME_Q, "no busy time may be dropped");
+    }
+
+    #[test]
+    fn queue_depth_high_water_tracks_overlapping_waiters() {
+        let mut c = ChipTelemetryCollector::new(1000);
+        c.on_start(&topo());
+        for i in 0..3u64 {
+            let mut w = hit(0, 0, 10 + i);
+            w.l2_hit = false;
+            w.slot = 10 + i;
+            w.start = 500; // all three wait until cycle 500
+            w.mshr_wait_aggressor = Some(1);
+            c.on_request(&w);
+        }
+        // A fourth waiter after the first three were served.
+        let mut w = hit(0, 0, 600);
+        w.l2_hit = false;
+        w.slot = 600;
+        w.start = 700;
+        w.mshr_wait_aggressor = Some(1);
+        c.on_request(&w);
+        c.on_finish(1000);
+        let r = c.into_report();
+        assert_eq!(r.intervals[0].mshr_queue_hwm, 3, "three simultaneous waiters");
+        assert_eq!(r.intervals[0].mshr_waits, 4);
+    }
+}

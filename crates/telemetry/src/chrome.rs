@@ -14,9 +14,16 @@
 //!   warp lanes;
 //! - an `"i"` (instant) marker at the cell's final cycle.
 //!
+//! Chip cells additionally get memory-system rows via
+//! [`write_chip_events`]: one process per L2 bank (per-interval
+//! hit/miss/eviction counters) and one for the DRAM channel, MSHR pool
+//! and NoC gauges — alongside the per-warp rows of each SM's report.
+//! [`TraceBuilder`] assembles mixed documents with sequential pids.
+//!
 //! Everything goes through the simulator's [`JsonBuf`] emitter — no
 //! serialization dependency.
 
+use crate::chip::ChipTelemetryReport;
 use crate::collector::TelemetryReport;
 use drs_sim::JsonBuf;
 
@@ -63,6 +70,81 @@ pub fn write_cell_events(j: &mut JsonBuf, pid: u64, cell_name: &str, report: &Te
     j.end_obj();
 }
 
+/// Append the chip memory-system rows for one chip cell: one process per
+/// L2 bank carrying that bank's per-interval hit/miss/eviction counters,
+/// plus one process with DRAM (bytes, utilization), MSHR (occupancy and
+/// exhaustion-queue high-waters, waits, merges) and NoC (in-flight
+/// high-water) counter tracks and a `"i"` end marker. Returns the number
+/// of pids consumed (`banks + 1`).
+pub fn write_chip_events(
+    j: &mut JsonBuf,
+    pid_base: u64,
+    cell_name: &str,
+    report: &ChipTelemetryReport,
+) -> u64 {
+    for b in 0..report.banks {
+        let pid = pid_base + b as u64;
+        metadata(j, pid, None, "process_name", &format!("{cell_name}/L2 bank {b}"));
+        for s in &report.intervals {
+            j.begin_obj();
+            j.kv_str("name", "l2_bank");
+            j.kv_str("ph", "C");
+            j.kv_u64("pid", pid);
+            j.kv_u64("ts", s.start);
+            j.key("args");
+            j.begin_obj();
+            j.kv_u64("hits", s.bank_hits[b]);
+            j.kv_u64("misses", s.bank_misses[b]);
+            j.kv_u64("evictions", s.bank_evictions[b]);
+            j.end_obj();
+            j.end_obj();
+        }
+    }
+    let pid = pid_base + report.banks as u64;
+    metadata(j, pid, None, "process_name", &format!("{cell_name}/DRAM+MSHR"));
+    for s in &report.intervals {
+        counter(j, pid, s.start, "dram", &[("bytes", s.dram_bytes as f64)]);
+        counter(j, pid, s.start, "dram_utilization", &[("utilization", s.dram_utilization())]);
+        counter(
+            j,
+            pid,
+            s.start,
+            "mshr",
+            &[
+                ("occupancy_hwm", s.mshr_occupancy_hwm as f64),
+                ("queue_hwm", s.mshr_queue_hwm as f64),
+                ("waits", s.mshr_waits as f64),
+                ("merges", s.mshr_merges as f64),
+            ],
+        );
+        counter(j, pid, s.start, "noc", &[("inflight_hwm", s.noc_inflight_hwm as f64)]);
+    }
+    j.begin_obj();
+    j.kv_str("name", "chip end");
+    j.kv_str("ph", "i");
+    j.kv_str("s", "p");
+    j.kv_u64("pid", pid);
+    j.kv_u64("tid", 0);
+    j.kv_u64("ts", report.cycles);
+    j.end_obj();
+    report.banks as u64 + 1
+}
+
+fn counter(j: &mut JsonBuf, pid: u64, ts: u64, name: &str, args: &[(&str, f64)]) {
+    j.begin_obj();
+    j.kv_str("name", name);
+    j.kv_str("ph", "C");
+    j.kv_u64("pid", pid);
+    j.kv_u64("ts", ts);
+    j.key("args");
+    j.begin_obj();
+    for &(k, v) in args {
+        j.kv_f64(k, v);
+    }
+    j.end_obj();
+    j.end_obj();
+}
+
 fn metadata(j: &mut JsonBuf, pid: u64, tid: Option<u64>, what: &str, name: &str) {
     j.begin_obj();
     j.kv_str("name", what);
@@ -84,17 +166,56 @@ pub fn trace_json<'a, I>(cells: I) -> String
 where
     I: IntoIterator<Item = (&'a str, &'a TelemetryReport)>,
 {
-    let mut j = JsonBuf::new();
-    j.begin_obj();
-    j.kv_str("displayTimeUnit", "ms");
-    j.key("traceEvents");
-    j.begin_arr();
-    for (pid, (name, report)) in cells.into_iter().enumerate() {
-        write_cell_events(&mut j, pid as u64, name, report);
+    let mut b = TraceBuilder::new();
+    for (name, report) in cells {
+        b.add_cell(name, report);
     }
-    j.end_arr();
-    j.end_obj();
-    j.finish()
+    b.finish()
+}
+
+/// Incremental Chrome-trace assembly for documents mixing per-warp cell
+/// rows and chip memory-system rows, allocating process ids sequentially
+/// (one per cell, `banks + 1` per chip report).
+pub struct TraceBuilder {
+    j: JsonBuf,
+    pid: u64,
+}
+
+impl TraceBuilder {
+    /// Open an empty trace document.
+    pub fn new() -> TraceBuilder {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.kv_str("displayTimeUnit", "ms");
+        j.key("traceEvents");
+        j.begin_arr();
+        TraceBuilder { j, pid: 0 }
+    }
+
+    /// Append one cell's per-warp rows (see [`write_cell_events`]).
+    pub fn add_cell(&mut self, name: &str, report: &TelemetryReport) {
+        write_cell_events(&mut self.j, self.pid, name, report);
+        self.pid += 1;
+    }
+
+    /// Append one chip cell's memory-system rows (see
+    /// [`write_chip_events`]).
+    pub fn add_chip(&mut self, name: &str, report: &ChipTelemetryReport) {
+        self.pid += write_chip_events(&mut self.j, self.pid, name, report);
+    }
+
+    /// Close the document and return the JSON text.
+    pub fn finish(mut self) -> String {
+        self.j.end_arr();
+        self.j.end_obj();
+        self.j.finish()
+    }
+}
+
+impl Default for TraceBuilder {
+    fn default() -> TraceBuilder {
+        TraceBuilder::new()
+    }
 }
 
 #[cfg(test)]

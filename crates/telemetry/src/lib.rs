@@ -9,6 +9,11 @@
 //! - [`TelemetryCollector`] — the standard sink: whole-run stall-bucket
 //!   totals, a timeline of [`IntervalSample`] counter deltas at a
 //!   configurable window, and (optionally) merged per-warp stall spans.
+//! - [`ChipTelemetryCollector`] — the full-chip counterpart, consuming
+//!   the shared memory system's
+//!   [`ChipTelemetrySink`](drs_sim::ChipTelemetrySink) request stream:
+//!   per-bank L2 / MSHR / DRAM / NoC interval series plus the per-interval
+//!   cross-SM interference matrix and its accounting identity.
 //! - [`chrome`] — exports a report as Chrome trace-event JSON, loadable
 //!   in `chrome://tracing` or Perfetto (one process per cell, one thread
 //!   per warp, one duration event per stall span).
@@ -33,9 +38,11 @@
 #![warn(missing_docs)]
 
 pub mod check;
+mod chip;
 pub mod chrome;
 mod collector;
 
+pub use chip::{ChipIntervalSample, ChipTelemetryCollector, ChipTelemetryReport};
 pub use collector::{
     IntervalSample, StallSpan, TelemetryCollector, TelemetryConfig, TelemetryReport, TraceData,
 };
