@@ -6,15 +6,17 @@
 use std::path::PathBuf;
 
 /// Every mode the binary accepts, in `all`-run order. `perf`, `report`,
-/// and `verify` are standalone utilities: `perf` times the simulator
-/// itself (fast path vs naive stepping) and writes `BENCH_sim.json`;
-/// `report` renders an existing `BENCH_experiments.json` into
-/// `RESULTS.md`; `verify` runs the static analyses over every registered
-/// kernel program and writes a machine-readable report. None is part of
+/// `verify`, `serve`, and `submit` are standalone utilities: `perf` times
+/// the simulator itself (fast path vs naive stepping) and writes
+/// `BENCH_sim.json`; `report` renders an existing
+/// `BENCH_experiments.json` into `RESULTS.md`; `verify` runs the static
+/// analyses over every registered kernel program and writes a
+/// machine-readable report; `serve` runs the crash-safe experiment
+/// service on a Unix socket; `submit` is its client. None is part of
 /// `all`.
-pub const MODES: [&str; 14] = [
+pub const MODES: [&str; 16] = [
     "table1", "fig2", "fig8", "fig9", "table2", "fig10", "fig11", "overhead", "ablation", "energy",
-    "perf", "report", "verify", "all",
+    "perf", "report", "verify", "serve", "submit", "all",
 ];
 
 /// Usage text printed on `--help` and on flag errors.
@@ -40,6 +42,15 @@ Modes:
                    BENCH_verify.json); exits 1 on any error-severity
                    diagnostic or when a shuffle live set differs from the
                    kernel's declared per-ray register count
+  serve            run the crash-safe experiment service on --socket:
+                   clients submit figure grids, finished cells are
+                   persisted to the result store as they complete, and a
+                   restart after any crash resumes from the store with
+                   byte-identical results; SIGTERM drains gracefully
+  submit           client for a running server: submit --figure, stream
+                   per-cell progress, fetch the deterministic results
+                   document into --out; exits 1 when any cell failed or
+                   the server shed the submission (busy/draining)
 
 Options:
   --jobs N         worker threads (default: available parallelism)
@@ -84,18 +95,39 @@ Options:
                    cycles/sec falls more than 25% below its baseline
   --inject SPEC    deterministic fault injection, e.g.
                    'seed=7,panic@1,cache~4x1,watchdog@2,budget@0'
-                   (kinds panic|cache|watchdog|budget|chipcfg; @IDX by job
-                   index, ~N seed-addressed one-in-N; xT = first T attempts
-                   only)
+                   (kinds panic|cache|watchdog|budget|chipcfg|store|
+                   disconnect; @IDX by job index, ~N seed-addressed
+                   one-in-N; xT = first T attempts only)
+  --store          memoize finished cells in the durable result store; a
+                   warm rerun of the same grid does zero simulation work
+                   and produces a byte-identical results file
+  --store-dir PATH result-store location (default: $DRS_STORE_DIR or
+                   target/drs-store); entries are content-addressed by
+                   job id with a length+checksum footer, written via
+                   tmp+rename, and quarantined (never served) on any
+                   corruption
+  --cache-limit SZ capture-cache size budget with K/M/G suffix (e.g.
+                   512M); past it the least-recently-used entries are
+                   evicted after each store (the just-written entry is
+                   never evicted)
+  --socket PATH    serve/submit: Unix-domain socket path
+                   (default: target/drs-serve.sock)
+  --figure NAME    submit: the figure grid to submit (e.g. fig2)
+  --queue N        serve: admission limit in undispatched cells across
+                   all tickets; submissions past it get a typed 'busy'
+                   response instead of queueing unboundedly (default 4096)
   --list           list modes with their job counts and exit
   -h, --help       show this help
 
 Exit status: 0 on a clean run, 1 when any cell failed or was incomplete
 (results are still written, with structured failure records), 2 on usage
-errors.
+errors. A result-store write failure after a successful simulation is a
+stderr warning, not a failure: the run still exits 0 because only
+durability — not the results — was lost.
 
 Scaling environment variables: DRS_RAYS, DRS_TRIS_SCALE, DRS_WARPS_SCALE;
-cache location: DRS_CACHE_DIR (default target/drs-cache).";
+cache location: DRS_CACHE_DIR (default target/drs-cache);
+store location: DRS_STORE_DIR (default target/drs-store).";
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,6 +172,18 @@ pub struct Cli {
     /// Deterministic fault-injection spec (`--inject`), parsed downstream
     /// by [`FaultPlan::parse`](drs_harness::FaultPlan::parse).
     pub inject: Option<String>,
+    /// Memoize finished cells in the durable result store.
+    pub store: bool,
+    /// Result-store directory override (`--store-dir`).
+    pub store_dir: Option<PathBuf>,
+    /// Capture-cache size budget in bytes (`--cache-limit`, K/M/G suffix).
+    pub cache_limit: Option<u64>,
+    /// Unix-domain socket path for `serve`/`submit`.
+    pub socket: PathBuf,
+    /// Figure to submit (`submit` mode).
+    pub figure: Option<String>,
+    /// Server admission limit in undispatched cells (`serve` mode).
+    pub queue: usize,
     /// List modes instead of running.
     pub list: bool,
     /// Show usage instead of running.
@@ -168,6 +212,12 @@ impl Default for Cli {
             chip_threads: 1,
             perf_baseline: None,
             inject: None,
+            store: false,
+            store_dir: None,
+            cache_limit: None,
+            socket: PathBuf::from("target/drs-serve.sock"),
+            figure: None,
+            queue: 4096,
             list: false,
             help: false,
         }
@@ -194,6 +244,34 @@ impl Cli {
         let stem = self.out.file_stem().and_then(|s| s.to_str()).unwrap_or("experiments");
         self.out.with_file_name(format!("{stem}_checkpoint.json"))
     }
+
+    /// Where the run-volatile sidecar goes: `<out stem>_run.json` next to
+    /// the results file. The results file itself stays deterministic;
+    /// wall-clock, worker-count, and cache/store counters live here.
+    pub fn run_path(&self) -> PathBuf {
+        let stem = self.out.file_stem().and_then(|s| s.to_str()).unwrap_or("experiments");
+        self.out.with_file_name(format!("{stem}_run.json"))
+    }
+}
+
+/// Parse a byte size with an optional K/M/G suffix (powers of 1024,
+/// case-insensitive): `512M`, `2g`, `65536`.
+///
+/// # Errors
+///
+/// Returns a human-readable message for empty input, unknown suffixes,
+/// non-numeric magnitudes, zero, and overflow.
+pub fn parse_size(s: &str) -> Result<u64, String> {
+    let err = || format!("expected a size like 512M or 2G, got '{s}'");
+    let (digits, unit) = match s.as_bytes().last() {
+        Some(b'k' | b'K') => (&s[..s.len() - 1], 1u64 << 10),
+        Some(b'm' | b'M') => (&s[..s.len() - 1], 1 << 20),
+        Some(b'g' | b'G') => (&s[..s.len() - 1], 1 << 30),
+        Some(b'0'..=b'9') => (s, 1),
+        _ => return Err(err()),
+    };
+    let n: u64 = digits.parse().map_err(|_| err())?;
+    n.checked_mul(unit).filter(|&b| b > 0).ok_or_else(err)
 }
 
 /// Available hardware parallelism (floor 1).
@@ -294,6 +372,22 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
                 cli.perf_baseline = Some(PathBuf::from(value("--perf-baseline")?));
             }
             "--inject" => cli.inject = Some(value("--inject")?),
+            "--store" => cli.store = true,
+            "--store-dir" => cli.store_dir = Some(PathBuf::from(value("--store-dir")?)),
+            "--cache-limit" => {
+                let v = value("--cache-limit")?;
+                cli.cache_limit = Some(parse_size(&v).map_err(|e| format!("--cache-limit: {e}"))?);
+            }
+            "--socket" => cli.socket = PathBuf::from(value("--socket")?),
+            "--figure" => cli.figure = Some(value("--figure")?),
+            "--queue" => {
+                let v = value("--queue")?;
+                cli.queue = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--queue expects a positive integer, got '{v}'"))?;
+            }
             "--list" => cli.list = true,
             "-h" | "--help" => cli.help = true,
             f if f.starts_with('-') => return Err(format!("unknown flag '{f}'")),
@@ -470,6 +564,67 @@ mod tests {
             p(&[]).unwrap().checkpoint_path(),
             PathBuf::from("BENCH_experiments_checkpoint.json")
         );
+    }
+
+    #[test]
+    fn store_and_service_flags_both_syntaxes() {
+        let a = p(&[
+            "fig2",
+            "--store",
+            "--store-dir",
+            "s",
+            "--cache-limit",
+            "512M",
+            "--socket",
+            "x.sock",
+            "--queue",
+            "8",
+        ])
+        .unwrap();
+        let b = p(&[
+            "fig2",
+            "--store",
+            "--store-dir=s",
+            "--cache-limit=512M",
+            "--socket=x.sock",
+            "--queue=8",
+        ])
+        .unwrap();
+        assert_eq!(a, b);
+        assert!(a.store);
+        assert_eq!(a.store_dir, Some(PathBuf::from("s")));
+        assert_eq!(a.cache_limit, Some(512 << 20));
+        assert_eq!(a.socket, PathBuf::from("x.sock"));
+        assert_eq!(a.queue, 8);
+        let d = p(&[]).unwrap();
+        assert!(!d.store);
+        assert_eq!(d.store_dir, None);
+        assert_eq!(d.cache_limit, None);
+        assert_eq!(d.socket, PathBuf::from("target/drs-serve.sock"));
+        assert_eq!(d.figure, None);
+        assert_eq!(d.queue, 4096);
+        let sub = p(&["submit", "--figure", "fig2"]).unwrap();
+        assert_eq!(sub.mode, "submit");
+        assert_eq!(sub.figure.as_deref(), Some("fig2"));
+    }
+
+    #[test]
+    fn size_suffixes_parse_in_powers_of_1024() {
+        assert_eq!(parse_size("65536"), Ok(65536));
+        assert_eq!(parse_size("4k"), Ok(4096));
+        assert_eq!(parse_size("4K"), Ok(4096));
+        assert_eq!(parse_size("512M"), Ok(512 << 20));
+        assert_eq!(parse_size("2g"), Ok(2 << 30));
+        for bad in ["", "M", "x", "1T", "0", "0M", "-1", "99999999999G"] {
+            assert!(parse_size(bad).is_err(), "'{bad}' should be rejected");
+        }
+        assert!(p(&["--cache-limit", "frob"]).unwrap_err().contains("--cache-limit"));
+    }
+
+    #[test]
+    fn run_path_sits_next_to_out() {
+        let cli = p(&["--out", "results/BENCH_experiments.json"]).unwrap();
+        assert_eq!(cli.run_path(), PathBuf::from("results/BENCH_experiments_run.json"));
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //! Corrupt, truncated, or stale files are detected by the typed
 //! [`TraceIoError`] decoder, evicted, and transparently recaptured; a
 //! cache can never make a run fail, only make it faster.
+//!
+//! Growth is bounded on request (`--cache-limit`): the cache becomes a
+//! size-bounded LRU, with hits refreshing a file's mtime and stores
+//! evicting least-recently-used entries until the directory fits the
+//! byte budget again. Size evictions ride the same eviction path as
+//! corruption evictions but are counted separately.
 
 use crate::job::WorkloadSpec;
 use drs_trace::{BounceStreams, TraceIoError};
@@ -18,6 +24,7 @@ use std::fs;
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::SystemTime;
 
 /// Snapshot of cache activity for one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -28,6 +35,8 @@ pub struct CacheCounters {
     pub misses: u64,
     /// Unreadable entries that were deleted and recaptured.
     pub evictions: u64,
+    /// Readable entries evicted to keep the cache under its byte limit.
+    pub size_evictions: u64,
     /// Captured workloads that could not be persisted (the run continues
     /// with the in-memory copy; the failure is recorded, not fatal).
     pub store_failures: u64,
@@ -63,20 +72,34 @@ impl std::error::Error for CacheStoreError {
 #[derive(Debug)]
 pub struct StreamCache {
     dir: PathBuf,
+    limit_bytes: Option<u64>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    size_evictions: AtomicU64,
     store_failures: AtomicU64,
 }
 
 impl StreamCache {
-    /// A cache rooted at `dir` (created lazily on first store).
+    /// A cache rooted at `dir` (created lazily on first store), with no
+    /// size bound.
     pub fn new(dir: impl Into<PathBuf>) -> StreamCache {
+        StreamCache::with_limit(dir, None)
+    }
+
+    /// A cache rooted at `dir`, LRU-bounded to `limit_bytes` total entry
+    /// bytes when `Some` (`--cache-limit`). Hits refresh an entry's
+    /// mtime; a store that pushes the directory over the budget evicts
+    /// least-recently-used entries (never the one just written) until it
+    /// fits.
+    pub fn with_limit(dir: impl Into<PathBuf>, limit_bytes: Option<u64>) -> StreamCache {
         StreamCache {
             dir: dir.into(),
+            limit_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            size_evictions: AtomicU64::new(0),
             store_failures: AtomicU64::new(0),
         }
     }
@@ -104,6 +127,7 @@ impl StreamCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            size_evictions: self.size_evictions.load(Ordering::Relaxed),
             store_failures: self.store_failures.load(Ordering::Relaxed),
         }
     }
@@ -120,14 +144,21 @@ impl StreamCache {
             match BounceStreams::load(BufReader::new(file)) {
                 Ok(streams) if streams.depth() == spec.bounces => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    if self.limit_bytes.is_some() {
+                        Self::touch(&path);
+                    }
                     return streams;
                 }
                 Ok(_) => {
                     // Key collision or hand-edited file: depth disagrees
                     // with the spec. Treat exactly like corruption.
-                    self.evict(&path, &TraceIoError::Corrupt("cached depth mismatch"));
+                    self.evict(
+                        &path,
+                        &TraceIoError::Corrupt("cached depth mismatch"),
+                        &self.evictions,
+                    );
                 }
-                Err(e) => self.evict(&path, &e),
+                Err(e) => self.evict(&path, &e, &self.evictions),
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -139,10 +170,54 @@ impl StreamCache {
         streams
     }
 
-    fn evict(&self, path: &Path, why: &TraceIoError) {
-        self.evictions.fetch_add(1, Ordering::Relaxed);
+    /// The single eviction path: corruption evictions and size evictions
+    /// both delete through here, differing only in the counter charged.
+    fn evict(&self, path: &Path, why: &dyn std::fmt::Display, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
         eprintln!("drs-harness: evicting cache entry {} ({why})", path.display());
         let _ = fs::remove_file(path);
+    }
+
+    /// Refresh an entry's mtime so LRU ordering tracks use, not just
+    /// creation. Best effort: a failed touch only ages the entry.
+    fn touch(path: &Path) {
+        if let Ok(f) = fs::OpenOptions::new().append(true).open(path) {
+            let _ = f.set_times(fs::FileTimes::new().set_modified(SystemTime::now()));
+        }
+    }
+
+    /// Evict least-recently-used entries until the directory fits the
+    /// byte budget again. `keep` (the entry just written) is never
+    /// evicted, even if it alone exceeds the limit — evicting it would
+    /// turn every oversized workload into a capture-per-use.
+    fn enforce_limit(&self, keep: &Path) {
+        let Some(limit) = self.limit_bytes else { return };
+        let Ok(dir) = fs::read_dir(&self.dir) else { return };
+        let mut entries: Vec<(PathBuf, u64, SystemTime)> = dir
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "bin"))
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                Some((e.path(), meta.len(), meta.modified().ok()?))
+            })
+            .collect();
+        let mut total: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        if total <= limit {
+            return;
+        }
+        // Oldest first; path as tie-break so same-mtime entries evict in
+        // a deterministic order.
+        entries.sort_by(|a, b| (a.2, &a.0).cmp(&(b.2, &b.0)));
+        for (path, len, _) in entries {
+            if total <= limit {
+                break;
+            }
+            if path == keep {
+                continue;
+            }
+            self.evict(&path, &format!("LRU: cache over {limit}-byte limit"), &self.size_evictions);
+            total -= len;
+        }
     }
 
     /// Persist a captured workload (temp file + rename for atomicity).
@@ -167,7 +242,11 @@ impl StreamCache {
             fs::rename(&tmp, &path)?;
             Ok(())
         };
-        write().map_err(|source| CacheStoreError { path, source })
+        let result = write().map_err(|source| CacheStoreError { path: path.clone(), source });
+        if result.is_ok() {
+            self.enforce_limit(&path);
+        }
+        result
     }
 }
 
@@ -250,6 +329,54 @@ mod tests {
         let err = cache.store(&spec, &streams).unwrap_err();
         assert!(err.to_string().contains("failed to write cache entry"), "{err}");
         let _ = fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn size_limit_evicts_least_recently_used_first() {
+        let base = temp_cache();
+        let dir = base.dir().to_path_buf();
+        let specs: Vec<WorkloadSpec> = [120usize, 121, 122]
+            .iter()
+            .map(|&rays| {
+                let scale = Scale { rays, tris_scale: 0.005, warps_scale: 1.0 };
+                WorkloadSpec::standard(SceneKind::Conference, &scale, 1)
+            })
+            .collect();
+        // Populate two entries with no limit, then learn the entry size.
+        base.get_or_capture(&specs[0]);
+        base.get_or_capture(&specs[1]);
+        let entry_len = fs::metadata(base.path_for(&specs[0])).unwrap().len();
+        // Budget for two entries: storing a third must evict exactly one.
+        let cache = StreamCache::with_limit(&dir, Some(2 * entry_len + entry_len / 2));
+        // Make spec[0] the older entry, then refresh it with a hit: LRU
+        // order must follow use, so spec[1] becomes the victim.
+        let old = SystemTime::now() - std::time::Duration::from_mins(5);
+        for spec in &specs[..2] {
+            let f = fs::OpenOptions::new().append(true).open(cache.path_for(spec)).unwrap();
+            f.set_times(fs::FileTimes::new().set_modified(old)).unwrap();
+        }
+        cache.get_or_capture(&specs[0]);
+        assert_eq!(cache.counters().hits, 1);
+        cache.get_or_capture(&specs[2]);
+        let c = cache.counters();
+        assert_eq!(c.size_evictions, 1, "exactly one entry over budget");
+        assert_eq!(c.evictions, 0, "size evictions are counted separately");
+        assert!(cache.path_for(&specs[0]).exists(), "recently-used entry survives");
+        assert!(!cache.path_for(&specs[1]).exists(), "LRU entry evicted");
+        assert!(cache.path_for(&specs[2]).exists(), "just-written entry never evicted");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn just_written_entry_survives_even_when_alone_over_budget() {
+        let base = temp_cache();
+        let dir = base.dir().to_path_buf();
+        let spec = tiny_spec();
+        let cache = StreamCache::with_limit(&dir, Some(1));
+        cache.get_or_capture(&spec);
+        assert!(cache.path_for(&spec).exists(), "sole oversized entry is kept");
+        assert_eq!(cache.counters().size_evictions, 0);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -23,11 +23,7 @@ use drs_telemetry::check::{self, Value};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-/// Version of the checkpoint schema (bumped on incompatible layout
-/// changes; a mismatch makes old checkpoints stale, never misread).
-/// v2 added the optional per-cell `chip` summary for full-chip cells;
-/// v3 extended it with `l2_evictions` and `dram_busy_q`.
-pub const CHECKPOINT_SCHEMA_VERSION: u32 = 3;
+use crate::SCHEMA_VERSION;
 
 /// Where the checkpoint lives and whether to read it back.
 #[derive(Debug, Clone)]
@@ -66,6 +62,89 @@ impl CheckpointCell {
     pub fn is_clean(&self) -> bool {
         self.completed && self.failure.is_none()
     }
+
+    /// Capture the persistable part of a finished [`CellResult`](crate::results::CellResult)
+    /// (everything except the job identity and telemetry reports, which
+    /// are re-derived / re-collected rather than persisted).
+    pub fn from_cell(cell: &crate::results::CellResult) -> CheckpointCell {
+        CheckpointCell {
+            empty: cell.empty,
+            completed: cell.completed,
+            attempts: cell.attempts,
+            wall_ms: cell.wall_ms,
+            stats: cell.stats.clone(),
+            chip: cell.chip.clone(),
+            failure: cell.failure.clone(),
+        }
+    }
+
+    /// Reconstruct the [`CellResult`](crate::results::CellResult) this cell
+    /// persisted, given the job
+    /// it was matched to. Telemetry is `None`: persisted cells carry
+    /// counters, not interval series.
+    pub fn to_cell(&self, job: SimJob) -> crate::results::CellResult {
+        crate::results::CellResult {
+            job,
+            empty: self.empty,
+            completed: self.completed,
+            stats: self.stats.clone(),
+            telemetry: None,
+            sm_telemetry: Vec::new(),
+            chip_telemetry: None,
+            failure: self.failure.clone(),
+            chip: self.chip.clone(),
+            attempts: self.attempts,
+            wall_ms: self.wall_ms,
+        }
+    }
+
+    /// Append this cell (with its job `id`) as a JSON object — the single
+    /// on-disk cell layout shared by the checkpoint file and the result
+    /// store, so both round-trip through the same parser.
+    pub fn write_json(&self, j: &mut JsonBuf, id: JobId) {
+        j.begin_obj();
+        j.kv_str("id", &id.to_string());
+        j.kv_bool("empty", self.empty);
+        j.kv_bool("completed", self.completed);
+        j.kv_u64("attempts", self.attempts as u64);
+        j.kv_f64("wall_ms", self.wall_ms);
+        if let Some(failure) = &self.failure {
+            j.key("failure");
+            failure.write_json(j, self.attempts);
+        }
+        j.key("stats");
+        self.stats.write_json(j);
+        if let Some(chip) = &self.chip {
+            j.key("chip");
+            chip.write_json(j);
+        }
+        j.end_obj();
+    }
+
+    /// Invert [`CheckpointCell::write_json`]: parse one cell object back
+    /// into its id and contents. Any malformed or out-of-range field
+    /// yields `None` — callers treat the enclosing document as stale.
+    pub fn parse(cell: &Value) -> Option<(JobId, CheckpointCell)> {
+        let id = JobId(u64::from_str_radix(cell.get("id")?.as_str()?, 16).ok()?);
+        Some((
+            id,
+            CheckpointCell {
+                empty: get_bool(cell, "empty")?,
+                completed: get_bool(cell, "completed")?,
+                attempts: get_u64(cell, "attempts")? as u32,
+                wall_ms: cell.get("wall_ms")?.as_num()?,
+                stats: parse_stats(cell.get("stats")?)?,
+                chip: match cell.get("chip") {
+                    Some(c) => Some(parse_chip(c)?),
+                    None => None,
+                },
+                failure: match cell.get("failure") {
+                    Some(f) => Some(parse_failure(f)?),
+                    None => None,
+                },
+            },
+        ))
+    }
 }
 
 /// An in-memory checkpoint: the run it belongs to plus every finished
@@ -83,7 +162,7 @@ pub struct Checkpoint {
 /// engine fast-path flag, and the schema version. Any difference — a
 /// different grid, scale, seed, or engine mode — yields a different key.
 pub fn run_key(jobs: &[SimJob], fastpath: bool) -> u64 {
-    let mut canon = format!("drs-checkpoint;v={CHECKPOINT_SCHEMA_VERSION};fastpath={fastpath}");
+    let mut canon = format!("drs-checkpoint;v={SCHEMA_VERSION};fastpath={fastpath}");
     for job in jobs {
         canon.push(';');
         canon.push_str(&job.id().to_string());
@@ -101,29 +180,13 @@ impl Checkpoint {
     pub fn to_json(&self) -> String {
         let mut j = JsonBuf::new();
         j.begin_obj();
-        j.kv_u64("schema_version", CHECKPOINT_SCHEMA_VERSION as u64);
+        j.kv_u64("schema_version", SCHEMA_VERSION as u64);
         j.kv_str("suite", "drs-checkpoint");
         j.kv_str("run_key", &format!("{:016x}", self.run_key));
         j.key("cells");
         j.begin_arr();
         for (id, cell) in &self.cells {
-            j.begin_obj();
-            j.kv_str("id", &id.to_string());
-            j.kv_bool("empty", cell.empty);
-            j.kv_bool("completed", cell.completed);
-            j.kv_u64("attempts", cell.attempts as u64);
-            j.kv_f64("wall_ms", cell.wall_ms);
-            if let Some(failure) = &cell.failure {
-                j.key("failure");
-                failure.write_json(&mut j, cell.attempts);
-            }
-            j.key("stats");
-            cell.stats.write_json(&mut j);
-            if let Some(chip) = &cell.chip {
-                j.key("chip");
-                chip.write_json(&mut j);
-            }
-            j.end_obj();
+            cell.write_json(&mut j, *id);
         }
         j.end_arr();
         j.end_obj();
@@ -152,7 +215,7 @@ impl Checkpoint {
     pub fn load(path: &Path, expected_key: u64) -> Option<Checkpoint> {
         let text = std::fs::read_to_string(path).ok()?;
         let doc = check::parse(&text).ok()?;
-        if get_u64(&doc, "schema_version")? != CHECKPOINT_SCHEMA_VERSION as u64 {
+        if get_u64(&doc, "schema_version")? != SCHEMA_VERSION as u64 {
             return None;
         }
         let key = u64::from_str_radix(doc.get("run_key")?.as_str()?, 16).ok()?;
@@ -161,25 +224,8 @@ impl Checkpoint {
         }
         let mut cp = Checkpoint::new(key);
         for cell in doc.get("cells")?.as_arr()? {
-            let id = JobId(u64::from_str_radix(cell.get("id")?.as_str()?, 16).ok()?);
-            cp.cells.insert(
-                id,
-                CheckpointCell {
-                    empty: get_bool(cell, "empty")?,
-                    completed: get_bool(cell, "completed")?,
-                    attempts: get_u64(cell, "attempts")? as u32,
-                    wall_ms: cell.get("wall_ms")?.as_num()?,
-                    stats: parse_stats(cell.get("stats")?)?,
-                    chip: match cell.get("chip") {
-                        Some(c) => Some(parse_chip(c)?),
-                        None => None,
-                    },
-                    failure: match cell.get("failure") {
-                        Some(f) => Some(parse_failure(f)?),
-                        None => None,
-                    },
-                },
-            );
+            let (id, parsed) = CheckpointCell::parse(cell)?;
+            cp.cells.insert(id, parsed);
         }
         Some(cp)
     }

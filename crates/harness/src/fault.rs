@@ -39,6 +39,16 @@ pub enum FaultKind {
     /// Corrupt the full-chip configuration (zero SMs) so the attempt
     /// fails the simulator's typed `chip_config` validation.
     ChipConfigCorrupt,
+    /// Flip a bit of this job's result-store entry before the pool's
+    /// store lookup, exercising the footer-checksum detection and the
+    /// quarantine-and-recompute path end-to-end. Absorbed silently when
+    /// the run has no store (or the entry does not exist yet).
+    StoreCorrupt,
+    /// Server-side: force-close the submitting client's connection while
+    /// streaming this job's progress event. The pool ignores it; only
+    /// `experiments serve` acts on it (work continues, results still
+    /// land in the store).
+    ClientDisconnect,
 }
 
 impl FaultKind {
@@ -50,6 +60,8 @@ impl FaultKind {
             FaultKind::WatchdogTrip => "watchdog",
             FaultKind::BudgetExhaust => "budget",
             FaultKind::ChipConfigCorrupt => "chipcfg",
+            FaultKind::StoreCorrupt => "store",
+            FaultKind::ClientDisconnect => "disconnect",
         }
     }
 
@@ -60,6 +72,8 @@ impl FaultKind {
             "watchdog" => Some(FaultKind::WatchdogTrip),
             "budget" => Some(FaultKind::BudgetExhaust),
             "chipcfg" => Some(FaultKind::ChipConfigCorrupt),
+            "store" => Some(FaultKind::StoreCorrupt),
+            "disconnect" => Some(FaultKind::ClientDisconnect),
             _ => None,
         }
     }
@@ -101,7 +115,8 @@ impl fmt::Display for FaultSpecError {
         write!(
             f,
             "bad fault spec '{}': expected clauses like 'seed=N', 'panic@IDX[xT]' or \
-             'watchdog~N[xT]' with kinds panic|cache|watchdog|budget|chipcfg",
+             'watchdog~N[xT]' with kinds \
+             panic|cache|watchdog|budget|chipcfg|store|disconnect",
             self.0
         )
     }
@@ -185,10 +200,12 @@ mod tests {
 
     #[test]
     fn parses_every_clause_form() {
-        let plan =
-            FaultPlan::parse("seed=7,panic@1,cache~4x1,watchdog@2x3,budget@0,chipcfg@4").unwrap();
+        let plan = FaultPlan::parse(
+            "seed=7,panic@1,cache~4x1,watchdog@2x3,budget@0,chipcfg@4,store@5,disconnect~3",
+        )
+        .unwrap();
         assert_eq!(plan.seed, 7);
-        assert_eq!(plan.rules.len(), 5);
+        assert_eq!(plan.rules.len(), 7);
         assert_eq!(
             plan.rules[0],
             FaultRule { kind: FaultKind::WorkerPanic, target: Target::Index(1), times: None }
@@ -204,6 +221,14 @@ mod tests {
         assert_eq!(
             plan.rules[4],
             FaultRule { kind: FaultKind::ChipConfigCorrupt, target: Target::Index(4), times: None }
+        );
+        assert_eq!(
+            plan.rules[5],
+            FaultRule { kind: FaultKind::StoreCorrupt, target: Target::Index(5), times: None }
+        );
+        assert_eq!(
+            plan.rules[6],
+            FaultRule { kind: FaultKind::ClientDisconnect, target: Target::OneIn(3), times: None }
         );
         assert!(FaultPlan::parse("").unwrap().is_empty());
         assert!(FaultPlan::parse("  ").unwrap().is_empty());

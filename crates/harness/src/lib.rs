@@ -29,6 +29,17 @@
 //!   file lets an interrupted grid resume with bit-identical merged
 //!   results. A deterministic [`FaultPlan`] makes every defended failure
 //!   mode reproducible on demand.
+//! - **Durable results** ([`store`]): finished clean cells are memoized
+//!   on disk keyed by [`JobId`] + [`SCHEMA_VERSION`], checksummed and
+//!   written atomically; a warm rerun of a completed grid does zero
+//!   simulation work and emits byte-identical results JSON. Corrupt or
+//!   stale entries are quarantined and recomputed, never served.
+//! - **Experiment service** ([`server`]): `experiments serve` exposes
+//!   the pool on a Unix-domain socket with a line-delimited JSON
+//!   protocol — clients submit figure grids, stream per-cell progress,
+//!   and fetch deterministic result documents; admission is bounded,
+//!   scheduling is round-robin across clients, and SIGTERM drains
+//!   gracefully. Crash recovery rides on the result store.
 //! - **Full-chip mode** ([`runner::run_chip_cell`], `drs-chip`): a job
 //!   with [`SimJob::chip`] set runs N per-SM engines against one shared
 //!   L2/MSHR/DRAM memory system instead of a single scaled SMX; the cell
@@ -54,6 +65,17 @@
 
 #![warn(missing_docs)]
 
+/// Version of every persisted harness artifact schema: the checkpoint
+/// file, the durable result store, and the results / stats / timeline
+/// JSON documents all carry this one constant. Bumping it invalidates
+/// all three coherently — a resume, a store lookup, and a results diff
+/// can never mix layouts from different schema generations.
+///
+/// History: v1–v3 were checkpoint-only (v2 added the per-cell `chip`
+/// summary, v3 `l2_evictions`/`dram_busy_q`); v4 unified the checkpoint,
+/// store, and results versions into this shared constant.
+pub const SCHEMA_VERSION: u32 = 4;
+
 pub mod cache;
 pub mod checkpoint;
 pub mod fault;
@@ -62,6 +84,8 @@ pub mod job;
 pub mod pool;
 pub mod results;
 pub mod runner;
+pub mod server;
+pub mod store;
 
 pub use cache::{CacheCounters, CacheStoreError, StreamCache};
 pub use checkpoint::{Checkpoint, CheckpointCell, CheckpointSpec};
@@ -71,9 +95,9 @@ pub use job::{fnv1a64, JobId, JobSet, Method, Scale, SimJob, WorkloadSpec};
 pub use pool::{
     parallel_map, parallel_map_catching, run_jobs, CaptureMode, CaughtPanic, RunOptions, RunReport,
 };
-pub use results::{
-    write_text, CellFailure, CellResult, ChipSummary, ResultsFile, RESULTS_SCHEMA_VERSION,
-};
+pub use results::{write_text, CellFailure, CellResult, ChipSummary, ResultsFile};
 pub use runner::{
     run_cell, run_chip_cell, run_method_with_warps, run_method_with_warps_telemetry, CellConfig,
 };
+pub use server::{Server, ServerControl, ServerOptions};
+pub use store::{ResultStore, StoreCounters, StoreError};

@@ -25,6 +25,12 @@
 //! finished cell is persisted through an atomic file rewrite, and a
 //! resumed rerun reuses clean cells byte-for-byte while re-simulating
 //! only the missing or failed ones.
+//!
+//! With a [`ResultStore`] attached, durability extends *across* runs:
+//! every clean cell is memoized on disk by job id, consulted before
+//! capture and simulation, and replayed byte-for-byte on a warm rerun —
+//! a completed grid re-executes with zero engine invocations and zero
+//! captures, and emits identical results JSON.
 
 use crate::cache::{CacheCounters, StreamCache};
 use crate::checkpoint::{run_key, Checkpoint, CheckpointCell, CheckpointSpec};
@@ -32,6 +38,7 @@ use crate::fault::{FaultKind, FaultPlan};
 use crate::job::{JobId, SimJob};
 use crate::results::{CellFailure, CellResult, ChipSummary};
 use crate::runner::CellConfig;
+use crate::store::{ResultStore, StoreCounters};
 use drs_sim::{ChipConfig, SimError, SimErrorKind, SimStats};
 use drs_telemetry::{ChipTelemetryReport, TelemetryConfig, TelemetryReport};
 use std::cell::Cell;
@@ -101,6 +108,13 @@ pub struct RunOptions {
     /// a warning) when telemetry is enabled — reports are not
     /// checkpointable.
     pub checkpoint: Option<CheckpointSpec>,
+    /// Durable result store: clean cells are served from disk before any
+    /// capture or simulation happens and persisted after they finish.
+    /// Shared (`Arc`) so a server and its pool read one set of counters.
+    /// Ignored (with a warning) when telemetry is enabled — stored cells
+    /// carry counters, not telemetry reports, and must never silently
+    /// satisfy an instrumented run.
+    pub store: Option<Arc<ResultStore>>,
 }
 
 impl RunOptions {
@@ -120,6 +134,7 @@ impl RunOptions {
             chip_threads: 1,
             faults: FaultPlan::default(),
             checkpoint: None,
+            store: None,
         }
     }
 
@@ -142,6 +157,9 @@ pub struct RunReport {
     /// Successful checkpoint-file writes during the run (0 without a
     /// [`CheckpointSpec`]).
     pub checkpoint_writes: u64,
+    /// Result-store activity (all zeros without a store). `hits` counts
+    /// cells served from disk with no engine invocation.
+    pub store: StoreCounters,
     /// Wall-clock of the whole run in milliseconds.
     pub wall_ms: f64,
 }
@@ -189,7 +207,7 @@ thread_local! {
 /// so the hook's "thread panicked" + backtrace spam on stderr would only
 /// duplicate what lands in the failure record. Panics on other threads
 /// (and outside catching regions) keep the normal hook behavior.
-fn catch_quietly<R>(f: impl FnOnce() -> R) -> Result<R, CaughtPanic> {
+pub(crate) fn catch_quietly<R>(f: impl FnOnce() -> R) -> Result<R, CaughtPanic> {
     static HOOK: Once = Once::new();
     HOOK.call_once(|| {
         let prev = std::panic::take_hook();
@@ -276,18 +294,7 @@ impl CheckpointState {
     /// failures cost resumability, never the run.
     fn record(&self, cell: &CellResult) {
         let mut snap = self.snapshot.lock().unwrap_or_else(PoisonError::into_inner);
-        snap.cells.insert(
-            cell.job.id(),
-            CheckpointCell {
-                empty: cell.empty,
-                completed: cell.completed,
-                attempts: cell.attempts,
-                wall_ms: cell.wall_ms,
-                stats: cell.stats.clone(),
-                chip: cell.chip.clone(),
-                failure: cell.failure.clone(),
-            },
-        );
+        snap.cells.insert(cell.job.id(), CheckpointCell::from_cell(cell));
         match snap.write_to(&self.path) {
             Ok(()) => {
                 self.writes.fetch_add(1, Ordering::Relaxed);
@@ -324,11 +331,43 @@ pub fn run_jobs(jobs: &[SimJob], opts: &RunOptions) -> RunReport {
             .unwrap_or_default(),
         _ => HashMap::new(),
     };
+
+    // The result store is likewise telemetry-exclusive: stored cells
+    // carry counters only, so serving one would silently drop the
+    // reports an instrumented run exists to collect.
+    let store = match (&opts.store, &opts.telemetry) {
+        (Some(_), Some(_)) => {
+            eprintln!("drs-harness: result store disabled for telemetry runs");
+            None
+        }
+        (s, _) => s.as_deref(),
+    };
+    // Durable lookup: any cell the store already has skips capture and
+    // simulation entirely. An injected StoreCorrupt fault damages the
+    // entry first, proving the quarantine-and-recompute path end-to-end.
+    let mut stored_cells: HashMap<JobId, CheckpointCell> = HashMap::new();
+    if let Some(store) = store {
+        for (i, job) in jobs.iter().enumerate() {
+            let id = job.id();
+            if resumed_cells.contains_key(&id) {
+                continue;
+            }
+            if opts.faults.fault_for(i, id, 1) == Some(FaultKind::StoreCorrupt)
+                && store.scramble(id)
+            {
+                eprintln!("drs-harness: injected store corruption for job {id}");
+            }
+            if let Some(cell) = store.lookup(id) {
+                stored_cells.insert(id, cell);
+            }
+        }
+    }
+
     let checkpoint_state = checkpoint.zip(key).map(|(spec, key)| {
         let mut snapshot = Checkpoint::new(key);
-        // Seed the snapshot with the resumed cells so a chain of resumes
-        // never loses earlier work.
-        for (id, cell) in &resumed_cells {
+        // Seed the snapshot with the resumed and store-served cells so a
+        // chain of resumes never loses earlier work.
+        for (id, cell) in resumed_cells.iter().chain(&stored_cells) {
             snapshot.cells.insert(*id, cell.clone());
         }
         CheckpointState {
@@ -339,11 +378,14 @@ pub fn run_jobs(jobs: &[SimJob], opts: &RunOptions) -> RunReport {
     });
 
     // Phase 1: capture the distinct workloads still needed (fully resumed
-    // jobs contribute nothing to the capture set).
+    // or store-served jobs contribute nothing to the capture set).
     let mut seen = std::collections::HashSet::new();
     let mut distinct = Vec::new();
     for j in jobs {
-        if !resumed_cells.contains_key(&j.id()) && seen.insert(j.workload.content_key()) {
+        if !resumed_cells.contains_key(&j.id())
+            && !stored_cells.contains_key(&j.id())
+            && seen.insert(j.workload.content_key())
+        {
             distinct.push(j.workload);
         }
     }
@@ -368,19 +410,13 @@ pub fn run_jobs(jobs: &[SimJob], opts: &RunOptions) -> RunReport {
             if opts.progress {
                 eprintln!("[{}/{total}] resume {label} (from checkpoint)", i + 1);
             }
-            return CellResult {
-                job: *job,
-                empty: prior.empty,
-                completed: prior.completed,
-                stats: prior.stats.clone(),
-                telemetry: None,
-                sm_telemetry: Vec::new(),
-                chip_telemetry: None,
-                chip: prior.chip.clone(),
-                failure: prior.failure.clone(),
-                attempts: prior.attempts,
-                wall_ms: prior.wall_ms,
-            };
+            return prior.to_cell(*job);
+        }
+        if let Some(prior) = stored_cells.get(&job.id()) {
+            if opts.progress {
+                eprintln!("[{}/{total}] reuse  {label} (from store)", i + 1);
+            }
+            return prior.to_cell(*job);
         }
         if opts.progress {
             eprintln!("[{}/{total}] start  {label}", i + 1);
@@ -409,6 +445,17 @@ pub fn run_jobs(jobs: &[SimJob], opts: &RunOptions) -> RunReport {
         };
         if let Some(state) = &checkpoint_state {
             state.record(&cell);
+        }
+        if let Some(store) = store {
+            if cell.completed && cell.failure.is_none() {
+                if let Err(e) = store.store(job.id(), &CheckpointCell::from_cell(&cell)) {
+                    eprintln!(
+                        "drs-harness: store write failed for job {} ({e}); \
+                         the result is complete in memory, only durability was lost",
+                        job.id()
+                    );
+                }
+            }
         }
         if opts.progress {
             match &cell.failure {
@@ -443,12 +490,15 @@ pub fn run_jobs(jobs: &[SimJob], opts: &RunOptions) -> RunReport {
         checkpoint_writes: checkpoint_state
             .as_ref()
             .map_or(0, |s| s.writes.load(Ordering::Relaxed) as u64),
+        store: store.map(ResultStore::counters).unwrap_or_default(),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
     }
 }
 
-/// Run one job to a final [`CellResult`], owning the retry loop.
-fn run_one_job(
+/// Run one job to a final [`CellResult`], owning the retry loop. Shared
+/// with the server, which schedules cells individually instead of
+/// through [`run_jobs`].
+pub(crate) fn run_one_job(
     index: usize,
     job: &SimJob,
     streams: &Arc<drs_trace::BounceStreams>,

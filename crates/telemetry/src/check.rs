@@ -78,9 +78,22 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container nesting [`parse`] accepts. The parser recurses once
+/// per `[`/`{`, so adversarial input like a million open brackets would
+/// otherwise overflow the stack; past this depth it returns a typed
+/// [`ParseError`] instead. Every document the emitters produce nests a
+/// handful of levels — far below the limit.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parse a complete JSON document; trailing non-whitespace is an error.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] (byte offset + reason) for any malformed
+/// input, including duplicate object keys and container nesting deeper
+/// than [`MAX_DEPTH`] — never a panic or stack overflow.
 pub fn parse(text: &str) -> Result<Value, ParseError> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -93,6 +106,8 @@ pub fn parse(text: &str) -> Result<Value, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting, bounded by [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -141,7 +156,24 @@ impl Parser<'_> {
         }
     }
 
+    /// Guard one level of container recursion; the matching decrement is
+    /// in `object`/`array` on every return path.
+    fn descend(&mut self) -> Result<(), ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("containers nested deeper than the supported maximum"));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Value, ParseError> {
+        self.descend()?;
+        let v = self.object_body();
+        self.depth -= 1;
+        v
+    }
+
+    fn object_body(&mut self) -> Result<Value, ParseError> {
         self.expect(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
@@ -172,6 +204,13 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Value, ParseError> {
+        self.descend()?;
+        let v = self.array_body();
+        self.depth -= 1;
+        v
+    }
+
+    fn array_body(&mut self) -> Result<Value, ParseError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -357,6 +396,22 @@ mod tests {
         }
         // Duplicate keys are a bug in our emitter.
         assert!(parse(r#"{"a":1,"a":2}"#).is_err());
+    }
+
+    #[test]
+    fn nesting_is_bounded_by_a_typed_error_not_the_stack() {
+        // Right at the limit parses; one past it is a ParseError. A
+        // million unclosed brackets must not overflow the stack either.
+        let deep = |n: usize| format!("{}1{}", "[".repeat(n), "]".repeat(n));
+        assert!(parse(&deep(MAX_DEPTH)).is_ok());
+        let err = parse(&deep(MAX_DEPTH + 1)).unwrap_err();
+        assert!(err.msg.contains("nested deeper"), "{err}");
+        assert!(parse(&"[".repeat(1_000_000)).is_err());
+        let objs = format!("{}0{}", "{\"k\":".repeat(MAX_DEPTH + 1), "}".repeat(MAX_DEPTH + 1));
+        assert!(parse(&objs).unwrap_err().msg.contains("nested deeper"));
+        // Depth is container nesting, not document length: a wide flat
+        // array is fine.
+        assert!(parse(&format!("[{}1]", "1,".repeat(10_000))).is_ok());
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Randomized round-trip and adversarial-input properties for the
+//! std-only JSON reader in `check`.
+//!
+//! The reader exists to validate documents the `JsonBuf` emitter wrote,
+//! and — since the experiment service — to parse untrusted protocol
+//! lines from clients. Both roles get a property here:
+//!
+//! 1. **Fixpoint**: for arbitrary generated values, `emit → parse →
+//!    emit` reproduces the first emission byte for byte, and the parsed
+//!    value equals the generated one. This is the property the result
+//!    store's byte-identity guarantee leans on (stored f64s must
+//!    round-trip exactly).
+//! 2. **Adversarial**: deep nesting, truncated escapes, duplicate keys,
+//!    random truncations, and random byte flips all produce a typed
+//!    `ParseError` — never a panic, hang, or stack overflow.
+//!
+//! Deterministically seeded (a fixed xorshift stream), so failures
+//! reproduce exactly; no external property-testing crate is involved.
+
+use drs_sim::JsonBuf;
+use drs_telemetry::check::{self, Value};
+use std::collections::BTreeMap;
+
+/// xorshift64 — tiny, deterministic, good enough to drive generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Emit a `Value` the way the telemetry writers would: `JsonBuf` for all
+/// formatting (escaping, shortest-round-trip floats), object keys in
+/// their `BTreeMap` order so emission is a pure function of the value.
+fn emit_into(v: &Value, j: &mut JsonBuf) {
+    match v {
+        // JsonBuf has no null primitive; non-finite f64s emit `null`.
+        Value::Null => j.f64(f64::NAN),
+        Value::Bool(b) => j.bool(*b),
+        Value::Num(n) => j.f64(*n),
+        Value::Str(s) => j.str(s),
+        Value::Arr(items) => {
+            j.begin_arr();
+            for item in items {
+                emit_into(item, j);
+            }
+            j.end_arr();
+        }
+        Value::Obj(map) => {
+            j.begin_obj();
+            for (k, val) in map {
+                j.key(k);
+                emit_into(val, j);
+            }
+            j.end_obj();
+        }
+    }
+}
+
+fn emit(v: &Value) -> String {
+    let mut j = JsonBuf::new();
+    emit_into(v, &mut j);
+    j.finish()
+}
+
+/// A finite f64 drawn from distributions that stress the formatter:
+/// small integers, sign, wild exponents from raw bit patterns, and
+/// dyadic fractions.
+fn gen_num(rng: &mut Rng) -> f64 {
+    match rng.below(5) {
+        0 => rng.below(2_000) as f64 - 1_000.0,
+        1 => (rng.below(1 << 53)) as f64,
+        2 => rng.below(1_000_000) as f64 / (1u64 << rng.below(30)) as f64,
+        3 => {
+            // Raw bits cover subnormals and extreme exponents; retry out
+            // the non-finite patterns.
+            loop {
+                let f = f64::from_bits(rng.next());
+                if f.is_finite() {
+                    return f;
+                }
+            }
+        }
+        _ => -((rng.below(1 << 30)) as f64) / 7.0,
+    }
+}
+
+/// Strings mixing ASCII, the characters the escaper special-cases
+/// (quotes, backslashes, C0 controls), and multi-byte code points.
+fn gen_string(rng: &mut Rng) -> String {
+    let len = rng.below(12);
+    (0..len)
+        .map(|_| match rng.below(8) {
+            0 => '"',
+            1 => '\\',
+            2 => rng.below(0x20) as u8 as char, // C0 control
+            3 => ['é', 'Ω', '中', '🦀'][rng.below(4) as usize],
+            4 => '\n',
+            _ => char::from(b' ' + rng.below(94) as u8),
+        })
+        .collect()
+}
+
+fn gen_value(rng: &mut Rng, depth: u64) -> Value {
+    let arm = if depth == 0 { rng.below(4) } else { rng.below(6) };
+    match arm {
+        0 => Value::Null,
+        1 => Value::Bool(rng.below(2) == 0),
+        2 => Value::Num(gen_num(rng)),
+        3 => Value::Str(gen_string(rng)),
+        4 => Value::Arr((0..rng.below(5)).map(|_| gen_value(rng, depth - 1)).collect()),
+        _ => {
+            let mut map = BTreeMap::new();
+            for i in 0..rng.below(5) {
+                // Indexed suffix keeps keys unique even when the random
+                // part collides (duplicates are a parse error).
+                let key = format!("{}_{i}", gen_string(rng));
+                map.insert(key, gen_value(rng, depth - 1));
+            }
+            Value::Obj(map)
+        }
+    }
+}
+
+#[test]
+fn emit_parse_emit_is_a_fixpoint() {
+    let mut rng = Rng(0x9e37_79b9_7f4a_7c15);
+    for case in 0..600 {
+        let value = gen_value(&mut rng, 4);
+        let first = emit(&value);
+        let parsed = check::parse(&first).unwrap_or_else(|e| {
+            panic!("case {case}: emitted document failed to parse: {e}\n{first}")
+        });
+        assert_eq!(parsed, value, "case {case}: parse changed the value\n{first}");
+        let second = emit(&parsed);
+        assert_eq!(first, second, "case {case}: emit∘parse is not a fixpoint");
+    }
+}
+
+#[test]
+fn floats_round_trip_exactly_through_the_text_form() {
+    let mut rng = Rng(42);
+    for _ in 0..2_000 {
+        let f = gen_num(&mut rng);
+        let text = emit(&Value::Num(f));
+        let back = check::parse(&text).unwrap();
+        // Bitwise equality modulo the sign of zero: the formatter
+        // preserves -0.0 ("−0.0" parses back negative), so to_bits
+        // matches even there.
+        assert_eq!(
+            back.as_num().unwrap().to_bits(),
+            f.to_bits(),
+            "{f:?} -> {text} -> {:?}",
+            back.as_num()
+        );
+    }
+}
+
+#[test]
+fn truncated_escapes_are_typed_errors() {
+    for bad in [
+        r#""\"#,
+        r#""\u"#,
+        r#""\u0"#,
+        r#""\u00"#,
+        r#""\u004"#,
+        r#""\uZZZZ""#,
+        r#""\x41""#,
+        r#""\ud800""#, // lone surrogate: the emitter never writes pairs
+        "\"abc",
+    ] {
+        let err = check::parse(bad).unwrap_err();
+        assert!(!err.msg.is_empty(), "{bad:?} should fail with a message");
+    }
+}
+
+#[test]
+fn duplicate_keys_are_rejected_at_any_depth() {
+    for bad in [r#"{"a":1,"a":2}"#, r#"{"x":{"a":1,"a":2}}"#, r#"[{"a":null,"a":null}]"#] {
+        let err = check::parse(bad).unwrap_err();
+        assert!(err.msg.contains("duplicate"), "{bad}: {err}");
+    }
+}
+
+#[test]
+fn truncations_and_bit_flips_never_panic() {
+    let mut rng = Rng(7);
+    let value = gen_value(&mut rng, 4);
+    let doc = emit(&value);
+    // Every prefix either parses (it won't, except the full doc) or
+    // errors — in both cases parse() returns instead of panicking.
+    for end in 0..doc.len() {
+        if doc.is_char_boundary(end) {
+            let _ = check::parse(&doc[..end]);
+        }
+    }
+    let bytes = doc.as_bytes();
+    for _ in 0..500 {
+        let mut mutated = bytes.to_vec();
+        let at = rng.below(mutated.len() as u64) as usize;
+        mutated[at] ^= 1 << rng.below(8);
+        // Only valid UTF-8 can reach the parser (its input is &str).
+        if let Ok(text) = std::str::from_utf8(&mutated) {
+            let _ = check::parse(text);
+        }
+    }
+}
